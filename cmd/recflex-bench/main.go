@@ -1,0 +1,97 @@
+// Command recflex-bench reproduces the paper's evaluation: every table and
+// figure of §VI (Tables I-II, Figures 2-3, 9-13) plus the scalability,
+// MLPerf-parity and overhead studies.
+//
+// Usage:
+//
+//	recflex-bench -exp all -scale 10 -eval 8
+//	recflex-bench -exp fig9,fig11 -scale 25 -eval 4
+//	recflex-bench -exp all -paper          # full paper scale (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recflex-bench: ")
+	var (
+		exp     = flag.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead or all")
+		scale   = flag.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
+		tuneB   = flag.Int("tune", 2, "tuning batches")
+		evalB   = flag.Int("eval", 8, "evaluation batches (paper: 128)")
+		workers = flag.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
+		paper   = flag.Bool("paper", false, "use the full paper-scale configuration (overrides scale/tune/eval)")
+		csvDir  = flag.String("csv", "", "also export figure data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		TuneBatches: *tuneB,
+		EvalBatches: *evalB,
+		BatchCap:    512,
+		Occupancies: []int{1, 2, 3, 4, 6, 8},
+		Parallelism: *workers,
+	}
+	if *paper {
+		cfg = experiments.PaperConfig()
+		cfg.Parallelism = *workers
+	}
+	s := experiments.NewSuite(cfg)
+	w := os.Stdout
+
+	runners := map[string]func() error{
+		"table1":   func() error { return experiments.PrintTable1(w) },
+		"fig2":     func() error { return s.PrintFig2(w) },
+		"fig3":     func() error { return experiments.PrintFig3(w) },
+		"fig9":     func() error { return s.PrintFig9(w) },
+		"fig10":    func() error { return s.PrintFig10(w) },
+		"table2":   func() error { return s.PrintTable2(w) },
+		"fig11":    func() error { return s.PrintFig11(w) },
+		"fig12":    func() error { return s.PrintFig12(w) },
+		"fig13":    func() error { return s.PrintFig13(w) },
+		"scale":    func() error { return s.PrintScalability(w) },
+		"mlperf":   func() error { return s.PrintMLPerf(w) },
+		"overhead": func() error { return s.PrintOverhead(w) },
+		"ext":      func() error { return s.PrintExtensions(w) },
+		"eq2":      func() error { return s.PrintEq2Fidelity(w) },
+		"drift":    func() error { return s.PrintDriftStudy(w) },
+	}
+	order := []string{"table1", "fig2", "fig3", "fig9", "fig10", "table2", "fig11", "fig12", "fig13", "scale", "mlperf", "overhead", "ext", "eq2", "drift"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		selected = strings.Split(*exp, ",")
+	}
+	start := time.Now()
+	for _, name := range selected {
+		run, ok := runners[strings.TrimSpace(name)]
+		if !ok {
+			log.Fatalf("unknown experiment %q (valid: %s)", name, strings.Join(order, ","))
+		}
+		t0 := time.Now()
+		if err := run(); err != nil {
+			log.Fatalf("experiment %s: %v", name, err)
+		}
+		fmt.Fprintf(w, "[%s finished in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	if *csvDir != "" {
+		if err := s.ExportCSV(*csvDir); err != nil {
+			log.Fatalf("csv export: %v", err)
+		}
+		fmt.Fprintf(w, "figure data exported to %s\n", *csvDir)
+	}
+	fmt.Fprintf(w, "\nall experiments done in %v (scale=%d, eval batches=%d)\n",
+		time.Since(start).Round(time.Millisecond), s.Cfg.Scale, s.Cfg.EvalBatches)
+}

@@ -1,0 +1,145 @@
+// Command recflex-inspect tunes a model and dumps the compiled fused kernel
+// in detail: per-feature schedule, block allocation, resource footprint,
+// spills, task-map shape and the simulated execution profile — the debugging
+// view of what the fusion compiler of Figure 8 generated.
+//
+// Usage:
+//
+//	recflex-inspect -model A -scale 25 -batch 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recflex-inspect: ")
+	var (
+		model    = flag.String("model", "A", "model: A,B,C,D,E,scale10k,mlperf")
+		device   = flag.String("device", "V100", "device: V100 or A100")
+		scale    = flag.Int("scale", 25, "feature-count divisor")
+		batchSz  = flag.Int("batch", 256, "batch size to inspect")
+		top      = flag.Int("top", 15, "features to list (by simulated time)")
+		timeline = flag.Bool("timeline", false, "render an ASCII timeline of the first SMs")
+	)
+	flag.Parse()
+
+	configs := map[string]*datasynth.ModelConfig{
+		"A": datasynth.ModelA(), "B": datasynth.ModelB(), "C": datasynth.ModelC(),
+		"D": datasynth.ModelD(), "E": datasynth.ModelE(),
+		"scale10k": datasynth.Scalability10k(), "mlperf": datasynth.MLPerfLike(),
+	}
+	cfg, ok := configs[*model]
+	if !ok {
+		log.Fatalf("unknown model %q", *model)
+	}
+	cfg = datasynth.Scaled(cfg, *scale)
+	var dev *gpusim.Device
+	switch *device {
+	case "V100":
+		dev = gpusim.V100()
+	case "A100":
+		dev = gpusim.A100()
+	default:
+		log.Fatalf("unknown device %q", *device)
+	}
+
+	features := experiments.Features(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var historical []*embedding.Batch
+	for _, n := range []int{256, 384} {
+		b, err := datasynth.GenerateBatch(cfg, n, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		historical = append(historical, b)
+	}
+	rf := core.New(dev, features)
+	if err := rf.Tune(historical, tuner.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	tuned := rf.Tuned()
+
+	batch, err := datasynth.GenerateBatch(cfg, *batchSz, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fu, err := rf.CompileBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := fu.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fused kernel %q on %s\n", fu.Kernel.Name, dev.Name)
+	fmt.Printf("  grid: %d blocks, %d threads/block, %d regs/thread, %dB smem/block\n",
+		len(fu.Kernel.Blocks), fu.Kernel.Resources.ThreadsPerBlock,
+		fu.Kernel.Resources.RegsPerThread, fu.Kernel.Resources.SharedMemPerBlock)
+	fmt.Printf("  occupancy: %d blocks/SM (tuned), %d unique schedules after sharing\n",
+		tuned.Occupancy, fu.UniqueSchedules)
+	comp, dram, l2 := fu.Kernel.TotalWork()
+	fmt.Printf("  work: %.3g Mcycles compute, %.2f MB DRAM, %.2f MB L2\n", comp/1e6, dram/1e6, l2/1e6)
+	fmt.Printf("  simulated: %s, %.0f GB/s (%.1f%% of peak), %.1f active threads/warp\n",
+		report.FmtUS(sim.Time), sim.Counters.MemoryThroughput/1e9,
+		sim.Counters.MaxBandwidthPct, sim.Counters.AvgActiveThreadsPerWarp)
+
+	spilled := 0
+	for _, s := range fu.SpilledRegs {
+		if s > 0 {
+			spilled++
+		}
+	}
+	fmt.Printf("  spilling features: %d of %d\n", spilled, len(features))
+
+	// Per-feature profile, heaviest first.
+	type row struct {
+		f      int
+		time   float64
+		blocks int
+	}
+	rows := make([]row, 0, len(features))
+	for f := range features {
+		rows = append(rows, row{f, sim.TagTime[f], int(fu.Map.Allocated[f])})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].time > rows[j].time })
+	t := &report.Table{
+		Title:  fmt.Sprintf("top %d features by summed block time", *top),
+		Header: []string{"Feature", "Dim", "Schedule", "Blocks", "Sum block time", "Spill"},
+	}
+	for i, r := range rows {
+		if i >= *top {
+			break
+		}
+		t.AddRow(features[r.f].Name,
+			fmt.Sprintf("%d", features[r.f].Dim),
+			tuned.Choices[r.f].Name(),
+			fmt.Sprintf("%d", r.blocks),
+			report.FmtUS(r.time),
+			fmt.Sprintf("%d", fu.SpilledRegs[r.f]))
+	}
+	if err := t.Write(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+
+	if *timeline {
+		if err := report.Timeline(log.Writer(), "block residency (first 16 SMs)",
+			sim.BlockStart, sim.BlockTime, sim.BlockSM, 16, 100); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

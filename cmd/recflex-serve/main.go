@@ -1,0 +1,112 @@
+// Command recflex-serve replays an online-serving request trace (Poisson
+// arrivals, serving-sized batches, optional unsplit long-tail requests)
+// through every embedding system and reports end-to-end latency percentiles —
+// the served-workload view of the paper's §VI-D discussion.
+//
+// Usage:
+//
+//	recflex-serve -model A -scale 25 -requests 200 -qps 2000 -tail 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recflex-serve: ")
+	var (
+		model    = flag.String("model", "A", "model: A,B,C,D,E,mlperf")
+		device   = flag.String("device", "V100", "device: V100 or A100")
+		scale    = flag.Int("scale", 25, "feature-count divisor")
+		requests = flag.Int("requests", 200, "requests in the trace")
+		qps      = flag.Float64("qps", 2000, "mean arrival rate")
+		tailProb = flag.Float64("tail", 0.02, "probability of an unsplit 2560-sample request")
+	)
+	flag.Parse()
+
+	configs := map[string]*datasynth.ModelConfig{
+		"A": datasynth.ModelA(), "B": datasynth.ModelB(), "C": datasynth.ModelC(),
+		"D": datasynth.ModelD(), "E": datasynth.ModelE(), "mlperf": datasynth.MLPerfLike(),
+	}
+	cfg, ok := configs[*model]
+	if !ok {
+		log.Fatalf("unknown model %q", *model)
+	}
+	cfg = datasynth.Scaled(cfg, *scale)
+	var dev *gpusim.Device
+	switch *device {
+	case "V100":
+		dev = gpusim.V100()
+	case "A100":
+		dev = gpusim.A100()
+	default:
+		log.Fatalf("unknown device %q", *device)
+	}
+	features := experiments.Features(cfg)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var historical []*embedding.Batch
+	for _, n := range []int{256, 384} {
+		b, err := datasynth.GenerateBatch(cfg, n, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		historical = append(historical, b)
+	}
+	rf := core.New(dev, features)
+	if err := rf.Tune(historical, tuner.Options{}); err != nil {
+		log.Fatal(err)
+	}
+
+	reqs, err := trace.Generate(*requests, trace.GeneratorConfig{
+		QPS: *qps, MaxBatch: 512, TailProb: *tailProb,
+		TailSize: datasynth.LongTailRequest, Seed: cfg.Seed ^ 0x5E17E,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d requests at %.0f qps on %s/%s (%d features, %.1f%% long tail)\n\n",
+		len(reqs), *qps, dev.Name, cfg.Name, len(features), *tailProb*100)
+
+	systems := append(baselines.All(), rf)
+	tbl := &report.Table{
+		Title:  "end-to-end request latency",
+		Header: []string{"System", "p50", "p95", "p99", "GPU util"},
+	}
+	for _, sys := range systems {
+		if sys.Supports(features) != nil {
+			continue
+		}
+		service := trace.MemoService(func(size int) (float64, error) {
+			size = (size + 31) / 32 * 32 // quantize for the memo
+			b, err := datasynth.GenerateBatch(cfg, size, rng)
+			if err != nil {
+				return 0, err
+			}
+			return sys.Measure(dev, features, b)
+		})
+		res, err := trace.Serve(reqs, service)
+		if err != nil {
+			log.Fatalf("%s: %v", sys.Name(), err)
+		}
+		tbl.AddRow(sys.Name(), report.FmtUS(res.P50), report.FmtUS(res.P95),
+			report.FmtUS(res.P99), fmt.Sprintf("%.1f%%", res.Utilization*100))
+	}
+	if err := tbl.Write(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Command recflex-tune runs RecFlex's interference-aware two-stage schedule
+// tuner on one of the evaluation models and reports the selected schedules,
+// occupancy and expected fused-kernel latency.
+//
+// Usage:
+//
+//	recflex-tune -model A -device V100 -scale 10 -batches 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recflex-tune: ")
+	var (
+		model    = flag.String("model", "A", "model: A,B,C,D,E,scale10k,mlperf")
+		device   = flag.String("device", "V100", "device: V100 or A100")
+		scale    = flag.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
+		batches  = flag.Int("batches", 4, "historical batches sampled for tuning")
+		batchCap = flag.Int("batch-cap", 512, "maximum request batch size")
+		workers  = flag.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
+		sepAblat = flag.Bool("separate", false, "also run the separate-combine straw-man tuner")
+		outFile  = flag.String("o", "", "save the tuned schedules as JSON (loadable by core.LoadTuned)")
+	)
+	flag.Parse()
+
+	configs := map[string]*datasynth.ModelConfig{
+		"A": datasynth.ModelA(), "B": datasynth.ModelB(), "C": datasynth.ModelC(),
+		"D": datasynth.ModelD(), "E": datasynth.ModelE(),
+		"scale10k": datasynth.Scalability10k(), "mlperf": datasynth.MLPerfLike(),
+	}
+	cfg, ok := configs[*model]
+	if !ok {
+		log.Fatalf("unknown model %q", *model)
+	}
+	cfg = datasynth.Scaled(cfg, *scale)
+	var dev *gpusim.Device
+	switch *device {
+	case "V100":
+		dev = gpusim.V100()
+	case "A100":
+		dev = gpusim.A100()
+	default:
+		log.Fatalf("unknown device %q", *device)
+	}
+
+	sizes := datasynth.RequestSizes(*batches, *batchCap, cfg.Seed^0xBA7C4)
+	ds, err := datasynth.GenerateDataset(cfg, *batches, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	features := experiments.Features(cfg)
+	m := tuner.DefaultModel(features)
+
+	start := time.Now()
+	rf := core.New(dev, features)
+	if err := rf.Tune(ds.Batches, tuner.Options{Parallelism: *workers}); err != nil {
+		log.Fatal(err)
+	}
+	res := rf.Tuned()
+	wall := time.Since(start)
+
+	fmt.Printf("model %s on %s: %d features, %d tuning batches, tuned in %v\n",
+		cfg.Name, dev.Name, len(features), len(ds.Batches), wall.Round(time.Millisecond))
+	fmt.Printf("selected occupancy: %d blocks/SM; fused latency over tuning data: %s\n",
+		res.Occupancy, report.FmtUS(res.Latency))
+	for _, po := range res.PerOccupancy {
+		fmt.Printf("  occupancy %2d blocks/SM -> %s\n", po.BlocksPerSM, report.FmtUS(po.Latency))
+	}
+
+	counts := map[string]int{}
+	for _, c := range res.Choices {
+		counts[c.Name()]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return counts[names[i]] > counts[names[j]] })
+	fmt.Println("schedule distribution:")
+	for _, n := range names {
+		fmt.Printf("  %4d x %s\n", counts[n], n)
+	}
+
+	if *outFile != "" {
+		if err := rf.SaveTuned(*outFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tuned schedules saved to %s\n", *outFile)
+	}
+
+	if *sepAblat {
+		sep, err := tuner.SeparateCombine(dev, m, ds.Batches, tuner.Options{Parallelism: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("separate-combine straw man: fused latency %s (two-stage improvement %s)\n",
+			report.FmtUS(sep.Latency), report.FmtRatio(sep.Latency/res.Latency))
+	}
+}

@@ -1,0 +1,81 @@
+// Multi-GPU: the Discussion-section extension (§VII) — a model whose
+// embedding tables exceed one GPU's memory is sharded across devices with a
+// workload-balancing placement, each shard tuned by its own RecFlex instance.
+// The example compares placement heuristics and shows the per-GPU latency
+// breakdown.
+//
+//	go run ./examples/multigpu -gpus 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/datasynth"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/placement"
+	"repro/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	gpus := flag.Int("gpus", 4, "number of GPUs")
+	flag.Parse()
+
+	dev := gpusim.V100()
+	cfg := datasynth.Scaled(datasynth.ModelA(), 20) // 50 heterogeneous features
+	features := experiments.Features(cfg)
+
+	sizes := datasynth.RequestSizes(5, 512, cfg.Seed)
+	ds, err := datasynth.GenerateDataset(cfg, 5, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	historical, serving := ds.Batches[:2], ds.Batches[2:]
+
+	stats, err := placement.CollectStats(features, historical)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tableBytes int64
+	for _, s := range stats {
+		tableBytes += s.Bytes
+	}
+	fmt.Printf("model: %d features, %.1f MB of embedding tables, %d GPUs\n\n",
+		len(features), float64(tableBytes)/1e6, *gpus)
+
+	for _, strat := range []placement.Strategy{placement.LPT, placement.RoundRobin, placement.CapacityOnly} {
+		p, err := placement.Place(stats, *gpus, 0, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := placement.NewMultiGPU(dev, features, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Tune(historical, tuner.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		var makespan, gather float64
+		perGPU := make([]float64, *gpus)
+		for _, b := range serving {
+			r, err := m.Measure(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			makespan += r.Makespan
+			gather += r.Gather
+			for g := range r.PerGPU {
+				perGPU[g] += r.PerGPU[g]
+			}
+		}
+		fmt.Printf("%-14s imbalance %.2f | makespan %8.2fus gather %6.2fus | per-GPU:",
+			strat, placement.LoadImbalance(p, stats), makespan*1e6, gather*1e6)
+		for g := range perGPU {
+			fmt.Printf(" %7.2fus", perGPU[g]*1e6)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// Scalability: tune a model with an extremely large number of features (the
+// paper's 10,000-feature dataset, scaled by -scale) and compare the fused
+// kernel against TorchRec, reporting tuning wall-clock — the §VI-B and §VI-E
+// studies as a runnable program.
+//
+//	go run ./examples/scalability -scale 50      # 200 features, seconds
+//	go run ./examples/scalability -scale 10      # 1,000 features, minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Int("scale", 50, "feature-count divisor of the 10,000-feature dataset")
+	workers := flag.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	dev := gpusim.V100()
+	cfg := datasynth.Scaled(datasynth.Scalability10k(), *scale)
+	features := experiments.Features(cfg)
+	fmt.Printf("scalability dataset: %d features\n", len(features))
+
+	sizes := datasynth.RequestSizes(5, 512, cfg.Seed^0xBA7C4)
+	ds, err := datasynth.GenerateDataset(cfg, 5, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	historical, serving := ds.Batches[:2], ds.Batches[2:]
+
+	start := time.Now()
+	rf := core.New(dev, features)
+	if err := rf.Tune(historical, tuner.Options{Parallelism: *workers}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned in %v (occupancy %d blocks/SM)\n",
+		time.Since(start).Round(time.Millisecond), rf.Tuned().Occupancy)
+
+	var mine, torch float64
+	tr := baselines.TorchRec{}
+	for _, b := range serving {
+		m, err := rf.Measure(dev, features, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, err := tr.Measure(dev, features, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mine += m
+		torch += t
+	}
+	fmt.Printf("RecFlex %.2fus vs TorchRec %.2fus -> speedup %.2fx (paper: 4.2x at 10,000 features)\n",
+		mine*1e6, torch*1e6, torch/mine)
+}

@@ -1,0 +1,120 @@
+// Serving: an online inference loop with dynamic workloads — request batch
+// sizes drawn from a serving distribution, a long-tail request that a
+// DeepRecSys-style system would not split, per-request runtime thread mapping
+// (compared against the static avg/max strategies of Figure 13), and
+// distribution-drift detection that triggers the paper's periodic re-tuning.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/experiments"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	dev := gpusim.V100()
+	cfg := datasynth.Scaled(datasynth.ModelC(), 20) // 40 multi-hot features
+	features := experiments.Features(cfg)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	makeBatches := func(c *datasynth.ModelConfig, sizes []int) []*embedding.Batch {
+		out := make([]*embedding.Batch, len(sizes))
+		for i, n := range sizes {
+			b, err := datasynth.GenerateBatch(c, n, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out[i] = b
+		}
+		return out
+	}
+
+	// Compile-time: tune on recent history.
+	historical := makeBatches(cfg, []int{256, 320, 192})
+	rf := core.New(dev, features)
+	if err := rf.Tune(historical, tuner.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	tuned := rf.Tuned()
+	fmt.Printf("tuned %d features, occupancy %d blocks/SM\n\n", len(features), tuned.Occupancy)
+
+	// Derive the static thread mappings from the same history (Fig. 13).
+	var history [][]int
+	for _, b := range historical {
+		fu, err := rf.CompileBatch(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		history = append(history, fu.BlockUsage())
+	}
+	avgAlloc, err := fusion.StaticAllocation(history, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxAlloc, err := fusion.StaticAllocation(history, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(b *embedding.Batch, mode fusion.MappingMode, static []int) float64 {
+		fu, err := fusion.Compile(dev, features, tuned.Choices, b, fusion.Options{
+			TargetBlocksPerSM: tuned.Occupancy,
+			Mapping:           mode,
+			StaticBlocks:      static,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := fu.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.Time
+	}
+
+	// Serving loop: requests of varying size, split at 512.
+	requests := datasynth.RequestSizes(8, 512, 99)
+	requests = append(requests, datasynth.LongTailRequest) // unsplit long tail
+	fmt.Printf("%8s %12s %12s %12s\n", "batch", "runtime", "static-avg", "static-max")
+	for _, n := range requests {
+		b, err := datasynth.GenerateBatch(cfg, n, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt := measure(b, fusion.MapRuntime, nil)
+		sa := measure(b, fusion.MapStaticAvg, avgAlloc)
+		sm := measure(b, fusion.MapStaticMax, maxAlloc)
+		tag := ""
+		if n == datasynth.LongTailRequest {
+			tag = "  <- long tail"
+		}
+		fmt.Printf("%8d %10.2fus %10.2fus %10.2fus%s\n", n, rt*1e6, sa*1e6, sm*1e6, tag)
+	}
+
+	// Distribution drift: pooling factors triple -> the drift detector
+	// recommends the periodic re-tune of §IV-A3.
+	shifted := datasynth.Drifted(cfg, 3)
+	recent := makeBatches(shifted, []int{256, 256})
+	drift, err := rf.ShouldRetune(recent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndistribution shift detected, re-tune recommended: %v\n", drift)
+	if drift {
+		if err := rf.Tune(recent, tuner.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("re-tuned: new occupancy %d blocks/SM\n", rf.Tuned().Occupancy)
+	}
+}

@@ -1,0 +1,140 @@
+package recflex
+
+// This file exposes the Discussion-section (§VII) extensions through the
+// public API: multi-GPU table placement, the UVM hot-embedding cache,
+// preprocess-operator fusion, intra-feature hybrid schedules, and the
+// online-serving trace substrate.
+
+import (
+	"repro/internal/dnn"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/preproc"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/uvmcache"
+)
+
+// HybridSplit routes heavy samples to a block-per-sample schedule and light
+// samples to a sub-warp schedule — intra-feature heterogeneity.
+type HybridSplit = sched.HybridSplit
+
+// --- Multi-GPU placement ---
+
+// Placement maps features to GPUs.
+type Placement = placement.Placement
+
+// PlacementStats is the per-feature workload summary placement uses.
+type PlacementStats = placement.Stats
+
+// PlacementStrategy selects a placement heuristic.
+type PlacementStrategy = placement.Strategy
+
+// Placement strategies.
+const (
+	PlaceLPT          = placement.LPT
+	PlaceRoundRobin   = placement.RoundRobin
+	PlaceCapacityOnly = placement.CapacityOnly
+)
+
+// MultiGPU runs one tuned RecFlex instance per device shard.
+type MultiGPU = placement.MultiGPU
+
+// CollectPlacementStats derives placement stats from historical batches.
+func CollectPlacementStats(features []FeatureInfo, batches []*Batch) ([]PlacementStats, error) {
+	return placement.CollectStats(features, batches)
+}
+
+// Place assigns features to GPUs under a memory capacity (0 = unlimited).
+func Place(stats []PlacementStats, numGPUs int, capacityBytes int64, strategy PlacementStrategy) (*Placement, error) {
+	return placement.Place(stats, numGPUs, capacityBytes, strategy)
+}
+
+// NewMultiGPU creates per-shard RecFlex instances.
+func NewMultiGPU(dev *Device, features []FeatureInfo, p *Placement) (*MultiGPU, error) {
+	return placement.NewMultiGPU(dev, features, p)
+}
+
+// --- UVM hot-embedding cache ---
+
+// CacheConfig keeps the leading HotRows rows of a table GPU-resident.
+type CacheConfig = uvmcache.Config
+
+// CachedSchedule decorates an inner schedule with UVM cost accounting.
+type CachedSchedule = uvmcache.Cached
+
+// AllocateCacheBudget distributes GPU embedding memory across features by
+// access frequency per byte.
+func AllocateCacheBudget(features []FeatureInfo, accessFreq []float64, budgetBytes int64) ([]CacheConfig, error) {
+	return uvmcache.AllocateBudget(features, accessFreq, budgetBytes)
+}
+
+// ColdFraction measures the share of a batch's row reads that miss the hot
+// set.
+func ColdFraction(fb *FeatureBatch, cfg CacheConfig) float64 {
+	return uvmcache.ColdFraction(fb, cfg)
+}
+
+// --- Preprocess-operator fusion ---
+
+// PreprocOp transforms the lookup-ID stream of a feature.
+type PreprocOp = preproc.Op
+
+// Preprocess operators.
+type (
+	// HashMod maps raw IDs into the table space.
+	HashMod = preproc.HashMod
+	// Clip truncates pooling factors.
+	Clip = preproc.Clip
+	// Dedup removes within-sample duplicate IDs.
+	Dedup = preproc.Dedup
+)
+
+// ApplyPreproc runs an operator pipeline over one feature batch.
+func ApplyPreproc(ops []PreprocOp, fb *FeatureBatch, tableRows int) (FeatureBatch, error) {
+	return preproc.ApplyAll(ops, fb, tableRows)
+}
+
+// --- Training ---
+
+// MLP is the dense tower of the recommendation model.
+type MLP = dnn.MLP
+
+// NewMLP builds a dense tower with deterministic weights.
+func NewMLP(inDim int, hidden []int, seed uint64) (*MLP, error) {
+	return dnn.NewMLP(inDim, hidden, seed)
+}
+
+// Trainer runs full-model SGD steps through the fused kernels: embedding
+// forward, MLP forward, MSE loss, MLP backward, fused embedding backward.
+type Trainer = model.Trainer
+
+// TrainStepResult reports one training step (loss + simulated stage times).
+type TrainStepResult = model.StepResult
+
+// NewTrainer wires a tuned Optimizer, its tables and a dense tower.
+func NewTrainer(opt *Optimizer, tables []*Table, mlp *MLP, lr float32) (*Trainer, error) {
+	return model.NewTrainer(opt, tables, mlp, lr)
+}
+
+// --- Online serving traces ---
+
+// Request is one inference request in a serving trace.
+type Request = trace.Request
+
+// TraceConfig shapes a generated request stream.
+type TraceConfig = trace.GeneratorConfig
+
+// ServeResult summarizes a served trace (latency percentiles, utilization).
+type ServeResult = trace.Result
+
+// GenerateTrace produces a Poisson request stream with long-tail batches.
+func GenerateTrace(n int, cfg TraceConfig) ([]Request, error) {
+	return trace.Generate(n, cfg)
+}
+
+// ServeTrace replays requests through a per-size service function on a FIFO
+// single-GPU queue.
+func ServeTrace(reqs []Request, service func(size int) (float64, error)) (*ServeResult, error) {
+	return trace.Serve(reqs, service)
+}

@@ -1,0 +1,133 @@
+package recflex_test
+
+import (
+	"math/rand"
+	"testing"
+
+	recflex "repro"
+)
+
+func TestPublicMultiGPU(t *testing.T) {
+	features, tables, makeBatch := buildToyModel(t)
+	batch := makeBatch(128)
+	stats, err := recflex.CollectPlacementStats(features, []*recflex.Batch{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := recflex.Place(stats, 2, 0, recflex.PlaceLPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := recflex.NewMultiGPU(recflex.V100(), features, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tune([]*recflex.Batch{batch}, recflex.TuneOptions{Occupancies: []int{4, 8}, Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Measure(makeBatch(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 {
+		t.Error("non-positive multi-GPU time")
+	}
+	_ = tables
+}
+
+func TestPublicPreprocAndCache(t *testing.T) {
+	_, _, makeBatch := buildToyModel(t)
+	batch := makeBatch(32)
+	fb := batch.Features[3] // the heavy multi-hot feature
+	out, err := recflex.ApplyPreproc([]recflex.PreprocOp{
+		recflex.HashMod{Seed: 1},
+		recflex.Clip{MaxPF: 10},
+		recflex.Dedup{},
+	}, &fb, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BatchSize() != fb.BatchSize() {
+		t.Error("preproc changed batch size")
+	}
+	for s := 0; s < out.BatchSize(); s++ {
+		if out.PoolingFactor(s) > 10 {
+			t.Errorf("sample %d not clipped: pf %d", s, out.PoolingFactor(s))
+		}
+	}
+	cold := recflex.ColdFraction(&out, recflex.CacheConfig{HotRows: 50})
+	if cold < 0 || cold > 1 {
+		t.Errorf("cold fraction %g", cold)
+	}
+}
+
+func TestPublicServingTrace(t *testing.T) {
+	reqs, err := recflex.GenerateTrace(100, recflex.TraceConfig{
+		QPS: 1000, MaxBatch: 256, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	res, err := recflex.ServeTrace(reqs, func(size int) (float64, error) {
+		return float64(size)*1e-8 + rng.Float64()*1e-7, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P99 < res.P50 {
+		t.Error("percentiles disordered")
+	}
+}
+
+func TestPublicHybridSchedule(t *testing.T) {
+	h := recflex.HybridSplit{
+		Light:       recflex.SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1},
+		Heavy:       recflex.BlockPerSample{Threads: 128, Vec: 1},
+		ThresholdPF: 32,
+	}
+	if h.Name() == "" {
+		t.Error("hybrid has no name")
+	}
+	if h.Resources(8).ThreadsPerBlock != 256 {
+		t.Error("hybrid resource union wrong")
+	}
+}
+
+func TestPublicTrainer(t *testing.T) {
+	features, tables, makeBatch := buildToyModel(t)
+	dev := recflex.V100()
+	opt := recflex.New(dev, features)
+	if err := opt.Tune([]*recflex.Batch{makeBatch(96)}, recflex.TuneOptions{Occupancies: []int{4, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range features {
+		total += f.Dim
+	}
+	mlp, err := recflex.NewMLP(total, []int{8, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := recflex.NewTrainer(opt, tables, mlp, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := makeBatch(8)
+	rng := rand.New(rand.NewSource(9))
+	targets := make([]float32, 8*2)
+	for i := range targets {
+		targets[i] = float32(rng.NormFloat64())
+	}
+	var prev float64
+	for step := 0; step < 3; step++ {
+		res, err := trainer.Step(batch, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step > 0 && res.Loss >= prev {
+			t.Fatalf("loss did not decrease: %g -> %g", prev, res.Loss)
+		}
+		prev = res.Loss
+	}
+}

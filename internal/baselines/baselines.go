@@ -1,0 +1,300 @@
+// Package baselines reimplements the embedding-execution strategies of the
+// four systems the paper compares against, on top of the same GPU simulator
+// RecFlex runs on, so Figure 9/10 comparisons measure scheduling strategy
+// rather than framework plumbing:
+//
+//   - TensorFlow: no fusion — one kernel launch sequence per feature
+//     (gather + segment pooling), paying launch overhead and leaving the GPU
+//     underutilized on small features.
+//   - RECom: all embedding operations fused into a single kernel, but with a
+//     uniform schedule and static thread mapping that distributes blocks
+//     evenly across features regardless of their workloads.
+//   - TorchRec (FBGEMM): fused kernel with fine-grained warp-per-sample
+//     parallelism, its kernel variant selected by the maximum embedding
+//     dimension across tables — the strongest baseline, but blind to
+//     feature heterogeneity.
+//   - HugeCTR: fused kernel with coarse sample-per-block parallelism that
+//     walks all features sequentially inside each block; requires a uniform
+//     embedding dimension across tables.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// Baseline is one comparison system.
+type Baseline interface {
+	// Name is the system's display name.
+	Name() string
+	// Supports reports whether the system can run the model at all.
+	Supports(features []fusion.FeatureInfo) error
+	// Measure returns the simulated embedding execution time of one batch.
+	Measure(dev *gpusim.Device, features []fusion.FeatureInfo, batch *embedding.Batch) (float64, error)
+}
+
+// genericSchedule is the one-size-fits-all schedule the non-RecFlex systems
+// apply to every feature: classic warp-per-sample.
+func genericSchedule(vec int) sched.Schedule {
+	return sched.SubWarp{Threads: 256, Lanes: 32, Vec: vec, UnrollRows: 1}
+}
+
+// maxDim returns the largest embedding dimension of the model.
+func maxDim(features []fusion.FeatureInfo) int {
+	m := 0
+	for i := range features {
+		if features[i].Dim > m {
+			m = features[i].Dim
+		}
+	}
+	return m
+}
+
+// vecForDim picks the widest vector load that divides the dimension.
+func vecForDim(dim int) int {
+	switch {
+	case dim%4 == 0:
+		return 4
+	case dim%2 == 0:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// TensorFlow executes every feature's embedding operation as separate kernel
+// launches.
+type TensorFlow struct{}
+
+// Name implements Baseline.
+func (TensorFlow) Name() string { return "TensorFlow" }
+
+// Supports implements Baseline.
+func (TensorFlow) Supports([]fusion.FeatureInfo) error { return nil }
+
+// launchesPerFeature models TensorFlow's unfused op granularity: a gather
+// kernel plus a segment-pooling kernel per feature.
+const launchesPerFeature = 2
+
+// Measure implements Baseline.
+func (TensorFlow) Measure(dev *gpusim.Device, features []fusion.FeatureInfo, batch *embedding.Batch) (float64, error) {
+	ws, err := fusion.AnalyzeBatch(features, batch)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for f := range features {
+		s := genericSchedule(vecForDim(features[f].Dim))
+		// Each kernel sees only its own feature's working set.
+		l2 := sched.L2Context{
+			CacheBytes:      float64(dev.L2SizeBytes),
+			WorkingSetBytes: float64(ws[f].UniqueRows) * ws[f].RowBytes(),
+		}
+		p, err := s.Plan(&ws[f], dev, l2)
+		if err != nil {
+			return 0, err
+		}
+		k := &gpusim.Kernel{
+			Name:      fmt.Sprintf("tf_f%d", f),
+			Resources: s.Resources(features[f].Dim),
+			Blocks:    p.Blocks,
+		}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			return 0, err
+		}
+		total += r.Time + launchesPerFeature*dev.KernelLaunchOverhead
+	}
+	return total, nil
+}
+
+// RECom fuses everything with a uniform schedule and an even static block
+// distribution across features.
+type RECom struct{}
+
+// Name implements Baseline.
+func (RECom) Name() string { return "RECom" }
+
+// Supports implements Baseline.
+func (RECom) Supports([]fusion.FeatureInfo) error { return nil }
+
+// Measure implements Baseline.
+func (RECom) Measure(dev *gpusim.Device, features []fusion.FeatureInfo, batch *embedding.Batch) (float64, error) {
+	choices := make([]sched.Schedule, len(features))
+	for f := range features {
+		choices[f] = genericSchedule(1)
+	}
+	// First pass to learn the total block need, then distribute evenly:
+	// every feature gets the same allocation, workloads be damned.
+	probe, err := fusion.Compile(dev, features, choices, batch, fusion.Options{})
+	if err != nil {
+		return 0, err
+	}
+	totalNeed := 0
+	for _, n := range probe.BlockUsage() {
+		totalNeed += n
+	}
+	per := (totalNeed + len(features) - 1) / len(features)
+	if per < 1 {
+		per = 1
+	}
+	static := make([]int, len(features))
+	for f := range static {
+		static[f] = per
+	}
+	fu, err := fusion.Compile(dev, features, choices, batch, fusion.Options{
+		Mapping:      fusion.MapStaticAvg,
+		StaticBlocks: static,
+	})
+	if err != nil {
+		return 0, err
+	}
+	r, err := fu.Simulate()
+	if err != nil {
+		return 0, err
+	}
+	return r.Time + dev.KernelLaunchOverhead, nil
+}
+
+// TorchRec fuses everything with warp-per-sample parallelism sized by the
+// maximum embedding dimension.
+type TorchRec struct{}
+
+// Name implements Baseline.
+func (TorchRec) Name() string { return "TorchRec" }
+
+// Supports implements Baseline.
+func (TorchRec) Supports([]fusion.FeatureInfo) error { return nil }
+
+// Compile builds TorchRec's fused kernel for a batch; exposed so the Table II
+// counter comparison can inspect it.
+func (TorchRec) Compile(dev *gpusim.Device, features []fusion.FeatureInfo, batch *embedding.Batch) (*fusion.Fused, error) {
+	vec := vecForDim(maxDim(features))
+	choices := make([]sched.Schedule, len(features))
+	for f := range features {
+		choices[f] = genericSchedule(vec)
+	}
+	return fusion.Compile(dev, features, choices, batch, fusion.Options{})
+}
+
+// Measure implements Baseline.
+func (tr TorchRec) Measure(dev *gpusim.Device, features []fusion.FeatureInfo, batch *embedding.Batch) (float64, error) {
+	fu, err := tr.Compile(dev, features, batch)
+	if err != nil {
+		return 0, err
+	}
+	r, err := fu.Simulate()
+	if err != nil {
+		return 0, err
+	}
+	return r.Time + dev.KernelLaunchOverhead, nil
+}
+
+// HugeCTR fuses everything with one block per sample, features processed
+// sequentially inside the block. Embedding dimensions must be uniform.
+type HugeCTR struct{}
+
+// Name implements Baseline.
+func (HugeCTR) Name() string { return "HugeCTR" }
+
+// Supports implements Baseline.
+func (HugeCTR) Supports(features []fusion.FeatureInfo) error {
+	if len(features) == 0 {
+		return fmt.Errorf("baselines: HugeCTR: no features")
+	}
+	dim := features[0].Dim
+	for f := range features {
+		if features[f].Dim != dim {
+			return fmt.Errorf("baselines: HugeCTR requires a uniform embedding dimension, got %d and %d",
+				dim, features[f].Dim)
+		}
+	}
+	return nil
+}
+
+// Measure implements Baseline.
+func (h HugeCTR) Measure(dev *gpusim.Device, features []fusion.FeatureInfo, batch *embedding.Batch) (float64, error) {
+	if err := h.Supports(features); err != nil {
+		return 0, err
+	}
+	ws, err := fusion.AnalyzeBatch(features, batch)
+	if err != nil {
+		return 0, err
+	}
+	l2 := sched.L2Context{
+		CacheBytes:      float64(dev.L2SizeBytes),
+		WorkingSetBytes: fusion.WorkingSetBytes(features, ws),
+	}
+	inner := sched.BlockPerSample{Threads: 256, Vec: vecForDim(features[0].Dim)}
+	// One plan per feature (one block per sample each), then merge across
+	// features per sample: block s runs feature 0's sample s, then feature
+	// 1's, and so on — the sequential walk of HugeCTR's fused layer.
+	plans := make([]*sched.Plan, len(features))
+	for f := range features {
+		p, err := inner.Plan(&ws[f], dev, l2)
+		if err != nil {
+			return 0, err
+		}
+		plans[f] = p
+	}
+	n := batch.BatchSize()
+	blocks := make([]gpusim.BlockWork, n)
+	for s := 0; s < n; s++ {
+		var merged gpusim.BlockWork
+		var weight float64
+		for f := range plans {
+			b := plans[f].Blocks[s]
+			merged.CompCycles += b.CompCycles
+			merged.DRAMBytes += b.DRAMBytes
+			merged.L2Bytes += b.L2Bytes
+			merged.MemRequests += b.MemRequests
+			if b.Warps > merged.Warps {
+				merged.Warps = b.Warps
+			}
+			w := b.CompCycles
+			if w <= 0 {
+				w = 1
+			}
+			merged.ActiveFrac += b.ActiveFrac * w
+			merged.PredOffFrac += b.PredOffFrac * w
+			weight += w
+		}
+		if weight > 0 {
+			merged.ActiveFrac /= weight
+			merged.PredOffFrac /= weight
+		}
+		if merged.Warps == 0 {
+			merged.Warps = 1
+		}
+		// The block walks its features strictly sequentially, with a
+		// block-wide barrier and at least one exposed memory round trip
+		// per feature segment — the serialization that makes HugeCTR
+		// "rely on large embedding dimensions and batch sizes to saturate
+		// the GPU" (§VI-B). The stall is charged in issue-work units so
+		// the simulator's rate division recovers wall-clock stall time.
+		stallPerSegment := dev.DRAMLatencyCycles + 64
+		merged.CompCycles += float64(len(features)) * stallPerSegment *
+			float64(merged.Warps) * dev.PerWarpIssue
+		merged.Tag = -1
+		blocks[s] = merged
+	}
+	k := &gpusim.Kernel{
+		Name:      "hugectr_fused",
+		Resources: inner.Resources(features[0].Dim),
+		Blocks:    blocks,
+	}
+	r, err := gpusim.Simulate(dev, k)
+	if err != nil {
+		return 0, err
+	}
+	return r.Time + dev.KernelLaunchOverhead, nil
+}
+
+// All returns the four baselines in the paper's comparison order.
+func All() []Baseline {
+	return []Baseline{TensorFlow{}, RECom{}, HugeCTR{}, TorchRec{}}
+}

@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+)
+
+func benchModel(t *testing.T, uniformDim int) ([]fusion.FeatureInfo, *embedding.Batch) {
+	t.Helper()
+	specs := []datasynth.FeatureSpec{
+		{Name: "f0", Dim: 4, Rows: 4096, PF: datasynth.Fixed{K: 1}, Coverage: 1},
+		{Name: "f1", Dim: 8, Rows: 8192, PF: datasynth.Normal{Mu: 40, Sigma: 8}, Coverage: 1},
+		{Name: "f2", Dim: 32, Rows: 16384, PF: datasynth.Uniform{Lo: 1, Hi: 50}, Coverage: 0.7},
+		{Name: "f3", Dim: 64, Rows: 32768, PF: datasynth.Fixed{K: 80}, Coverage: 1},
+	}
+	if uniformDim > 0 {
+		for i := range specs {
+			specs[i].Dim = uniformDim
+		}
+	}
+	// Replicate to the many-features regime the baselines are compared in
+	// (HugeCTR's per-feature block reduction overhead and TensorFlow's
+	// launch overhead both scale with the feature count).
+	var reps []datasynth.FeatureSpec
+	for r := 0; r < 10; r++ {
+		for _, s := range specs {
+			c := s
+			c.Name = c.Name + string(rune('a'+r))
+			reps = append(reps, c)
+		}
+	}
+	specs = reps
+	cfg := &datasynth.ModelConfig{Name: "bl", Seed: 51, Features: specs}
+	rng := rand.New(rand.NewSource(51))
+	batch, err := datasynth.GenerateBatch(cfg, 256, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([]fusion.FeatureInfo, len(specs))
+	for f := range specs {
+		features[f] = fusion.FeatureInfo{Name: specs[f].Name, Dim: specs[f].Dim, TableRows: specs[f].Rows, Pool: embedding.PoolSum}
+	}
+	return features, batch
+}
+
+func TestAllBaselinesMeasure(t *testing.T) {
+	features, batch := benchModel(t, 8) // uniform dim so HugeCTR runs too
+	dev := gpusim.V100()
+	for _, b := range All() {
+		if err := b.Supports(features); err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		sec, err := b.Measure(dev, features, batch)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if sec <= 0 {
+			t.Errorf("%s: non-positive time %g", b.Name(), sec)
+		}
+	}
+}
+
+func TestHugeCTRRequiresUniformDim(t *testing.T) {
+	features, batch := benchModel(t, 0)
+	dev := gpusim.V100()
+	h := HugeCTR{}
+	if err := h.Supports(features); err == nil {
+		t.Error("heterogeneous dims accepted by HugeCTR")
+	}
+	if _, err := h.Measure(dev, features, batch); err == nil {
+		t.Error("HugeCTR measured a heterogeneous-dim model")
+	}
+}
+
+// TensorFlow (no fusion) must be the slowest system on a many-feature model:
+// it pays per-feature launch overhead and underutilizes the device.
+func TestTensorFlowSlowest(t *testing.T) {
+	features, batch := benchModel(t, 8)
+	dev := gpusim.V100()
+	tf, err := TensorFlow{}.Measure(dev, features, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TorchRec{}.Measure(dev, features, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf <= tr {
+		t.Errorf("TensorFlow (%g) should be slower than TorchRec (%g)", tf, tr)
+	}
+}
+
+// TorchRec is the best baseline in the paper; it should beat RECom's static
+// even distribution and HugeCTR's sequential blocks on this workload.
+func TestBaselineOrderingMatchesPaper(t *testing.T) {
+	features, batch := benchModel(t, 8)
+	dev := gpusim.V100()
+	tr, err := TorchRec{}.Measure(dev, features, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := HugeCTR{}.Measure(dev, features, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr >= hc {
+		t.Errorf("TorchRec (%g) should beat HugeCTR (%g)", tr, hc)
+	}
+}
+
+func TestVecForDim(t *testing.T) {
+	cases := map[int]int{4: 4, 8: 4, 6: 2, 3: 1, 128: 4, 2: 2}
+	for dim, want := range cases {
+		if got := vecForDim(dim); got != want {
+			t.Errorf("vecForDim(%d) = %d, want %d", dim, got, want)
+		}
+	}
+}
+
+func TestMaxDim(t *testing.T) {
+	features, _ := benchModel(t, 0)
+	if got := maxDim(features); got != 64 {
+		t.Errorf("maxDim = %d, want 64", got)
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	want := []string{"TensorFlow", "RECom", "HugeCTR", "TorchRec"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d systems", len(all))
+	}
+	for i, b := range all {
+		if b.Name() != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, b.Name(), want[i])
+		}
+	}
+}
+
+func TestTorchRecCompileExposesKernel(t *testing.T) {
+	features, batch := benchModel(t, 8)
+	dev := gpusim.V100()
+	fu, err := TorchRec{}.Compile(dev, features, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fu.Kernel.Blocks) == 0 {
+		t.Error("TorchRec fused kernel has no blocks")
+	}
+	// All features share the same uniform schedule.
+	names := map[string]bool{}
+	for _, c := range fu.Choices {
+		names[c.Name()] = true
+	}
+	if len(names) != 1 {
+		t.Errorf("TorchRec should use one uniform schedule, got %v", names)
+	}
+}

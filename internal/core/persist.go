@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/tuner"
+)
+
+// tunedFile is the on-disk form of a tuning result: schedules travel as
+// their Name() strings and are reconstructed through sched.ParseSchedule.
+type tunedFile struct {
+	Version   int       `json:"version"`
+	Device    string    `json:"device"`
+	Features  int       `json:"features"`
+	Occupancy int       `json:"occupancy"`
+	Latency   float64   `json:"latency_s"`
+	Choices   []string  `json:"choices"`
+	MeanPF    []float64 `json:"mean_pf"`
+}
+
+const tunedFileVersion = 1
+
+// SaveTuned writes the current tuning result to path as JSON, so a serving
+// process can load schedules tuned offline (the paper tunes on a DGX, serves
+// elsewhere, and re-tunes every few days).
+func (r *RecFlex) SaveTuned(path string) error {
+	r.mu.RLock()
+	tuned := r.tuned
+	baseline := r.baseline
+	r.mu.RUnlock()
+	if tuned == nil {
+		return errNotTuned
+	}
+	tf := tunedFile{
+		Version:   tunedFileVersion,
+		Device:    r.dev.Name,
+		Features:  len(r.model.Features),
+		Occupancy: tuned.Occupancy,
+		Latency:   tuned.Latency,
+	}
+	for _, c := range tuned.Choices {
+		tf.Choices = append(tf.Choices, c.Name())
+	}
+	for _, p := range baseline {
+		tf.MeanPF = append(tf.MeanPF, p.meanPF)
+	}
+	data, err := json.MarshalIndent(&tf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTuned installs a tuning result previously written by SaveTuned. The
+// file must match this instance's device and feature count.
+func (r *RecFlex) LoadTuned(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf tunedFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	if tf.Version != tunedFileVersion {
+		return fmt.Errorf("core: %s has version %d, want %d", path, tf.Version, tunedFileVersion)
+	}
+	if tf.Device != r.dev.Name {
+		return fmt.Errorf("core: %s was tuned for %s, this instance targets %s", path, tf.Device, r.dev.Name)
+	}
+	if tf.Features != len(r.model.Features) || len(tf.Choices) != len(r.model.Features) {
+		return fmt.Errorf("core: %s covers %d features (%d choices), model has %d",
+			path, tf.Features, len(tf.Choices), len(r.model.Features))
+	}
+	choices := make([]sched.Schedule, len(tf.Choices))
+	idx := make([]int, len(tf.Choices))
+	for f, name := range tf.Choices {
+		s, err := sched.ParseSchedule(name)
+		if err != nil {
+			return fmt.Errorf("core: feature %d: %w", f, err)
+		}
+		choices[f] = s
+		idx[f] = findCandidate(r.model.Candidates[f], name)
+	}
+	res := &tuner.Result{
+		Choices:   choices,
+		ChoiceIdx: idx,
+		Occupancy: tf.Occupancy,
+		Latency:   tf.Latency,
+	}
+	var baseline []featureProfile
+	if len(tf.MeanPF) == len(r.model.Features) {
+		baseline = make([]featureProfile, len(tf.MeanPF))
+		for f, m := range tf.MeanPF {
+			baseline[f].meanPF = m
+		}
+	}
+	r.mu.Lock()
+	r.tuned = res
+	r.baseline = baseline
+	r.mu.Unlock()
+	return nil
+}
+
+// findCandidate locates a schedule name in a candidate set (-1 if the loaded
+// schedule is not among the instance's candidates — legal, since candidate
+// sets may have changed between tuning and serving).
+func findCandidate(candidates []sched.Schedule, name string) int {
+	for i, c := range candidates {
+		if c.Name() == name {
+			return i
+		}
+	}
+	return -1
+}

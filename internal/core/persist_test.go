@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+func TestSaveLoadTunedRoundTrip(t *testing.T) {
+	rf, cfg := tunedInstance(t)
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	if err := rf.SaveTuned(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh instance: load instead of tuning.
+	fresh := New(gpusim.V100(), rf.Features())
+	if err := fresh.LoadTuned(path); err != nil {
+		t.Fatal(err)
+	}
+	got, want := fresh.Tuned(), rf.Tuned()
+	if got.Occupancy != want.Occupancy {
+		t.Errorf("occupancy %d, want %d", got.Occupancy, want.Occupancy)
+	}
+	for f := range want.Choices {
+		if got.Choices[f].Name() != want.Choices[f].Name() {
+			t.Errorf("feature %d: %s, want %s", f, got.Choices[f].Name(), want.Choices[f].Name())
+		}
+	}
+
+	// The loaded instance must produce identical kernels.
+	rng := rand.New(rand.NewSource(5))
+	batch, err := datasynth.GenerateBatch(cfg, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rf.Measure(rf.Device(), rf.Features(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Measure(fresh.Device(), fresh.Features(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("loaded instance measures %g, tuned %g", b, a)
+	}
+
+	// Drift-detection state also travels: a same-distribution batch must
+	// not trigger a re-tune on the loaded instance.
+	same, err := datasynth.GenerateBatch(cfg, 128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift, err := fresh.ShouldRetune([]*embedding.Batch{same})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift {
+		t.Error("loaded instance flagged the tuning distribution as drifted")
+	}
+}
+
+func TestLoadTunedRejectsMismatches(t *testing.T) {
+	rf, _ := tunedInstance(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tuned.json")
+	if err := rf.SaveTuned(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong device.
+	other := New(gpusim.A100(), rf.Features())
+	if err := other.LoadTuned(path); err == nil {
+		t.Error("device mismatch accepted")
+	}
+	// Wrong feature count.
+	short := New(gpusim.V100(), rf.Features()[:3])
+	if err := short.LoadTuned(path); err == nil {
+		t.Error("feature-count mismatch accepted")
+	}
+	// Corrupt JSON.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(gpusim.V100(), rf.Features())
+	if err := fresh.LoadTuned(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	if err := fresh.LoadTuned(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Saving before tuning fails.
+	if err := fresh.SaveTuned(filepath.Join(dir, "x.json")); err == nil {
+		t.Error("saving untuned instance accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package core assembles RecFlex itself: the paper's primary contribution as
+// a usable system. A core.RecFlex owns the model description and candidate
+// schedules, tunes them on historical data with the interference-aware tuner,
+// compiles fused kernels with runtime thread mapping for every incoming
+// batch, and tracks workload drift to decide when periodic re-tuning is due
+// (§IV-A3: "we re-tune the schedules periodically to handle the distribution
+// shifts").
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+	"repro/internal/tuner"
+)
+
+// RecFlex is a tuned embedding-layer optimizer for one recommendation model
+// on one device. Create it with New, call Tune once on sampled historical
+// batches, then CompileBatch/Measure per request. Safe for concurrent
+// Measure/CompileBatch after tuning.
+type RecFlex struct {
+	dev   *gpusim.Device
+	model *tuner.Model
+
+	mu    sync.RWMutex
+	tuned *tuner.Result
+	// Workload profile captured at tuning time, for drift detection.
+	baseline []featureProfile
+}
+
+type featureProfile struct {
+	meanPF float64
+}
+
+// New creates a RecFlex instance with the default candidate sets.
+func New(dev *gpusim.Device, features []fusion.FeatureInfo) *RecFlex {
+	return &RecFlex{dev: dev, model: tuner.DefaultModel(features)}
+}
+
+// NewWithCandidates creates a RecFlex instance with user-provided candidate
+// sets (the paper's customized schedule templates).
+func NewWithCandidates(dev *gpusim.Device, features []fusion.FeatureInfo, candidates [][]sched.Schedule) (*RecFlex, error) {
+	m := &tuner.Model{Features: features, Candidates: candidates}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &RecFlex{dev: dev, model: m}, nil
+}
+
+// Features returns the model description.
+func (r *RecFlex) Features() []fusion.FeatureInfo { return r.model.Features }
+
+// Device returns the target device.
+func (r *RecFlex) Device() *gpusim.Device { return r.dev }
+
+// Tuned returns the current tuning result, or nil before Tune.
+func (r *RecFlex) Tuned() *tuner.Result {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tuned
+}
+
+// Tune runs the two-stage interference-simulated search on the historical
+// batches and installs the result.
+func (r *RecFlex) Tune(batches []*embedding.Batch, opts tuner.Options) error {
+	res, err := tuner.Tune(r.dev, r.model, batches, opts)
+	if err != nil {
+		return err
+	}
+	profile, err := r.profile(batches)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.tuned = res
+	r.baseline = profile
+	r.mu.Unlock()
+	return nil
+}
+
+// errNotTuned is returned by batch operations before Tune has run.
+var errNotTuned = fmt.Errorf("core: RecFlex has not been tuned; call Tune first")
+
+// CompileBatch builds the fused kernel for one input batch with the tuned
+// schedules, tuned occupancy and runtime thread mapping.
+func (r *RecFlex) CompileBatch(batch *embedding.Batch) (*fusion.Fused, error) {
+	r.mu.RLock()
+	tuned := r.tuned
+	r.mu.RUnlock()
+	if tuned == nil {
+		return nil, errNotTuned
+	}
+	return fusion.Compile(r.dev, r.model.Features, tuned.Choices, batch, fusion.Options{
+		TargetBlocksPerSM: tuned.Occupancy,
+	})
+}
+
+// Name implements baselines.Baseline.
+func (r *RecFlex) Name() string { return "RecFlex" }
+
+// Supports implements baselines.Baseline.
+func (r *RecFlex) Supports([]fusion.FeatureInfo) error {
+	if r.Tuned() == nil {
+		return errNotTuned
+	}
+	return nil
+}
+
+// Measure implements baselines.Baseline: the simulated fused-kernel time of
+// one batch (launch overhead included, matching the baseline accounting).
+func (r *RecFlex) Measure(dev *gpusim.Device, _ []fusion.FeatureInfo, batch *embedding.Batch) (float64, error) {
+	if dev.Name != r.dev.Name {
+		return 0, fmt.Errorf("core: RecFlex was tuned for %s, asked to run on %s", r.dev.Name, dev.Name)
+	}
+	fu, err := r.CompileBatch(batch)
+	if err != nil {
+		return 0, err
+	}
+	res, err := fu.Simulate()
+	if err != nil {
+		return 0, err
+	}
+	return res.Time + dev.KernelLaunchOverhead, nil
+}
+
+// Run compiles, simulates and functionally executes one batch.
+func (r *RecFlex) Run(tables []*embedding.Table, batch *embedding.Batch) ([][]float32, *gpusim.SimResult, error) {
+	fu, err := r.CompileBatch(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fu.Run(tables, batch)
+}
+
+// profile captures per-feature mean pooling factors over batches.
+func (r *RecFlex) profile(batches []*embedding.Batch) ([]featureProfile, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("core: no batches to profile")
+	}
+	sums := make([]float64, len(r.model.Features))
+	counts := make([]float64, len(r.model.Features))
+	for _, b := range batches {
+		ws, err := fusion.AnalyzeBatch(r.model.Features, b)
+		if err != nil {
+			return nil, err
+		}
+		for f := range ws {
+			sums[f] += float64(ws[f].TotalRows)
+			counts[f] += float64(ws[f].BatchSize)
+		}
+	}
+	out := make([]featureProfile, len(sums))
+	for f := range sums {
+		if counts[f] > 0 {
+			out[f].meanPF = sums[f] / counts[f]
+		}
+	}
+	return out, nil
+}
+
+// DriftThreshold is the relative mean-pooling-factor change that triggers a
+// re-tune recommendation.
+const DriftThreshold = 0.5
+
+// ShouldRetune reports whether the recent batches' workload distribution has
+// drifted far enough from the tuning-time profile that the schedules are
+// likely stale. It implements the paper's periodic re-tuning trigger as a
+// statistic rather than a wall clock, so tests can exercise it.
+func (r *RecFlex) ShouldRetune(recent []*embedding.Batch) (bool, error) {
+	r.mu.RLock()
+	base := r.baseline
+	r.mu.RUnlock()
+	if base == nil {
+		return true, nil
+	}
+	profile, err := r.profile(recent)
+	if err != nil {
+		return false, err
+	}
+	for f := range profile {
+		old := base[f].meanPF
+		if old < 1 {
+			old = 1
+		}
+		if math.Abs(profile[f].meanPF-base[f].meanPF)/old > DriftThreshold {
+			return true, nil
+		}
+	}
+	return false, nil
+}

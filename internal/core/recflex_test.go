@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+	"repro/internal/tuner"
+)
+
+func coreModel(t *testing.T) ([]fusion.FeatureInfo, *datasynth.ModelConfig) {
+	t.Helper()
+	core := []datasynth.FeatureSpec{
+		{Name: "oh4", Dim: 4, Rows: 2048, PF: datasynth.Fixed{K: 1}, Coverage: 1},
+		{Name: "mh8", Dim: 8, Rows: 2048, PF: datasynth.Normal{Mu: 40, Sigma: 10}, Coverage: 1},
+		{Name: "mh64", Dim: 64, Rows: 2048, PF: datasynth.Fixed{K: 60}, Coverage: 1},
+	}
+	cfg := &datasynth.ModelConfig{Name: "core", Seed: 88}
+	for r := 0; r < 4; r++ {
+		for _, s := range core {
+			c := s
+			c.Name = c.Name + string(rune('a'+r))
+			cfg.Features = append(cfg.Features, c)
+		}
+	}
+	features := make([]fusion.FeatureInfo, len(cfg.Features))
+	for f := range features {
+		features[f] = fusion.FeatureInfo{
+			Name: cfg.Features[f].Name, Dim: cfg.Features[f].Dim,
+			TableRows: cfg.Features[f].Rows, Pool: embedding.PoolSum,
+		}
+	}
+	return features, cfg
+}
+
+func tunedInstance(t *testing.T) (*RecFlex, *datasynth.ModelConfig) {
+	t.Helper()
+	features, cfg := coreModel(t)
+	rf := New(gpusim.V100(), features)
+	rng := rand.New(rand.NewSource(88))
+	var batches []*embedding.Batch
+	for i := 0; i < 2; i++ {
+		b, err := datasynth.GenerateBatch(cfg, 128, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, b)
+	}
+	if err := rf.Tune(batches, tuner.Options{Occupancies: []int{2, 4, 8}, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	return rf, cfg
+}
+
+func TestRecFlexLifecycle(t *testing.T) {
+	rf, cfg := tunedInstance(t)
+	if rf.Tuned() == nil {
+		t.Fatal("tuned state missing")
+	}
+	if rf.Name() != "RecFlex" {
+		t.Errorf("Name = %q", rf.Name())
+	}
+	if err := rf.Supports(rf.Features()); err != nil {
+		t.Errorf("tuned instance should support its model: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch, err := datasynth.GenerateBatch(cfg, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := rf.Measure(rf.Device(), rf.Features(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Errorf("measured time %g", sec)
+	}
+}
+
+func TestRecFlexNotTunedErrors(t *testing.T) {
+	features, cfg := coreModel(t)
+	rf := New(gpusim.V100(), features)
+	if err := rf.Supports(features); err == nil {
+		t.Error("untuned instance claims support")
+	}
+	rng := rand.New(rand.NewSource(9))
+	batch, err := datasynth.GenerateBatch(cfg, 32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.CompileBatch(batch); err == nil {
+		t.Error("CompileBatch before Tune accepted")
+	}
+	if _, err := rf.Measure(rf.Device(), features, batch); err == nil {
+		t.Error("Measure before Tune accepted")
+	}
+}
+
+func TestRecFlexWrongDeviceRejected(t *testing.T) {
+	rf, cfg := tunedInstance(t)
+	rng := rand.New(rand.NewSource(10))
+	batch, err := datasynth.GenerateBatch(cfg, 32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.Measure(gpusim.A100(), rf.Features(), batch); err == nil {
+		t.Error("measuring on a different device than tuned accepted")
+	}
+}
+
+func TestRecFlexRunCorrectness(t *testing.T) {
+	rf, cfg := tunedInstance(t)
+	tables, err := datasynth.BuildTables(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	batch, err := datasynth.GenerateBatch(cfg, 48, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, res, err := rf.Run(tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("simulated time must be positive")
+	}
+	want, err := fusion.ReferenceOutputs(rf.Features(), tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range want {
+		for i := range want[f] {
+			if outs[f][i] != want[f][i] {
+				t.Fatalf("feature %d out[%d] = %g, want %g", f, i, outs[f][i], want[f][i])
+			}
+		}
+	}
+}
+
+func TestShouldRetuneDetectsDrift(t *testing.T) {
+	rf, cfg := tunedInstance(t)
+	rng := rand.New(rand.NewSource(12))
+	same, err := datasynth.GenerateBatch(cfg, 128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := rf.ShouldRetune([]*embedding.Batch{same})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Error("same distribution flagged as drift")
+	}
+	// Shift the distribution: multiply every pooling factor by ~4.
+	shiftCfg := &datasynth.ModelConfig{Name: "shift", Seed: cfg.Seed, Features: append([]datasynth.FeatureSpec(nil), cfg.Features...)}
+	for i := range shiftCfg.Features {
+		shiftCfg.Features[i].PF = datasynth.Fixed{K: 200}
+	}
+	shifted, err := datasynth.GenerateBatch(shiftCfg, 128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err = rf.ShouldRetune([]*embedding.Batch{shifted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted {
+		t.Error("4x pooling-factor shift not flagged as drift")
+	}
+}
+
+func TestNewWithCandidates(t *testing.T) {
+	features, _ := coreModel(t)
+	cands := make([][]sched.Schedule, len(features))
+	for f := range cands {
+		cands[f] = []sched.Schedule{sched.SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1}}
+	}
+	rf, err := NewWithCandidates(gpusim.V100(), features, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf == nil {
+		t.Fatal("nil instance")
+	}
+	if _, err := NewWithCandidates(gpusim.V100(), features, cands[:1]); err == nil {
+		t.Error("mismatched candidate sets accepted")
+	}
+}

@@ -1,0 +1,284 @@
+package datasynth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FeatureSpec describes one feature field: its embedding-table shape and the
+// statistical behaviour of its lookup workload.
+type FeatureSpec struct {
+	Name string
+	Dim  int // embedding dimension
+	Rows int // table rows (ID space)
+
+	// PF is the pooling-factor distribution; Fixed{1} denotes one-hot.
+	PF Dist
+
+	// Coverage is the probability a sample carries this feature at all.
+	// Samples that miss the feature have pooling factor 0 (the "absence of
+	// features" dynamics of §II-C).
+	Coverage float64
+
+	// IDs selects the row-ID distribution.
+	IDs IDDist
+}
+
+// OneHot reports whether the feature always has exactly one lookup ID.
+func (f *FeatureSpec) OneHot() bool {
+	fixed, ok := f.PF.(Fixed)
+	return ok && fixed.K == 1 && f.Coverage >= 1
+}
+
+// Validate checks the spec.
+func (f *FeatureSpec) Validate() error {
+	switch {
+	case f.Dim <= 0:
+		return fmt.Errorf("datasynth: feature %q: dim must be positive, got %d", f.Name, f.Dim)
+	case f.Rows <= 1:
+		return fmt.Errorf("datasynth: feature %q: rows must be > 1, got %d", f.Name, f.Rows)
+	case f.PF == nil:
+		return fmt.Errorf("datasynth: feature %q: nil pooling-factor distribution", f.Name)
+	case f.Coverage < 0 || f.Coverage > 1:
+		return fmt.Errorf("datasynth: feature %q: coverage %g outside [0,1]", f.Name, f.Coverage)
+	}
+	return nil
+}
+
+// ModelConfig is a full synthetic model: a list of feature specs plus the
+// seed that makes generation reproducible.
+type ModelConfig struct {
+	Name     string
+	Features []FeatureSpec
+	Seed     int64
+}
+
+// Validate checks every feature spec.
+func (m *ModelConfig) Validate() error {
+	if len(m.Features) == 0 {
+		return fmt.Errorf("datasynth: model %q has no features", m.Name)
+	}
+	for i := range m.Features {
+		if err := m.Features[i].Validate(); err != nil {
+			return fmt.Errorf("datasynth: model %q feature %d: %w", m.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// CountHot returns the number of one-hot and multi-hot features (Table I).
+func (m *ModelConfig) CountHot() (oneHot, multiHot int) {
+	for i := range m.Features {
+		if m.Features[i].OneHot() {
+			oneHot++
+		} else {
+			multiHot++
+		}
+	}
+	return oneHot, multiHot
+}
+
+// DimRange returns the smallest and largest embedding dimension (Table I).
+func (m *ModelConfig) DimRange() (lo, hi int) {
+	lo, hi = m.Features[0].Dim, m.Features[0].Dim
+	for i := range m.Features {
+		d := m.Features[i].Dim
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	return lo, hi
+}
+
+// dimChoices is the embedding-dimension palette of models A-C, skewed toward
+// small dimensions as in the paper's Figure 2(a) ("single digits to
+// hundreds").
+var dimChoices = []struct {
+	dim    int
+	weight int
+}{
+	{4, 25}, {8, 20}, {16, 15}, {32, 15}, {64, 15}, {128, 10},
+}
+
+func pickDim(rng *rand.Rand) int {
+	total := 0
+	for _, c := range dimChoices {
+		total += c.weight
+	}
+	r := rng.Intn(total)
+	for _, c := range dimChoices {
+		if r < c.weight {
+			return c.dim
+		}
+		r -= c.weight
+	}
+	return dimChoices[len(dimChoices)-1].dim
+}
+
+// pickRows draws a table row count between 2^10 and 2^17.
+func pickRows(rng *rand.Rand) int {
+	return 1 << (10 + rng.Intn(8))
+}
+
+// pickMultiHotPF draws a heterogeneous multi-hot pooling-factor distribution:
+// a mix of fixed, uniform, normal-with-coverage and heavy-tailed lognormal
+// behaviours so per-feature means span single digits to hundreds.
+func pickMultiHotPF(rng *rand.Rand) (Dist, float64) {
+	switch rng.Intn(4) {
+	case 0:
+		return Fixed{K: 2 + rng.Intn(99)}, 1
+	case 1:
+		return Uniform{Lo: 1, Hi: 2 + rng.Intn(199)}, 1
+	case 2:
+		mean := 10 + rng.Float64()*190
+		sigma := mean * (0.1 + rng.Float64()*0.5)
+		coverage := 0.3 + rng.Float64()*0.7
+		return Normal{Mu: mean, Sigma: sigma}, coverage
+	default:
+		mu := 1.0 + rng.Float64()*3.0 // median e..e^4
+		sigma := 0.5 + rng.Float64()*1.0
+		return LogNormal{Mu: mu, Sigma: sigma, Max: 800}, 1
+	}
+}
+
+// buildMixedModel constructs a Table-I style model with the given one-hot /
+// multi-hot split. fixedDim <= 0 draws dims from the heterogeneous palette.
+func buildMixedModel(name string, oneHot, multiHot, fixedDim int, seed int64) *ModelConfig {
+	rng := rand.New(rand.NewSource(seed))
+	n := oneHot + multiHot
+	cfg := &ModelConfig{Name: name, Seed: seed, Features: make([]FeatureSpec, 0, n)}
+	for i := 0; i < n; i++ {
+		dim := fixedDim
+		if dim <= 0 {
+			dim = pickDim(rng)
+		}
+		spec := FeatureSpec{
+			Name: fmt.Sprintf("%s_f%04d", name, i),
+			Dim:  dim,
+			Rows: pickRows(rng),
+		}
+		if i < oneHot {
+			spec.PF = Fixed{K: 1}
+			spec.Coverage = 1
+		} else {
+			spec.PF, spec.Coverage = pickMultiHotPF(rng)
+		}
+		if rng.Intn(3) == 0 {
+			spec.IDs = IDZipf
+		}
+		cfg.Features = append(cfg.Features, spec)
+	}
+	// Interleave one-hot and multi-hot features the way production models
+	// mix them, so fused-kernel block runs alternate workload types.
+	rng.Shuffle(len(cfg.Features), func(i, j int) {
+		cfg.Features[i], cfg.Features[j] = cfg.Features[j], cfg.Features[i]
+	})
+	return cfg
+}
+
+// ModelA returns evaluation model A: 1,000 features (500 one-hot, 500
+// multi-hot), dims 4-128.
+func ModelA() *ModelConfig { return buildMixedModel("A", 500, 500, 0, 1001) }
+
+// ModelB returns evaluation model B: 1,200 features (1,000 one-hot, 200
+// multi-hot), dims 4-128.
+func ModelB() *ModelConfig { return buildMixedModel("B", 1000, 200, 0, 1002) }
+
+// ModelC returns evaluation model C: 800 features, all multi-hot, dims 4-128.
+func ModelC() *ModelConfig { return buildMixedModel("C", 0, 800, 0, 1003) }
+
+// ModelD returns evaluation model D: 1,000 features (500/500) with a fixed
+// embedding dimension of 8 (evaluable by HugeCTR).
+func ModelD() *ModelConfig { return buildMixedModel("D", 500, 500, 8, 1004) }
+
+// ModelE returns evaluation model E: like D but with dimension 32. D and E
+// share their input dataset by construction (same seed and PF draws).
+func ModelE() *ModelConfig { return buildMixedModel("E", 500, 500, 32, 1004) }
+
+// Scalability10k returns the extra dataset with an extremely large number of
+// features (10,000) used in §VI-B to verify scalability.
+func Scalability10k() *ModelConfig { return buildMixedModel("scale10k", 5000, 5000, 0, 1010) }
+
+// MLPerfLike returns a 26-feature multi-hot dataset with low inter-feature
+// heterogeneity, mirroring the MLPerf DLRM v2 Criteo-based setup: every
+// feature has the same dimension and near-identical pooling behaviour.
+func MLPerfLike() *ModelConfig {
+	rng := rand.New(rand.NewSource(1026))
+	cfg := &ModelConfig{Name: "mlperf", Seed: 1026}
+	for i := 0; i < 26; i++ {
+		cfg.Features = append(cfg.Features, FeatureSpec{
+			Name:     fmt.Sprintf("mlperf_f%02d", i),
+			Dim:      128,
+			Rows:     1 << (12 + rng.Intn(3)),
+			PF:       Fixed{K: 20},
+			Coverage: 1,
+			IDs:      IDUniform,
+		})
+	}
+	return cfg
+}
+
+// Scaled returns a copy of cfg keeping only every k-th feature, preserving
+// the one-hot/multi-hot mix. It lets tests and benchmarks run the Table-I
+// models at reduced feature counts without changing their character.
+func Scaled(cfg *ModelConfig, keepOneIn int) *ModelConfig {
+	if keepOneIn <= 1 {
+		return cfg
+	}
+	out := &ModelConfig{Name: fmt.Sprintf("%s/%d", cfg.Name, keepOneIn), Seed: cfg.Seed}
+	for i := range cfg.Features {
+		if i%keepOneIn == 0 {
+			out.Features = append(out.Features, cfg.Features[i])
+		}
+	}
+	return out
+}
+
+// StandardModels returns the five Table-I models in order.
+func StandardModels() []*ModelConfig {
+	return []*ModelConfig{ModelA(), ModelB(), ModelC(), ModelD(), ModelE()}
+}
+
+// Drifted returns a copy of cfg whose multi-hot pooling-factor distributions
+// are scaled by factor — the workload distribution shift the paper re-tunes
+// for periodically (§IV-A3: "we re-tune the schedules periodically (e.g.,
+// several days) to handle the distribution shifts"). One-hot features stay
+// one-hot; factor 1 returns an identical copy.
+func Drifted(cfg *ModelConfig, factor float64) *ModelConfig {
+	out := &ModelConfig{
+		Name:     fmt.Sprintf("%s*%.2g", cfg.Name, factor),
+		Seed:     cfg.Seed,
+		Features: append([]FeatureSpec(nil), cfg.Features...),
+	}
+	if factor <= 0 {
+		factor = 1
+	}
+	for i := range out.Features {
+		if out.Features[i].OneHot() {
+			continue
+		}
+		switch d := out.Features[i].PF.(type) {
+		case Fixed:
+			k := int(math.Round(float64(d.K) * factor))
+			if k < 1 {
+				k = 1
+			}
+			out.Features[i].PF = Fixed{K: k}
+		case Uniform:
+			hi := int(math.Round(float64(d.Hi) * factor))
+			if hi < d.Lo {
+				hi = d.Lo
+			}
+			out.Features[i].PF = Uniform{Lo: d.Lo, Hi: hi}
+		case Normal:
+			out.Features[i].PF = Normal{Mu: d.Mu * factor, Sigma: d.Sigma * factor}
+		case LogNormal:
+			out.Features[i].PF = LogNormal{Mu: d.Mu + math.Log(factor), Sigma: d.Sigma, Max: d.Max}
+		}
+	}
+	return out
+}

@@ -1,0 +1,480 @@
+package datasynth
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dists := []Dist{
+		Fixed{K: 7},
+		Uniform{Lo: 1, Hi: 99},
+		Normal{Mu: 50, Sigma: 10},
+		LogNormal{Mu: 2, Sigma: 0.5},
+	}
+	const n = 200000
+	for _, d := range dists {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(d.Sample(rng))
+			if v < 0 {
+				t.Fatalf("%s: negative sample %g", d, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		std := math.Sqrt(sumSq/n - mean*mean)
+		if rel := math.Abs(mean-d.Mean()) / (d.Mean() + 1); rel > 0.05 {
+			t.Errorf("%s: empirical mean %.2f vs declared %.2f", d, mean, d.Mean())
+		}
+		if d.Std() > 1 {
+			if rel := math.Abs(std-d.Std()) / d.Std(); rel > 0.15 {
+				t.Errorf("%s: empirical std %.2f vs declared %.2f", d, std, d.Std())
+			}
+		}
+	}
+}
+
+func TestFixedDistDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Fixed{K: 3}
+	for i := 0; i < 10; i++ {
+		if d.Sample(rng) != 3 {
+			t.Fatal("Fixed must always return K")
+		}
+	}
+	u := Uniform{Lo: 5, Hi: 5}
+	if u.Sample(rng) != 5 {
+		t.Error("degenerate uniform must return Lo")
+	}
+	inv := Uniform{Lo: 9, Hi: 3}
+	if u.Sample(rng) != 5 || inv.Sample(rng) != 9 {
+		t.Error("inverted uniform must return Lo")
+	}
+}
+
+func TestLogNormalClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := LogNormal{Mu: 5, Sigma: 2, Max: 100}
+	for i := 0; i < 5000; i++ {
+		if v := d.Sample(rng); v > 100 {
+			t.Fatalf("clamped lognormal returned %d", v)
+		}
+	}
+}
+
+func TestNormalCoverageViaGenerate(t *testing.T) {
+	cfg := &ModelConfig{Name: "cov", Seed: 4, Features: []FeatureSpec{{
+		Name: "f", Dim: 8, Rows: 100, PF: Fixed{K: 5}, Coverage: 0.3,
+	}}}
+	rng := rand.New(rand.NewSource(4))
+	zeros, total := 0, 0
+	for i := 0; i < 20; i++ {
+		b, err := GenerateBatch(cfg, 500, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := &b.Features[0]
+		for s := 0; s < fb.BatchSize(); s++ {
+			if fb.PoolingFactor(s) == 0 {
+				zeros++
+			}
+			total++
+		}
+	}
+	frac := float64(zeros) / float64(total)
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Errorf("absent fraction %.3f, want ~0.70", frac)
+	}
+}
+
+func TestTableIModelShapes(t *testing.T) {
+	cases := []struct {
+		cfg              *ModelConfig
+		features, oneHot int
+		dimLo, dimHi     int
+	}{
+		{ModelA(), 1000, 500, 4, 128},
+		{ModelB(), 1200, 1000, 4, 128},
+		{ModelC(), 800, 0, 4, 128},
+		{ModelD(), 1000, 500, 8, 8},
+		{ModelE(), 1000, 500, 32, 32},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err != nil {
+			t.Fatalf("model %s: %v", c.cfg.Name, err)
+		}
+		if got := len(c.cfg.Features); got != c.features {
+			t.Errorf("model %s: %d features, want %d", c.cfg.Name, got, c.features)
+		}
+		oneHot, multiHot := c.cfg.CountHot()
+		if oneHot != c.oneHot {
+			t.Errorf("model %s: %d one-hot, want %d", c.cfg.Name, oneHot, c.oneHot)
+		}
+		if oneHot+multiHot != c.features {
+			t.Errorf("model %s: hot counts do not sum", c.cfg.Name)
+		}
+		lo, hi := c.cfg.DimRange()
+		if lo < c.dimLo || hi > c.dimHi {
+			t.Errorf("model %s: dim range [%d,%d], want within [%d,%d]", c.cfg.Name, lo, hi, c.dimLo, c.dimHi)
+		}
+	}
+}
+
+func TestModelBuildersDeterministic(t *testing.T) {
+	a1, a2 := ModelA(), ModelA()
+	for i := range a1.Features {
+		if a1.Features[i] != a2.Features[i] {
+			t.Fatalf("ModelA not deterministic at feature %d", i)
+		}
+	}
+}
+
+func TestScalabilityAndMLPerfConfigs(t *testing.T) {
+	s := Scalability10k()
+	if len(s.Features) != 10000 {
+		t.Errorf("scalability model has %d features, want 10000", len(s.Features))
+	}
+	m := MLPerfLike()
+	if len(m.Features) != 26 {
+		t.Errorf("mlperf model has %d features, want 26", len(m.Features))
+	}
+	for i := range m.Features {
+		if m.Features[i].Dim != 128 {
+			t.Errorf("mlperf feature %d dim %d, want uniform 128", i, m.Features[i].Dim)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	a := ModelA()
+	s := Scaled(a, 10)
+	if len(s.Features) != 100 {
+		t.Errorf("scaled features = %d, want 100", len(s.Features))
+	}
+	if same := Scaled(a, 1); same != a {
+		t.Error("Scaled with k<=1 should return the original config")
+	}
+}
+
+func TestGenerateBatchValid(t *testing.T) {
+	cfg := Scaled(ModelA(), 20) // 50 features
+	rng := rand.New(rand.NewSource(9))
+	b, err := GenerateBatch(cfg, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BatchSize() != 64 || b.NumFeatures() != len(cfg.Features) {
+		t.Fatalf("batch shape %dx%d", b.BatchSize(), b.NumFeatures())
+	}
+	for f := range b.Features {
+		if err := b.Features[f].Validate(cfg.Features[f].Rows); err != nil {
+			t.Fatalf("feature %d: %v", f, err)
+		}
+	}
+	if _, err := GenerateBatch(cfg, 0, rng); err == nil {
+		t.Error("zero batch size accepted")
+	}
+}
+
+func TestGenerateDatasetDeterministic(t *testing.T) {
+	cfg := Scaled(ModelC(), 40)
+	d1, err := GenerateDataset(cfg, 4, []int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GenerateDataset(cfg, 4, []int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range d1.Batches {
+		for f := range d1.Batches[bi].Features {
+			a, b := d1.Batches[bi].Features[f], d2.Batches[bi].Features[f]
+			if len(a.Indices) != len(b.Indices) {
+				t.Fatalf("batch %d feature %d: lengths differ", bi, f)
+			}
+			for i := range a.Indices {
+				if a.Indices[i] != b.Indices[i] {
+					t.Fatalf("batch %d feature %d: index %d differs", bi, f, i)
+				}
+			}
+		}
+	}
+	if _, err := GenerateDataset(cfg, 0, []int{32}); err == nil {
+		t.Error("zero batches accepted")
+	}
+	if _, err := GenerateDataset(cfg, 1, nil); err == nil {
+		t.Error("empty sizes accepted")
+	}
+}
+
+func TestBuildTablesAndCapRows(t *testing.T) {
+	cfg := CapRows(Scaled(ModelA(), 100), 2048)
+	tables, err := BuildTables(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(cfg.Features) {
+		t.Fatalf("%d tables, want %d", len(tables), len(cfg.Features))
+	}
+	for i, tbl := range tables {
+		if tbl.Rows > 2048 {
+			t.Errorf("table %d has %d rows after cap", i, tbl.Rows)
+		}
+		if tbl.Dim != cfg.Features[i].Dim {
+			t.Errorf("table %d dim mismatch", i)
+		}
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	cfg := Scaled(ModelB(), 60)
+	ds, err := GenerateDataset(cfg, 3, []int{16, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Batches) != len(ds.Batches) {
+		t.Fatalf("round-trip batch count %d, want %d", len(got.Batches), len(ds.Batches))
+	}
+	for bi := range ds.Batches {
+		for f := range ds.Batches[bi].Features {
+			a := &ds.Batches[bi].Features[f]
+			b := &got.Batches[bi].Features[f]
+			if len(a.Indices) != len(b.Indices) || len(a.Offsets) != len(b.Offsets) {
+				t.Fatalf("batch %d feature %d: shape differs", bi, f)
+			}
+			for i := range a.Indices {
+				if a.Indices[i] != b.Indices[i] {
+					t.Fatalf("batch %d feature %d: index %d differs", bi, f, i)
+				}
+			}
+			for i := range a.Offsets {
+				if a.Offsets[i] != b.Offsets[i] {
+					t.Fatalf("batch %d feature %d: offset %d differs", bi, f, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadDatasetRejectsCorruption(t *testing.T) {
+	cfg := Scaled(ModelB(), 120)
+	ds, err := GenerateDataset(cfg, 1, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadDataset(bytes.NewReader(raw[:3]), cfg); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	bad := append([]byte{}, raw...)
+	bad[0] = 'X'
+	if _, err := ReadDataset(bytes.NewReader(bad), cfg); err == nil {
+		t.Error("bad magic accepted")
+	}
+	other := Scaled(ModelB(), 60)
+	if _, err := ReadDataset(bytes.NewReader(raw), other); err == nil {
+		t.Error("feature-count mismatch accepted")
+	}
+	if _, err := ReadDataset(bytes.NewReader(raw[:len(raw)/2]), cfg); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestRequestSizes(t *testing.T) {
+	sizes := RequestSizes(1000, 512, 11)
+	for i, s := range sizes {
+		if s < 16 || s > 512 {
+			t.Fatalf("sizes[%d] = %d outside [16,512]", i, s)
+		}
+	}
+	var sum float64
+	for _, s := range sizes {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(sizes))
+	if mean < 150 || mean > 350 {
+		t.Errorf("mean request size %.1f, want around hundreds", mean)
+	}
+}
+
+func TestStatsAndHeterogeneity(t *testing.T) {
+	cfgHet := Scaled(ModelA(), 20)
+	dsHet, err := GenerateDataset(cfgHet, 4, []int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetStats := CollectFeatureStats(cfgHet, dsHet.Batches)
+	if len(hetStats) != len(cfgHet.Features) {
+		t.Fatalf("stats count %d", len(hetStats))
+	}
+	cfgFlat := MLPerfLike()
+	dsFlat, err := GenerateDataset(cfgFlat, 4, []int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatStats := CollectFeatureStats(cfgFlat, dsFlat.Batches)
+	hHet := HeterogeneityIndex(hetStats)
+	hFlat := HeterogeneityIndex(flatStats)
+	if hHet <= 1 {
+		t.Errorf("model A heterogeneity index %.3f, want > 1", hHet)
+	}
+	if hFlat > 0.05 {
+		t.Errorf("MLPerf-like heterogeneity index %.3f, want ~0", hFlat)
+	}
+	if HeterogeneityIndex(nil) != 0 {
+		t.Error("empty stats should score 0")
+	}
+}
+
+func TestDimHistogram(t *testing.T) {
+	cfg := ModelD()
+	h := DimHistogram(cfg)
+	if len(h) != 1 || h[8] != 1000 {
+		t.Errorf("model D histogram = %v, want {8:1000}", h)
+	}
+	dims := SortedDims(DimHistogram(ModelA()))
+	for i := 1; i < len(dims); i++ {
+		if dims[i] <= dims[i-1] {
+			t.Fatal("SortedDims not sorted")
+		}
+	}
+}
+
+func TestPoolingFactorSeries(t *testing.T) {
+	cfg := &ModelConfig{Name: "s", Seed: 5, Features: []FeatureSpec{
+		{Name: "a", Dim: 4, Rows: 50, PF: Fixed{K: 2}, Coverage: 1},
+	}}
+	rng := rand.New(rand.NewSource(5))
+	b, err := GenerateBatch(cfg, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := PoolingFactorSeries(b, 0)
+	if len(series) != 10 {
+		t.Fatalf("series length %d", len(series))
+	}
+	for _, pf := range series {
+		if pf != 2 {
+			t.Errorf("pf = %d, want 2", pf)
+		}
+	}
+}
+
+// Property: generated CSR batches are always structurally valid.
+func TestGeneratedBatchesAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, batchRaw uint8) bool {
+		cfg := Scaled(ModelC(), 80)
+		rng := rand.New(rand.NewSource(seed))
+		batch := 1 + int(batchRaw)%100
+		b, err := GenerateBatch(cfg, batch, rng)
+		if err != nil {
+			return false
+		}
+		for fi := range b.Features {
+			if b.Features[fi].Validate(cfg.Features[fi].Rows) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfIDsSkewed(t *testing.T) {
+	cfg := &ModelConfig{Name: "z", Seed: 6, Features: []FeatureSpec{
+		{Name: "z", Dim: 4, Rows: 10000, PF: Fixed{K: 20}, Coverage: 1, IDs: IDZipf},
+		{Name: "u", Dim: 4, Rows: 10000, PF: Fixed{K: 20}, Coverage: 1, IDs: IDUniform},
+	}}
+	rng := rand.New(rand.NewSource(6))
+	b, err := GenerateBatch(cfg, 512, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipfUnique := b.Features[0].UniqueRows()
+	unifUnique := b.Features[1].UniqueRows()
+	if zipfUnique >= unifUnique {
+		t.Errorf("zipf unique rows (%d) should be far below uniform (%d)", zipfUnique, unifUnique)
+	}
+	if IDZipf.String() != "zipf" || IDUniform.String() != "uniform" {
+		t.Error("IDDist.String wrong")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []FeatureSpec{
+		{Name: "d0", Dim: 0, Rows: 10, PF: Fixed{K: 1}, Coverage: 1},
+		{Name: "r1", Dim: 4, Rows: 1, PF: Fixed{K: 1}, Coverage: 1},
+		{Name: "nil", Dim: 4, Rows: 10, Coverage: 1},
+		{Name: "cov", Dim: 4, Rows: 10, PF: Fixed{K: 1}, Coverage: 1.5},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %q accepted", spec.Name)
+		}
+	}
+	empty := &ModelConfig{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+}
+
+func TestDrifted(t *testing.T) {
+	cfg := &ModelConfig{Name: "d", Seed: 9, Features: []FeatureSpec{
+		{Name: "oh", Dim: 4, Rows: 64, PF: Fixed{K: 1}, Coverage: 1},
+		{Name: "fx", Dim: 4, Rows: 64, PF: Fixed{K: 10}, Coverage: 1},
+		{Name: "un", Dim: 4, Rows: 64, PF: Uniform{Lo: 1, Hi: 20}, Coverage: 1},
+		{Name: "nm", Dim: 4, Rows: 64, PF: Normal{Mu: 40, Sigma: 8}, Coverage: 1},
+		{Name: "ln", Dim: 4, Rows: 64, PF: LogNormal{Mu: 2, Sigma: 0.5, Max: 100}, Coverage: 1},
+	}}
+	d := Drifted(cfg, 3)
+	// One-hot untouched.
+	if !d.Features[0].OneHot() {
+		t.Error("one-hot drifted")
+	}
+	if got := d.Features[1].PF.(Fixed).K; got != 30 {
+		t.Errorf("fixed drift = %d, want 30", got)
+	}
+	if got := d.Features[2].PF.(Uniform).Hi; got != 60 {
+		t.Errorf("uniform drift = %d, want 60", got)
+	}
+	if got := d.Features[3].PF.(Normal).Mu; got != 120 {
+		t.Errorf("normal drift = %g, want 120", got)
+	}
+	ln := d.Features[4].PF.(LogNormal)
+	if math.Abs(ln.Mean()-3*(LogNormal{Mu: 2, Sigma: 0.5}).Mean()) > 1e-9 {
+		t.Errorf("lognormal mean should scale 3x")
+	}
+	// Identity and bad-factor cases.
+	same := Drifted(cfg, 1)
+	if same.Features[1].PF.(Fixed).K != 10 {
+		t.Error("factor 1 changed the config")
+	}
+	neg := Drifted(cfg, -5)
+	if neg.Features[1].PF.(Fixed).K != 10 {
+		t.Error("negative factor should behave as identity")
+	}
+	// The original must be untouched.
+	if cfg.Features[1].PF.(Fixed).K != 10 {
+		t.Error("Drifted mutated its input")
+	}
+}

@@ -1,0 +1,159 @@
+// Package datasynth synthesizes recommendation-model datasets with
+// controlled feature heterogeneity, reproducing the paper's data_synthesis
+// artifact: per-feature pooling-factor distributions, embedding-table shapes,
+// the five evaluation models A-E of Table I, the 10,000-feature scalability
+// set, the MLPerf-like low-heterogeneity set, and a serving-request generator
+// with long-tail batches.
+package datasynth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a distribution over non-negative integers, used for per-sample
+// pooling factors.
+type Dist interface {
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) int
+	// Mean returns the expected value.
+	Mean() float64
+	// Std returns the standard deviation.
+	Std() float64
+	// String describes the distribution for logs and docs.
+	String() string
+}
+
+// Fixed always returns K (the one-hot case is Fixed{1}).
+type Fixed struct{ K int }
+
+// Sample implements Dist.
+func (f Fixed) Sample(*rand.Rand) int { return f.K }
+
+// Mean implements Dist.
+func (f Fixed) Mean() float64 { return float64(f.K) }
+
+// Std implements Dist.
+func (f Fixed) Std() float64 { return 0 }
+
+// String implements Dist.
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%d)", f.K) }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi int }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) int {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + rng.Intn(u.Hi-u.Lo+1)
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// Std implements Dist.
+func (u Uniform) Std() float64 {
+	n := float64(u.Hi - u.Lo + 1)
+	return math.Sqrt((n*n - 1) / 12)
+}
+
+// String implements Dist.
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d,%d)", u.Lo, u.Hi) }
+
+// Normal draws from N(Mu, Sigma²), truncated at zero and rounded. This is the
+// pooling-factor model of the paper's Figure 3 (N(50,10²)).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) int {
+	v := rng.NormFloat64()*n.Sigma + n.Mu
+	if v < 0 {
+		v = 0
+	}
+	return int(math.Round(v))
+}
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Std implements Dist.
+func (n Normal) Std() float64 { return n.Sigma }
+
+// String implements Dist.
+func (n Normal) String() string { return fmt.Sprintf("normal(%.1f,%.1f)", n.Mu, n.Sigma) }
+
+// LogNormal draws heavy-tailed pooling factors: exp(N(Mu, Sigma²)). The paper
+// notes per-feature standard deviations "up to hundreds"; this distribution
+// provides them.
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+	Max   int // clamp, 0 = unbounded
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(rng *rand.Rand) int {
+	v := math.Exp(rng.NormFloat64()*l.Sigma + l.Mu)
+	k := int(math.Round(v))
+	if l.Max > 0 && k > l.Max {
+		k = l.Max
+	}
+	return k
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Std implements Dist.
+func (l LogNormal) Std() float64 {
+	m := l.Mean()
+	return m * math.Sqrt(math.Exp(l.Sigma*l.Sigma)-1)
+}
+
+// String implements Dist.
+func (l LogNormal) String() string { return fmt.Sprintf("lognormal(%.2f,%.2f)", l.Mu, l.Sigma) }
+
+// IDDist selects how lookup IDs are drawn from the table's row space.
+type IDDist int
+
+const (
+	// IDUniform draws IDs uniformly: no reuse beyond birthday collisions.
+	IDUniform IDDist = iota
+	// IDZipf draws IDs Zipf-skewed: hot rows are reused heavily, which the
+	// L2 model rewards.
+	IDZipf
+)
+
+// String implements fmt.Stringer.
+func (d IDDist) String() string {
+	if d == IDZipf {
+		return "zipf"
+	}
+	return "uniform"
+}
+
+// zipfSkew is the exponent of the Zipf ID generator.
+const zipfSkew = 1.07
+
+// sampleID draws one row ID in [0, rows).
+func sampleID(rng *rand.Rand, kind IDDist, rows int, z *rand.Zipf) int32 {
+	if kind == IDZipf && z != nil {
+		return int32(z.Uint64())
+	}
+	return int32(rng.Intn(rows))
+}
+
+// newZipf builds the generator for a table with rows entries (nil for the
+// uniform case).
+func newZipf(rng *rand.Rand, kind IDDist, rows int) *rand.Zipf {
+	if kind != IDZipf {
+		return nil
+	}
+	return rand.NewZipf(rng, zipfSkew, 1, uint64(rows-1))
+}

@@ -1,0 +1,117 @@
+package datasynth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/embedding"
+)
+
+// GenerateBatch draws one batch of batchSize samples for every feature of the
+// model. Generation is deterministic given (cfg, batchSize, rng state).
+func GenerateBatch(cfg *ModelConfig, batchSize int, rng *rand.Rand) (*embedding.Batch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("datasynth: batch size must be positive, got %d", batchSize)
+	}
+	b := &embedding.Batch{Features: make([]embedding.FeatureBatch, len(cfg.Features))}
+	for f := range cfg.Features {
+		spec := &cfg.Features[f]
+		z := newZipf(rng, spec.IDs, spec.Rows)
+		fb := embedding.FeatureBatch{Offsets: make([]int32, 1, batchSize+1)}
+		for s := 0; s < batchSize; s++ {
+			pf := 0
+			if spec.Coverage >= 1 || rng.Float64() < spec.Coverage {
+				pf = spec.PF.Sample(rng)
+			}
+			for j := 0; j < pf; j++ {
+				fb.Indices = append(fb.Indices, sampleID(rng, spec.IDs, spec.Rows, z))
+			}
+			fb.Offsets = append(fb.Offsets, int32(len(fb.Indices)))
+		}
+		b.Features[f] = fb
+	}
+	return b, nil
+}
+
+// Dataset is a sequence of batches drawn from one model config.
+type Dataset struct {
+	Config  *ModelConfig
+	Batches []*embedding.Batch
+}
+
+// GenerateDataset draws numBatches batches with sizes drawn from sizes
+// (cycled). It seeds its own generator from cfg.Seed so repeated calls agree.
+func GenerateDataset(cfg *ModelConfig, numBatches int, sizes []int) (*Dataset, error) {
+	if numBatches <= 0 {
+		return nil, fmt.Errorf("datasynth: numBatches must be positive, got %d", numBatches)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("datasynth: at least one batch size required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED))
+	ds := &Dataset{Config: cfg, Batches: make([]*embedding.Batch, 0, numBatches)}
+	for i := 0; i < numBatches; i++ {
+		b, err := GenerateBatch(cfg, sizes[i%len(sizes)], rng)
+		if err != nil {
+			return nil, err
+		}
+		ds.Batches = append(ds.Batches, b)
+	}
+	return ds, nil
+}
+
+// BuildTables materializes deterministic embedding tables for every feature.
+// rowCap, when positive, truncates the ID space (and remaps indices is NOT
+// done — callers must generate batches against the capped config). Use
+// CapRows to derive a capped config first.
+func BuildTables(cfg *ModelConfig) ([]*embedding.Table, error) {
+	tables := make([]*embedding.Table, len(cfg.Features))
+	for f := range cfg.Features {
+		spec := &cfg.Features[f]
+		t, err := embedding.NewDeterministicTable(spec.Name, spec.Rows, spec.Dim, uint64(cfg.Seed)+uint64(f))
+		if err != nil {
+			return nil, err
+		}
+		tables[f] = t
+	}
+	return tables, nil
+}
+
+// CapRows returns a copy of cfg with every table's row count clamped to cap,
+// keeping materialized-table memory bounded in tests and examples.
+func CapRows(cfg *ModelConfig, cap int) *ModelConfig {
+	out := &ModelConfig{Name: cfg.Name, Seed: cfg.Seed, Features: append([]FeatureSpec(nil), cfg.Features...)}
+	for i := range out.Features {
+		if out.Features[i].Rows > cap {
+			out.Features[i].Rows = cap
+		}
+	}
+	return out
+}
+
+// RequestSizes models online-serving query sizes: "the batch size of most
+// queries is around hundreds", capped at maxBatch (512 in the evaluation,
+// where serving systems split larger requests).
+func RequestSizes(n, maxBatch int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, n)
+	for i := range sizes {
+		s := int(rng.NormFloat64()*96 + 256)
+		if s < 16 {
+			s = 16
+		}
+		if s > maxBatch {
+			s = maxBatch
+		}
+		sizes[i] = s
+	}
+	return sizes
+}
+
+// LongTailRequest returns the batch size of the long-tail experiment of
+// §VI-D: serving systems like DeepRecSys that do not split batches can see
+// requests of thousands of samples.
+const LongTailRequest = 2560

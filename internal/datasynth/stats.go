@@ -1,0 +1,111 @@
+package datasynth
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/embedding"
+)
+
+// DimHistogram counts features per embedding dimension — the data behind the
+// paper's Figure 2(a).
+func DimHistogram(cfg *ModelConfig) map[int]int {
+	h := make(map[int]int)
+	for i := range cfg.Features {
+		h[cfg.Features[i].Dim]++
+	}
+	return h
+}
+
+// SortedDims returns the histogram keys in ascending order.
+func SortedDims(h map[int]int) []int {
+	dims := make([]int, 0, len(h))
+	for d := range h {
+		dims = append(dims, d)
+	}
+	sort.Ints(dims)
+	return dims
+}
+
+// PoolingFactorSeries extracts the per-sample pooling factors of one feature
+// from a batch — the data behind Figure 2(b).
+func PoolingFactorSeries(b *embedding.Batch, feature int) []int {
+	fb := &b.Features[feature]
+	out := make([]int, fb.BatchSize())
+	for i := range out {
+		out[i] = fb.PoolingFactor(i)
+	}
+	return out
+}
+
+// FeatureStats summarizes one feature's workload over a set of batches.
+type FeatureStats struct {
+	Feature   int
+	Dim       int
+	MeanPF    float64
+	StdPF     float64
+	MaxPF     int
+	ZeroFrac  float64 // fraction of samples with the feature absent
+	TotalRows int
+}
+
+// CollectFeatureStats computes workload statistics per feature over batches.
+func CollectFeatureStats(cfg *ModelConfig, batches []*embedding.Batch) []FeatureStats {
+	stats := make([]FeatureStats, len(cfg.Features))
+	for f := range cfg.Features {
+		var sum, sumSq float64
+		var n, zero, maxPF, rows int
+		for _, b := range batches {
+			fb := &b.Features[f]
+			for i := 0; i < fb.BatchSize(); i++ {
+				pf := fb.PoolingFactor(i)
+				sum += float64(pf)
+				sumSq += float64(pf) * float64(pf)
+				n++
+				if pf == 0 {
+					zero++
+				}
+				if pf > maxPF {
+					maxPF = pf
+				}
+			}
+			rows += fb.TotalRows()
+		}
+		st := FeatureStats{Feature: f, Dim: cfg.Features[f].Dim, MaxPF: maxPF, TotalRows: rows}
+		if n > 0 {
+			st.MeanPF = sum / float64(n)
+			variance := sumSq/float64(n) - st.MeanPF*st.MeanPF
+			if variance > 0 {
+				st.StdPF = math.Sqrt(variance)
+			}
+			st.ZeroFrac = float64(zero) / float64(n)
+		}
+		stats[f] = st
+	}
+	return stats
+}
+
+// HeterogeneityIndex quantifies inter-feature heterogeneity as the
+// coefficient of variation of per-feature mean work (meanPF × dim). Models
+// A-E score high; the MLPerf-like set scores near zero.
+func HeterogeneityIndex(stats []FeatureStats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, s := range stats {
+		w := s.MeanPF * float64(s.Dim)
+		sum += w
+		sumSq += w * w
+	}
+	n := float64(len(stats))
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean
+}

@@ -1,0 +1,158 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+// Numerical gradient check: perturb every parameter and input and compare
+// the finite-difference derivative of a scalar loss with the analytic
+// backward pass. The definitive correctness test for backprop.
+func TestMLPBackwardNumericalGradientCheck(t *testing.T) {
+	const (
+		batch = 3
+		inDim = 5
+		eps   = 1e-2
+		tol   = 2e-2
+	)
+	m, err := NewMLP(inDim, []int{4, 2}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float32, batch*inDim)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	// Loss = sum of squares of the outputs.
+	loss := func() float64 {
+		y, err := m.Forward(x, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, v := range y {
+			s += float64(v) * float64(v)
+		}
+		return s
+	}
+	// Analytic gradients.
+	acts, err := m.ForwardActivations(x, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := acts[len(acts)-1]
+	dy := make([]float32, len(out))
+	for i := range out {
+		dy[i] = 2 * out[i]
+	}
+	dx, grads, err := m.Backward(acts, dy, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(param *float32, analytic float32, what string, idx int) {
+		t.Helper()
+		orig := *param
+		*param = orig + eps
+		up := loss()
+		*param = orig - eps
+		down := loss()
+		*param = orig
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-float64(analytic)) > tol*(1+math.Abs(numeric)) {
+			t.Errorf("%s[%d]: analytic %g vs numeric %g", what, idx, analytic, numeric)
+		}
+	}
+	for li, l := range m.Layers {
+		for i := range l.W {
+			check(&l.W[i], grads[li].W[i], "W", li*1000+i)
+		}
+		for i := range l.B {
+			check(&l.B[i], grads[li].B[i], "B", li*1000+i)
+		}
+	}
+	for i := range x {
+		check(&x[i], dx[i], "x", i)
+	}
+}
+
+func TestLinearBackwardShapes(t *testing.T) {
+	l := &Linear{In: 2, Out: 3, W: make([]float32, 6), B: make([]float32, 3)}
+	x := make([]float32, 4) // batch 2
+	y := make([]float32, 6)
+	dy := make([]float32, 6)
+	if _, _, err := l.Backward(x, y, dy, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Backward(x[:1], y, dy, 2); err == nil {
+		t.Error("short x accepted")
+	}
+	if _, _, err := l.Backward(x, y[:1], dy, 2); err == nil {
+		t.Error("short y accepted")
+	}
+}
+
+func TestReLUMaskInBackward(t *testing.T) {
+	l := &Linear{In: 1, Out: 2, W: []float32{1, -1}, B: []float32{0, 0}, ReLU: true}
+	x := []float32{2} // y = [2, -2] -> relu [2, 0]
+	y, err := l.Forward(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := []float32{1, 1}
+	dx, g, err := l.Backward(x, y, dy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead unit (output 0) must contribute nothing.
+	if g.W[1] != 0 || g.B[1] != 0 {
+		t.Errorf("dead ReLU unit leaked gradient: W %g B %g", g.W[1], g.B[1])
+	}
+	if dx[0] != 1 { // only the live unit: w=1 * dy=1
+		t.Errorf("dx = %g, want 1", dx[0])
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	m, err := NewMLP(2, []int{2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float32(nil), m.Layers[0].W...)
+	grads := []LinearGrads{{W: []float32{1, 1, 1, 1}, B: []float32{1, 1}}}
+	if err := m.SGD(grads, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		want := before[i] - 0.1
+		if math.Abs(float64(m.Layers[0].W[i]-want)) > 1e-6 {
+			t.Errorf("W[%d] = %g, want %g", i, m.Layers[0].W[i], want)
+		}
+	}
+	if err := m.SGD(grads[:0], 0.1); err == nil {
+		t.Error("gradient count mismatch accepted")
+	}
+	bad := []LinearGrads{{W: []float32{1}, B: []float32{1, 1}}}
+	if err := m.SGD(bad, 0.1); err == nil {
+		t.Error("gradient shape mismatch accepted")
+	}
+}
+
+func TestMeasureTowerBackward(t *testing.T) {
+	dev := gpusim.V100()
+	fwd, err := MeasureTower(256, 512, []int{1024, 256, 128}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := MeasureTowerBackward(256, 512, []int{1024, 256, 128}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bwd <= fwd {
+		t.Errorf("backward (%g) should cost more than forward (%g): two GEMMs per layer", bwd, fwd)
+	}
+}

@@ -1,0 +1,234 @@
+// Package dnn implements the dense part of the recommendation model: the
+// feature-interaction MLP the paper attaches for the end-to-end evaluation
+// (hidden units 1024, 256, 128), a concat operator that joins the per-feature
+// embedding outputs, CPU reference forward passes, and a tiled-GEMM GPU cost
+// model so end-to-end latency can be simulated on the same device model as
+// the embedding kernels.
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpusim"
+)
+
+// Linear is one dense layer: y = relu(x·W + b) with row-major weights.
+type Linear struct {
+	In, Out int
+	W       []float32 // In*Out, W[i*Out+j]
+	B       []float32 // Out
+	ReLU    bool
+}
+
+// NewLinear allocates a deterministic pseudo-random layer.
+func NewLinear(in, out int, relu bool, seed uint64) (*Linear, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("dnn: layer shape must be positive, got %dx%d", in, out)
+	}
+	l := &Linear{In: in, Out: out, W: make([]float32, in*out), B: make([]float32, out), ReLU: relu}
+	scale := float32(1 / math.Sqrt(float64(in)))
+	for i := range l.W {
+		l.W[i] = hashFloat(seed, uint64(i)) * scale
+	}
+	for j := range l.B {
+		l.B[j] = hashFloat(seed^0xB1A5, uint64(j)) * 0.01
+	}
+	return l, nil
+}
+
+// Forward computes the layer for a batch of rows: x is batch*In, the result
+// batch*Out.
+func (l *Linear) Forward(x []float32, batch int) ([]float32, error) {
+	if len(x) != batch*l.In {
+		return nil, fmt.Errorf("dnn: input length %d != batch %d * in %d", len(x), batch, l.In)
+	}
+	y := make([]float32, batch*l.Out)
+	for r := 0; r < batch; r++ {
+		xi := x[r*l.In : (r+1)*l.In]
+		yo := y[r*l.Out : (r+1)*l.Out]
+		copy(yo, l.B)
+		for i, xv := range xi {
+			if xv == 0 {
+				continue
+			}
+			wRow := l.W[i*l.Out : (i+1)*l.Out]
+			for j, wv := range wRow {
+				yo[j] += xv * wv
+			}
+		}
+		if l.ReLU {
+			for j := range yo {
+				if yo[j] < 0 {
+					yo[j] = 0
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// GEMM tiling of the cost model.
+const (
+	tileM = 64
+	tileN = 64
+)
+
+// Kernel returns the simulated GEMM kernel of this layer for a batch.
+func (l *Linear) Kernel(batch int, dev *gpusim.Device) gpusim.Kernel {
+	blocksM := (batch + tileM - 1) / tileM
+	blocksN := (l.Out + tileN - 1) / tileN
+	k := float64(l.In)
+	// Warp instructions per tile: tileM*tileN*K FMAs over 32 lanes with
+	// dual-issue FMA pipes, plus shared-memory staging traffic.
+	comp := float64(tileM*tileN) * k / (32 * 2)
+	aBytes := float64(tileM) * k * 4
+	wBytes := k * float64(tileN) * 4
+	cBytes := float64(tileM*tileN) * 4
+	// Weights are reused across the M dimension: after the first M-block,
+	// W tiles come from L2.
+	blocks := make([]gpusim.BlockWork, 0, blocksM*blocksN)
+	for m := 0; m < blocksM; m++ {
+		for n := 0; n < blocksN; n++ {
+			b := gpusim.BlockWork{
+				CompCycles:  comp,
+				DRAMBytes:   aBytes + cBytes,
+				L2Bytes:     wBytes,
+				MemRequests: (aBytes + wBytes + cBytes) / 128,
+				Warps:       4,
+				ActiveFrac:  1,
+				Tag:         -1,
+			}
+			if m == 0 {
+				b.DRAMBytes += wBytes
+				b.L2Bytes -= wBytes
+			}
+			blocks = append(blocks, b)
+		}
+	}
+	return gpusim.Kernel{
+		Name:      fmt.Sprintf("gemm_%dx%dx%d", batch, l.Out, l.In),
+		Resources: gpusim.KernelResources{ThreadsPerBlock: 128, RegsPerThread: 64, SharedMemPerBlock: (tileM + tileN) * 32 * 4},
+		Blocks:    blocks,
+	}
+}
+
+// MLP is the dense tower.
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds the tower inDim -> hidden[0] -> ... -> hidden[n-1] with ReLU
+// between layers and a linear final layer.
+func NewMLP(inDim int, hidden []int, seed uint64) (*MLP, error) {
+	if len(hidden) == 0 {
+		return nil, fmt.Errorf("dnn: MLP needs at least one layer")
+	}
+	m := &MLP{}
+	in := inDim
+	for i, h := range hidden {
+		relu := i < len(hidden)-1
+		l, err := NewLinear(in, h, relu, seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		m.Layers = append(m.Layers, l)
+		in = h
+	}
+	return m, nil
+}
+
+// PaperMLP builds the evaluation tower of §VI-C: hidden units 1024, 256, 128.
+func PaperMLP(inDim int, seed uint64) (*MLP, error) {
+	return NewMLP(inDim, []int{1024, 256, 128}, seed)
+}
+
+// Forward runs the CPU reference pass.
+func (m *MLP) Forward(x []float32, batch int) ([]float32, error) {
+	cur := x
+	for _, l := range m.Layers {
+		y, err := l.Forward(cur, batch)
+		if err != nil {
+			return nil, err
+		}
+		cur = y
+	}
+	return cur, nil
+}
+
+// Measure simulates the tower's GEMM kernels for a batch.
+func (m *MLP) Measure(batch int, dev *gpusim.Device) (float64, error) {
+	total := 0.0
+	for _, l := range m.Layers {
+		k := l.Kernel(batch, dev)
+		k.IncludeLaunchOverhead = true
+		r, err := gpusim.Simulate(dev, &k)
+		if err != nil {
+			return 0, err
+		}
+		total += r.Time
+	}
+	return total, nil
+}
+
+// Concat joins per-feature embedding outputs (each batch*dims[f]) into one
+// batch*(sum dims) row-major matrix, the layout the MLP consumes.
+func Concat(outs [][]float32, dims []int, batch int) ([]float32, error) {
+	if len(outs) != len(dims) {
+		return nil, fmt.Errorf("dnn: %d outputs for %d dims", len(outs), len(dims))
+	}
+	total := 0
+	for f, d := range dims {
+		if len(outs[f]) != batch*d {
+			return nil, fmt.Errorf("dnn: feature %d output length %d != batch %d * dim %d", f, len(outs[f]), batch, d)
+		}
+		total += d
+	}
+	joined := make([]float32, batch*total)
+	off := 0
+	for f, d := range dims {
+		for r := 0; r < batch; r++ {
+			copy(joined[r*total+off:r*total+off+d], outs[f][r*d:(r+1)*d])
+		}
+		off += d
+	}
+	return joined, nil
+}
+
+// ConcatKernel models the GPU concat: a pure bandwidth copy of the joined
+// matrix (read + write).
+func ConcatKernel(totalDim, batch int) gpusim.Kernel {
+	bytes := float64(totalDim*batch) * 4
+	numBlocks := (totalDim*batch + 256*4 - 1) / (256 * 4)
+	if numBlocks < 1 {
+		numBlocks = 1
+	}
+	per := 2 * bytes / float64(numBlocks)
+	blocks := make([]gpusim.BlockWork, numBlocks)
+	for i := range blocks {
+		blocks[i] = gpusim.BlockWork{
+			CompCycles:  64,
+			DRAMBytes:   per,
+			MemRequests: per / 128,
+			Warps:       8,
+			ActiveFrac:  1,
+			Tag:         -1,
+		}
+	}
+	return gpusim.Kernel{
+		Name:      "concat",
+		Resources: gpusim.KernelResources{ThreadsPerBlock: 256, RegsPerThread: 16},
+		Blocks:    blocks,
+	}
+}
+
+// hashFloat maps (seed, i) to [-1, 1) deterministically.
+func hashFloat(seed, i uint64) float32 {
+	x := seed ^ (i * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float32(2*float64(x>>40)/float64(1<<24) - 1)
+}

@@ -1,0 +1,198 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func TestLinearForwardKnownValues(t *testing.T) {
+	l := &Linear{In: 2, Out: 2, W: []float32{1, 2, 3, 4}, B: []float32{0.5, -0.5}}
+	y, err := l.Forward([]float32{1, 1, 2, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1*1 + 1*3 + 0.5, 1*2 + 1*4 - 0.5, 2*1 + 0.5, 2*2 - 0.5}
+	for i := range want {
+		if math.Abs(float64(y[i]-want[i])) > 1e-6 {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestLinearReLU(t *testing.T) {
+	l := &Linear{In: 1, Out: 2, W: []float32{1, -1}, B: []float32{0, 0}, ReLU: true}
+	y, err := l.Forward([]float32{3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 0 {
+		t.Errorf("relu output = %v, want [3 0]", y)
+	}
+}
+
+func TestLinearShapeErrors(t *testing.T) {
+	l := &Linear{In: 2, Out: 2, W: make([]float32, 4), B: make([]float32, 2)}
+	if _, err := l.Forward([]float32{1}, 1); err == nil {
+		t.Error("bad input length accepted")
+	}
+	if _, err := NewLinear(0, 2, false, 1); err == nil {
+		t.Error("zero input dim accepted")
+	}
+}
+
+func TestNewLinearDeterministic(t *testing.T) {
+	a, err := NewLinear(8, 4, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLinear(8, 4, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("weights not deterministic")
+		}
+	}
+	c, _ := NewLinear(8, 4, true, 43)
+	same := true
+	for i := range a.W {
+		if a.W[i] != c.W[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical weights")
+	}
+}
+
+func TestMLPForwardShapes(t *testing.T) {
+	m, err := NewMLP(16, []int{8, 4, 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 3*16)
+	for i := range x {
+		x[i] = float32(i%5) - 2
+	}
+	y, err := m.Forward(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 3*2 {
+		t.Errorf("output length %d, want 6", len(y))
+	}
+	// Hidden layers use ReLU, the final one is linear.
+	for i, l := range m.Layers {
+		wantReLU := i < len(m.Layers)-1
+		if l.ReLU != wantReLU {
+			t.Errorf("layer %d ReLU = %v, want %v", i, l.ReLU, wantReLU)
+		}
+	}
+	if _, err := NewMLP(16, nil, 7); err == nil {
+		t.Error("empty tower accepted")
+	}
+}
+
+func TestPaperMLPShape(t *testing.T) {
+	m, err := PaperMLP(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []int{1024, 256, 128}
+	if len(m.Layers) != 3 {
+		t.Fatalf("%d layers, want 3", len(m.Layers))
+	}
+	for i, l := range m.Layers {
+		if l.Out != dims[i] {
+			t.Errorf("layer %d out = %d, want %d", i, l.Out, dims[i])
+		}
+	}
+}
+
+func TestMLPMeasurePositiveAndScales(t *testing.T) {
+	dev := gpusim.V100()
+	m, err := NewMLP(128, []int{64, 32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := m.Measure(64, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch large enough to need several waves of blocks must take longer
+	// (batches inside one wave legitimately tie).
+	big, err := m.Measure(1<<17, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= 0 || big <= small {
+		t.Errorf("MLP times: batch 64 -> %g, batch 128k -> %g", small, big)
+	}
+}
+
+func TestMeasureTowerMatchesMLPStructure(t *testing.T) {
+	dev := gpusim.V100()
+	byShapes, err := MeasureTower(256, 512, []int{1024, 256, 128}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byShapes <= 0 {
+		t.Error("tower time must be positive")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	outs := [][]float32{
+		{1, 2, 10, 20}, // feature 0: dim 2, batch 2
+		{3, 30},        // feature 1: dim 1, batch 2
+	}
+	joined, err := Concat(outs, []int{2, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 10, 20, 30}
+	for i := range want {
+		if joined[i] != want[i] {
+			t.Errorf("joined[%d] = %g, want %g", i, joined[i], want[i])
+		}
+	}
+	if _, err := Concat(outs, []int{2}, 2); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	if _, err := Concat(outs, []int{2, 2}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestConcatKernelSimulates(t *testing.T) {
+	dev := gpusim.V100()
+	k := ConcatKernel(3000, 256)
+	r, err := gpusim.Simulate(dev, &k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time <= 0 {
+		t.Error("concat time must be positive")
+	}
+	// Pure copy: traffic = 2 * matrix bytes.
+	wantBytes := 2.0 * 3000 * 256 * 4
+	if math.Abs(r.Counters.TotalDRAMBytes-wantBytes) > 1e-6*wantBytes {
+		t.Errorf("concat traffic %g, want %g", r.Counters.TotalDRAMBytes, wantBytes)
+	}
+}
+
+func TestGEMMKernelShape(t *testing.T) {
+	dev := gpusim.V100()
+	k := GEMMKernel(256, 512, 1024, dev)
+	wantBlocks := ((256 + 63) / 64) * ((1024 + 63) / 64)
+	if len(k.Blocks) != wantBlocks {
+		t.Errorf("%d blocks, want %d", len(k.Blocks), wantBlocks)
+	}
+	if err := k.Validate(dev); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package dnn
+
+import "repro/internal/gpusim"
+
+// GEMMKernel builds the simulated kernel of one batch×in×out dense layer
+// from shapes alone — no weights needed. Linear.Kernel delegates here, and
+// the end-to-end pipeline uses it to cost MLP towers whose weight matrices
+// would be too large to materialize for every synthetic model.
+func GEMMKernel(batch, in, out int, dev *gpusim.Device) gpusim.Kernel {
+	l := Linear{In: in, Out: out}
+	return l.Kernel(batch, dev)
+}
+
+// MeasureTower simulates a dense tower inDim -> hidden... from shapes alone,
+// returning the summed kernel time (launch overheads included).
+func MeasureTower(batch, inDim int, hidden []int, dev *gpusim.Device) (float64, error) {
+	total := 0.0
+	in := inDim
+	for _, h := range hidden {
+		k := GEMMKernel(batch, in, h, dev)
+		k.IncludeLaunchOverhead = true
+		r, err := gpusim.Simulate(dev, &k)
+		if err != nil {
+			return 0, err
+		}
+		total += r.Time
+		in = h
+	}
+	return total, nil
+}

@@ -1,0 +1,209 @@
+package embedding
+
+import (
+	"fmt"
+	"math"
+)
+
+// FeatureBatch holds the lookup IDs of one feature field for one batch of
+// samples in CSR form: sample i owns Indices[Offsets[i]:Offsets[i+1]]. A
+// sample with an empty range is an absent feature (pooling factor 0), which
+// pools to the identity element of the pooling mode.
+type FeatureBatch struct {
+	Indices []int32
+	Offsets []int32 // len = batch size + 1; Offsets[0] == 0
+}
+
+// NewFeatureBatch builds a FeatureBatch from per-sample ID lists.
+func NewFeatureBatch(perSample [][]int32) FeatureBatch {
+	fb := FeatureBatch{Offsets: make([]int32, 1, len(perSample)+1)}
+	for _, ids := range perSample {
+		fb.Indices = append(fb.Indices, ids...)
+		fb.Offsets = append(fb.Offsets, int32(len(fb.Indices)))
+	}
+	return fb
+}
+
+// BatchSize returns the number of samples.
+func (fb *FeatureBatch) BatchSize() int { return len(fb.Offsets) - 1 }
+
+// PoolingFactor returns the number of lookup IDs of sample i.
+func (fb *FeatureBatch) PoolingFactor(i int) int {
+	return int(fb.Offsets[i+1] - fb.Offsets[i])
+}
+
+// Sample returns the ID slice of sample i, aliasing the batch storage.
+func (fb *FeatureBatch) Sample(i int) []int32 {
+	return fb.Indices[fb.Offsets[i]:fb.Offsets[i+1]]
+}
+
+// TotalRows returns the total number of embedding rows the batch retrieves.
+func (fb *FeatureBatch) TotalRows() int { return len(fb.Indices) }
+
+// UniqueRows counts the distinct IDs referenced by the batch. The L2 model
+// uses it to estimate reuse.
+func (fb *FeatureBatch) UniqueRows() int {
+	if len(fb.Indices) == 0 {
+		return 0
+	}
+	seen := make(map[int32]struct{}, len(fb.Indices))
+	for _, id := range fb.Indices {
+		seen[id] = struct{}{}
+	}
+	return len(seen)
+}
+
+// uniqueSampleCap bounds the work of UniqueRowsEstimate: beyond this many
+// IDs the distinct count is extrapolated from a strided sample.
+const uniqueSampleCap = 2048
+
+// UniqueRowsEstimate approximates UniqueRows in O(min(n, uniqueSampleCap))
+// time: exact counting over a strided sample with a small open-addressed
+// probe table (no map allocations), extrapolated to the full stream. The
+// host-side workload analysis runs per batch on the serving path, where this
+// estimate is accurate enough for the L2 reuse model and far cheaper than
+// the exact count.
+func (fb *FeatureBatch) UniqueRowsEstimate() int {
+	n := len(fb.Indices)
+	if n == 0 {
+		return 0
+	}
+	stride := 1
+	sampled := n
+	if n > uniqueSampleCap {
+		stride = n / uniqueSampleCap
+		sampled = (n + stride - 1) / stride
+	}
+	// Open-addressed probe table sized 2x the sample (power of two).
+	const tableSize = 4096 // >= 2*uniqueSampleCap
+	var table [tableSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+	distinct := 0
+	for i := 0; i < n; i += stride {
+		id := fb.Indices[i]
+		h := uint32(id) * 2654435761 % tableSize
+		for {
+			switch table[h] {
+			case -1:
+				table[h] = id
+				distinct++
+			case id:
+			default:
+				h = (h + 1) % tableSize
+				continue
+			}
+			break
+		}
+	}
+	if stride == 1 {
+		return distinct
+	}
+	// Invert the collision model: a uniform sample of m draws from a stream
+	// with D distinct values yields E[d] = D·(1-(1-1/D)^m) distinct sample
+	// values. Binary-search D so the expectation matches the observed d —
+	// far more faithful on heavy-reuse streams than linear extrapolation.
+	m := float64(sampled)
+	d := float64(distinct)
+	lo, hi := d, float64(n)
+	if d >= m*(1-1e-9) {
+		// Every sampled ID was new: the stream is (near) duplicate-free.
+		return n
+	}
+	expect := func(D float64) float64 {
+		return D * (1 - math.Pow(1-1/D, m))
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if expect(mid) < d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	est := int(hi)
+	if est > n {
+		est = n
+	}
+	if est < distinct {
+		est = distinct
+	}
+	return est
+}
+
+// MaxPoolingFactor returns the largest per-sample pooling factor.
+func (fb *FeatureBatch) MaxPoolingFactor() int {
+	m := 0
+	for i := 0; i < fb.BatchSize(); i++ {
+		if pf := fb.PoolingFactor(i); pf > m {
+			m = pf
+		}
+	}
+	return m
+}
+
+// Validate checks CSR invariants against a table with `rows` rows.
+func (fb *FeatureBatch) Validate(rows int) error {
+	if len(fb.Offsets) == 0 || fb.Offsets[0] != 0 {
+		return fmt.Errorf("embedding: offsets must start with 0")
+	}
+	for i := 1; i < len(fb.Offsets); i++ {
+		if fb.Offsets[i] < fb.Offsets[i-1] {
+			return fmt.Errorf("embedding: offsets not monotone at %d: %d < %d", i, fb.Offsets[i], fb.Offsets[i-1])
+		}
+	}
+	if int(fb.Offsets[len(fb.Offsets)-1]) != len(fb.Indices) {
+		return fmt.Errorf("embedding: last offset %d != len(indices) %d", fb.Offsets[len(fb.Offsets)-1], len(fb.Indices))
+	}
+	for i, id := range fb.Indices {
+		if id < 0 || int(id) >= rows {
+			return fmt.Errorf("embedding: index %d at position %d outside table with %d rows", id, i, rows)
+		}
+	}
+	return nil
+}
+
+// Batch groups the per-feature lookup batches of one inference request. All
+// features must agree on the sample count.
+type Batch struct {
+	Features []FeatureBatch
+}
+
+// BatchSize returns the shared sample count (0 for an empty batch).
+func (b *Batch) BatchSize() int {
+	if len(b.Features) == 0 {
+		return 0
+	}
+	return b.Features[0].BatchSize()
+}
+
+// NumFeatures returns the number of feature fields.
+func (b *Batch) NumFeatures() int { return len(b.Features) }
+
+// Validate checks that every feature batch is well-formed and that all agree
+// on the sample count. tables[f] supplies the row bound of feature f.
+func (b *Batch) Validate(tables []*Table) error {
+	if len(tables) != len(b.Features) {
+		return fmt.Errorf("embedding: %d feature batches vs %d tables", len(b.Features), len(tables))
+	}
+	size := b.BatchSize()
+	for f := range b.Features {
+		if got := b.Features[f].BatchSize(); got != size {
+			return fmt.Errorf("embedding: feature %d batch size %d != %d", f, got, size)
+		}
+		if err := b.Features[f].Validate(tables[f].Rows); err != nil {
+			return fmt.Errorf("embedding: feature %d: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// TotalRows sums retrieved rows over all features.
+func (b *Batch) TotalRows() int {
+	n := 0
+	for f := range b.Features {
+		n += b.Features[f].TotalRows()
+	}
+	return n
+}

@@ -1,0 +1,355 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, rows, dim int, seed uint64) *Table {
+	t.Helper()
+	tbl, err := NewDeterministicTable("t", rows, dim, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func randomFeatureBatch(rng *rand.Rand, batch, rows, maxPF int) FeatureBatch {
+	perSample := make([][]int32, batch)
+	for i := range perSample {
+		pf := rng.Intn(maxPF + 1)
+		ids := make([]int32, pf)
+		for j := range ids {
+			ids[j] = int32(rng.Intn(rows))
+		}
+		perSample[i] = ids
+	}
+	return NewFeatureBatch(perSample)
+}
+
+func TestNewTableRejectsBadShapes(t *testing.T) {
+	for _, c := range [][2]int{{0, 8}, {8, 0}, {-1, 4}, {4, -1}} {
+		if _, err := NewTable("bad", c[0], c[1]); err == nil {
+			t.Errorf("NewTable(%d,%d) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestDeterministicTableReproducible(t *testing.T) {
+	a := mustTable(t, 100, 16, 42)
+	b := mustTable(t, 100, 16, 42)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("data diverges at %d", i)
+		}
+	}
+	c := mustTable(t, 100, 16, 43)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func TestDeterministicTableValueRange(t *testing.T) {
+	tbl := mustTable(t, 500, 32, 7)
+	for i, v := range tbl.Data {
+		if v < -1 || v >= 1 || math.IsNaN(float64(v)) {
+			t.Fatalf("Data[%d] = %g outside [-1,1)", i, v)
+		}
+	}
+}
+
+func TestTableRowAliasing(t *testing.T) {
+	tbl := mustTable(t, 10, 4, 1)
+	row := tbl.Row(3)
+	row[0] = 99
+	if tbl.Data[12] != 99 {
+		t.Error("Row must alias table storage")
+	}
+	if tbl.SizeBytes() != 10*4*4 {
+		t.Errorf("SizeBytes = %d, want 160", tbl.SizeBytes())
+	}
+}
+
+func TestFeatureBatchAccessors(t *testing.T) {
+	fb := NewFeatureBatch([][]int32{{1, 2, 3}, {}, {5}})
+	if fb.BatchSize() != 3 {
+		t.Errorf("BatchSize = %d", fb.BatchSize())
+	}
+	if fb.PoolingFactor(0) != 3 || fb.PoolingFactor(1) != 0 || fb.PoolingFactor(2) != 1 {
+		t.Errorf("pooling factors wrong: %d %d %d", fb.PoolingFactor(0), fb.PoolingFactor(1), fb.PoolingFactor(2))
+	}
+	if fb.TotalRows() != 4 {
+		t.Errorf("TotalRows = %d, want 4", fb.TotalRows())
+	}
+	if fb.MaxPoolingFactor() != 3 {
+		t.Errorf("MaxPoolingFactor = %d, want 3", fb.MaxPoolingFactor())
+	}
+	if got := fb.Sample(0); len(got) != 3 || got[2] != 3 {
+		t.Errorf("Sample(0) = %v", got)
+	}
+	if got := fb.UniqueRows(); got != 4 {
+		t.Errorf("UniqueRows = %d, want 4", got)
+	}
+	dup := NewFeatureBatch([][]int32{{1, 1, 2}, {2}})
+	if got := dup.UniqueRows(); got != 2 {
+		t.Errorf("UniqueRows with duplicates = %d, want 2", got)
+	}
+}
+
+func TestFeatureBatchValidate(t *testing.T) {
+	fb := NewFeatureBatch([][]int32{{0, 1}, {2}})
+	if err := fb.Validate(3); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if err := fb.Validate(2); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	bad := FeatureBatch{Indices: []int32{0}, Offsets: []int32{0, 2}}
+	if err := bad.Validate(10); err == nil {
+		t.Error("mismatched final offset accepted")
+	}
+	neg := FeatureBatch{Indices: []int32{-1}, Offsets: []int32{0, 1}}
+	if err := neg.Validate(10); err == nil {
+		t.Error("negative index accepted")
+	}
+	nonMono := FeatureBatch{Indices: []int32{0, 1}, Offsets: []int32{0, 2, 1}}
+	if err := nonMono.Validate(10); err == nil {
+		t.Error("non-monotone offsets accepted")
+	}
+	empty := FeatureBatch{Offsets: nil}
+	if err := empty.Validate(10); err == nil {
+		t.Error("missing offsets accepted")
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	t1 := mustTable(t, 10, 4, 1)
+	t2 := mustTable(t, 20, 8, 2)
+	b := &Batch{Features: []FeatureBatch{
+		NewFeatureBatch([][]int32{{1}, {2, 3}}),
+		NewFeatureBatch([][]int32{{4}, {}}),
+	}}
+	if err := b.Validate([]*Table{t1, t2}); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if b.BatchSize() != 2 || b.NumFeatures() != 2 || b.TotalRows() != 4 {
+		t.Errorf("accessors wrong: %d %d %d", b.BatchSize(), b.NumFeatures(), b.TotalRows())
+	}
+	mismatch := &Batch{Features: []FeatureBatch{
+		NewFeatureBatch([][]int32{{1}, {2}}),
+		NewFeatureBatch([][]int32{{4}}),
+	}}
+	if err := mismatch.Validate([]*Table{t1, t2}); err == nil {
+		t.Error("mismatched batch sizes accepted")
+	}
+	if err := b.Validate([]*Table{t1}); err == nil {
+		t.Error("table count mismatch accepted")
+	}
+}
+
+func TestPoolSumKnownValues(t *testing.T) {
+	tbl, _ := NewTable("t", 3, 2)
+	copy(tbl.Data, []float32{1, 2, 3, 4, 5, 6})
+	fb := NewFeatureBatch([][]int32{{0, 2}, {1}})
+	out, err := PoolCPU(tbl, &fb, PoolSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{6, 8, 3, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPoolMeanKnownValues(t *testing.T) {
+	tbl, _ := NewTable("t", 2, 2)
+	copy(tbl.Data, []float32{2, 4, 6, 8})
+	fb := NewFeatureBatch([][]int32{{0, 1}})
+	out, err := PoolCPU(tbl, &fb, PoolMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 4 || out[1] != 6 {
+		t.Errorf("mean pooling = %v, want [4 6]", out)
+	}
+}
+
+func TestPoolMaxKnownValues(t *testing.T) {
+	tbl, _ := NewTable("t", 3, 2)
+	copy(tbl.Data, []float32{1, 9, 5, 2, 3, 7})
+	fb := NewFeatureBatch([][]int32{{0, 1, 2}})
+	out, err := PoolCPU(tbl, &fb, PoolMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 5 || out[1] != 9 {
+		t.Errorf("max pooling = %v, want [5 9]", out)
+	}
+}
+
+func TestPoolEmptySampleIdentity(t *testing.T) {
+	tbl := mustTable(t, 5, 3, 9)
+	fb := NewFeatureBatch([][]int32{{}})
+	for _, mode := range []PoolMode{PoolSum, PoolMean, PoolMax} {
+		out, err := PoolCPU(tbl, &fb, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != 0 {
+				t.Errorf("%v: empty sample out[%d] = %g, want 0", mode, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolCPURejectsInvalid(t *testing.T) {
+	tbl := mustTable(t, 5, 3, 9)
+	fb := NewFeatureBatch([][]int32{{7}})
+	if _, err := PoolCPU(tbl, &fb, PoolSum); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	ok := NewFeatureBatch([][]int32{{1}})
+	if _, err := PoolCPU(tbl, &ok, PoolMode(99)); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+// Property: PoolRange over any partition of [0, batch) reconstructs PoolCPU.
+func TestPoolRangePartitionProperty(t *testing.T) {
+	tbl := mustTable(t, 64, 8, 3)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		batch := 1 + rng.Intn(40)
+		fb := randomFeatureBatch(rng, batch, tbl.Rows, 12)
+		mode := PoolMode(rng.Intn(3))
+		want, err := PoolCPU(tbl, &fb, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float32, len(want))
+		lo := 0
+		for lo < batch {
+			hi := lo + 1 + rng.Intn(batch-lo)
+			PoolRange(tbl, &fb, mode, lo, hi, got)
+			lo = hi
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d mode %v: out[%d] = %g, want %g", trial, mode, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: sum pooling is additive over sample ID concatenation.
+func TestPoolSumAdditiveProperty(t *testing.T) {
+	tbl := mustTable(t, 32, 4, 8)
+	f := func(aRaw, bRaw []uint8) bool {
+		toIDs := func(raw []uint8) []int32 {
+			ids := make([]int32, len(raw))
+			for i, v := range raw {
+				ids[i] = int32(v) % int32(tbl.Rows)
+			}
+			return ids
+		}
+		a, b := toIDs(aRaw), toIDs(bRaw)
+		outA := make([]float32, tbl.Dim)
+		outB := make([]float32, tbl.Dim)
+		outAB := make([]float32, tbl.Dim)
+		PoolSample(tbl, a, PoolSum, outA)
+		PoolSample(tbl, b, PoolSum, outB)
+		PoolSample(tbl, append(append([]int32{}, a...), b...), PoolSum, outAB)
+		for c := 0; c < tbl.Dim; c++ {
+			if math.Abs(float64(outAB[c]-(outA[c]+outB[c]))) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: max pooling is idempotent and order-independent.
+func TestPoolMaxOrderInvariantProperty(t *testing.T) {
+	tbl := mustTable(t, 32, 4, 8)
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ids := make([]int32, len(raw))
+		for i, v := range raw {
+			ids[i] = int32(v) % int32(tbl.Rows)
+		}
+		shuffled := append([]int32{}, ids...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a := make([]float32, tbl.Dim)
+		b := make([]float32, tbl.Dim)
+		PoolSample(tbl, ids, PoolMax, a)
+		PoolSample(tbl, shuffled, PoolMax, b)
+		for c := range a {
+			if a[c] != b[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolModeString(t *testing.T) {
+	cases := map[PoolMode]string{PoolSum: "sum", PoolMean: "mean", PoolMax: "max", PoolMode(9): "PoolMode(9)"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+	if PoolMode(9).Valid() {
+		t.Error("PoolMode(9) should be invalid")
+	}
+}
+
+func TestUniqueRowsEstimate(t *testing.T) {
+	// Small batches: exact.
+	small := NewFeatureBatch([][]int32{{1, 1, 2}, {3}})
+	if got := small.UniqueRowsEstimate(); got != 3 {
+		t.Errorf("small estimate = %d, want exact 3", got)
+	}
+	// Large batch with heavy reuse: the estimate must land near the truth.
+	rng := rand.New(rand.NewSource(99))
+	ids := make([]int32, 100000)
+	for i := range ids {
+		ids[i] = int32(rng.Intn(500)) // ~500 distinct
+	}
+	fb := FeatureBatch{Indices: ids, Offsets: []int32{0, int32(len(ids))}}
+	exact := fb.UniqueRows()
+	est := fb.UniqueRowsEstimate()
+	// The collision-model inversion should land close to the truth.
+	if est < exact/2 || est > exact*2 {
+		t.Errorf("estimate %d too far from exact %d", est, exact)
+	}
+	// Large batch with no reuse: estimate ~= n.
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	fb2 := FeatureBatch{Indices: ids, Offsets: []int32{0, int32(len(ids))}}
+	if est := fb2.UniqueRowsEstimate(); est < len(ids)*9/10 {
+		t.Errorf("no-reuse estimate %d, want ~%d", est, len(ids))
+	}
+}

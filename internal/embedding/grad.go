@@ -1,0 +1,63 @@
+package embedding
+
+import "fmt"
+
+// Backward pass of the embedding operation: given the upstream gradient of
+// the pooled outputs (batch x dim), accumulate gradients into a table-shaped
+// buffer. Sum pooling routes the sample's gradient to every looked-up row;
+// mean pooling scales it by 1/pooling-factor. Max pooling requires forward
+// state (argmax indices) and is not part of the training extension. The paper
+// notes RecFlex extends to training "except the manual efforts to support
+// more operators" — this is that operator.
+
+// GradSample accumulates one sample's contribution into grad (rows*dim).
+func GradSample(tblRows, dim int, ids []int32, mode PoolMode, upstream []float32, grad []float32) error {
+	if mode != PoolSum && mode != PoolMean {
+		return fmt.Errorf("embedding: backward unsupported for %v pooling (needs forward state)", mode)
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	scale := float32(1)
+	if mode == PoolMean {
+		scale = 1 / float32(len(ids))
+	}
+	for _, id := range ids {
+		row := grad[int(id)*dim : (int(id)+1)*dim]
+		for c := 0; c < dim; c++ {
+			row[c] += upstream[c] * scale
+		}
+	}
+	return nil
+}
+
+// GradRange accumulates the gradients of samples [lo, hi) — the backward
+// counterpart of PoolRange, used by schedule executors.
+func GradRange(tblRows, dim int, fb *FeatureBatch, mode PoolMode, upstream []float32, lo, hi int, grad []float32) error {
+	for i := lo; i < hi; i++ {
+		if err := GradSample(tblRows, dim, fb.Sample(i), mode, upstream[i*dim:(i+1)*dim], grad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GradCPU is the reference backward executor: the full table gradient of one
+// feature batch.
+func GradCPU(t *Table, fb *FeatureBatch, mode PoolMode, upstream []float32) ([]float32, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fb.Validate(t.Rows); err != nil {
+		return nil, err
+	}
+	if len(upstream) != fb.BatchSize()*t.Dim {
+		return nil, fmt.Errorf("embedding: upstream gradient length %d != batch %d * dim %d",
+			len(upstream), fb.BatchSize(), t.Dim)
+	}
+	grad := make([]float32, t.Rows*t.Dim)
+	if err := GradRange(t.Rows, t.Dim, fb, mode, upstream, 0, fb.BatchSize(), grad); err != nil {
+		return nil, err
+	}
+	return grad, nil
+}

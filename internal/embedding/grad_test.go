@@ -1,0 +1,57 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGradSampleEdgeCases(t *testing.T) {
+	grad := make([]float32, 3*2)
+	// Empty sample: no contribution, no error.
+	if err := GradSample(3, 2, nil, PoolSum, []float32{1, 1}, grad); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range grad {
+		if v != 0 {
+			t.Errorf("grad[%d] = %g after empty sample", i, v)
+		}
+	}
+	// Max pooling needs forward state.
+	if err := GradSample(3, 2, []int32{0}, PoolMax, []float32{1, 1}, grad); err == nil {
+		t.Error("max pooling backward accepted")
+	}
+	// Repeated IDs accumulate.
+	if err := GradSample(3, 2, []int32{1, 1}, PoolSum, []float32{3, 4}, grad); err != nil {
+		t.Fatal(err)
+	}
+	if grad[2] != 6 || grad[3] != 8 {
+		t.Errorf("repeated-ID grad = %v", grad[2:4])
+	}
+}
+
+func TestGradRangeMeanScaling(t *testing.T) {
+	fb := NewFeatureBatch([][]int32{{0, 1}, {2}})
+	upstream := []float32{2, 4, 6, 8}
+	grad := make([]float32, 3*2)
+	if err := GradRange(3, 2, &fb, PoolMean, upstream, 0, 2, grad); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 1, 2, 6, 8} // sample 0 split over 2 rows, sample 1 whole
+	for i := range want {
+		if math.Abs(float64(grad[i]-want[i])) > 1e-6 {
+			t.Errorf("grad[%d] = %g, want %g", i, grad[i], want[i])
+		}
+	}
+}
+
+func TestGradCPUValidation(t *testing.T) {
+	tbl, _ := NewTable("t", 4, 2)
+	fb := NewFeatureBatch([][]int32{{9}}) // out of range
+	if _, err := GradCPU(tbl, &fb, PoolSum, []float32{1, 1}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	ok := NewFeatureBatch([][]int32{{1}})
+	if _, err := GradCPU(tbl, &ok, PoolSum, []float32{1, 1}); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+}

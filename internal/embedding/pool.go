@@ -1,0 +1,113 @@
+package embedding
+
+import "fmt"
+
+// PoolMode selects the elementwise reduction applied to the embedding rows of
+// one sample.
+type PoolMode int
+
+const (
+	// PoolSum adds the retrieved rows elementwise.
+	PoolSum PoolMode = iota
+	// PoolMean averages the retrieved rows elementwise.
+	PoolMean
+	// PoolMax takes the elementwise maximum of the retrieved rows.
+	PoolMax
+)
+
+// String implements fmt.Stringer.
+func (m PoolMode) String() string {
+	switch m {
+	case PoolSum:
+		return "sum"
+	case PoolMean:
+		return "mean"
+	case PoolMax:
+		return "max"
+	default:
+		return fmt.Sprintf("PoolMode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known pooling mode.
+func (m PoolMode) Valid() bool { return m >= PoolSum && m <= PoolMax }
+
+// PoolSample pools the rows of one sample into out (length table.Dim).
+// An empty sample yields the identity: zeros for sum/mean, MaxNegative for
+// max. This is the semantic ground truth every schedule must reproduce.
+func PoolSample(t *Table, ids []int32, mode PoolMode, out []float32) {
+	dim := t.Dim
+	switch mode {
+	case PoolMax:
+		for c := 0; c < dim; c++ {
+			out[c] = MaxNegative
+		}
+	default:
+		for c := 0; c < dim; c++ {
+			out[c] = 0
+		}
+	}
+	if len(ids) == 0 {
+		if mode == PoolMax {
+			// Absent feature: emit zeros rather than -inf sentinels so
+			// downstream DNN layers see a neutral input.
+			for c := 0; c < dim; c++ {
+				out[c] = 0
+			}
+		}
+		return
+	}
+	switch mode {
+	case PoolSum, PoolMean:
+		for _, id := range ids {
+			row := t.Row(int(id))
+			for c := 0; c < dim; c++ {
+				out[c] += row[c]
+			}
+		}
+		if mode == PoolMean {
+			inv := float32(1) / float32(len(ids))
+			for c := 0; c < dim; c++ {
+				out[c] *= inv
+			}
+		}
+	case PoolMax:
+		for _, id := range ids {
+			row := t.Row(int(id))
+			for c := 0; c < dim; c++ {
+				if row[c] > out[c] {
+					out[c] = row[c]
+				}
+			}
+		}
+	}
+}
+
+// PoolCPU is the reference executor: it pools every sample of fb against t
+// and returns a [batch*dim] row-major result.
+func PoolCPU(t *Table, fb *FeatureBatch, mode PoolMode) ([]float32, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fb.Validate(t.Rows); err != nil {
+		return nil, err
+	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("embedding: invalid pool mode %d", int(mode))
+	}
+	batch := fb.BatchSize()
+	out := make([]float32, batch*t.Dim)
+	for i := 0; i < batch; i++ {
+		PoolSample(t, fb.Sample(i), mode, out[i*t.Dim:(i+1)*t.Dim])
+	}
+	return out, nil
+}
+
+// PoolRange pools samples [lo, hi) of fb into out, where out is the full
+// [batch*dim] buffer. Schedule executors use it to compute exactly the
+// partition a thread block owns.
+func PoolRange(t *Table, fb *FeatureBatch, mode PoolMode, lo, hi int, out []float32) {
+	for i := lo; i < hi; i++ {
+		PoolSample(t, fb.Sample(i), mode, out[i*t.Dim:(i+1)*t.Dim])
+	}
+}

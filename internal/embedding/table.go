@@ -1,0 +1,84 @@
+// Package embedding implements the embedding-layer substrate of a deep
+// recommendation model: embedding tables, CSR-encoded lookup batches, and the
+// pooling operations (sum / mean / max elementwise reduction) that turn the
+// rows retrieved for one sample into a single output vector.
+//
+// The package also provides a straightforward CPU reference executor. Every
+// GPU schedule template in internal/sched must produce output identical to
+// this reference — schedules change how work maps to hardware, never what is
+// computed — and the property tests enforce exactly that.
+package embedding
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table is one embedding table: Rows vectors of Dim float32 values stored in
+// row-major order.
+type Table struct {
+	Name string
+	Rows int
+	Dim  int
+	Data []float32
+}
+
+// NewTable allocates a zero-initialized table.
+func NewTable(name string, rows, dim int) (*Table, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("embedding: table %q: rows and dim must be positive, got %d x %d", name, rows, dim)
+	}
+	return &Table{Name: name, Rows: rows, Dim: dim, Data: make([]float32, rows*dim)}, nil
+}
+
+// NewDeterministicTable allocates a table whose contents are a pure function
+// of (seed, row, col), so tests and experiments are reproducible without
+// storing gigabytes of weights.
+func NewDeterministicTable(name string, rows, dim int, seed uint64) (*Table, error) {
+	t, err := NewTable(name, rows, dim)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		base := r * dim
+		for c := 0; c < dim; c++ {
+			t.Data[base+c] = hashFloat(seed, uint64(r), uint64(c))
+		}
+	}
+	return t, nil
+}
+
+// Row returns the r-th embedding vector as a slice aliasing the table data.
+func (t *Table) Row(r int) []float32 {
+	return t.Data[r*t.Dim : (r+1)*t.Dim]
+}
+
+// SizeBytes returns the table footprint in bytes.
+func (t *Table) SizeBytes() int64 { return int64(len(t.Data)) * 4 }
+
+// Validate checks structural invariants.
+func (t *Table) Validate() error {
+	if t.Rows <= 0 || t.Dim <= 0 {
+		return fmt.Errorf("embedding: table %q: invalid shape %dx%d", t.Name, t.Rows, t.Dim)
+	}
+	if len(t.Data) != t.Rows*t.Dim {
+		return fmt.Errorf("embedding: table %q: data length %d != %d*%d", t.Name, len(t.Data), t.Rows, t.Dim)
+	}
+	return nil
+}
+
+// hashFloat maps (seed,row,col) to a float32 in [-1, 1) via splitmix64.
+func hashFloat(seed, r, c uint64) float32 {
+	x := seed ^ (r * 0x9E3779B97F4A7C15) ^ (c * 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	// Take 24 mantissa bits for an exact float32 in [0,1), then shift.
+	f := float64(x>>40) / float64(1<<24)
+	return float32(2*f - 1)
+}
+
+// MaxNegative is the identity element of max pooling.
+const MaxNegative = float32(-math.MaxFloat32)

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datasynth"
+	"repro/internal/report"
+)
+
+// Table1Row is one row of Table I (basic statistics of the models).
+type Table1Row struct {
+	Model    string
+	Features int
+	OneHot   int
+	MultiHot int
+	DimLo    int
+	DimHi    int
+}
+
+// Table1 reproduces Table I from the dataset generator configs (always at
+// full scale — it characterizes the datasets, not the run).
+func Table1() []Table1Row {
+	rows := make([]Table1Row, 0, 5)
+	for _, cfg := range datasynth.StandardModels() {
+		oneHot, multiHot := cfg.CountHot()
+		lo, hi := cfg.DimRange()
+		rows = append(rows, Table1Row{
+			Model:    cfg.Name,
+			Features: len(cfg.Features),
+			OneHot:   oneHot,
+			MultiHot: multiHot,
+			DimLo:    lo,
+			DimHi:    hi,
+		})
+	}
+	return rows
+}
+
+// PrintTable1 renders Table I.
+func PrintTable1(w io.Writer) error {
+	t := &report.Table{
+		Title:  "Table I: basic statistics of evaluated models and datasets",
+		Header: []string{"Model", "# Features", "# One-hot", "# Multi-hot", "Emb. Dim."},
+	}
+	for _, r := range Table1() {
+		dim := fmt.Sprintf("%d-%d", r.DimLo, r.DimHi)
+		if r.DimLo == r.DimHi {
+			dim = fmt.Sprintf("%d", r.DimLo)
+		}
+		t.AddRow(r.Model, fmt.Sprintf("%d", r.Features), fmt.Sprintf("%d", r.OneHot),
+			fmt.Sprintf("%d", r.MultiHot), dim)
+	}
+	return t.Write(w)
+}
+
+// Fig2Result is the data behind Figure 2: the embedding-dimension
+// distribution of a model and the pooling factors of four features over 50
+// samples.
+type Fig2Result struct {
+	Dims      []int
+	DimCounts []int
+	Features  []int
+	PFSeries  [][]int
+	Heterogen float64
+}
+
+// Fig2 characterizes feature heterogeneity on model A.
+func (s *Suite) Fig2() (*Fig2Result, error) {
+	cfg := s.ScaledModel(datasynth.ModelA())
+	ds, err := s.Dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hist := datasynth.DimHistogram(cfg)
+	dims := datasynth.SortedDims(hist)
+	res := &Fig2Result{Dims: dims}
+	for _, d := range dims {
+		res.DimCounts = append(res.DimCounts, hist[d])
+	}
+
+	// Four multi-hot features with visibly different pooling behaviour.
+	batch := ds.Batches[0]
+	picked := 0
+	for f := range cfg.Features {
+		if picked == 4 {
+			break
+		}
+		if cfg.Features[f].OneHot() {
+			continue
+		}
+		series := datasynth.PoolingFactorSeries(batch, f)
+		if len(series) > 50 {
+			series = series[:50]
+		}
+		res.Features = append(res.Features, f)
+		res.PFSeries = append(res.PFSeries, series)
+		picked++
+	}
+	stats := datasynth.CollectFeatureStats(cfg, ds.Batches)
+	res.Heterogen = datasynth.HeterogeneityIndex(stats)
+	return res, nil
+}
+
+// PrintFig2 renders the Figure 2 data.
+func (s *Suite) PrintFig2(w io.Writer) error {
+	res, err := s.Fig2()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "Figure 2(a): embedding dimension distribution (model A)",
+		Header: []string{"Dim", "# Features"},
+	}
+	for i, d := range res.Dims {
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", res.DimCounts[i]))
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	t2 := &report.Table{
+		Title:  "Figure 2(b): pooling factors of 4 multi-hot features over 50 samples",
+		Header: []string{"Feature", "min", "max", "first 10 samples"},
+	}
+	for i, f := range res.Features {
+		lo, hi := res.PFSeries[i][0], res.PFSeries[i][0]
+		for _, v := range res.PFSeries[i] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		head := ""
+		for j := 0; j < 10 && j < len(res.PFSeries[i]); j++ {
+			head += fmt.Sprintf("%d ", res.PFSeries[i][j])
+		}
+		t2.AddRow(fmt.Sprintf("f%d", f), fmt.Sprintf("%d", lo), fmt.Sprintf("%d", hi), head)
+	}
+	if err := t2.Write(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "heterogeneity index (CV of per-feature mean work): %.2f\n", res.Heterogen)
+	return err
+}

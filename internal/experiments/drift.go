@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/tuner"
+)
+
+// DriftResult is the §IV-A3 re-tuning lifecycle study: the paper tunes on
+// recent historical data and re-tunes periodically "to handle the
+// distribution shifts". This experiment creates the shift (pooling factors
+// scale by DriftFactor), and compares serving the drifted workload with the
+// stale schedules against re-tuned ones, alongside the drift detector's
+// verdict.
+type DriftResult struct {
+	DriftFactor  float64
+	Detected     bool
+	StaleLatency float64 // drifted batches under the original schedules
+	FreshLatency float64 // drifted batches after re-tuning
+	Improvement  float64
+}
+
+// DriftStudy runs the lifecycle on model C (all multi-hot: every feature
+// drifts).
+func (s *Suite) DriftStudy() (*DriftResult, error) {
+	return memo(s, "drift", s.driftStudy)
+}
+
+func (s *Suite) driftStudy() (*DriftResult, error) {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.ModelC())
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	const factor = 4.0
+	drifted := datasynth.Drifted(cfg, factor)
+	driftedDS, err := datasynth.GenerateDataset(drifted, s.Cfg.TuneBatches+s.Cfg.EvalBatches,
+		datasynth.RequestSizes(s.Cfg.TuneBatches+s.Cfg.EvalBatches, s.Cfg.BatchCap, drifted.Seed^0xD81F7))
+	if err != nil {
+		return nil, err
+	}
+	newTune := driftedDS.Batches[:s.Cfg.TuneBatches]
+	newEval := driftedDS.Batches[s.Cfg.TuneBatches:]
+
+	res := &DriftResult{DriftFactor: factor}
+	if res.Detected, err = rf.ShouldRetune(newTune); err != nil {
+		return nil, err
+	}
+
+	// Serve the drifted workload with the stale schedules.
+	features := rf.Features()
+	for _, b := range newEval {
+		sec, err := rf.Measure(dev, features, b)
+		if err != nil {
+			return nil, err
+		}
+		res.StaleLatency += sec
+	}
+
+	// Re-tune on the drifted history (a fresh instance; the production
+	// system would swap the compiled kernel atomically).
+	fresh := core.New(dev, features)
+	if err := fresh.Tune(newTune, tuner.Options{
+		Occupancies: s.Cfg.Occupancies,
+		Parallelism: s.Cfg.Parallelism,
+	}); err != nil {
+		return nil, err
+	}
+	for _, b := range newEval {
+		sec, err := fresh.Measure(dev, features, b)
+		if err != nil {
+			return nil, err
+		}
+		res.FreshLatency += sec
+	}
+	res.Improvement = res.StaleLatency / res.FreshLatency
+	return res, nil
+}
+
+// PrintDriftStudy renders the lifecycle study.
+func (s *Suite) PrintDriftStudy(w io.Writer) error {
+	res, err := s.DriftStudy()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\n== Re-tuning lifecycle (§IV-A3, model C, pooling factors x%.0f) ==\ndrift detected: %v; stale schedules %s vs re-tuned %s -> re-tuning recovers %s\n",
+		res.DriftFactor, res.Detected, report.FmtUS(res.StaleLatency), report.FmtUS(res.FreshLatency),
+		report.FmtRatio(res.Improvement))
+	return err
+}

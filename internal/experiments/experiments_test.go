@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testSuite is small enough for CI but stays in the many-features regime.
+func testSuite() *Suite {
+	return NewSuite(Config{
+		Scale:       25, // models A-E at 32-48 features
+		TuneBatches: 2,
+		EvalBatches: 3,
+		BatchCap:    512,
+		Occupancies: []int{1, 2, 3, 4, 6, 8},
+		Parallelism: 4,
+	})
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := []Table1Row{
+		{Model: "A", Features: 1000, OneHot: 500, MultiHot: 500, DimLo: 4, DimHi: 128},
+		{Model: "B", Features: 1200, OneHot: 1000, MultiHot: 200, DimLo: 4, DimHi: 128},
+		{Model: "C", Features: 800, OneHot: 0, MultiHot: 800, DimLo: 4, DimHi: 128},
+		{Model: "D", Features: 1000, OneHot: 500, MultiHot: 500, DimLo: 8, DimHi: 8},
+		{Model: "E", Features: 1000, OneHot: 500, MultiHot: 500, DimLo: 32, DimHi: 32},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rows), len(want))
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestFig2ShowsHeterogeneity(t *testing.T) {
+	s := testSuite()
+	res, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dims) < 3 {
+		t.Errorf("only %d distinct dims; model A should span 4-128", len(res.Dims))
+	}
+	if len(res.Features) != 4 {
+		t.Errorf("%d pooling-factor series, want 4", len(res.Features))
+	}
+	if res.Heterogen <= 1 {
+		t.Errorf("heterogeneity index %.2f, want > 1 for model A", res.Heterogen)
+	}
+}
+
+func TestFig3OptimalSchedulesDiffer(t *testing.T) {
+	res, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] == res.Best[1] {
+		t.Errorf("both features picked candidate %d; heterogeneous workloads should prefer different schedules", res.Best[0])
+	}
+	if res.MaxGapPct < 20 {
+		t.Errorf("max schedule gap %.1f%%, want a substantial spread (paper: 86.4%%)", res.MaxGapPct)
+	}
+}
+
+func TestFig9RecFlexWins(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 5 models x 2 devices
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	for _, row := range rows {
+		rf, ok := row.Times["RecFlex"]
+		if !ok {
+			t.Fatalf("%s/%s: RecFlex missing", row.Device, row.Model)
+		}
+		for name, tm := range row.Times {
+			if name == "RecFlex" {
+				continue
+			}
+			// At this reduced scale the light one-hot models are
+			// fixed-cost dominated and the strongest baseline can tie;
+			// RecFlex must never lose materially on any row (and must
+			// win on average, asserted below).
+			if rf > tm*1.06 {
+				t.Errorf("%s/%s: RecFlex (%g) slower than %s (%g)", row.Device, row.Model, rf, name, tm)
+			}
+		}
+		// HugeCTR only runs on the uniform-dim models D and E.
+		_, hasHC := row.Times["HugeCTR"]
+		wantHC := row.Model == "D" || row.Model == "E"
+		if hasHC != wantHC {
+			t.Errorf("%s/%s: HugeCTR presence = %v, want %v", row.Device, row.Model, hasHC, wantHC)
+		}
+	}
+	sp := AverageSpeedups(rows)
+	for _, base := range []string{"TensorFlow", "RECom", "HugeCTR", "TorchRec"} {
+		if sp[base] < 1 {
+			t.Errorf("average speedup over %s = %.2f, want >= 1", base, sp[base])
+		}
+	}
+	// Paper ordering: TensorFlow is by far the weakest baseline, TorchRec
+	// the strongest.
+	if sp["TensorFlow"] < sp["TorchRec"] {
+		t.Errorf("speedup over TensorFlow (%.2f) should exceed speedup over TorchRec (%.2f)",
+			sp["TensorFlow"], sp["TorchRec"])
+	}
+}
+
+func TestFig10E2ESpeedupsSmallerThanKernel(t *testing.T) {
+	s := testSuite()
+	kernelRows, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2eRows, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelSp := AverageSpeedups(kernelRows)
+	e2eSp := AverageSpeedups(e2eRows)
+	for name, k := range kernelSp {
+		e := e2eSp[name]
+		if e <= 0 {
+			t.Fatalf("missing e2e speedup for %s", name)
+		}
+		if e > k*1.02 {
+			t.Errorf("%s: e2e speedup %.2f exceeds kernel speedup %.2f", name, e, k)
+		}
+		if e < 1 {
+			t.Errorf("%s: e2e speedup %.2f below 1", name, e)
+		}
+	}
+}
+
+func TestTable2RecFlexBetterCounters(t *testing.T) {
+	s := testSuite()
+	res, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecFlex.MemoryThroughput <= res.TorchRec.MemoryThroughput {
+		t.Errorf("RecFlex memory throughput (%.1f GB/s) should beat TorchRec (%.1f GB/s)",
+			res.RecFlex.MemoryThroughput/1e9, res.TorchRec.MemoryThroughput/1e9)
+	}
+	if res.RecFlex.AvgActiveThreadsPerWarp <= res.TorchRec.AvgActiveThreadsPerWarp {
+		t.Errorf("RecFlex active threads/warp (%.1f) should beat TorchRec (%.1f)",
+			res.RecFlex.AvgActiveThreadsPerWarp, res.TorchRec.AvgActiveThreadsPerWarp)
+	}
+}
+
+func TestFig11TwoStageNeverLoses(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	// At this reduced scale individual models can tie (the paper's effect
+	// grows with feature count — the scale-10 harness shows 1.5-3x wins per
+	// model); the robust shape is: never lose materially, win on average.
+	var imps []float64
+	for _, r := range rows {
+		if r.Improvement < 0.95 {
+			t.Errorf("model %s: two-stage lost to separate-combine by >5%% (%.3f)", r.Model, r.Improvement)
+		}
+		imps = append(imps, r.Improvement)
+	}
+	if g := geoMean(imps); g < 1.05 {
+		t.Errorf("average two-stage improvement %.3f, want >= 1.05", g)
+	}
+}
+
+func geoMean(v []float64) float64 {
+	p := 1.0
+	for _, x := range v {
+		p *= x
+	}
+	return math.Pow(p, 1/float64(len(v)))
+}
+
+func TestFig12ChosenNearOptimal(t *testing.T) {
+	s := testSuite()
+	curves, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(curves))
+	}
+	for _, c := range curves {
+		if c.ChosenGap > 1.30 {
+			t.Errorf("feature %d: tuner's choice %.1f%% off optimal", c.Feature, (c.ChosenGap-1)*100)
+		}
+		nonzero := 0
+		for _, tm := range c.Times {
+			if tm > 0 {
+				nonzero++
+			}
+		}
+		if nonzero < 5 {
+			t.Errorf("feature %d: only %d candidates measured", c.Feature, nonzero)
+		}
+	}
+}
+
+func TestFig13RuntimeMappingWins(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.StaticAvg < r.Runtime*0.98 || r.StaticMax < r.Runtime*0.98 {
+			t.Errorf("model %s: a static mapping beat runtime mapping (rt %g, avg %g, max %g)",
+				r.Model, r.Runtime, r.StaticAvg, r.StaticMax)
+		}
+		// On bandwidth/latency-saturated long-tail kernels the fluid model
+		// prices block folding at roughly the per-block overhead it saves,
+		// so static-avg can tie runtime mapping within a few percent (the
+		// paper's 40-50% long-tail degradation does not fully reproduce;
+		// see EXPERIMENTS.md). Runtime mapping must never lose materially.
+		if r.TailStaticAvg < r.TailRuntime*0.95 {
+			t.Errorf("model %s: static-avg beat runtime on the long-tail request by >5%%", r.Model)
+		}
+	}
+}
+
+func TestMLPerfParity(t *testing.T) {
+	s := testSuite()
+	res, err := s.MLPerf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heterogen > 0.05 {
+		t.Errorf("MLPerf-like heterogeneity %.3f, want ~0", res.Heterogen)
+	}
+	if res.Speedup < 0.95 {
+		t.Errorf("RecFlex slower than TorchRec on the homogeneous dataset: %.2fx", res.Speedup)
+	}
+	if res.Speedup > 1.6 {
+		t.Errorf("speedup %.2fx on a homogeneous dataset; paper reports near parity", res.Speedup)
+	}
+}
+
+func TestOverheadSmall(t *testing.T) {
+	s := testSuite()
+	res, err := s.Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostAnalysis <= 0 || res.DataLoad <= 0 {
+		t.Fatalf("non-positive durations: %+v", res)
+	}
+}
+
+func TestPrintersProduceOutput(t *testing.T) {
+	s := testSuite()
+	var buf bytes.Buffer
+	if err := PrintTable1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrintFig2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := PrintFig3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Figure 2(a)", "Figure 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/report"
+)
+
+// ExportCSV writes the data series of the main figures as CSV files into
+// dir, the artifact-style output that plotting scripts consume ('kern.csv',
+// 'e2e.csv', 'tuning.csv', 'mapping.csv' mirroring the artifact's kern.pdf /
+// e2e.pdf outputs).
+func (s *Suite) ExportCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	kern, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	if err := writeComparisonCSV(filepath.Join(dir, "kern.csv"), kern); err != nil {
+		return err
+	}
+	e2e, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	if err := writeComparisonCSV(filepath.Join(dir, "e2e.csv"), e2e); err != nil {
+		return err
+	}
+	tuning, err := s.Fig11()
+	if err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "tuning.csv"),
+		[]string{"model", "two_stage_s", "separate_s", "improvement"},
+		func(w *csv.Writer) error {
+			for _, r := range tuning {
+				if err := w.Write([]string{r.Model, fmtF(r.TwoStage), fmtF(r.Separate), fmtF(r.Improvement)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+		return err
+	}
+	mapping, err := s.Fig13()
+	if err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, "mapping.csv"),
+		[]string{"model", "runtime_s", "static_avg_s", "static_max_s", "tail_runtime_s", "tail_static_avg_s", "tail_static_max_s"},
+		func(w *csv.Writer) error {
+			for _, r := range mapping {
+				if err := w.Write([]string{r.Model, fmtF(r.Runtime), fmtF(r.StaticAvg), fmtF(r.StaticMax),
+					fmtF(r.TailRuntime), fmtF(r.TailStaticAvg), fmtF(r.TailStaticMax)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+func writeComparisonCSV(path string, rows []Fig9Row) error {
+	return writeCSV(path, []string{"device", "model", "system", "seconds", "normalized"},
+		func(w *csv.Writer) error {
+			for _, row := range rows {
+				norm := report.Normalize(row.Times)
+				for _, name := range report.SortedKeys(row.Times) {
+					if err := w.Write([]string{row.Device, row.Model, name,
+						fmtF(row.Times[name]), fmtF(norm[name])}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+}
+
+func writeCSV(path string, header []string, body func(*csv.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := body(w); err != nil {
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSVTo streams one comparison's CSV to an io.Writer (used by tests).
+func WriteCSVTo(w io.Writer, rows []Fig9Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"device", "model", "system", "seconds", "normalized"}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		norm := report.Normalize(row.Times)
+		for _, name := range report.SortedKeys(row.Times) {
+			if err := cw.Write([]string{row.Device, row.Model, name,
+				fmt.Sprintf("%g", row.Times[name]), fmt.Sprintf("%g", norm[name])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVTo(t *testing.T) {
+	rows := []Fig9Row{
+		{Device: "V100", Model: "A", Times: map[string]float64{"RecFlex": 1e-5, "TorchRec": 2e-5}},
+		{Device: "A100", Model: "B", Times: map[string]float64{"RecFlex": 3e-5}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSVTo(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 3 data rows
+		t.Fatalf("%d records, want 4", len(records))
+	}
+	if records[0][2] != "system" {
+		t.Errorf("header = %v", records[0])
+	}
+	// RecFlex on V100/A is the fastest system -> normalized 1.
+	found := false
+	for _, r := range records[1:] {
+		if r[0] == "V100" && r[2] == "RecFlex" {
+			found = true
+			if r[4] != "1" {
+				t.Errorf("normalized = %q, want 1", r[4])
+			}
+		}
+	}
+	if !found {
+		t.Error("V100 RecFlex row missing")
+	}
+}
+
+func TestExportCSVFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("export runs the full figure set")
+	}
+	s := NewSuite(Config{
+		Scale:       100, // tiny: 8-12 features
+		TuneBatches: 1,
+		EvalBatches: 1,
+		BatchCap:    256,
+		Occupancies: []int{4, 8},
+		Parallelism: 4,
+	})
+	dir := t.TempDir()
+	if err := s.ExportCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"kern.csv", "e2e.csv", "tuning.csv", "mapping.csv"} {
+		rows := readCSVFile(t, dir+"/"+name)
+		if len(rows) < 2 {
+			t.Errorf("%s has %d rows, want header + data", name, len(rows))
+		}
+	}
+}
+
+func readCSVFile(t *testing.T, path string) [][]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(string(data))).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/datasynth"
+	"repro/internal/gpusim"
+	"repro/internal/placement"
+	"repro/internal/preproc"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/tuner"
+	"repro/internal/uvmcache"
+)
+
+// ExtensionResults bundles the Discussion-section (§VII) extension studies
+// that go beyond the paper's evaluation: multi-GPU placement, the UVM
+// hot-embedding cache, preprocess-operator fusion and host-sorted schedules.
+type ExtensionResults struct {
+	// Multi-GPU placement: makespan per strategy (2 GPUs, model A).
+	PlacementMakespan map[string]float64
+
+	// UVM cache sweep: kernel time per hot-cache fraction of the total
+	// table bytes.
+	UVMFractions []float64
+	UVMTimes     []float64
+
+	// Preprocess fusion: fused vs separate pipeline time on one feature.
+	PreprocFused    float64
+	PreprocSeparate float64
+
+	// Intra-feature heterogeneity ablation on a bimodal model: a uniform
+	// sub-warp schedule, the host-sorted variant, and the hybrid split
+	// that routes heavy samples to block-per-sample.
+	SortedTime   float64
+	UnsortedTime float64
+	HybridTime   float64
+}
+
+// Extensions runs all four extension studies at the suite's scale.
+func (s *Suite) Extensions() (*ExtensionResults, error) {
+	return memo(s, "ext", s.extensions)
+}
+
+func (s *Suite) extensions() (*ExtensionResults, error) {
+	res := &ExtensionResults{PlacementMakespan: make(map[string]float64)}
+	dev := gpusim.V100()
+
+	// --- Multi-GPU placement (model A, 2 GPUs) ---
+	cfg := s.ScaledModel(datasynth.ModelA())
+	ds, err := s.Dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tune, eval := s.Split(ds)
+	features := Features(cfg)
+	stats, err := placement.CollectStats(features, tune)
+	if err != nil {
+		return nil, err
+	}
+	for _, strat := range []placement.Strategy{placement.LPT, placement.RoundRobin, placement.CapacityOnly} {
+		p, err := placement.Place(stats, 2, 0, strat)
+		if err != nil {
+			return nil, err
+		}
+		m, err := placement.NewMultiGPU(dev, features, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Tune(tune, tuner.Options{Occupancies: s.Cfg.Occupancies, Parallelism: s.Cfg.Parallelism}); err != nil {
+			return nil, err
+		}
+		total := 0.0
+		for _, b := range eval {
+			r, err := m.Measure(b)
+			if err != nil {
+				return nil, err
+			}
+			total += r.Total()
+		}
+		res.PlacementMakespan[strat.String()] = total
+	}
+
+	// --- UVM hot-cache sweep (one Zipf feature with a huge table) ---
+	uvmCfg := &datasynth.ModelConfig{Name: "uvm-ext", Seed: 21, Features: []datasynth.FeatureSpec{
+		{Name: "huge", Dim: 32, Rows: 1 << 20, PF: datasynth.Fixed{K: 40}, Coverage: 1, IDs: datasynth.IDZipf},
+	}}
+	rng := rand.New(rand.NewSource(uvmCfg.Seed))
+	uvmBatch, err := datasynth.GenerateBatch(uvmCfg, 256, rng)
+	if err != nil {
+		return nil, err
+	}
+	inner := sched.SubWarp{Threads: 256, Lanes: 32, Vec: 4, UnrollRows: 1}
+	w := sched.AnalyzeWorkload(&uvmBatch.Features[0], 32, 1<<20)
+	l2 := sched.L2Context{CacheBytes: float64(dev.L2SizeBytes), WorkingSetBytes: float64(w.UniqueRows) * w.RowBytes()}
+	for _, frac := range []float64{0.001, 0.01, 0.1, 1.0} {
+		hot := int(frac * float64(1<<20))
+		c := uvmcache.Cached{Inner: inner, Cfg: uvmcache.Config{HotRows: hot}}
+		c.ColdFrac = uvmcache.ColdFraction(&uvmBatch.Features[0], c.Cfg)
+		p, err := c.Plan(&w, dev, l2)
+		if err != nil {
+			return nil, err
+		}
+		k := &gpusim.Kernel{Name: "uvm", Resources: c.Resources(32), Blocks: p.Blocks}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			return nil, err
+		}
+		res.UVMFractions = append(res.UVMFractions, frac)
+		res.UVMTimes = append(res.UVMTimes, r.Time)
+	}
+
+	// --- Preprocess fusion on a multi-hot feature ---
+	ppBatch, err := datasynth.GenerateBatch(uvmCfg, 512, rng)
+	if err != nil {
+		return nil, err
+	}
+	ops := []preproc.Op{preproc.HashMod{Seed: 3}, preproc.Clip{MaxPF: 32}}
+	wPP := sched.AnalyzeWorkload(&ppBatch.Features[0], 32, 1<<20)
+	fusedPlan, err := inner.Plan(&wPP, dev, l2)
+	if err != nil {
+		return nil, err
+	}
+	preproc.FuseIntoPlan(fusedPlan, &wPP, ops)
+	fk := &gpusim.Kernel{Name: "pp-fused", Resources: inner.Resources(32), Blocks: fusedPlan.Blocks}
+	fr, err := gpusim.Simulate(dev, fk)
+	if err != nil {
+		return nil, err
+	}
+	res.PreprocFused = fr.Time
+	sepPlan, err := inner.Plan(&wPP, dev, l2)
+	if err != nil {
+		return nil, err
+	}
+	sk := preproc.SeparateKernel(dev, &wPP, ops)
+	sr, err := gpusim.Simulate(dev, &sk)
+	if err != nil {
+		return nil, err
+	}
+	ek := &gpusim.Kernel{Name: "pp-emb", Resources: inner.Resources(32), Blocks: sepPlan.Blocks, IncludeLaunchOverhead: true}
+	er, err := gpusim.Simulate(dev, ek)
+	if err != nil {
+		return nil, err
+	}
+	res.PreprocSeparate = sr.Time + er.Time
+
+	// --- Sorted-schedule ablation on a bimodal-variance feature ---
+	sortCfg := &datasynth.ModelConfig{Name: "sort-ext", Seed: 23, Features: []datasynth.FeatureSpec{
+		{Name: "bimodal", Dim: 8, Rows: 1 << 16, PF: datasynth.LogNormal{Mu: 1.5, Sigma: 1.4, Max: 400}, Coverage: 0.6},
+	}}
+	// A batch large enough that blocks keep several warp groups, so the
+	// stratified dealing has room to balance.
+	sortBatch, err := datasynth.GenerateBatch(sortCfg, 4096, rand.New(rand.NewSource(sortCfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	wS := sched.AnalyzeWorkload(&sortBatch.Features[0], 8, 1<<16)
+	base := sched.SubWarp{Threads: 256, Lanes: 4, Vec: 1, UnrollRows: 1}
+	variants := map[string]sched.Schedule{
+		"unsorted": base,
+		"sorted":   sched.SortedSubWarp{SubWarp: base},
+		"hybrid": sched.HybridSplit{
+			Light:       base,
+			Heavy:       sched.BlockPerSample{Threads: 128, Vec: 1},
+			ThresholdPF: 64,
+		},
+	}
+	for name, sc := range variants {
+		p, err := sc.Plan(&wS, dev, l2)
+		if err != nil {
+			return nil, err
+		}
+		k := &gpusim.Kernel{Name: "intra", Resources: sc.Resources(8), Blocks: p.Blocks}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "unsorted":
+			res.UnsortedTime = r.Time
+		case "sorted":
+			res.SortedTime = r.Time
+		case "hybrid":
+			res.HybridTime = r.Time
+		}
+	}
+	return res, nil
+}
+
+// PrintExtensions renders the extension studies.
+func (s *Suite) PrintExtensions(w io.Writer) error {
+	res, err := s.Extensions()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n== Extensions (paper Discussion, §VII) ==\n"); err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "multi-GPU placement (model A, 2 GPUs, makespan + gather)",
+		Header: []string{"Strategy", "Time"},
+	}
+	for _, name := range report.SortedKeys(res.PlacementMakespan) {
+		t.AddRow(name, report.FmtUS(res.PlacementMakespan[name]))
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	t2 := &report.Table{
+		Title:  "UVM hot-embedding cache sweep (1M-row Zipf table)",
+		Header: []string{"GPU-resident fraction", "Kernel time"},
+	}
+	for i := range res.UVMFractions {
+		t2.AddRow(fmt.Sprintf("%.1f%%", res.UVMFractions[i]*100), report.FmtUS(res.UVMTimes[i]))
+	}
+	if err := t2.Write(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "preprocess fusion: fused %s vs separate kernels %s (%s)\n",
+		report.FmtUS(res.PreprocFused), report.FmtUS(res.PreprocSeparate),
+		report.FmtRatio(res.PreprocSeparate/res.PreprocFused)); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "intra-feature heterogeneity on bimodal pooling factors: uniform sub-warp %s, host-sorted %s, hybrid split %s (hybrid %s vs uniform)\n",
+		report.FmtUS(res.UnsortedTime), report.FmtUS(res.SortedTime), report.FmtUS(res.HybridTime),
+		report.FmtRatio(res.UnsortedTime/res.HybridTime))
+	return err
+}

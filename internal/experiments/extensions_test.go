@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtensions(t *testing.T) {
+	s := testSuite()
+	res, err := s.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placement: LPT must not lose to the capacity-only straw man.
+	if res.PlacementMakespan["lpt"] > res.PlacementMakespan["capacity-only"]*1.02 {
+		t.Errorf("LPT (%g) lost to capacity-only (%g)",
+			res.PlacementMakespan["lpt"], res.PlacementMakespan["capacity-only"])
+	}
+	// UVM: kernel time must fall monotonically as the hot cache grows.
+	for i := 1; i < len(res.UVMTimes); i++ {
+		if res.UVMTimes[i] > res.UVMTimes[i-1]*1.001 {
+			t.Errorf("UVM sweep not monotone at fraction %.3f: %g -> %g",
+				res.UVMFractions[i], res.UVMTimes[i-1], res.UVMTimes[i])
+		}
+	}
+	// The fully-resident point must be far faster than the 0.1% cache.
+	if res.UVMTimes[len(res.UVMTimes)-1]*2 > res.UVMTimes[0] {
+		t.Errorf("cache sweep too flat: %g .. %g", res.UVMTimes[0], res.UVMTimes[len(res.UVMTimes)-1])
+	}
+	// Preprocess fusion wins.
+	if res.PreprocFused >= res.PreprocSeparate {
+		t.Errorf("fused preproc (%g) should beat separate kernels (%g)", res.PreprocFused, res.PreprocSeparate)
+	}
+	// The hybrid split wins on bimodal pooling factors (intra-feature
+	// heterogeneity). Host sorting alone trades divergence for per-warp
+	// memory concentration and may not win on time.
+	if res.HybridTime >= res.UnsortedTime {
+		t.Errorf("hybrid split (%g) should beat uniform sub-warp (%g)", res.HybridTime, res.UnsortedTime)
+	}
+	if res.SortedTime <= 0 {
+		t.Error("sorted variant not measured")
+	}
+}
+
+func TestPrintExtensions(t *testing.T) {
+	s := testSuite()
+	var buf bytes.Buffer
+	if err := s.PrintExtensions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"multi-GPU placement", "UVM", "preprocess fusion", "intra-feature"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// Equation 2 must hold within a modest band on the tuned kernels: the whole
+// local-stage ranking depends on it.
+func TestEq2FidelityOnTunedKernels(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Eq2Fidelity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio < 0.85 || r.Ratio > 1.7 {
+			t.Errorf("model %s: Eq.2 ratio %.3f outside the credible band (blocks %d, slots %d)",
+				r.Model, r.Ratio, r.Blocks, r.Slots)
+		}
+	}
+}
+
+// The §IV-A3 lifecycle: drift is detected and re-tuning recovers latency.
+func TestDriftStudy(t *testing.T) {
+	s := testSuite()
+	res, err := s.DriftStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Error("4x pooling-factor drift not detected")
+	}
+	if res.Improvement < 1.0 {
+		t.Errorf("re-tuning made things worse: %.3f", res.Improvement)
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/datasynth"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+)
+
+// ScalabilityResult is the §VI-B study with an extremely large number of
+// features: RecFlex vs TorchRec on the 10,000-feature dataset.
+type ScalabilityResult struct {
+	Features int
+	RecFlex  float64
+	TorchRec float64
+	Speedup  float64
+}
+
+// Scalability runs the 10k-feature comparison on the V100 (scaled by the
+// suite's Scale, like the Table-I models).
+func (s *Suite) Scalability() (*ScalabilityResult, error) {
+	return memo(s, "scale", s.scalability)
+}
+
+func (s *Suite) scalability() (*ScalabilityResult, error) {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.Scalability10k())
+	row, err := s.fig9Row(dev, cfg, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScalabilityResult{
+		Features: len(cfg.Features),
+		RecFlex:  row.Times["RecFlex"],
+		TorchRec: row.Times["TorchRec"],
+	}
+	res.Speedup = res.TorchRec / res.RecFlex
+	return res, nil
+}
+
+// PrintScalability renders the 10k-feature study.
+func (s *Suite) PrintScalability(w io.Writer) error {
+	res, err := s.Scalability()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\n== Scalability (extremely large number of features) ==\n%d features: RecFlex %s, TorchRec %s -> speedup %s (paper: 4.2x at 10,000 features)\n",
+		res.Features, report.FmtUS(res.RecFlex), report.FmtUS(res.TorchRec), report.FmtRatio(res.Speedup))
+	return err
+}
+
+// MLPerfResult is the low-heterogeneity parity check of §VI-B.
+type MLPerfResult struct {
+	RecFlex   float64
+	TorchRec  float64
+	Speedup   float64
+	Heterogen float64
+}
+
+// MLPerf runs the 26-feature MLPerf-like dataset (never scaled: it is already
+// tiny) on the V100.
+func (s *Suite) MLPerf() (*MLPerfResult, error) {
+	return memo(s, "mlperf", s.mlperf)
+}
+
+func (s *Suite) mlperf() (*MLPerfResult, error) {
+	dev := gpusim.V100()
+	cfg := datasynth.MLPerfLike()
+	row, err := s.fig9Row(dev, cfg, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := s.Dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats := datasynth.CollectFeatureStats(cfg, ds.Batches)
+	res := &MLPerfResult{
+		RecFlex:   row.Times["RecFlex"],
+		TorchRec:  row.Times["TorchRec"],
+		Heterogen: datasynth.HeterogeneityIndex(stats),
+	}
+	res.Speedup = res.TorchRec / res.RecFlex
+	return res, nil
+}
+
+// PrintMLPerf renders the parity check.
+func (s *Suite) PrintMLPerf(w io.Writer) error {
+	res, err := s.MLPerf()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\n== MLPerf-like dataset (26 features, low heterogeneity %.3f) ==\nRecFlex %s vs TorchRec %s -> %s (paper: nearly the same performance)\n",
+		res.Heterogen, report.FmtUS(res.RecFlex), report.FmtUS(res.TorchRec), report.FmtRatio(res.Speedup))
+	return err
+}
+
+// OverheadResult quantifies §VI-E: the host-side runtime thread-mapping cost
+// relative to data loading, plus the tuning wall-clock.
+type OverheadResult struct {
+	DataLoad time.Duration // deserialize the eval batches from bytes
+
+	// HostAnalysis is the paper's "extra workload analysis per data
+	// reading": per-feature workload statistics (the input of the runtime
+	// task map).
+	HostAnalysis time.Duration
+
+	// FullCompile additionally includes what only the simulator needs —
+	// per-block cost-model construction — and therefore overstates the
+	// production overhead.
+	FullCompile time.Duration
+
+	RatioPct   float64
+	TuningWall time.Duration
+}
+
+// Overhead measures the real (wall-clock) costs on model A.
+func (s *Suite) Overhead() (*OverheadResult, error) {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.ModelA())
+	ds, err := s.Dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, eval := s.Split(ds)
+	features := Features(cfg)
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuned := rf.Tuned()
+
+	// Data loading: serialize the eval batches once, then time reading.
+	one := &datasynth.Dataset{Config: cfg, Batches: eval}
+	var buf bytes.Buffer
+	if err := datasynth.WriteDataset(&buf, one); err != nil {
+		return nil, err
+	}
+	raw := buf.Bytes()
+	const reps = 5
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := datasynth.ReadDataset(bytes.NewReader(raw), cfg); err != nil {
+			return nil, err
+		}
+	}
+	load := time.Since(start) / reps
+
+	// Host-side workload analysis alone (the paper's per-read addition).
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		for _, b := range eval {
+			if _, err := fusion.AnalyzeBatch(features, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	host := time.Since(start) / reps
+
+	// Full compilation, including the simulator-only cost-model build.
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		for _, b := range eval {
+			if _, err := fusion.Compile(dev, features, tuned.Choices, b, fusion.Options{
+				TargetBlocksPerSM: tuned.Occupancy,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	full := time.Since(start) / reps
+
+	res := &OverheadResult{DataLoad: load, HostAnalysis: host, FullCompile: full}
+	if load > 0 {
+		res.RatioPct = 100 * float64(host) / float64(load)
+	}
+	return res, nil
+}
+
+// PrintOverhead renders the overhead analysis.
+func (s *Suite) PrintOverhead(w io.Writer) error {
+	res, err := s.Overhead()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\n== Overhead analysis ==\ndata loading: %v, host-side workload analysis: %v (%.1f%% of loading; paper: <0.1%% against heavyweight production preprocess), full compile incl. simulator cost models: %v\n",
+		res.DataLoad, res.HostAnalysis, res.RatioPct, res.FullCompile)
+	return err
+}
+
+// RunAll executes every experiment and prints the full report.
+func (s *Suite) RunAll(w io.Writer) error {
+	if err := PrintTable1(w); err != nil {
+		return err
+	}
+	if err := s.PrintFig2(w); err != nil {
+		return err
+	}
+	if err := PrintFig3(w); err != nil {
+		return err
+	}
+	if err := s.PrintFig9(w); err != nil {
+		return err
+	}
+	if err := s.PrintFig10(w); err != nil {
+		return err
+	}
+	if err := s.PrintTable2(w); err != nil {
+		return err
+	}
+	if err := s.PrintFig11(w); err != nil {
+		return err
+	}
+	if err := s.PrintFig12(w); err != nil {
+		return err
+	}
+	if err := s.PrintFig13(w); err != nil {
+		return err
+	}
+	if err := s.PrintScalability(w); err != nil {
+		return err
+	}
+	if err := s.PrintMLPerf(w); err != nil {
+		return err
+	}
+	return s.PrintOverhead(w)
+}

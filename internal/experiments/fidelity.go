@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datasynth"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+)
+
+// Eq2Row validates the paper's Equation 2 on one tuned fused kernel: the
+// closed-form approximation L ~= sum(block times) / (#SM * blocks-per-SM)
+// against the event-driven simulation that resolves scheduling exactly.
+// The tuner's local stage rests on this approximation (it ranks candidates
+// by summed block time), so its accuracy on realistic kernels is a
+// load-bearing property of the whole system.
+type Eq2Row struct {
+	Model     string
+	Simulated float64
+	Approx    float64
+	Ratio     float64 // Simulated / Approx; ~1 when Eq. 2 holds
+	Blocks    int
+	Slots     int
+}
+
+// Eq2Fidelity measures the approximation across the tuned Table-I kernels.
+func (s *Suite) Eq2Fidelity() ([]Eq2Row, error) {
+	return memo(s, "eq2", s.eq2Fidelity)
+}
+
+func (s *Suite) eq2Fidelity() ([]Eq2Row, error) {
+	dev := gpusim.V100()
+	var rows []Eq2Row
+	for _, base := range datasynth.StandardModels() {
+		cfg := s.ScaledModel(base)
+		ds, err := s.Dataset(cfg)
+		if err != nil {
+			return nil, err
+		}
+		_, eval := s.Split(ds)
+		rf, err := s.TunedRecFlex(dev, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fu, err := rf.CompileBatch(eval[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := fu.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, bt := range r.BlockTime {
+			sum += bt
+		}
+		slots := dev.ParallelBlockSlots(r.BlocksPerSM)
+		approx := sum / float64(slots)
+		rows = append(rows, Eq2Row{
+			Model:     base.Name,
+			Simulated: r.Time,
+			Approx:    approx,
+			Ratio:     r.Time / approx,
+			Blocks:    len(fu.Kernel.Blocks),
+			Slots:     slots,
+		})
+	}
+	return rows, nil
+}
+
+// PrintEq2Fidelity renders the validation.
+func (s *Suite) PrintEq2Fidelity(w io.Writer) error {
+	rows, err := s.Eq2Fidelity()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "Equation 2 fidelity: closed-form approximation vs event-driven simulation (tuned kernels, V100)",
+		Header: []string{"Model", "Simulated", "Eq.2 approx", "Ratio", "Blocks", "Slots"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model, report.FmtUS(r.Simulated), report.FmtUS(r.Approx),
+			fmt.Sprintf("%.3f", r.Ratio), fmt.Sprintf("%d", r.Blocks), fmt.Sprintf("%d", r.Slots))
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datasynth"
+	"repro/internal/model"
+)
+
+// Fig10 reproduces the end-to-end comparison: the embedding stage under each
+// system plus the shared concat + MLP (1024/256/128) tower.
+func (s *Suite) Fig10() ([]Fig9Row, error) {
+	return memo(s, "fig10", s.fig10)
+}
+
+func (s *Suite) fig10() ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, dev := range Devices() {
+		for _, base := range datasynth.StandardModels() {
+			cfg := s.ScaledModel(base)
+			ds, err := s.Dataset(cfg)
+			if err != nil {
+				return nil, err
+			}
+			_, eval := s.Split(ds)
+			systems, err := s.systems(dev, cfg)
+			if err != nil {
+				return nil, err
+			}
+			features := Features(cfg)
+			pipe, err := model.NewPipeline(dev, features)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig9Row{Device: dev.Name, Model: base.Name, Times: make(map[string]float64)}
+			for _, sys := range systems {
+				if err := sys.Supports(features); err != nil {
+					continue
+				}
+				total := 0.0
+				for _, b := range eval {
+					r, err := pipe.MeasureE2E(sys, b)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: e2e %s on %s/%s: %w", sys.Name(), dev.Name, base.Name, err)
+					}
+					total += r.Total()
+				}
+				row.Times[sys.Name()] = total
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig10 renders the end-to-end comparison.
+func (s *Suite) PrintFig10(w io.Writer) error {
+	rows, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	return printComparison(w, "Figure 10: end-to-end model performance (normalized, higher is better)", rows)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/tuner"
+)
+
+// Fig11Row compares the two-stage interference-simulated tuning against the
+// direct separate-combine straw man on one model: fused-kernel time over the
+// evaluation batches under each tuner's choices.
+type Fig11Row struct {
+	Model       string
+	TwoStage    float64
+	Separate    float64
+	Improvement float64 // Separate / TwoStage
+}
+
+// Fig11 runs the tuning ablation on the V100 across models A-E.
+func (s *Suite) Fig11() ([]Fig11Row, error) {
+	return memo(s, "fig11", s.fig11)
+}
+
+func (s *Suite) fig11() ([]Fig11Row, error) {
+	dev := gpusim.V100()
+	var rows []Fig11Row
+	for _, base := range datasynth.StandardModels() {
+		cfg := s.ScaledModel(base)
+		ds, err := s.Dataset(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tune, eval := s.Split(ds)
+		features := Features(cfg)
+
+		rf, err := s.TunedRecFlex(dev, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tuned := rf.Tuned()
+		two, err := evalChoices(dev, features, tuned.Choices, tuned.Occupancy, eval)
+		if err != nil {
+			return nil, err
+		}
+
+		m := tuner.DefaultModel(features)
+		sep, err := tuner.SeparateCombine(dev, m, tune, tuner.Options{Parallelism: s.Cfg.Parallelism})
+		if err != nil {
+			return nil, err
+		}
+		sepTime, err := evalChoices(dev, features, sep.Choices, 0, eval)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig11Row{
+			Model:       base.Name,
+			TwoStage:    two,
+			Separate:    sepTime,
+			Improvement: sepTime / two,
+		})
+	}
+	return rows, nil
+}
+
+// evalChoices measures the fused kernel built from the given choices over the
+// evaluation batches. occupancy 0 means natural.
+func evalChoices(dev *gpusim.Device, features []fusion.FeatureInfo, choices []sched.Schedule, occupancy int, eval []*embedding.Batch) (float64, error) {
+	total := 0.0
+	for _, b := range eval {
+		fu, err := fusion.Compile(dev, features, choices, b, fusion.Options{TargetBlocksPerSM: occupancy})
+		if err != nil {
+			return 0, err
+		}
+		r, err := fu.Simulate()
+		if err != nil {
+			return 0, err
+		}
+		total += r.Time
+	}
+	return total, nil
+}
+
+// PrintFig11 renders the tuning ablation.
+func (s *Suite) PrintFig11(w io.Writer) error {
+	rows, err := s.Fig11()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "Figure 11: two-stage tuning vs direct separate-combine (V100)",
+		Header: []string{"Model", "Two-stage", "Separate-combine", "Improvement"},
+	}
+	var imps []float64
+	for _, r := range rows {
+		t.AddRow(r.Model, report.FmtUS(r.TwoStage), report.FmtUS(r.Separate), report.FmtRatio(r.Improvement))
+		imps = append(imps, r.Improvement)
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "average improvement: %s (paper: 4.82x)\n", report.FmtRatio(report.GeoMean(imps)))
+	return err
+}

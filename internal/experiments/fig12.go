@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datasynth"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+// Fig12Curve is the performance-variation curve of one feature: the fused
+// kernel's time as that feature's schedule is swapped through every candidate
+// while all other features keep their tuned schedules.
+type Fig12Curve struct {
+	Feature   int
+	Name      string
+	Chosen    int       // candidate index the tuner picked
+	Times     []float64 // per candidate; 0 = unsupported
+	BestIdx   int
+	ChosenGap float64 // chosen time / best time
+}
+
+// Fig12 sweeps three multi-hot features of model A on the V100.
+func (s *Suite) Fig12() ([]Fig12Curve, error) {
+	return memo(s, "fig12", s.fig12)
+}
+
+func (s *Suite) fig12() ([]Fig12Curve, error) {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.ModelA())
+	ds, err := s.Dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, eval := s.Split(ds)
+	batch := eval[0]
+	features := Features(cfg)
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tuned := rf.Tuned()
+
+	// Three multi-hot features, spread across the model.
+	var picked []int
+	for f := range cfg.Features {
+		if !cfg.Features[f].OneHot() {
+			picked = append(picked, f)
+		}
+	}
+	if len(picked) > 3 {
+		stride := len(picked) / 3
+		picked = []int{picked[0], picked[stride], picked[2*stride]}
+	}
+
+	var curves []Fig12Curve
+	for _, f := range picked {
+		candidates := sched.DefaultCandidates(features[f].Dim)
+		curve := Fig12Curve{
+			Feature: f,
+			Name:    features[f].Name,
+			Chosen:  tuned.ChoiceIdx[f],
+			Times:   make([]float64, len(candidates)),
+			BestIdx: -1,
+		}
+		for ci, cand := range candidates {
+			choices := append([]sched.Schedule(nil), tuned.Choices...)
+			choices[f] = cand
+			fu, err := fusion.Compile(dev, features, choices, batch, fusion.Options{
+				TargetBlocksPerSM: tuned.Occupancy,
+			})
+			if err != nil {
+				continue // candidate unsupported under this workload/occupancy
+			}
+			r, err := fu.Simulate()
+			if err != nil {
+				return nil, err
+			}
+			curve.Times[ci] = r.Time
+			if curve.BestIdx < 0 || r.Time < curve.Times[curve.BestIdx] {
+				curve.BestIdx = ci
+			}
+		}
+		if curve.BestIdx >= 0 && curve.Times[curve.Chosen] > 0 {
+			curve.ChosenGap = curve.Times[curve.Chosen] / curve.Times[curve.BestIdx]
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+// PrintFig12 renders the sweep.
+func (s *Suite) PrintFig12(w io.Writer) error {
+	curves, err := s.Fig12()
+	if err != nil {
+		return err
+	}
+	for _, c := range curves {
+		t := &report.Table{
+			Title:  fmt.Sprintf("Figure 12: schedule sweep of feature %d (%s); tuner chose candidate %d", c.Feature, c.Name, c.Chosen),
+			Header: []string{"Candidate", "Time", "Normalized", ""},
+		}
+		best := 0.0
+		if c.BestIdx >= 0 {
+			best = c.Times[c.BestIdx]
+		}
+		for ci, tm := range c.Times {
+			if tm == 0 {
+				continue
+			}
+			mark := ""
+			if ci == c.Chosen {
+				mark = " o (chosen)"
+			}
+			t.AddRow(fmt.Sprintf("%d", ci), report.FmtUS(tm), fmt.Sprintf("%.3f%s", best/tm, mark), report.Bar(best/tm, 24))
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "chosen-vs-best gap: %.1f%%\n", (c.ChosenGap-1)*100); err != nil {
+			return err
+		}
+	}
+	return nil
+}

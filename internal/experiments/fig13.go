@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+)
+
+// Fig13Row compares runtime thread mapping with the two static strategies on
+// one model, including the long-tail request study of §VI-D.
+type Fig13Row struct {
+	Model     string
+	Runtime   float64
+	StaticAvg float64
+	StaticMax float64
+	// Long-tail request (2,560 samples) times.
+	TailRuntime   float64
+	TailStaticAvg float64
+	TailStaticMax float64
+}
+
+// Fig13 runs the thread-mapping ablation on the V100 across models A-E.
+func (s *Suite) Fig13() ([]Fig13Row, error) {
+	return memo(s, "fig13", s.fig13)
+}
+
+func (s *Suite) fig13() ([]Fig13Row, error) {
+	dev := gpusim.V100()
+	var rows []Fig13Row
+	for _, base := range datasynth.StandardModels() {
+		cfg := s.ScaledModel(base)
+		ds, err := s.Dataset(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tune, eval := s.Split(ds)
+		features := Features(cfg)
+		rf, err := s.TunedRecFlex(dev, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tuned := rf.Tuned()
+
+		// Collect per-feature block usage over the tuning batches (the
+		// "first run the runtime thread mapping kernels to collect the
+		// thread block usages" step of the paper).
+		var history [][]int
+		for _, b := range tune {
+			fu, err := fusion.Compile(dev, features, tuned.Choices, b, fusion.Options{
+				TargetBlocksPerSM: tuned.Occupancy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			history = append(history, fu.BlockUsage())
+		}
+		avgAlloc, err := fusion.StaticAllocation(history, false)
+		if err != nil {
+			return nil, err
+		}
+		maxAlloc, err := fusion.StaticAllocation(history, true)
+		if err != nil {
+			return nil, err
+		}
+
+		measure := func(batches []*embedding.Batch, mapping fusion.MappingMode, static []int) (float64, error) {
+			total := 0.0
+			for _, b := range batches {
+				fu, err := fusion.Compile(dev, features, tuned.Choices, b, fusion.Options{
+					TargetBlocksPerSM: tuned.Occupancy,
+					Mapping:           mapping,
+					StaticBlocks:      static,
+				})
+				if err != nil {
+					return 0, err
+				}
+				r, err := fu.Simulate()
+				if err != nil {
+					return 0, err
+				}
+				total += r.Time
+			}
+			return total, nil
+		}
+
+		row := Fig13Row{Model: base.Name}
+		if row.Runtime, err = measure(eval, fusion.MapRuntime, nil); err != nil {
+			return nil, err
+		}
+		if row.StaticAvg, err = measure(eval, fusion.MapStaticAvg, avgAlloc); err != nil {
+			return nil, err
+		}
+		if row.StaticMax, err = measure(eval, fusion.MapStaticMax, maxAlloc); err != nil {
+			return nil, err
+		}
+
+		// Long-tail request: a serving system that does not split batches
+		// (DeepRecSys-style) sees a 2,560-sample request while the static
+		// allocations were sized for <= BatchCap.
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7A17))
+		tail, err := datasynth.GenerateBatch(cfg, datasynth.LongTailRequest, rng)
+		if err != nil {
+			return nil, err
+		}
+		tailBatch := []*embedding.Batch{tail}
+		if row.TailRuntime, err = measure(tailBatch, fusion.MapRuntime, nil); err != nil {
+			return nil, err
+		}
+		if row.TailStaticAvg, err = measure(tailBatch, fusion.MapStaticAvg, avgAlloc); err != nil {
+			return nil, err
+		}
+		if row.TailStaticMax, err = measure(tailBatch, fusion.MapStaticMax, maxAlloc); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig13 renders the thread-mapping ablation.
+func (s *Suite) PrintFig13(w io.Writer) error {
+	rows, err := s.Fig13()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "Figure 13: runtime vs static thread mapping (V100)",
+		Header: []string{"Model", "Runtime", "Static-avg", "Static-max", "Gain vs avg", "Gain vs max"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model, report.FmtUS(r.Runtime), report.FmtUS(r.StaticAvg), report.FmtUS(r.StaticMax),
+			report.FmtRatio(r.StaticAvg/r.Runtime), report.FmtRatio(r.StaticMax/r.Runtime))
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	t2 := &report.Table{
+		Title:  "Figure 13 (cont.): long-tail request (2,560 samples)",
+		Header: []string{"Model", "Runtime", "Static-avg degr.", "Static-max degr."},
+	}
+	for _, r := range rows {
+		t2.AddRow(r.Model, report.FmtUS(r.TailRuntime),
+			fmt.Sprintf("%.1f%%", (r.TailStaticAvg/r.TailRuntime-1)*100),
+			fmt.Sprintf("%.1f%%", (r.TailStaticMax/r.TailRuntime-1)*100))
+	}
+	return t2.Write(w)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/datasynth"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+)
+
+// Fig9Row is the kernel-time comparison of one (device, model) pair: summed
+// embedding execution seconds over the evaluation batches per system.
+type Fig9Row struct {
+	Device string
+	Model  string
+	Times  map[string]float64
+}
+
+// systems returns all comparison systems for a model, RecFlex last.
+func (s *Suite) systems(dev *gpusim.Device, cfg *datasynth.ModelConfig) ([]baselines.Baseline, error) {
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]baselines.Baseline{}, baselines.All()...)
+	return append(out, rf), nil
+}
+
+// Fig9 reproduces the embedding kernel performance comparison on both GPUs
+// across models A-E.
+func (s *Suite) Fig9() ([]Fig9Row, error) {
+	return memo(s, "fig9", s.fig9)
+}
+
+func (s *Suite) fig9() ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, dev := range Devices() {
+		for _, base := range datasynth.StandardModels() {
+			cfg := s.ScaledModel(base)
+			row, err := s.fig9Row(dev, cfg, base.Name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func (s *Suite) fig9Row(dev *gpusim.Device, cfg *datasynth.ModelConfig, displayName string) (*Fig9Row, error) {
+	ds, err := s.Dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, eval := s.Split(ds)
+	systems, err := s.systems(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	features := Features(cfg)
+	row := &Fig9Row{Device: dev.Name, Model: displayName, Times: make(map[string]float64)}
+	for _, sys := range systems {
+		if err := sys.Supports(features); err != nil {
+			continue // HugeCTR skips heterogeneous-dim models
+		}
+		total := 0.0
+		for _, b := range eval {
+			sec, err := sys.Measure(dev, features, b)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s/%s: %w", sys.Name(), dev.Name, displayName, err)
+			}
+			total += sec
+		}
+		row.Times[sys.Name()] = total
+	}
+	return row, nil
+}
+
+// AverageSpeedups returns the geometric-mean speedup of RecFlex over each
+// baseline across all rows where both ran (the paper's headline numbers:
+// 35.40x / 11.31x / 20.77x / 2.64x over TF / RECom / HugeCTR / TorchRec).
+func AverageSpeedups(rows []Fig9Row) map[string]float64 {
+	ratios := make(map[string][]float64)
+	for _, row := range rows {
+		rf, ok := row.Times["RecFlex"]
+		if !ok || rf <= 0 {
+			continue
+		}
+		for name, t := range row.Times {
+			if name == "RecFlex" || t <= 0 {
+				continue
+			}
+			ratios[name] = append(ratios[name], t/rf)
+		}
+	}
+	out := make(map[string]float64, len(ratios))
+	for name, rs := range ratios {
+		out[name] = report.GeoMean(rs)
+	}
+	return out
+}
+
+// PrintFig9 renders the comparison with normalized performance bars.
+func (s *Suite) PrintFig9(w io.Writer) error {
+	rows, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	return printComparison(w, "Figure 9: embedding kernel performance (normalized, higher is better)", rows)
+}
+
+func printComparison(w io.Writer, title string, rows []Fig9Row) error {
+	t := &report.Table{
+		Title:  title,
+		Header: []string{"Device", "Model", "System", "Time", "Normalized", ""},
+	}
+	for _, row := range rows {
+		norm := report.Normalize(row.Times)
+		for _, name := range report.SortedKeys(row.Times) {
+			t.AddRow(row.Device, row.Model, name,
+				report.FmtUS(row.Times[name]),
+				fmt.Sprintf("%.3f", norm[name]),
+				report.Bar(norm[name], 24))
+		}
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	sp := AverageSpeedups(rows)
+	for _, name := range report.SortedKeys(sp) {
+		if _, err := fmt.Fprintf(w, "RecFlex average speedup over %-11s %s\n", name+":", report.FmtRatio(sp[name])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/datasynth"
+)
+
+func TestNewSuiteNormalizesConfig(t *testing.T) {
+	s := NewSuite(Config{Scale: 0, TuneBatches: 0, EvalBatches: 0, BatchCap: 0})
+	if s.Cfg.Scale != 1 || s.Cfg.TuneBatches != 1 || s.Cfg.EvalBatches != 1 || s.Cfg.BatchCap != 512 {
+		t.Errorf("config not normalized: %+v", s.Cfg)
+	}
+}
+
+func TestDefaultAndPaperConfigs(t *testing.T) {
+	d := DefaultConfig()
+	if d.Scale != 10 || d.EvalBatches != 8 {
+		t.Errorf("default config changed unexpectedly: %+v", d)
+	}
+	p := PaperConfig()
+	if p.Scale != 1 || p.EvalBatches != 128 {
+		t.Errorf("paper config must match §VI-A: %+v", p)
+	}
+}
+
+func TestFeaturesProjection(t *testing.T) {
+	cfg := datasynth.Scaled(datasynth.ModelA(), 100)
+	features := Features(cfg)
+	if len(features) != len(cfg.Features) {
+		t.Fatalf("%d features for %d specs", len(features), len(cfg.Features))
+	}
+	for i := range features {
+		if features[i].Dim != cfg.Features[i].Dim || features[i].TableRows != cfg.Features[i].Rows {
+			t.Errorf("feature %d projection wrong", i)
+		}
+	}
+}
+
+func TestDatasetCachingAndSplit(t *testing.T) {
+	s := NewSuite(Config{Scale: 100, TuneBatches: 2, EvalBatches: 3, BatchCap: 128})
+	cfg := s.ScaledModel(datasynth.ModelD())
+	a, err := s.Dataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Dataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset not cached")
+	}
+	if len(a.Batches) != 5 {
+		t.Errorf("%d batches, want tune+eval = 5", len(a.Batches))
+	}
+	tune, eval := s.Split(a)
+	if len(tune) != 2 || len(eval) != 3 {
+		t.Errorf("split %d/%d, want 2/3", len(tune), len(eval))
+	}
+}
+
+func TestTunedRecFlexCaching(t *testing.T) {
+	s := NewSuite(Config{Scale: 100, TuneBatches: 1, EvalBatches: 1, BatchCap: 128,
+		Occupancies: []int{4, 8}, Parallelism: 2})
+	cfg := s.ScaledModel(datasynth.ModelE())
+	dev := Devices()[0]
+	a, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("tuned instance not cached")
+	}
+}
+
+func TestDevicesList(t *testing.T) {
+	devs := Devices()
+	if len(devs) != 2 || devs[0].Name != "V100" || devs[1].Name != "A100" {
+		t.Errorf("Devices() = %v", devs)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/datasynth"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+)
+
+// Table2Result compares the detailed hardware counters of RecFlex and
+// TorchRec on one batch of model A on the V100 (the paper's Table II).
+type Table2Result struct {
+	TorchRec gpusim.Counters
+	RecFlex  gpusim.Counters
+}
+
+// Table2 runs the counter comparison.
+func (s *Suite) Table2() (*Table2Result, error) {
+	return memo(s, "table2", s.table2)
+}
+
+func (s *Suite) table2() (*Table2Result, error) {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.ModelA())
+	ds, err := s.Dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, eval := s.Split(ds)
+	batch := eval[0]
+	features := Features(cfg)
+
+	trFused, err := baselines.TorchRec{}.Compile(dev, features, batch)
+	if err != nil {
+		return nil, err
+	}
+	trRes, err := trFused.Simulate()
+	if err != nil {
+		return nil, err
+	}
+
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rfFused, err := rf.CompileBatch(batch)
+	if err != nil {
+		return nil, err
+	}
+	rfRes, err := rfFused.Simulate()
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{TorchRec: trRes.Counters, RecFlex: rfRes.Counters}, nil
+}
+
+// PrintTable2 renders the counter comparison.
+func (s *Suite) PrintTable2(w io.Writer) error {
+	res, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:  "Table II: detailed V100 kernel analysis (model A)",
+		Header: []string{"Metric Name", "TorchRec", "RecFlex"},
+	}
+	add := func(name string, a, b float64, format string) {
+		t.AddRow(name, fmt.Sprintf(format, a), fmt.Sprintf(format, b))
+	}
+	add("Memory Throughput (GB/s)", res.TorchRec.MemoryThroughput/1e9, res.RecFlex.MemoryThroughput/1e9, "%.2f")
+	add("Memory Busy (%)", res.TorchRec.MemoryBusyPct, res.RecFlex.MemoryBusyPct, "%.2f")
+	add("Max Bandwidth (%)", res.TorchRec.MaxBandwidthPct, res.RecFlex.MaxBandwidthPct, "%.2f")
+	add("L1 Cache Throughput (%)", res.TorchRec.L1CacheThroughputPct, res.RecFlex.L1CacheThroughputPct, "%.2f")
+	add("L2 Cache Throughput (%)", res.TorchRec.L2CacheThroughputPct, res.RecFlex.L2CacheThroughputPct, "%.2f")
+	add("Avg. Active Threads Per Warp", res.TorchRec.AvgActiveThreadsPerWarp, res.RecFlex.AvgActiveThreadsPerWarp, "%.2f")
+	add("Avg. Not Predicated Off Threads per Warp", res.TorchRec.AvgNotPredOffThreadsPerWarp, res.RecFlex.AvgNotPredOffThreadsPerWarp, "%.2f")
+	return t.Write(w)
+}

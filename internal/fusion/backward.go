@@ -1,0 +1,86 @@
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// BackwardPass is the fused gradient kernel of one compiled forward pass:
+// the same heterogeneous per-feature thread mapping, inverted data movement
+// (coalesced upstream-gradient reads, scattered atomic accumulation into the
+// gradient tables). It extends RecFlex to the training direction the paper
+// declares reachable ("there is no fundamental reason limiting RecFlex from
+// optimizing the training process").
+type BackwardPass struct {
+	Forward *Fused
+	Plans   []*sched.Plan
+	Kernel  gpusim.Kernel
+}
+
+// Backward derives the fused gradient kernel from a compiled forward kernel.
+// Only runtime thread mapping is supported: the training path has no reason
+// to run the static-mapping ablations.
+func (fu *Fused) Backward(batch *embedding.Batch) (*BackwardPass, error) {
+	if fu.Opts.Mapping != MapRuntime {
+		return nil, fmt.Errorf("fusion: backward requires runtime thread mapping, got %s", fu.Opts.Mapping)
+	}
+	ws, err := AnalyzeBatch(fu.Features, batch)
+	if err != nil {
+		return nil, err
+	}
+	l2 := sched.L2Context{
+		CacheBytes:      float64(fu.Device.L2SizeBytes),
+		WorkingSetBytes: WorkingSetBytes(fu.Features, ws),
+	}
+	bp := &BackwardPass{Forward: fu, Plans: make([]*sched.Plan, len(fu.Features))}
+	var blocks []gpusim.BlockWork
+	for f := range fu.Features {
+		p, err := sched.BackwardPlan(fu.Plans[f], &ws[f], fu.Device, l2)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: backward of feature %d: %w", f, err)
+		}
+		bp.Plans[f] = p
+		for i := range p.Blocks {
+			b := p.Blocks[i]
+			b.Tag = f
+			b.Sub = i
+			blocks = append(blocks, b)
+		}
+	}
+	bp.Kernel = gpusim.Kernel{
+		Name:      fu.Kernel.Name + "_bwd",
+		Resources: fu.Kernel.Resources,
+		Blocks:    blocks,
+	}
+	return bp, nil
+}
+
+// Simulate runs the gradient kernel.
+func (bp *BackwardPass) Simulate() (*gpusim.SimResult, error) {
+	return gpusim.Simulate(bp.Forward.Device, &bp.Kernel)
+}
+
+// Execute accumulates the functional table gradients: grads[f] has shape
+// TableRows*Dim of feature f. Upstream[f] is the pooled-output gradient
+// (batch*dim).
+func (bp *BackwardPass) Execute(batch *embedding.Batch, upstream [][]float32) ([][]float32, error) {
+	fu := bp.Forward
+	if len(upstream) != len(fu.Features) {
+		return nil, fmt.Errorf("fusion: %d upstream gradients for %d features", len(upstream), len(fu.Features))
+	}
+	grads := make([][]float32, len(fu.Features))
+	for f := range fu.Features {
+		fi := fu.Features[f]
+		if len(upstream[f]) != batch.BatchSize()*fi.Dim {
+			return nil, fmt.Errorf("fusion: feature %d upstream length %d != %d", f, len(upstream[f]), batch.BatchSize()*fi.Dim)
+		}
+		grads[f] = make([]float32, fi.TableRows*fi.Dim)
+		if err := bp.Plans[f].ExecuteBackwardAll(fi.TableRows, fi.Dim, &batch.Features[f], fi.Pool, upstream[f], grads[f]); err != nil {
+			return nil, fmt.Errorf("fusion: feature %d: %w", f, err)
+		}
+	}
+	return grads, nil
+}

@@ -1,0 +1,96 @@
+package fusion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+func TestFusedBackwardMatchesReference(t *testing.T) {
+	features, tables, batch, _ := testModel(t, 96, 71)
+	// Mean pooling for a couple of features exercises both gradients.
+	features[1].Pool = embedding.PoolMean
+	features[4].Pool = embedding.PoolMean
+	fu, err := Compile(gpusim.V100(), features, heterogeneousChoices(), batch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := fu.Backward(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bp.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time <= 0 {
+		t.Error("backward kernel time must be positive")
+	}
+
+	rng := rand.New(rand.NewSource(71))
+	upstream := make([][]float32, len(features))
+	for f := range features {
+		upstream[f] = make([]float32, batch.BatchSize()*features[f].Dim)
+		for i := range upstream[f] {
+			upstream[f][i] = float32(rng.NormFloat64())
+		}
+	}
+	grads, err := bp.Execute(batch, upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range features {
+		want, err := embedding.GradCPU(tables[f], &batch.Features[f], features[f].Pool, upstream[f])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(float64(want[i]-grads[f][i])) > 1e-3 {
+				t.Fatalf("feature %d grad[%d] = %g, want %g", f, i, grads[f][i], want[i])
+			}
+		}
+	}
+}
+
+func TestFusedBackwardRejectsStaticMapping(t *testing.T) {
+	features, _, batch, _ := testModel(t, 32, 73)
+	choices := heterogeneousChoices()
+	static := make([]int, len(features))
+	for i := range static {
+		static[i] = 4
+	}
+	fu, err := Compile(gpusim.V100(), features, choices, batch, Options{
+		Mapping: MapStaticAvg, StaticBlocks: static,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fu.Backward(batch); err == nil {
+		t.Error("backward with static mapping accepted")
+	}
+}
+
+func TestFusedBackwardValidatesUpstream(t *testing.T) {
+	features, _, batch, _ := testModel(t, 32, 75)
+	fu, err := Compile(gpusim.V100(), features, heterogeneousChoices(), batch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := fu.Backward(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Execute(batch, nil); err == nil {
+		t.Error("missing upstream gradients accepted")
+	}
+	bad := make([][]float32, len(features))
+	for f := range bad {
+		bad[f] = make([]float32, 1)
+	}
+	if _, err := bp.Execute(batch, bad); err == nil {
+		t.Error("short upstream gradients accepted")
+	}
+}

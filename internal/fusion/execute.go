@@ -1,0 +1,77 @@
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+// Execute functionally computes the fused kernel's outputs: one pooled
+// [batch*dim] buffer per feature. It walks the task map exactly as the GPU
+// would — block by block, each block resolving its feature and relative index
+// — so the exact-cover property of the mapping is what makes the result
+// correct, for runtime and static mappings alike.
+func (fu *Fused) Execute(tables []*embedding.Table, batch *embedding.Batch) ([][]float32, error) {
+	if len(tables) != len(fu.Features) {
+		return nil, fmt.Errorf("fusion: %d tables for %d features", len(tables), len(fu.Features))
+	}
+	if len(batch.Features) != len(fu.Features) {
+		return nil, fmt.Errorf("fusion: batch has %d features, kernel %d", len(batch.Features), len(fu.Features))
+	}
+	outs := make([][]float32, len(fu.Features))
+	for f := range fu.Features {
+		if tables[f].Dim != fu.Features[f].Dim {
+			return nil, fmt.Errorf("fusion: feature %d: table dim %d != %d", f, tables[f].Dim, fu.Features[f].Dim)
+		}
+		outs[f] = make([]float32, batch.BatchSize()*fu.Features[f].Dim)
+	}
+	for i := 0; i < fu.Map.NumBlocks(); i++ {
+		f := int(fu.Map.Feature[i])
+		rel := int(fu.Map.Rel[i])
+		needed := int(fu.Map.Needed[f])
+		alloc := int(fu.Map.Allocated[f])
+		if alloc == needed {
+			fu.Plans[f].ExecuteBlock(rel, tables[f], &batch.Features[f], fu.Features[f].Pool, outs[f])
+			continue
+		}
+		// Mirror the static-mapping fold: block rel owns the contiguous
+		// plan-block chunk [rel*q, (rel+1)*q).
+		q := (needed + alloc - 1) / alloc
+		for j := rel * q; j < (rel+1)*q && j < needed; j++ {
+			fu.Plans[f].ExecuteBlock(j, tables[f], &batch.Features[f], fu.Features[f].Pool, outs[f])
+		}
+	}
+	return outs, nil
+}
+
+// Run simulates the kernel and computes its outputs in one call.
+func (fu *Fused) Run(tables []*embedding.Table, batch *embedding.Batch) ([][]float32, *gpusim.SimResult, error) {
+	res, err := fu.Simulate()
+	if err != nil {
+		return nil, nil, err
+	}
+	outs, err := fu.Execute(tables, batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, res, nil
+}
+
+// ReferenceOutputs computes the ground-truth outputs with the CPU reference
+// executor, for verification.
+func ReferenceOutputs(features []FeatureInfo, tables []*embedding.Table, batch *embedding.Batch) ([][]float32, error) {
+	if len(tables) != len(features) || len(batch.Features) != len(features) {
+		return nil, fmt.Errorf("fusion: shape mismatch: %d features, %d tables, %d batch features",
+			len(features), len(tables), len(batch.Features))
+	}
+	outs := make([][]float32, len(features))
+	for f := range features {
+		out, err := embedding.PoolCPU(tables[f], &batch.Features[f], features[f].Pool)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: feature %d: %w", f, err)
+		}
+		outs[f] = out
+	}
+	return outs, nil
+}

@@ -1,0 +1,421 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// testModel builds a small heterogeneous model with tables and one batch.
+func testModel(t *testing.T, batchSize int, seed int64) ([]FeatureInfo, []*embedding.Table, *embedding.Batch, *datasynth.ModelConfig) {
+	t.Helper()
+	cfg := &datasynth.ModelConfig{Name: "test", Seed: seed, Features: []datasynth.FeatureSpec{
+		{Name: "onehot4", Dim: 4, Rows: 512, PF: datasynth.Fixed{K: 1}, Coverage: 1},
+		{Name: "multi8", Dim: 8, Rows: 1024, PF: datasynth.Normal{Mu: 50, Sigma: 10}, Coverage: 1},
+		{Name: "multi64", Dim: 64, Rows: 2048, PF: datasynth.Uniform{Lo: 1, Hi: 30}, Coverage: 0.8},
+		{Name: "big128", Dim: 128, Rows: 32768, PF: datasynth.Fixed{K: 60}, Coverage: 1},
+		{Name: "sparse16", Dim: 16, Rows: 4096, PF: datasynth.Fixed{K: 5}, Coverage: 0.3, IDs: datasynth.IDZipf},
+	}}
+	tables, err := datasynth.BuildTables(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	batch, err := datasynth.GenerateBatch(cfg, batchSize, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([]FeatureInfo, len(cfg.Features))
+	for f := range features {
+		features[f] = FeatureInfo{
+			Name:      cfg.Features[f].Name,
+			Dim:       cfg.Features[f].Dim,
+			TableRows: cfg.Features[f].Rows,
+			Pool:      embedding.PoolSum,
+		}
+	}
+	return features, tables, batch, cfg
+}
+
+// heterogeneousChoices picks a deliberately varied schedule per feature.
+func heterogeneousChoices() []sched.Schedule {
+	return []sched.Schedule{
+		sched.ThreadPerSample{Threads: 256, Unroll: 1},                // one-hot dim 4
+		sched.SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 4},  // multi-hot dim 8
+		sched.SubWarp{Threads: 256, Lanes: 16, Vec: 4, UnrollRows: 1}, // dim 64
+		sched.BlockPerSample{Threads: 128, Vec: 4},                    // pf 200, dim 128
+		sched.SubWarp{Threads: 128, Lanes: 4, Vec: 4, UnrollRows: 1},  // sparse dim 16
+	}
+}
+
+func compileRuntime(t *testing.T, opts Options) (*Fused, []*embedding.Table, *embedding.Batch, []FeatureInfo) {
+	t.Helper()
+	features, tables, batch, _ := testModel(t, 128, 31)
+	fu, err := Compile(gpusim.V100(), features, heterogeneousChoices(), batch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fu, tables, batch, features
+}
+
+func assertMatchesReference(t *testing.T, fu *Fused, features []FeatureInfo, tables []*embedding.Table, batch *embedding.Batch) {
+	t.Helper()
+	want, err := ReferenceOutputs(features, tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fu.Execute(tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range want {
+		for i := range want[f] {
+			if want[f][i] != got[f][i] {
+				t.Fatalf("feature %d (%s): out[%d] = %g, want %g", f, features[f].Name, i, got[f][i], want[f][i])
+			}
+		}
+	}
+}
+
+func TestFusedRuntimeMappingMatchesReference(t *testing.T) {
+	fu, tables, batch, features := compileRuntime(t, Options{})
+	assertMatchesReference(t, fu, features, tables, batch)
+	if err := fu.Map.Validate(len(features)); err != nil {
+		t.Error(err)
+	}
+	for f := range features {
+		if fu.Map.Allocated[f] != fu.Map.Needed[f] {
+			t.Errorf("runtime mapping must allocate exactly the need: feature %d %d vs %d",
+				f, fu.Map.Allocated[f], fu.Map.Needed[f])
+		}
+	}
+}
+
+func TestFusedStaticMappingsMatchReference(t *testing.T) {
+	features, tables, batch, cfg := testModel(t, 96, 33)
+	choices := heterogeneousChoices()
+	dev := gpusim.V100()
+
+	// Collect history over a few batches for the static allocations.
+	rng := rand.New(rand.NewSource(99))
+	var history [][]int
+	for i := 0; i < 5; i++ {
+		b, err := datasynth.GenerateBatch(cfg, 64+32*i, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fu, err := Compile(dev, features, choices, b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, fu.BlockUsage())
+	}
+	for _, useMax := range []bool{false, true} {
+		alloc, err := StaticAllocation(history, useMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := MapStaticAvg
+		if useMax {
+			mode = MapStaticMax
+		}
+		fu, err := Compile(dev, features, choices, batch, Options{Mapping: mode, StaticBlocks: alloc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatchesReference(t, fu, features, tables, batch)
+		if err := fu.Map.Validate(len(features)); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestTaskMapExactCoverProperty(t *testing.T) {
+	features, _, batch, _ := testModel(t, 64, 35)
+	choices := heterogeneousChoices()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		static := make([]int, len(features))
+		for f := range static {
+			static[f] = 1 + rng.Intn(20)
+		}
+		mode := []MappingMode{MapRuntime, MapStaticAvg, MapStaticMax}[rng.Intn(3)]
+		opts := Options{Mapping: mode}
+		if mode != MapRuntime {
+			opts.StaticBlocks = static
+		}
+		fu, err := Compile(gpusim.V100(), features, choices, batch, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fu.Map.Validate(len(features)); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, mode, err)
+		}
+	}
+}
+
+func TestOccupancyControlHonored(t *testing.T) {
+	dev := gpusim.V100()
+	features, _, batch, _ := testModel(t, 128, 37)
+	choices := heterogeneousChoices()
+	for _, target := range []int{1, 2, 4} {
+		fu, err := Compile(dev, features, choices, batch, Options{TargetBlocksPerSM: target})
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if got := fu.Kernel.EffectiveBlocksPerSM(dev); got != target {
+			t.Errorf("target %d: effective %d", target, got)
+		}
+		res, err := fu.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BlocksPerSM != target {
+			t.Errorf("target %d: simulated at %d", target, res.BlocksPerSM)
+		}
+	}
+}
+
+func TestOccupancyControlSpillsChargeTraffic(t *testing.T) {
+	dev := gpusim.V100()
+	features, _, batch, _ := testModel(t, 128, 39)
+	choices := heterogeneousChoices()
+	// ThreadPerSample on dim 4 uses 20 regs; SubWarp v4u1 ~38. At 8
+	// blocks/SM with 256 threads the budget is 32 regs: some features spill.
+	fuLow, err := Compile(dev, features, choices, batch, Options{TargetBlocksPerSM: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuHigh, err := Compile(dev, features, choices, batch, Options{TargetBlocksPerSM: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilledLow, spilledHigh := 0, 0
+	for f := range features {
+		spilledLow += fuLow.SpilledRegs[f]
+		spilledHigh += fuHigh.SpilledRegs[f]
+	}
+	if spilledLow != 0 {
+		t.Errorf("low occupancy should not spill, got %d regs", spilledLow)
+	}
+	if spilledHigh == 0 {
+		t.Error("high occupancy with register-hungry schedules should spill")
+	}
+	_, dramLow, _ := fuLow.Kernel.TotalWork()
+	_, dramHigh, _ := fuHigh.Kernel.TotalWork()
+	if dramHigh <= dramLow {
+		t.Errorf("spilling should add DRAM traffic: %g vs %g", dramHigh, dramLow)
+	}
+}
+
+func TestFuncPtrDispatchSlower(t *testing.T) {
+	features, _, batch, _ := testModel(t, 128, 41)
+	// A uniform warp-per-sample schedule on small-dim features is
+	// issue-bound, which is where call overhead hurts.
+	uniform := sched.SubWarp{Threads: 256, Lanes: 32, Vec: 1, UnrollRows: 1}
+	choices := make([]sched.Schedule, len(features))
+	for i := range choices {
+		choices[i] = uniform
+	}
+	dev := gpusim.V100()
+	// Constrain occupancy so latency-bound behaviour is visible; the
+	// function-pointer penalty hits both issue work and request batching.
+	ifelse, err := Compile(dev, features, choices, batch, Options{Dispatch: DispatchIfElse, TargetBlocksPerSM: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fptr, err := Compile(dev, features, choices, batch, Options{Dispatch: DispatchFuncPtr, TargetBlocksPerSM: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rIf, err := ifelse.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPtr, err := fptr.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPtr.Time <= rIf.Time {
+		t.Errorf("function-pointer dispatch (%g) should be slower than if-else (%g)", rPtr.Time, rIf.Time)
+	}
+}
+
+// The Figure 13 direction: on a shifted workload, runtime mapping should beat
+// both static mappings.
+func TestRuntimeMappingBeatsStaticOnShiftedWorkload(t *testing.T) {
+	features, _, _, cfg := testModel(t, 0x7fffffff&64, 43)
+	choices := heterogeneousChoices()
+	dev := gpusim.V100()
+
+	// History from small batches...
+	rng := rand.New(rand.NewSource(7))
+	var history [][]int
+	for i := 0; i < 6; i++ {
+		b, err := datasynth.GenerateBatch(cfg, 64, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fu, err := Compile(dev, features, choices, b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, fu.BlockUsage())
+	}
+	avgAlloc, err := StaticAllocation(history, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then a long-tail request 8x larger arrives.
+	tail, err := datasynth.GenerateBatch(cfg, 512, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeFor := func(opts Options) float64 {
+		fu, err := Compile(dev, features, choices, tail, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := fu.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Time
+	}
+	runtime := timeFor(Options{})
+	staticAvg := timeFor(Options{Mapping: MapStaticAvg, StaticBlocks: avgAlloc})
+	if staticAvg <= runtime {
+		t.Errorf("static-avg (%g) should lose to runtime mapping (%g) on a long-tail batch", staticAvg, runtime)
+	}
+}
+
+func TestStaticAllocationMath(t *testing.T) {
+	history := [][]int{{2, 10}, {4, 20}, {3, 0}}
+	avg, err := StaticAllocation(history, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] != 3 || avg[1] != 10 {
+		t.Errorf("avg = %v, want [3 10]", avg)
+	}
+	max, err := StaticAllocation(history, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max[0] != 4 || max[1] != 20 {
+		t.Errorf("max = %v, want [4 20]", max)
+	}
+	if _, err := StaticAllocation(nil, false); err == nil {
+		t.Error("empty history accepted")
+	}
+	if _, err := StaticAllocation([][]int{{1}, {1, 2}}, false); err == nil {
+		t.Error("ragged history accepted")
+	}
+}
+
+func TestCompileErrorPaths(t *testing.T) {
+	dev := gpusim.V100()
+	features, _, batch, _ := testModel(t, 32, 45)
+	choices := heterogeneousChoices()
+	if _, err := Compile(dev, nil, nil, batch, Options{}); err == nil {
+		t.Error("no features accepted")
+	}
+	if _, err := Compile(dev, features, choices[:2], batch, Options{}); err == nil {
+		t.Error("choice count mismatch accepted")
+	}
+	if _, err := Compile(dev, features, choices, batch, Options{Mapping: MapStaticAvg}); err == nil {
+		t.Error("static mapping without StaticBlocks accepted")
+	}
+	// Unsupported schedule: thread-per-sample on dim 128.
+	badChoices := append([]sched.Schedule{}, choices...)
+	badChoices[3] = sched.ThreadPerSample{Threads: 256, Unroll: 1}
+	if _, err := Compile(dev, features, badChoices, batch, Options{}); err == nil {
+		t.Error("unsupported schedule accepted")
+	}
+	// Occupancy target beyond warp slots.
+	if _, err := Compile(dev, features, choices, batch, Options{TargetBlocksPerSM: 32}); err == nil {
+		t.Error("unreachable occupancy target accepted")
+	}
+}
+
+func TestExecuteErrorPaths(t *testing.T) {
+	fu, tables, batch, _ := compileRuntime(t, Options{})
+	if _, err := fu.Execute(tables[:2], batch); err == nil {
+		t.Error("table count mismatch accepted")
+	}
+	short := &embedding.Batch{Features: batch.Features[:2]}
+	if _, err := fu.Execute(tables, short); err == nil {
+		t.Error("batch feature count mismatch accepted")
+	}
+}
+
+func TestUniqueScheduleSharing(t *testing.T) {
+	dev := gpusim.V100()
+	cfg := &datasynth.ModelConfig{Name: "share", Seed: 3, Features: []datasynth.FeatureSpec{
+		{Name: "a", Dim: 8, Rows: 128, PF: datasynth.Fixed{K: 2}, Coverage: 1},
+		{Name: "b", Dim: 8, Rows: 128, PF: datasynth.Fixed{K: 2}, Coverage: 1},
+		{Name: "c", Dim: 16, Rows: 128, PF: datasynth.Fixed{K: 2}, Coverage: 1},
+	}}
+	rng := rand.New(rand.NewSource(3))
+	batch, err := datasynth.GenerateBatch(cfg, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := []FeatureInfo{
+		{Name: "a", Dim: 8, TableRows: 128, Pool: embedding.PoolSum},
+		{Name: "b", Dim: 8, TableRows: 128, Pool: embedding.PoolSum},
+		{Name: "c", Dim: 16, TableRows: 128, Pool: embedding.PoolSum},
+	}
+	same := sched.SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1}
+	fu, err := Compile(dev, features, []sched.Schedule{same, same, same}, batch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b share (same schedule, same dim); c differs by dim.
+	if fu.UniqueSchedules != 2 {
+		t.Errorf("UniqueSchedules = %d, want 2", fu.UniqueSchedules)
+	}
+}
+
+func TestRunCombinesSimAndExecute(t *testing.T) {
+	fu, tables, batch, features := compileRuntime(t, Options{})
+	outs, res, err := fu.Run(tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("simulated time must be positive")
+	}
+	if len(outs) != len(features) {
+		t.Errorf("%d outputs for %d features", len(outs), len(features))
+	}
+	// Per-feature time accounting covers all features.
+	for f := range features {
+		if res.TagTime[f] <= 0 {
+			t.Errorf("feature %d has no accounted time", f)
+		}
+	}
+}
+
+func TestMappingModeString(t *testing.T) {
+	if MapRuntime.String() != "runtime" || MapStaticAvg.String() != "static-avg" || MapStaticMax.String() != "static-max" {
+		t.Error("MappingMode strings wrong")
+	}
+}
+
+func TestWorkingSetBytes(t *testing.T) {
+	features := []FeatureInfo{{Dim: 8, TableRows: 100}, {Dim: 4, TableRows: 10}}
+	ws := []sched.Workload{
+		{Dim: 8, BatchSize: 1, PF: []int{5}, TotalRows: 5, UniqueRows: 5},
+		{Dim: 4, BatchSize: 1, PF: []int{100}, TotalRows: 100, UniqueRows: 50}, // capped by table
+	}
+	got := WorkingSetBytes(features, ws)
+	want := 5.0*32 + 10*16 // feature 1 capped at table size
+	if got != want {
+		t.Errorf("WorkingSetBytes = %g, want %g", got, want)
+	}
+}

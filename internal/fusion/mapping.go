@@ -1,0 +1,228 @@
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// TaskMap is the host-built mapping from fused-kernel block index to
+// (feature, relative block) — the d_task_map and d_blocks_map arrays of the
+// paper's Figure 8.
+type TaskMap struct {
+	// Feature[i] and Rel[i] identify the work of fused block i.
+	Feature []int32
+	Rel     []int32
+
+	// Allocated[f] is the number of fused blocks feature f received (B_f).
+	Allocated []int32
+
+	// Needed[f] is the number of blocks feature f's plan actually wants
+	// for this batch (N_f). Runtime mapping keeps Allocated == Needed;
+	// static mappings may under- or over-allocate.
+	Needed []int32
+}
+
+// NumBlocks returns the fused grid size.
+func (m *TaskMap) NumBlocks() int { return len(m.Feature) }
+
+// Validate checks the exact-cover invariant: every allocated block appears
+// exactly once with a dense relative index.
+func (m *TaskMap) Validate(numFeatures int) error {
+	if len(m.Feature) != len(m.Rel) {
+		return fmt.Errorf("fusion: task map arrays disagree: %d features, %d rels", len(m.Feature), len(m.Rel))
+	}
+	if len(m.Allocated) != numFeatures || len(m.Needed) != numFeatures {
+		return fmt.Errorf("fusion: task map per-feature arrays sized %d/%d, want %d", len(m.Allocated), len(m.Needed), numFeatures)
+	}
+	seen := make([]int32, numFeatures)
+	total := 0
+	for i := range m.Feature {
+		f := m.Feature[i]
+		if f < 0 || int(f) >= numFeatures {
+			return fmt.Errorf("fusion: task map entry %d names feature %d of %d", i, f, numFeatures)
+		}
+		if m.Rel[i] != seen[f] {
+			return fmt.Errorf("fusion: feature %d relative index %d, want dense %d", f, m.Rel[i], seen[f])
+		}
+		seen[f]++
+		total++
+	}
+	for f := 0; f < numFeatures; f++ {
+		if seen[f] != m.Allocated[f] {
+			return fmt.Errorf("fusion: feature %d has %d entries, allocated %d", f, seen[f], m.Allocated[f])
+		}
+		if m.Allocated[f] <= 0 {
+			return fmt.Errorf("fusion: feature %d allocated %d blocks, want >= 1", f, m.Allocated[f])
+		}
+	}
+	if total != m.NumBlocks() {
+		return fmt.Errorf("fusion: task map covers %d of %d blocks", total, m.NumBlocks())
+	}
+	return nil
+}
+
+// buildTaskMap constructs the mapping for the configured mode.
+func (fu *Fused) buildTaskMap() error {
+	n := len(fu.Features)
+	m := TaskMap{
+		Allocated: make([]int32, n),
+		Needed:    make([]int32, n),
+	}
+	for f := 0; f < n; f++ {
+		needed := fu.Plans[f].NumBlocks
+		m.Needed[f] = int32(needed)
+		alloc := needed
+		if fu.Opts.Mapping != MapRuntime {
+			alloc = fu.Opts.StaticBlocks[f]
+			if alloc < 1 {
+				alloc = 1
+			}
+		}
+		m.Allocated[f] = int32(alloc)
+	}
+	total := 0
+	for f := 0; f < n; f++ {
+		total += int(m.Allocated[f])
+	}
+	m.Feature = make([]int32, 0, total)
+	m.Rel = make([]int32, 0, total)
+	for f := 0; f < n; f++ {
+		for r := int32(0); r < m.Allocated[f]; r++ {
+			m.Feature = append(m.Feature, int32(f))
+			m.Rel = append(m.Rel, r)
+		}
+	}
+	fu.Map = m
+	return m.Validate(n)
+}
+
+// blockWork computes the simulated work of fused block i, folding plan
+// blocks when the feature is under-allocated and emitting an idle block when
+// it is over-allocated.
+func (m *TaskMap) blockWork(fu *Fused, i int) gpusim.BlockWork {
+	f := int(m.Feature[i])
+	rel := int(m.Rel[i])
+	plan := fu.Plans[f]
+	needed := int(m.Needed[f])
+	alloc := int(m.Allocated[f])
+
+	if alloc == needed {
+		return plan.Blocks[rel]
+	}
+	if rel >= needed {
+		// Idle block: launched with the full warp complement, reads its
+		// task-map entry, finds nothing and exits. It still occupies a
+		// block slot for the device's scheduling overhead.
+		warps := 1
+		if len(plan.Blocks) > 0 && plan.Blocks[0].Warps > warps {
+			warps = plan.Blocks[0].Warps
+		}
+		return gpusim.BlockWork{Warps: warps, ActiveFrac: 0}
+	}
+	// Fold plan blocks into one fused block that runs them back to back:
+	// block rel takes the contiguous chunk [rel*q, (rel+1)*q) with
+	// q = ceil(needed/alloc) — the paper's "the first block will perform
+	// the computation of two blocks sequentially". The ceiling quantization
+	// is what makes under-allocation imbalanced: early blocks carry q plan
+	// blocks while late ones may carry fewer or none.
+	q := (needed + alloc - 1) / alloc
+	lo, hi := rel*q, (rel+1)*q
+	if hi > needed {
+		hi = needed
+	}
+	if lo >= needed {
+		warps := 1
+		if len(plan.Blocks) > 0 && plan.Blocks[0].Warps > warps {
+			warps = plan.Blocks[0].Warps
+		}
+		return gpusim.BlockWork{Warps: warps, ActiveFrac: 0}
+	}
+	var merged gpusim.BlockWork
+	var weight float64
+	segments := 0
+	for j := lo; j < hi; j++ {
+		segments++
+		b := plan.Blocks[j]
+		merged.CompCycles += b.CompCycles
+		merged.DRAMBytes += b.DRAMBytes
+		merged.L2Bytes += b.L2Bytes
+		merged.MemRequests += b.MemRequests
+		if b.Warps > merged.Warps {
+			merged.Warps = b.Warps
+		}
+		w := b.CompCycles
+		if w <= 0 {
+			w = 1
+		}
+		merged.ActiveFrac += b.ActiveFrac * w
+		merged.PredOffFrac += b.PredOffFrac * w
+		weight += w
+	}
+	if weight > 0 {
+		merged.ActiveFrac /= weight
+		merged.PredOffFrac /= weight
+	}
+	if merged.Warps == 0 {
+		merged.Warps = 1
+	}
+	// Folded segments run strictly back to back inside the block: at each
+	// transition the memory pipeline drains before the next segment's
+	// loads can issue. The drain is one full-latency request wave per
+	// boundary — charged as extra memory requests, which lowers the
+	// block's effective memory-level parallelism exactly the way an empty
+	// pipeline does. This is the cost behind the paper's §VI-D finding
+	// that static mapping collapses on long-tail requests.
+	if segments > 1 {
+		merged.MemRequests += float64(segments-1) *
+			float64(merged.Warps) * fu.Device.MemParallelism
+		merged.CompCycles += float64(segments-1) * 64 // per-segment loop setup
+	}
+	return merged
+}
+
+// StaticAllocation derives per-feature static block counts from historical
+// block usage: the average (rounded up) or maximum across batches. This is
+// the data collection step of the Figure 13 ablation.
+func StaticAllocation(history [][]int, useMax bool) ([]int, error) {
+	if len(history) == 0 {
+		return nil, fmt.Errorf("fusion: no historical block usage")
+	}
+	n := len(history[0])
+	out := make([]int, n)
+	for _, rec := range history {
+		if len(rec) != n {
+			return nil, fmt.Errorf("fusion: inconsistent history record length %d vs %d", len(rec), n)
+		}
+		for f, b := range rec {
+			if useMax {
+				if b > out[f] {
+					out[f] = b
+				}
+			} else {
+				out[f] += b
+			}
+		}
+	}
+	if !useMax {
+		for f := range out {
+			out[f] = (out[f] + len(history) - 1) / len(history)
+		}
+	}
+	for f := range out {
+		if out[f] < 1 {
+			out[f] = 1
+		}
+	}
+	return out, nil
+}
+
+// BlockUsage returns the per-feature block counts this fused kernel needed —
+// one history record for StaticAllocation.
+func (fu *Fused) BlockUsage() []int {
+	out := make([]int, len(fu.Features))
+	for f := range out {
+		out[f] = int(fu.Map.Needed[f])
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package gpusim
+
+// Counters are the Nsight-Compute-style metrics the paper reports in
+// Table II. They are computed from the same events that drive the latency
+// model, so improvements in the counters and improvements in time are
+// consistent by construction.
+type Counters struct {
+	// MemoryThroughput is achieved DRAM traffic divided by kernel time, in
+	// bytes per second.
+	MemoryThroughput float64
+
+	// MemoryBusyPct is the fraction of kernel time during which the DRAM
+	// subsystem had outstanding demand, in percent.
+	MemoryBusyPct float64
+
+	// MaxBandwidthPct is the average achieved fraction of peak DRAM
+	// bandwidth, in percent (the paper's "Max Bandwidth (%)").
+	MaxBandwidthPct float64
+
+	// L1CacheThroughputPct approximates L1/TEX utilization: total memory
+	// traffic against the aggregate L1 bandwidth of all SMs, in percent.
+	L1CacheThroughputPct float64
+
+	// L2CacheThroughputPct is achieved L2 traffic against peak L2
+	// bandwidth, in percent.
+	L2CacheThroughputPct float64
+
+	// AvgActiveThreadsPerWarp is the compute-weighted mean number of
+	// non-exited threads per warp.
+	AvgActiveThreadsPerWarp float64
+
+	// AvgNotPredOffThreadsPerWarp is the compute-weighted mean number of
+	// threads per warp that are active and not predicated off.
+	AvgNotPredOffThreadsPerWarp float64
+
+	// TotalDRAMBytes and TotalL2Bytes are the raw traffic sums.
+	TotalDRAMBytes float64
+	TotalL2Bytes   float64
+}
+
+// counterAccum integrates time-varying quantities during simulation.
+type counterAccum struct {
+	dramBusy  float64 // seconds with outstanding DRAM demand
+	l2Busy    float64
+	dramMoved float64
+	l2Moved   float64
+}
+
+// observe integrates the traffic actually moved during one event interval.
+func (a *counterAccum) observe(dramMoved, l2Moved, dt float64) {
+	if dramMoved > 0 {
+		a.dramBusy += dt
+		a.dramMoved += dramMoved
+	}
+	if l2Moved > 0 {
+		a.l2Busy += dt
+		a.l2Moved += l2Moved
+	}
+}
+
+// l1BytesPerCyclePerSM approximates the L1/TEX sector bandwidth of one SM.
+const l1BytesPerCyclePerSM = 128.0
+
+func (a *counterAccum) finalize(d *Device, k *Kernel, totalTime float64) Counters {
+	var c Counters
+	if totalTime <= 0 {
+		return c
+	}
+	c.TotalDRAMBytes = a.dramMoved
+	c.TotalL2Bytes = a.l2Moved
+	c.MemoryThroughput = a.dramMoved / totalTime
+	c.MemoryBusyPct = 100 * a.dramBusy / totalTime
+	c.MaxBandwidthPct = 100 * c.MemoryThroughput / d.DRAMBandwidth
+	l1Peak := float64(d.NumSMs) * l1BytesPerCyclePerSM * d.ClockHz
+	c.L1CacheThroughputPct = 100 * (a.dramMoved + a.l2Moved) / totalTime / l1Peak
+	c.L2CacheThroughputPct = 100 * (a.l2Moved + a.dramMoved) / totalTime / d.L2Bandwidth
+
+	// Thread utilization metrics are compute-weighted over the grid.
+	var wSum, activeSum, notPredSum float64
+	for i := range k.Blocks {
+		b := &k.Blocks[i]
+		w := b.CompCycles
+		if w <= 0 {
+			w = 1
+		}
+		wSum += w
+		activeSum += w * b.ActiveFrac * float64(d.WarpSize)
+		notPredSum += w * b.ActiveFrac * (1 - b.PredOffFrac) * float64(d.WarpSize)
+	}
+	if wSum > 0 {
+		c.AvgActiveThreadsPerWarp = activeSum / wSum
+		c.AvgNotPredOffThreadsPerWarp = notPredSum / wSum
+	}
+	return c
+}

@@ -1,0 +1,166 @@
+// Package gpusim provides a deterministic, event-driven performance simulator
+// of a CUDA-class GPU. It models the mechanisms that RecFlex's schedule tuner
+// reasons about: streaming multiprocessors (SMs) with warp-slot, register and
+// shared-memory occupancy limits; non-preemptive round-robin thread-block
+// scheduling; processor-shared DRAM and L2 bandwidth; latency hiding that
+// scales with resident warps; warp divergence; and per-block launch overhead.
+//
+// The simulator is a fluid (rate-based) model: between scheduling events every
+// resident block drains three work dimensions — compute cycles, DRAM bytes and
+// L2 bytes — at rates derived from the current global contention state. A
+// block completes when all three dimensions are empty. This reproduces the
+// kernel-latency mechanism of RecFlex's Equation 2 (sum of block times divided
+// by parallel block slots) while also capturing tail effects and imbalance
+// that the closed-form approximation ignores.
+package gpusim
+
+import "fmt"
+
+// Device describes the static hardware configuration of a simulated GPU.
+// All bandwidths are in bytes per second and all latencies in core cycles.
+type Device struct {
+	Name string
+
+	// SM geometry.
+	NumSMs             int
+	WarpSize           int
+	MaxWarpsPerSM      int
+	MaxBlocksPerSM     int
+	MaxThreadsPerBlock int
+
+	// Per-SM resources that bound occupancy.
+	RegistersPerSM    int
+	MaxRegsPerThread  int
+	SharedMemPerSM    int
+	SharedMemPerBlock int
+
+	// Issue model. ClockHz is the core clock. IssueSlotsPerSM is the number
+	// of warp instructions an SM can issue per cycle across its schedulers.
+	// PerWarpIssue is the sustained per-warp issue rate (instructions per
+	// cycle) once dependency stalls are accounted for; values below 1 mean a
+	// single warp cannot saturate an issue slot, so compute throughput also
+	// benefits from occupancy.
+	ClockHz         float64
+	IssueSlotsPerSM int
+	PerWarpIssue    float64
+
+	// Memory system.
+	DRAMBandwidth     float64 // bytes/s
+	DRAMLatencyCycles float64
+	L2SizeBytes       int
+	L2Bandwidth       float64 // bytes/s
+	L2LatencyCycles   float64
+
+	// MemParallelism is the number of outstanding memory requests a warp can
+	// sustain. Together with the request size and latency it caps a block's
+	// achievable memory rate, which is how low occupancy becomes
+	// latency-bound.
+	MemParallelism float64
+
+	// Fixed overheads.
+	KernelLaunchOverhead float64 // seconds, per kernel launch
+	BlockOverheadCycles  float64 // cycles to schedule/drain one block
+}
+
+// Validate checks the device configuration for internally consistent values.
+func (d *Device) Validate() error {
+	switch {
+	case d.NumSMs <= 0:
+		return fmt.Errorf("gpusim: device %q: NumSMs must be positive, got %d", d.Name, d.NumSMs)
+	case d.WarpSize <= 0:
+		return fmt.Errorf("gpusim: device %q: WarpSize must be positive, got %d", d.Name, d.WarpSize)
+	case d.MaxWarpsPerSM <= 0:
+		return fmt.Errorf("gpusim: device %q: MaxWarpsPerSM must be positive, got %d", d.Name, d.MaxWarpsPerSM)
+	case d.MaxBlocksPerSM <= 0:
+		return fmt.Errorf("gpusim: device %q: MaxBlocksPerSM must be positive, got %d", d.Name, d.MaxBlocksPerSM)
+	case d.MaxThreadsPerBlock <= 0:
+		return fmt.Errorf("gpusim: device %q: MaxThreadsPerBlock must be positive, got %d", d.Name, d.MaxThreadsPerBlock)
+	case d.RegistersPerSM <= 0:
+		return fmt.Errorf("gpusim: device %q: RegistersPerSM must be positive, got %d", d.Name, d.RegistersPerSM)
+	case d.SharedMemPerSM <= 0:
+		return fmt.Errorf("gpusim: device %q: SharedMemPerSM must be positive, got %d", d.Name, d.SharedMemPerSM)
+	case d.ClockHz <= 0:
+		return fmt.Errorf("gpusim: device %q: ClockHz must be positive, got %g", d.Name, d.ClockHz)
+	case d.IssueSlotsPerSM <= 0:
+		return fmt.Errorf("gpusim: device %q: IssueSlotsPerSM must be positive, got %d", d.Name, d.IssueSlotsPerSM)
+	case d.PerWarpIssue <= 0 || d.PerWarpIssue > 1:
+		return fmt.Errorf("gpusim: device %q: PerWarpIssue must be in (0,1], got %g", d.Name, d.PerWarpIssue)
+	case d.DRAMBandwidth <= 0:
+		return fmt.Errorf("gpusim: device %q: DRAMBandwidth must be positive, got %g", d.Name, d.DRAMBandwidth)
+	case d.L2Bandwidth <= 0:
+		return fmt.Errorf("gpusim: device %q: L2Bandwidth must be positive, got %g", d.Name, d.L2Bandwidth)
+	case d.DRAMLatencyCycles <= 0 || d.L2LatencyCycles <= 0:
+		return fmt.Errorf("gpusim: device %q: memory latencies must be positive", d.Name)
+	case d.MemParallelism <= 0:
+		return fmt.Errorf("gpusim: device %q: MemParallelism must be positive, got %g", d.Name, d.MemParallelism)
+	}
+	return nil
+}
+
+// V100 returns the simulated configuration of an NVIDIA Tesla V100 (SXM2
+// 32GB), the first evaluation platform of the paper.
+func V100() *Device {
+	return &Device{
+		Name:                 "V100",
+		NumSMs:               80,
+		WarpSize:             32,
+		MaxWarpsPerSM:        64,
+		MaxBlocksPerSM:       32,
+		MaxThreadsPerBlock:   1024,
+		RegistersPerSM:       64 * 1024,
+		MaxRegsPerThread:     255,
+		SharedMemPerSM:       96 * 1024,
+		SharedMemPerBlock:    96 * 1024,
+		ClockHz:              1.38e9,
+		IssueSlotsPerSM:      4,
+		PerWarpIssue:         0.5,
+		DRAMBandwidth:        900e9,
+		DRAMLatencyCycles:    440,
+		L2SizeBytes:          6 * 1024 * 1024,
+		L2Bandwidth:          2150e9,
+		L2LatencyCycles:      200,
+		MemParallelism:       2,
+		KernelLaunchOverhead: 4e-6,
+		BlockOverheadCycles:  600,
+	}
+}
+
+// A100 returns the simulated configuration of an NVIDIA A100 (SXM4 40GB), the
+// second evaluation platform of the paper.
+func A100() *Device {
+	return &Device{
+		Name:                 "A100",
+		NumSMs:               108,
+		WarpSize:             32,
+		MaxWarpsPerSM:        64,
+		MaxBlocksPerSM:       32,
+		MaxThreadsPerBlock:   1024,
+		RegistersPerSM:       64 * 1024,
+		MaxRegsPerThread:     255,
+		SharedMemPerSM:       164 * 1024,
+		SharedMemPerBlock:    164 * 1024,
+		ClockHz:              1.41e9,
+		IssueSlotsPerSM:      4,
+		PerWarpIssue:         0.5,
+		DRAMBandwidth:        1555e9,
+		DRAMLatencyCycles:    470,
+		L2SizeBytes:          40 * 1024 * 1024,
+		L2Bandwidth:          4800e9,
+		L2LatencyCycles:      210,
+		MemParallelism:       2,
+		KernelLaunchOverhead: 4e-6,
+		BlockOverheadCycles:  600,
+	}
+}
+
+// CycleSeconds returns the duration of one core cycle.
+func (d *Device) CycleSeconds() float64 { return 1.0 / d.ClockHz }
+
+// ParallelBlockSlots returns the number of blocks the whole device can hold
+// concurrently for a kernel limited to blocksPerSM resident blocks per SM.
+func (d *Device) ParallelBlockSlots(blocksPerSM int) int {
+	if blocksPerSM <= 0 {
+		return 0
+	}
+	return d.NumSMs * blocksPerSM
+}

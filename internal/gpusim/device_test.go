@@ -1,0 +1,83 @@
+package gpusim
+
+import "testing"
+
+func TestDevicePresetsValidate(t *testing.T) {
+	for _, d := range []*Device{V100(), A100()} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestDevicePresetShapes(t *testing.T) {
+	v, a := V100(), A100()
+	if v.NumSMs != 80 {
+		t.Errorf("V100 NumSMs = %d, want 80", v.NumSMs)
+	}
+	if a.NumSMs != 108 {
+		t.Errorf("A100 NumSMs = %d, want 108", a.NumSMs)
+	}
+	if a.DRAMBandwidth <= v.DRAMBandwidth {
+		t.Errorf("A100 bandwidth (%g) should exceed V100 (%g)", a.DRAMBandwidth, v.DRAMBandwidth)
+	}
+	if a.L2SizeBytes <= v.L2SizeBytes {
+		t.Errorf("A100 L2 (%d) should exceed V100 (%d)", a.L2SizeBytes, v.L2SizeBytes)
+	}
+	if v.WarpSize != 32 || a.WarpSize != 32 {
+		t.Errorf("warp size must be 32, got %d/%d", v.WarpSize, a.WarpSize)
+	}
+}
+
+func TestDeviceValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Device)
+	}{
+		{"zero SMs", func(d *Device) { d.NumSMs = 0 }},
+		{"zero warp size", func(d *Device) { d.WarpSize = 0 }},
+		{"zero max warps", func(d *Device) { d.MaxWarpsPerSM = 0 }},
+		{"zero max blocks", func(d *Device) { d.MaxBlocksPerSM = 0 }},
+		{"zero threads per block", func(d *Device) { d.MaxThreadsPerBlock = 0 }},
+		{"zero registers", func(d *Device) { d.RegistersPerSM = 0 }},
+		{"zero shared mem", func(d *Device) { d.SharedMemPerSM = 0 }},
+		{"zero clock", func(d *Device) { d.ClockHz = 0 }},
+		{"zero issue slots", func(d *Device) { d.IssueSlotsPerSM = 0 }},
+		{"per-warp issue above 1", func(d *Device) { d.PerWarpIssue = 1.5 }},
+		{"negative per-warp issue", func(d *Device) { d.PerWarpIssue = -0.1 }},
+		{"zero DRAM bandwidth", func(d *Device) { d.DRAMBandwidth = 0 }},
+		{"zero L2 bandwidth", func(d *Device) { d.L2Bandwidth = 0 }},
+		{"zero DRAM latency", func(d *Device) { d.DRAMLatencyCycles = 0 }},
+		{"zero L2 latency", func(d *Device) { d.L2LatencyCycles = 0 }},
+		{"zero mem parallelism", func(d *Device) { d.MemParallelism = 0 }},
+	}
+	for _, m := range mutations {
+		d := V100()
+		m.mut(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid device", m.name)
+		}
+	}
+}
+
+func TestParallelBlockSlots(t *testing.T) {
+	d := V100()
+	if got := d.ParallelBlockSlots(4); got != 320 {
+		t.Errorf("ParallelBlockSlots(4) = %d, want 320", got)
+	}
+	if got := d.ParallelBlockSlots(0); got != 0 {
+		t.Errorf("ParallelBlockSlots(0) = %d, want 0", got)
+	}
+	if got := d.ParallelBlockSlots(-1); got != 0 {
+		t.Errorf("ParallelBlockSlots(-1) = %d, want 0", got)
+	}
+}
+
+func TestCycleSeconds(t *testing.T) {
+	d := V100()
+	got := d.CycleSeconds()
+	want := 1.0 / 1.38e9
+	if got != want {
+		t.Errorf("CycleSeconds = %g, want %g", got, want)
+	}
+}

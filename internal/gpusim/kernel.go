@@ -1,0 +1,131 @@
+package gpusim
+
+import "fmt"
+
+// BlockWork describes the total work one thread block performs, in the three
+// fluid dimensions the simulator drains plus the shape metadata that
+// determines rates and hardware counters.
+type BlockWork struct {
+	// CompCycles is the issue work of the block in warp-instruction cycles:
+	// the number of cycles a single warp issuing at full rate would need.
+	CompCycles float64
+
+	// DRAMBytes is the traffic this block moves to or from device memory
+	// (L2 misses, write-backs, register spills).
+	DRAMBytes float64
+
+	// L2Bytes is the traffic served by the L2 cache (hits). It excludes
+	// DRAMBytes; a request that misses L2 is charged to DRAMBytes only.
+	L2Bytes float64
+
+	// MemRequests is the number of distinct memory requests the block
+	// issues. Together with the device latency it bounds the block's
+	// achievable memory rate (latency-bound behaviour at low occupancy).
+	MemRequests float64
+
+	// Warps is the number of warps in this block that perform work. It may
+	// be lower than the kernel-level resident warp count when a fused
+	// kernel mixes schedules with different logical block sizes.
+	Warps int
+
+	// ActiveFrac is the average fraction of threads per warp that are
+	// active (not exited, in [0,1]). Divergence below 1 inflates compute.
+	ActiveFrac float64
+
+	// PredOffFrac is the average fraction of active threads that are
+	// predicated off by branch divergence. It feeds the "Avg. Not Predicted
+	// Off Threads per Warp" counter and inflates compute further.
+	PredOffFrac float64
+
+	// Tag and Sub identify the origin of the block for per-group time
+	// accounting: the tuner tags blocks by schedule candidate, the fusion
+	// compiler by feature. Negative tags denote padding blocks whose time
+	// is excluded from group sums.
+	Tag int
+	Sub int
+}
+
+// Validate reports whether the block work is well-formed.
+func (b *BlockWork) Validate() error {
+	switch {
+	case b.CompCycles < 0 || b.DRAMBytes < 0 || b.L2Bytes < 0 || b.MemRequests < 0:
+		return fmt.Errorf("gpusim: negative work in block (comp=%g dram=%g l2=%g reqs=%g)",
+			b.CompCycles, b.DRAMBytes, b.L2Bytes, b.MemRequests)
+	case b.Warps <= 0:
+		return fmt.Errorf("gpusim: block must have at least one warp, got %d", b.Warps)
+	case b.ActiveFrac < 0 || b.ActiveFrac > 1:
+		return fmt.Errorf("gpusim: ActiveFrac %g outside [0,1]", b.ActiveFrac)
+	case b.PredOffFrac < 0 || b.PredOffFrac > 1:
+		return fmt.Errorf("gpusim: PredOffFrac %g outside [0,1]", b.PredOffFrac)
+	}
+	return nil
+}
+
+// Kernel is one GPU kernel launch: a grid of blocks plus the static resource
+// footprint that determines occupancy.
+type Kernel struct {
+	Name      string
+	Resources KernelResources
+	Blocks    []BlockWork
+
+	// BlocksPerSMOverride, when positive, forces the resident-block limit
+	// (explicit occupancy control). It must not exceed the natural
+	// occupancy of Resources; use KernelResources.ControlOccupancy to
+	// construct a footprint that makes the target natural.
+	BlocksPerSMOverride int
+
+	// IncludeLaunchOverhead adds the device's kernel launch latency to the
+	// simulated time (the per-feature-kernel cost that makes unfused
+	// TensorFlow execution slow).
+	IncludeLaunchOverhead bool
+}
+
+// Validate checks the kernel against the device.
+func (k *Kernel) Validate(d *Device) error {
+	if err := k.Resources.Validate(d); err != nil {
+		return fmt.Errorf("kernel %q: %w", k.Name, err)
+	}
+	if len(k.Blocks) == 0 {
+		return fmt.Errorf("gpusim: kernel %q has no blocks", k.Name)
+	}
+	natural := k.Resources.BlocksPerSM(d)
+	if natural == 0 {
+		return fmt.Errorf("gpusim: kernel %q: resources admit zero resident blocks", k.Name)
+	}
+	if k.BlocksPerSMOverride > natural {
+		return fmt.Errorf("gpusim: kernel %q: occupancy override %d exceeds natural occupancy %d",
+			k.Name, k.BlocksPerSMOverride, natural)
+	}
+	residentWarps := k.Resources.WarpsPerBlock(d)
+	for i := range k.Blocks {
+		if err := k.Blocks[i].Validate(); err != nil {
+			return fmt.Errorf("kernel %q block %d: %w", k.Name, i, err)
+		}
+		if k.Blocks[i].Warps > residentWarps {
+			return fmt.Errorf("gpusim: kernel %q block %d uses %d warps, block size admits %d",
+				k.Name, i, k.Blocks[i].Warps, residentWarps)
+		}
+	}
+	return nil
+}
+
+// EffectiveBlocksPerSM returns the resident-block limit the simulator will
+// honor for this kernel on device d.
+func (k *Kernel) EffectiveBlocksPerSM(d *Device) int {
+	natural := k.Resources.BlocksPerSM(d)
+	if k.BlocksPerSMOverride > 0 && k.BlocksPerSMOverride < natural {
+		return k.BlocksPerSMOverride
+	}
+	return natural
+}
+
+// TotalWork sums the work dimensions over all blocks, useful for roofline
+// lower bounds and tests.
+func (k *Kernel) TotalWork() (comp, dram, l2 float64) {
+	for i := range k.Blocks {
+		comp += k.Blocks[i].CompCycles
+		dram += k.Blocks[i].DRAMBytes
+		l2 += k.Blocks[i].L2Bytes
+	}
+	return comp, dram, l2
+}

@@ -1,0 +1,128 @@
+package gpusim
+
+// computeRates fills in the drain rates of every resident block from the
+// current contention state. Three shared resources are modeled:
+//
+//   - SM issue slots: each SM issues IssueSlotsPerSM warp instructions per
+//     cycle, shared among resident warps in proportion to warp count, with a
+//     per-warp dependency-stall ceiling (PerWarpIssue). A lone warp therefore
+//     cannot saturate an SM: compute also rewards occupancy.
+//   - DRAM bandwidth: processor-shared across all blocks with remaining DRAM
+//     work, each capped by its latency-hiding ceiling
+//     warps·MemParallelism·reqBytes/latency. Low-occupancy kernels become
+//     latency-bound long before they are bandwidth-bound.
+//   - L2 bandwidth: same model with the L2 latency and bandwidth.
+//
+// Unclaimed bandwidth from capped blocks is redistributed (water-filling), so
+// a single memory-hungry schedule in a fused kernel can slow its neighbors —
+// the inter-feature resource contention of the paper's §II-C.
+func computeRates(d *Device, st *simState) {
+	// Per-SM resident warp totals.
+	sw := st.smWarps
+	for i := range sw {
+		sw[i] = 0
+	}
+	for i := range st.active {
+		rb := &st.active[i]
+		sw[rb.sm] += rb.warps
+	}
+
+	issuePeak := float64(d.IssueSlotsPerSM)
+	for i := range st.active {
+		rb := &st.active[i]
+		rate := rb.warps * d.PerWarpIssue
+		if share := issuePeak * rb.warps / sw[rb.sm]; share < rate {
+			rate = share
+		}
+		rb.rateComp = rate * d.ClockHz
+		rb.rateDRAM = 0
+		rb.rateL2 = 0
+	}
+
+	shareBandwidth(d, st, memDRAM)
+	shareBandwidth(d, st, memL2)
+}
+
+type memKind int
+
+const (
+	memDRAM memKind = iota
+	memL2
+)
+
+// shareBandwidth water-fills one memory resource across the blocks that still
+// demand it, using the preallocated scratch in st.
+func shareBandwidth(d *Device, st *simState, kind memKind) {
+	var bw, latency float64
+	switch kind {
+	case memDRAM:
+		bw, latency = d.DRAMBandwidth, d.DRAMLatencyCycles
+	case memL2:
+		bw, latency = d.L2Bandwidth, d.L2LatencyCycles
+	}
+	capScale := d.MemParallelism * d.ClockHz / latency
+	fallbackCap := bw / float64(d.NumSMs*d.MaxBlocksPerSM)
+
+	idx := st.demandIdx[:0]
+	caps := st.demandCap[:0]
+	for i := range st.active {
+		rb := &st.active[i]
+		rem := rb.remDRAM
+		if kind == memL2 {
+			rem = rb.remL2
+		}
+		if rem <= simEps {
+			continue
+		}
+		c := rb.warps * rb.reqBytes * capScale
+		if c <= 0 {
+			c = fallbackCap
+		}
+		idx = append(idx, int32(i))
+		caps = append(caps, c)
+	}
+	st.demandIdx, st.demandCap = idx, caps
+	if len(idx) == 0 {
+		return
+	}
+
+	// Water-filling: repeatedly grant capped blocks their cap and re-share
+	// the remainder among the rest. Terminates because every round either
+	// removes a block or assigns the final fair share.
+	remBW := bw
+	for len(idx) > 0 {
+		share := remBW / float64(len(idx))
+		progressed := false
+		keep := st.keepIdx[:0]
+		keepCaps := 0
+		for j, ai := range idx {
+			if caps[j] <= share {
+				setMemRate(&st.active[ai], kind, caps[j])
+				remBW -= caps[j]
+				progressed = true
+			} else {
+				keep = append(keep, ai)
+				caps[keepCaps] = caps[j]
+				keepCaps++
+			}
+		}
+		if !progressed {
+			for _, ai := range idx {
+				setMemRate(&st.active[ai], kind, share)
+			}
+			break
+		}
+		// Swap the kept set into the working slices.
+		st.keepIdx = idx[:0]
+		idx = keep
+		caps = caps[:keepCaps]
+	}
+}
+
+func setMemRate(rb *resident, kind memKind, rate float64) {
+	if kind == memDRAM {
+		rb.rateDRAM = rate
+	} else {
+		rb.rateL2 = rate
+	}
+}

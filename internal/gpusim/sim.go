@@ -1,0 +1,274 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SimResult reports the outcome of one kernel simulation.
+type SimResult struct {
+	// Time is the kernel wall-clock time in seconds, including the launch
+	// overhead when the kernel requests it.
+	Time float64
+
+	// BlockTime[i] is the residency time of kernel block i (dispatch to
+	// drain), the l_b of the paper's Equation 2.
+	BlockTime []float64
+
+	// BlockStart[i] is block i's dispatch time and BlockSM[i] the SM it ran
+	// on — the scheduling trace behind Figure 5, used by tests to verify
+	// the residency invariants and by tools to render timelines.
+	BlockStart []float64
+	BlockSM    []int32
+
+	// TagTime sums BlockTime over blocks sharing a non-negative Tag. The
+	// tuner's local stage reads per-candidate sums from here; the fusion
+	// compiler reads per-feature sums.
+	TagTime map[int]float64
+
+	// TagBlocks counts blocks per non-negative tag.
+	TagBlocks map[int]int
+
+	// BlocksPerSM is the resident-block limit the simulation honored.
+	BlocksPerSM int
+
+	// Counters holds the Nsight-style hardware counters (Table II).
+	Counters Counters
+}
+
+const simEps = 1e-15
+
+// eventBatchTol batches dimension completions within 5% of the earliest one
+// into a single scheduling event. It bounds the timing error of any single
+// block at 5% while collapsing the event count of large grids.
+const eventBatchTol = 0.05
+
+// resident tracks one in-flight block. Residents live in a flat scratch
+// slice; the hot loop is allocation-free.
+type resident struct {
+	idx                        int32
+	sm                         int32
+	warps                      float64
+	remComp, remDRAM, remL2    float64
+	rateComp, rateDRAM, rateL2 float64
+	reqBytes                   float64
+	start                      float64
+}
+
+// simState holds preallocated scratch for one simulation.
+type simState struct {
+	active  []resident
+	smWarps []float64
+	smLoad  []int
+	// water-filling scratch: indices into active plus per-entry caps.
+	demandIdx []int32
+	demandCap []float64
+	keepIdx   []int32
+}
+
+// Simulate runs kernel k on device d and returns the timing result. The
+// simulation is deterministic: identical inputs produce identical outputs.
+//
+// Scheduling follows the GPU contract the paper's Figure 5 illustrates:
+// blocks are dispatched in grid order to SMs with free slots (round-robin at
+// launch, released-slot-first afterwards) and run non-preemptively until they
+// drain. Between events, resident blocks drain their compute, DRAM and L2
+// work at rates set by the current contention state; see rates.go.
+func Simulate(d *Device, k *Kernel) (*SimResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(d); err != nil {
+		return nil, err
+	}
+	bps := k.EffectiveBlocksPerSM(d)
+	slots := d.ParallelBlockSlots(bps)
+	if slots <= 0 {
+		return nil, fmt.Errorf("gpusim: kernel %q has zero parallel block slots", k.Name)
+	}
+	if slots > len(k.Blocks) {
+		slots = len(k.Blocks)
+	}
+
+	res := &SimResult{
+		BlockTime:   make([]float64, len(k.Blocks)),
+		BlockStart:  make([]float64, len(k.Blocks)),
+		BlockSM:     make([]int32, len(k.Blocks)),
+		TagTime:     make(map[int]float64),
+		TagBlocks:   make(map[int]int),
+		BlocksPerSM: bps,
+	}
+	st := &simState{
+		active:    make([]resident, 0, slots),
+		smWarps:   make([]float64, d.NumSMs),
+		smLoad:    make([]int, d.NumSMs),
+		demandIdx: make([]int32, 0, slots),
+		demandCap: make([]float64, 0, slots),
+		keepIdx:   make([]int32, 0, slots),
+	}
+	overheadCycles := d.BlockOverheadCycles
+
+	next := 0
+	dispatch := func(sm int, now float64) {
+		b := &k.Blocks[next]
+		reqBytes := 32.0
+		if b.MemRequests > 0 {
+			reqBytes = (b.DRAMBytes + b.L2Bytes) / b.MemRequests
+			if reqBytes <= 0 {
+				reqBytes = 32.0
+			}
+		}
+		st.active = append(st.active, resident{
+			idx:      int32(next),
+			sm:       int32(sm),
+			warps:    float64(b.Warps),
+			remComp:  b.CompCycles + overheadCycles,
+			remDRAM:  b.DRAMBytes,
+			remL2:    b.L2Bytes,
+			reqBytes: reqBytes,
+			start:    now,
+		})
+		st.smLoad[sm]++
+		res.BlockStart[next] = now
+		res.BlockSM[next] = int32(sm)
+		next++
+	}
+
+	// Initial round-robin fill, mirroring the hardware's launch-time
+	// distribution of blocks across SMs.
+	for sm := 0; next < len(k.Blocks) && len(st.active) < slots; sm = (sm + 1) % d.NumSMs {
+		if st.smLoad[sm] < bps {
+			dispatch(sm, 0)
+		}
+	}
+
+	now := 0.0
+	var acct counterAccum
+	for len(st.active) > 0 {
+		computeRates(d, st)
+
+		// Earliest dimension completion among residents: freed bandwidth
+		// is redistributed when a stream ends. Near-simultaneous
+		// completions are batched into one event (eventBatchTol) — a
+		// bounded approximation that collapses the event storm of large
+		// heterogeneous grids.
+		dt := math.Inf(1)
+		for i := range st.active {
+			if ft := nextDimEvent(&st.active[i]); ft < dt {
+				dt = ft
+			}
+		}
+		if math.IsInf(dt, 1) || dt < 0 {
+			return nil, fmt.Errorf("gpusim: kernel %q stalled at t=%gs with %d resident blocks", k.Name, now, len(st.active))
+		}
+		dt *= 1 + eventBatchTol
+
+		// Drain, integrating the traffic actually moved (exact even when
+		// the batched step overshoots a stream's remaining work).
+		var dramMoved, l2Moved float64
+		for i := range st.active {
+			rb := &st.active[i]
+			rb.remComp = drain(rb.remComp, rb.rateComp, dt)
+			dramBefore, l2Before := rb.remDRAM, rb.remL2
+			rb.remDRAM = drain(rb.remDRAM, rb.rateDRAM, dt)
+			rb.remL2 = drain(rb.remL2, rb.rateL2, dt)
+			dramMoved += dramBefore - rb.remDRAM
+			l2Moved += l2Before - rb.remL2
+		}
+		acct.observe(dramMoved, l2Moved, dt)
+		now += dt
+
+		// Retire drained blocks and backfill their slots. Iterating in
+		// grid order keeps retirement deterministic.
+		kept := st.active[:0]
+		for i := range st.active {
+			rb := st.active[i]
+			if rb.remComp <= simEps && rb.remDRAM <= simEps && rb.remL2 <= simEps {
+				bt := now - rb.start
+				res.BlockTime[rb.idx] = bt
+				if tag := k.Blocks[rb.idx].Tag; tag >= 0 {
+					res.TagTime[tag] += bt
+					res.TagBlocks[tag]++
+				}
+				st.smLoad[rb.sm]--
+				if next < len(k.Blocks) {
+					dispatch(int(rb.sm), now)
+					kept = append(kept, st.active[len(st.active)-1])
+					st.active = st.active[:len(st.active)-1]
+				}
+			} else {
+				kept = append(kept, rb)
+			}
+		}
+		st.active = kept
+	}
+
+	res.Time = now
+	if k.IncludeLaunchOverhead {
+		res.Time += d.KernelLaunchOverhead
+	}
+	res.Counters = acct.finalize(d, k, res.Time)
+	return res, nil
+}
+
+// nextDimEvent returns the time until the earliest dimension of rb drains at
+// current rates (infinity when every remaining dimension is stalled).
+func nextDimEvent(rb *resident) float64 {
+	t := math.Inf(1)
+	if rb.remComp > simEps && rb.rateComp > 0 {
+		t = rb.remComp / rb.rateComp
+	}
+	if rb.remDRAM > simEps && rb.rateDRAM > 0 {
+		if ft := rb.remDRAM / rb.rateDRAM; ft < t {
+			t = ft
+		}
+	}
+	if rb.remL2 > simEps && rb.rateL2 > 0 {
+		if ft := rb.remL2 / rb.rateL2; ft < t {
+			t = ft
+		}
+	}
+	return t
+}
+
+func drain(rem, rate, dt float64) float64 {
+	rem -= rate * dt
+	if rem < simEps {
+		return 0
+	}
+	return rem
+}
+
+// SerialUpperBound returns the time the kernel would take if every block ran
+// alone on one SM sequentially — a loose upper bound used by tests.
+func SerialUpperBound(d *Device, k *Kernel) float64 {
+	total := 0.0
+	for i := range k.Blocks {
+		b := &k.Blocks[i]
+		comp := (b.CompCycles + d.BlockOverheadCycles) / (float64(b.Warps) * d.PerWarpIssue * d.ClockHz)
+		mem := b.DRAMBytes/d.DRAMBandwidth + b.L2Bytes/d.L2Bandwidth
+		lat := 0.0
+		if b.MemRequests > 0 {
+			reqBytes := (b.DRAMBytes + b.L2Bytes) / b.MemRequests
+			if reqBytes > 0 {
+				cap := float64(b.Warps) * d.MemParallelism * reqBytes * d.ClockHz / d.DRAMLatencyCycles
+				lat = (b.DRAMBytes + b.L2Bytes) / cap
+			}
+		}
+		total += comp + math.Max(mem, lat)
+	}
+	return total
+}
+
+// RooflineLowerBound returns max(compute, DRAM, L2) aggregate-resource time,
+// a valid lower bound on any schedule of the kernel's blocks.
+func RooflineLowerBound(d *Device, k *Kernel) float64 {
+	comp, dram, l2 := k.TotalWork()
+	comp += float64(len(k.Blocks)) * d.BlockOverheadCycles
+	// Peak issue throughput across the device, in warp-cycles per second.
+	peakIssue := float64(d.NumSMs*d.IssueSlotsPerSM) * d.ClockHz
+	t := comp / peakIssue
+	t = math.Max(t, dram/d.DRAMBandwidth)
+	t = math.Max(t, l2/d.L2Bandwidth)
+	return t
+}

@@ -1,0 +1,442 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// uniformKernel builds a grid of identical blocks for closed-form checks.
+func uniformKernel(n int, b BlockWork, res KernelResources) *Kernel {
+	blocks := make([]BlockWork, n)
+	for i := range blocks {
+		blocks[i] = b
+		blocks[i].Tag = -1
+	}
+	return &Kernel{Name: "uniform", Resources: res, Blocks: blocks}
+}
+
+func defaultBlock() BlockWork {
+	return BlockWork{
+		CompCycles:  20000,
+		DRAMBytes:   64 * 1024,
+		L2Bytes:     16 * 1024,
+		MemRequests: 640,
+		Warps:       8,
+		ActiveFrac:  1,
+		Tag:         -1,
+	}
+}
+
+func TestSimulateRejectsInvalidInputs(t *testing.T) {
+	d := V100()
+	if _, err := Simulate(d, &Kernel{Resources: KernelResources{ThreadsPerBlock: 256}}); err == nil {
+		t.Error("empty grid should be rejected")
+	}
+	k := uniformKernel(4, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	k.Blocks[2].Warps = 100 // exceeds resident warps
+	if _, err := Simulate(d, k); err == nil {
+		t.Error("block with more warps than the block size admits should be rejected")
+	}
+	k2 := uniformKernel(4, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	k2.BlocksPerSMOverride = 100
+	if _, err := Simulate(d, k2); err == nil {
+		t.Error("occupancy override above natural occupancy should be rejected")
+	}
+	k3 := uniformKernel(4, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	k3.Blocks[0].CompCycles = -1
+	if _, err := Simulate(d, k3); err == nil {
+		t.Error("negative work should be rejected")
+	}
+}
+
+func TestSimulateWithinBounds(t *testing.T) {
+	d := V100()
+	for _, n := range []int{1, 7, 80, 640, 3000} {
+		k := uniformKernel(n, defaultBlock(), KernelResources{ThreadsPerBlock: 256, RegsPerThread: 32})
+		res, err := Simulate(d, k)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		lo, hi := RooflineLowerBound(d, k), SerialUpperBound(d, k)
+		if res.Time < lo*(1-1e-9) {
+			t.Errorf("n=%d: time %g below roofline bound %g", n, res.Time, lo)
+		}
+		if res.Time > hi*(1+1e-9) {
+			t.Errorf("n=%d: time %g above serial bound %g", n, res.Time, hi)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	d := V100()
+	rng := rand.New(rand.NewSource(11))
+	blocks := make([]BlockWork, 500)
+	for i := range blocks {
+		blocks[i] = BlockWork{
+			CompCycles:  float64(rng.Intn(50000)),
+			DRAMBytes:   float64(rng.Intn(1 << 17)),
+			L2Bytes:     float64(rng.Intn(1 << 15)),
+			MemRequests: float64(1 + rng.Intn(1000)),
+			Warps:       1 + rng.Intn(8),
+			ActiveFrac:  1,
+			Tag:         rng.Intn(4),
+		}
+	}
+	k := &Kernel{Name: "det", Resources: KernelResources{ThreadsPerBlock: 256}, Blocks: blocks}
+	a, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time {
+		t.Errorf("nondeterministic total time: %g vs %g", a.Time, b.Time)
+	}
+	for i := range a.BlockTime {
+		if a.BlockTime[i] != b.BlockTime[i] {
+			t.Fatalf("nondeterministic block %d time", i)
+		}
+	}
+	for tag, v := range a.TagTime {
+		if b.TagTime[tag] != v {
+			t.Errorf("nondeterministic tag %d time", tag)
+		}
+	}
+}
+
+// Latency must be monotone non-decreasing when work is added to any block.
+func TestSimulateMonotoneInWork(t *testing.T) {
+	d := V100()
+	base := uniformKernel(200, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	r0, err := Simulate(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := []func(*BlockWork){
+		func(b *BlockWork) { b.CompCycles *= 3 },
+		func(b *BlockWork) { b.DRAMBytes *= 3 },
+		func(b *BlockWork) { b.L2Bytes *= 3 },
+	}
+	for gi, g := range grow {
+		k := uniformKernel(200, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+		for i := range k.Blocks {
+			g(&k.Blocks[i])
+		}
+		r1, err := Simulate(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Event batching introduces a bounded (<= eventBatchTol) timing
+		// tolerance; monotonicity must hold beyond it.
+		if r1.Time < r0.Time*(1-eventBatchTol) {
+			t.Errorf("grow case %d: time decreased from %g to %g after adding work", gi, r0.Time, r1.Time)
+		}
+	}
+	// Adding more blocks must not reduce latency either.
+	bigger := uniformKernel(400, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	r2, err := Simulate(d, bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Time < r0.Time*(1-eventBatchTol) {
+		t.Errorf("doubling grid shrank time from %g to %g", r0.Time, r2.Time)
+	}
+}
+
+// The paper's Equation 2: for a large uniform grid, latency ~= sum(block
+// times) / (#SM * blocksPerSM). The fluid simulator should match closely.
+func TestSimulateEquation2Approximation(t *testing.T) {
+	d := V100()
+	res := KernelResources{ThreadsPerBlock: 256, RegsPerThread: 32}
+	bps := res.BlocksPerSM(d)
+	n := d.NumSMs * bps * 16 // deep grid so the tail is negligible
+	k := uniformKernel(n, defaultBlock(), res)
+	r, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, bt := range r.BlockTime {
+		sum += bt
+	}
+	approx := sum / float64(d.NumSMs*bps)
+	ratio := r.Time / approx
+	if ratio < 0.95 || ratio > 1.15 {
+		t.Errorf("Eq.2 approximation off: simulated %g, approx %g (ratio %.3f)", r.Time, approx, ratio)
+	}
+}
+
+// Occupancy override must slow down a latency-bound kernel: fewer resident
+// warps means less latency hiding.
+func TestLowOccupancyHurtsLatencyBoundKernel(t *testing.T) {
+	d := V100()
+	b := BlockWork{
+		CompCycles:  1000,
+		DRAMBytes:   256 * 1024,
+		MemRequests: 8192, // small 32B requests: latency-sensitive
+		Warps:       8,
+		ActiveFrac:  1,
+		Tag:         -1,
+	}
+	res := KernelResources{ThreadsPerBlock: 256, RegsPerThread: 32}
+	full := uniformKernel(1600, b, res)
+	rFull, err := Simulate(d, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttled := uniformKernel(1600, b, res)
+	throttled.BlocksPerSMOverride = 1
+	rThr, err := Simulate(d, throttled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rThr.Time <= rFull.Time*1.2 {
+		t.Errorf("1 block/SM (%g) should be much slower than %d blocks/SM (%g)",
+			rThr.Time, full.Resources.BlocksPerSM(d), rFull.Time)
+	}
+}
+
+// A bandwidth-bound kernel should achieve close to peak DRAM bandwidth.
+func TestBandwidthBoundKernelSaturates(t *testing.T) {
+	d := V100()
+	b := BlockWork{
+		CompCycles:  100,
+		DRAMBytes:   4 << 20,
+		MemRequests: 4 << 20 / 128, // 128B coalesced requests
+		Warps:       8,
+		ActiveFrac:  1,
+		Tag:         -1,
+	}
+	k := uniformKernel(1280, b, KernelResources{ThreadsPerBlock: 256})
+	r, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	achieved := r.Counters.MemoryThroughput
+	if achieved < 0.7*d.DRAMBandwidth {
+		t.Errorf("achieved %g B/s, want >= 70%% of %g", achieved, d.DRAMBandwidth)
+	}
+	if achieved > d.DRAMBandwidth*(1+1e-9) {
+		t.Errorf("achieved %g B/s exceeds peak %g", achieved, d.DRAMBandwidth)
+	}
+}
+
+func TestTagTimeAccounting(t *testing.T) {
+	d := V100()
+	blocks := make([]BlockWork, 300)
+	for i := range blocks {
+		blocks[i] = defaultBlock()
+		switch {
+		case i < 100:
+			blocks[i].Tag = 0
+		case i < 200:
+			blocks[i].Tag = 1
+			blocks[i].CompCycles *= 4 // tag 1 works harder
+		default:
+			blocks[i].Tag = -1 // padding: excluded
+		}
+	}
+	k := &Kernel{Name: "tags", Resources: KernelResources{ThreadsPerBlock: 256}, Blocks: blocks}
+	r, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TagBlocks[0] != 100 || r.TagBlocks[1] != 100 {
+		t.Fatalf("TagBlocks = %v, want 100 per tag", r.TagBlocks)
+	}
+	if _, ok := r.TagTime[-1]; ok {
+		t.Error("padding tag -1 must not be accounted")
+	}
+	if r.TagTime[1] <= r.TagTime[0] {
+		t.Errorf("tag 1 (4x compute) should accumulate more time: %g vs %g", r.TagTime[1], r.TagTime[0])
+	}
+	var sum float64
+	for i, bt := range r.BlockTime {
+		if bt <= 0 {
+			t.Fatalf("block %d has non-positive time %g", i, bt)
+		}
+		if blocks[i].Tag >= 0 {
+			sum += bt
+		}
+	}
+	if math.Abs(sum-(r.TagTime[0]+r.TagTime[1])) > 1e-12*sum {
+		t.Errorf("tag sums (%g) disagree with block times (%g)", r.TagTime[0]+r.TagTime[1], sum)
+	}
+}
+
+func TestLaunchOverheadAdded(t *testing.T) {
+	d := V100()
+	k := uniformKernel(8, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	r0, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.IncludeLaunchOverhead = true
+	r1, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := r1.Time - r0.Time
+	if math.Abs(diff-d.KernelLaunchOverhead) > 1e-12 {
+		t.Errorf("launch overhead delta = %g, want %g", diff, d.KernelLaunchOverhead)
+	}
+}
+
+func TestDivergenceCountersReported(t *testing.T) {
+	d := V100()
+	b := defaultBlock()
+	b.ActiveFrac = 0.25
+	b.PredOffFrac = 0.5
+	k := uniformKernel(64, b, KernelResources{ThreadsPerBlock: 256})
+	r, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counters.AvgActiveThreadsPerWarp; math.Abs(got-8) > 1e-9 {
+		t.Errorf("AvgActiveThreadsPerWarp = %g, want 8", got)
+	}
+	if got := r.Counters.AvgNotPredOffThreadsPerWarp; math.Abs(got-4) > 1e-9 {
+		t.Errorf("AvgNotPredOffThreadsPerWarp = %g, want 4", got)
+	}
+}
+
+func TestZeroWorkBlocksFinishInOverheadTime(t *testing.T) {
+	d := V100()
+	b := BlockWork{Warps: 1, ActiveFrac: 1, Tag: -1}
+	k := uniformKernel(100, b, KernelResources{ThreadsPerBlock: 32})
+	r, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 one-warp blocks of pure overhead across 80 SMs: a few microseconds.
+	if r.Time > 100e-6 {
+		t.Errorf("empty blocks took %g s, expected only scheduling overhead", r.Time)
+	}
+	if r.Time <= 0 {
+		t.Error("time must be positive (block overhead)")
+	}
+}
+
+// Imbalanced grids must show the straggler effect: one giant block among many
+// small ones dominates the kernel time.
+func TestImbalanceStragglerEffect(t *testing.T) {
+	d := V100()
+	small := defaultBlock()
+	blocks := make([]BlockWork, 320)
+	for i := range blocks {
+		blocks[i] = small
+	}
+	balanced := &Kernel{Name: "bal", Resources: KernelResources{ThreadsPerBlock: 256}, Blocks: blocks}
+	rb, err := Simulate(d, balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := make([]BlockWork, 320)
+	copy(skewed, blocks)
+	skewed[0].CompCycles *= 100
+	imb := &Kernel{Name: "imb", Resources: KernelResources{ThreadsPerBlock: 256}, Blocks: skewed}
+	ri, err := Simulate(d, imb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Time < rb.Time*2 {
+		t.Errorf("straggler should dominate: balanced %g, imbalanced %g", rb.Time, ri.Time)
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	k := uniformKernel(10, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	comp, dram, l2 := k.TotalWork()
+	if comp != 10*20000 || dram != 10*64*1024 || l2 != 10*16*1024 {
+		t.Errorf("TotalWork = (%g,%g,%g)", comp, dram, l2)
+	}
+}
+
+func TestCountersTrafficConservation(t *testing.T) {
+	d := V100()
+	k := uniformKernel(640, defaultBlock(), KernelResources{ThreadsPerBlock: 256})
+	r, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantDRAM, wantL2 := k.TotalWork()
+	if math.Abs(r.Counters.TotalDRAMBytes-wantDRAM) > 1e-6*wantDRAM {
+		t.Errorf("DRAM traffic %g, want %g", r.Counters.TotalDRAMBytes, wantDRAM)
+	}
+	if math.Abs(r.Counters.TotalL2Bytes-wantL2) > 1e-6*wantL2 {
+		t.Errorf("L2 traffic %g, want %g", r.Counters.TotalL2Bytes, wantL2)
+	}
+	if r.Counters.MemoryBusyPct < 0 || r.Counters.MemoryBusyPct > 100+1e-9 {
+		t.Errorf("MemoryBusyPct %g outside [0,100]", r.Counters.MemoryBusyPct)
+	}
+	if r.Counters.MaxBandwidthPct > 100+1e-9 {
+		t.Errorf("MaxBandwidthPct %g above 100", r.Counters.MaxBandwidthPct)
+	}
+}
+
+// Scheduling-trace invariants: dispatch order follows the grid, every block
+// runs within the kernel window, and no SM ever holds more than the
+// resident-block limit.
+func TestSchedulingTraceInvariants(t *testing.T) {
+	d := V100()
+	rng := rand.New(rand.NewSource(77))
+	blocks := make([]BlockWork, 900)
+	for i := range blocks {
+		blocks[i] = BlockWork{
+			CompCycles:  float64(500 + rng.Intn(40000)),
+			DRAMBytes:   float64(rng.Intn(1 << 16)),
+			MemRequests: float64(1 + rng.Intn(300)),
+			Warps:       1 + rng.Intn(8),
+			ActiveFrac:  1,
+			Tag:         -1,
+		}
+	}
+	k := &Kernel{Name: "trace", Resources: KernelResources{ThreadsPerBlock: 256, RegsPerThread: 40}, Blocks: blocks}
+	r, err := Simulate(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps := r.BlocksPerSM
+	// Dispatch order follows grid order.
+	for i := 1; i < len(r.BlockStart); i++ {
+		if r.BlockStart[i] < r.BlockStart[i-1] {
+			t.Fatalf("block %d dispatched before block %d", i, i-1)
+		}
+	}
+	// Every block's interval lies within the kernel window.
+	type ev struct {
+		t     float64
+		delta int
+	}
+	perSM := make(map[int32][]ev)
+	for i := range blocks {
+		start, end := r.BlockStart[i], r.BlockStart[i]+r.BlockTime[i]
+		if start < 0 || end > r.Time*(1+1e-9) {
+			t.Fatalf("block %d interval [%g,%g] outside kernel [0,%g]", i, start, end, r.Time)
+		}
+		perSM[r.BlockSM[i]] = append(perSM[r.BlockSM[i]], ev{start, 1}, ev{end, -1})
+	}
+	// Residency per SM never exceeds the limit.
+	for sm, evs := range perSM {
+		sort.Slice(evs, func(a, b int) bool {
+			if evs[a].t != evs[b].t {
+				return evs[a].t < evs[b].t
+			}
+			return evs[a].delta < evs[b].delta // retire before dispatch at ties
+		})
+		cur, max := 0, 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > max {
+				max = cur
+			}
+		}
+		if max > bps {
+			t.Fatalf("SM %d held %d blocks, limit %d", sm, max, bps)
+		}
+	}
+}

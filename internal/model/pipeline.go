@@ -1,0 +1,103 @@
+// Package model assembles the full inference pipeline of a deep
+// recommendation model (the paper's Figure 1): host-side preprocessing with
+// workload analysis, the fused embedding kernel, the concat operator and the
+// MLP tower, with both simulated end-to-end latency (Figure 10) and a CPU
+// reference forward pass for correctness.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/dnn"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+)
+
+// PaperHidden is the MLP tower of the end-to-end evaluation (§VI-C).
+var PaperHidden = []int{1024, 256, 128}
+
+// Pipeline is one recommendation model on one device.
+type Pipeline struct {
+	Device   *gpusim.Device
+	Features []fusion.FeatureInfo
+	Hidden   []int
+}
+
+// NewPipeline builds a pipeline with the paper's MLP tower.
+func NewPipeline(dev *gpusim.Device, features []fusion.FeatureInfo) (*Pipeline, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("model: no features")
+	}
+	return &Pipeline{Device: dev, Features: features, Hidden: PaperHidden}, nil
+}
+
+// TotalDim is the concatenated embedding width, the MLP input dimension.
+func (p *Pipeline) TotalDim() int {
+	total := 0
+	for i := range p.Features {
+		total += p.Features[i].Dim
+	}
+	return total
+}
+
+// E2EResult decomposes one end-to-end latency measurement.
+type E2EResult struct {
+	Embedding float64
+	Concat    float64
+	MLP       float64
+}
+
+// Total returns the end-to-end time.
+func (r E2EResult) Total() float64 { return r.Embedding + r.Concat + r.MLP }
+
+// MeasureE2E runs the embedding stage under the given system and adds the
+// (system-independent) concat and MLP stages — the reason the paper's
+// end-to-end speedups are smaller than its kernel speedups.
+func (p *Pipeline) MeasureE2E(runner baselines.Baseline, batch *embedding.Batch) (E2EResult, error) {
+	var out E2EResult
+	emb, err := runner.Measure(p.Device, p.Features, batch)
+	if err != nil {
+		return out, fmt.Errorf("model: %s embedding stage: %w", runner.Name(), err)
+	}
+	out.Embedding = emb
+
+	ck := dnn.ConcatKernel(p.TotalDim(), batch.BatchSize())
+	ck.IncludeLaunchOverhead = true
+	cr, err := gpusim.Simulate(p.Device, &ck)
+	if err != nil {
+		return out, err
+	}
+	out.Concat = cr.Time
+
+	mlp, err := dnn.MeasureTower(batch.BatchSize(), p.TotalDim(), p.Hidden, p.Device)
+	if err != nil {
+		return out, err
+	}
+	out.MLP = mlp
+	return out, nil
+}
+
+// ForwardCPU runs the full reference pipeline on the CPU: pool every feature,
+// concat, then the MLP tower with deterministic weights. Intended for small
+// example models; the first weight matrix is TotalDim()×1024.
+func (p *Pipeline) ForwardCPU(tables []*embedding.Table, batch *embedding.Batch, seed uint64) ([]float32, error) {
+	outs, err := fusion.ReferenceOutputs(p.Features, tables, batch)
+	if err != nil {
+		return nil, err
+	}
+	dims := make([]int, len(p.Features))
+	for f := range dims {
+		dims[f] = p.Features[f].Dim
+	}
+	joined, err := dnn.Concat(outs, dims, batch.BatchSize())
+	if err != nil {
+		return nil, err
+	}
+	mlp, err := dnn.NewMLP(p.TotalDim(), p.Hidden, seed)
+	if err != nil {
+		return nil, err
+	}
+	return mlp.Forward(joined, batch.BatchSize())
+}

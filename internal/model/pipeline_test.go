@@ -1,0 +1,147 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/datasynth"
+	"repro/internal/dnn"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+)
+
+func pipelineModel(t *testing.T) ([]fusion.FeatureInfo, *datasynth.ModelConfig) {
+	t.Helper()
+	cfg := &datasynth.ModelConfig{Name: "pipe", Seed: 61, Features: []datasynth.FeatureSpec{
+		{Name: "a", Dim: 4, Rows: 256, PF: datasynth.Fixed{K: 1}, Coverage: 1},
+		{Name: "b", Dim: 8, Rows: 256, PF: datasynth.Fixed{K: 10}, Coverage: 1},
+		{Name: "c", Dim: 16, Rows: 256, PF: datasynth.Uniform{Lo: 1, Hi: 8}, Coverage: 1},
+	}}
+	features := make([]fusion.FeatureInfo, len(cfg.Features))
+	for f := range features {
+		features[f] = fusion.FeatureInfo{
+			Name: cfg.Features[f].Name, Dim: cfg.Features[f].Dim,
+			TableRows: cfg.Features[f].Rows, Pool: embedding.PoolSum,
+		}
+	}
+	return features, cfg
+}
+
+func TestPipelineTotalDim(t *testing.T) {
+	features, _ := pipelineModel(t)
+	p, err := NewPipeline(gpusim.V100(), features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalDim() != 28 {
+		t.Errorf("TotalDim = %d, want 28", p.TotalDim())
+	}
+	if _, err := NewPipeline(gpusim.V100(), nil); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}
+
+func TestMeasureE2EDecomposition(t *testing.T) {
+	features, cfg := pipelineModel(t)
+	p, err := NewPipeline(gpusim.V100(), features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	batch, err := datasynth.GenerateBatch(cfg, 128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MeasureE2E(baselines.TorchRec{}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding <= 0 || res.Concat <= 0 || res.MLP <= 0 {
+		t.Errorf("stage times must be positive: %+v", res)
+	}
+	if math.Abs(res.Total()-(res.Embedding+res.Concat+res.MLP)) > 1e-15 {
+		t.Error("Total does not sum stages")
+	}
+}
+
+// End-to-end speedups are diluted by the DNN stages (§VI-C): the relative gap
+// between two systems must shrink when concat+MLP are added.
+func TestE2EDilutesKernelSpeedup(t *testing.T) {
+	features, cfg := pipelineModel(t)
+	p, err := NewPipeline(gpusim.V100(), features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	batch, err := datasynth.GenerateBatch(cfg, 128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := p.MeasureE2E(baselines.TensorFlow{}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := p.MeasureE2E(baselines.TorchRec{}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelSpeedup := slow.Embedding / fast.Embedding
+	e2eSpeedup := slow.Total() / fast.Total()
+	if e2eSpeedup >= kernelSpeedup {
+		t.Errorf("e2e speedup (%.2f) should be below kernel speedup (%.2f)", e2eSpeedup, kernelSpeedup)
+	}
+	if e2eSpeedup <= 1 {
+		t.Errorf("e2e speedup %.2f should still favor the faster system", e2eSpeedup)
+	}
+}
+
+func TestForwardCPU(t *testing.T) {
+	features, cfg := pipelineModel(t)
+	p, err := NewPipeline(gpusim.V100(), features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Hidden = []int{16, 4} // small tower for the functional path
+	tables, err := datasynth.BuildTables(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(63))
+	batch, err := datasynth.GenerateBatch(cfg, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := p.ForwardCPU(tables, batch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 8*4 {
+		t.Fatalf("output length %d, want 32", len(y))
+	}
+	// Must equal the hand-composed reference.
+	outs, err := fusion.ReferenceOutputs(features, tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []int{4, 8, 16}
+	joined, err := dnn.Concat(outs, dims, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlp, err := dnn.NewMLP(28, p.Hidden, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mlp.Forward(joined, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}

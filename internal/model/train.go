@@ -1,0 +1,170 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/embedding"
+)
+
+// Trainer runs full-model training steps through the fused kernels: fused
+// embedding forward, concat, MLP forward, MSE loss, MLP backward, gradient
+// un-concat, fused embedding backward, SGD on both the dense tower and the
+// embedding tables. It completes the training direction the paper declares
+// open ("no fundamental reason limiting RecFlex from optimizing the training
+// process, except the manual efforts to support more operators").
+type Trainer struct {
+	Opt    *core.RecFlex
+	Tables []*embedding.Table
+	MLP    *dnn.MLP
+	LR     float32
+}
+
+// NewTrainer wires a tuned optimizer, its tables and a dense tower.
+func NewTrainer(opt *core.RecFlex, tables []*embedding.Table, mlp *dnn.MLP, lr float32) (*Trainer, error) {
+	features := opt.Features()
+	if len(tables) != len(features) {
+		return nil, fmt.Errorf("model: %d tables for %d features", len(tables), len(features))
+	}
+	total := 0
+	for f := range features {
+		if features[f].Pool != embedding.PoolSum && features[f].Pool != embedding.PoolMean {
+			return nil, fmt.Errorf("model: feature %d uses %v pooling; training supports sum/mean", f, features[f].Pool)
+		}
+		total += features[f].Dim
+	}
+	if len(mlp.Layers) == 0 || mlp.Layers[0].In != total {
+		return nil, fmt.Errorf("model: MLP input %d != concat width %d", mlp.Layers[0].In, total)
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("model: learning rate must be positive, got %g", lr)
+	}
+	return &Trainer{Opt: opt, Tables: tables, MLP: mlp, LR: lr}, nil
+}
+
+// StepResult reports one training step.
+type StepResult struct {
+	Loss float64
+	// Simulated GPU times of the four stages.
+	EmbFwd, MLPFwd, MLPBwd, EmbBwd float64
+}
+
+// Step runs one SGD step on (batch, targets): targets is the desired MLP
+// output (batch * lastLayerDim), loss is mean squared error.
+func (t *Trainer) Step(batch *embedding.Batch, targets []float32) (*StepResult, error) {
+	features := t.Opt.Features()
+	dev := t.Opt.Device()
+	batchSize := batch.BatchSize()
+	dims := make([]int, len(features))
+	for f := range features {
+		dims[f] = features[f].Dim
+	}
+
+	// Embedding forward (fused kernel).
+	fu, err := t.Opt.CompileBatch(batch)
+	if err != nil {
+		return nil, err
+	}
+	outs, embSim, err := fu.Run(t.Tables, batch)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := dnn.Concat(outs, dims, batchSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// MLP forward.
+	acts, err := t.MLP.ForwardActivations(joined, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	pred := acts[len(acts)-1]
+	if len(targets) != len(pred) {
+		return nil, fmt.Errorf("model: %d targets for %d outputs", len(targets), len(pred))
+	}
+	mlpFwd, err := dnn.MeasureTower(batchSize, t.MLP.Layers[0].In, hiddenOf(t.MLP), dev)
+	if err != nil {
+		return nil, err
+	}
+
+	// MSE loss and upstream gradient.
+	res := &StepResult{EmbFwd: embSim.Time, MLPFwd: mlpFwd}
+	dy := make([]float32, len(pred))
+	for i := range pred {
+		d := pred[i] - targets[i]
+		res.Loss += float64(d) * float64(d)
+		dy[i] = 2 * d / float32(len(pred))
+	}
+	res.Loss /= float64(len(pred))
+
+	// MLP backward + SGD.
+	dJoined, mlpGrads, err := t.MLP.Backward(acts, dy, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	if res.MLPBwd, err = dnn.MeasureTowerBackward(batchSize, t.MLP.Layers[0].In, hiddenOf(t.MLP), dev); err != nil {
+		return nil, err
+	}
+	if err := t.MLP.SGD(mlpGrads, t.LR); err != nil {
+		return nil, err
+	}
+
+	// Un-concat the joined gradient into per-feature upstream gradients.
+	upstream := splitConcat(dJoined, dims, batchSize)
+
+	// Fused embedding backward + SGD on the tables.
+	bp, err := fu.Backward(batch)
+	if err != nil {
+		return nil, err
+	}
+	bwdSim, err := bp.Simulate()
+	if err != nil {
+		return nil, err
+	}
+	res.EmbBwd = bwdSim.Time
+	grads, err := bp.Execute(batch, upstream)
+	if err != nil {
+		return nil, err
+	}
+	for f := range t.Tables {
+		data := t.Tables[f].Data
+		for i := range grads[f] {
+			data[i] -= t.LR * grads[f][i]
+		}
+	}
+	return res, nil
+}
+
+// hiddenOf recovers the tower shape for the cost model.
+func hiddenOf(m *dnn.MLP) []int {
+	out := make([]int, len(m.Layers))
+	for i, l := range m.Layers {
+		out[i] = l.Out
+	}
+	return out
+}
+
+// splitConcat inverts dnn.Concat: one batch*dim buffer per feature.
+func splitConcat(joined []float32, dims []int, batch int) [][]float32 {
+	total := 0
+	for _, d := range dims {
+		total += d
+	}
+	outs := make([][]float32, len(dims))
+	off := 0
+	for f, d := range dims {
+		outs[f] = make([]float32, batch*d)
+		for r := 0; r < batch; r++ {
+			copy(outs[f][r*d:(r+1)*d], joined[r*total+off:r*total+off+d])
+		}
+		off += d
+	}
+	return outs
+}
+
+// SimulatedStepTime sums the step's GPU stage times.
+func (r *StepResult) SimulatedStepTime() float64 {
+	return r.EmbFwd + r.MLPFwd + r.MLPBwd + r.EmbBwd
+}

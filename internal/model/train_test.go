@@ -1,0 +1,136 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/dnn"
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+	"repro/internal/tuner"
+)
+
+func trainerFixture(t *testing.T) (*Trainer, *embedding.Batch, []float32) {
+	t.Helper()
+	features, cfg := pipelineModel(t)
+	tables, err := datasynth.BuildTables(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	hist, err := datasynth.GenerateBatch(cfg, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.New(gpusim.V100(), features)
+	if err := opt.Tune([]*embedding.Batch{hist}, tuner.Options{Occupancies: []int{2, 4, 8}, Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mlp, err := dnn.NewMLP(28, []int{8, 4}, 5) // concat width of pipelineModel is 28
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := NewTrainer(opt, tables, mlp, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := datasynth.GenerateBatch(cfg, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]float32, 16*4)
+	for i := range targets {
+		targets[i] = float32(rng.NormFloat64())
+	}
+	return trainer, batch, targets
+}
+
+// Full-model training: loss must fall monotonically under SGD on a fixed
+// batch — the end-to-end check that fused embedding gradients, concat
+// inversion and MLP backprop compose correctly.
+func TestTrainerLossDecreases(t *testing.T) {
+	trainer, batch, targets := trainerFixture(t)
+	prev := 0.0
+	for step := 0; step < 5; step++ {
+		res, err := trainer.Step(batch, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EmbFwd <= 0 || res.MLPFwd <= 0 || res.MLPBwd <= 0 || res.EmbBwd <= 0 {
+			t.Fatalf("step %d: non-positive stage times %+v", step, res)
+		}
+		if res.SimulatedStepTime() < res.EmbFwd {
+			t.Fatal("step time must include all stages")
+		}
+		if step > 0 && res.Loss >= prev {
+			t.Fatalf("step %d: loss did not decrease: %g -> %g", step, prev, res.Loss)
+		}
+		prev = res.Loss
+	}
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	features, cfg := pipelineModel(t)
+	tables, err := datasynth.BuildTables(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.New(gpusim.V100(), features)
+	mlp, err := dnn.NewMLP(28, []int{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTrainer(opt, tables[:1], mlp, 0.1); err == nil {
+		t.Error("table count mismatch accepted")
+	}
+	badMLP, err := dnn.NewMLP(5, []int{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTrainer(opt, tables, badMLP, 0.1); err == nil {
+		t.Error("MLP width mismatch accepted")
+	}
+	if _, err := NewTrainer(opt, tables, mlp, 0); err == nil {
+		t.Error("zero learning rate accepted")
+	}
+	// Max pooling is not trainable.
+	features[0].Pool = embedding.PoolMax
+	optMax := core.New(gpusim.V100(), features)
+	if _, err := NewTrainer(optMax, tables, mlp, 0.1); err == nil {
+		t.Error("max pooling accepted for training")
+	}
+}
+
+func TestTrainerStepValidation(t *testing.T) {
+	trainer, batch, targets := trainerFixture(t)
+	if _, err := trainer.Step(batch, targets[:3]); err == nil {
+		t.Error("short targets accepted")
+	}
+}
+
+func TestSplitConcatInvertsConcat(t *testing.T) {
+	dims := []int{2, 3, 1}
+	batch := 4
+	outs := make([][]float32, len(dims))
+	rng := rand.New(rand.NewSource(17))
+	for f, d := range dims {
+		outs[f] = make([]float32, batch*d)
+		for i := range outs[f] {
+			outs[f][i] = float32(rng.NormFloat64())
+		}
+	}
+	joined, err := dnn.Concat(outs, dims, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := splitConcat(joined, dims, batch)
+	for f := range outs {
+		for i := range outs[f] {
+			if back[f][i] != outs[f][i] {
+				t.Fatalf("feature %d elem %d: %g != %g", f, i, back[f][i], outs[f][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/tuner"
+)
+
+// InterconnectGBps is the per-GPU all-gather bandwidth of the output
+// exchange (NVLink-class).
+const InterconnectGBps = 150e9
+
+// MultiGPU runs one tuned RecFlex instance per device shard. Embedding
+// execution is data-parallel over tables: each GPU owns a subset of the
+// embedding tables, runs its fused kernel on its shard of the batch, and the
+// pooled outputs are gathered for the DNN.
+type MultiGPU struct {
+	Placement *Placement
+	Features  []fusion.FeatureInfo
+	Shards    [][]fusion.FeatureInfo
+	Instances []*core.RecFlex
+}
+
+// NewMultiGPU creates per-shard RecFlex instances on copies of the device.
+func NewMultiGPU(dev *gpusim.Device, features []fusion.FeatureInfo, p *Placement) (*MultiGPU, error) {
+	if err := p.Validate(len(features)); err != nil {
+		return nil, err
+	}
+	m := &MultiGPU{
+		Placement: p,
+		Features:  features,
+		Shards:    ShardFeatures(p, features),
+	}
+	for g := 0; g < p.NumGPUs; g++ {
+		if len(m.Shards[g]) == 0 {
+			return nil, fmt.Errorf("placement: GPU %d received no features", g)
+		}
+		m.Instances = append(m.Instances, core.New(dev, m.Shards[g]))
+	}
+	return m, nil
+}
+
+// Tune tunes every shard on its slice of the historical batches. The paper
+// tunes shards on independent GPUs; here they tune sequentially but share
+// nothing, so the result is identical.
+func (m *MultiGPU) Tune(batches []*embedding.Batch, opts tuner.Options) error {
+	for g, inst := range m.Instances {
+		shardBatches := make([]*embedding.Batch, len(batches))
+		for i, b := range batches {
+			shardBatches[i] = ShardBatch(m.Placement, b)[g]
+		}
+		if err := inst.Tune(shardBatches, opts); err != nil {
+			return fmt.Errorf("placement: tuning shard %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// MultiGPUResult decomposes one multi-GPU embedding execution.
+type MultiGPUResult struct {
+	// PerGPU is the fused-kernel time of each shard.
+	PerGPU []float64
+	// Makespan is the slowest shard (shards run concurrently).
+	Makespan float64
+	// Gather is the output-exchange time over the interconnect.
+	Gather float64
+}
+
+// Total returns makespan + gather.
+func (r *MultiGPUResult) Total() float64 { return r.Makespan + r.Gather }
+
+// Measure executes one batch across all shards.
+func (m *MultiGPU) Measure(batch *embedding.Batch) (*MultiGPUResult, error) {
+	shards := ShardBatch(m.Placement, batch)
+	res := &MultiGPUResult{PerGPU: make([]float64, len(m.Instances))}
+	var outBytes float64
+	for g, inst := range m.Instances {
+		fu, err := inst.CompileBatch(shards[g])
+		if err != nil {
+			return nil, fmt.Errorf("placement: shard %d: %w", g, err)
+		}
+		r, err := fu.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		res.PerGPU[g] = r.Time
+		if r.Time > res.Makespan {
+			res.Makespan = r.Time
+		}
+		for _, fi := range m.Shards[g] {
+			outBytes += float64(fi.Dim) * float64(batch.BatchSize()) * 4
+		}
+	}
+	// All-gather of the pooled outputs to the GPU running the DNN.
+	res.Gather = outBytes / InterconnectGBps
+	return res, nil
+}
+
+// Execute computes the functional outputs in the ORIGINAL feature order.
+func (m *MultiGPU) Execute(tables []*embedding.Table, batch *embedding.Batch) ([][]float32, error) {
+	if len(tables) != len(m.Features) {
+		return nil, fmt.Errorf("placement: %d tables for %d features", len(tables), len(m.Features))
+	}
+	shards := ShardBatch(m.Placement, batch)
+	featShards := m.Placement.Shards()
+	outs := make([][]float32, len(m.Features))
+	for g, inst := range m.Instances {
+		shardTables := make([]*embedding.Table, len(featShards[g]))
+		for i, f := range featShards[g] {
+			shardTables[i] = tables[f]
+		}
+		fu, err := inst.CompileBatch(shards[g])
+		if err != nil {
+			return nil, err
+		}
+		shardOuts, err := fu.Execute(shardTables, shards[g])
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range featShards[g] {
+			outs[f] = shardOuts[i]
+		}
+	}
+	return outs, nil
+}

@@ -1,0 +1,240 @@
+// Package placement implements the multi-GPU extension sketched in the
+// paper's Discussion (§VII, "Larger model sizes"): models whose embedding
+// tables exceed one GPU's memory are sharded across devices — "place
+// different embedding tables on multiple GPUs through heuristics and then use
+// RecFlex to optimize the embedding operations on each GPU".
+//
+// The package provides the placement heuristics (workload-balancing LPT,
+// plus round-robin and capacity-only baselines), batch sharding, and a
+// MultiGPU runner that tunes one RecFlex instance per device and reports the
+// makespan (max over GPUs) plus a gather cost for the concatenated outputs.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+)
+
+// Stats is the per-feature workload summary placement decisions use.
+type Stats struct {
+	// Work is the expected per-sample cost proxy: mean pooling factor x
+	// embedding dimension.
+	Work float64
+	// Bytes is the table's memory footprint.
+	Bytes int64
+}
+
+// CollectStats derives placement stats from historical batches.
+func CollectStats(features []fusion.FeatureInfo, batches []*embedding.Batch) ([]Stats, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("placement: no batches")
+	}
+	stats := make([]Stats, len(features))
+	var samples float64
+	for _, b := range batches {
+		if len(b.Features) != len(features) {
+			return nil, fmt.Errorf("placement: batch has %d features, model %d", len(b.Features), len(features))
+		}
+		samples += float64(b.BatchSize())
+		for f := range features {
+			stats[f].Work += float64(b.Features[f].TotalRows())
+		}
+	}
+	for f := range features {
+		if samples > 0 {
+			stats[f].Work = stats[f].Work / samples * float64(features[f].Dim)
+		}
+		stats[f].Bytes = int64(features[f].TableRows) * int64(features[f].Dim) * 4
+	}
+	return stats, nil
+}
+
+// Strategy selects a placement heuristic.
+type Strategy int
+
+const (
+	// LPT is longest-processing-time greedy balancing on expected work,
+	// respecting per-GPU memory capacity.
+	LPT Strategy = iota
+	// RoundRobin assigns features cyclically, capacity permitting.
+	RoundRobin
+	// CapacityOnly packs by table size alone (first fit decreasing),
+	// ignoring workload — the memory-only straw man.
+	CapacityOnly
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case LPT:
+		return "lpt"
+	case RoundRobin:
+		return "round-robin"
+	case CapacityOnly:
+		return "capacity-only"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Placement maps every feature to a GPU.
+type Placement struct {
+	NumGPUs int
+	GPUOf   []int // feature -> gpu
+}
+
+// Shards returns the feature indices of each GPU, in ascending order.
+func (p *Placement) Shards() [][]int {
+	out := make([][]int, p.NumGPUs)
+	for f, g := range p.GPUOf {
+		out[g] = append(out[g], f)
+	}
+	return out
+}
+
+// Validate checks structural invariants against the model size.
+func (p *Placement) Validate(numFeatures int) error {
+	if p.NumGPUs <= 0 {
+		return fmt.Errorf("placement: NumGPUs must be positive, got %d", p.NumGPUs)
+	}
+	if len(p.GPUOf) != numFeatures {
+		return fmt.Errorf("placement: %d assignments for %d features", len(p.GPUOf), numFeatures)
+	}
+	for f, g := range p.GPUOf {
+		if g < 0 || g >= p.NumGPUs {
+			return fmt.Errorf("placement: feature %d assigned to GPU %d of %d", f, g, p.NumGPUs)
+		}
+	}
+	return nil
+}
+
+// Place assigns features to numGPUs devices with capacityBytes of embedding
+// memory each (0 = unlimited).
+func Place(stats []Stats, numGPUs int, capacityBytes int64, strategy Strategy) (*Placement, error) {
+	if numGPUs <= 0 {
+		return nil, fmt.Errorf("placement: need at least one GPU, got %d", numGPUs)
+	}
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("placement: no features")
+	}
+	p := &Placement{NumGPUs: numGPUs, GPUOf: make([]int, len(stats))}
+	used := make([]int64, numGPUs)
+	load := make([]float64, numGPUs)
+
+	fits := func(g, f int) bool {
+		return capacityBytes <= 0 || used[g]+stats[f].Bytes <= capacityBytes
+	}
+	assign := func(g, f int) {
+		p.GPUOf[f] = g
+		used[g] += stats[f].Bytes
+		load[g] += stats[f].Work
+	}
+
+	switch strategy {
+	case RoundRobin:
+		g := 0
+		for f := range stats {
+			placed := false
+			for try := 0; try < numGPUs; try++ {
+				cand := (g + try) % numGPUs
+				if fits(cand, f) {
+					assign(cand, f)
+					g = (cand + 1) % numGPUs
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("placement: feature %d (%d bytes) fits no GPU", f, stats[f].Bytes)
+			}
+		}
+	case LPT, CapacityOnly:
+		order := make([]int, len(stats))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if strategy == CapacityOnly {
+				return stats[order[a]].Bytes > stats[order[b]].Bytes
+			}
+			return stats[order[a]].Work > stats[order[b]].Work
+		})
+		for _, f := range order {
+			best := -1
+			for g := 0; g < numGPUs; g++ {
+				if !fits(g, f) {
+					continue
+				}
+				if best < 0 {
+					best = g
+					continue
+				}
+				if strategy == CapacityOnly {
+					if used[g] < used[best] {
+						best = g
+					}
+				} else if load[g] < load[best] {
+					best = g
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("placement: feature %d (%d bytes) fits no GPU", f, stats[f].Bytes)
+			}
+			assign(best, f)
+		}
+	default:
+		return nil, fmt.Errorf("placement: unknown strategy %d", int(strategy))
+	}
+	return p, nil
+}
+
+// LoadImbalance returns max/mean of per-GPU expected work (1.0 = perfect).
+func LoadImbalance(p *Placement, stats []Stats) float64 {
+	load := make([]float64, p.NumGPUs)
+	for f, g := range p.GPUOf {
+		load[g] += stats[f].Work
+	}
+	var max, sum float64
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(p.NumGPUs))
+}
+
+// ShardBatch splits a batch by placement: the returned batches[g] holds the
+// feature batches of GPU g's shard, in shard order.
+func ShardBatch(p *Placement, batch *embedding.Batch) []*embedding.Batch {
+	shards := p.Shards()
+	out := make([]*embedding.Batch, p.NumGPUs)
+	for g, fs := range shards {
+		b := &embedding.Batch{Features: make([]embedding.FeatureBatch, len(fs))}
+		for i, f := range fs {
+			b.Features[i] = batch.Features[f]
+		}
+		out[g] = b
+	}
+	return out
+}
+
+// ShardFeatures projects the feature descriptions of one shard.
+func ShardFeatures(p *Placement, features []fusion.FeatureInfo) [][]fusion.FeatureInfo {
+	shards := p.Shards()
+	out := make([][]fusion.FeatureInfo, p.NumGPUs)
+	for g, fs := range shards {
+		fi := make([]fusion.FeatureInfo, len(fs))
+		for i, f := range fs {
+			fi[i] = features[f]
+		}
+		out[g] = fi
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/tuner"
+)
+
+func placementModel(t testing.TB) ([]fusion.FeatureInfo, *datasynth.ModelConfig, []*embedding.Batch) {
+	t.Helper()
+	core := []datasynth.FeatureSpec{
+		{Name: "oh", Dim: 8, Rows: 4096, PF: datasynth.Fixed{K: 1}, Coverage: 1},
+		{Name: "mid", Dim: 16, Rows: 8192, PF: datasynth.Fixed{K: 20}, Coverage: 1},
+		{Name: "heavy", Dim: 64, Rows: 8192, PF: datasynth.Fixed{K: 120}, Coverage: 1},
+	}
+	cfg := &datasynth.ModelConfig{Name: "place", Seed: 5}
+	for r := 0; r < 6; r++ {
+		for _, s := range core {
+			c := s
+			c.Name = c.Name + string(rune('a'+r))
+			cfg.Features = append(cfg.Features, c)
+		}
+	}
+	features := make([]fusion.FeatureInfo, len(cfg.Features))
+	for f := range features {
+		features[f] = fusion.FeatureInfo{
+			Name: cfg.Features[f].Name, Dim: cfg.Features[f].Dim,
+			TableRows: cfg.Features[f].Rows, Pool: embedding.PoolSum,
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	var batches []*embedding.Batch
+	for i := 0; i < 3; i++ {
+		b, err := datasynth.GenerateBatch(cfg, 96, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, b)
+	}
+	return features, cfg, batches
+}
+
+func TestCollectStats(t *testing.T) {
+	features, _, batches := placementModel(t)
+	stats, err := CollectStats(features, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(features) {
+		t.Fatalf("%d stats for %d features", len(stats), len(features))
+	}
+	// heavy features (pf 120 x dim 64) must dominate one-hot dim-8 ones.
+	var oh, heavy float64
+	for f := range features {
+		switch features[f].Dim {
+		case 8:
+			oh += stats[f].Work
+		case 64:
+			heavy += stats[f].Work
+		}
+	}
+	if heavy < oh*50 {
+		t.Errorf("heavy work %g should dwarf one-hot work %g", heavy, oh)
+	}
+	for f := range stats {
+		wantBytes := int64(features[f].TableRows) * int64(features[f].Dim) * 4
+		if stats[f].Bytes != wantBytes {
+			t.Errorf("feature %d bytes %d, want %d", f, stats[f].Bytes, wantBytes)
+		}
+	}
+	if _, err := CollectStats(features, nil); err == nil {
+		t.Error("no batches accepted")
+	}
+}
+
+func TestPlaceStrategies(t *testing.T) {
+	features, _, batches := placementModel(t)
+	stats, err := CollectStats(features, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{LPT, RoundRobin, CapacityOnly} {
+		p, err := Place(stats, 4, 0, strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if err := p.Validate(len(features)); err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		shards := p.Shards()
+		total := 0
+		for _, s := range shards {
+			total += len(s)
+		}
+		if total != len(features) {
+			t.Errorf("%v: shards cover %d of %d features", strat, total, len(features))
+		}
+	}
+}
+
+func TestLPTBalancesBetterThanRoundRobin(t *testing.T) {
+	// Skewed stats: a few giants among many ants.
+	stats := make([]Stats, 24)
+	for i := range stats {
+		stats[i] = Stats{Work: 1, Bytes: 1000}
+	}
+	stats[0].Work, stats[1].Work, stats[2].Work = 100, 90, 80
+	lpt, err := Place(stats, 4, 0, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Place(stats, 4, 0, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li, ri := LoadImbalance(lpt, stats), LoadImbalance(rr, stats); li > ri {
+		t.Errorf("LPT imbalance %.3f should not exceed round-robin %.3f", li, ri)
+	}
+	if LoadImbalance(lpt, stats) > 1.6 {
+		t.Errorf("LPT imbalance %.3f too high", LoadImbalance(lpt, stats))
+	}
+}
+
+func TestPlaceRespectsCapacity(t *testing.T) {
+	stats := []Stats{
+		{Work: 1, Bytes: 600}, {Work: 1, Bytes: 600}, {Work: 1, Bytes: 600}, {Work: 1, Bytes: 600},
+	}
+	p, err := Place(stats, 2, 1200, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]int64, 2)
+	for f, g := range p.GPUOf {
+		used[g] += stats[f].Bytes
+	}
+	for g, u := range used {
+		if u > 1200 {
+			t.Errorf("GPU %d over capacity: %d", g, u)
+		}
+	}
+	// Impossible capacity must error, for every strategy.
+	for _, strat := range []Strategy{LPT, RoundRobin, CapacityOnly} {
+		if _, err := Place(stats, 2, 500, strat); err == nil {
+			t.Errorf("%v: capacity violation accepted", strat)
+		}
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(nil, 2, 0, LPT); err == nil {
+		t.Error("empty stats accepted")
+	}
+	if _, err := Place([]Stats{{Work: 1}}, 0, 0, LPT); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+	if _, err := Place([]Stats{{Work: 1}}, 1, 0, Strategy(99)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// Property: ShardBatch partitions the features exactly, preserving data.
+func TestShardBatchPartitionProperty(t *testing.T) {
+	features, _, batches := placementModel(t)
+	stats, err := CollectStats(features, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(gpusRaw uint8, seed int64) bool {
+		numGPUs := 1 + int(gpusRaw)%6
+		strat := Strategy(int(seed&0xff) % 3)
+		p, err := Place(stats, numGPUs, 0, strat)
+		if err != nil {
+			return false
+		}
+		shards := ShardBatch(p, batches[0])
+		featShards := p.Shards()
+		seen := 0
+		for g := range shards {
+			if len(shards[g].Features) != len(featShards[g]) {
+				return false
+			}
+			for i, fIdx := range featShards[g] {
+				orig := &batches[0].Features[fIdx]
+				got := &shards[g].Features[i]
+				if got.BatchSize() != orig.BatchSize() || got.TotalRows() != orig.TotalRows() {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == len(features)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiGPUTuneMeasureExecute(t *testing.T) {
+	features, cfg, batches := placementModel(t)
+	stats, err := CollectStats(features, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Place(stats, 2, 0, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiGPU(gpusim.V100(), features, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tune(batches[:2], tuner.Options{Occupancies: []int{2, 4, 8}, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Measure(batches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.Gather <= 0 || res.Total() < res.Makespan {
+		t.Errorf("bad result %+v", res)
+	}
+	for g, tm := range res.PerGPU {
+		if tm <= 0 || tm > res.Makespan {
+			t.Errorf("GPU %d time %g outside (0, makespan]", g, tm)
+		}
+	}
+
+	// Functional correctness across the shards, in original feature order.
+	tables, err := datasynth.BuildTables(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := m.Execute(tables, batches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fusion.ReferenceOutputs(features, tables, batches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range want {
+		for i := range want[f] {
+			if outs[f][i] != want[f][i] {
+				t.Fatalf("feature %d out[%d] = %g, want %g", f, i, outs[f][i], want[f][i])
+			}
+		}
+	}
+}
+
+// Balanced placement must yield a lower makespan than a pathologically
+// unbalanced one on the same model.
+func TestBalancedPlacementLowersMakespan(t *testing.T) {
+	features, _, batches := placementModel(t)
+	stats, err := CollectStats(features, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := Place(stats, 2, 0, LPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial: all heavy features on GPU 0.
+	bad := &Placement{NumGPUs: 2, GPUOf: make([]int, len(features))}
+	for f := range features {
+		if features[f].Dim == 64 {
+			bad.GPUOf[f] = 0
+		} else {
+			bad.GPUOf[f] = 1
+		}
+	}
+	measure := func(p *Placement) float64 {
+		m, err := NewMultiGPU(gpusim.V100(), features, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Tune(batches[:1], tuner.Options{Occupancies: []int{4, 8}, Parallelism: 4}); err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Measure(batches[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Makespan
+	}
+	if mLPT, mBad := measure(lpt), measure(bad); mLPT >= mBad {
+		t.Errorf("LPT makespan (%g) should beat the adversarial placement (%g)", mLPT, mBad)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if LPT.String() != "lpt" || RoundRobin.String() != "round-robin" || CapacityOnly.String() != "capacity-only" {
+		t.Error("strategy names wrong")
+	}
+}

@@ -1,0 +1,203 @@
+// Package preproc implements the "larger fusion scopes" extension of the
+// paper's Discussion (§VII): numerical preprocess operators that run on the
+// lookup IDs before the embedding operation — hashing raw IDs into the table
+// space, clipping pooling factors, deduplicating IDs. RECom-style models
+// carry such operators in their embedding subgraphs; fusing them into the
+// embedding kernel removes kernel launches and a full round trip of the ID
+// stream through device memory.
+//
+// The package provides the operators themselves (exact functional semantics
+// over CSR feature batches), the cost of executing them fused into an
+// embedding plan (extra compute per ID), and the cost of the unfused
+// alternative (a standalone transform kernel per feature), so the benefit of
+// fusion is measurable on the simulator.
+package preproc
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// Op transforms the lookup-ID stream of one feature.
+type Op interface {
+	// Name identifies the operator.
+	Name() string
+	// Apply returns the transformed feature batch. tableRows bounds the
+	// output ID space.
+	Apply(fb *embedding.FeatureBatch, tableRows int) embedding.FeatureBatch
+	// CyclesPerID is the warp-instruction cost of transforming one ID.
+	CyclesPerID() float64
+	// Validate checks the operator parameters.
+	Validate() error
+}
+
+// HashMod maps raw IDs into [0, tableRows) with a multiplicative hash — the
+// standard string-hash → table-index step of production feature pipelines.
+type HashMod struct {
+	Seed uint64
+}
+
+// Name implements Op.
+func (h HashMod) Name() string { return fmt.Sprintf("hashmod(%d)", h.Seed) }
+
+// Validate implements Op.
+func (HashMod) Validate() error { return nil }
+
+// CyclesPerID implements Op.
+func (HashMod) CyclesPerID() float64 { return 6 }
+
+// Apply implements Op.
+func (h HashMod) Apply(fb *embedding.FeatureBatch, tableRows int) embedding.FeatureBatch {
+	out := embedding.FeatureBatch{
+		Indices: make([]int32, len(fb.Indices)),
+		Offsets: append([]int32(nil), fb.Offsets...),
+	}
+	for i, id := range fb.Indices {
+		x := uint64(id) ^ h.Seed
+		x *= 0x9E3779B97F4A7C15
+		x ^= x >> 29
+		out.Indices[i] = int32(x % uint64(tableRows))
+	}
+	return out
+}
+
+// Clip truncates every sample's ID list to at most MaxPF entries — the
+// pooling-factor cap production pipelines apply to runaway multi-hot
+// features.
+type Clip struct {
+	MaxPF int
+}
+
+// Name implements Op.
+func (c Clip) Name() string { return fmt.Sprintf("clip(%d)", c.MaxPF) }
+
+// Validate implements Op.
+func (c Clip) Validate() error {
+	if c.MaxPF < 1 {
+		return fmt.Errorf("preproc: clip bound must be >= 1, got %d", c.MaxPF)
+	}
+	return nil
+}
+
+// CyclesPerID implements Op.
+func (Clip) CyclesPerID() float64 { return 1 }
+
+// Apply implements Op.
+func (c Clip) Apply(fb *embedding.FeatureBatch, _ int) embedding.FeatureBatch {
+	out := embedding.FeatureBatch{Offsets: make([]int32, 1, len(fb.Offsets))}
+	for s := 0; s < fb.BatchSize(); s++ {
+		ids := fb.Sample(s)
+		if len(ids) > c.MaxPF {
+			ids = ids[:c.MaxPF]
+		}
+		out.Indices = append(out.Indices, ids...)
+		out.Offsets = append(out.Offsets, int32(len(out.Indices)))
+	}
+	return out
+}
+
+// Dedup removes duplicate IDs within each sample (keeping first occurrence),
+// turning sum pooling over repeated IDs into set semantics.
+type Dedup struct{}
+
+// Name implements Op.
+func (Dedup) Name() string { return "dedup" }
+
+// Validate implements Op.
+func (Dedup) Validate() error { return nil }
+
+// CyclesPerID implements Op.
+func (Dedup) CyclesPerID() float64 { return 8 }
+
+// Apply implements Op.
+func (Dedup) Apply(fb *embedding.FeatureBatch, _ int) embedding.FeatureBatch {
+	out := embedding.FeatureBatch{Offsets: make([]int32, 1, len(fb.Offsets))}
+	seen := make(map[int32]struct{})
+	for s := 0; s < fb.BatchSize(); s++ {
+		clear(seen)
+		for _, id := range fb.Sample(s) {
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			seen[id] = struct{}{}
+			out.Indices = append(out.Indices, id)
+		}
+		out.Offsets = append(out.Offsets, int32(len(out.Indices)))
+	}
+	return out
+}
+
+// ApplyAll runs a pipeline of operators.
+func ApplyAll(ops []Op, fb *embedding.FeatureBatch, tableRows int) (embedding.FeatureBatch, error) {
+	cur := *fb
+	for _, op := range ops {
+		if err := op.Validate(); err != nil {
+			return embedding.FeatureBatch{}, err
+		}
+		cur = op.Apply(&cur, tableRows)
+	}
+	return cur, nil
+}
+
+// PipelineCyclesPerID sums the per-ID cost of a pipeline.
+func PipelineCyclesPerID(ops []Op) float64 {
+	total := 0.0
+	for _, op := range ops {
+		total += op.CyclesPerID()
+	}
+	return total
+}
+
+// FuseIntoPlan charges the pipeline's transform cost to the embedding plan's
+// blocks, each block paying for the IDs of the samples it owns. The ID
+// stream stays in registers — no extra memory traffic, no extra kernel.
+func FuseIntoPlan(p *sched.Plan, w *sched.Workload, ops []Op) {
+	cost := PipelineCyclesPerID(ops)
+	if cost == 0 {
+		return
+	}
+	for b := 0; b < p.NumBlocks; b++ {
+		ids := 0
+		for s := p.SampleLo[b]; s < p.SampleHi[b]; s++ {
+			idx := int(s)
+			if p.Perm != nil {
+				idx = int(p.Perm[s])
+			}
+			ids += w.PF[idx]
+		}
+		p.Blocks[b].CompCycles += float64(ids) * cost
+	}
+}
+
+// SeparateKernel models the unfused alternative: a standalone elementwise
+// transform kernel that reads the ID stream from device memory, applies the
+// pipeline and writes it back, before the embedding kernel runs.
+func SeparateKernel(dev *gpusim.Device, w *sched.Workload, ops []Op) gpusim.Kernel {
+	const idsPerBlock = 256 * 4
+	numBlocks := (w.TotalRows + idsPerBlock - 1) / idsPerBlock
+	if numBlocks < 1 {
+		numBlocks = 1
+	}
+	cost := PipelineCyclesPerID(ops)
+	bytes := float64(w.TotalRows) * 4 * 2 / float64(numBlocks) // read + write IDs
+	blocks := make([]gpusim.BlockWork, numBlocks)
+	for i := range blocks {
+		blocks[i] = gpusim.BlockWork{
+			CompCycles:  float64(w.TotalRows) * (cost + 2) / float64(numBlocks),
+			DRAMBytes:   bytes,
+			MemRequests: bytes / 128,
+			Warps:       8,
+			ActiveFrac:  1,
+			Tag:         -1,
+		}
+	}
+	return gpusim.Kernel{
+		Name:                  "preproc_separate",
+		Resources:             gpusim.KernelResources{ThreadsPerBlock: 256, RegsPerThread: 24},
+		Blocks:                blocks,
+		IncludeLaunchOverhead: true,
+	}
+}

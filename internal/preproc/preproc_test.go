@@ -1,0 +1,232 @@
+package preproc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+func randomFB(rng *rand.Rand, batch, rows, maxPF int) embedding.FeatureBatch {
+	perSample := make([][]int32, batch)
+	for i := range perSample {
+		pf := rng.Intn(maxPF + 1)
+		ids := make([]int32, pf)
+		for j := range ids {
+			ids[j] = int32(rng.Intn(rows))
+		}
+		perSample[i] = ids
+	}
+	return embedding.NewFeatureBatch(perSample)
+}
+
+func TestHashModInRangeAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fb := randomFB(rng, 50, 1<<20, 12)
+	h := HashMod{Seed: 7}
+	a := h.Apply(&fb, 1000)
+	b := h.Apply(&fb, 1000)
+	if err := a.Validate(1000); err != nil {
+		t.Fatalf("hashed batch invalid: %v", err)
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatal("hash not deterministic")
+		}
+	}
+	if a.BatchSize() != fb.BatchSize() || a.TotalRows() != fb.TotalRows() {
+		t.Error("hash must preserve shape")
+	}
+	other := HashMod{Seed: 8}.Apply(&fb, 1000)
+	same := true
+	for i := range a.Indices {
+		if a.Indices[i] != other.Indices[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(a.Indices) > 10 {
+		t.Error("different seeds should hash differently")
+	}
+}
+
+func TestClipBoundsPoolingFactors(t *testing.T) {
+	fb := embedding.NewFeatureBatch([][]int32{{1, 2, 3, 4, 5}, {9}, {}})
+	c := Clip{MaxPF: 2}
+	out := c.Apply(&fb, 100)
+	if out.PoolingFactor(0) != 2 || out.PoolingFactor(1) != 1 || out.PoolingFactor(2) != 0 {
+		t.Errorf("clip wrong: %d %d %d", out.PoolingFactor(0), out.PoolingFactor(1), out.PoolingFactor(2))
+	}
+	// First entries kept.
+	if got := out.Sample(0); got[0] != 1 || got[1] != 2 {
+		t.Errorf("clip must keep leading IDs, got %v", got)
+	}
+	if err := (Clip{MaxPF: 0}).Validate(); err == nil {
+		t.Error("clip bound 0 accepted")
+	}
+}
+
+func TestDedupRemovesWithinSampleDuplicates(t *testing.T) {
+	fb := embedding.NewFeatureBatch([][]int32{{1, 1, 2, 1, 3}, {5, 5}, {}})
+	out := Dedup{}.Apply(&fb, 100)
+	if got := out.Sample(0); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("dedup sample 0 = %v", got)
+	}
+	if out.PoolingFactor(1) != 1 || out.PoolingFactor(2) != 0 {
+		t.Errorf("dedup wrong on samples 1/2")
+	}
+	// Duplicates across samples must survive.
+	fb2 := embedding.NewFeatureBatch([][]int32{{7}, {7}})
+	out2 := Dedup{}.Apply(&fb2, 100)
+	if out2.TotalRows() != 2 {
+		t.Error("dedup must be per-sample, not global")
+	}
+}
+
+// Property: pipelines always produce structurally valid CSR batches.
+func TestPipelineValidityProperty(t *testing.T) {
+	f := func(seed int64, batchRaw, clipRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		batch := 1 + int(batchRaw)%60
+		fb := randomFB(rng, batch, 1<<16, 20)
+		ops := []Op{HashMod{Seed: uint64(seed)}, Clip{MaxPF: 1 + int(clipRaw)%10}, Dedup{}}
+		out, err := ApplyAll(ops, &fb, 512)
+		if err != nil {
+			return false
+		}
+		return out.Validate(512) == nil && out.BatchSize() == batch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyAllValidates(t *testing.T) {
+	fb := embedding.NewFeatureBatch([][]int32{{1}})
+	if _, err := ApplyAll([]Op{Clip{MaxPF: 0}}, &fb, 10); err == nil {
+		t.Error("invalid op accepted")
+	}
+}
+
+func TestFuseIntoPlanChargesPerID(t *testing.T) {
+	dev := gpusim.V100()
+	pf := []int{4, 0, 2, 6, 1, 3, 5, 7}
+	w := sched.Workload{Dim: 8, BatchSize: 8, PF: pf, TotalRows: 28, UniqueRows: 28, TableRows: 1 << 12}
+	s := sched.SubWarp{Threads: 64, Lanes: 8, Vec: 1, UnrollRows: 1}
+	l2 := sched.L2Context{CacheBytes: 1 << 22, WorkingSetBytes: 1 << 22}
+	base, err := s.Plan(&w, dev, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := s.Plan(&w, dev, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Op{HashMod{Seed: 1}, Dedup{}}
+	FuseIntoPlan(fused, &w, ops)
+	var baseComp, fusedComp float64
+	for b := 0; b < base.NumBlocks; b++ {
+		baseComp += base.Blocks[b].CompCycles
+		fusedComp += fused.Blocks[b].CompCycles
+	}
+	wantDelta := float64(w.TotalRows) * PipelineCyclesPerID(ops)
+	if got := fusedComp - baseComp; got != wantDelta {
+		t.Errorf("fused delta %g, want %g", got, wantDelta)
+	}
+	// Memory work untouched: IDs stay in registers.
+	for b := 0; b < base.NumBlocks; b++ {
+		if base.Blocks[b].DRAMBytes != fused.Blocks[b].DRAMBytes {
+			t.Error("fusion must not add memory traffic")
+		}
+	}
+}
+
+// Fusing the pipeline must beat the separate transform kernel: no extra
+// launch, no ID-stream round trip.
+func TestFusionBeatsSeparateKernel(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(9))
+	fb := randomFB(rng, 512, 1<<16, 60)
+	w := sched.AnalyzeWorkload(&fb, 32, 1<<16)
+	s := sched.SubWarp{Threads: 256, Lanes: 16, Vec: 4, UnrollRows: 1}
+	l2 := sched.L2Context{CacheBytes: float64(dev.L2SizeBytes), WorkingSetBytes: 1 << 24}
+	ops := []Op{HashMod{Seed: 3}, Clip{MaxPF: 40}}
+
+	measure := func(p *sched.Plan) float64 {
+		k := &gpusim.Kernel{Name: "emb", Resources: s.Resources(32), Blocks: p.Blocks}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Time
+	}
+	fusedPlan, err := s.Plan(&w, dev, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FuseIntoPlan(fusedPlan, &w, ops)
+	fusedTime := measure(fusedPlan)
+
+	sepPlan, err := s.Plan(&w, dev, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepKernel := SeparateKernel(dev, &w, ops)
+	sepRes, err := gpusim.Simulate(dev, &sepKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepTime := sepRes.Time + measure(sepPlan)
+	if fusedTime >= sepTime {
+		t.Errorf("fused pipeline (%g) should beat separate kernels (%g)", fusedTime, sepTime)
+	}
+}
+
+// End-to-end semantics: pooling the transformed batch equals the reference
+// on the transformed batch (transform exactness), for a full pipeline.
+func TestTransformedPoolingCorrect(t *testing.T) {
+	dev := gpusim.V100()
+	tbl, err := embedding.NewDeterministicTable("t", 512, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	raw := randomFB(rng, 64, 1<<20, 15)
+	ops := []Op{HashMod{Seed: 5}, Clip{MaxPF: 8}, Dedup{}}
+	fb, err := ApplyAll(ops, &raw, tbl.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sched.AnalyzeWorkload(&fb, tbl.Dim, tbl.Rows)
+	s := sched.ThreadPerSample{Threads: 64, Unroll: 2}
+	p, err := s.Plan(&w, dev, sched.L2Context{CacheBytes: 1 << 22, WorkingSetBytes: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	FuseIntoPlan(p, &w, ops)
+	want, err := embedding.PoolCPU(tbl, &fb, embedding.PoolSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, len(want))
+	p.ExecuteAll(tbl, &fb, embedding.PoolSum, got)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	h := HashMod{Seed: 7}
+	c := Clip{MaxPF: 3}
+	if h.Name() == "" || c.Name() == "" || (Dedup{}).Name() == "" {
+		t.Error("empty op names")
+	}
+	if PipelineCyclesPerID(nil) != 0 {
+		t.Error("empty pipeline should cost 0")
+	}
+}

@@ -1,0 +1,179 @@
+// Package report formats experiment results: normalized-performance tables
+// (the paper normalizes to the most performant system), geometric-mean
+// speedups, ASCII bar charts and aligned tables for terminal output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Normalize converts times to normalized performance: best time = 1.0,
+// everything else proportionally lower (the paper's Figures 9-11 convention).
+func Normalize(times map[string]float64) map[string]float64 {
+	best := math.Inf(1)
+	for _, t := range times {
+		if t > 0 && t < best {
+			best = t
+		}
+	}
+	out := make(map[string]float64, len(times))
+	for k, t := range times {
+		if t > 0 {
+			out[k] = best / t
+		}
+	}
+	return out
+}
+
+// Speedup returns how much faster b is than a (a/b).
+func Speedup(a, b float64) float64 {
+	if b <= 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of positive values, NaN for empty input.
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(values)))
+}
+
+// Mean returns the arithmetic mean, NaN for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "\n== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		sep := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			sep[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// Bar renders v in [0,1] as an ASCII bar of the given width.
+func Bar(v float64, width int) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	n := int(v*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Timeline renders an ASCII Gantt chart of block intervals: one row per
+// lane, '#' spans a block's residency. Intervals are in seconds; width is
+// the chart width in characters.
+func Timeline(w io.Writer, title string, starts, durations []float64, lanes []int32, maxLanes, width int) error {
+	if len(starts) != len(durations) || len(starts) != len(lanes) {
+		return fmt.Errorf("report: timeline arrays disagree: %d/%d/%d", len(starts), len(durations), len(lanes))
+	}
+	if len(starts) == 0 {
+		return nil
+	}
+	end := 0.0
+	for i := range starts {
+		if e := starts[i] + durations[i]; e > end {
+			end = e
+		}
+	}
+	if end <= 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\n== %s (0 .. %s) ==\n", title, FmtUS(end)); err != nil {
+		return err
+	}
+	rows := make(map[int32][]rune)
+	order := make([]int32, 0, maxLanes)
+	for i := range starts {
+		lane := lanes[i]
+		row, ok := rows[lane]
+		if !ok {
+			if len(rows) >= maxLanes {
+				continue
+			}
+			row = []rune(strings.Repeat(".", width))
+			rows[lane] = row
+			order = append(order, lane)
+		}
+		lo := int(starts[i] / end * float64(width))
+		hi := int((starts[i] + durations[i]) / end * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		for c := lo; c <= hi; c++ {
+			row[c] = '#'
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	for _, lane := range order {
+		if _, err := fmt.Fprintf(w, "SM%-4d %s\n", lane, string(rows[lane])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedKeys returns map keys in deterministic order.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FmtUS formats seconds as microseconds.
+func FmtUS(sec float64) string { return fmt.Sprintf("%.2fus", sec*1e6) }
+
+// FmtRatio formats a speedup ratio.
+func FmtRatio(r float64) string { return fmt.Sprintf("%.2fx", r) }

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	norm := Normalize(map[string]float64{"fast": 2, "slow": 8, "mid": 4})
+	if norm["fast"] != 1 {
+		t.Errorf("fast = %g, want 1", norm["fast"])
+	}
+	if norm["slow"] != 0.25 || norm["mid"] != 0.5 {
+		t.Errorf("norm = %v", norm)
+	}
+	if len(Normalize(nil)) != 0 {
+		t.Error("empty input should give empty output")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("Speedup(10,2) != 5")
+	}
+	if !math.IsNaN(Speedup(1, 0)) {
+		t.Error("zero divisor should give NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("negative should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %g", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty should be NaN")
+	}
+}
+
+func TestTableWrite(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "333"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5,10) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1,4) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2,4) = %q", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]float64{"b": 1, "a": 2, "c": 3})
+	if strings.Join(keys, "") != "abc" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FmtUS(1e-6) != "1.00us" {
+		t.Errorf("FmtUS = %q", FmtUS(1e-6))
+	}
+	if FmtRatio(2.5) != "2.50x" {
+		t.Errorf("FmtRatio = %q", FmtRatio(2.5))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	starts := []float64{0, 0.5, 1}
+	durs := []float64{1, 1, 0.5}
+	lanes := []int32{0, 1, 0}
+	if err := Timeline(&buf, "demo", starts, durs, lanes, 4, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SM0") || !strings.Contains(out, "SM1") {
+		t.Errorf("timeline missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("timeline has no bars")
+	}
+	if err := Timeline(&buf, "bad", starts, durs[:1], lanes, 4, 20); err == nil {
+		t.Error("mismatched arrays accepted")
+	}
+	if err := Timeline(&buf, "empty", nil, nil, nil, 4, 20); err != nil {
+		t.Errorf("empty timeline should be a no-op: %v", err)
+	}
+}

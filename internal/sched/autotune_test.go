@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+func autoWorkload(rng *rand.Rand, batch, dim, meanPF int) Workload {
+	pf := make([]int, batch)
+	total := 0
+	for i := range pf {
+		pf[i] = rng.Intn(2*meanPF + 1)
+		total += pf[i]
+	}
+	return Workload{Dim: dim, BatchSize: batch, PF: pf, TotalRows: total, UniqueRows: total, TableRows: 1 << 18}
+}
+
+func TestAutoCandidatesShape(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(81))
+	w := autoWorkload(rng, 256, 32, 40)
+	cands := AutoCandidates(&w, dev, testL2(), AutoOptions{MaxCandidates: 10, PerFamilyMin: 1})
+	if len(cands) < 10 {
+		t.Errorf("only %d candidates", len(cands))
+	}
+	names := make(map[string]bool)
+	fams := make(map[string]bool)
+	for _, c := range cands {
+		if names[c.Name()] {
+			t.Errorf("duplicate candidate %s", c.Name())
+		}
+		names[c.Name()] = true
+		fams[family(c)] = true
+		if !c.Supports(&w) {
+			t.Errorf("unsupported candidate %s returned", c.Name())
+		}
+	}
+	// Family diversity is preserved for the interference stage.
+	for _, f := range []string{"subwarp", "bps"} {
+		if !fams[f] {
+			t.Errorf("family %s missing from the auto set", f)
+		}
+	}
+}
+
+// The analytic pruner must keep a candidate whose simulated isolated time is
+// within a reasonable factor of the best grid candidate.
+func TestAutoCandidatesKeepNearOptimal(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(83))
+	for _, cfg := range []struct {
+		dim, meanPF int
+	}{{4, 1}, {8, 50}, {64, 150}} {
+		w := autoWorkload(rng, 256, cfg.dim, cfg.meanPF)
+		simulate := func(s Schedule) float64 {
+			p, err := s.Plan(&w, dev, testL2())
+			if err != nil {
+				return math.Inf(1)
+			}
+			k := &gpusim.Kernel{Name: "auto", Resources: s.Resources(w.Dim), Blocks: p.Blocks}
+			r, err := gpusim.Simulate(dev, k)
+			if err != nil {
+				return math.Inf(1)
+			}
+			return r.Time
+		}
+		// Brute-force best over the whole grid.
+		best := math.Inf(1)
+		for _, s := range fullGrid(w.Dim) {
+			if !s.Supports(&w) {
+				continue
+			}
+			if tm := simulate(s); tm < best {
+				best = tm
+			}
+		}
+		// Best within the pruned set.
+		prunedBest := math.Inf(1)
+		for _, s := range AutoCandidates(&w, dev, testL2(), AutoOptions{}) {
+			if tm := simulate(s); tm < prunedBest {
+				prunedBest = tm
+			}
+		}
+		if prunedBest > best*1.5 {
+			t.Errorf("dim %d meanPF %d: pruned best %g vs grid best %g (>1.5x loss)",
+				cfg.dim, cfg.meanPF, prunedBest, best)
+		}
+	}
+}
+
+func TestAutoCandidatesDifferByWorkload(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(85))
+	oneHot := autoWorkload(rng, 256, 4, 0)
+	for i := range oneHot.PF {
+		oneHot.PF[i] = 1
+	}
+	oneHot.TotalRows = 256
+	oneHot.UniqueRows = 256
+	heavy := autoWorkload(rng, 256, 128, 200)
+	a := AutoCandidates(&oneHot, dev, testL2(), AutoOptions{MaxCandidates: 5, PerFamilyMin: 1})
+	b := AutoCandidates(&heavy, dev, testL2(), AutoOptions{MaxCandidates: 5, PerFamilyMin: 1})
+	if a[0].Name() == b[0].Name() {
+		t.Errorf("top candidate identical for one-hot dim-4 and heavy dim-128: %s", a[0].Name())
+	}
+}
+
+func TestFamilyBuckets(t *testing.T) {
+	cases := map[string]Schedule{
+		"tps":     ThreadPerSample{Threads: 64, Unroll: 1},
+		"subwarp": SubWarp{Threads: 64, Lanes: 4, Vec: 1, UnrollRows: 1},
+		"sorted":  SortedSubWarp{SubWarp{Threads: 64, Lanes: 4, Vec: 1, UnrollRows: 1}},
+		"bps":     BlockPerSample{Threads: 64, Vec: 1},
+		"staged":  StagedTile{Threads: 64, Vec: 1, StageRows: 2},
+		"hybrid":  HybridSplit{Light: SubWarp{Threads: 64, Lanes: 4, Vec: 1, UnrollRows: 1}, Heavy: BlockPerSample{Threads: 64, Vec: 1}, ThresholdPF: 8},
+	}
+	for want, s := range cases {
+		if got := family(s); got != want {
+			t.Errorf("family(%s) = %q, want %q", s.Name(), got, want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+// Backward scheduling: the embedding gradient kernel reuses the forward
+// plan's thread mapping — each block handles the same samples — but the data
+// movement inverts: the block reads its samples' upstream gradients
+// (coalesced) and scatters atomic adds into the gradient table. Scattered
+// atomics pay a read-modify-write per row and contend when hot rows are
+// shared, which the cost model captures through the reuse statistics the L2
+// model already tracks.
+
+// atomicCyclesPerElement is the issue cost of one atomicAdd beyond a plain
+// store.
+const atomicCyclesPerElement = 4.0
+
+// BackwardPlan derives the gradient-kernel blocks from a forward plan. The
+// returned plan shares the forward sample partition (and permutation), so
+// ExecuteBackward covers every sample exactly once.
+func BackwardPlan(p *Plan, w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if p.NumBlocks == 0 {
+		return nil, fmt.Errorf("sched: backward of an empty plan")
+	}
+	rowBytes := w.RowBytes()
+	rowSector := rowSectorBytes(rowBytes)
+	h := l2.HitFraction(w)
+	bp := &Plan{
+		Schedule:  p.Schedule,
+		NumBlocks: p.NumBlocks,
+		Blocks:    make([]gpusim.BlockWork, p.NumBlocks),
+		SampleLo:  p.SampleLo,
+		SampleHi:  p.SampleHi,
+		Perm:      p.Perm,
+	}
+	for b := 0; b < p.NumBlocks; b++ {
+		rows := 0
+		samples := 0
+		for s := p.SampleLo[b]; s < p.SampleHi[b]; s++ {
+			idx := int(s)
+			if p.Perm != nil {
+				idx = int(p.Perm[s])
+			}
+			rows += w.PF[idx]
+			samples++
+		}
+		// Upstream gradient read (coalesced) + scattered atomic RMW on the
+		// gradient table: every row is read and written back.
+		readBytes := float64(samples) * rowBytes
+		rmwBytes := float64(rows) * rowSector * 2
+		comp := float64(rows)*float64(w.Dim)*(1+atomicCyclesPerElement)/float64(dev.WarpSize)*8 +
+			float64(samples)*instrSampleEpilogue
+		fwd := p.Blocks[b]
+		bp.Blocks[b] = gpusim.BlockWork{
+			CompCycles:  comp,
+			DRAMBytes:   (readBytes + rmwBytes) * (1 - h),
+			L2Bytes:     (readBytes + rmwBytes) * h,
+			MemRequests: float64(rows)*2 + float64(samples),
+			Warps:       fwd.Warps,
+			ActiveFrac:  fwd.ActiveFrac,
+			PredOffFrac: fwd.PredOffFrac,
+		}
+	}
+	return bp, nil
+}
+
+// ExecuteBackwardBlock accumulates the gradient contributions of plan block
+// rel into grad (rows*dim), mirroring ExecuteBlock.
+func (p *Plan) ExecuteBackwardBlock(rel int, tblRows, dim int, fb *embedding.FeatureBatch, mode embedding.PoolMode, upstream, grad []float32) error {
+	lo, hi := int(p.SampleLo[rel]), int(p.SampleHi[rel])
+	if p.Perm == nil {
+		return embedding.GradRange(tblRows, dim, fb, mode, upstream, lo, hi, grad)
+	}
+	for i := lo; i < hi; i++ {
+		s := int(p.Perm[i])
+		if err := embedding.GradSample(tblRows, dim, fb.Sample(s), mode, upstream[s*dim:(s+1)*dim], grad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecuteBackwardAll runs every block of the backward plan.
+func (p *Plan) ExecuteBackwardAll(tblRows, dim int, fb *embedding.FeatureBatch, mode embedding.PoolMode, upstream, grad []float32) error {
+	for b := 0; b < p.NumBlocks; b++ {
+		if err := p.ExecuteBackwardBlock(b, tblRows, dim, fb, mode, upstream, grad); err != nil {
+			return err
+		}
+	}
+	return nil
+}

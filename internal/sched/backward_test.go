@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+func randomUpstream(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64())
+	}
+	return out
+}
+
+// Backward executors must reproduce the reference gradient for every
+// schedule family, including permuted plans.
+func TestBackwardMatchesReference(t *testing.T) {
+	dev := gpusim.V100()
+	tbl, err := embedding.NewDeterministicTable("t", 256, 8, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	schedules := []Schedule{
+		SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1},
+		ThreadPerSample{Threads: 128, Unroll: 2},
+		BlockPerSample{Threads: 64, Vec: 1},
+		SortedSubWarp{SubWarp{Threads: 256, Lanes: 4, Vec: 1, UnrollRows: 1}},
+		HybridSplit{
+			Light:       SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1},
+			Heavy:       BlockPerSample{Threads: 128, Vec: 1},
+			ThresholdPF: 10,
+		},
+	}
+	for trial := 0; trial < 10; trial++ {
+		fb, w := randomWorkloadBatch(rng, 1+rng.Intn(120), tbl.Rows, tbl.Dim, 20)
+		upstream := randomUpstream(rng, w.BatchSize*tbl.Dim)
+		for _, mode := range []embedding.PoolMode{embedding.PoolSum, embedding.PoolMean} {
+			want, err := embedding.GradCPU(tbl, fb, mode, upstream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range schedules {
+				if !s.Supports(&w) {
+					continue
+				}
+				fwd, err := s.Plan(&w, dev, testL2())
+				if err != nil {
+					t.Fatal(err)
+				}
+				bp, err := BackwardPlan(fwd, &w, dev, testL2())
+				if err != nil {
+					t.Fatal(err)
+				}
+				grad := make([]float32, tbl.Rows*tbl.Dim)
+				if err := bp.ExecuteBackwardAll(tbl.Rows, tbl.Dim, fb, mode, upstream, grad); err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					// Accumulation order differs across plans: tolerate
+					// float rounding.
+					if math.Abs(float64(want[i]-grad[i])) > 1e-4 {
+						t.Fatalf("%s mode %v trial %d: grad[%d] = %g, want %g",
+							s.Name(), mode, trial, i, grad[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardRejectsMaxPooling(t *testing.T) {
+	tbl, _ := embedding.NewTable("t", 8, 2)
+	fb := embedding.NewFeatureBatch([][]int32{{1, 2}})
+	upstream := []float32{1, 1}
+	if _, err := embedding.GradCPU(tbl, &fb, embedding.PoolMax, upstream); err == nil {
+		t.Error("max-pooling backward accepted without forward state")
+	}
+	if _, err := embedding.GradCPU(tbl, &fb, embedding.PoolSum, upstream[:1]); err == nil {
+		t.Error("short upstream gradient accepted")
+	}
+}
+
+func TestGradCPUKnownValues(t *testing.T) {
+	tbl, _ := embedding.NewTable("t", 3, 2)
+	fb := embedding.NewFeatureBatch([][]int32{{0, 2}, {2}})
+	upstream := []float32{1, 2, 10, 20}
+	grad, err := embedding.GradCPU(tbl, &fb, embedding.PoolSum, upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 0, 0, 11, 22} // row0 <- s0; row2 <- s0+s1
+	for i := range want {
+		if grad[i] != want[i] {
+			t.Errorf("grad[%d] = %g, want %g", i, grad[i], want[i])
+		}
+	}
+	mean, err := embedding.GradCPU(tbl, &fb, embedding.PoolMean, upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := []float32{0.5, 1, 0, 0, 10.5, 21}
+	for i := range wantMean {
+		if math.Abs(float64(mean[i]-wantMean[i])) > 1e-6 {
+			t.Errorf("mean grad[%d] = %g, want %g", i, mean[i], wantMean[i])
+		}
+	}
+}
+
+// The backward kernel must simulate, and hot-row reuse (captured by the L2
+// model) must reduce its DRAM traffic.
+func TestBackwardKernelSimulates(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(63))
+	_, w := randomWorkloadBatch(rng, 256, 1<<16, 16, 40)
+	s := SubWarp{Threads: 256, Lanes: 16, Vec: 4, UnrollRows: 1}
+	fwd, err := s.Plan(&w, dev, testL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := BackwardPlan(fwd, &w, dev, testL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Validate(w.BatchSize); err != nil {
+		t.Fatal(err)
+	}
+	k := &gpusim.Kernel{Name: "bwd", Resources: s.Resources(16), Blocks: bp.Blocks}
+	r, err := gpusim.Simulate(dev, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time <= 0 {
+		t.Error("backward time must be positive")
+	}
+	// Backward moves more bytes than forward (read-modify-write).
+	_, fwdDRAM, fwdL2 := (&gpusim.Kernel{Resources: s.Resources(16), Blocks: fwd.Blocks, Name: "f"}).TotalWork()
+	_, bwdDRAM, bwdL2 := k.TotalWork()
+	if bwdDRAM+bwdL2 <= fwdDRAM+fwdL2 {
+		t.Errorf("backward traffic (%g) should exceed forward (%g)", bwdDRAM+bwdL2, fwdDRAM+fwdL2)
+	}
+}

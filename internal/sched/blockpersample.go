@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// BlockPerSample dedicates one thread block to one sample: the block's warps
+// split the sample's rows, each warp sweeps the dimension with Vec-wide
+// loads, and a shared-memory tree combines the per-warp partials. This is the
+// schedule of choice for huge pooling factors (hundreds of rows per sample),
+// where a sub-warp would serialize; for small pooling factors it drowns in
+// per-block overhead and shared-memory reduction cost. It is also the
+// coarse-grained mapping HugeCTR applies to every feature.
+type BlockPerSample struct {
+	Threads int // threads per block, multiple of 32
+	Vec     int // elements per vector load: 1, 2 or 4
+}
+
+var _ Schedule = BlockPerSample{}
+
+// Name implements Schedule.
+func (s BlockPerSample) Name() string {
+	return fmt.Sprintf("blockpersample(t%d,v%d)", s.Threads, s.Vec)
+}
+
+// Resources implements Schedule.
+func (s BlockPerSample) Resources(dim int) gpusim.KernelResources {
+	smem := s.Threads * 4 * s.Vec // per-warp partials staged in shared memory
+	return gpusim.KernelResources{
+		ThreadsPerBlock:   s.Threads,
+		RegsPerThread:     26 + 4*s.Vec,
+		SharedMemPerBlock: smem,
+	}
+}
+
+func (s BlockPerSample) valid() error {
+	switch {
+	case s.Threads <= 0 || s.Threads%32 != 0:
+		return fmt.Errorf("sched: %s: threads must be a positive multiple of 32", s.Name())
+	case s.Vec != 1 && s.Vec != 2 && s.Vec != 4:
+		return fmt.Errorf("sched: %s: vec must be 1, 2 or 4", s.Name())
+	}
+	return nil
+}
+
+// Supports implements Schedule.
+func (s BlockPerSample) Supports(w *Workload) bool {
+	return s.valid() == nil && w.Dim > 0
+}
+
+// Plan implements Schedule.
+func (s BlockPerSample) Plan(w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	if err := s.valid(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	warps := s.Threads / dev.WarpSize
+	colIters := ceilDiv(w.Dim, dev.WarpSize*s.Vec)
+	activeLanes := ceilDiv(w.Dim, s.Vec)
+	if activeLanes > dev.WarpSize {
+		activeLanes = dev.WarpSize
+	}
+	rowSector := rowSectorBytes(w.RowBytes())
+	h := l2.HitFraction(w)
+	writeRow := w.RowBytes()
+	// Shared-memory tree reduction: log2(warps) combine stages per column
+	// iteration.
+	reduceStages := 0
+	for v := warps; v > 1; v >>= 1 {
+		reduceStages++
+	}
+
+	fill := func(lo, hi int) gpusim.BlockWork {
+		pf := w.PF[lo] // exactly one sample per block
+		iters := ceilDiv(pf, warps)
+		comp := float64(iters) * float64(colIters) * (instrLoadOverhead + float64(s.Vec)) * float64(warps)
+		comp += float64(reduceStages) * float64(colIters) * 4 * float64(warps) // smem combine
+		comp += float64(colIters)*(1+float64(s.Vec)) + instrSampleEpilogue
+		reads := float64(pf) * rowSector
+		reqs := float64(iters*colIters*warps) + float64(colIters)
+		return gpusim.BlockWork{
+			CompCycles:  comp,
+			DRAMBytes:   reads*(1-h) + writeRow,
+			L2Bytes:     reads * h,
+			MemRequests: reqs,
+			Warps:       warps,
+			ActiveFrac:  float64(activeLanes) / float64(dev.WarpSize),
+			PredOffFrac: 0,
+		}
+	}
+	return contiguousPlan(s, w, 1, fill), nil
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+// DefaultCandidates returns the per-feature schedule candidate set S^(f) for
+// a feature of the given embedding dimension. The order is deterministic and
+// deliberately places the register-hungry thread-per-sample variants first —
+// the paper's Figure 12 sweeps candidates by index and attributes the
+// collapse of the early indices to register spilling under constrained
+// occupancy.
+//
+// Users of the public API can extend or replace this set with their own
+// Schedule implementations, mirroring the paper's user-provided schedule
+// templates.
+func DefaultCandidates(dim int) []Schedule {
+	var out []Schedule
+	// Register-heavy family: dim-wide accumulators per thread.
+	for _, unroll := range []int{8, 4, 2, 1} {
+		out = append(out, ThreadPerSample{Threads: 256, Unroll: unroll})
+	}
+	// Lane-partitioned family.
+	for _, lanes := range []int{4, 8, 16, 32} {
+		for _, vec := range []int{1, 4} {
+			if vec > dim {
+				continue
+			}
+			for _, unroll := range []int{1, 4} {
+				out = append(out, SubWarp{Threads: 256, Lanes: lanes, Vec: vec, UnrollRows: unroll})
+			}
+		}
+	}
+	// Coarse-grained family for huge pooling factors.
+	for _, threads := range []int{64, 128, 256} {
+		for _, vec := range []int{1, 4} {
+			if vec > dim {
+				continue
+			}
+			out = append(out, BlockPerSample{Threads: threads, Vec: vec})
+		}
+	}
+	// Shared-memory staged family: the isolated-latency champion whose
+	// staging buffers throttle fused-kernel occupancy (§II-C).
+	for _, stage := range []int{4, 8} {
+		for _, vec := range []int{1, 4} {
+			if vec > dim {
+				continue
+			}
+			out = append(out, StagedTile{Threads: 256, Vec: vec, StageRows: stage})
+		}
+	}
+	// Host-sorted family: eliminates sub-warp lockstep divergence on
+	// high-variance pooling factors.
+	for _, lanes := range []int{4, 8} {
+		vec := 4
+		if vec > dim {
+			vec = 1
+		}
+		out = append(out, SortedSubWarp{SubWarp{Threads: 256, Lanes: lanes, Vec: vec, UnrollRows: 1}})
+	}
+	return out
+}
+
+// SupportedCandidates filters candidates to those that can run workload w.
+func SupportedCandidates(candidates []Schedule, w *Workload) []Schedule {
+	out := make([]Schedule, 0, len(candidates))
+	for _, c := range candidates {
+		if c.Supports(w) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaxThreadsPerBlock returns the widest block among the schedules, which
+// fixes the launch geometry of a fused kernel.
+func MaxThreadsPerBlock(schedules []Schedule, dims []int) int {
+	m := 0
+	for i, s := range schedules {
+		dim := 0
+		if i < len(dims) {
+			dim = dims[i]
+		}
+		if t := s.Resources(dim).ThreadsPerBlock; t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// PlanForBatch is a convenience wrapper: analyze the feature batch and plan
+// it under the given schedule.
+func PlanForBatch(s Schedule, fb *embedding.FeatureBatch, dim, tableRows int, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	w := AnalyzeWorkload(fb, dim, tableRows)
+	if !s.Supports(&w) {
+		return nil, fmt.Errorf("sched: %s does not support dim-%d workload", s.Name(), dim)
+	}
+	return s.Plan(&w, dev, l2)
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// HybridSplit routes each sample by its pooling factor: samples at or above
+// ThresholdPF get a whole block each (the Heavy schedule), the rest share
+// sub-warps (the Light schedule). The host's workload analysis performs the
+// split, so the schedule adapts to intra-feature heterogeneity — the bimodal
+// history features where neither a uniform fine-grained nor a uniform
+// coarse-grained mapping wins: sub-warps stall in lockstep behind the heavy
+// samples, while block-per-sample wastes whole blocks on one-row samples.
+//
+// Like SortedSubWarp, the split travels as a permutation in the Plan (light
+// samples first, then heavy), so outputs land in their original slots and
+// functional semantics are untouched.
+type HybridSplit struct {
+	Light       SubWarp
+	Heavy       BlockPerSample
+	ThresholdPF int
+}
+
+var _ Schedule = HybridSplit{}
+
+// Name implements Schedule.
+func (h HybridSplit) Name() string {
+	return fmt.Sprintf("hybrid(%s|%s,pf>=%d)", h.Light.Name(), h.Heavy.Name(), h.ThresholdPF)
+}
+
+// Resources implements Schedule: the union footprint, as in any fused kernel.
+func (h HybridSplit) Resources(dim int) gpusim.KernelResources {
+	l, hv := h.Light.Resources(dim), h.Heavy.Resources(dim)
+	out := l
+	if hv.ThreadsPerBlock > out.ThreadsPerBlock {
+		out.ThreadsPerBlock = hv.ThreadsPerBlock
+	}
+	if hv.RegsPerThread > out.RegsPerThread {
+		out.RegsPerThread = hv.RegsPerThread
+	}
+	if hv.SharedMemPerBlock > out.SharedMemPerBlock {
+		out.SharedMemPerBlock = hv.SharedMemPerBlock
+	}
+	return out
+}
+
+func (h HybridSplit) valid() error {
+	if err := h.Light.valid(); err != nil {
+		return err
+	}
+	if err := h.Heavy.valid(); err != nil {
+		return err
+	}
+	if h.ThresholdPF < 1 {
+		return fmt.Errorf("sched: %s: threshold must be >= 1", h.Name())
+	}
+	return nil
+}
+
+// Supports implements Schedule.
+func (h HybridSplit) Supports(w *Workload) bool {
+	return h.valid() == nil && h.Light.Supports(w) && h.Heavy.Supports(w)
+}
+
+// Plan implements Schedule.
+func (h HybridSplit) Plan(w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	if err := h.valid(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	perm := make([]int32, 0, w.BatchSize)
+	var heavy []int32
+	lightRows := 0
+	for i, pf := range w.PF {
+		if pf >= h.ThresholdPF {
+			heavy = append(heavy, int32(i))
+		} else {
+			perm = append(perm, int32(i))
+			lightRows += pf
+		}
+	}
+	nLight := len(perm)
+	perm = append(perm, heavy...)
+
+	// Degenerate splits collapse to the single applicable schedule.
+	if len(heavy) == 0 {
+		p, err := h.Light.Plan(w, dev, l2)
+		if err != nil {
+			return nil, err
+		}
+		p.Schedule = h
+		return p, nil
+	}
+	if nLight == 0 {
+		p, err := h.Heavy.Plan(w, dev, l2)
+		if err != nil {
+			return nil, err
+		}
+		p.Schedule = h
+		return p, nil
+	}
+
+	split := func(idx []int32, rows int) Workload {
+		sub := Workload{
+			Dim:       w.Dim,
+			BatchSize: len(idx),
+			PF:        make([]int, len(idx)),
+			TotalRows: rows,
+			TableRows: w.TableRows,
+		}
+		for i, s := range idx {
+			sub.PF[i] = w.PF[s]
+		}
+		// Unique rows split proportionally to the row share.
+		if w.TotalRows > 0 {
+			sub.UniqueRows = w.UniqueRows * rows / w.TotalRows
+		}
+		return sub
+	}
+	wLight := split(perm[:nLight], lightRows)
+	wHeavy := split(perm[nLight:], w.TotalRows-lightRows)
+
+	pLight, err := h.Light.Plan(&wLight, dev, l2)
+	if err != nil {
+		return nil, err
+	}
+	pHeavy, err := h.Heavy.Plan(&wHeavy, dev, l2)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		Schedule:  h,
+		NumBlocks: pLight.NumBlocks + pHeavy.NumBlocks,
+		Blocks:    append(pLight.Blocks, pHeavy.Blocks...),
+		SampleLo:  pLight.SampleLo,
+		SampleHi:  pLight.SampleHi,
+		Perm:      perm,
+	}
+	for b := 0; b < pHeavy.NumBlocks; b++ {
+		p.SampleLo = append(p.SampleLo, pHeavy.SampleLo[b]+int32(nLight))
+		p.SampleHi = append(p.SampleHi, pHeavy.SampleHi[b]+int32(nLight))
+	}
+	return p, nil
+}

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+func testHybrid() HybridSplit {
+	return HybridSplit{
+		Light:       SubWarp{Threads: 256, Lanes: 4, Vec: 1, UnrollRows: 1},
+		Heavy:       BlockPerSample{Threads: 128, Vec: 1},
+		ThresholdPF: 64,
+	}
+}
+
+func TestHybridMatchesReference(t *testing.T) {
+	dev := gpusim.V100()
+	tbl, err := embedding.NewDeterministicTable("t", 512, 8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		// Bimodal pooling factors straddling the threshold.
+		perSample := make([][]int32, 1+rng.Intn(150))
+		for i := range perSample {
+			pf := rng.Intn(8)
+			if rng.Intn(5) == 0 {
+				pf = 64 + rng.Intn(200)
+			}
+			ids := make([]int32, pf)
+			for j := range ids {
+				ids[j] = int32(rng.Intn(tbl.Rows))
+			}
+			perSample[i] = ids
+		}
+		fb := embedding.NewFeatureBatch(perSample)
+		w := AnalyzeWorkload(&fb, tbl.Dim, tbl.Rows)
+		h := testHybrid()
+		if !h.Supports(&w) {
+			t.Fatal("hybrid should support this workload")
+		}
+		p, err := h.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(w.BatchSize); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []embedding.PoolMode{embedding.PoolSum, embedding.PoolMean, embedding.PoolMax} {
+			want, err := embedding.PoolCPU(tbl, &fb, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float32, len(want))
+			for _, b := range rng.Perm(p.NumBlocks) {
+				p.ExecuteBlock(b, tbl, &fb, mode, got)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d mode %v: out[%d] = %g, want %g", trial, mode, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHybridDegenerateSplits(t *testing.T) {
+	dev := gpusim.V100()
+	h := testHybrid()
+	// All light.
+	light := Workload{Dim: 8, BatchSize: 32, PF: make([]int, 32), TableRows: 512}
+	for i := range light.PF {
+		light.PF[i] = 2
+		light.TotalRows += 2
+	}
+	light.UniqueRows = light.TotalRows
+	p, err := h.Plan(&light, dev, testL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Perm != nil {
+		t.Error("all-light split should not need a permutation")
+	}
+	// All heavy.
+	heavy := Workload{Dim: 8, BatchSize: 8, PF: []int{100, 100, 100, 100, 100, 100, 100, 100}, TotalRows: 800, UniqueRows: 800, TableRows: 512}
+	p2, err := h.Plan(&heavy, dev, testL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NumBlocks != 8 {
+		t.Errorf("all-heavy split should be one block per sample, got %d", p2.NumBlocks)
+	}
+}
+
+// On a bimodal workload the hybrid must beat both of its components used
+// uniformly — the intra-feature heterogeneity payoff.
+func TestHybridBeatsUniformComponentsOnBimodal(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(53))
+	pf := make([]int, 4096)
+	total := 0
+	for i := range pf {
+		if rng.Intn(10) == 0 {
+			pf[i] = 150 + rng.Intn(250)
+		} else {
+			pf[i] = rng.Intn(6)
+		}
+		total += pf[i]
+	}
+	w := Workload{Dim: 8, BatchSize: 4096, PF: pf, TotalRows: total, UniqueRows: total, TableRows: 1 << 16}
+	h := testHybrid()
+	measure := func(s Schedule) float64 {
+		p, err := s.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := &gpusim.Kernel{Name: "h", Resources: s.Resources(8), Blocks: p.Blocks}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Time
+	}
+	tHybrid := measure(h)
+	tLight := measure(h.Light)
+	tHeavy := measure(h.Heavy)
+	if tHybrid >= tLight {
+		t.Errorf("hybrid (%g) should beat uniform sub-warp (%g) on bimodal factors", tHybrid, tLight)
+	}
+	if tHybrid >= tHeavy {
+		t.Errorf("hybrid (%g) should beat uniform block-per-sample (%g) on bimodal factors", tHybrid, tHeavy)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	dev := gpusim.V100()
+	w := Workload{Dim: 8, BatchSize: 2, PF: []int{1, 1}, TotalRows: 2, UniqueRows: 2, TableRows: 16}
+	bad := HybridSplit{
+		Light:       SubWarp{Threads: 256, Lanes: 4, Vec: 1, UnrollRows: 1},
+		Heavy:       BlockPerSample{Threads: 128, Vec: 1},
+		ThresholdPF: 0,
+	}
+	if bad.Supports(&w) {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := bad.Plan(&w, dev, testL2()); err == nil {
+		t.Error("Plan accepted invalid threshold")
+	}
+	h := testHybrid()
+	r := h.Resources(8)
+	if r.ThreadsPerBlock != 256 {
+		t.Errorf("union threads = %d, want 256", r.ThreadsPerBlock)
+	}
+	if r.SharedMemPerBlock != h.Heavy.Resources(8).SharedMemPerBlock {
+		t.Error("union smem should come from the heavy component")
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSchedule reconstructs a schedule from its Name() string, the inverse
+// of Name for every built-in family. It lets tuned results be persisted as
+// plain text and reloaded in a serving process (see core.SaveTuned /
+// core.LoadTuned).
+func ParseSchedule(name string) (Schedule, error) {
+	switch {
+	case strings.HasPrefix(name, "sorted-"):
+		inner, err := ParseSchedule(strings.TrimPrefix(name, "sorted-"))
+		if err != nil {
+			return nil, err
+		}
+		sw, ok := inner.(SubWarp)
+		if !ok {
+			return nil, fmt.Errorf("sched: sorted- prefix requires a subwarp schedule, got %q", name)
+		}
+		return SortedSubWarp{sw}, nil
+
+	case strings.HasPrefix(name, "subwarp("):
+		var t, l, v, u int
+		if _, err := fmt.Sscanf(name, "subwarp(t%d,l%d,v%d,u%d)", &t, &l, &v, &u); err != nil {
+			return nil, fmt.Errorf("sched: malformed subwarp name %q: %w", name, err)
+		}
+		s := SubWarp{Threads: t, Lanes: l, Vec: v, UnrollRows: u}
+		if err := s.valid(); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case strings.HasPrefix(name, "threadpersample("):
+		var t, u int
+		if _, err := fmt.Sscanf(name, "threadpersample(t%d,u%d)", &t, &u); err != nil {
+			return nil, fmt.Errorf("sched: malformed threadpersample name %q: %w", name, err)
+		}
+		s := ThreadPerSample{Threads: t, Unroll: u}
+		if err := s.valid(); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case strings.HasPrefix(name, "blockpersample("):
+		var t, v int
+		if _, err := fmt.Sscanf(name, "blockpersample(t%d,v%d)", &t, &v); err != nil {
+			return nil, fmt.Errorf("sched: malformed blockpersample name %q: %w", name, err)
+		}
+		s := BlockPerSample{Threads: t, Vec: v}
+		if err := s.valid(); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case strings.HasPrefix(name, "stagedtile("):
+		var t, v, st int
+		if _, err := fmt.Sscanf(name, "stagedtile(t%d,v%d,s%d)", &t, &v, &st); err != nil {
+			return nil, fmt.Errorf("sched: malformed stagedtile name %q: %w", name, err)
+		}
+		s := StagedTile{Threads: t, Vec: v, StageRows: st}
+		if err := s.valid(); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case strings.HasPrefix(name, "hybrid("):
+		// hybrid(<light>|<heavy>,pf>=N)
+		body := strings.TrimSuffix(strings.TrimPrefix(name, "hybrid("), ")")
+		bar := strings.Index(body, "|")
+		comma := strings.LastIndex(body, ",pf>=")
+		if bar < 0 || comma < 0 || comma < bar {
+			return nil, fmt.Errorf("sched: malformed hybrid name %q", name)
+		}
+		light, err := ParseSchedule(body[:bar])
+		if err != nil {
+			return nil, err
+		}
+		heavy, err := ParseSchedule(body[bar+1 : comma])
+		if err != nil {
+			return nil, err
+		}
+		var threshold int
+		if _, err := fmt.Sscanf(body[comma:], ",pf>=%d", &threshold); err != nil {
+			return nil, fmt.Errorf("sched: malformed hybrid threshold in %q: %w", name, err)
+		}
+		sw, ok := light.(SubWarp)
+		if !ok {
+			return nil, fmt.Errorf("sched: hybrid light component must be subwarp in %q", name)
+		}
+		bp, ok := heavy.(BlockPerSample)
+		if !ok {
+			return nil, fmt.Errorf("sched: hybrid heavy component must be blockpersample in %q", name)
+		}
+		h := HybridSplit{Light: sw, Heavy: bp, ThresholdPF: threshold}
+		if err := h.valid(); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	return nil, fmt.Errorf("sched: unknown schedule name %q", name)
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: ParseSchedule inverts Name for every built-in schedule family.
+func TestParseScheduleRoundTrip(t *testing.T) {
+	samples := []Schedule{
+		SubWarp{Threads: 256, Lanes: 8, Vec: 4, UnrollRows: 1},
+		SubWarp{Threads: 64, Lanes: 32, Vec: 1, UnrollRows: 4},
+		ThreadPerSample{Threads: 256, Unroll: 8},
+		ThreadPerSample{Threads: 32, Unroll: 1},
+		BlockPerSample{Threads: 128, Vec: 2},
+		StagedTile{Threads: 256, Vec: 4, StageRows: 8},
+		SortedSubWarp{SubWarp{Threads: 256, Lanes: 4, Vec: 1, UnrollRows: 2}},
+		HybridSplit{
+			Light:       SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1},
+			Heavy:       BlockPerSample{Threads: 128, Vec: 4},
+			ThresholdPF: 64,
+		},
+	}
+	for _, s := range samples {
+		got, err := ParseSchedule(s.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got.Name() != s.Name() {
+			t.Errorf("round trip: %q -> %q", s.Name(), got.Name())
+		}
+	}
+}
+
+// Every default candidate must round-trip (persistence depends on it).
+func TestAllDefaultCandidatesParse(t *testing.T) {
+	for _, dim := range []int{4, 8, 32, 128} {
+		for _, c := range DefaultCandidates(dim) {
+			got, err := ParseSchedule(c.Name())
+			if err != nil {
+				t.Fatalf("dim %d: %s: %v", dim, c.Name(), err)
+			}
+			if got.Name() != c.Name() {
+				t.Errorf("dim %d: round trip %q -> %q", dim, c.Name(), got.Name())
+			}
+		}
+	}
+}
+
+func TestParseScheduleRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"", "nonsense", "subwarp(t256)", "subwarp(t256,l3,v1,u1)",
+		"threadpersample(t100,u1)", "blockpersample(t128,v3)",
+		"stagedtile(t256,v1,s0)", "hybrid(bogus|also,pf>=1)",
+		"hybrid(subwarp(t256,l8,v1,u1)|subwarp(t256,l8,v1,u1),pf>=1)",
+		"sorted-blockpersample(t128,v1)",
+		"hybrid(subwarp(t256,l8,v1,u1)|blockpersample(t128,v1),pf>=0)",
+	}
+	for _, name := range bad {
+		if _, err := ParseSchedule(name); err == nil {
+			t.Errorf("parsed garbage %q", name)
+		}
+	}
+}
+
+// Property: random valid SubWarp parameters survive the round trip.
+func TestParseSubWarpProperty(t *testing.T) {
+	lanes := []int{1, 2, 4, 8, 16, 32}
+	vecs := []int{1, 2, 4}
+	f := func(tRaw, lRaw, vRaw, uRaw uint8) bool {
+		s := SubWarp{
+			Threads:    32 * (1 + int(tRaw)%32),
+			Lanes:      lanes[int(lRaw)%len(lanes)],
+			Vec:        vecs[int(vRaw)%len(vecs)],
+			UnrollRows: 1 + int(uRaw)%8,
+		}
+		got, err := ParseSchedule(s.Name())
+		return err == nil && got.Name() == s.Name()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,401 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+func testL2() L2Context {
+	return L2Context{CacheBytes: 6 << 20, WorkingSetBytes: 64 << 20}
+}
+
+func randomWorkloadBatch(rng *rand.Rand, batch, rows, dim, maxPF int) (*embedding.FeatureBatch, Workload) {
+	perSample := make([][]int32, batch)
+	for i := range perSample {
+		pf := rng.Intn(maxPF + 1)
+		ids := make([]int32, pf)
+		for j := range ids {
+			ids[j] = int32(rng.Intn(rows))
+		}
+		perSample[i] = ids
+	}
+	fb := embedding.NewFeatureBatch(perSample)
+	return &fb, AnalyzeWorkload(&fb, dim, rows)
+}
+
+func TestAnalyzeWorkload(t *testing.T) {
+	fb := embedding.NewFeatureBatch([][]int32{{1, 2, 2}, {}, {5}})
+	w := AnalyzeWorkload(&fb, 16, 100)
+	if w.BatchSize != 3 || w.TotalRows != 4 || w.UniqueRows != 3 || w.Dim != 16 {
+		t.Errorf("workload = %+v", w)
+	}
+	if err := w.Validate(); err != nil {
+		t.Error(err)
+	}
+	if w.MeanPF() != 4.0/3.0 {
+		t.Errorf("MeanPF = %g", w.MeanPF())
+	}
+	if w.RowBytes() != 64 {
+		t.Errorf("RowBytes = %g", w.RowBytes())
+	}
+}
+
+func TestWorkloadValidateRejects(t *testing.T) {
+	base := Workload{Dim: 8, BatchSize: 2, PF: []int{1, 2}, TotalRows: 3, UniqueRows: 2, TableRows: 10}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	cases := []Workload{
+		{Dim: 0, BatchSize: 2, PF: []int{1, 2}, TotalRows: 3},
+		{Dim: 8, BatchSize: 0, PF: nil},
+		{Dim: 8, BatchSize: 2, PF: []int{1}, TotalRows: 1},
+		{Dim: 8, BatchSize: 2, PF: []int{1, -1}, TotalRows: 0},
+		{Dim: 8, BatchSize: 2, PF: []int{1, 2}, TotalRows: 99},
+		{Dim: 8, BatchSize: 2, PF: []int{1, 2}, TotalRows: 3, UniqueRows: 9},
+	}
+	for i, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, w)
+		}
+	}
+}
+
+func TestL2HitFraction(t *testing.T) {
+	w := Workload{Dim: 8, BatchSize: 4, PF: []int{10, 10, 10, 10}, TotalRows: 40, UniqueRows: 10}
+	fits := L2Context{CacheBytes: 1 << 30, WorkingSetBytes: 1 << 20}
+	if h := fits.HitFraction(&w); math.Abs(h-0.75) > 1e-12 {
+		t.Errorf("fitting working set: hit %g, want 0.75 (reuse fraction)", h)
+	}
+	pressured := L2Context{CacheBytes: 1 << 20, WorkingSetBytes: 4 << 20}
+	if h := pressured.HitFraction(&w); math.Abs(h-0.75*0.25) > 1e-12 {
+		t.Errorf("pressured working set: hit %g, want %g", h, 0.75*0.25)
+	}
+	empty := Workload{Dim: 8, BatchSize: 1, PF: []int{0}}
+	if h := fits.HitFraction(&empty); h != 0 {
+		t.Errorf("empty workload hit %g, want 0", h)
+	}
+}
+
+func allTemplates() []Schedule {
+	return []Schedule{
+		SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1},
+		SubWarp{Threads: 128, Lanes: 32, Vec: 4, UnrollRows: 4},
+		SubWarp{Threads: 256, Lanes: 2, Vec: 1, UnrollRows: 2},
+		ThreadPerSample{Threads: 256, Unroll: 1},
+		ThreadPerSample{Threads: 64, Unroll: 8},
+		BlockPerSample{Threads: 128, Vec: 1},
+		BlockPerSample{Threads: 256, Vec: 4},
+		StagedTile{Threads: 256, Vec: 4, StageRows: 4},
+		StagedTile{Threads: 64, Vec: 1, StageRows: 8},
+		SortedSubWarp{SubWarp{Threads: 128, Lanes: 4, Vec: 1, UnrollRows: 1}},
+		HybridSplit{
+			Light:       SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1},
+			Heavy:       BlockPerSample{Threads: 128, Vec: 1},
+			ThresholdPF: 20,
+		},
+	}
+}
+
+// Core invariant: every schedule produces output identical to the CPU
+// reference, for every pooling mode — schedules change how, never what.
+func TestSchedulesMatchReferenceProperty(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(21))
+	tbl, err := embedding.NewDeterministicTable("t", 512, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		fb, w := randomWorkloadBatch(rng, 1+rng.Intn(300), tbl.Rows, tbl.Dim, 40)
+		for _, s := range allTemplates() {
+			if !s.Supports(&w) {
+				continue
+			}
+			p, err := s.Plan(&w, dev, testL2())
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if err := p.Validate(w.BatchSize); err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			for _, mode := range []embedding.PoolMode{embedding.PoolSum, embedding.PoolMean, embedding.PoolMax} {
+				want, err := embedding.PoolCPU(tbl, fb, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := make([]float32, len(want))
+				p.ExecuteAll(tbl, fb, mode, got)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("trial %d %s mode %v: out[%d] = %g, want %g",
+							trial, s.Name(), mode, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Executing blocks in arbitrary order and exactly once must still cover the
+// whole batch (the task-map exact-cover invariant at schedule level).
+func TestPlanBlocksArePartition(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(22))
+	tbl, _ := embedding.NewDeterministicTable("t", 256, 32, 4)
+	fb, w := randomWorkloadBatch(rng, 200, tbl.Rows, tbl.Dim, 20)
+	for _, s := range allTemplates() {
+		if !s.Supports(&w) {
+			continue
+		}
+		p, err := s.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := embedding.PoolCPU(tbl, fb, embedding.PoolSum)
+		got := make([]float32, len(want))
+		order := rng.Perm(p.NumBlocks)
+		for _, b := range order {
+			p.ExecuteBlock(b, tbl, fb, embedding.PoolSum, got)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: shuffled block execution diverges at %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestPlanWorkConservation(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(23))
+	_, w := randomWorkloadBatch(rng, 128, 1024, 16, 30)
+	for _, s := range allTemplates() {
+		if !s.Supports(&w) {
+			continue
+		}
+		p, err := s.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dram, l2b float64
+		for i := range p.Blocks {
+			if err := p.Blocks[i].Validate(); err != nil {
+				t.Fatalf("%s block %d: %v", s.Name(), i, err)
+			}
+			dram += p.Blocks[i].DRAMBytes
+			l2b += p.Blocks[i].L2Bytes
+		}
+		// Reads (at sector granularity) + writes: a lower bound on traffic.
+		minTraffic := float64(w.TotalRows)*w.RowBytes() + float64(w.BatchSize)*w.RowBytes()
+		if dram+l2b < minTraffic*0.99 {
+			t.Errorf("%s: traffic %g below workload minimum %g", s.Name(), dram+l2b, minTraffic)
+		}
+	}
+}
+
+// For a small-dimension multi-hot feature, packing more samples per warp
+// (fewer lanes) must reduce compute work — the Figure 3 heterogeneity effect.
+func TestSubWarpLaneEfficiencySmallDim(t *testing.T) {
+	dev := gpusim.V100()
+	pf := make([]int, 256)
+	for i := range pf {
+		pf[i] = 50
+	}
+	w := Workload{Dim: 4, BatchSize: 256, PF: pf, TotalRows: 256 * 50, UniqueRows: 256 * 50, TableRows: 1 << 20}
+	comp := func(lanes int) float64 {
+		s := SubWarp{Threads: 256, Lanes: lanes, Vec: 1, UnrollRows: 1}
+		p, err := s.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for i := range p.Blocks {
+			total += p.Blocks[i].CompCycles
+		}
+		return total
+	}
+	c4, c32 := comp(4), comp(32)
+	if c4*4 > c32 {
+		t.Errorf("lanes=4 compute (%g) should be far below lanes=32 (%g) for dim 4", c4, c32)
+	}
+}
+
+func TestThreadPerSampleSupportsGate(t *testing.T) {
+	s := ThreadPerSample{Threads: 256, Unroll: 1}
+	small := Workload{Dim: 8, BatchSize: 1, PF: []int{1}, TotalRows: 1, UniqueRows: 1}
+	big := Workload{Dim: 128, BatchSize: 1, PF: []int{1}, TotalRows: 1, UniqueRows: 1}
+	if !s.Supports(&small) {
+		t.Error("dim 8 should be supported")
+	}
+	if s.Supports(&big) {
+		t.Error("dim 128 should exceed the register budget")
+	}
+	if _, err := s.Plan(&big, gpusim.V100(), testL2()); err == nil {
+		t.Error("Plan must reject unsupported workloads")
+	}
+}
+
+func TestBlockPerSampleOneBlockPerSample(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(24))
+	_, w := randomWorkloadBatch(rng, 77, 512, 64, 300)
+	s := BlockPerSample{Threads: 128, Vec: 4}
+	p, err := s.Plan(&w, dev, testL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks != 77 {
+		t.Errorf("NumBlocks = %d, want 77", p.NumBlocks)
+	}
+}
+
+func TestScheduleResourceFormulas(t *testing.T) {
+	sw := SubWarp{Threads: 256, Lanes: 8, Vec: 4, UnrollRows: 2}
+	r := sw.Resources(32)
+	if r.ThreadsPerBlock != 256 {
+		t.Errorf("subwarp threads = %d", r.ThreadsPerBlock)
+	}
+	if r.RegsPerThread != 22+16+12 {
+		t.Errorf("subwarp regs = %d, want %d", r.RegsPerThread, 22+16+12)
+	}
+	tps := ThreadPerSample{Threads: 128, Unroll: 4}
+	if got := tps.Resources(16).RegsPerThread; got != 16+16+12 {
+		t.Errorf("tps regs = %d, want %d", got, 16+16+12)
+	}
+	bps := BlockPerSample{Threads: 128, Vec: 2}
+	rb := bps.Resources(64)
+	if rb.SharedMemPerBlock != 128*4*2 {
+		t.Errorf("bps smem = %d, want %d", rb.SharedMemPerBlock, 128*4*2)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	dev := gpusim.V100()
+	w := Workload{Dim: 8, BatchSize: 4, PF: []int{1, 1, 1, 1}, TotalRows: 4, UniqueRows: 4}
+	bad := []Schedule{
+		SubWarp{Threads: 100, Lanes: 8, Vec: 1, UnrollRows: 1},
+		SubWarp{Threads: 256, Lanes: 3, Vec: 1, UnrollRows: 1},
+		SubWarp{Threads: 256, Lanes: 8, Vec: 3, UnrollRows: 1},
+		SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 0},
+		ThreadPerSample{Threads: 100, Unroll: 1},
+		ThreadPerSample{Threads: 256, Unroll: 0},
+		BlockPerSample{Threads: 100, Vec: 1},
+		BlockPerSample{Threads: 256, Vec: 8},
+	}
+	for _, s := range bad {
+		if s.Supports(&w) {
+			t.Errorf("%s: invalid parameters accepted by Supports", s.Name())
+		}
+		if _, err := s.Plan(&w, dev, testL2()); err == nil {
+			t.Errorf("%s: invalid parameters accepted by Plan", s.Name())
+		}
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	for _, dim := range []int{4, 8, 32, 128} {
+		cands := DefaultCandidates(dim)
+		if len(cands) < 10 {
+			t.Errorf("dim %d: only %d candidates", dim, len(cands))
+		}
+		names := make(map[string]bool)
+		for _, c := range cands {
+			if names[c.Name()] {
+				t.Errorf("dim %d: duplicate candidate %s", dim, c.Name())
+			}
+			names[c.Name()] = true
+		}
+		// First candidates are the register-heavy family (Figure 12).
+		if _, ok := cands[0].(ThreadPerSample); !ok {
+			t.Errorf("dim %d: first candidate %s, want ThreadPerSample", dim, cands[0].Name())
+		}
+	}
+}
+
+func TestSupportedCandidatesFilters(t *testing.T) {
+	w := Workload{Dim: 128, BatchSize: 2, PF: []int{3, 3}, TotalRows: 6, UniqueRows: 6}
+	all := DefaultCandidates(128)
+	sup := SupportedCandidates(all, &w)
+	if len(sup) == 0 || len(sup) >= len(all) {
+		t.Errorf("filtering: %d of %d supported; expected a strict non-empty subset", len(sup), len(all))
+	}
+	for _, s := range sup {
+		if _, ok := s.(ThreadPerSample); ok {
+			t.Errorf("%s should not support dim 128", s.Name())
+		}
+	}
+}
+
+func TestMaxThreadsPerBlock(t *testing.T) {
+	scheds := []Schedule{
+		BlockPerSample{Threads: 64, Vec: 1},
+		SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1},
+		ThreadPerSample{Threads: 128, Unroll: 1},
+	}
+	if got := MaxThreadsPerBlock(scheds, []int{8, 8, 8}); got != 256 {
+		t.Errorf("MaxThreadsPerBlock = %d, want 256", got)
+	}
+}
+
+func TestPlanForBatch(t *testing.T) {
+	dev := gpusim.V100()
+	fb := embedding.NewFeatureBatch([][]int32{{0, 1}, {2}})
+	p, err := PlanForBatch(SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1}, &fb, 8, 10, dev, testL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks != 1 {
+		t.Errorf("NumBlocks = %d, want 1", p.NumBlocks)
+	}
+	if _, err := PlanForBatch(ThreadPerSample{Threads: 256, Unroll: 1}, &fb, 128, 10, dev, testL2()); err == nil {
+		t.Error("unsupported workload accepted")
+	}
+}
+
+func TestEmptyFeaturePlans(t *testing.T) {
+	dev := gpusim.V100()
+	// Feature absent from every sample: pooling factors all zero.
+	w := Workload{Dim: 16, BatchSize: 64, PF: make([]int, 64), TotalRows: 0, UniqueRows: 0, TableRows: 100}
+	for _, s := range allTemplates() {
+		if !s.Supports(&w) {
+			continue
+		}
+		p, err := s.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := p.Validate(64); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for i := range p.Blocks {
+			if p.Blocks[i].CompCycles <= 0 {
+				t.Errorf("%s block %d: zero-work feature still writes outputs", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestRowSectorBytes(t *testing.T) {
+	cases := map[float64]float64{16: 32, 32: 32, 33: 64, 512: 512, 0: 32}
+	for in, want := range cases {
+		if got := rowSectorBytes(in); got != want {
+			t.Errorf("rowSectorBytes(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestSplitTrafficConservation(t *testing.T) {
+	w := Workload{Dim: 8, BatchSize: 2, PF: []int{4, 4}, TotalRows: 8, UniqueRows: 4}
+	l2 := L2Context{CacheBytes: 1 << 30, WorkingSetBytes: 1}
+	dram, l2b := splitTraffic(&w, l2, 1000, 200)
+	if math.Abs(dram+l2b-1200) > 1e-9 {
+		t.Errorf("traffic not conserved: %g + %g != 1200", dram, l2b)
+	}
+	if l2b != 500 { // reuse fraction 0.5, fully fitting
+		t.Errorf("l2 bytes = %g, want 500", l2b)
+	}
+}

@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+// Schedule is one code schedule for the embedding operation of a feature:
+// a mapping strategy plus its tunable parameters. Implementations are pure
+// values (safe for concurrent use).
+type Schedule interface {
+	// Name identifies the schedule and its parameters, e.g.
+	// "subwarp(t256,l8,v4,u1)".
+	Name() string
+
+	// Resources returns the static footprint that drives occupancy for a
+	// feature of the given embedding dimension.
+	Resources(dim int) gpusim.KernelResources
+
+	// Supports reports whether the schedule can execute the workload (e.g.
+	// a thread-per-sample schedule cannot keep a 128-wide accumulator in
+	// registers).
+	Supports(w *Workload) bool
+
+	// Plan computes the thread mapping for workload w: how many blocks the
+	// feature needs and what each block costs. The L2 context supplies the
+	// grid-level cache pressure estimate.
+	Plan(w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error)
+}
+
+// Plan is the result of mapping one feature's workload onto thread blocks.
+// Blocks own contiguous sample ranges; block rel covers samples
+// [SampleLo[rel], SampleHi[rel]). When Perm is non-nil, the ranges index the
+// permuted sample order (host-side sample reordering, see SortedSubWarp):
+// block rel owns the samples Perm[SampleLo[rel]:SampleHi[rel]].
+type Plan struct {
+	Schedule  Schedule
+	NumBlocks int
+	Blocks    []gpusim.BlockWork
+	SampleLo  []int32
+	SampleHi  []int32
+	Perm      []int32
+}
+
+// Validate checks that the plan partitions the batch exactly.
+func (p *Plan) Validate(batchSize int) error {
+	if p.NumBlocks != len(p.Blocks) || p.NumBlocks != len(p.SampleLo) || p.NumBlocks != len(p.SampleHi) {
+		return fmt.Errorf("sched: plan arrays disagree: %d blocks, %d works, %d los, %d his",
+			p.NumBlocks, len(p.Blocks), len(p.SampleLo), len(p.SampleHi))
+	}
+	if p.NumBlocks == 0 {
+		return fmt.Errorf("sched: plan has no blocks")
+	}
+	next := int32(0)
+	for b := 0; b < p.NumBlocks; b++ {
+		if p.SampleLo[b] != next {
+			return fmt.Errorf("sched: block %d starts at %d, want %d", b, p.SampleLo[b], next)
+		}
+		if p.SampleHi[b] < p.SampleLo[b] {
+			return fmt.Errorf("sched: block %d has negative range [%d,%d)", b, p.SampleLo[b], p.SampleHi[b])
+		}
+		next = p.SampleHi[b]
+	}
+	if int(next) != batchSize {
+		return fmt.Errorf("sched: plan covers %d samples, batch has %d", next, batchSize)
+	}
+	if p.Perm != nil {
+		if len(p.Perm) != batchSize {
+			return fmt.Errorf("sched: permutation length %d, batch %d", len(p.Perm), batchSize)
+		}
+		seen := make([]bool, batchSize)
+		for _, s := range p.Perm {
+			if s < 0 || int(s) >= batchSize || seen[s] {
+				return fmt.Errorf("sched: Perm is not a permutation of [0,%d)", batchSize)
+			}
+			seen[s] = true
+		}
+	}
+	return nil
+}
+
+// ExecuteBlock functionally computes the output of plan block rel: the pooled
+// vectors of exactly the samples that block owns, written into the full
+// [batch*dim] buffer out. Running every block reproduces the CPU reference.
+func (p *Plan) ExecuteBlock(rel int, tbl *embedding.Table, fb *embedding.FeatureBatch, mode embedding.PoolMode, out []float32) {
+	lo, hi := int(p.SampleLo[rel]), int(p.SampleHi[rel])
+	if p.Perm == nil {
+		embedding.PoolRange(tbl, fb, mode, lo, hi, out)
+		return
+	}
+	dim := tbl.Dim
+	for i := lo; i < hi; i++ {
+		s := int(p.Perm[i])
+		embedding.PoolSample(tbl, fb.Sample(s), mode, out[s*dim:(s+1)*dim])
+	}
+}
+
+// ExecuteAll runs every block of the plan.
+func (p *Plan) ExecuteAll(tbl *embedding.Table, fb *embedding.FeatureBatch, mode embedding.PoolMode, out []float32) {
+	for b := 0; b < p.NumBlocks; b++ {
+		p.ExecuteBlock(b, tbl, fb, mode, out)
+	}
+}
+
+// Cost-model constants shared by the templates. They abstract instruction
+// counts of the CUDA kernels the paper's templates emit (derived from
+// TensorFlow, TorchRec and Thrust kernels).
+const (
+	// sectorBytes is the DRAM/L2 transaction granularity.
+	sectorBytes = 32.0
+	// instrLoadOverhead covers index fetch, bounds check, address
+	// arithmetic and the load itself.
+	instrLoadOverhead = 4.0
+	// instrSampleEpilogue covers the per-sample prologue/epilogue: offset
+	// reads, pooling-factor computation, predicate setup and the output
+	// pointer. Schedules that map one sample per warp pay it per sample;
+	// lane-partitioned schedules amortize it across the samples of a warp
+	// — the mechanism behind TorchRec's low active-thread counts on
+	// one-hot features in the paper's Table II.
+	instrSampleEpilogue = 24.0
+)
+
+// rowSectorBytes returns the bytes actually transferred to read one row of
+// rowBytes contiguously, at sector granularity.
+func rowSectorBytes(rowBytes float64) float64 {
+	sectors := int((rowBytes + sectorBytes - 1) / sectorBytes)
+	if sectors < 1 {
+		sectors = 1
+	}
+	return float64(sectors) * sectorBytes
+}
+
+// splitTraffic divides total row-read bytes into an L2-served part and a
+// DRAM part using the workload's reuse under the given cache context, and
+// adds the (always-DRAM) output-write bytes.
+func splitTraffic(w *Workload, l2 L2Context, rowReadBytes, writeBytes float64) (dram, l2Bytes float64) {
+	h := l2.HitFraction(w)
+	l2Bytes = rowReadBytes * h
+	dram = rowReadBytes*(1-h) + writeBytes
+	return dram, l2Bytes
+}
+
+// ceilDiv is integer ceiling division for positive divisors.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// maxIntSlice returns the maximum of s and 0 for empty s.
+func maxIntSlice(s []int) int {
+	m := 0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// sumIntSlice returns the sum of s.
+func sumIntSlice(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}
+
+// adaptiveSamplesPerBlock implements the adaptive side of runtime thread
+// mapping (§IV-B: "allocate an adaptive number of GPU thread groups to avoid
+// workload imbalance or resource wastage"): when a feature's natural block
+// count would leave most of the device idle, the host subdivides the sample
+// ranges — halving samples per block, never below the schedule's quantum (the
+// sample capacity of one warp) — until the feature alone could occupy every
+// SM or the quantum is reached.
+func adaptiveSamplesPerBlock(dev *gpusim.Device, batch, full, quantum int) int {
+	if quantum < 1 {
+		quantum = 1
+	}
+	spb := full
+	for spb > quantum && ceilDiv(batch, spb) < dev.NumSMs {
+		spb = (spb + 1) / 2
+		if spb < quantum {
+			spb = quantum
+		}
+	}
+	return spb
+}
+
+// contiguousPlan builds the Plan skeleton for a schedule that assigns
+// samplesPerBlock consecutive samples to each block, then lets fill compute
+// each block's cost from its sample range.
+func contiguousPlan(s Schedule, w *Workload, samplesPerBlock int,
+	fill func(lo, hi int) gpusim.BlockWork) *Plan {
+	numBlocks := ceilDiv(w.BatchSize, samplesPerBlock)
+	p := &Plan{
+		Schedule:  s,
+		NumBlocks: numBlocks,
+		Blocks:    make([]gpusim.BlockWork, numBlocks),
+		SampleLo:  make([]int32, numBlocks),
+		SampleHi:  make([]int32, numBlocks),
+	}
+	for b := 0; b < numBlocks; b++ {
+		lo := b * samplesPerBlock
+		hi := lo + samplesPerBlock
+		if hi > w.BatchSize {
+			hi = w.BatchSize
+		}
+		p.SampleLo[b] = int32(lo)
+		p.SampleHi[b] = int32(hi)
+		p.Blocks[b] = fill(lo, hi)
+	}
+	return p
+}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gpusim"
+)
+
+// SortedSubWarp is SubWarp with host-side sample reordering: during the
+// host's workload analysis the samples are sorted by pooling factor and then
+// dealt to blocks in rank strata. Each warp group receives rank-consecutive
+// samples — so the sub-warps of a warp carry near-identical row counts and
+// lockstep divergence disappears — while each block receives one group from
+// every stratum, so heavy samples spread evenly across blocks instead of
+// piling into stragglers (the failure mode of a naive global sort).
+//
+// This extends the paper's host-side preprocessing idea (§IV-B folds workload
+// analysis into CPU preprocessing; sorting is an O(n log n) addition there)
+// and is most valuable on features with high pooling-factor variance or
+// partial coverage. The output permutation travels in the Plan: every sample
+// is still written to its original output slot, so functional results are
+// untouched.
+type SortedSubWarp struct {
+	SubWarp
+}
+
+var _ Schedule = SortedSubWarp{}
+
+// Name implements Schedule.
+func (s SortedSubWarp) Name() string {
+	return fmt.Sprintf("sorted-%s", s.SubWarp.Name())
+}
+
+// Plan implements Schedule.
+func (s SortedSubWarp) Plan(w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	if err := s.valid(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	// Mirror the inner schedule's block geometry so the dealt strata match
+	// the plan's sample ranges exactly.
+	warpsPerBlock := s.Threads / dev.WarpSize
+	samplesPerWarp := dev.WarpSize / s.Lanes
+	spb := adaptiveSamplesPerBlock(dev, w.BatchSize, warpsPerBlock*samplesPerWarp, samplesPerWarp)
+
+	n := w.BatchSize
+	sortIdx := make([]int32, n)
+	for i := range sortIdx {
+		sortIdx[i] = int32(i)
+	}
+	sort.SliceStable(sortIdx, func(a, b int) bool {
+		return w.PF[sortIdx[a]] > w.PF[sortIdx[b]]
+	})
+
+	// Deal rank strata: full block b takes warp group j from stratum
+	// j*BFull+b, so its groups span the whole rank spectrum. The ragged
+	// tail block receives the lightest leftover samples in rank order.
+	perm := make([]int32, 0, n)
+	groupsPerBlock := spb / samplesPerWarp
+	bFull := n / spb
+	nFull := bFull * spb
+	for b := 0; b < bFull; b++ {
+		for j := 0; j < groupsPerBlock; j++ {
+			start := (j*bFull + b) * samplesPerWarp
+			perm = append(perm, sortIdx[start:start+samplesPerWarp]...)
+		}
+	}
+	perm = append(perm, sortIdx[nFull:]...)
+
+	sorted := Workload{
+		Dim:        w.Dim,
+		BatchSize:  n,
+		PF:         make([]int, n),
+		TotalRows:  w.TotalRows,
+		UniqueRows: w.UniqueRows,
+		TableRows:  w.TableRows,
+	}
+	for i, src := range perm {
+		sorted.PF[i] = w.PF[src]
+	}
+	p, err := s.SubWarp.Plan(&sorted, dev, l2)
+	if err != nil {
+		return nil, err
+	}
+	p.Schedule = s
+	p.Perm = perm
+	return p, nil
+}

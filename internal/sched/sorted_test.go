@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+func TestSortedSubWarpMatchesReference(t *testing.T) {
+	dev := gpusim.V100()
+	tbl, err := embedding.NewDeterministicTable("t", 256, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		fb, w := randomWorkloadBatch(rng, 1+rng.Intn(200), tbl.Rows, tbl.Dim, 60)
+		s := SortedSubWarp{SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1}}
+		if !s.Supports(&w) {
+			t.Fatal("sorted subwarp should support this workload")
+		}
+		p, err := s.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(w.BatchSize); err != nil {
+			t.Fatal(err)
+		}
+		if p.Perm == nil {
+			t.Fatal("sorted plan must carry a permutation")
+		}
+		for _, mode := range []embedding.PoolMode{embedding.PoolSum, embedding.PoolMax} {
+			want, err := embedding.PoolCPU(tbl, fb, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float32, len(want))
+			// Execute in shuffled block order to expose ownership bugs.
+			for _, b := range rng.Perm(p.NumBlocks) {
+				p.ExecuteBlock(b, tbl, fb, mode, got)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d mode %v: out[%d] = %g, want %g", trial, mode, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Sorting must reduce the lockstep waste on high-variance workloads: the
+// sorted plan's total compute is strictly below the unsorted plan's.
+func TestSortedReducesDivergenceWaste(t *testing.T) {
+	dev := gpusim.V100()
+	rng := rand.New(rand.NewSource(33))
+	pf := make([]int, 512)
+	total := 0
+	for i := range pf {
+		// Bimodal: most samples tiny, a few huge — worst case for
+		// sub-warp lockstep.
+		if rng.Intn(8) == 0 {
+			pf[i] = 200
+		} else {
+			pf[i] = 2
+		}
+		total += pf[i]
+	}
+	w := Workload{Dim: 8, BatchSize: 512, PF: pf, TotalRows: total, UniqueRows: total, TableRows: 1 << 16}
+	base := SubWarp{Threads: 256, Lanes: 4, Vec: 1, UnrollRows: 1}
+	sorted := SortedSubWarp{base}
+	comp := func(s Schedule) float64 {
+		p, err := s.Plan(&w, dev, testL2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := range p.Blocks {
+			sum += p.Blocks[i].CompCycles
+		}
+		return sum
+	}
+	cBase, cSorted := comp(base), comp(sorted)
+	if cSorted >= cBase*0.7 {
+		t.Errorf("sorting should cut lockstep compute substantially: %g vs %g", cSorted, cBase)
+	}
+}
+
+func TestSortedPlanValidatePermutation(t *testing.T) {
+	dev := gpusim.V100()
+	pf := []int{3, 1, 5, 0, 2, 2, 7, 1}
+	w := Workload{Dim: 4, BatchSize: 8, PF: pf, TotalRows: 21, UniqueRows: 21, TableRows: 64}
+	s := SortedSubWarp{SubWarp{Threads: 64, Lanes: 4, Vec: 1, UnrollRows: 1}}
+	p, err := s.Plan(&w, dev, testL2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	// Permutation is by descending pooling factor.
+	for i := 1; i < len(p.Perm); i++ {
+		if pf[p.Perm[i-1]] < pf[p.Perm[i]] {
+			t.Fatalf("perm not sorted by pf desc at %d", i)
+		}
+	}
+	// Corrupt the permutation: Validate must notice.
+	p.Perm[0] = p.Perm[1]
+	if err := p.Validate(8); err == nil {
+		t.Error("duplicate permutation entry accepted")
+	}
+	p.Perm = p.Perm[:4]
+	if err := p.Validate(8); err == nil {
+		t.Error("short permutation accepted")
+	}
+}
+
+func TestSortedInDefaultCandidates(t *testing.T) {
+	found := false
+	for _, c := range DefaultCandidates(16) {
+		if _, ok := c.(SortedSubWarp); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sorted family missing from default candidates")
+	}
+}

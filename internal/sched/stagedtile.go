@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// StagedTile dedicates one block per sample and pipelines the sample's rows
+// through a double-buffered shared-memory staging area, StageRows rows per
+// async copy. The bulk transfers raise memory-level parallelism dramatically,
+// which makes this family the isolated-latency champion on multi-hot
+// features: alone on the GPU, nothing hides latency better.
+//
+// The catch is the paper's §II-C interference warning verbatim: the staging
+// buffer costs tens of kilobytes of shared memory and a wide register file,
+// and in a fused kernel the shared-memory union caps the occupancy of every
+// other feature. A greedy separate-combine tuner loves StagedTile; the
+// interference-aware two-stage tuner only accepts it when the globally tuned
+// occupancy can afford it — the heart of the Figure 11 gap.
+type StagedTile struct {
+	Threads   int // threads per block, multiple of 32
+	Vec       int // elements per vector load: 1, 2 or 4
+	StageRows int // rows per staging chunk: >= 1
+}
+
+var _ Schedule = StagedTile{}
+
+// Name implements Schedule.
+func (s StagedTile) Name() string {
+	return fmt.Sprintf("stagedtile(t%d,v%d,s%d)", s.Threads, s.Vec, s.StageRows)
+}
+
+// Resources implements Schedule.
+func (s StagedTile) Resources(int) gpusim.KernelResources {
+	return gpusim.KernelResources{
+		ThreadsPerBlock: s.Threads,
+		RegsPerThread:   40 + 8*s.Vec,
+		// Double-buffered staging area.
+		SharedMemPerBlock: 2 * s.Threads * s.Vec * 4 * s.StageRows,
+	}
+}
+
+func (s StagedTile) valid() error {
+	switch {
+	case s.Threads <= 0 || s.Threads%32 != 0:
+		return fmt.Errorf("sched: %s: threads must be a positive multiple of 32", s.Name())
+	case s.Vec != 1 && s.Vec != 2 && s.Vec != 4:
+		return fmt.Errorf("sched: %s: vec must be 1, 2 or 4", s.Name())
+	case s.StageRows < 1:
+		return fmt.Errorf("sched: %s: stage rows must be >= 1", s.Name())
+	}
+	return nil
+}
+
+// Supports implements Schedule.
+func (s StagedTile) Supports(w *Workload) bool {
+	return s.valid() == nil && w.Dim > 0
+}
+
+// Plan implements Schedule.
+func (s StagedTile) Plan(w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	if err := s.valid(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	warps := s.Threads / dev.WarpSize
+	colIters := ceilDiv(w.Dim, dev.WarpSize*s.Vec)
+	activeLanes := ceilDiv(w.Dim, s.Vec)
+	if activeLanes > dev.WarpSize {
+		activeLanes = dev.WarpSize
+	}
+	rowSector := rowSectorBytes(w.RowBytes())
+	h := l2.HitFraction(w)
+	writeRow := w.RowBytes()
+	reduceStages := 0
+	for v := warps; v > 1; v >>= 1 {
+		reduceStages++
+	}
+
+	fill := func(lo, hi int) gpusim.BlockWork {
+		pf := w.PF[lo]
+		chunks := ceilDiv(pf, s.StageRows)
+		// Bulk staging copies amortize per-row addressing; the reduction
+		// over staged rows is cheap register work.
+		comp := float64(chunks)*(instrLoadOverhead+8) +
+			float64(pf)*float64(colIters)*float64(s.Vec) +
+			float64(reduceStages)*float64(colIters)*4*float64(warps) +
+			float64(colIters)*(1+float64(s.Vec)) + instrSampleEpilogue
+		reads := float64(pf) * rowSector
+		// One request per staged chunk: large, pipelined transfers.
+		reqs := float64(chunks) + float64(colIters)
+		return gpusim.BlockWork{
+			CompCycles:  comp,
+			DRAMBytes:   reads*(1-h) + writeRow,
+			L2Bytes:     reads * h,
+			MemRequests: reqs,
+			Warps:       warps,
+			ActiveFrac:  float64(activeLanes) / float64(dev.WarpSize),
+			PredOffFrac: 0,
+		}
+	}
+	return contiguousPlan(s, w, 1, fill), nil
+}

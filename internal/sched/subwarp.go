@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// SubWarp is the lane-partitioned schedule family: each warp is split into
+// 32/Lanes sub-warps, each sub-warp pools one sample, and the Lanes lanes of
+// a sub-warp cover the embedding dimension with Vec-wide vector loads.
+//
+// Lanes=32 degenerates to the classic warp-per-sample mapping (what TorchRec
+// uses); smaller lane counts pack several samples into one warp, which is the
+// winning move for small-dimension multi-hot features where warp-per-sample
+// leaves most threads exited. UnrollRows rows are processed per loop
+// iteration, trading registers for memory-level parallelism.
+type SubWarp struct {
+	Threads    int // threads per block, multiple of 32
+	Lanes      int // lanes per sample: 1,2,4,8,16 or 32
+	Vec        int // elements per vector load: 1, 2 or 4
+	UnrollRows int // rows in flight per sub-warp: >= 1
+}
+
+var _ Schedule = SubWarp{}
+
+// Name implements Schedule.
+func (s SubWarp) Name() string {
+	return fmt.Sprintf("subwarp(t%d,l%d,v%d,u%d)", s.Threads, s.Lanes, s.Vec, s.UnrollRows)
+}
+
+// Resources implements Schedule.
+func (s SubWarp) Resources(int) gpusim.KernelResources {
+	return gpusim.KernelResources{
+		ThreadsPerBlock: s.Threads,
+		// Accumulators (Vec per row in flight) plus addressing state.
+		RegsPerThread: 22 + 4*s.Vec + 3*(s.UnrollRows-1)*s.Vec,
+	}
+}
+
+func (s SubWarp) valid() error {
+	switch {
+	case s.Threads <= 0 || s.Threads%32 != 0:
+		return fmt.Errorf("sched: %s: threads must be a positive multiple of 32", s.Name())
+	case s.Lanes != 1 && s.Lanes != 2 && s.Lanes != 4 && s.Lanes != 8 && s.Lanes != 16 && s.Lanes != 32:
+		return fmt.Errorf("sched: %s: lanes must be a power of two <= 32", s.Name())
+	case s.Vec != 1 && s.Vec != 2 && s.Vec != 4:
+		return fmt.Errorf("sched: %s: vec must be 1, 2 or 4", s.Name())
+	case s.UnrollRows < 1:
+		return fmt.Errorf("sched: %s: unroll must be >= 1", s.Name())
+	}
+	return nil
+}
+
+// Supports implements Schedule.
+func (s SubWarp) Supports(w *Workload) bool {
+	return s.valid() == nil && w.Dim > 0
+}
+
+// Plan implements Schedule.
+func (s SubWarp) Plan(w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	if err := s.valid(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	warpsPerBlock := s.Threads / dev.WarpSize
+	samplesPerWarp := dev.WarpSize / s.Lanes
+	samplesPerBlock := adaptiveSamplesPerBlock(dev, w.BatchSize, warpsPerBlock*samplesPerWarp, samplesPerWarp)
+
+	// Column coverage: how many iterations the Lanes·Vec window needs to
+	// sweep the dimension, and how many of the Lanes lanes do useful work.
+	colIters := ceilDiv(w.Dim, s.Lanes*s.Vec)
+	activeLanes := ceilDiv(w.Dim, s.Vec)
+	if activeLanes > s.Lanes {
+		activeLanes = s.Lanes
+	}
+
+	rowSector := rowSectorBytes(w.RowBytes())
+	h := l2.HitFraction(w)
+	writeRow := w.RowBytes()
+
+	fill := func(lo, hi int) gpusim.BlockWork {
+		var comp, reads, writes, reqs float64
+		var sumPF, maxPFSum int
+		// Sub-warps within one warp run in lockstep: the warp iterates to
+		// the max pooling factor among its samples. Walk the block's
+		// samples warp group by warp group.
+		for g := lo; g < hi; g += samplesPerWarp {
+			end := g + samplesPerWarp
+			if end > hi {
+				end = hi
+			}
+			group := w.PF[g:end]
+			maxPF := maxIntSlice(group)
+			iters := ceilDiv(maxPF, s.UnrollRows)
+			// Warp instructions: each iteration loads UnrollRows rows
+			// (vec-wide) and accumulates them across colIters column
+			// steps, for all sub-warps of the warp simultaneously.
+			comp += float64(iters) * float64(colIters) * float64(s.UnrollRows) * (instrLoadOverhead + float64(s.Vec))
+			comp += float64(colIters)*(1+float64(s.Vec)) + instrSampleEpilogue // write + epilogue
+			sumPF += sumIntSlice(group)
+			maxPFSum += maxPF * len(group)
+			// Memory: every row of every sample is read exactly once.
+			for _, pf := range group {
+				reads += float64(pf) * rowSector
+				reqs += float64(ceilDiv(pf, s.UnrollRows) * colIters)
+			}
+			writes += float64(len(group)) * writeRow
+			reqs += float64(len(group) * colIters)
+		}
+		// Divergence: lanes beyond activeLanes are predicated off, and
+		// sub-warps whose sample finished early idle until the group max.
+		laneUtil := float64(activeLanes) / float64(s.Lanes)
+		balance := 1.0
+		if maxPFSum > 0 {
+			balance = float64(sumPF) / float64(maxPFSum)
+		}
+		warps := ceilDiv(hi-lo, samplesPerWarp)
+		return gpusim.BlockWork{
+			CompCycles:  comp,
+			DRAMBytes:   reads*(1-h) + writes,
+			L2Bytes:     reads * h,
+			MemRequests: reqs,
+			Warps:       warps,
+			ActiveFrac:  laneUtil,
+			PredOffFrac: 1 - balance,
+		}
+	}
+	p := contiguousPlan(s, w, samplesPerBlock, fill)
+	return p, nil
+}

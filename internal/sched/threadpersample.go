@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+)
+
+// ThreadPerSample assigns one thread to one sample: the thread loops over the
+// sample's rows and keeps the whole Dim-wide accumulator in registers. All 32
+// lanes of a warp stay active, and for one-hot features each sample costs a
+// single strided row read — the cheapest possible mapping. The price is a
+// register footprint proportional to the embedding dimension, which makes
+// this family exactly the kind of occupancy-hostile schedule the paper's
+// Figure 12 shows collapsing when the fused kernel constrains occupancy.
+type ThreadPerSample struct {
+	Threads int // threads per block, multiple of 32
+	Unroll  int // rows in flight per thread: >= 1
+}
+
+var _ Schedule = ThreadPerSample{}
+
+// Name implements Schedule.
+func (s ThreadPerSample) Name() string {
+	return fmt.Sprintf("threadpersample(t%d,u%d)", s.Threads, s.Unroll)
+}
+
+// Resources implements Schedule.
+func (s ThreadPerSample) Resources(dim int) gpusim.KernelResources {
+	return gpusim.KernelResources{
+		ThreadsPerBlock: s.Threads,
+		// dim accumulator registers per thread plus unroll row pointers.
+		RegsPerThread: 16 + dim + 4*(s.Unroll-1),
+	}
+}
+
+func (s ThreadPerSample) valid() error {
+	switch {
+	case s.Threads <= 0 || s.Threads%32 != 0:
+		return fmt.Errorf("sched: %s: threads must be a positive multiple of 32", s.Name())
+	case s.Unroll < 1:
+		return fmt.Errorf("sched: %s: unroll must be >= 1", s.Name())
+	}
+	return nil
+}
+
+// Supports implements Schedule: the accumulator must fit in the register
+// file (dim <= 64 keeps the footprint legal).
+func (s ThreadPerSample) Supports(w *Workload) bool {
+	if s.valid() != nil {
+		return false
+	}
+	return s.Resources(w.Dim).RegsPerThread <= 128
+}
+
+// Plan implements Schedule.
+func (s ThreadPerSample) Plan(w *Workload, dev *gpusim.Device, l2 L2Context) (*Plan, error) {
+	if err := s.valid(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.Supports(w) {
+		return nil, fmt.Errorf("sched: %s cannot hold a %d-wide accumulator in registers", s.Name(), w.Dim)
+	}
+	samplesPerBlock := adaptiveSamplesPerBlock(dev, w.BatchSize, s.Threads, dev.WarpSize)
+	rowSector := rowSectorBytes(w.RowBytes())
+	h := l2.HitFraction(w)
+	writeRow := w.RowBytes()
+
+	fill := func(lo, hi int) gpusim.BlockWork {
+		var comp, reads, writes, reqs float64
+		var sumPF, maxPFSum int
+		// Warp lockstep: a warp iterates to the max pooling factor among
+		// its 32 samples; threads whose sample is done are predicated off.
+		for g := lo; g < hi; g += dev.WarpSize {
+			end := g + dev.WarpSize
+			if end > hi {
+				end = hi
+			}
+			group := w.PF[g:end]
+			maxPF := maxIntSlice(group)
+			iters := ceilDiv(maxPF, s.Unroll)
+			// Each iteration: every lane loads Unroll rows element by
+			// element (scalar loads: different lanes hit different rows)
+			// and accumulates dim elements per row.
+			comp += float64(iters) * float64(s.Unroll) * float64(w.Dim) * (instrLoadOverhead/2 + 1)
+			comp += float64(w.Dim) + instrSampleEpilogue // write + epilogue
+			sumPF += sumIntSlice(group)
+			maxPFSum += maxPF * len(group)
+			for _, pf := range group {
+				reads += float64(pf) * rowSector
+			}
+			// One request wave per unrolled iteration; lanes issue
+			// concurrently, so waves rather than lane-loads count.
+			reqs += float64(iters * w.Dim)
+			writes += float64(len(group)) * writeRow
+			reqs += float64(len(group))
+		}
+		balance := 1.0
+		if maxPFSum > 0 {
+			balance = float64(sumPF) / float64(maxPFSum)
+		}
+		samples := hi - lo
+		warps := ceilDiv(samples, dev.WarpSize)
+		tailUtil := float64(samples) / float64(warps*dev.WarpSize)
+		return gpusim.BlockWork{
+			CompCycles:  comp,
+			DRAMBytes:   reads*(1-h) + writes,
+			L2Bytes:     reads * h,
+			MemRequests: reqs,
+			Warps:       warps,
+			ActiveFrac:  tailUtil,
+			PredOffFrac: 1 - balance,
+		}
+	}
+	return contiguousPlan(s, w, samplesPerBlock, fill), nil
+}

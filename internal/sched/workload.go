@@ -1,0 +1,115 @@
+// Package sched implements RecFlex's schedule templates for embedding
+// operations. A schedule is one way of mapping the lookup-and-pool work of a
+// single feature field onto GPU thread blocks: it decides how many blocks the
+// feature needs for a given input workload (the thread mapping), what each
+// block costs (compute cycles, memory traffic, divergence), what static
+// resources it consumes (threads, registers, shared memory), and — for
+// correctness checking — which output elements each block produces.
+//
+// Schedules are heterogeneous in exactly the way the paper's Figure 3 shows:
+// a sub-warp schedule wins on small-dimension multi-hot features, a
+// thread-per-sample schedule on one-hot features, a block-per-sample schedule
+// on huge pooling factors, and so on. Each template exposes tunable
+// parameters (threads per block, lanes per sample, vector width, unroll
+// factor) whose combinations form the per-feature candidate sets S^(f) that
+// the tuner searches.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+)
+
+// Workload summarizes one feature's input for one batch: everything a
+// schedule needs to plan thread mapping and estimate cost. It is computed on
+// the host during preprocessing (the paper's host-side workload analysis).
+type Workload struct {
+	Dim       int
+	BatchSize int
+	// PF[i] is the pooling factor of sample i.
+	PF []int
+	// TotalRows is sum(PF): the number of embedding rows retrieved.
+	TotalRows int
+	// UniqueRows is the number of distinct IDs (drives L2 reuse).
+	UniqueRows int
+	// TableRows is the feature's embedding-table height.
+	TableRows int
+}
+
+// AnalyzeWorkload derives the workload summary of one feature batch. This is
+// the "extra workload analysis per data reading" the paper folds into CPU
+// preprocessing; it is O(nnz) and allocation-light.
+func AnalyzeWorkload(fb *embedding.FeatureBatch, dim, tableRows int) Workload {
+	w := Workload{
+		Dim:       dim,
+		BatchSize: fb.BatchSize(),
+		TableRows: tableRows,
+	}
+	w.PF = make([]int, w.BatchSize)
+	for i := range w.PF {
+		w.PF[i] = fb.PoolingFactor(i)
+		w.TotalRows += w.PF[i]
+	}
+	w.UniqueRows = fb.UniqueRowsEstimate()
+	return w
+}
+
+// Validate checks internal consistency.
+func (w *Workload) Validate() error {
+	switch {
+	case w.Dim <= 0:
+		return fmt.Errorf("sched: workload dim must be positive, got %d", w.Dim)
+	case w.BatchSize <= 0:
+		return fmt.Errorf("sched: workload batch size must be positive, got %d", w.BatchSize)
+	case len(w.PF) != w.BatchSize:
+		return fmt.Errorf("sched: len(PF)=%d != batch size %d", len(w.PF), w.BatchSize)
+	}
+	total := 0
+	for i, pf := range w.PF {
+		if pf < 0 {
+			return fmt.Errorf("sched: negative pooling factor %d at sample %d", pf, i)
+		}
+		total += pf
+	}
+	if total != w.TotalRows {
+		return fmt.Errorf("sched: TotalRows=%d but PF sums to %d", w.TotalRows, total)
+	}
+	if w.UniqueRows < 0 || w.UniqueRows > w.TotalRows {
+		return fmt.Errorf("sched: UniqueRows=%d outside [0,%d]", w.UniqueRows, w.TotalRows)
+	}
+	return nil
+}
+
+// RowBytes returns the size of one embedding row.
+func (w *Workload) RowBytes() float64 { return float64(w.Dim) * 4 }
+
+// MeanPF returns the average pooling factor.
+func (w *Workload) MeanPF() float64 {
+	return float64(w.TotalRows) / float64(w.BatchSize)
+}
+
+// L2Context carries the global information a schedule needs to estimate how
+// much of its row traffic the L2 cache absorbs: the cache capacity and the
+// total working set of everything co-resident in the fused kernel. A feature
+// tuned in isolation would overestimate its cache share; the tuner's padding
+// blocks exist precisely to simulate this grid-level contention.
+type L2Context struct {
+	CacheBytes      float64
+	WorkingSetBytes float64
+}
+
+// HitFraction estimates the fraction of row reads served by L2 for workload
+// w: the reuse fraction of the access stream scaled by how much of the
+// working set fits in cache.
+func (c L2Context) HitFraction(w *Workload) float64 {
+	if w.TotalRows == 0 {
+		return 0
+	}
+	reuse := float64(w.TotalRows-w.UniqueRows) / float64(w.TotalRows)
+	fit := 1.0
+	if c.WorkingSetBytes > c.CacheBytes && c.WorkingSetBytes > 0 {
+		fit = c.CacheBytes / c.WorkingSetBytes
+	}
+	return reuse * fit
+}

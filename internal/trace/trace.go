@@ -1,0 +1,217 @@
+// Package trace implements an online-serving substrate around the embedding
+// systems: a request-stream generator (Poisson arrivals, serving-sized
+// batches, DeepRecSys-style unsplit long-tail requests) and a FIFO
+// single-GPU queueing simulator that turns per-batch kernel times into
+// end-to-end request latencies with tail percentiles. The paper's §VI-D
+// discusses exactly this setting when motivating runtime thread mapping;
+// this package lets the repository evaluate it as a served workload rather
+// than isolated kernels.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Request is one inference request in the stream.
+type Request struct {
+	// Arrival is the arrival time in seconds from stream start.
+	Arrival float64
+	// Size is the batch size (samples).
+	Size int
+}
+
+// GeneratorConfig shapes the request stream.
+type GeneratorConfig struct {
+	// QPS is the mean arrival rate (Poisson).
+	QPS float64
+	// MaxBatch caps normal request sizes (the serving system's split
+	// threshold, 512 in the paper).
+	MaxBatch int
+	// TailProb is the probability a request is an unsplit long-tail batch.
+	TailProb float64
+	// TailSize is the long-tail batch size (2,560 in the paper).
+	TailSize int
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Validate checks the generator configuration.
+func (c *GeneratorConfig) Validate() error {
+	switch {
+	case c.QPS <= 0:
+		return fmt.Errorf("trace: QPS must be positive, got %g", c.QPS)
+	case c.MaxBatch <= 0:
+		return fmt.Errorf("trace: MaxBatch must be positive, got %d", c.MaxBatch)
+	case c.TailProb < 0 || c.TailProb > 1:
+		return fmt.Errorf("trace: TailProb %g outside [0,1]", c.TailProb)
+	case c.TailProb > 0 && c.TailSize <= 0:
+		return fmt.Errorf("trace: TailSize must be positive when TailProb > 0")
+	}
+	return nil
+}
+
+// Generate produces n requests with exponential inter-arrival times and
+// serving-sized batches.
+func Generate(n int, cfg GeneratorConfig) ([]Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: n must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reqs := make([]Request, n)
+	now := 0.0
+	for i := range reqs {
+		now += rng.ExpFloat64() / cfg.QPS
+		size := int(rng.NormFloat64()*96 + 256)
+		if size < 16 {
+			size = 16
+		}
+		if size > cfg.MaxBatch {
+			size = cfg.MaxBatch
+		}
+		if cfg.TailProb > 0 && rng.Float64() < cfg.TailProb {
+			size = cfg.TailSize
+		}
+		reqs[i] = Request{Arrival: now, Size: size}
+	}
+	return reqs, nil
+}
+
+// ServiceFunc returns the GPU service time of a request of the given size.
+type ServiceFunc func(size int) (float64, error)
+
+// Result summarizes one served trace.
+type Result struct {
+	// Sojourn[i] is request i's end-to-end latency (queueing + service).
+	Sojourn []float64
+	// P50, P95 and P99 are sojourn percentiles in seconds.
+	P50, P95, P99 float64
+	// MeanService is the average service time.
+	MeanService float64
+	// Utilization is busy time over makespan.
+	Utilization float64
+}
+
+// Serve runs the request stream through a single-GPU FIFO queue.
+func Serve(reqs []Request, service ServiceFunc) (*Result, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("trace: empty request stream")
+	}
+	res := &Result{Sojourn: make([]float64, len(reqs))}
+	free := 0.0
+	busy := 0.0
+	var totalService float64
+	for i, r := range reqs {
+		s, err := service(r.Size)
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d (size %d): %w", i, r.Size, err)
+		}
+		if s < 0 {
+			return nil, fmt.Errorf("trace: negative service time %g for request %d", s, i)
+		}
+		start := math.Max(r.Arrival, free)
+		free = start + s
+		res.Sojourn[i] = free - r.Arrival
+		busy += s
+		totalService += s
+	}
+	res.P50 = Percentile(res.Sojourn, 0.50)
+	res.P95 = Percentile(res.Sojourn, 0.95)
+	res.P99 = Percentile(res.Sojourn, 0.99)
+	res.MeanService = totalService / float64(len(reqs))
+	makespan := free - reqs[0].Arrival
+	if makespan > 0 {
+		res.Utilization = busy / makespan
+	}
+	return res, nil
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of values by nearest-rank
+// on a sorted copy.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// ServeMultiGPU runs the request stream through k identical GPUs with
+// least-loaded dispatch (each request goes to the server that frees up
+// first — the standard M/G/k router of inference serving tiers).
+func ServeMultiGPU(reqs []Request, k int, service ServiceFunc) (*Result, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("trace: empty request stream")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("trace: need at least one GPU, got %d", k)
+	}
+	free := make([]float64, k)
+	res := &Result{Sojourn: make([]float64, len(reqs))}
+	var busy, totalService, makespanEnd float64
+	for i, r := range reqs {
+		// Least-loaded: the earliest-free server.
+		best := 0
+		for g := 1; g < k; g++ {
+			if free[g] < free[best] {
+				best = g
+			}
+		}
+		s, err := service(r.Size)
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d (size %d): %w", i, r.Size, err)
+		}
+		if s < 0 {
+			return nil, fmt.Errorf("trace: negative service time %g for request %d", s, i)
+		}
+		start := math.Max(r.Arrival, free[best])
+		free[best] = start + s
+		if free[best] > makespanEnd {
+			makespanEnd = free[best]
+		}
+		res.Sojourn[i] = free[best] - r.Arrival
+		busy += s
+		totalService += s
+	}
+	res.P50 = Percentile(res.Sojourn, 0.50)
+	res.P95 = Percentile(res.Sojourn, 0.95)
+	res.P99 = Percentile(res.Sojourn, 0.99)
+	res.MeanService = totalService / float64(len(reqs))
+	if span := makespanEnd - reqs[0].Arrival; span > 0 {
+		res.Utilization = busy / (span * float64(k))
+	}
+	return res, nil
+}
+
+// MemoService caches service times by batch size, so repeated sizes in a
+// trace do not re-run the (expensive) kernel simulation.
+func MemoService(inner ServiceFunc) ServiceFunc {
+	memo := make(map[int]float64)
+	return func(size int) (float64, error) {
+		if s, ok := memo[size]; ok {
+			return s, nil
+		}
+		s, err := inner(size)
+		if err != nil {
+			return 0, err
+		}
+		memo[size] = s
+		return s, nil
+	}
+}

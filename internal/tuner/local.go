@@ -1,0 +1,197 @@
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// errInfeasible marks an occupancy value no candidate of a feature can meet
+// (e.g. the shared-memory budget is too small). The global stage skips such
+// occupancies.
+var errInfeasible = errors.New("tuner: occupancy infeasible for feature")
+
+// paddingPool plans the whole model's workloads under a neutral schedule,
+// one pool per batch. The local stage draws its padding blocks from here so
+// the simulated interference matches the fused kernel's real traffic mix.
+func paddingPool(dev *gpusim.Device, model *Model, ws [][]sched.Workload, l2 []sched.L2Context) ([][]gpusim.BlockWork, error) {
+	neutral := sched.SubWarp{Threads: 256, Lanes: 32, Vec: 1, UnrollRows: 1}
+	pool := make([][]gpusim.BlockWork, len(ws))
+	for bi := range ws {
+		var blocks []gpusim.BlockWork
+		for f := range model.Features {
+			w := &ws[bi][f]
+			if !neutral.Supports(w) {
+				continue
+			}
+			p, err := neutral.Plan(w, dev, l2[bi])
+			if err != nil {
+				return nil, fmt.Errorf("tuner: padding pool feature %d: %w", f, err)
+			}
+			for i := range p.Blocks {
+				b := p.Blocks[i]
+				b.Tag = -1
+				blocks = append(blocks, b)
+			}
+		}
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("tuner: empty padding pool for batch %d", bi)
+		}
+		pool[bi] = blocks
+	}
+	return pool, nil
+}
+
+// tuneFeature runs the interference-simulated per-feature tuning of the
+// local stage (the paper's Figure 7): all candidates of feature f are
+// co-executed in one kernel under explicitly controlled occupancy, the grid
+// is padded with redundant embedding blocks to fill the SMs, and the
+// candidate with the lowest summed block time across the historical batches
+// wins.
+func tuneFeature(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int,
+	ws [][]sched.Workload, l2 []sched.L2Context, pool [][]gpusim.BlockWork, o Options) (int, error) {
+
+	candidates := model.Candidates[f]
+	kernelThreads := warpsPerBlock * dev.WarpSize
+	regBudget := dev.RegistersPerSM / (occ * kernelThreads)
+	if regBudget < 1 {
+		regBudget = 1
+	}
+	if regBudget > dev.MaxRegsPerThread {
+		regBudget = dev.MaxRegsPerThread
+	}
+	smemBudget := dev.SharedMemPerSM / occ
+
+	// Determine per-candidate feasibility and resources once.
+	type cand struct {
+		feasible bool
+		spilled  int
+		smem     int
+	}
+	cands := make([]cand, len(candidates))
+	maxSmem := 0
+	anyFeasible := false
+	for ci, s := range candidates {
+		r := s.Resources(model.Features[f].Dim)
+		c := cand{feasible: true, smem: r.SharedMemPerBlock}
+		if r.SharedMemPerBlock > smemBudget {
+			c.feasible = false
+		}
+		if r.RegsPerThread > regBudget {
+			c.spilled = r.RegsPerThread - regBudget
+		}
+		cands[ci] = c
+		if c.feasible {
+			anyFeasible = true
+			if c.smem > maxSmem {
+				maxSmem = c.smem
+			}
+		}
+	}
+	if !anyFeasible {
+		return 0, errInfeasible
+	}
+
+	res := gpusim.KernelResources{
+		ThreadsPerBlock:   kernelThreads,
+		RegsPerThread:     regBudget,
+		SharedMemPerBlock: maxSmem,
+	}
+	controlled, _, err := res.ControlOccupancy(dev, occ)
+	if err != nil {
+		return 0, errInfeasible
+	}
+
+	scores := make([]float64, len(candidates))
+	counted := make([]bool, len(candidates))
+	slots := dev.ParallelBlockSlots(occ)
+	padTarget := int(float64(slots) * o.PaddingFactor)
+
+	// Per-candidate scale factors: when a plan is stride-sampled, the
+	// measured block-time sum is scaled back to the full plan.
+	scale := make([]float64, len(candidates))
+
+	for bi := range ws {
+		w := &ws[bi][f]
+		var blocks []gpusim.BlockWork
+		for ci, s := range candidates {
+			if !cands[ci].feasible || !s.Supports(w) {
+				continue
+			}
+			p, err := s.Plan(w, dev, l2[bi])
+			if err != nil {
+				return 0, fmt.Errorf("planning %s: %w", s.Name(), err)
+			}
+			// Stride-sample large plans: co-executing a representative
+			// subset keeps the co-execution kernel small while the sum
+			// of block times stays an unbiased estimate of Equation 3.
+			stride := 1
+			if p.NumBlocks > o.MaxBlocksPerCandidate {
+				stride = (p.NumBlocks + o.MaxBlocksPerCandidate - 1) / o.MaxBlocksPerCandidate
+			}
+			sampled := 0
+			for i := 0; i < p.NumBlocks; i += stride {
+				b := p.Blocks[i]
+				chargeSpill(dev, &b, cands[ci].spilled, o.SpillReuse)
+				b.Tag = ci
+				blocks = append(blocks, b)
+				sampled++
+			}
+			scale[ci] = float64(p.NumBlocks) / float64(sampled)
+			counted[ci] = true
+		}
+		if len(blocks) == 0 {
+			return 0, errInfeasible
+		}
+		// Pad with redundant embedding operations drawn from the model's
+		// full workload mix so the SMs are full and grid-level memory
+		// pressure matches the fused kernel's.
+		pad := pool[bi]
+		for i := 0; len(blocks) < padTarget; i++ {
+			blocks = append(blocks, pad[i%len(pad)])
+		}
+		k := &gpusim.Kernel{
+			Name:                fmt.Sprintf("local_f%d_occ%d_b%d", f, occ, bi),
+			Resources:           controlled,
+			Blocks:              blocks,
+			BlocksPerSMOverride: occ,
+		}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			return 0, err
+		}
+		for ci := range candidates {
+			scores[ci] += r.TagTime[ci] * scale[ci]
+		}
+	}
+
+	best, bestScore := -1, math.Inf(1)
+	for ci := range candidates {
+		if !counted[ci] {
+			continue
+		}
+		if scores[ci] < bestScore {
+			best, bestScore = ci, scores[ci]
+		}
+	}
+	if best < 0 {
+		return 0, errInfeasible
+	}
+	return best, nil
+}
+
+// chargeSpill adds the local-memory traffic of spilled registers to a block,
+// matching the fusion compiler's accounting (mostly cache-resident).
+func chargeSpill(dev *gpusim.Device, b *gpusim.BlockWork, spilledRegs int, reuse float64) {
+	if spilledRegs <= 0 || b.Warps <= 0 {
+		return
+	}
+	threads := float64(b.Warps * dev.WarpSize)
+	bytes := gpusim.SpillBytesPerThread(spilledRegs, reuse) * threads
+	b.L2Bytes += bytes * 0.8
+	b.DRAMBytes += bytes * 0.2
+	b.MemRequests += bytes / 128
+}

@@ -1,0 +1,339 @@
+// Package tuner implements RecFlex's interference-aware feature schedule
+// tuner: the two-stage, interference-simulated search of §IV-A that picks one
+// schedule per feature for the fused kernel.
+//
+//   - Local stage: for every achievable occupancy value O_k, tune each
+//     feature independently under explicitly controlled occupancy. All of a
+//     feature's candidates are co-executed inside one kernel (so they compete
+//     in the same environment) and the grid is padded with redundant blocks
+//     to fill every SM, simulating the SM-level and grid-level contention of
+//     the final fused kernel. The candidate with the lowest summed block time
+//     (the paper's Equation 3) wins.
+//   - Global stage: for every O_k, the fusion compiler builds the fused
+//     kernel from the stage-one winners with occupancy pinned to O_k; the
+//     best-measuring occupancy and its schedule set are the result
+//     (Equation 4).
+//
+// Complexity is O(F·K + K) kernel compilations, the paper's polynomial bound,
+// and the local stage parallelizes across features (the paper uses eight
+// GPUs; we use a worker pool).
+//
+// The straw-man separate-combine tuner of §II-C (tune each feature's latency
+// in isolation, no padding, no occupancy control) lives in separate.go and
+// exists to reproduce the Figure 11 ablation.
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// Model bundles what the tuner needs to know about the recommendation model.
+type Model struct {
+	Features   []fusion.FeatureInfo
+	Candidates [][]sched.Schedule // Candidates[f] is S^(f)
+}
+
+// Validate checks the model description.
+func (m *Model) Validate() error {
+	if len(m.Features) == 0 {
+		return fmt.Errorf("tuner: model has no features")
+	}
+	if len(m.Candidates) != len(m.Features) {
+		return fmt.Errorf("tuner: %d candidate sets for %d features", len(m.Candidates), len(m.Features))
+	}
+	for f, set := range m.Candidates {
+		if len(set) == 0 {
+			return fmt.Errorf("tuner: feature %d (%s) has no schedule candidates", f, m.Features[f].Name)
+		}
+	}
+	return nil
+}
+
+// DefaultModel builds a Model with the stock candidate sets for each feature.
+func DefaultModel(features []fusion.FeatureInfo) *Model {
+	m := &Model{Features: features, Candidates: make([][]sched.Schedule, len(features))}
+	for f := range features {
+		m.Candidates[f] = sched.DefaultCandidates(features[f].Dim)
+	}
+	return m
+}
+
+// AutoModel builds a Model whose candidate sets are generated automatically
+// from a sampled batch (the §VII "Automatic scheduling" direction): the full
+// template parameter grid is pruned per feature by the analytic cost model
+// before the expensive interference-simulated search runs.
+func AutoModel(dev *gpusim.Device, features []fusion.FeatureInfo, sample *embedding.Batch, opts sched.AutoOptions) (*Model, error) {
+	ws, err := fusion.AnalyzeBatch(features, sample)
+	if err != nil {
+		return nil, err
+	}
+	l2 := sched.L2Context{
+		CacheBytes:      float64(dev.L2SizeBytes),
+		WorkingSetBytes: fusion.WorkingSetBytes(features, ws),
+	}
+	m := &Model{Features: features, Candidates: make([][]sched.Schedule, len(features))}
+	for f := range features {
+		m.Candidates[f] = sched.AutoCandidates(&ws[f], dev, l2, opts)
+		if len(m.Candidates[f]) == 0 {
+			return nil, fmt.Errorf("tuner: automatic search found no candidates for feature %d (%s)", f, features[f].Name)
+		}
+	}
+	return m, nil
+}
+
+// Options configures the tuner.
+type Options struct {
+	// Occupancies lists the blocks-per-SM values to try in the local
+	// stage. Nil derives every achievable level from the model's widest
+	// block, thinned to at most MaxOccupancies values.
+	Occupancies []int
+
+	// MaxOccupancies bounds the derived occupancy list (default 8 — "the
+	// count is often less than ten").
+	MaxOccupancies int
+
+	// Parallelism is the number of concurrent feature-tuning workers
+	// (default GOMAXPROCS).
+	Parallelism int
+
+	// PaddingFactor scales the padded grid relative to one full wave of
+	// resident blocks (default 2: blocks experience both intra-SM and
+	// successor contention).
+	PaddingFactor float64
+
+	// MaxBlocksPerCandidate caps how many of a candidate's planned blocks
+	// the local stage co-executes (stride-sampled; the score scales the
+	// measured sum back to the full plan). Default 16. Zero or negative
+	// keeps the default; set very large to measure every block.
+	MaxBlocksPerCandidate int
+
+	// SpillReuse matches fusion.Options.SpillReuse.
+	SpillReuse float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxOccupancies <= 0 {
+		out.MaxOccupancies = 8
+	}
+	if out.Parallelism <= 0 {
+		out.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if out.PaddingFactor <= 0 {
+		out.PaddingFactor = 2
+	}
+	if out.MaxBlocksPerCandidate <= 0 {
+		out.MaxBlocksPerCandidate = 16
+	}
+	if out.SpillReuse <= 0 {
+		out.SpillReuse = 4
+	}
+	return out
+}
+
+// OccupancyResult records the outcome of one global-stage trial.
+type OccupancyResult struct {
+	BlocksPerSM int
+	ChoiceIdx   []int
+	Latency     float64 // summed fused latency over tuning batches, seconds
+}
+
+// Result is the tuner's output.
+type Result struct {
+	// Choices[f] is the selected schedule of feature f.
+	Choices []sched.Schedule
+	// ChoiceIdx[f] is its index within Candidates[f].
+	ChoiceIdx []int
+	// Occupancy is the selected blocks-per-SM value.
+	Occupancy int
+	// Latency is the fused-kernel latency sum over the tuning batches at
+	// the selected occupancy.
+	Latency float64
+	// PerOccupancy holds every global-stage trial, best first.
+	PerOccupancy []OccupancyResult
+}
+
+// Tune runs the two-stage interference-simulated search over the historical
+// batches (Equation 5: the winner minimizes summed time over sampled data).
+func Tune(dev *gpusim.Device, model *Model, batches []*embedding.Batch, opts Options) (*Result, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("tuner: no historical batches")
+	}
+	o := opts.withDefaults()
+
+	occupancies, warpsPerBlock, err := occupancyCandidates(dev, model, o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host-side workload analysis once per batch, shared by all workers.
+	ws := make([][]sched.Workload, len(batches))
+	l2 := make([]sched.L2Context, len(batches))
+	for bi, b := range batches {
+		w, err := fusion.AnalyzeBatch(model.Features, b)
+		if err != nil {
+			return nil, err
+		}
+		ws[bi] = w
+		l2[bi] = sched.L2Context{
+			CacheBytes:      float64(dev.L2SizeBytes),
+			WorkingSetBytes: fusion.WorkingSetBytes(model.Features, w),
+		}
+	}
+
+	// Padding pool: redundant embedding operations over the whole model's
+	// workloads (planned with a neutral schedule). Filling SMs with these
+	// blocks reproduces the fused kernel's mixed SM-level and grid-level
+	// traffic — light one-hot blocks and heavy multi-hot blocks alike —
+	// rather than oversaturating the device with copies of the feature
+	// under tuning.
+	pool, err := paddingPool(dev, model, ws, l2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Local stage: per-occupancy, per-feature interference-simulated
+	// tuning, parallel across (occupancy, feature) pairs.
+	perOcc := make([][]int, len(occupancies)) // [k][f] -> candidate index
+	for k := range perOcc {
+		perOcc[k] = make([]int, len(model.Features))
+	}
+	infeasibleOcc := make([]bool, len(occupancies))
+	type job struct{ k, f int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < o.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				idx, err := tuneFeature(dev, model, j.f, occupancies[j.k], warpsPerBlock, ws, l2, pool, o)
+				mu.Lock()
+				switch {
+				case errors.Is(err, errInfeasible):
+					// A feature that cannot meet this occupancy rules
+					// the occupancy out globally.
+					infeasibleOcc[j.k] = true
+				case err != nil:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tuner: occupancy %d, feature %d (%s): %w",
+							occupancies[j.k], j.f, model.Features[j.f].Name, err)
+					}
+				default:
+					perOcc[j.k][j.f] = idx
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for k := range occupancies {
+		for f := range model.Features {
+			jobs <- job{k, f}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Global stage: measure the fused kernel per occupancy.
+	res := &Result{}
+	for k, occ := range occupancies {
+		if infeasibleOcc[k] {
+			continue
+		}
+		choices := choicesFor(model, perOcc[k])
+		total := 0.0
+		ok := true
+		for _, b := range batches {
+			fu, err := fusion.Compile(dev, model.Features, choices, b, fusion.Options{
+				TargetBlocksPerSM: occ,
+				SpillReuse:        o.SpillReuse,
+			})
+			if err != nil {
+				ok = false
+				break
+			}
+			r, err := fu.Simulate()
+			if err != nil {
+				return nil, fmt.Errorf("tuner: global stage occupancy %d: %w", occ, err)
+			}
+			total += r.Time
+		}
+		if !ok {
+			continue
+		}
+		res.PerOccupancy = append(res.PerOccupancy, OccupancyResult{
+			BlocksPerSM: occ,
+			ChoiceIdx:   append([]int(nil), perOcc[k]...),
+			Latency:     total,
+		})
+	}
+	if len(res.PerOccupancy) == 0 {
+		return nil, fmt.Errorf("tuner: no feasible occupancy value")
+	}
+	sort.Slice(res.PerOccupancy, func(i, j int) bool {
+		return res.PerOccupancy[i].Latency < res.PerOccupancy[j].Latency
+	})
+	best := res.PerOccupancy[0]
+	res.Occupancy = best.BlocksPerSM
+	res.ChoiceIdx = best.ChoiceIdx
+	res.Latency = best.Latency
+	res.Choices = choicesFor(model, best.ChoiceIdx)
+	return res, nil
+}
+
+// choicesFor maps candidate indices to schedules.
+func choicesFor(model *Model, idx []int) []sched.Schedule {
+	out := make([]sched.Schedule, len(idx))
+	for f, i := range idx {
+		out[f] = model.Candidates[f][i]
+	}
+	return out
+}
+
+// occupancyCandidates derives the K occupancy levels to sweep from the
+// model's widest candidate block.
+func occupancyCandidates(dev *gpusim.Device, model *Model, o Options) ([]int, int, error) {
+	maxThreads := 0
+	for f := range model.Candidates {
+		for _, s := range model.Candidates[f] {
+			if t := s.Resources(model.Features[f].Dim).ThreadsPerBlock; t > maxThreads {
+				maxThreads = t
+			}
+		}
+	}
+	if maxThreads == 0 {
+		return nil, 0, fmt.Errorf("tuner: candidates declare no threads")
+	}
+	warps := (maxThreads + dev.WarpSize - 1) / dev.WarpSize
+	if len(o.Occupancies) > 0 {
+		return o.Occupancies, warps, nil
+	}
+	levels := gpusim.OccupancyLevels(dev, warps)
+	if len(levels) > o.MaxOccupancies {
+		// Thin evenly, always keeping the extremes.
+		thinned := make([]int, 0, o.MaxOccupancies)
+		step := float64(len(levels)-1) / float64(o.MaxOccupancies-1)
+		for i := 0; i < o.MaxOccupancies; i++ {
+			thinned = append(thinned, levels[int(float64(i)*step+0.5)])
+		}
+		levels = thinned
+	}
+	return levels, warps, nil
+}

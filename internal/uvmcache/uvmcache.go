@@ -1,0 +1,239 @@
+// Package uvmcache implements the second extension sketched in the paper's
+// Discussion (§VII, "Larger model sizes"): serving models whose embedding
+// tables exceed GPU memory by keeping a hot subset of rows on the GPU and
+// faulting cold rows over the PCIe bus with unified memory (UVM) — "use the
+// GPU to serve as the hot-embedding cache of the CPU by developing
+// corresponding schedules with unified memory".
+//
+// The package provides the hot-set budget allocator (frequency-based, exact
+// for the Zipf-ordered ID spaces the data synthesizer produces), a schedule
+// decorator that recosts any inner schedule's memory traffic by its hot/cold
+// split, and the per-batch hit-rate analysis the host performs during
+// preprocessing. Functional outputs are unchanged — caching moves bytes, not
+// values — so every correctness invariant of the schedule library carries
+// over verbatim.
+package uvmcache
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// PCIe models the host link cold rows travel over.
+const (
+	PCIeBandwidth     = 25e9 // bytes/s (PCIe 4.0 x16, effective)
+	PCIeLatencyCycles = 1400 // core cycles per UVM fault round trip
+)
+
+// Config is the cache setting of one feature: the leading HotRows rows of its
+// table are GPU-resident. Zero means the whole table is GPU-resident (no UVM
+// involvement); the analysis treats HotRows >= TableRows the same way.
+type Config struct {
+	HotRows int
+}
+
+// ColdFraction returns the fraction of the batch's row reads that miss the
+// hot set. The ID generators of datasynth produce frequency-ranked IDs (Zipf
+// hot rows are the low IDs), so "first HotRows rows" is the optimal hot set.
+func ColdFraction(fb *embedding.FeatureBatch, cfg Config) float64 {
+	if cfg.HotRows <= 0 || len(fb.Indices) == 0 {
+		return 0
+	}
+	cold := 0
+	for _, id := range fb.Indices {
+		if int(id) >= cfg.HotRows {
+			cold++
+		}
+	}
+	return float64(cold) / float64(len(fb.Indices))
+}
+
+// AllocateBudget distributes budgetBytes of GPU embedding memory across
+// features, greedily giving rows to the features with the highest access
+// frequency per byte. accessFreq[f] is the feature's historical row-access
+// count; rowBytes[f] its row size. Features whose whole table fits are fully
+// resident. Returns one Config per feature.
+func AllocateBudget(features []fusion.FeatureInfo, accessFreq []float64, budgetBytes int64) ([]Config, error) {
+	if len(accessFreq) != len(features) {
+		return nil, fmt.Errorf("uvmcache: %d frequencies for %d features", len(accessFreq), len(features))
+	}
+	if budgetBytes <= 0 {
+		return nil, fmt.Errorf("uvmcache: budget must be positive, got %d", budgetBytes)
+	}
+	// Value density: accesses per byte of table. Features accessed more
+	// per byte get cached first, whole tables at a time when possible.
+	type cand struct {
+		f       int
+		density float64
+		bytes   int64
+	}
+	cands := make([]cand, len(features))
+	for f := range features {
+		bytes := int64(features[f].TableRows) * int64(features[f].Dim) * 4
+		density := 0.0
+		if bytes > 0 {
+			density = accessFreq[f] / float64(bytes)
+		}
+		cands[f] = cand{f: f, density: density, bytes: bytes}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].density > cands[b].density })
+
+	out := make([]Config, len(features))
+	remaining := budgetBytes
+	for _, c := range cands {
+		fi := features[c.f]
+		rowBytes := int64(fi.Dim) * 4
+		if c.bytes <= remaining {
+			out[c.f] = Config{HotRows: fi.TableRows}
+			remaining -= c.bytes
+			continue
+		}
+		rows := remaining / rowBytes
+		if rows > 0 {
+			out[c.f] = Config{HotRows: int(rows)}
+			remaining -= rows * rowBytes
+		}
+	}
+	return out, nil
+}
+
+// HistoricalFrequency sums per-feature row accesses over batches.
+func HistoricalFrequency(features []fusion.FeatureInfo, batches []*embedding.Batch) ([]float64, error) {
+	freq := make([]float64, len(features))
+	for _, b := range batches {
+		if len(b.Features) != len(features) {
+			return nil, fmt.Errorf("uvmcache: batch has %d features, model %d", len(b.Features), len(features))
+		}
+		for f := range features {
+			freq[f] += float64(b.Features[f].TotalRows())
+		}
+	}
+	return freq, nil
+}
+
+// Cached decorates an inner schedule with UVM cost accounting: the cold
+// fraction of the row-read traffic is recosted at PCIe bandwidth and latency.
+// The thread mapping, resources and functional semantics are the inner
+// schedule's.
+type Cached struct {
+	Inner sched.Schedule
+	Cfg   Config
+	// ColdFrac is the batch's measured cold fraction, set by the host
+	// analysis (AnalyzeCold) before planning.
+	ColdFrac float64
+}
+
+var _ sched.Schedule = Cached{}
+
+// Name implements sched.Schedule.
+func (c Cached) Name() string {
+	return fmt.Sprintf("uvm(%s,hot%d)", c.Inner.Name(), c.Cfg.HotRows)
+}
+
+// Resources implements sched.Schedule.
+func (c Cached) Resources(dim int) gpusim.KernelResources { return c.Inner.Resources(dim) }
+
+// Supports implements sched.Schedule.
+func (c Cached) Supports(w *sched.Workload) bool { return c.Inner.Supports(w) }
+
+// Plan implements sched.Schedule: plan with the inner schedule, then recost
+// the cold share of the read traffic. PCIe bytes are expressed in
+// DRAM-equivalent units (scaled by the bandwidth ratio) so the simulator's
+// single DRAM resource bounds them correctly, and the fault latency enters
+// through the request count.
+func (c Cached) Plan(w *sched.Workload, dev *gpusim.Device, l2 sched.L2Context) (*sched.Plan, error) {
+	p, err := c.Inner.Plan(w, dev, l2)
+	if err != nil {
+		return nil, err
+	}
+	cold := c.ColdFrac
+	if cold <= 0 || c.Cfg.HotRows >= w.TableRows {
+		return p, nil
+	}
+	if cold > 1 {
+		cold = 1
+	}
+	bwScale := dev.DRAMBandwidth / PCIeBandwidth
+	latScale := PCIeLatencyCycles / dev.DRAMLatencyCycles
+	writeBytes := w.RowBytes() // output write per sample stays on-GPU
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		samples := float64(p.SampleHi[i] - p.SampleLo[i])
+		reads := b.DRAMBytes + b.L2Bytes - samples*writeBytes
+		if reads < 0 {
+			reads = 0
+		}
+		coldBytes := reads * cold
+		// Cold reads leave both DRAM and L2 proportionally.
+		totalReads := b.DRAMBytes + b.L2Bytes
+		if totalReads > 0 {
+			b.DRAMBytes -= coldBytes * (b.DRAMBytes / totalReads)
+			b.L2Bytes -= coldBytes * (b.L2Bytes / totalReads)
+		}
+		// ...and return as PCIe traffic in DRAM-equivalent bytes, with
+		// the fault latency inflating the request count (lower MLP).
+		b.DRAMBytes += coldBytes * bwScale
+		b.MemRequests += (b.MemRequests*cold)*(latScale-1) + coldBytes*bwScale/128
+		if b.L2Bytes < 0 {
+			b.L2Bytes = 0
+		}
+		if b.DRAMBytes < 0 {
+			b.DRAMBytes = 0
+		}
+	}
+	return p, nil
+}
+
+// AnalyzeCold computes the per-feature cold fractions of one batch under the
+// given cache configs — part of the host-side preprocessing.
+func AnalyzeCold(batch *embedding.Batch, cfgs []Config) ([]float64, error) {
+	if len(batch.Features) != len(cfgs) {
+		return nil, fmt.Errorf("uvmcache: %d configs for %d features", len(cfgs), len(batch.Features))
+	}
+	out := make([]float64, len(cfgs))
+	for f := range cfgs {
+		out[f] = ColdFraction(&batch.Features[f], cfgs[f])
+	}
+	return out, nil
+}
+
+// ExpectedHitRate estimates the steady-state hit rate of a Zipf(s) access
+// stream over a table of n rows with k hot rows: H_k(s)/H_n(s) via the
+// generalized harmonic numbers.
+func ExpectedHitRate(n, k int, s float64) float64 {
+	if k <= 0 || n <= 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	return harmonic(k, s) / harmonic(n, s)
+}
+
+func harmonic(n int, s float64) float64 {
+	// Exact for small n; integral approximation beyond.
+	const exact = 4096
+	sum := 0.0
+	lim := n
+	if lim > exact {
+		lim = exact
+	}
+	for i := 1; i <= lim; i++ {
+		sum += math.Pow(float64(i), -s)
+	}
+	if n > exact {
+		// ∫ x^-s dx from exact to n.
+		if s == 1 {
+			sum += math.Log(float64(n) / exact)
+		} else {
+			sum += (math.Pow(float64(n), 1-s) - math.Pow(exact, 1-s)) / (1 - s)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,212 @@
+package uvmcache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+func zipfModel(t *testing.T) ([]fusion.FeatureInfo, *datasynth.ModelConfig, *embedding.Batch) {
+	t.Helper()
+	cfg := &datasynth.ModelConfig{Name: "uvm", Seed: 15, Features: []datasynth.FeatureSpec{
+		{Name: "big", Dim: 32, Rows: 1 << 17, PF: datasynth.Fixed{K: 40}, Coverage: 1, IDs: datasynth.IDZipf},
+		{Name: "small", Dim: 8, Rows: 1 << 10, PF: datasynth.Fixed{K: 5}, Coverage: 1, IDs: datasynth.IDZipf},
+	}}
+	rng := rand.New(rand.NewSource(15))
+	batch, err := datasynth.GenerateBatch(cfg, 256, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([]fusion.FeatureInfo, len(cfg.Features))
+	for f := range features {
+		features[f] = fusion.FeatureInfo{
+			Name: cfg.Features[f].Name, Dim: cfg.Features[f].Dim,
+			TableRows: cfg.Features[f].Rows, Pool: embedding.PoolSum,
+		}
+	}
+	return features, cfg, batch
+}
+
+func TestColdFraction(t *testing.T) {
+	fb := embedding.NewFeatureBatch([][]int32{{0, 1, 2, 3}, {10, 11}})
+	if got := ColdFraction(&fb, Config{HotRows: 4}); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("ColdFraction = %g, want %g", got, 2.0/6)
+	}
+	if got := ColdFraction(&fb, Config{HotRows: 0}); got != 0 {
+		t.Errorf("no cache should mean no UVM accounting, got %g", got)
+	}
+	if got := ColdFraction(&fb, Config{HotRows: 100}); got != 0 {
+		t.Errorf("fully resident table should have no cold reads, got %g", got)
+	}
+	empty := embedding.NewFeatureBatch([][]int32{{}})
+	if got := ColdFraction(&empty, Config{HotRows: 4}); got != 0 {
+		t.Errorf("empty batch cold fraction %g", got)
+	}
+}
+
+func TestColdFractionShrinksWithCache(t *testing.T) {
+	_, _, batch := zipfModel(t)
+	fb := &batch.Features[0]
+	prev := 1.1
+	for _, hot := range []int{1 << 8, 1 << 11, 1 << 14, 1 << 17} {
+		cf := ColdFraction(fb, Config{HotRows: hot})
+		if cf >= prev {
+			t.Errorf("cold fraction must shrink with cache size: hot=%d -> %g (prev %g)", hot, cf, prev)
+		}
+		prev = cf
+	}
+	// Zipf streams concentrate: a 2^11-row cache (1.6% of the table)
+	// should already absorb the majority of accesses.
+	if cf := ColdFraction(fb, Config{HotRows: 1 << 11}); cf > 0.5 {
+		t.Errorf("Zipf hot set absorbs too little: cold fraction %g", cf)
+	}
+}
+
+func TestAllocateBudget(t *testing.T) {
+	features, _, batch := zipfModel(t)
+	freq, err := HistoricalFrequency(features, []*embedding.Batch{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for the small table plus part of the big one.
+	smallBytes := int64(features[1].TableRows) * int64(features[1].Dim) * 4
+	budget := smallBytes + 1<<16
+	cfgs, err := AllocateBudget(features, freq, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[1].HotRows != features[1].TableRows {
+		t.Errorf("small hot table should be fully resident, got %d rows", cfgs[1].HotRows)
+	}
+	if cfgs[0].HotRows <= 0 || cfgs[0].HotRows >= features[0].TableRows {
+		t.Errorf("big table should be partially resident, got %d of %d", cfgs[0].HotRows, features[0].TableRows)
+	}
+	// Budget respected.
+	var used int64
+	for f, c := range cfgs {
+		used += int64(c.HotRows) * int64(features[f].Dim) * 4
+	}
+	if used > budget {
+		t.Errorf("allocator overspent: %d of %d", used, budget)
+	}
+	if _, err := AllocateBudget(features, freq[:1], budget); err == nil {
+		t.Error("frequency length mismatch accepted")
+	}
+	if _, err := AllocateBudget(features, freq, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestCachedPlanCostMonotoneInColdFraction(t *testing.T) {
+	features, _, batch := zipfModel(t)
+	dev := gpusim.V100()
+	inner := sched.SubWarp{Threads: 256, Lanes: 16, Vec: 4, UnrollRows: 1}
+	w := sched.AnalyzeWorkload(&batch.Features[0], features[0].Dim, features[0].TableRows)
+	l2 := sched.L2Context{CacheBytes: float64(dev.L2SizeBytes), WorkingSetBytes: 1 << 26}
+	prevTime := 0.0
+	for _, cold := range []float64{0, 0.05, 0.2, 0.5} {
+		c := Cached{Inner: inner, Cfg: Config{HotRows: 1 << 10}, ColdFrac: cold}
+		p, err := c.Plan(&w, dev, l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := &gpusim.Kernel{Name: "uvm", Resources: c.Resources(features[0].Dim), Blocks: p.Blocks}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Time <= prevTime {
+			t.Errorf("cold fraction %g should cost more than %g: %g vs %g", cold, cold-0.1, r.Time, prevTime)
+		}
+		prevTime = r.Time
+	}
+}
+
+func TestCachedPreservesSemantics(t *testing.T) {
+	features, cfg, batch := zipfModel(t)
+	dev := gpusim.V100()
+	capped := datasynth.CapRows(cfg, 1<<12)
+	tables, err := datasynth.BuildTables(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	smallBatch, err := datasynth.GenerateBatch(capped, 32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = batch
+	inner := sched.SubWarp{Threads: 128, Lanes: 8, Vec: 1, UnrollRows: 1}
+	c := Cached{Inner: inner, Cfg: Config{HotRows: 64}, ColdFrac: 0.5}
+	for f := range features {
+		w := sched.AnalyzeWorkload(&smallBatch.Features[f], capped.Features[f].Dim, capped.Features[f].Rows)
+		p, err := c.Plan(&w, dev, sched.L2Context{CacheBytes: 1 << 22, WorkingSetBytes: 1 << 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := embedding.PoolCPU(tables[f], &smallBatch.Features[f], embedding.PoolSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float32, len(want))
+		p.ExecuteAll(tables[f], &smallBatch.Features[f], embedding.PoolSum, got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("feature %d: UVM decoration changed semantics at %d", f, i)
+			}
+		}
+	}
+	if c.Name() == inner.Name() {
+		t.Error("decorated name should differ")
+	}
+	w := sched.Workload{Dim: 8, BatchSize: 1, PF: []int{1}, TotalRows: 1, UniqueRows: 1, TableRows: 100}
+	if c.Supports(&w) != inner.Supports(&w) {
+		t.Error("Supports must delegate")
+	}
+}
+
+func TestAnalyzeCold(t *testing.T) {
+	_, _, batch := zipfModel(t)
+	cfgs := []Config{{HotRows: 1 << 10}, {HotRows: 0}}
+	cold, err := AnalyzeCold(batch, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold[0] <= 0 || cold[0] >= 1 {
+		t.Errorf("feature 0 cold fraction %g not in (0,1)", cold[0])
+	}
+	if cold[1] != 0 {
+		t.Errorf("uncached feature cold fraction %g", cold[1])
+	}
+	if _, err := AnalyzeCold(batch, cfgs[:1]); err == nil {
+		t.Error("config count mismatch accepted")
+	}
+}
+
+func TestExpectedHitRate(t *testing.T) {
+	if got := ExpectedHitRate(1000, 1000, 1.07); got != 1 {
+		t.Errorf("full cache hit rate %g", got)
+	}
+	if got := ExpectedHitRate(1000, 0, 1.07); got != 0 {
+		t.Errorf("no cache hit rate %g", got)
+	}
+	small := ExpectedHitRate(1<<17, 1<<10, 1.07)
+	big := ExpectedHitRate(1<<17, 1<<14, 1.07)
+	if !(small > 0.3 && big > small && big < 1) {
+		t.Errorf("hit rates implausible: %g, %g", small, big)
+	}
+	// The analytic estimate should track the empirical cold fraction of
+	// the Zipf generator within a reasonable margin.
+	_, _, batch := zipfModel(t)
+	emp := 1 - ColdFraction(&batch.Features[0], Config{HotRows: 1 << 12})
+	ana := ExpectedHitRate(1<<17, 1<<12, 1.07)
+	if math.Abs(emp-ana) > 0.2 {
+		t.Errorf("empirical hit %g vs analytic %g", emp, ana)
+	}
+}

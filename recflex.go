@@ -1,0 +1,183 @@
+// Package recflex is the public API of RecFlex-Go, a pure-Go reproduction of
+// "RecFlex: Enabling Feature Heterogeneity-Aware Optimization for Deep
+// Recommendation Models with Flexible Schedules" (SC 2024).
+//
+// RecFlex optimizes the embedding layers of deep recommendation models by
+// giving every feature field its own code schedule inside one fused GPU
+// kernel. This reproduction replaces the CUDA backend with a deterministic
+// GPU performance simulator (see internal/gpusim and DESIGN.md), so the whole
+// system — interference-aware two-stage schedule tuning, heterogeneous
+// schedule fusion with runtime thread mapping, the four baseline systems, and
+// the paper's full experiment harness — runs anywhere Go runs.
+//
+// # Quickstart
+//
+//	dev := recflex.V100()
+//	features := []recflex.FeatureInfo{
+//		{Name: "user_id", Dim: 32, TableRows: 1 << 16, Pool: recflex.PoolSum},
+//		{Name: "clicked_ads", Dim: 8, TableRows: 1 << 14, Pool: recflex.PoolSum},
+//	}
+//	opt := recflex.New(dev, features)
+//	if err := opt.Tune(historicalBatches, recflex.TuneOptions{}); err != nil { ... }
+//	outputs, sim, err := opt.Run(tables, batch)
+//
+// See examples/ for complete programs and cmd/recflex-bench for the paper's
+// evaluation harness.
+package recflex
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/fusion"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+	"repro/internal/tuner"
+)
+
+// Device is a simulated GPU configuration.
+type Device = gpusim.Device
+
+// V100 returns the simulated NVIDIA V100 of the paper's evaluation.
+func V100() *Device { return gpusim.V100() }
+
+// A100 returns the simulated NVIDIA A100 of the paper's evaluation.
+func A100() *Device { return gpusim.A100() }
+
+// FeatureInfo describes one feature field: its embedding table shape and
+// pooling mode.
+type FeatureInfo = fusion.FeatureInfo
+
+// PoolMode selects the pooling reduction of a feature.
+type PoolMode = embedding.PoolMode
+
+// Pooling modes.
+const (
+	PoolSum  = embedding.PoolSum
+	PoolMean = embedding.PoolMean
+	PoolMax  = embedding.PoolMax
+)
+
+// Table is one embedding table.
+type Table = embedding.Table
+
+// NewTable allocates a deterministic embedding table.
+func NewTable(name string, rows, dim int, seed uint64) (*Table, error) {
+	return embedding.NewDeterministicTable(name, rows, dim, seed)
+}
+
+// Batch is one inference request: per-feature CSR lookup batches.
+type Batch = embedding.Batch
+
+// FeatureBatch is the CSR lookup data of one feature.
+type FeatureBatch = embedding.FeatureBatch
+
+// NewFeatureBatch builds a FeatureBatch from per-sample ID lists.
+func NewFeatureBatch(perSample [][]int32) FeatureBatch {
+	return embedding.NewFeatureBatch(perSample)
+}
+
+// Schedule is one code schedule for a feature's embedding operation. The
+// built-in families are SubWarp, ThreadPerSample and BlockPerSample; users
+// can implement the interface to add custom templates, mirroring the paper's
+// user-provided schedule templates.
+type Schedule = sched.Schedule
+
+// Built-in schedule template families.
+type (
+	// SubWarp partitions each warp into lane groups, one sample per group.
+	SubWarp = sched.SubWarp
+	// ThreadPerSample assigns one thread per sample with a register-resident
+	// accumulator.
+	ThreadPerSample = sched.ThreadPerSample
+	// BlockPerSample dedicates one thread block per sample.
+	BlockPerSample = sched.BlockPerSample
+)
+
+// DefaultCandidates returns the stock candidate set for a feature dimension.
+func DefaultCandidates(dim int) []Schedule { return sched.DefaultCandidates(dim) }
+
+// TuneOptions configures the interference-aware schedule tuner.
+type TuneOptions = tuner.Options
+
+// TuneResult is the tuner's output: per-feature schedules and the selected
+// occupancy.
+type TuneResult = tuner.Result
+
+// Optimizer is a tuned RecFlex instance for one model on one device.
+type Optimizer = core.RecFlex
+
+// New creates an Optimizer with the default candidate sets.
+func New(dev *Device, features []FeatureInfo) *Optimizer {
+	return core.New(dev, features)
+}
+
+// NewWithCandidates creates an Optimizer with custom per-feature candidates.
+func NewWithCandidates(dev *Device, features []FeatureInfo, candidates [][]Schedule) (*Optimizer, error) {
+	return core.NewWithCandidates(dev, features, candidates)
+}
+
+// AutoOptions shapes the automatic candidate search.
+type AutoOptions = sched.AutoOptions
+
+// NewAuto creates an Optimizer whose candidate sets are generated
+// automatically from a sampled batch — the paper's §VII "Automatic
+// scheduling" direction: the full template parameter grid is pruned per
+// feature with the analytic cost model before the interference-simulated
+// search runs.
+func NewAuto(dev *Device, features []FeatureInfo, sample *Batch, opts AutoOptions) (*Optimizer, error) {
+	m, err := tuner.AutoModel(dev, features, sample, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewWithCandidates(dev, features, m.Candidates)
+}
+
+// Fused is a compiled fused kernel with its runtime task map.
+type Fused = fusion.Fused
+
+// FusionOptions configures fusion compilation directly (occupancy control,
+// static-mapping ablations, dispatch mode).
+type FusionOptions = fusion.Options
+
+// Mapping and dispatch modes for FusionOptions.
+const (
+	MapRuntime      = fusion.MapRuntime
+	MapStaticAvg    = fusion.MapStaticAvg
+	MapStaticMax    = fusion.MapStaticMax
+	DispatchIfElse  = fusion.DispatchIfElse
+	DispatchFuncPtr = fusion.DispatchFuncPtr
+)
+
+// Compile builds a fused kernel from explicit per-feature schedule choices,
+// bypassing the tuner — the low-level entry point.
+func Compile(dev *Device, features []FeatureInfo, choices []Schedule, batch *Batch, opts FusionOptions) (*Fused, error) {
+	return fusion.Compile(dev, features, choices, batch, opts)
+}
+
+// Baseline is a comparison system (TensorFlow, RECom, HugeCTR, TorchRec; a
+// tuned *Optimizer also satisfies it).
+type Baseline = baselines.Baseline
+
+// Baselines returns the four comparison systems of the paper.
+func Baselines() []Baseline { return baselines.All() }
+
+// PoolReference computes the ground-truth pooled output of one feature batch
+// with the CPU reference executor — every schedule must match it exactly.
+func PoolReference(tbl *Table, fb *FeatureBatch, mode PoolMode) ([]float32, error) {
+	return embedding.PoolCPU(tbl, fb, mode)
+}
+
+// SortedSubWarp is the host-sorted schedule family (extension): sample
+// reordering eliminates sub-warp lockstep divergence.
+type SortedSubWarp = sched.SortedSubWarp
+
+// StagedTile is the shared-memory staged schedule family.
+type StagedTile = sched.StagedTile
+
+// SimResult is the simulator's report for one kernel: time, per-block times,
+// per-feature time sums and Nsight-style counters.
+type SimResult = gpusim.SimResult
+
+// Counters are the Table-II hardware counters.
+type Counters = gpusim.Counters

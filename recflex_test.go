@@ -1,0 +1,175 @@
+package recflex_test
+
+import (
+	"math/rand"
+	"testing"
+
+	recflex "repro"
+)
+
+// buildToyModel creates a small heterogeneous model through the public API.
+func buildToyModel(t testing.TB) ([]recflex.FeatureInfo, []*recflex.Table, func(int) *recflex.Batch) {
+	t.Helper()
+	type spec struct {
+		name string
+		dim  int
+		rows int
+		pf   func(*rand.Rand) int
+	}
+	specs := []spec{
+		{"id", 32, 1 << 12, func(*rand.Rand) int { return 1 }},
+		{"tiny", 4, 1 << 10, func(*rand.Rand) int { return 1 }},
+		{"hist", 8, 1 << 12, func(r *rand.Rand) int { return 10 + r.Intn(40) }},
+		{"heavy", 64, 1 << 13, func(r *rand.Rand) int { return 40 + r.Intn(80) }},
+	}
+	features := make([]recflex.FeatureInfo, len(specs))
+	tables := make([]*recflex.Table, len(specs))
+	for i, sp := range specs {
+		features[i] = recflex.FeatureInfo{Name: sp.name, Dim: sp.dim, TableRows: sp.rows, Pool: recflex.PoolSum}
+		tbl, err := recflex.NewTable(sp.name, sp.rows, sp.dim, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tbl
+	}
+	rng := rand.New(rand.NewSource(1))
+	makeBatch := func(size int) *recflex.Batch {
+		b := &recflex.Batch{}
+		for _, sp := range specs {
+			perSample := make([][]int32, size)
+			for s := range perSample {
+				ids := make([]int32, sp.pf(rng))
+				for j := range ids {
+					ids[j] = int32(rng.Intn(sp.rows))
+				}
+				perSample[s] = ids
+			}
+			b.Features = append(b.Features, recflex.NewFeatureBatch(perSample))
+		}
+		return b
+	}
+	return features, tables, makeBatch
+}
+
+func TestPublicAPITuneAndRun(t *testing.T) {
+	features, tables, makeBatch := buildToyModel(t)
+	dev := recflex.V100()
+	opt := recflex.New(dev, features)
+	if err := opt.Tune([]*recflex.Batch{makeBatch(128), makeBatch(192)}, recflex.TuneOptions{
+		Occupancies: []int{2, 4, 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch := makeBatch(96)
+	outs, sim, err := opt.Run(tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Time <= 0 {
+		t.Error("simulated time must be positive")
+	}
+	if len(outs) != len(features) {
+		t.Fatalf("%d outputs for %d features", len(outs), len(features))
+	}
+	for f := range outs {
+		if len(outs[f]) != batch.BatchSize()*features[f].Dim {
+			t.Errorf("feature %d: output length %d", f, len(outs[f]))
+		}
+	}
+}
+
+func TestPublicAPICompileDirect(t *testing.T) {
+	features, tables, makeBatch := buildToyModel(t)
+	dev := recflex.A100()
+	choices := make([]recflex.Schedule, len(features))
+	for i := range choices {
+		choices[i] = recflex.SubWarp{Threads: 256, Lanes: 8, Vec: 1, UnrollRows: 1}
+	}
+	batch := makeBatch(64)
+	fu, err := recflex.Compile(dev, features, choices, batch, recflex.FusionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, res, err := fu.Run(tables, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || len(outs) != len(features) {
+		t.Error("direct compile path broken")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	features, _, makeBatch := buildToyModel(t)
+	dev := recflex.V100()
+	batch := makeBatch(64)
+	names := map[string]bool{}
+	for _, b := range recflex.Baselines() {
+		names[b.Name()] = true
+		if b.Supports(features) != nil {
+			continue
+		}
+		sec, err := b.Measure(dev, features, batch)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if sec <= 0 {
+			t.Errorf("%s: non-positive time", b.Name())
+		}
+	}
+	for _, want := range []string{"TensorFlow", "RECom", "HugeCTR", "TorchRec"} {
+		if !names[want] {
+			t.Errorf("baseline %s missing", want)
+		}
+	}
+}
+
+func TestPublicAPICustomCandidates(t *testing.T) {
+	features, _, makeBatch := buildToyModel(t)
+	dev := recflex.V100()
+	cands := make([][]recflex.Schedule, len(features))
+	for f := range cands {
+		cands[f] = []recflex.Schedule{
+			recflex.SubWarp{Threads: 128, Lanes: 8, Vec: 1, UnrollRows: 1},
+			recflex.BlockPerSample{Threads: 128, Vec: 1},
+		}
+	}
+	opt, err := recflex.NewWithCandidates(dev, features, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Tune([]*recflex.Batch{makeBatch(64)}, recflex.TuneOptions{Occupancies: []int{2, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	for f, c := range opt.Tuned().Choices {
+		if c.Name() != cands[f][0].Name() && c.Name() != cands[f][1].Name() {
+			t.Errorf("feature %d: choice %s not from the custom set", f, c.Name())
+		}
+	}
+}
+
+func TestDefaultCandidatesExposed(t *testing.T) {
+	if len(recflex.DefaultCandidates(32)) < 10 {
+		t.Error("default candidate set too small")
+	}
+}
+
+func TestPublicAutoOptimizer(t *testing.T) {
+	features, tables, makeBatch := buildToyModel(t)
+	dev := recflex.V100()
+	sample := makeBatch(128)
+	opt, err := recflex.NewAuto(dev, features, sample, recflex.AutoOptions{MaxCandidates: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Tune([]*recflex.Batch{sample}, recflex.TuneOptions{Occupancies: []int{2, 4, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	outs, _, err := opt.Run(tables, makeBatch(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(features) {
+		t.Error("auto optimizer output shape wrong")
+	}
+}
