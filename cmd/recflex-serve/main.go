@@ -1,11 +1,21 @@
 // Command recflex-serve replays an online-serving request trace (Poisson
 // arrivals, serving-sized batches, optional unsplit long-tail requests)
-// through every embedding system and reports end-to-end latency percentiles —
-// the served-workload view of the paper's §VI-D discussion.
+// through every embedding system and reports end-to-end latency — the
+// served-workload view of the paper's §VI-D discussion, now driven by the
+// concurrent serving engine: k simulated GPUs behind a bounded admission
+// queue, per-request deadlines with shed/timeout accounting, split-at-cap
+// degradation of long-tail requests, and a latency histogram plus
+// per-worker utilization for the tuned system.
+//
+// Fairness: every system is measured on the identical batch for a given
+// request size. Batches are pre-generated once per quantized size, seeded
+// from (model seed, size) alone, so no system's measurement order can
+// perturb another's inputs.
 //
 // Usage:
 //
-//	recflex-serve -model A -scale 25 -requests 200 -qps 2000 -tail 0.02
+//	recflex-serve -model A -scale 25 -requests 200 -qps 2000 -tail 0.02 \
+//	    -gpus 2 -deadline 1.5 -queue 64
 package main
 
 import (
@@ -19,11 +29,66 @@ import (
 	"repro/internal/datasynth"
 	"repro/internal/embedding"
 	"repro/internal/experiments"
+	"repro/internal/fusion"
 	"repro/internal/gpusim"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/tuner"
 )
+
+// sizeQuantum is the measurement grid: request sizes round up to this
+// multiple so the per-size batch table and service memo stay small.
+const sizeQuantum = 32
+
+// splitCap is the serving split threshold (512 in the paper): requests
+// above it are unsplit long-tail batches eligible for the split-at-cap
+// degradation fallback.
+const splitCap = 512
+
+// quantize rounds a request size up to the measurement grid.
+func quantize(size int) int {
+	return (size + sizeQuantum - 1) / sizeQuantum * sizeQuantum
+}
+
+// prebuildBatches generates the canonical batch for every quantized size the
+// trace — or its split-at-cap fallback — can ask a system to measure. Every
+// system shares this table, which is what makes the head-to-head latency
+// columns comparable.
+func prebuildBatches(cfg *datasynth.ModelConfig, reqs []trace.Request) (map[int]*embedding.Batch, error) {
+	sizes := make(map[int]bool)
+	for _, r := range reqs {
+		sizes[quantize(r.Size)] = true
+		if r.Size > splitCap {
+			// Split fallback dispatches capped chunks plus a remainder.
+			sizes[quantize(splitCap)] = true
+			if rem := r.Size % splitCap; rem > 0 {
+				sizes[quantize(rem)] = true
+			}
+		}
+	}
+	batches := make(map[int]*embedding.Batch, len(sizes))
+	for size := range sizes {
+		b, err := datasynth.BatchForSize(cfg, size)
+		if err != nil {
+			return nil, err
+		}
+		batches[size] = b
+	}
+	return batches, nil
+}
+
+// serviceFor adapts one system's Measure to the serving engine over the
+// shared per-size batch table, memoized and safe for the engine's worker
+// pool.
+func serviceFor(sys baselines.Baseline, dev *gpusim.Device, features []fusion.FeatureInfo, batches map[int]*embedding.Batch) trace.ServiceFunc {
+	return trace.MemoService(func(size int) (float64, error) {
+		b, ok := batches[quantize(size)]
+		if !ok {
+			return 0, fmt.Errorf("no pre-generated batch for size %d (quantized %d)", size, quantize(size))
+		}
+		return sys.Measure(dev, features, b)
+	})
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,6 +100,9 @@ func main() {
 		requests = flag.Int("requests", 200, "requests in the trace")
 		qps      = flag.Float64("qps", 2000, "mean arrival rate")
 		tailProb = flag.Float64("tail", 0.02, "probability of an unsplit 2560-sample request")
+		gpus     = flag.Int("gpus", 1, "simulated GPU workers per system")
+		queue    = flag.Int("queue", 0, "admission queue bound (0 = unbounded)")
+		deadline = flag.Float64("deadline", 0, "per-request deadline in milliseconds (0 = none)")
 	)
 	flag.Parse()
 
@@ -73,40 +141,74 @@ func main() {
 	}
 
 	reqs, err := trace.Generate(*requests, trace.GeneratorConfig{
-		QPS: *qps, MaxBatch: 512, TailProb: *tailProb,
+		QPS: *qps, MaxBatch: splitCap, TailProb: *tailProb,
 		TailSize: datasynth.LongTailRequest, Seed: cfg.Seed ^ 0x5E17E,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %d requests at %.0f qps on %s/%s (%d features, %.1f%% long tail)\n\n",
-		len(reqs), *qps, dev.Name, cfg.Name, len(features), *tailProb*100)
+	batches, err := prebuildBatches(cfg, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail, %d shared batches)\n\n",
+		len(reqs), *qps, *gpus, dev.Name, cfg.Name, len(features), *tailProb*100, len(batches))
 
+	srvCfg := trace.ServerConfig{
+		Workers:    *gpus,
+		QueueDepth: *queue,
+		Deadline:   *deadline * 1e-3,
+		SplitCap:   splitCap,
+		Policy:     trace.DegradeSplitTail,
+	}
 	systems := append(baselines.All(), rf)
 	tbl := &report.Table{
 		Title:  "end-to-end request latency",
-		Header: []string{"System", "p50", "p95", "p99", "GPU util"},
+		Header: []string{"System", "p50", "p95", "p99", "GPU util", "shed", "timeout"},
 	}
+	var rfMetrics *trace.Metrics
 	for _, sys := range systems {
 		if sys.Supports(features) != nil {
 			continue
 		}
-		service := trace.MemoService(func(size int) (float64, error) {
-			size = (size + 31) / 32 * 32 // quantize for the memo
-			b, err := datasynth.GenerateBatch(cfg, size, rng)
-			if err != nil {
-				return 0, err
-			}
-			return sys.Measure(dev, features, b)
-		})
-		res, err := trace.Serve(reqs, service)
+		srv, err := trace.NewServer(srvCfg, serviceFor(sys, dev, features, batches))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := srv.Serve(reqs)
 		if err != nil {
 			log.Fatalf("%s: %v", sys.Name(), err)
 		}
-		tbl.AddRow(sys.Name(), report.FmtUS(res.P50), report.FmtUS(res.P95),
-			report.FmtUS(res.P99), fmt.Sprintf("%.1f%%", res.Utilization*100))
+		m := rep.Metrics
+		tbl.AddRow(sys.Name(), report.FmtUS(rep.P50), report.FmtUS(rep.P95),
+			report.FmtUS(rep.P99), fmt.Sprintf("%.1f%%", rep.Utilization*100),
+			fmt.Sprintf("%d", m.Shed()), fmt.Sprintf("%d", m.Timeouts))
+		if sys == baselines.Baseline(rf) {
+			rfMetrics = srv.Metrics()
+		}
 	}
 	if err := tbl.Write(log.Writer()); err != nil {
 		log.Fatal(err)
+	}
+
+	if rfMetrics != nil {
+		fmt.Printf("\nRecFlex serving detail: %s\n", rfMetrics)
+		fmt.Printf("\nlatency histogram (served requests):\n%s", rfMetrics.Latency.Render(40))
+		fmt.Printf("\nper-worker utilization over a %.2fms makespan:\n", rfMetrics.Makespan*1e3)
+		for g, w := range rfMetrics.Workers {
+			fmt.Printf("  gpu%-2d %6d reqs  busy %8s  util %5.1f%%\n",
+				g, w.Served, report.FmtUS(w.Busy), w.Utilization*100)
+		}
+		maxDepth, sum := 0, 0
+		for _, s := range rfMetrics.QueueDepth {
+			if s.Depth > maxDepth {
+				maxDepth = s.Depth
+			}
+			sum += s.Depth
+		}
+		if n := len(rfMetrics.QueueDepth); n > 0 {
+			fmt.Printf("\nadmission queue: peak depth %d, mean depth %.1f over %d samples\n",
+				maxDepth, float64(sum)/float64(n), n)
+		}
 	}
 }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/trace"
+)
+
+// BatchSource supplies the input batch for a given request size. Serving
+// callers typically back it with datasynth.BatchForSize (one canonical,
+// deterministic batch per size) so every measurement of a size sees the
+// same data.
+type BatchSource func(size int) (*embedding.Batch, error)
+
+// Service returns a concurrency-safe trace.ServiceFunc that measures the
+// tuned fused kernel on batches from src, quantizing request sizes up to a
+// multiple of quantum (0 or 1 disables quantization) and memoizing per
+// quantized size. This is the bridge between the queueing layer and the
+// kernel simulator: the serving engine's worker pool calls it from multiple
+// goroutines.
+func (r *RecFlex) Service(src BatchSource, quantum int) trace.ServiceFunc {
+	return trace.MemoService(func(size int) (float64, error) {
+		if quantum > 1 {
+			size = (size + quantum - 1) / quantum * quantum
+		}
+		b, err := src(size)
+		if err != nil {
+			return 0, fmt.Errorf("core: batch for size %d: %w", size, err)
+		}
+		return r.Measure(r.dev, r.model.Features, b)
+	})
+}
+
+// ServeTrace runs a request stream through the concurrent serving engine
+// with this instance's fused kernel as the simulated GPU service — the
+// serving entry point of the system. The instance must be tuned. quantum
+// quantizes request sizes for measurement (see Service); cfg shapes the
+// engine (workers, admission queue, deadlines, degradation policy).
+func (r *RecFlex) ServeTrace(reqs []trace.Request, src BatchSource, quantum int, cfg trace.ServerConfig) (*trace.Report, error) {
+	if r.Tuned() == nil {
+		return nil, errNotTuned
+	}
+	srv, err := trace.NewServer(cfg, r.Service(src, quantum))
+	if err != nil {
+		return nil, err
+	}
+	return srv.Serve(reqs)
+}

@@ -478,3 +478,64 @@ func TestDrifted(t *testing.T) {
 		t.Error("Drifted mutated its input")
 	}
 }
+
+// BatchForSize must depend on (cfg.Seed, size) alone: repeated calls agree
+// exactly, calls for different sizes differ, and interleaved generation by
+// other callers cannot perturb it — the property the serving comparison
+// relies on to measure every system on identical inputs.
+func TestBatchForSizeDeterministic(t *testing.T) {
+	cfg := Scaled(ModelA(), 50)
+	a, err := BatchForSize(cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave unrelated generation, then regenerate.
+	rng := rand.New(rand.NewSource(99))
+	if _, err := GenerateBatch(cfg, 128, rng); err != nil {
+		t.Fatal(err)
+	}
+	b, err := BatchForSize(cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Features) != len(b.Features) {
+		t.Fatalf("feature counts differ: %d vs %d", len(a.Features), len(b.Features))
+	}
+	for f := range a.Features {
+		fa, fb := a.Features[f], b.Features[f]
+		if !bytes.Equal(int32Bytes(fa.Offsets), int32Bytes(fb.Offsets)) {
+			t.Fatalf("feature %d offsets differ across calls", f)
+		}
+		if len(fa.Indices) != len(fb.Indices) {
+			t.Fatalf("feature %d index counts differ", f)
+		}
+		for i := range fa.Indices {
+			if fa.Indices[i] != fb.Indices[i] {
+				t.Fatalf("feature %d index %d differs", f, i)
+			}
+		}
+	}
+	// A different size draws a genuinely different batch.
+	c, err := BatchForSize(cfg, 288)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Features[0].Offsets)-1 != 288 {
+		t.Fatalf("size 288 batch has %d samples", len(c.Features[0].Offsets)-1)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BatchForSize(cfg, 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+// int32Bytes views an int32 slice as comparable bytes.
+func int32Bytes(v []int32) []byte {
+	out := make([]byte, 0, len(v)*4)
+	for _, x := range v {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return out
+}

@@ -36,6 +36,18 @@ func GenerateBatch(cfg *ModelConfig, batchSize int, rng *rand.Rand) (*embedding.
 	return b, nil
 }
 
+// BatchForSize draws the canonical batch of the given size for a model: the
+// generator is seeded from (cfg.Seed, batchSize) alone, so every caller —
+// in particular every system in a serving comparison — observes the exact
+// same batch for the same size, no matter how many batches anyone else drew
+// in between. Head-to-head latency tables must measure all systems on
+// identical inputs; a shared generator advancing across systems breaks that.
+func BatchForSize(cfg *ModelConfig, batchSize int) (*embedding.Batch, error) {
+	// SplitMix64-style odd multiplier decorrelates neighbouring sizes.
+	seed := cfg.Seed ^ (int64(batchSize) * -7046029254386353131)
+	return GenerateBatch(cfg, batchSize, rand.New(rand.NewSource(seed)))
+}
+
 // Dataset is a sequence of batches drawn from one model config.
 type Dataset struct {
 	Config  *ModelConfig

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-spaced latency histogram. Buckets cover [Min, Max) in
+// geometrically equal steps, with implicit underflow and overflow buckets at
+// the ends, so a single configuration spans microsecond kernel times and
+// second-scale queueing collapse without losing resolution at either end.
+type Histogram struct {
+	// Min and Max bound the log-spaced range in seconds.
+	Min, Max float64
+	// Counts has one entry per bucket plus underflow (first) and overflow
+	// (last).
+	Counts []int64
+	// Total is the number of observations.
+	Total int64
+	// Sum is the sum of observed values (for the mean).
+	Sum float64
+	// LowValue / HighValue track the exact observed extremes.
+	LowValue, HighValue float64
+}
+
+// NewHistogram creates a histogram with n log-spaced buckets between min and
+// max seconds. It panics on invalid bounds — histogram shape is a programming
+// decision, not an input.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if !(min > 0) || !(max > min) || n <= 0 {
+		panic(fmt.Sprintf("trace: invalid histogram shape min=%g max=%g n=%d", min, max, n))
+	}
+	return &Histogram{
+		Min:       min,
+		Max:       max,
+		Counts:    make([]int64, n+2),
+		LowValue:  math.Inf(1),
+		HighValue: math.Inf(-1),
+	}
+}
+
+// buckets returns the number of in-range buckets.
+func (h *Histogram) buckets() int { return len(h.Counts) - 2 }
+
+// Observe records one latency.
+func (h *Histogram) Observe(v float64) {
+	h.Total++
+	h.Sum += v
+	if v < h.LowValue {
+		h.LowValue = v
+	}
+	if v > h.HighValue {
+		h.HighValue = v
+	}
+	h.Counts[h.bucketOf(v)]++
+}
+
+// bucketOf maps a value to its slot in Counts (0 = underflow, len-1 =
+// overflow).
+func (h *Histogram) bucketOf(v float64) int {
+	if v < h.Min {
+		return 0
+	}
+	if v >= h.Max {
+		return len(h.Counts) - 1
+	}
+	n := h.buckets()
+	i := int(math.Log(v/h.Min) / math.Log(h.Max/h.Min) * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i + 1
+}
+
+// BucketBounds returns the [lo, hi) range of bucket i in Counts' indexing.
+// The underflow bucket reports (0, Min) and the overflow bucket (Max, +Inf).
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	n := h.buckets()
+	switch {
+	case i <= 0:
+		return 0, h.Min
+	case i >= n+1:
+		return h.Max, math.Inf(1)
+	}
+	ratio := math.Pow(h.Max/h.Min, 1/float64(n))
+	lo = h.Min * math.Pow(ratio, float64(i-1))
+	return lo, lo * ratio
+}
+
+// Quantile returns the p-quantile (0..1) estimated from bucket upper bounds,
+// NaN when empty. Exact percentiles of the served trace live in Result; this
+// estimator exists so long-running servers can drop raw samples and still
+// answer tail questions from the histogram alone.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.Total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(p * float64(h.Total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			_, hi := h.BucketBounds(i)
+			if math.IsInf(hi, 1) {
+				return h.HighValue
+			}
+			if i == 0 {
+				return h.Min
+			}
+			return hi
+		}
+	}
+	return h.HighValue
+}
+
+// Mean returns the mean observed value, NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.Total)
+}
+
+// Render writes an ASCII view of the non-empty buckets, one row per bucket
+// with a proportional bar — the serving engine's replacement for the bare
+// three-percentile summary.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var max int64
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BucketBounds(i)
+		var label string
+		switch {
+		case i == 0:
+			label = fmt.Sprintf("%12s < %-9s", "", fmtDur(hi))
+		case i == len(h.Counts)-1:
+			label = fmt.Sprintf("%12s >= %-8s", "", fmtDur(lo))
+		default:
+			label = fmt.Sprintf("%12s - %-9s", fmtDur(lo), fmtDur(hi))
+		}
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(max)*float64(width))))
+		if bar == "" {
+			bar = "."
+		}
+		fmt.Fprintf(&b, "%s %6d %s\n", label, c, bar)
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration in seconds with a natural unit.
+func fmtDur(sec float64) string {
+	switch {
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fus", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// WorkerStats is the per-simulated-GPU view of one served trace.
+type WorkerStats struct {
+	// Served counts requests (or split chunks) the worker executed.
+	Served int
+	// Busy is the worker's total service time in seconds.
+	Busy float64
+	// Utilization is Busy over the trace makespan.
+	Utilization float64
+}
+
+// QueueSample is one point of the admission-queue depth time series.
+type QueueSample struct {
+	// Time is the virtual timestamp in seconds.
+	Time float64
+	// Depth is the queue occupancy just after the event at Time.
+	Depth int
+}
+
+// maxQueueSamples bounds the retained queue-depth series; past it the series
+// is decimated 2x so long traces keep a bounded, evenly thinned profile.
+const maxQueueSamples = 2048
+
+// depthSeries records queue occupancy over virtual time with bounded memory.
+type depthSeries struct {
+	samples []QueueSample
+	stride  int
+	tick    int
+}
+
+func (d *depthSeries) observe(t float64, depth int) {
+	if d.stride == 0 {
+		d.stride = 1
+	}
+	d.tick++
+	if (d.tick-1)%d.stride != 0 {
+		return
+	}
+	if len(d.samples) >= maxQueueSamples {
+		kept := d.samples[:0]
+		for i := 0; i < len(d.samples); i += 2 {
+			kept = append(kept, d.samples[i])
+		}
+		d.samples = kept
+		d.stride *= 2
+	}
+	d.samples = append(d.samples, QueueSample{Time: t, Depth: depth})
+}
+
+// Metrics is the first-class observability snapshot of one served trace:
+// everything recflex-serve prints beyond the latency table, and the contract
+// future scaling PRs (sharding, caching, multi-tenant) report through.
+type Metrics struct {
+	// Served counts requests that completed service (including split and
+	// late ones).
+	Served int
+	// SplitServed counts long-tail requests served through the split-at-cap
+	// graceful-degradation fallback.
+	SplitServed int
+	// Timeouts counts served requests that completed after their deadline.
+	Timeouts int
+	// DeadlineSheds counts requests dropped at dispatch because their
+	// deadline could not be met.
+	DeadlineSheds int
+	// QueueSheds counts requests dropped on arrival at a full admission
+	// queue.
+	QueueSheds int
+	// MaxQueueDepth is the peak admission-queue occupancy.
+	MaxQueueDepth int
+	// Latency is the sojourn histogram of served requests.
+	Latency *Histogram
+	// Workers holds per-simulated-GPU utilization.
+	Workers []WorkerStats
+	// QueueDepth is the (possibly decimated) queue-occupancy time series.
+	QueueDepth []QueueSample
+	// Makespan is the span from first arrival to last completion in seconds.
+	Makespan float64
+}
+
+// Shed returns the total number of dropped requests.
+func (m *Metrics) Shed() int { return m.DeadlineSheds + m.QueueSheds }
+
+// String summarizes the counters in one line.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("served=%d split=%d timeouts=%d shed=%d (deadline=%d queue-full=%d) max-queue=%d",
+		m.Served, m.SplitServed, m.Timeouts, m.Shed(), m.DeadlineSheds, m.QueueSheds, m.MaxQueueDepth)
+}

@@ -1,0 +1,137 @@
+// White-box tests for the observability layer (histogram bucketing and the
+// bounded queue-depth series); the engine-level tests live in the external
+// trace_test package.
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1e-6, 1, 24)
+	values := []float64{1e-7, 1e-6, 5e-4, 0.02, 0.999, 1, 50}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	if h.Total != int64(len(values)) {
+		t.Fatalf("total %d", h.Total)
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		t.Errorf("bucket counts sum %d != total %d", sum, h.Total)
+	}
+	if h.Counts[0] != 1 {
+		t.Errorf("underflow count %d, want 1 (for 1e-7)", h.Counts[0])
+	}
+	if h.Counts[len(h.Counts)-1] != 2 {
+		t.Errorf("overflow count %d, want 2 (for 1 and 50)", h.Counts[len(h.Counts)-1])
+	}
+	if h.LowValue != 1e-7 || h.HighValue != 50 {
+		t.Errorf("extremes %g/%g", h.LowValue, h.HighValue)
+	}
+	if m := h.Mean(); math.Abs(m-h.Sum/7) > 1e-15 {
+		t.Errorf("mean %g", m)
+	}
+	// Every in-range value must land in the bucket whose bounds contain it.
+	for _, v := range []float64{1e-6, 3e-6, 1e-4, 0.5, 0.9999} {
+		i := h.bucketOf(v)
+		lo, hi := h.BucketBounds(i)
+		if v < lo || v >= hi {
+			t.Errorf("value %g in bucket %d with bounds [%g, %g)", v, i, lo, hi)
+		}
+	}
+	// Bounds tile the range without gaps.
+	for i := 1; i < len(h.Counts)-2; i++ {
+		_, hi := h.BucketBounds(i)
+		lo, _ := h.BucketBounds(i + 1)
+		if math.Abs(hi-lo)/hi > 1e-9 {
+			t.Errorf("gap between bucket %d and %d: %g vs %g", i, i+1, hi, lo)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1e-6, 1, 40)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(1e-5 + float64(i)*1e-5) // 10us .. ~10ms
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 3e-3 || p50 > 8e-3 {
+		t.Errorf("p50 estimate %g outside the plausible band around 5ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Errorf("p99 %g below p50 %g", p99, p50)
+	}
+	if q := h.Quantile(1); q < p99 {
+		t.Errorf("p100 %g below p99 %g", q, p99)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(1e-6, 1, 12)
+	if got := h.Render(20); !strings.Contains(got, "empty") {
+		t.Errorf("empty render: %q", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1e-4)
+	}
+	h.Observe(10) // overflow
+	got := h.Render(20)
+	if !strings.Contains(got, "#") || !strings.Contains(got, ">=") {
+		t.Errorf("render missing bars or overflow row:\n%s", got)
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for inverted bounds")
+		}
+	}()
+	NewHistogram(1, 0.5, 4)
+}
+
+func TestDepthSeriesDecimation(t *testing.T) {
+	var d depthSeries
+	n := maxQueueSamples*4 + 17
+	for i := 0; i < n; i++ {
+		d.observe(float64(i), i%7)
+	}
+	if len(d.samples) > maxQueueSamples {
+		t.Fatalf("series kept %d samples, cap %d", len(d.samples), maxQueueSamples)
+	}
+	if d.stride < 4 {
+		t.Errorf("stride %d after 4x overflow", d.stride)
+	}
+	// Samples must stay in time order and span the run.
+	for i := 1; i < len(d.samples); i++ {
+		if d.samples[i].Time <= d.samples[i-1].Time {
+			t.Fatalf("series not increasing at %d", i)
+		}
+	}
+	if d.samples[0].Time != 0 {
+		t.Errorf("first sample at %g", d.samples[0].Time)
+	}
+	if last := d.samples[len(d.samples)-1].Time; last < float64(n)/2 {
+		t.Errorf("last sample at %g, series truncated early", last)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := &Metrics{Served: 10, SplitServed: 2, Timeouts: 1, DeadlineSheds: 3, QueueSheds: 4, MaxQueueDepth: 9}
+	s := m.String()
+	for _, want := range []string{"served=10", "split=2", "timeouts=1", "shed=7", "max-queue=9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("%q missing from %q", want, s)
+		}
+	}
+}

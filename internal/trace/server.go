@@ -1,0 +1,551 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// DegradePolicy selects what the serving engine does with a request whose
+// deadline cannot be met at dispatch time.
+type DegradePolicy int
+
+const (
+	// DegradeSplitTail is the default serving policy. An unsplit long-tail
+	// request (Size > SplitCap) that would miss its deadline as one kernel
+	// is split at the cap into chunks — the split-at-cap fallback. Each
+	// chunk re-enters least-loaded dispatch as its own unit of work, reusing
+	// the fused kernel's runtime thread mapping at the (well-tuned) capped
+	// size, so a 2,560-sample DeepRecSys-style request degrades into five
+	// 512-sample kernels instead of monopolizing one GPU. Requests at or
+	// below the cap are never shed: they are served even if late (counted
+	// as Timeouts). A tail request is shed only when it cannot even start
+	// before its deadline, or when it must make room in a full admission
+	// queue.
+	DegradeSplitTail DegradePolicy = iota
+	// DegradeServe serves every admitted request to completion; deadline
+	// misses are only counted (Timeouts), never acted on.
+	DegradeServe
+	// DegradeShed sheds any request that would complete after its deadline,
+	// regardless of size.
+	DegradeShed
+)
+
+func (p DegradePolicy) String() string {
+	switch p {
+	case DegradeSplitTail:
+		return "split-tail"
+	case DegradeServe:
+		return "serve-all"
+	case DegradeShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("DegradePolicy(%d)", int(p))
+	}
+}
+
+// Outcome records how the engine resolved one request.
+type Outcome uint8
+
+const (
+	// OutcomeServed: served whole, on time or late (see Metrics.Timeouts).
+	OutcomeServed Outcome = iota
+	// OutcomeSplit: served through the split-at-cap degradation fallback.
+	OutcomeSplit
+	// OutcomeShedDeadline: dropped at dispatch, deadline unreachable.
+	OutcomeShedDeadline
+	// OutcomeShedQueue: dropped on arrival at a full admission queue.
+	OutcomeShedQueue
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeServed:
+		return "served"
+	case OutcomeSplit:
+		return "split"
+	case OutcomeShedDeadline:
+		return "shed-deadline"
+	case OutcomeShedQueue:
+		return "shed-queue"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Shed reports whether the request was dropped without service.
+func (o Outcome) Shed() bool { return o == OutcomeShedDeadline || o == OutcomeShedQueue }
+
+// ServerConfig shapes the concurrent serving engine.
+type ServerConfig struct {
+	// Workers is the number of simulated GPUs (k in M/G/k); 0 means 1.
+	Workers int
+	// QueueDepth bounds the admission queue; 0 means unbounded. Under the
+	// default DegradeSplitTail policy a full queue sheds only long-tail
+	// requests (the arriving tail, or the youngest queued tail to make room
+	// for a normal arrival); if no tail can make room, the normal request is
+	// admitted anyway — the bound is soft for non-tail traffic by design, so
+	// interactive requests are never dropped by a burst of batch traffic.
+	// Other policies shed the arriving request, whatever its size.
+	QueueDepth int
+	// Deadline is the default per-request completion deadline in seconds
+	// after arrival; 0 disables deadlines. Request.Deadline overrides it
+	// per request.
+	Deadline float64
+	// Policy is the degradation policy (default DegradeSplitTail).
+	Policy DegradePolicy
+	// SplitCap is the size above which a request counts as an unsplit
+	// long-tail batch and may be split by DegradeSplitTail; 0 disables
+	// splitting and tail special-casing (every request is then "normal").
+	SplitCap int
+	// HistMin, HistMax, HistBuckets shape the latency histogram; zero
+	// values default to 1us..10s across 28 log-spaced buckets.
+	HistMin, HistMax float64
+	HistBuckets      int
+}
+
+// Validate checks the server configuration.
+func (c *ServerConfig) Validate() error {
+	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("trace: Workers must be >= 0, got %d", c.Workers)
+	case c.QueueDepth < 0:
+		return fmt.Errorf("trace: QueueDepth must be >= 0, got %d", c.QueueDepth)
+	case c.Deadline < 0:
+		return fmt.Errorf("trace: Deadline must be >= 0, got %g", c.Deadline)
+	case c.SplitCap < 0:
+		return fmt.Errorf("trace: SplitCap must be >= 0, got %d", c.SplitCap)
+	case c.Policy < DegradeSplitTail || c.Policy > DegradeShed:
+		return fmt.Errorf("trace: unknown policy %d", int(c.Policy))
+	case c.HistMin < 0 || c.HistMax < 0 || c.HistBuckets < 0:
+		return fmt.Errorf("trace: histogram shape must be non-negative")
+	case c.HistMin > 0 && c.HistMax > 0 && c.HistMax <= c.HistMin:
+		return fmt.Errorf("trace: HistMax %g must exceed HistMin %g", c.HistMax, c.HistMin)
+	}
+	return nil
+}
+
+// workers returns the effective GPU count.
+func (c *ServerConfig) workers() int {
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.Workers
+}
+
+// histogram builds the configured latency histogram.
+func (c *ServerConfig) histogram() *Histogram {
+	min, max, n := c.HistMin, c.HistMax, c.HistBuckets
+	if min == 0 {
+		min = 1e-6
+	}
+	if max == 0 {
+		max = 10
+	}
+	if n == 0 {
+		n = 28
+	}
+	return NewHistogram(min, max, n)
+}
+
+// Report is the outcome of one trace served by the engine: the classic
+// closed-form Result (percentiles over served requests, sojourns aligned to
+// the caller's request order, NaN for shed requests) plus per-request
+// outcomes and the observability snapshot.
+type Report struct {
+	Result
+	// Outcomes[i] resolves the caller's request i.
+	Outcomes []Outcome
+	// Metrics is the observability snapshot of this run.
+	Metrics *Metrics
+}
+
+// Server is the concurrent serving engine: requests are admitted from the
+// stream in arrival order through a bounded admission queue and dispatched
+// to k simulated-GPU workers by least-loaded routing (subsuming
+// ServeMultiGPU's router), with per-request deadlines, timeout/shed
+// accounting and graceful degradation of unsplit long-tail requests.
+//
+// Execution is split into a physically concurrent phase and a deterministic
+// one. Service times are resolved by k worker goroutines draining a bounded
+// admission channel in arrival order — this is where the expensive fused
+// kernel simulations run, genuinely in parallel, which is why the service
+// function must be safe for concurrent use (MemoService is). Queueing,
+// routing, deadlines and shedding are then replayed on a virtual clock, so
+// reported latencies are exact and reproducible rather than subject to host
+// scheduling jitter: the same trace always yields the same Report, and with
+// one worker, no deadline and no queue bound it reproduces the closed-form
+// Serve sojourn-for-sojourn.
+//
+// The service function must be size-deterministic (same size, same time);
+// wrap expensive measurements in MemoService.
+type Server struct {
+	cfg     ServerConfig
+	service ServiceFunc
+
+	mu   sync.Mutex
+	last *Metrics
+}
+
+// NewServer creates a serving engine over the given service function.
+func NewServer(cfg ServerConfig, service ServiceFunc) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if service == nil {
+		return nil, fmt.Errorf("trace: nil service function")
+	}
+	return &Server{cfg: cfg, service: service}, nil
+}
+
+// Config returns the server configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// Metrics returns a snapshot of the most recent run's observability data,
+// or nil before the first Serve.
+func (s *Server) Metrics() *Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		return nil
+	}
+	cp := *s.last
+	cp.Workers = append([]WorkerStats(nil), s.last.Workers...)
+	cp.QueueDepth = append([]QueueSample(nil), s.last.QueueDepth...)
+	if s.last.Latency != nil {
+		h := *s.last.Latency
+		h.Counts = append([]int64(nil), s.last.Latency.Counts...)
+		cp.Latency = &h
+	}
+	return &cp
+}
+
+// isTail reports whether a request of this size is an unsplit long-tail
+// batch under the configured cap.
+func (s *Server) isTail(size int) bool {
+	return s.cfg.SplitCap > 0 && size > s.cfg.SplitCap
+}
+
+// chunkSizes returns the split-at-cap decomposition of a tail size.
+func (s *Server) chunkSizes(size int) []int {
+	cap := s.cfg.SplitCap
+	var out []int
+	for size > cap {
+		out = append(out, cap)
+		size -= cap
+	}
+	if size > 0 {
+		out = append(out, size)
+	}
+	return out
+}
+
+// resolveServiceTimes runs the concurrent phase: an admission goroutine
+// walks the stream in arrival order pushing each not-yet-seen size into a
+// bounded channel, and k worker goroutines drain it, invoking the service
+// function in parallel. Returns the size -> service time table.
+func (s *Server) resolveServiceTimes(reqs []Request) (map[int]float64, error) {
+	// Sizes in first-need order: request sizes, plus the chunk sizes their
+	// split fallback could dispatch.
+	var needed []int
+	seen := make(map[int]bool)
+	need := func(size int) {
+		if !seen[size] {
+			seen[size] = true
+			needed = append(needed, size)
+		}
+	}
+	for _, r := range reqs {
+		need(r.Size)
+		if s.cfg.Policy == DegradeSplitTail && s.isTail(r.Size) {
+			for _, c := range s.chunkSizes(r.Size) {
+				need(c)
+			}
+		}
+	}
+
+	depth := s.cfg.QueueDepth
+	if depth == 0 {
+		depth = len(needed)
+	}
+	admit := make(chan int, depth)
+	times := make(map[int]float64, len(needed))
+	errs := make(map[int]error)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for size := range admit {
+				t, err := s.service(size)
+				if err == nil && t < 0 {
+					err = fmt.Errorf("trace: negative service time %g for size %d", t, size)
+				}
+				mu.Lock()
+				if err != nil {
+					errs[size] = err
+				} else {
+					times[size] = t
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, size := range needed {
+		admit <- size
+	}
+	close(admit)
+	wg.Wait()
+	// Deterministic error selection: first failing size in admission order.
+	for _, size := range needed {
+		if err := errs[size]; err != nil {
+			return nil, fmt.Errorf("trace: size %d: %w", size, err)
+		}
+	}
+	return times, nil
+}
+
+// qentry is one admission-queue slot: a whole request or one split chunk.
+type qentry struct {
+	pos      int     // position in the sorted stream
+	arrival  float64 // request arrival time
+	deadline float64 // absolute completion deadline (+Inf if none)
+	size     int
+	chunk    bool // split chunk of a tail request
+}
+
+// splitState tracks an in-flight split request until its last chunk lands.
+type splitState struct {
+	remaining int
+	end       float64
+	service   float64
+}
+
+// Serve runs the request stream through the engine and returns the exact
+// virtual-time Report. It also installs the run's Metrics as the server's
+// current snapshot. Out-of-order input is sorted on entry; Sojourn and
+// Outcomes stay aligned with the caller's indices.
+func (s *Server) Serve(reqs []Request) (*Report, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("trace: empty request stream")
+	}
+	sorted, order := arrivalOrder(reqs)
+	times, err := s.resolveServiceTimes(sorted)
+	if err != nil {
+		return nil, err
+	}
+
+	k := s.cfg.workers()
+	n := len(sorted)
+	free := make([]float64, k)
+	workerStats := make([]WorkerStats, k)
+	met := &Metrics{Latency: s.cfg.histogram()}
+	var depths depthSeries
+	rep := &Report{
+		Result:   Result{Sojourn: make([]float64, n)},
+		Outcomes: make([]Outcome, n),
+		Metrics:  met,
+	}
+	for i := range rep.Sojourn {
+		rep.Sojourn[i] = math.NaN()
+	}
+
+	deadlineOf := func(r Request) float64 {
+		d := r.Deadline
+		if d == 0 {
+			d = s.cfg.Deadline
+		}
+		if d == 0 {
+			return math.Inf(1)
+		}
+		return r.Arrival + d
+	}
+
+	// FIFO queue over a sliding window of a slice.
+	var queue []qentry
+	head := 0
+	qlen := func() int { return len(queue) - head }
+	observeDepth := func(t float64) {
+		d := qlen()
+		if d > met.MaxQueueDepth {
+			met.MaxQueueDepth = d
+		}
+		depths.observe(t, d)
+	}
+
+	splits := make(map[int]*splitState)
+	var busy, totalService, lastEnd float64
+	served := 0
+
+	finish := func(pos int, end, svc float64, out Outcome) {
+		idx := originalIndex(order, pos)
+		soj := end - sorted[pos].Arrival
+		rep.Sojourn[idx] = soj
+		rep.Outcomes[idx] = out
+		met.Served++
+		met.Latency.Observe(soj)
+		if end > deadlineOf(sorted[pos]) {
+			met.Timeouts++
+		}
+		if out == OutcomeSplit {
+			met.SplitServed++
+		}
+		totalService += svc
+		if end > lastEnd {
+			lastEnd = end
+		}
+		served++
+	}
+	shed := func(pos int, out Outcome) {
+		idx := originalIndex(order, pos)
+		rep.Outcomes[idx] = out
+		if out == OutcomeShedQueue {
+			met.QueueSheds++
+		} else {
+			met.DeadlineSheds++
+		}
+	}
+
+	next := 0 // next arrival in sorted order
+	for next < n || qlen() > 0 {
+		// Next event: dispatch the queue head as soon as a worker can take
+		// it, unless an arrival happens strictly first. Ties dispatch first,
+		// so a slot freed at time t is visible to an arrival at time t.
+		tArr := math.Inf(1)
+		if next < n {
+			tArr = sorted[next].Arrival
+		}
+		tDisp := math.Inf(1)
+		best := 0
+		if qlen() > 0 {
+			for g := 1; g < k; g++ {
+				if free[g] < free[best] {
+					best = g
+				}
+			}
+			tDisp = math.Max(queue[head].arrival, free[best])
+		}
+
+		if tDisp > tArr { // admit the next arrival
+			r := sorted[next]
+			e := qentry{pos: next, arrival: r.Arrival, deadline: deadlineOf(r), size: r.Size}
+			next++
+			if s.cfg.QueueDepth > 0 && qlen() >= s.cfg.QueueDepth {
+				if s.cfg.Policy == DegradeSplitTail {
+					switch {
+					case s.isTail(e.size):
+						shed(e.pos, OutcomeShedQueue)
+						observeDepth(r.Arrival)
+						continue
+					default:
+						// Evict the youngest queued whole tail request to
+						// make room; if none, admit anyway (soft bound for
+						// non-tail traffic).
+						for j := len(queue) - 1; j >= head; j-- {
+							if !queue[j].chunk && s.isTail(queue[j].size) {
+								shed(queue[j].pos, OutcomeShedQueue)
+								queue = append(queue[:j], queue[j+1:]...)
+								break
+							}
+						}
+					}
+				} else {
+					shed(e.pos, OutcomeShedQueue)
+					observeDepth(r.Arrival)
+					continue
+				}
+			}
+			queue = append(queue, e)
+			observeDepth(r.Arrival)
+			continue
+		}
+
+		// Dispatch the head on the least-loaded worker.
+		e := queue[head]
+		head++
+		// Reclaim the consumed prefix so the queue slice cannot grow
+		// unboundedly across a long trace.
+		if head > 256 && head*2 > len(queue) {
+			queue = append(queue[:0], queue[head:]...)
+			head = 0
+		}
+		st := tDisp
+		observeDepth(st)
+
+		if e.chunk {
+			sv := times[e.size]
+			free[best] = st + sv
+			busy += sv
+			workerStats[best].Served++
+			workerStats[best].Busy += sv
+			sp := splits[e.pos]
+			sp.remaining--
+			sp.service += sv
+			if free[best] > sp.end {
+				sp.end = free[best]
+			}
+			if sp.remaining == 0 {
+				finish(e.pos, sp.end, sp.service, OutcomeSplit)
+				delete(splits, e.pos)
+			}
+			continue
+		}
+
+		sv := times[e.size]
+		switch {
+		case s.cfg.Policy == DegradeShed && st+sv > e.deadline:
+			shed(e.pos, OutcomeShedDeadline)
+			continue
+		case s.cfg.Policy == DegradeSplitTail && s.isTail(e.size) && st > e.deadline:
+			// The tail request cannot even start before its deadline.
+			shed(e.pos, OutcomeShedDeadline)
+			continue
+		case s.cfg.Policy == DegradeSplitTail && s.isTail(e.size) && st+sv > e.deadline:
+			// Split-at-cap fallback: re-admit the request as chunks at the
+			// queue front; each chunk routes independently, so chunks of one
+			// tail request can run on several GPUs at once.
+			chunks := s.chunkSizes(e.size)
+			splits[e.pos] = &splitState{remaining: len(chunks)}
+			entries := make([]qentry, len(chunks))
+			for i, c := range chunks {
+				entries[i] = qentry{pos: e.pos, arrival: e.arrival, deadline: e.deadline, size: c, chunk: true}
+			}
+			queue = append(queue[:head], append(entries, queue[head:]...)...)
+			continue
+		}
+		free[best] = st + sv
+		busy += sv
+		workerStats[best].Served++
+		workerStats[best].Busy += sv
+		finish(e.pos, free[best], sv, OutcomeServed)
+	}
+
+	// Aggregate statistics over served requests.
+	servedSoj := make([]float64, 0, served)
+	for _, v := range rep.Sojourn {
+		if !math.IsNaN(v) {
+			servedSoj = append(servedSoj, v)
+		}
+	}
+	rep.P50 = Percentile(servedSoj, 0.50)
+	rep.P95 = Percentile(servedSoj, 0.95)
+	rep.P99 = Percentile(servedSoj, 0.99)
+	if served > 0 {
+		rep.MeanService = totalService / float64(served)
+	}
+	met.Makespan = lastEnd - sorted[0].Arrival
+	if met.Makespan > 0 {
+		rep.Utilization = busy / (met.Makespan * float64(k))
+		for g := range workerStats {
+			workerStats[g].Utilization = workerStats[g].Busy / met.Makespan
+		}
+	}
+	met.Workers = workerStats
+	met.QueueDepth = depths.samples
+
+	s.mu.Lock()
+	s.last = met
+	s.mu.Unlock()
+	return rep, nil
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Request is one inference request in the stream.
@@ -21,6 +22,11 @@ type Request struct {
 	Arrival float64
 	// Size is the batch size (samples).
 	Size int
+	// Deadline is an optional per-request completion deadline in seconds
+	// after Arrival. Zero means "use the server's default deadline" (or no
+	// deadline at all for the closed-form Serve/ServeMultiGPU replays, which
+	// never shed).
+	Deadline float64
 }
 
 // GeneratorConfig shapes the request stream.
@@ -38,6 +44,11 @@ type GeneratorConfig struct {
 	Seed int64
 }
 
+// MinBatch is the smallest serving batch size the generator emits. Serving
+// systems batch at least a warp's worth of samples; the generator floors the
+// size distribution here, so MaxBatch below this floor cannot be honored.
+const MinBatch = 16
+
 // Validate checks the generator configuration.
 func (c *GeneratorConfig) Validate() error {
 	switch {
@@ -45,6 +56,8 @@ func (c *GeneratorConfig) Validate() error {
 		return fmt.Errorf("trace: QPS must be positive, got %g", c.QPS)
 	case c.MaxBatch <= 0:
 		return fmt.Errorf("trace: MaxBatch must be positive, got %d", c.MaxBatch)
+	case c.MaxBatch < MinBatch:
+		return fmt.Errorf("trace: MaxBatch %d below the generator floor MinBatch=%d", c.MaxBatch, MinBatch)
 	case c.TailProb < 0 || c.TailProb > 1:
 		return fmt.Errorf("trace: TailProb %g outside [0,1]", c.TailProb)
 	case c.TailProb > 0 && c.TailSize <= 0:
@@ -67,12 +80,15 @@ func Generate(n int, cfg GeneratorConfig) ([]Request, error) {
 	now := 0.0
 	for i := range reqs {
 		now += rng.ExpFloat64() / cfg.QPS
+		// Cap before flooring so MaxBatch is always honored; Validate has
+		// already rejected MaxBatch < MinBatch, so the floor cannot undo the
+		// cap.
 		size := int(rng.NormFloat64()*96 + 256)
-		if size < 16 {
-			size = 16
-		}
 		if size > cfg.MaxBatch {
 			size = cfg.MaxBatch
+		}
+		if size < MinBatch {
+			size = MinBatch
 		}
 		if cfg.TailProb > 0 && rng.Float64() < cfg.TailProb {
 			size = cfg.TailSize
@@ -84,6 +100,47 @@ func Generate(n int, cfg GeneratorConfig) ([]Request, error) {
 
 // ServiceFunc returns the GPU service time of a request of the given size.
 type ServiceFunc func(size int) (float64, error)
+
+// arrivalOrder returns reqs sorted by arrival time together with a mapping
+// from sorted position to original index, so results can be reported in the
+// caller's order. FIFO queueing math silently produces negative waits on
+// out-of-order input, so every serve entry point normalizes through here.
+// When the input is already sorted (the common case — Generate emits
+// monotone arrivals) the input slice itself and a nil mapping are returned
+// and no allocation happens. The sort is stable: simultaneous arrivals keep
+// their input order.
+func arrivalOrder(reqs []Request) ([]Request, []int) {
+	sorted := true
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return reqs, nil
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Arrival < reqs[order[b]].Arrival
+	})
+	out := make([]Request, len(reqs))
+	for pos, idx := range order {
+		out[pos] = reqs[idx]
+	}
+	return out, order
+}
+
+// originalIndex maps a sorted position back to the caller's index.
+func originalIndex(order []int, pos int) int {
+	if order == nil {
+		return pos
+	}
+	return order[pos]
+}
 
 // Result summarizes one served trace.
 type Result struct {
@@ -97,11 +154,15 @@ type Result struct {
 	Utilization float64
 }
 
-// Serve runs the request stream through a single-GPU FIFO queue.
+// Serve runs the request stream through a single-GPU FIFO queue. Requests
+// are served in arrival order; out-of-order input is sorted on entry (stable,
+// without mutating the caller's slice) and Sojourn stays aligned with the
+// caller's indices.
 func Serve(reqs []Request, service ServiceFunc) (*Result, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("trace: empty request stream")
 	}
+	reqs, order := arrivalOrder(reqs)
 	res := &Result{Sojourn: make([]float64, len(reqs))}
 	free := 0.0
 	busy := 0.0
@@ -116,7 +177,7 @@ func Serve(reqs []Request, service ServiceFunc) (*Result, error) {
 		}
 		start := math.Max(r.Arrival, free)
 		free = start + s
-		res.Sojourn[i] = free - r.Arrival
+		res.Sojourn[originalIndex(order, i)] = free - r.Arrival
 		busy += s
 		totalService += s
 	}
@@ -154,7 +215,8 @@ func Percentile(values []float64, p float64) float64 {
 
 // ServeMultiGPU runs the request stream through k identical GPUs with
 // least-loaded dispatch (each request goes to the server that frees up
-// first — the standard M/G/k router of inference serving tiers).
+// first — the standard M/G/k router of inference serving tiers). Like Serve
+// it normalizes out-of-order input through arrivalOrder.
 func ServeMultiGPU(reqs []Request, k int, service ServiceFunc) (*Result, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("trace: empty request stream")
@@ -162,6 +224,7 @@ func ServeMultiGPU(reqs []Request, k int, service ServiceFunc) (*Result, error) 
 	if k <= 0 {
 		return nil, fmt.Errorf("trace: need at least one GPU, got %d", k)
 	}
+	reqs, order := arrivalOrder(reqs)
 	free := make([]float64, k)
 	res := &Result{Sojourn: make([]float64, len(reqs))}
 	var busy, totalService, makespanEnd float64
@@ -185,7 +248,7 @@ func ServeMultiGPU(reqs []Request, k int, service ServiceFunc) (*Result, error) 
 		if free[best] > makespanEnd {
 			makespanEnd = free[best]
 		}
-		res.Sojourn[i] = free[best] - r.Arrival
+		res.Sojourn[originalIndex(order, i)] = free[best] - r.Arrival
 		busy += s
 		totalService += s
 	}
@@ -200,18 +263,30 @@ func ServeMultiGPU(reqs []Request, k int, service ServiceFunc) (*Result, error) 
 }
 
 // MemoService caches service times by batch size, so repeated sizes in a
-// trace do not re-run the (expensive) kernel simulation.
+// trace do not re-run the (expensive) kernel simulation. The returned
+// ServiceFunc is safe for concurrent use from the Server's worker pool:
+// lookups are guarded by a mutex and each size's inner simulation runs at
+// most once (singleflight), with concurrent callers for that size blocking
+// on its completion. Distinct sizes simulate in parallel. Errors are
+// memoized alongside successes — a failing kernel simulation is
+// deterministic here, so retrying it would only repeat the failure.
 func MemoService(inner ServiceFunc) ServiceFunc {
-	memo := make(map[int]float64)
+	type entry struct {
+		once sync.Once
+		s    float64
+		err  error
+	}
+	var mu sync.Mutex
+	memo := make(map[int]*entry)
 	return func(size int) (float64, error) {
-		if s, ok := memo[size]; ok {
-			return s, nil
+		mu.Lock()
+		e := memo[size]
+		if e == nil {
+			e = &entry{}
+			memo[size] = e
 		}
-		s, err := inner(size)
-		if err != nil {
-			return 0, err
-		}
-		memo[size] = s
-		return s, nil
+		mu.Unlock()
+		e.once.Do(func() { e.s, e.err = inner(size) })
+		return e.s, e.err
 	}
 }

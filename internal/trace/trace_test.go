@@ -1,8 +1,13 @@
-package trace
+// External test package: internal/core imports trace for its serving entry
+// point, so these tests (which drive a tuned core.RecFlex through the trace
+// layer) must live outside package trace to avoid an import cycle.
+package trace_test
 
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -10,12 +15,13 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/experiments"
 	"repro/internal/gpusim"
+	"repro/internal/trace"
 	"repro/internal/tuner"
 )
 
 func TestGenerateShape(t *testing.T) {
-	cfg := GeneratorConfig{QPS: 100, MaxBatch: 512, TailProb: 0.05, TailSize: 2560, Seed: 1}
-	reqs, err := Generate(5000, cfg)
+	cfg := trace.GeneratorConfig{QPS: 100, MaxBatch: 512, TailProb: 0.05, TailSize: 2560, Seed: 1}
+	reqs, err := trace.Generate(5000, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,27 +54,44 @@ func TestGenerateShape(t *testing.T) {
 }
 
 func TestGenerateRejectsBadConfig(t *testing.T) {
-	bad := []GeneratorConfig{
+	bad := []trace.GeneratorConfig{
 		{QPS: 0, MaxBatch: 512},
 		{QPS: 10, MaxBatch: 0},
 		{QPS: 10, MaxBatch: 512, TailProb: 2},
 		{QPS: 10, MaxBatch: 512, TailProb: 0.1, TailSize: 0},
+		// MaxBatch below the generator's MinBatch floor cannot be honored
+		// (the floor used to silently override the cap).
+		{QPS: 10, MaxBatch: trace.MinBatch - 1},
 	}
 	for i, cfg := range bad {
-		if _, err := Generate(10, cfg); err == nil {
+		if _, err := trace.Generate(10, cfg); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
 	}
-	if _, err := Generate(0, GeneratorConfig{QPS: 10, MaxBatch: 512}); err == nil {
+	if _, err := trace.Generate(0, trace.GeneratorConfig{QPS: 10, MaxBatch: 512}); err == nil {
 		t.Error("n=0 accepted")
+	}
+}
+
+// A MaxBatch at the floor must be honored exactly: every request is clamped
+// to precisely MinBatch, not left above the cap.
+func TestGenerateHonorsMaxBatchAtFloor(t *testing.T) {
+	reqs, err := trace.Generate(500, trace.GeneratorConfig{QPS: 100, MaxBatch: trace.MinBatch, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if r.Size != trace.MinBatch {
+			t.Fatalf("request %d size %d, want exactly %d", i, r.Size, trace.MinBatch)
+		}
 	}
 }
 
 func TestServeQueueingMath(t *testing.T) {
 	// Two requests, fixed 1s service, back-to-back arrivals: the second
 	// waits for the first.
-	reqs := []Request{{Arrival: 0, Size: 1}, {Arrival: 0.5, Size: 1}}
-	res, err := Serve(reqs, func(int) (float64, error) { return 1, nil })
+	reqs := []trace.Request{{Arrival: 0, Size: 1}, {Arrival: 0.5, Size: 1}}
+	res, err := trace.Serve(reqs, func(int) (float64, error) { return 1, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,28 +109,85 @@ func TestServeQueueingMath(t *testing.T) {
 	}
 }
 
+// Out-of-order input must be served in arrival order (no negative queueing
+// math), without mutating the caller's slice, and with sojourns reported at
+// the caller's indices.
+func TestServeUnsortedInput(t *testing.T) {
+	sorted, err := trace.Generate(200, trace.GeneratorConfig{QPS: 800, MaxBatch: 512, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := func(size int) (float64, error) { return float64(size) * 2e-5, nil }
+	want, err := trace.Serve(sorted, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shuffled := append([]trace.Request(nil), sorted...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	backup := append([]trace.Request(nil), shuffled...)
+	got, err := trace.Serve(shuffled, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shuffled {
+		if shuffled[i] != backup[i] {
+			t.Fatal("Serve mutated its input slice")
+		}
+	}
+	// Same request (identified by arrival; arrivals are distinct almost
+	// surely) must see the same sojourn regardless of input order.
+	byArrival := make(map[float64]float64, len(sorted))
+	for i, r := range sorted {
+		byArrival[r.Arrival] = want.Sojourn[i]
+	}
+	for i, r := range shuffled {
+		if w := byArrival[r.Arrival]; math.Abs(got.Sojourn[i]-w) > 1e-15 {
+			t.Fatalf("request at %g: sojourn %g via shuffled input, want %g", r.Arrival, got.Sojourn[i], w)
+		}
+		if got.Sojourn[i] < 0 {
+			t.Fatalf("negative sojourn %g at %d", got.Sojourn[i], i)
+		}
+	}
+	if math.Abs(got.P99-want.P99) > 1e-15 {
+		t.Errorf("p99 differs: %g vs %g", got.P99, want.P99)
+	}
+
+	multi, err := trace.ServeMultiGPU(shuffled, 2, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range multi.Sojourn {
+		if v < 0 {
+			t.Fatalf("ServeMultiGPU negative sojourn %g at %d", v, i)
+		}
+	}
+}
+
 func TestServeErrors(t *testing.T) {
-	if _, err := Serve(nil, func(int) (float64, error) { return 1, nil }); err == nil {
+	if _, err := trace.Serve(nil, func(int) (float64, error) { return 1, nil }); err == nil {
 		t.Error("empty stream accepted")
 	}
-	reqs := []Request{{Arrival: 0, Size: 1}}
-	if _, err := Serve(reqs, func(int) (float64, error) { return -1, nil }); err == nil {
+	reqs := []trace.Request{{Arrival: 0, Size: 1}}
+	if _, err := trace.Serve(reqs, func(int) (float64, error) { return -1, nil }); err == nil {
 		t.Error("negative service accepted")
 	}
 }
 
 func TestPercentile(t *testing.T) {
 	vals := []float64{5, 1, 3, 2, 4}
-	if got := Percentile(vals, 0.5); got != 3 {
+	if got := trace.Percentile(vals, 0.5); got != 3 {
 		t.Errorf("p50 = %g, want 3", got)
 	}
-	if got := Percentile(vals, 1); got != 5 {
+	if got := trace.Percentile(vals, 1); got != 5 {
 		t.Errorf("p100 = %g, want 5", got)
 	}
-	if got := Percentile(vals, 0); got != 1 {
+	if got := trace.Percentile(vals, 0); got != 1 {
 		t.Errorf("p0 = %g, want 1", got)
 	}
-	if !math.IsNaN(Percentile(nil, 0.5)) {
+	if !math.IsNaN(trace.Percentile(nil, 0.5)) {
 		t.Error("empty percentile should be NaN")
 	}
 	// Input must remain unsorted (copy semantics).
@@ -119,8 +199,8 @@ func TestPercentile(t *testing.T) {
 func TestServeMultiGPUQueueingMath(t *testing.T) {
 	// Three simultaneous 1s requests on 2 GPUs: two start immediately, the
 	// third queues behind one of them.
-	reqs := []Request{{Arrival: 0, Size: 1}, {Arrival: 0, Size: 1}, {Arrival: 0, Size: 1}}
-	res, err := ServeMultiGPU(reqs, 2, func(int) (float64, error) { return 1, nil })
+	reqs := []trace.Request{{Arrival: 0, Size: 1}, {Arrival: 0, Size: 1}, {Arrival: 0, Size: 1}}
+	res, err := trace.ServeMultiGPU(reqs, 2, func(int) (float64, error) { return 1, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,40 +216,40 @@ func TestServeMultiGPUQueueingMath(t *testing.T) {
 // More GPUs must never worsen any request's latency under least-loaded FIFO
 // dispatch with identical service times.
 func TestServeMultiGPUScalesDown(t *testing.T) {
-	reqs, err := Generate(400, GeneratorConfig{QPS: 500, MaxBatch: 512, Seed: 5})
+	reqs, err := trace.Generate(400, trace.GeneratorConfig{QPS: 500, MaxBatch: 512, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	service := func(size int) (float64, error) { return float64(size) * 1e-5, nil }
-	one, err := ServeMultiGPU(reqs, 1, service)
+	one, err := trace.ServeMultiGPU(reqs, 1, service)
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := ServeMultiGPU(reqs, 4, service)
+	four, err := trace.ServeMultiGPU(reqs, 4, service)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if four.P99 > one.P99 {
 		t.Errorf("4 GPUs p99 (%g) worse than 1 GPU (%g)", four.P99, one.P99)
 	}
-	single, err := Serve(reqs, service)
+	single, err := trace.Serve(reqs, service)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(single.P99-one.P99) > 1e-12 {
 		t.Errorf("ServeMultiGPU(1) != Serve: %g vs %g", one.P99, single.P99)
 	}
-	if _, err := ServeMultiGPU(reqs, 0, service); err == nil {
+	if _, err := trace.ServeMultiGPU(reqs, 0, service); err == nil {
 		t.Error("zero GPUs accepted")
 	}
-	if _, err := ServeMultiGPU(nil, 2, service); err == nil {
+	if _, err := trace.ServeMultiGPU(nil, 2, service); err == nil {
 		t.Error("empty stream accepted")
 	}
 }
 
 func TestMemoService(t *testing.T) {
 	calls := 0
-	svc := MemoService(func(size int) (float64, error) {
+	svc := trace.MemoService(func(size int) (float64, error) {
 		calls++
 		return float64(size), nil
 	})
@@ -183,6 +263,42 @@ func TestMemoService(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("inner called %d times, want 2", calls)
+	}
+}
+
+// MemoService must be safe for concurrent use (the concurrent server's
+// worker pool shares one memo) and must run the inner simulation at most
+// once per size even under contention. Run with -race.
+func TestMemoServiceConcurrent(t *testing.T) {
+	var calls [8]int64
+	svc := trace.MemoService(func(size int) (float64, error) {
+		atomic.AddInt64(&calls[size], 1)
+		return float64(size) * 3, nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				size := (g + i) % len(calls)
+				s, err := svc(size)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if s != float64(size)*3 {
+					t.Errorf("size %d: got %g", size, s)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for size, c := range calls {
+		if c != 1 {
+			t.Errorf("inner called %d times for size %d, want 1 (singleflight)", c, size)
+		}
 	}
 }
 
@@ -206,21 +322,21 @@ func TestServeTunedSystem(t *testing.T) {
 	if err := rf.Tune(hist, tuner.Options{Occupancies: []int{2, 4, 8}, Parallelism: 4}); err != nil {
 		t.Fatal(err)
 	}
-	service := MemoService(func(size int) (float64, error) {
+	service := trace.MemoService(func(size int) (float64, error) {
 		// Quantize sizes so the memo keeps the test fast; the queueing
 		// behaviour under test is unaffected.
 		size = (size + 63) / 64 * 64
-		b, err := datasynth.GenerateBatch(mcfg, size, rng)
+		b, err := datasynth.BatchForSize(mcfg, size)
 		if err != nil {
 			return 0, err
 		}
 		return rf.Measure(dev, features, b)
 	})
-	reqs, err := Generate(120, GeneratorConfig{QPS: 2000, MaxBatch: 512, TailProb: 0.03, TailSize: 2560, Seed: 7})
+	reqs, err := trace.Generate(120, trace.GeneratorConfig{QPS: 2000, MaxBatch: 512, TailProb: 0.03, TailSize: 2560, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Serve(reqs, service)
+	res, err := trace.Serve(reqs, service)
 	if err != nil {
 		t.Fatal(err)
 	}
