@@ -90,6 +90,61 @@ func serviceFor(sys baselines.Baseline, dev *gpusim.Device, features []fusion.Fe
 	})
 }
 
+// runDrift replays a drifting trace through the continuous serving loop:
+// pooling factors scale by factor a fraction frac into the trace, the
+// supervisor detects the shift online, re-tunes in the background on one of
+// the simulated-GPU worker slots and hot-swaps the fresh schedule set —
+// admission never pauses. The same trace replayed with the schedules frozen
+// gives the stale baseline the post-swap latency split is measured against.
+func runDrift(rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request, srvCfg trace.ServerConfig, factor, frac float64) {
+	if frac < 0 || frac >= 1 {
+		log.Fatalf("drift-at %g outside [0,1)", frac)
+	}
+	// trace.Generate emits requests in arrival order, so the drift step lands
+	// at the chosen fraction of the stream.
+	at := reqs[int(frac*float64(len(reqs)))].Arrival
+	sched := datasynth.StepDrift(at, factor)
+	src := func(t float64, size int) (*embedding.Batch, error) {
+		return sched.BatchForSize(cfg, t, size)
+	}
+	opts := core.ContinuousOptions{
+		Supervisor: trace.SupervisorConfig{Server: srvCfg, Window: 32, CheckEvery: 16},
+		Quantum:    sizeQuantum,
+		PhaseOf:    sched.PhaseStart,
+	}
+	fmt.Printf("drift: pooling factors x%g from t=%s\n\n", factor, report.FmtUS(at))
+
+	live := rf.Clone()
+	rep, err := live.ServeContinuous(reqs, src, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stale, err := rf.ServeFrozen(reqs, src, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := rep.Metrics
+	if len(m.Swaps) == 0 {
+		fmt.Println("no drift detected; serving stayed on generation 0")
+		return
+	}
+	for _, s := range m.Swaps {
+		fmt.Printf("generation %d: drift detected t=%s -> background tune on gpu%d (%s busy) -> hot-swap t=%s\n",
+			s.Generation, report.FmtUS(s.Detected), s.Worker, report.FmtUS(s.TuneDuration), report.FmtUS(s.Swapped))
+	}
+	freshMean, staleMean, n := core.PostSwapSplit(rep, stale)
+	if n == 0 {
+		fmt.Println("swap landed after the last request; no post-swap latency to split")
+		return
+	}
+	fmt.Printf("\npost-swap latency over %d requests: stale %s vs swapped %s -> %s recovery\n",
+		n, report.FmtUS(staleMean), report.FmtUS(freshMean), report.FmtRatio(staleMean/freshMean))
+	fmt.Printf("continuous p50 %s p99 %s | frozen p50 %s p99 %s\n",
+		report.FmtUS(rep.P50), report.FmtUS(rep.P99), report.FmtUS(stale.P50), report.FmtUS(stale.P99))
+	fmt.Printf("serving detail: %s\n", m)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("recflex-serve: ")
@@ -103,6 +158,8 @@ func main() {
 		gpus     = flag.Int("gpus", 1, "simulated GPU workers per system")
 		queue    = flag.Int("queue", 0, "admission queue bound (0 = unbounded)")
 		deadline = flag.Float64("deadline", 0, "per-request deadline in milliseconds (0 = none)")
+		drift    = flag.Float64("drift", 0, "mid-trace pooling-factor scale (0 = steady workload); switches to the continuous serving loop with online re-tuning")
+		driftAt  = flag.Float64("drift-at", 0.33, "fraction of the trace after which the drift lands")
 	)
 	flag.Parse()
 
@@ -147,13 +204,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	batches, err := prebuildBatches(cfg, reqs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("serving %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail, %d shared batches)\n\n",
-		len(reqs), *qps, *gpus, dev.Name, cfg.Name, len(features), *tailProb*100, len(batches))
-
 	srvCfg := trace.ServerConfig{
 		Workers:    *gpus,
 		QueueDepth: *queue,
@@ -161,6 +211,18 @@ func main() {
 		SplitCap:   splitCap,
 		Policy:     trace.DegradeSplitTail,
 	}
+	if *drift > 0 {
+		fmt.Printf("continuous serving: %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail)\n",
+			len(reqs), *qps, *gpus, dev.Name, cfg.Name, len(features), *tailProb*100)
+		runDrift(rf, cfg, reqs, srvCfg, *drift, *driftAt)
+		return
+	}
+	batches, err := prebuildBatches(cfg, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail, %d shared batches)\n\n",
+		len(reqs), *qps, *gpus, dev.Name, cfg.Name, len(features), *tailProb*100, len(batches))
 	systems := append(baselines.All(), rf)
 	tbl := &report.Table{
 		Title:  "end-to-end request latency",

@@ -6,6 +6,11 @@
 // and the concurrent serving engine replaying a Poisson trace through two
 // simulated GPUs with deadlines and split-at-cap degradation.
 //
+// The drift check here is offline: it compares two static datasets and
+// re-tunes in one blocking step. examples/continuous runs the same story
+// online — a supervisor detects the drift mid-trace, re-tunes in the
+// background while admission continues, and hot-swaps the schedule set.
+//
 //	go run ./examples/serving
 package main
 

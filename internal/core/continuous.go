@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/embedding"
+	"repro/internal/trace"
+	"repro/internal/tuner"
+)
+
+// TimedBatchSource supplies the input batch for a request of the given size
+// arriving at virtual time t. Drifting workloads back it with
+// datasynth.DriftSchedule.BatchForSize, so the batch a size maps to changes
+// at the drift steps; time-invariant callers can ignore t.
+type TimedBatchSource func(t float64, size int) (*embedding.Batch, error)
+
+// TimedService returns a concurrency-safe trace.TimedServiceFunc measuring
+// the tuned fused kernel on batches from src, quantizing request sizes up to
+// a multiple of quantum (0 or 1 disables quantization) and memoizing per
+// (drift phase, quantized size). phaseOf collapses virtual time onto the
+// workload's drift phases (datasynth.DriftSchedule.PhaseStart); nil means
+// the workload is time-invariant.
+//
+// The returned function binds this instance's schedule set at call time
+// through r.Measure — but a continuous serving loop must bind it per
+// generation: each generation's service is built from its own (immutable
+// after tuning) instance, so in-flight requests keep their schedules across
+// a hot-swap.
+func (r *RecFlex) TimedService(src TimedBatchSource, quantum int, phaseOf func(float64) float64) trace.TimedServiceFunc {
+	return trace.MemoTimedService(func(t float64, size int) (float64, error) {
+		if quantum > 1 {
+			size = (size + quantum - 1) / quantum * quantum
+		}
+		b, err := src(t, size)
+		if err != nil {
+			return 0, fmt.Errorf("core: batch for size %d at t=%g: %w", size, t, err)
+		}
+		return r.Measure(r.dev, r.model.Features, b)
+	}, phaseOf)
+}
+
+// ContinuousOptions shapes RecFlex.ServeContinuous.
+type ContinuousOptions struct {
+	// Supervisor shapes the continuous serving loop (engine, window, check
+	// cadence, tune duration, cooldown).
+	Supervisor trace.SupervisorConfig
+	// Quantum quantizes request sizes for measurement (see TimedService).
+	Quantum int
+	// PhaseOf collapses virtual time onto drift phases for measurement
+	// memoization; nil means time-invariant.
+	PhaseOf func(t float64) float64
+	// Tune configures each background re-tune's schedule search.
+	Tune tuner.Options
+	// RetuneBatches caps the distinct window batches a re-tune samples
+	// (most recent first); 0 means 4.
+	RetuneBatches int
+}
+
+// retuneBatchCap returns the effective cap on re-tune history batches.
+func (o *ContinuousOptions) retuneBatchCap() int {
+	if o.RetuneBatches == 0 {
+		return 4
+	}
+	return o.RetuneBatches
+}
+
+// windowBatches materializes the batches behind a supervisor window:
+// deduplicated by (drift phase, quantized size), newest first, capped at
+// limit (0 = no cap). Deduplication matters because TimedService memoizes on
+// exactly that key — distinct keys are the distinct batches the window saw.
+func (o *ContinuousOptions) windowBatches(src TimedBatchSource, win []trace.WindowEntry, limit int) ([]*embedding.Batch, error) {
+	type key struct {
+		phase float64
+		size  int
+	}
+	seen := make(map[key]bool)
+	var out []*embedding.Batch
+	for i := len(win) - 1; i >= 0; i-- {
+		size := win[i].Size
+		if o.Quantum > 1 {
+			size = (size + o.Quantum - 1) / o.Quantum * o.Quantum
+		}
+		k := key{size: size}
+		if o.PhaseOf != nil {
+			k.phase = o.PhaseOf(win[i].Time)
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b, err := src(win[i].Time, size)
+		if err != nil {
+			return nil, fmt.Errorf("core: window batch for size %d at t=%g: %w", size, win[i].Time, err)
+		}
+		out = append(out, b)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: empty supervisor window")
+	}
+	return out, nil
+}
+
+// ServeFrozen replays the same continuous loop with drift control disabled:
+// every request is served by this instance's current schedule set, whatever
+// the workload does. It is the stale-schedule baseline a ServeContinuous run
+// is compared against — same engine, same trace, same virtual clock, only
+// the schedules differ.
+func (r *RecFlex) ServeFrozen(reqs []trace.Request, src TimedBatchSource, opts ContinuousOptions) (*trace.Report, error) {
+	if r.Tuned() == nil {
+		return nil, errNotTuned
+	}
+	never := func([]trace.WindowEntry) (bool, error) { return false, nil }
+	frozen := func(int, []trace.WindowEntry) (trace.TimedServiceFunc, error) {
+		return nil, fmt.Errorf("core: frozen serving loop must not re-tune")
+	}
+	sv, err := trace.NewSupervisor(opts.Supervisor, r.TimedService(src, opts.Quantum, opts.PhaseOf), never, frozen)
+	if err != nil {
+		return nil, err
+	}
+	return sv.Run(reqs)
+}
+
+// PostSwapSplit compares a supervised run against its frozen baseline on the
+// post-swap slice: the mean served sojourn over requests admitted on a
+// re-tuned generation (fresh.Generations[i] > 0), and over the exact same
+// request indices of the stale run. n is the number of requests compared; it
+// is 0 when the supervised run never swapped (or every post-swap request was
+// shed in either run), in which case both means are NaN.
+func PostSwapSplit(fresh, stale *trace.Report) (freshMean, staleMean float64, n int) {
+	var fs, ss float64
+	for i, g := range fresh.Generations {
+		if g == 0 || i >= len(stale.Sojourn) ||
+			math.IsNaN(fresh.Sojourn[i]) || math.IsNaN(stale.Sojourn[i]) {
+			continue
+		}
+		fs += fresh.Sojourn[i]
+		ss += stale.Sojourn[i]
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN(), 0
+	}
+	return fs / float64(n), ss / float64(n), n
+}
+
+// ServeContinuous runs the full continuous serving loop on this instance:
+// the request stream is replayed through a trace.Supervisor whose drift
+// detector is ShouldRetune over the sliding window's batches and whose
+// retuner runs the two-stage schedule search on the recent window, compiling
+// a fresh schedule set that the supervisor hot-swaps into the loop while
+// serving continues on the remaining workers. Each generation is an
+// independent immutable instance, so in-flight requests finish on the
+// schedules they were admitted under; when the run ends the receiver adopts
+// the final generation's tuning (the production hot-swap's last commit).
+//
+// The instance must be tuned; determinism of the trace, the drift source and
+// the tuner makes the whole run reproducible for a fixed seed.
+func (r *RecFlex) ServeContinuous(reqs []trace.Request, src TimedBatchSource, opts ContinuousOptions) (*trace.Report, error) {
+	if r.Tuned() == nil {
+		return nil, errNotTuned
+	}
+	// cur tracks the live generation's instance: the drift detector compares
+	// the window against the most recently installed tuning profile, not the
+	// original one, so one shift triggers one re-tune rather than an endless
+	// train of them.
+	cur := r
+	detect := func(win []trace.WindowEntry) (bool, error) {
+		batches, err := opts.windowBatches(src, win, 0)
+		if err != nil {
+			return false, err
+		}
+		return cur.ShouldRetune(batches)
+	}
+	retune := func(gen int, win []trace.WindowEntry) (trace.TimedServiceFunc, error) {
+		batches, err := opts.windowBatches(src, win, opts.retuneBatchCap())
+		if err != nil {
+			return nil, err
+		}
+		fresh := &RecFlex{dev: r.dev, model: r.model}
+		if err := fresh.Tune(batches, opts.Tune); err != nil {
+			return nil, fmt.Errorf("core: background tune for generation %d: %w", gen, err)
+		}
+		cur = fresh
+		return fresh.TimedService(src, opts.Quantum, opts.PhaseOf), nil
+	}
+	sv, err := trace.NewSupervisor(opts.Supervisor, r.TimedService(src, opts.Quantum, opts.PhaseOf), detect, retune)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sv.Run(reqs)
+	if err != nil {
+		return nil, err
+	}
+	if cur != r {
+		r.adoptFrom(cur)
+	}
+	return rep, nil
+}

@@ -52,6 +52,34 @@ func NewWithCandidates(dev *gpusim.Device, features []fusion.FeatureInfo, candid
 	return &RecFlex{dev: dev, model: m}, nil
 }
 
+// Clone returns an independent instance sharing the immutable model and
+// device but owning its own tuning state. A continuous serving loop re-tunes
+// and hot-swaps on a clone without perturbing the receiver (or a cached
+// instance shared across experiments).
+func (r *RecFlex) Clone() *RecFlex {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return &RecFlex{
+		dev:      r.dev,
+		model:    r.model,
+		tuned:    r.tuned,
+		baseline: append([]featureProfile(nil), r.baseline...),
+	}
+}
+
+// adoptFrom installs another instance's tuning result and drift baseline —
+// the receiver-side commit of a schedule hot-swap, after a supervised run
+// ends on a re-tuned generation. Both instances must share a model.
+func (r *RecFlex) adoptFrom(o *RecFlex) {
+	o.mu.RLock()
+	tuned, baseline := o.tuned, append([]featureProfile(nil), o.baseline...)
+	o.mu.RUnlock()
+	r.mu.Lock()
+	r.tuned = tuned
+	r.baseline = baseline
+	r.mu.Unlock()
+}
+
 // Features returns the model description.
 func (r *RecFlex) Features() []fusion.FeatureInfo { return r.model.Features }
 

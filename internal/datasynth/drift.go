@@ -1,0 +1,88 @@
+package datasynth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/embedding"
+)
+
+// DriftStep is one step of a piecewise-constant drift schedule: from virtual
+// time At onward, multi-hot pooling-factor distributions are scaled by
+// Factor (see Drifted).
+type DriftStep struct {
+	At     float64
+	Factor float64
+}
+
+// DriftSchedule injects distribution shift into a served trace: a
+// piecewise-constant, time-varying pooling-factor scale. Before the first
+// step the factor is 1 (the unmodified model); each step replaces the factor
+// from its time onward. This is the workload-side half of the paper's
+// §IV-A3 re-tuning story — the data drifts while the serving loop runs, and
+// the supervisor has to notice and re-tune.
+type DriftSchedule struct {
+	Steps []DriftStep
+}
+
+// StepDrift returns the simplest schedule: factor 1 until at, then factor.
+func StepDrift(at, factor float64) *DriftSchedule {
+	return &DriftSchedule{Steps: []DriftStep{{At: at, Factor: factor}}}
+}
+
+// Validate checks that steps are strictly ascending in time with positive
+// factors.
+func (d *DriftSchedule) Validate() error {
+	for i, s := range d.Steps {
+		if s.Factor <= 0 {
+			return fmt.Errorf("datasynth: drift step %d: factor must be positive, got %g", i, s.Factor)
+		}
+		if i > 0 && s.At <= d.Steps[i-1].At {
+			return fmt.Errorf("datasynth: drift step %d at %g not after step %d at %g",
+				i, s.At, i-1, d.Steps[i-1].At)
+		}
+	}
+	return nil
+}
+
+// step returns the index of the step in effect at time t, or -1 before the
+// first step.
+func (d *DriftSchedule) step(t float64) int {
+	return sort.Search(len(d.Steps), func(i int) bool { return d.Steps[i].At > t }) - 1
+}
+
+// FactorAt returns the pooling-factor scale in effect at virtual time t.
+func (d *DriftSchedule) FactorAt(t float64) float64 {
+	if i := d.step(t); i >= 0 {
+		return d.Steps[i].Factor
+	}
+	return 1
+}
+
+// PhaseStart returns the start time of the drift phase in effect at t (0
+// before the first step). It is the canonical phase normalizer for
+// trace.MemoTimedService: all times within one phase share batch statistics,
+// so one measurement per (phase, size) covers them all.
+func (d *DriftSchedule) PhaseStart(t float64) float64 {
+	if i := d.step(t); i >= 0 {
+		return d.Steps[i].At
+	}
+	return 0
+}
+
+// ConfigAt returns cfg scaled by the drift factor in effect at time t.
+func (d *DriftSchedule) ConfigAt(cfg *ModelConfig, t float64) *ModelConfig {
+	f := d.FactorAt(t)
+	if f == 1 {
+		return cfg
+	}
+	return Drifted(cfg, f)
+}
+
+// BatchForSize draws the canonical batch of the given size at virtual time
+// t: BatchForSize's determinism per (config, size), extended with the drift
+// phase — every caller observing the same (phase, size) sees the exact same
+// batch, and batches change precisely at the schedule's steps.
+func (d *DriftSchedule) BatchForSize(cfg *ModelConfig, t float64, size int) (*embedding.Batch, error) {
+	return BatchForSize(d.ConfigAt(cfg, t), size)
+}

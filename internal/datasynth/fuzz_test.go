@@ -1,0 +1,164 @@
+package datasynth_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/preproc"
+)
+
+// FuzzBatchRoundTripPreproc drives fuzzed (seed, size, drift, preproc
+// knobs) through the full synthetic data path: model config -> drifted
+// config -> canonical batch -> preprocessing pipeline. The generator must
+// stay deterministic, the CSR invariants must hold at every stage, and each
+// preprocessing op must preserve its contract (hash keeps IDs in range,
+// clip bounds pooling factors, dedup leaves no within-sample duplicates).
+func FuzzBatchRoundTripPreproc(f *testing.F) {
+	f.Add(int64(1), uint8(16), float64(1), uint8(4), uint64(0))
+	f.Add(int64(1003), uint8(1), float64(4), uint8(1), uint64(0x9E3779B97F4A7C15))
+	f.Add(int64(-77), uint8(64), float64(0.25), uint8(32), uint64(42))
+	f.Add(int64(7717), uint8(33), float64(7.5), uint8(7), uint64(1))
+
+	base := datasynth.Scaled(datasynth.ModelC(), 100) // 8 multi-hot features
+	f.Fuzz(func(t *testing.T, seed int64, rawSize uint8, factor float64, rawClip uint8, hashSeed uint64) {
+		size := 1 + int(rawSize)%64
+		clip := 1 + int(rawClip)%32
+		if math.IsNaN(factor) || math.IsInf(factor, 0) {
+			factor = 1
+		}
+		factor = math.Abs(factor)
+		if factor < 1.0/16 || factor > 16 {
+			factor = 1 + math.Mod(factor, 15)
+		}
+
+		cfg := &datasynth.ModelConfig{Name: base.Name, Features: base.Features, Seed: seed}
+		drifted := datasynth.Drifted(cfg, factor)
+		if err := drifted.Validate(); err != nil {
+			t.Fatalf("drifted config invalid (factor %g): %v", factor, err)
+		}
+
+		b, err := datasynth.BatchForSize(drifted, size)
+		if err != nil {
+			t.Fatalf("BatchForSize(%d): %v", size, err)
+		}
+		if got := b.BatchSize(); got != size {
+			t.Fatalf("batch size %d, want %d", got, size)
+		}
+		again, err := datasynth.BatchForSize(drifted, size)
+		if err != nil {
+			t.Fatalf("BatchForSize replay: %v", err)
+		}
+		if !reflect.DeepEqual(b, again) {
+			t.Fatalf("BatchForSize not deterministic for (seed %d, size %d, factor %g)", seed, size, factor)
+		}
+
+		ops := []preproc.Op{
+			preproc.HashMod{Seed: hashSeed},
+			preproc.Clip{MaxPF: clip},
+			preproc.Dedup{},
+		}
+		for fi := range b.Features {
+			rows := drifted.Features[fi].Rows
+			fb := &b.Features[fi]
+			if err := fb.Validate(rows); err != nil {
+				t.Fatalf("feature %d: generated batch invalid: %v", fi, err)
+			}
+			out, err := preproc.ApplyAll(ops, fb, rows)
+			if err != nil {
+				t.Fatalf("feature %d: ApplyAll: %v", fi, err)
+			}
+			if err := out.Validate(rows); err != nil {
+				t.Fatalf("feature %d: preprocessed batch invalid: %v", fi, err)
+			}
+			if out.BatchSize() != size {
+				t.Fatalf("feature %d: preproc changed batch size %d -> %d", fi, size, out.BatchSize())
+			}
+			for s := 0; s < size; s++ {
+				ids := out.Sample(s)
+				if len(ids) > clip {
+					t.Fatalf("feature %d sample %d: pooling factor %d exceeds clip %d", fi, s, len(ids), clip)
+				}
+				if orig := fb.PoolingFactor(s); len(ids) > orig {
+					t.Fatalf("feature %d sample %d: preproc grew pooling factor %d -> %d", fi, s, orig, len(ids))
+				}
+				seen := make(map[int32]bool, len(ids))
+				for _, id := range ids {
+					if seen[id] {
+						t.Fatalf("feature %d sample %d: duplicate id %d survived Dedup", fi, s, id)
+					}
+					seen[id] = true
+				}
+			}
+			// The pipeline must be a pure function of its input.
+			out2, err := preproc.ApplyAll(ops, fb, rows)
+			if err != nil {
+				t.Fatalf("feature %d: ApplyAll replay: %v", fi, err)
+			}
+			if !reflect.DeepEqual(out, out2) {
+				t.Fatalf("feature %d: ApplyAll not deterministic", fi)
+			}
+		}
+	})
+}
+
+// FuzzDriftScheduleBatches pins the phase semantics the continuous serving
+// loop depends on: DriftSchedule.BatchForSize must be constant within a
+// phase, change exactly at the step boundary, and agree with the plain
+// generator before the first step.
+func FuzzDriftScheduleBatches(f *testing.F) {
+	f.Add(int64(9), uint8(32), float64(0.5), float64(4))
+	f.Add(int64(1003), uint8(8), float64(0.01), float64(2))
+	f.Add(int64(5), uint8(48), float64(1.5), float64(8))
+
+	base := datasynth.Scaled(datasynth.ModelC(), 100)
+	f.Fuzz(func(t *testing.T, seed int64, rawSize uint8, at, factor float64) {
+		size := 1 + int(rawSize)%64
+		if math.IsNaN(at) || math.IsInf(at, 0) || at <= 0 {
+			at = 0.5
+		}
+		if math.IsNaN(factor) || math.IsInf(factor, 0) || factor <= 0 {
+			factor = 4
+		}
+		if factor > 16 {
+			factor = 16
+		}
+
+		cfg := &datasynth.ModelConfig{Name: base.Name, Features: base.Features, Seed: seed}
+		d := datasynth.StepDrift(at, factor)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("StepDrift(%g, %g): %v", at, factor, err)
+		}
+
+		before, err := d.BatchForSize(cfg, at/2, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := datasynth.BatchForSize(cfg, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(before, plain) {
+			t.Fatalf("pre-drift batch differs from the undrifted generator")
+		}
+
+		atStep, err := d.BatchForSize(cfg, at, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		later, err := d.BatchForSize(cfg, at*2, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(atStep, later) {
+			t.Fatalf("two times inside the drifted phase produced different batches")
+		}
+		if phase := d.PhaseStart(at * 2); phase != at {
+			t.Fatalf("PhaseStart(%g) = %g, want %g", at*2, phase, at)
+		}
+		if phase := d.PhaseStart(at / 2); phase != 0 {
+			t.Fatalf("PhaseStart(%g) = %g, want 0", at/2, phase)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+)
+
+var fuzzDims = []int{4, 8, 16, 32, 64, 128}
+
+// FuzzScheduleEquivalence fuzzes the invariant the whole tuner rests on:
+// every candidate schedule is an execution strategy, never a semantics
+// change. For a fuzzed workload batch, each supported candidate's plan must
+// validate, and its pooled outputs must be bit-identical to the CPU
+// reference for every pooling mode — both when executed whole and when its
+// blocks run in a shuffled order (the exact-cover property the hot-swap
+// relies on: any generation's plan computes the same embeddings).
+func FuzzScheduleEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(32), uint8(1), uint8(20))
+	f.Add(int64(21), uint8(255), uint8(0), uint8(40))
+	f.Add(int64(-9), uint8(1), uint8(5), uint8(0))
+	f.Add(int64(7717), uint8(64), uint8(3), uint8(7))
+
+	dev := gpusim.V100()
+	f.Fuzz(func(t *testing.T, seed int64, rawBatch, rawDim, rawPF uint8) {
+		dim := fuzzDims[int(rawDim)%len(fuzzDims)]
+		batch := 1 + int(rawBatch)%128
+		maxPF := int(rawPF) % 48
+
+		rng := rand.New(rand.NewSource(seed))
+		rows := 128 << rng.Intn(4)
+		tbl, err := embedding.NewDeterministicTable("t", rows, dim, uint64(seed)*0x9E3779B9+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, w := randomWorkloadBatch(rng, batch, rows, dim, maxPF)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("generated workload invalid: %v", err)
+		}
+
+		cands := SupportedCandidates(DefaultCandidates(dim), &w)
+		if len(cands) == 0 {
+			return
+		}
+		for _, mode := range []embedding.PoolMode{embedding.PoolSum, embedding.PoolMean, embedding.PoolMax} {
+			want, err := embedding.PoolCPU(tbl, fb, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range cands {
+				p, err := s.Plan(&w, dev, testL2())
+				if err != nil {
+					t.Fatalf("%s: Plan: %v", s.Name(), err)
+				}
+				if err := p.Validate(w.BatchSize); err != nil {
+					t.Fatalf("%s: plan invalid: %v", s.Name(), err)
+				}
+				got := make([]float32, len(want))
+				p.ExecuteAll(tbl, fb, mode, got)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s mode %v: out[%d] = %g, want %g (batch %d dim %d maxPF %d seed %d)",
+							s.Name(), mode, i, got[i], want[i], batch, dim, maxPF, seed)
+					}
+				}
+				// Blocks shuffled and run exactly once must cover the batch.
+				shuffled := make([]float32, len(want))
+				for _, b := range rng.Perm(p.NumBlocks) {
+					p.ExecuteBlock(b, tbl, fb, mode, shuffled)
+				}
+				for i := range want {
+					if want[i] != shuffled[i] {
+						t.Fatalf("%s mode %v: shuffled block execution diverges at %d", s.Name(), mode, i)
+					}
+				}
+			}
+		}
+	})
+}

@@ -228,6 +228,30 @@ func (d *depthSeries) observe(t float64, depth int) {
 	d.samples = append(d.samples, QueueSample{Time: t, Depth: depth})
 }
 
+// SwapEvent records one schedule hot-swap of a supervised serving run: the
+// drift detection, the background tune booked on a worker slot, and the
+// virtual time the new generation went live. Admissions at or after Swapped
+// are served on Generation; earlier admissions — including ones still
+// in flight at the swap — finish on the generation they arrived under.
+type SwapEvent struct {
+	// Generation is the schedule-set generation id this swap installed.
+	Generation int
+	// Detected is the virtual time the drift detector fired.
+	Detected float64
+	// Start is the virtual time the background tune began on its worker.
+	Start float64
+	// Swapped is the virtual time the new generation went live (tune end).
+	Swapped float64
+	// Worker is the simulated-GPU slot the background tune occupied.
+	Worker int
+	// TuneDuration is the simulated seconds the tune held its worker slot.
+	TuneDuration float64
+	// PreMean / PostMean split served latency around the swap: the mean
+	// sojourn of requests admitted on the previous generation vs on this
+	// one. NaN when a side served no requests.
+	PreMean, PostMean float64
+}
+
 // Metrics is the first-class observability snapshot of one served trace:
 // everything recflex-serve prints beyond the latency table, and the contract
 // future scaling PRs (sharding, caching, multi-tenant) report through.
@@ -256,10 +280,32 @@ type Metrics struct {
 	QueueDepth []QueueSample
 	// Makespan is the span from first arrival to last completion in seconds.
 	Makespan float64
+	// Generation is the schedule-set generation live at the end of the run:
+	// the number of hot-swaps a Supervisor performed (0 for a plain Server).
+	Generation int
+	// Swaps records each schedule hot-swap of a supervised run, in order.
+	Swaps []SwapEvent
+	// TuneBusy is the total simulated worker time background re-tunes
+	// occupied — serving capacity spent on tuning rather than requests.
+	TuneBusy float64
 }
 
 // Shed returns the total number of dropped requests.
 func (m *Metrics) Shed() int { return m.DeadlineSheds + m.QueueSheds }
+
+// Clone returns a deep copy of the snapshot, safe to mutate independently.
+func (m *Metrics) Clone() *Metrics {
+	cp := *m
+	cp.Workers = append([]WorkerStats(nil), m.Workers...)
+	cp.QueueDepth = append([]QueueSample(nil), m.QueueDepth...)
+	cp.Swaps = append([]SwapEvent(nil), m.Swaps...)
+	if m.Latency != nil {
+		h := *m.Latency
+		h.Counts = append([]int64(nil), m.Latency.Counts...)
+		cp.Latency = &h
+	}
+	return &cp
+}
 
 // String summarizes the counters in one line.
 func (m *Metrics) String() string {

@@ -1,0 +1,86 @@
+package trace_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Property: with deadlines off, the concurrent engine's virtual-clock replay
+// is not merely close to the closed-form models — it IS them. Across
+// randomized traces (rate, tail mix, seed) and worker counts, every sojourn,
+// percentile and utilization figure must match trace.Serve (k=1) and
+// trace.ServeMultiGPU (k>1) with exact float equality: the engine performs
+// the same sequence of floating-point operations, so any drift is a real
+// queueing-logic divergence, not rounding.
+func TestServerReplayEqualsClosedFormProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed * 1009))
+		n := 100 + rng.Intn(400)
+		reqs, err := trace.Generate(n, trace.GeneratorConfig{
+			QPS:      300 + rng.Float64()*5000,
+			MaxBatch: 512,
+			TailProb: rng.Float64() * 0.15,
+			TailSize: 2560,
+			Seed:     seed * 7717,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSample := 1e-6 * (1 + rng.Float64()*80)
+		service := sizeService(perSample)
+		k := 1 + rng.Intn(4)
+
+		var wantSoj []float64
+		var wantUtil float64
+		if k == 1 {
+			want, err := trace.Serve(reqs, service)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSoj, wantUtil = want.Sojourn, want.Utilization
+		} else {
+			want, err := trace.ServeMultiGPU(reqs, k, service)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSoj, wantUtil = want.Sojourn, want.Utilization
+		}
+
+		srv, err := trace.NewServer(trace.ServerConfig{Workers: k}, service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := srv.Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if rep.Sojourn[i] != wantSoj[i] {
+				t.Fatalf("seed %d k=%d: sojourn %d: engine %g, closed-form %g",
+					seed, k, i, rep.Sojourn[i], wantSoj[i])
+			}
+			if rep.Outcomes[i] != trace.OutcomeServed {
+				t.Fatalf("seed %d k=%d: request %d outcome %v, want served (deadlines are off)",
+					seed, k, i, rep.Outcomes[i])
+			}
+			if rep.Generations[i] != 0 {
+				t.Fatalf("seed %d k=%d: request %d stamped generation %d on a plain server",
+					seed, k, i, rep.Generations[i])
+			}
+		}
+		if math.Abs(rep.Utilization-wantUtil) > 1e-12 {
+			t.Errorf("seed %d k=%d: utilization %g vs %g", seed, k, rep.Utilization, wantUtil)
+		}
+		m := rep.Metrics
+		if m.Served != n || m.Shed() != 0 || m.Timeouts != 0 {
+			t.Errorf("seed %d k=%d: counters off: %s", seed, k, m)
+		}
+		if m.Generation != 0 || len(m.Swaps) != 0 || m.TuneBusy != 0 {
+			t.Errorf("seed %d k=%d: plain server reports swap state: gen=%d swaps=%d tuneBusy=%g",
+				seed, k, m.Generation, len(m.Swaps), m.TuneBusy)
+		}
+	}
+}

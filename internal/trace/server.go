@@ -156,6 +156,11 @@ type Report struct {
 	Result
 	// Outcomes[i] resolves the caller's request i.
 	Outcomes []Outcome
+	// Generations[i] is the schedule-set generation the caller's request i
+	// was admitted on. All zeros for a plain Server run; a Supervisor run
+	// stamps each admission with the generation live at its arrival, so the
+	// pre/post-swap latency split can be computed per request.
+	Generations []int
 	// Metrics is the observability snapshot of this run.
 	Metrics *Metrics
 }
@@ -209,26 +214,18 @@ func (s *Server) Metrics() *Metrics {
 	if s.last == nil {
 		return nil
 	}
-	cp := *s.last
-	cp.Workers = append([]WorkerStats(nil), s.last.Workers...)
-	cp.QueueDepth = append([]QueueSample(nil), s.last.QueueDepth...)
-	if s.last.Latency != nil {
-		h := *s.last.Latency
-		h.Counts = append([]int64(nil), s.last.Latency.Counts...)
-		cp.Latency = &h
-	}
-	return &cp
+	return s.last.Clone()
 }
 
 // isTail reports whether a request of this size is an unsplit long-tail
 // batch under the configured cap.
-func (s *Server) isTail(size int) bool {
-	return s.cfg.SplitCap > 0 && size > s.cfg.SplitCap
+func (c *ServerConfig) isTail(size int) bool {
+	return c.SplitCap > 0 && size > c.SplitCap
 }
 
 // chunkSizes returns the split-at-cap decomposition of a tail size.
-func (s *Server) chunkSizes(size int) []int {
-	cap := s.cfg.SplitCap
+func (c *ServerConfig) chunkSizes(size int) []int {
+	cap := c.SplitCap
 	var out []int
 	for size > cap {
 		out = append(out, cap)
@@ -257,8 +254,8 @@ func (s *Server) resolveServiceTimes(reqs []Request) (map[int]float64, error) {
 	}
 	for _, r := range reqs {
 		need(r.Size)
-		if s.cfg.Policy == DegradeSplitTail && s.isTail(r.Size) {
-			for _, c := range s.chunkSizes(r.Size) {
+		if s.cfg.Policy == DegradeSplitTail && s.cfg.isTail(r.Size) {
+			for _, c := range s.cfg.chunkSizes(r.Size) {
 				need(c)
 			}
 		}
@@ -312,6 +309,7 @@ type qentry struct {
 	arrival  float64 // request arrival time
 	deadline float64 // absolute completion deadline (+Inf if none)
 	size     int
+	gen      int  // schedule-set generation stamped at admission
 	chunk    bool // split chunk of a tail request
 }
 
@@ -322,30 +320,68 @@ type splitState struct {
 	service   float64
 }
 
-// Serve runs the request stream through the engine and returns the exact
-// virtual-time Report. It also installs the run's Metrics as the server's
-// current snapshot. Out-of-order input is sorted on entry; Sojourn and
-// Outcomes stay aligned with the caller's indices.
-func (s *Server) Serve(reqs []Request) (*Report, error) {
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("trace: empty request stream")
-	}
-	sorted, order := arrivalOrder(reqs)
-	times, err := s.resolveServiceTimes(sorted)
-	if err != nil {
-		return nil, err
-	}
+// resolveFunc returns the service time of one queue entry. The plain Server
+// reads a pre-resolved per-size table; the Supervisor resolves against the
+// generation and arrival time stamped on the entry, so in-flight requests
+// keep the schedule set they were admitted on across a hot-swap.
+type resolveFunc func(e *qentry) (float64, error)
 
-	k := s.cfg.workers()
+// admitHook observes every arrival at its admission time, in arrival order,
+// before queue placement or shedding. It returns the schedule-set generation
+// to stamp on the entry. The hook may book background work on a worker slot
+// through replayState.Occupy — this is how the Supervisor charges a
+// background re-tune against serving capacity.
+type admitHook func(st *replayState, r Request, now float64) (gen int, err error)
+
+// replayState is the mutable state of one virtual-clock replay, exposed to
+// the admission hook so supervised runs can interact with worker capacity.
+type replayState struct {
+	cfg  ServerConfig
+	free []float64 // free[g] is when worker g next becomes idle
+	met  *Metrics
+}
+
+// Occupy books dur seconds of background work on the least-loaded worker at
+// virtual time now, returning the chosen slot and the booked start/end. The
+// booked interval delays every later dispatch routed to that worker, so the
+// capacity a background tune consumes is explicitly accounted rather than
+// assumed free; the duration accrues to Metrics.TuneBusy.
+func (st *replayState) Occupy(now, dur float64) (worker int, start, end float64) {
+	best := 0
+	for g := 1; g < len(st.free); g++ {
+		if st.free[g] < st.free[best] {
+			best = g
+		}
+	}
+	start = st.free[best]
+	if now > start {
+		start = now
+	}
+	end = start + dur
+	st.free[best] = end
+	st.met.TuneBusy += dur
+	return best, start, end
+}
+
+// runReplay is the deterministic virtual-clock event loop shared by
+// Server.Serve and Supervisor.Run: FIFO admission with the configured queue
+// bound and degradation policy, least-loaded dispatch over cfg.workers()
+// simulated GPUs, per-request deadlines and split-at-cap fallback. sorted
+// must be in arrival order; order maps sorted positions back to the caller's
+// indices (nil = identity).
+func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveFunc, admit admitHook) (*Report, error) {
+	k := cfg.workers()
 	n := len(sorted)
-	free := make([]float64, k)
 	workerStats := make([]WorkerStats, k)
-	met := &Metrics{Latency: s.cfg.histogram()}
+	met := &Metrics{Latency: cfg.histogram()}
+	state := &replayState{cfg: cfg, free: make([]float64, k), met: met}
+	free := state.free
 	var depths depthSeries
 	rep := &Report{
-		Result:   Result{Sojourn: make([]float64, n)},
-		Outcomes: make([]Outcome, n),
-		Metrics:  met,
+		Result:      Result{Sojourn: make([]float64, n)},
+		Outcomes:    make([]Outcome, n),
+		Generations: make([]int, n),
+		Metrics:     met,
 	}
 	for i := range rep.Sojourn {
 		rep.Sojourn[i] = math.NaN()
@@ -354,7 +390,7 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 	deadlineOf := func(r Request) float64 {
 		d := r.Deadline
 		if d == 0 {
-			d = s.cfg.Deadline
+			d = cfg.Deadline
 		}
 		if d == 0 {
 			return math.Inf(1)
@@ -430,11 +466,19 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 		if tDisp > tArr { // admit the next arrival
 			r := sorted[next]
 			e := qentry{pos: next, arrival: r.Arrival, deadline: deadlineOf(r), size: r.Size}
+			if admit != nil {
+				gen, err := admit(state, r, r.Arrival)
+				if err != nil {
+					return nil, err
+				}
+				e.gen = gen
+			}
+			rep.Generations[originalIndex(order, next)] = e.gen
 			next++
-			if s.cfg.QueueDepth > 0 && qlen() >= s.cfg.QueueDepth {
-				if s.cfg.Policy == DegradeSplitTail {
+			if cfg.QueueDepth > 0 && qlen() >= cfg.QueueDepth {
+				if cfg.Policy == DegradeSplitTail {
 					switch {
-					case s.isTail(e.size):
+					case cfg.isTail(e.size):
 						shed(e.pos, OutcomeShedQueue)
 						observeDepth(r.Arrival)
 						continue
@@ -443,7 +487,7 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 						// make room; if none, admit anyway (soft bound for
 						// non-tail traffic).
 						for j := len(queue) - 1; j >= head; j-- {
-							if !queue[j].chunk && s.isTail(queue[j].size) {
+							if !queue[j].chunk && cfg.isTail(queue[j].size) {
 								shed(queue[j].pos, OutcomeShedQueue)
 								queue = append(queue[:j], queue[j+1:]...)
 								break
@@ -473,8 +517,15 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 		st := tDisp
 		observeDepth(st)
 
+		sv, err := resolve(&e)
+		if err != nil {
+			return nil, err
+		}
+		if sv < 0 {
+			return nil, fmt.Errorf("trace: negative service time %g for size %d", sv, e.size)
+		}
+
 		if e.chunk {
-			sv := times[e.size]
 			free[best] = st + sv
 			busy += sv
 			workerStats[best].Served++
@@ -492,24 +543,25 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 			continue
 		}
 
-		sv := times[e.size]
 		switch {
-		case s.cfg.Policy == DegradeShed && st+sv > e.deadline:
+		case cfg.Policy == DegradeShed && st+sv > e.deadline:
 			shed(e.pos, OutcomeShedDeadline)
 			continue
-		case s.cfg.Policy == DegradeSplitTail && s.isTail(e.size) && st > e.deadline:
+		case cfg.Policy == DegradeSplitTail && cfg.isTail(e.size) && st > e.deadline:
 			// The tail request cannot even start before its deadline.
 			shed(e.pos, OutcomeShedDeadline)
 			continue
-		case s.cfg.Policy == DegradeSplitTail && s.isTail(e.size) && st+sv > e.deadline:
+		case cfg.Policy == DegradeSplitTail && cfg.isTail(e.size) && st+sv > e.deadline:
 			// Split-at-cap fallback: re-admit the request as chunks at the
 			// queue front; each chunk routes independently, so chunks of one
-			// tail request can run on several GPUs at once.
-			chunks := s.chunkSizes(e.size)
+			// tail request can run on several GPUs at once. Chunks inherit
+			// the parent's generation: a split request is still one
+			// admission and finishes on the schedule set it arrived under.
+			chunks := cfg.chunkSizes(e.size)
 			splits[e.pos] = &splitState{remaining: len(chunks)}
 			entries := make([]qentry, len(chunks))
 			for i, c := range chunks {
-				entries[i] = qentry{pos: e.pos, arrival: e.arrival, deadline: e.deadline, size: c, chunk: true}
+				entries[i] = qentry{pos: e.pos, arrival: e.arrival, deadline: e.deadline, size: c, gen: e.gen, chunk: true}
 			}
 			queue = append(queue[:head], append(entries, queue[head:]...)...)
 			continue
@@ -543,9 +595,30 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 	}
 	met.Workers = workerStats
 	met.QueueDepth = depths.samples
+	return rep, nil
+}
 
+// Serve runs the request stream through the engine and returns the exact
+// virtual-time Report. It also installs the run's Metrics as the server's
+// current snapshot. Out-of-order input is sorted on entry; Sojourn and
+// Outcomes stay aligned with the caller's indices.
+func (s *Server) Serve(reqs []Request) (*Report, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("trace: empty request stream")
+	}
+	sorted, order := arrivalOrder(reqs)
+	times, err := s.resolveServiceTimes(sorted)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := runReplay(s.cfg, sorted, order, func(e *qentry) (float64, error) {
+		return times[e.size], nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
-	s.last = met
+	s.last = rep.Metrics
 	s.mu.Unlock()
 	return rep, nil
 }

@@ -1,0 +1,384 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// TimedServiceFunc returns the GPU service time of a request of the given
+// size arriving at virtual time t. Time matters when the workload drifts:
+// the same batch size retrieves more embedding rows after a pooling-factor
+// shift, so a schedule set tuned before the shift serves it slower. A
+// time-invariant workload can ignore t.
+type TimedServiceFunc func(t float64, size int) (float64, error)
+
+// Untimed adapts a plain ServiceFunc to the timed signature.
+func Untimed(inner ServiceFunc) TimedServiceFunc {
+	return func(_ float64, size int) (float64, error) { return inner(size) }
+}
+
+// MemoTimedService caches a timed service by (phase, size), where phaseOf
+// collapses virtual time onto the workload's drift phases — e.g. the start
+// time of the piecewise-constant drift step in effect at t — so one
+// expensive kernel measurement per (phase, size) serves the whole trace.
+// nil phaseOf means the workload is time-invariant and t is ignored.
+// Same singleflight semantics as MemoService: safe for concurrent use, the
+// inner measurement runs at most once per key, errors are memoized.
+func MemoTimedService(inner TimedServiceFunc, phaseOf func(t float64) float64) TimedServiceFunc {
+	type key struct {
+		phase float64
+		size  int
+	}
+	type entry struct {
+		once sync.Once
+		s    float64
+		err  error
+	}
+	var mu sync.Mutex
+	memo := make(map[key]*entry)
+	return func(t float64, size int) (float64, error) {
+		k := key{size: size}
+		if phaseOf != nil {
+			k.phase = phaseOf(t)
+		}
+		mu.Lock()
+		e := memo[k]
+		if e == nil {
+			e = &entry{}
+			memo[k] = e
+		}
+		mu.Unlock()
+		e.once.Do(func() { e.s, e.err = inner(k.phase, size) })
+		return e.s, e.err
+	}
+}
+
+// WindowEntry is one admitted request in the supervisor's sliding window:
+// what arrived and when, which is all a drift detector needs to reconstruct
+// the recent workload (the batch content of a size at a time is
+// deterministic in this system).
+type WindowEntry struct {
+	// Time is the request's arrival time in virtual seconds.
+	Time float64
+	// Size is the request's batch size.
+	Size int
+}
+
+// DriftDetector inspects the sliding window of admitted requests and reports
+// whether the workload has drifted far enough from the live schedule set's
+// tuning-time profile that a re-tune is due. Serving callers back it with
+// core.RecFlex.ShouldRetune over the window's batches.
+type DriftDetector func(window []WindowEntry) (bool, error)
+
+// Retuner builds the schedule set of the next generation from the recent
+// window: the background tune. gen is the id the new generation will carry.
+// It runs logically in the background — the supervisor books its simulated
+// duration on a worker slot — but is invoked synchronously and must be
+// deterministic for replays to be reproducible.
+type Retuner func(gen int, window []WindowEntry) (TimedServiceFunc, error)
+
+// Generation is one immutable schedule set installed in the serving loop.
+type Generation struct {
+	// ID is the generation counter: 0 for the initial tune, +1 per swap.
+	ID int
+	// Swapped is the virtual time this generation went live (0 for ID 0).
+	Swapped float64
+	// Service measures the fused kernel compiled with this generation's
+	// schedules.
+	Service TimedServiceFunc
+}
+
+// LiveSet publishes the serving loop's current schedule-set generation for
+// concurrent readers. A hot-swap is a single atomic pointer store of an
+// immutable Generation, so a reader can never observe a torn (ID, Service)
+// pair, and IDs are strictly monotone: once a reader has seen generation g,
+// no later read returns an older one. Writers are serialized internally;
+// readers are lock-free.
+type LiveSet struct {
+	mu  sync.Mutex // serializes Swap
+	cur atomic.Pointer[Generation]
+}
+
+// NewLiveSet creates a live set holding generation 0.
+func NewLiveSet(service TimedServiceFunc) *LiveSet {
+	l := &LiveSet{}
+	l.cur.Store(&Generation{ID: 0, Service: service})
+	return l
+}
+
+// Current returns the live generation. The returned value is immutable.
+func (l *LiveSet) Current() *Generation { return l.cur.Load() }
+
+// Swap atomically installs service as the next generation, live from virtual
+// time at, and returns it. In-flight work holding the previous *Generation
+// keeps using it — hot-swap never invalidates a schedule set mid-request.
+func (l *LiveSet) Swap(service TimedServiceFunc, at float64) *Generation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next := &Generation{ID: l.cur.Load().ID + 1, Swapped: at, Service: service}
+	l.cur.Store(next)
+	return next
+}
+
+// SupervisorConfig shapes the continuous serving loop.
+type SupervisorConfig struct {
+	// Server shapes the underlying engine (workers, queue, deadlines,
+	// degradation policy).
+	Server ServerConfig
+	// Window is the sliding window length in admitted requests the drift
+	// detector sees; 0 means 32.
+	Window int
+	// CheckEvery runs the drift detector every this many admissions once
+	// the window is full; 0 means every Window admissions.
+	CheckEvery int
+	// TuneDuration is the simulated seconds a background re-tune occupies
+	// its worker slot; 0 means 0.05 (50ms — roughly the paper's few-second
+	// tuning budget scaled to the reproduction's microsecond kernels).
+	TuneDuration float64
+	// Cooldown is the minimum virtual time between a swap going live and
+	// the next drift check; 0 disables the cooldown.
+	Cooldown float64
+	// MaxRetunes caps the number of background tunes per run; 0 means
+	// unlimited.
+	MaxRetunes int
+}
+
+// Validate checks the supervisor configuration.
+func (c *SupervisorConfig) Validate() error {
+	if err := c.Server.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Window < 0:
+		return fmt.Errorf("trace: Window must be >= 0, got %d", c.Window)
+	case c.CheckEvery < 0:
+		return fmt.Errorf("trace: CheckEvery must be >= 0, got %d", c.CheckEvery)
+	case c.TuneDuration < 0:
+		return fmt.Errorf("trace: TuneDuration must be >= 0, got %g", c.TuneDuration)
+	case c.Cooldown < 0:
+		return fmt.Errorf("trace: Cooldown must be >= 0, got %g", c.Cooldown)
+	case c.MaxRetunes < 0:
+		return fmt.Errorf("trace: MaxRetunes must be >= 0, got %d", c.MaxRetunes)
+	}
+	return nil
+}
+
+func (c *SupervisorConfig) window() int {
+	if c.Window == 0 {
+		return 32
+	}
+	return c.Window
+}
+
+func (c *SupervisorConfig) checkEvery() int {
+	if c.CheckEvery == 0 {
+		return c.window()
+	}
+	return c.CheckEvery
+}
+
+func (c *SupervisorConfig) tuneDuration() float64 {
+	if c.TuneDuration == 0 {
+		return 0.05
+	}
+	return c.TuneDuration
+}
+
+// Supervisor is the continuous serving loop: the concurrent engine's replay
+// plus online drift control. It watches a sliding window of admitted
+// requests, runs the drift detector every CheckEvery admissions, launches a
+// background re-tune on a simulated-GPU worker slot when drift is detected
+// (serving keeps running on the remaining capacity), and hot-swaps the new
+// schedule set in when the tune completes: admissions from the swap time on
+// are served by the new generation, while earlier admissions — queued or in
+// flight — finish on the generation they arrived under. Every swap is
+// recorded in Metrics.Swaps with its generation id, tune duration and
+// pre/post-swap latency split.
+//
+// Like Server, the replay is exact and deterministic: the same trace,
+// detector and retuner always produce the same Report, which is what makes
+// drifting-workload experiments reproducible and the deterministic-seed
+// regression tests possible.
+type Supervisor struct {
+	cfg     SupervisorConfig
+	service TimedServiceFunc
+	detect  DriftDetector
+	retune  Retuner
+	live    *LiveSet
+
+	mu   sync.Mutex
+	last *Metrics
+}
+
+// NewSupervisor creates a continuous serving loop over generation-0 service.
+// detect decides when the live schedule set is stale; retune builds the next
+// generation when it is.
+func NewSupervisor(cfg SupervisorConfig, service TimedServiceFunc, detect DriftDetector, retune Retuner) (*Supervisor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if service == nil {
+		return nil, fmt.Errorf("trace: nil service function")
+	}
+	if detect == nil {
+		return nil, fmt.Errorf("trace: nil drift detector")
+	}
+	if retune == nil {
+		return nil, fmt.Errorf("trace: nil retuner")
+	}
+	return &Supervisor{
+		cfg:     cfg,
+		service: service,
+		detect:  detect,
+		retune:  retune,
+		live:    NewLiveSet(service),
+	}, nil
+}
+
+// Config returns the supervisor configuration.
+func (sv *Supervisor) Config() SupervisorConfig { return sv.cfg }
+
+// Live returns the generation store the supervisor publishes hot-swaps
+// through. Concurrent observers (dashboards, co-serving admission paths) can
+// read the current generation at any time; see LiveSet for the guarantees.
+func (sv *Supervisor) Live() *LiveSet { return sv.live }
+
+// Metrics returns a snapshot of the most recent run's observability data,
+// or nil before the first Run.
+func (sv *Supervisor) Metrics() *Metrics {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.last == nil {
+		return nil
+	}
+	return sv.last.Clone()
+}
+
+// Run replays the request stream through the continuous loop and returns the
+// exact virtual-time Report, with Generations stamping each request's
+// schedule-set generation and Metrics.Swaps recording every hot-swap. It
+// also installs the run's Metrics as the supervisor's current snapshot.
+func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("trace: empty request stream")
+	}
+	sorted, order := arrivalOrder(reqs)
+
+	// The generation history: in-flight entries resolve against the
+	// generation stamped at their admission even after later swaps.
+	gens := []TimedServiceFunc{sv.service}
+	cur := 0
+	// A tune in flight, waiting for its completion time to pass.
+	var pendingSvc TimedServiceFunc
+	var pendingAt float64
+	var swaps []SwapEvent
+
+	window := make([]WindowEntry, 0, sv.cfg.window())
+	winFull := false
+	sinceCheck := 0
+	cooldownUntil := math.Inf(-1)
+
+	admit := func(st *replayState, r Request, now float64) (int, error) {
+		// Apply a completed background tune: the swap is live for this and
+		// every later admission.
+		if pendingSvc != nil && now >= pendingAt {
+			gens = append(gens, pendingSvc)
+			cur = len(gens) - 1
+			sv.live.Swap(pendingSvc, pendingAt)
+			pendingSvc = nil
+		}
+
+		// Slide the window and pace the drift checks.
+		if len(window) == cap(window) {
+			copy(window, window[1:])
+			window = window[:len(window)-1]
+			winFull = true
+		}
+		window = append(window, WindowEntry{Time: now, Size: r.Size})
+		sinceCheck++
+
+		if pendingSvc == nil && (winFull || len(window) == cap(window)) &&
+			sinceCheck >= sv.cfg.checkEvery() && now >= cooldownUntil &&
+			(sv.cfg.MaxRetunes == 0 || len(swaps) < sv.cfg.MaxRetunes) {
+			sinceCheck = 0
+			drifted, err := sv.detect(window)
+			if err != nil {
+				return 0, fmt.Errorf("trace: drift detector: %w", err)
+			}
+			if drifted {
+				// Launch the background tune on the least-loaded worker:
+				// the slot is booked for the tune's duration, so serving
+				// capacity drops by one worker until the swap.
+				newGen := len(swaps) + 1
+				svc, err := sv.retune(newGen, window)
+				if err != nil {
+					return 0, fmt.Errorf("trace: re-tune for generation %d: %w", newGen, err)
+				}
+				if svc == nil {
+					return 0, fmt.Errorf("trace: re-tune for generation %d returned nil service", newGen)
+				}
+				worker, start, end := st.Occupy(now, sv.cfg.tuneDuration())
+				swaps = append(swaps, SwapEvent{
+					Generation:   newGen,
+					Detected:     now,
+					Start:        start,
+					Swapped:      end,
+					Worker:       worker,
+					TuneDuration: end - start,
+				})
+				pendingSvc = svc
+				pendingAt = end
+				cooldownUntil = end + sv.cfg.Cooldown
+			}
+		}
+		return cur, nil
+	}
+
+	resolve := func(e *qentry) (float64, error) {
+		return gens[e.gen](e.arrival, e.size)
+	}
+
+	rep, err := runReplay(sv.cfg.Server, sorted, order, resolve, admit)
+	if err != nil {
+		return nil, err
+	}
+
+	// A tune still pending at the end of the trace did complete — its swap
+	// went live at pendingAt, serving just ended first — so it still counts
+	// toward the final generation and is published.
+	if pendingSvc != nil {
+		sv.live.Swap(pendingSvc, pendingAt)
+		pendingSvc = nil
+	}
+
+	// Pre/post-swap latency split: mean served sojourn per generation.
+	sums := make([]float64, len(swaps)+1)
+	counts := make([]int, len(swaps)+1)
+	for i, g := range rep.Generations {
+		if !math.IsNaN(rep.Sojourn[i]) {
+			sums[g] += rep.Sojourn[i]
+			counts[g]++
+		}
+	}
+	meanOf := func(g int) float64 {
+		if g < 0 || g >= len(counts) || counts[g] == 0 {
+			return math.NaN()
+		}
+		return sums[g] / float64(counts[g])
+	}
+	for i := range swaps {
+		swaps[i].PreMean = meanOf(swaps[i].Generation - 1)
+		swaps[i].PostMean = meanOf(swaps[i].Generation)
+	}
+
+	met := rep.Metrics
+	met.Generation = len(swaps)
+	met.Swaps = swaps
+
+	sv.mu.Lock()
+	sv.last = met
+	sv.mu.Unlock()
+	return rep, nil
+}

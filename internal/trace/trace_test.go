@@ -4,6 +4,8 @@
 package trace_test
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -299,6 +301,52 @@ func TestMemoServiceConcurrent(t *testing.T) {
 		if c != 1 {
 			t.Errorf("inner called %d times for size %d, want 1 (singleflight)", c, size)
 		}
+	}
+}
+
+// MemoService is a singleflight for failures too: when the underlying
+// simulation errors, concurrent callers of the same size all receive that
+// one memoized error and the inner function still runs exactly once — a
+// failing size must not be retried by every engine worker in turn. Run with
+// -race.
+func TestMemoServiceErrorSingleflight(t *testing.T) {
+	wantErr := fmt.Errorf("simulator exploded")
+	var calls int64
+	gate := make(chan struct{})
+	svc := trace.MemoService(func(size int) (float64, error) {
+		atomic.AddInt64(&calls, 1)
+		<-gate // hold every contender at the decision point
+		if size == 13 {
+			return 0, wantErr
+		}
+		return float64(size), nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			size := 13
+			if g%3 == 0 {
+				size = 64
+			}
+			s, err := svc(size)
+			if size == 13 {
+				if !errors.Is(err, wantErr) {
+					t.Errorf("size 13: got (%g, %v), want the memoized error", s, err)
+				}
+			} else if err != nil || s != 64 {
+				t.Errorf("size 64: got (%g, %v)", s, err)
+			}
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 2 {
+		t.Errorf("inner ran %d times, want 2 (one per size, errors included)", calls)
+	}
+	if _, err := svc(13); !errors.Is(err, wantErr) {
+		t.Error("error not memoized on a later sequential call")
 	}
 }
 
