@@ -96,7 +96,7 @@ func serviceFor(sys baselines.Baseline, dev *gpusim.Device, features []fusion.Fe
 // the simulated-GPU worker slots and hot-swaps the fresh schedule set —
 // admission never pauses. The same trace replayed with the schedules frozen
 // gives the stale baseline the post-swap latency split is measured against.
-func runDrift(rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request, srvCfg trace.ServerConfig, factor, frac float64) {
+func runDrift(rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request, srvCfg trace.ServerConfig, factor, frac float64, canary int, margin float64) {
 	if frac < 0 || frac >= 1 {
 		log.Fatalf("drift-at %g outside [0,1)", frac)
 	}
@@ -108,11 +108,18 @@ func runDrift(rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request
 		return sched.BatchForSize(cfg, t, size)
 	}
 	opts := core.ContinuousOptions{
-		Supervisor: trace.SupervisorConfig{Server: srvCfg, Window: 32, CheckEvery: 16},
-		Quantum:    sizeQuantum,
-		PhaseOf:    sched.PhaseStart,
+		Supervisor: trace.SupervisorConfig{
+			Server: srvCfg, Window: 32, CheckEvery: 16,
+			CanaryWindow: canary, RollbackMargin: margin,
+		},
+		Quantum: sizeQuantum,
+		PhaseOf: sched.PhaseStart,
 	}
-	fmt.Printf("drift: pooling factors x%g from t=%s\n\n", factor, report.FmtUS(at))
+	fmt.Printf("drift: pooling factors x%g from t=%s\n", factor, report.FmtUS(at))
+	if canary > 0 {
+		fmt.Printf("guarded promotion: canary window %d completions, rollback margin %.0f%%\n", canary, margin*100)
+	}
+	fmt.Println()
 
 	live := rf.Clone()
 	rep, err := live.ServeContinuous(reqs, src, opts)
@@ -129,9 +136,21 @@ func runDrift(rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request
 		fmt.Println("no drift detected; serving stayed on generation 0")
 		return
 	}
-	for _, s := range m.Swaps {
+	for i, s := range m.Swaps {
+		if s.Rollback {
+			// The verdict lives on the promotion this event reverted — the
+			// immediately preceding swap (no tune can launch mid-canary).
+			promo := m.Swaps[i-1]
+			fmt.Printf("generation %d: canary measured %s vs baseline %s -> ROLLED BACK to generation %d schedules at t=%s\n",
+				s.Generation, report.FmtUS(promo.CanaryMean), report.FmtUS(promo.BaselineMean),
+				s.Reinstated, report.FmtUS(s.Swapped))
+			continue
+		}
 		fmt.Printf("generation %d: drift detected t=%s -> background tune on gpu%d (%s busy) -> hot-swap t=%s\n",
 			s.Generation, report.FmtUS(s.Detected), s.Worker, report.FmtUS(s.TuneDuration), report.FmtUS(s.Swapped))
+	}
+	if m.Rollbacks > 0 {
+		fmt.Printf("canary rollbacks: %d of %d promotions reverted\n", m.Rollbacks, len(m.Swaps)-m.Rollbacks)
 	}
 	freshMean, staleMean, n := core.PostSwapSplit(rep, stale)
 	if n == 0 {
@@ -160,6 +179,8 @@ func main() {
 		deadline = flag.Float64("deadline", 0, "per-request deadline in milliseconds (0 = none)")
 		drift    = flag.Float64("drift", 0, "mid-trace pooling-factor scale (0 = steady workload); switches to the continuous serving loop with online re-tuning")
 		driftAt  = flag.Float64("drift-at", 0.33, "fraction of the trace after which the drift lands")
+		canary   = flag.Int("canary", 0, "guard each hot-swap with a canary window of this many completions (0 = unguarded)")
+		margin   = flag.Float64("rollback-margin", 0.1, "fractional degradation the canary tolerates before rolling a swap back")
 	)
 	flag.Parse()
 
@@ -214,7 +235,7 @@ func main() {
 	if *drift > 0 {
 		fmt.Printf("continuous serving: %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail)\n",
 			len(reqs), *qps, *gpus, dev.Name, cfg.Name, len(features), *tailProb*100)
-		runDrift(rf, cfg, reqs, srvCfg, *drift, *driftAt)
+		runDrift(rf, cfg, reqs, srvCfg, *drift, *driftAt, *canary, *margin)
 		return
 	}
 	batches, err := prebuildBatches(cfg, reqs)

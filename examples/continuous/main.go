@@ -8,6 +8,12 @@
 // The same trace replayed with the schedules frozen gives the stale
 // baseline the post-swap latency split is measured against.
 //
+// A second act shows the guarded promotion: a deliberately poisoned re-tune
+// (3x slower than the live schedules) goes live behind a canary window, the
+// supervisor measures it worse than the pre-swap baseline over matched size
+// quartiles, and rolls the promotion back to the old schedules — under a
+// fresh, strictly higher generation id.
+//
 //	go run ./examples/continuous
 package main
 
@@ -114,4 +120,73 @@ func main() {
 	fmt.Printf("tune occupied a worker for %.0fms of the %.0fms makespan (serving utilization %.1f%%)\n",
 		rep.Metrics.TuneBusy*1e3, rep.Metrics.Makespan*1e3, rep.Utilization*100)
 	fmt.Printf("counters: %s\n", rep.Metrics)
+
+	// Act two: the guarded promotion. The same trace, but this re-tune is
+	// deliberately poisoned — it installs a service 3x slower than the live
+	// schedules, the failure mode of a tune that overfit a noisy drift
+	// window. With a canary window configured, the swap still goes live, but
+	// provisionally: the supervisor compares the new generation's served
+	// sojourns against the outgoing generation's recent completions over
+	// matched size quartiles, measures the degradation, and rolls the
+	// promotion back — a forward swap to a fresh generation reusing the old
+	// schedules.
+	fmt.Println("\n-- guarded promotion: a poisoned re-tune --")
+	base := rf.TimedService(src, opts.Quantum, opts.PhaseOf)
+	driftAt := drift.Steps[0].At
+	detect := func(win []trace.WindowEntry) (bool, error) {
+		return win[len(win)-1].Time >= driftAt, nil
+	}
+	poisoned := func(int, []trace.WindowEntry) (trace.TimedServiceFunc, error) {
+		return func(t float64, size int) (float64, error) {
+			s, err := base(t, size)
+			return s * 3, err
+		}, nil
+	}
+	gcfg := opts.Supervisor
+	gcfg.CanaryWindow = 8
+	gcfg.RollbackMargin = 0.25
+	guard, err := trace.NewSupervisor(gcfg, base, detect, poisoned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grep, err := guard.Run(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range grep.Metrics.Swaps {
+		if s.Rollback {
+			promo := grep.Metrics.Swaps[i-1]
+			fmt.Printf("generation %d: canary %.2fus vs baseline %.2fus (%.2fx worse) -> rolled back to generation %d schedules at t=%.1fms\n",
+				promo.Generation, promo.CanaryMean*1e6, promo.BaselineMean*1e6,
+				promo.CanaryMean/promo.BaselineMean, s.Reinstated, s.Swapped*1e3)
+			continue
+		}
+		fmt.Printf("generation %d: poisoned tune hot-swapped at t=%.1fms (canary open)\n",
+			s.Generation, s.Swapped*1e3)
+	}
+	if grep.Metrics.Rollbacks == 0 {
+		fmt.Println("canary did not catch the poisoned tune (unexpected)")
+		return
+	}
+	// Latency per generation shows the full arc: healthy, poisoned, reverted.
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for i, g := range grep.Generations {
+		sums[g] += grep.Sojourn[i]
+		counts[g]++
+	}
+	for g := 0; g <= grep.Metrics.Generation; g++ {
+		if counts[g] == 0 {
+			continue
+		}
+		note := ""
+		switch g {
+		case 1:
+			note = "  <- poisoned"
+		case 2:
+			note = "  <- rolled back to generation 0 schedules"
+		}
+		fmt.Printf("generation %d: %3d requests, mean sojourn %8.2fus%s\n",
+			g, counts[g], sums[g]/float64(counts[g])*1e6, note)
+	}
 }

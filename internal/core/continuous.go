@@ -42,8 +42,13 @@ func (r *RecFlex) TimedService(src TimedBatchSource, quantum int, phaseOf func(f
 
 // ContinuousOptions shapes RecFlex.ServeContinuous.
 type ContinuousOptions struct {
-	// Supervisor shapes the continuous serving loop (engine, window, check
-	// cadence, tune duration, cooldown).
+	// Supervisor shapes the continuous serving loop: the engine, window,
+	// check cadence, tune duration, cooldown — and the canary guard
+	// (CanaryWindow / CanaryDuration for the window length, RollbackMargin
+	// for the tolerated degradation). With the guard enabled every hot-swap
+	// is a revocable promotion: a re-tune the canary measures worse than the
+	// outgoing generation is rolled back and the instance that was live
+	// before the swap stays authoritative.
 	Supervisor trace.SupervisorConfig
 	// Quantum quantizes request sizes for measurement (see TimedService).
 	Quantum int
@@ -157,6 +162,13 @@ func PostSwapSplit(fresh, stale *trace.Report) (freshMean, staleMean float64, n 
 // schedules they were admitted under; when the run ends the receiver adopts
 // the final generation's tuning (the production hot-swap's last commit).
 //
+// With the canary guard on (Supervisor.CanaryWindow / CanaryDuration), each
+// promotion is provisional: a re-tune the canary measures worse than the
+// pre-swap baseline by more than Supervisor.RollbackMargin is rolled back,
+// the previously live instance is reinstated for drift detection and final
+// adoption, and the verdict lands in the report's Metrics (Rollbacks,
+// SwapEvent.Rollback/CanaryMean).
+//
 // The instance must be tuned; determinism of the trace, the drift source and
 // the tuner makes the whole run reproducible for a fixed seed.
 func (r *RecFlex) ServeContinuous(reqs []trace.Request, src TimedBatchSource, opts ContinuousOptions) (*trace.Report, error) {
@@ -166,8 +178,12 @@ func (r *RecFlex) ServeContinuous(reqs []trace.Request, src TimedBatchSource, op
 	// cur tracks the live generation's instance: the drift detector compares
 	// the window against the most recently installed tuning profile, not the
 	// original one, so one shift triggers one re-tune rather than an endless
-	// train of them.
+	// train of them. instances maps generation ids to their tuned instances
+	// so a canary rollback can reinstate the right one — the rollback
+	// generation reuses the reinstated instance, matching the supervisor's
+	// service reuse.
 	cur := r
+	instances := map[int]*RecFlex{0: r}
 	detect := func(win []trace.WindowEntry) (bool, error) {
 		batches, err := opts.windowBatches(src, win, 0)
 		if err != nil {
@@ -185,12 +201,21 @@ func (r *RecFlex) ServeContinuous(reqs []trace.Request, src TimedBatchSource, op
 			return nil, fmt.Errorf("core: background tune for generation %d: %w", gen, err)
 		}
 		cur = fresh
+		instances[gen] = fresh
 		return fresh.TimedService(src, opts.Quantum, opts.PhaseOf), nil
 	}
 	sv, err := trace.NewSupervisor(opts.Supervisor, r.TimedService(src, opts.Quantum, opts.PhaseOf), detect, retune)
 	if err != nil {
 		return nil, err
 	}
+	sv.OnRollback(func(rollbackGen, reinstated int) {
+		// The canary reverted the latest promotion: serving is back on the
+		// reinstated generation's schedules, so that instance is what the
+		// drift detector must compare against and what the receiver adopts
+		// if the run ends here.
+		cur = instances[reinstated]
+		instances[rollbackGen] = cur
+	})
 	rep, err := sv.Run(reqs)
 	if err != nil {
 		return nil, err

@@ -148,6 +148,52 @@ func TestServeContinuousDeterministicSeed(t *testing.T) {
 	}
 }
 
+// The guarded loop on a clean drift: the canary confirms the genuine
+// re-tune instead of rolling it back, records its verdict in the swap event,
+// and the receiver still adopts the fresh tuning. Guarded runs stay
+// deterministic.
+func TestServeContinuousCanaryConfirmsRetune(t *testing.T) {
+	rf, reqs, src, opts := continuousFixture(t)
+	opts.Supervisor.CanaryWindow = 8
+	opts.Supervisor.RollbackMargin = 0.5
+
+	live := rf.Clone()
+	rep, err := live.ServeContinuous(reqs, src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if len(m.Swaps) != 1 || m.Generation != 1 || m.Rollbacks != 0 {
+		t.Fatalf("want one confirmed promotion, got %d swaps generation %d rollbacks %d",
+			len(m.Swaps), m.Generation, m.Rollbacks)
+	}
+	s := m.Swaps[0]
+	if s.Rollback {
+		t.Fatalf("clean drift rolled back: %+v", s)
+	}
+	if s.CanaryMean <= 0 || s.BaselineMean <= 0 {
+		t.Fatalf("canary verdict not recorded: canary %g baseline %g", s.CanaryMean, s.BaselineMean)
+	}
+	if s.CanaryMean > s.BaselineMean*(1+opts.Supervisor.RollbackMargin) {
+		t.Errorf("canary %g vs baseline %g exceeds the margin yet no rollback happened",
+			s.CanaryMean, s.BaselineMean)
+	}
+	if live.Tuned() == rf.Tuned() {
+		t.Error("confirmed promotion not adopted: live instance still on the stale schedule set")
+	}
+
+	run := func() string {
+		rep, err := rf.Clone().ServeContinuous(reqs, src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", rep)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identically-seeded guarded runs diverged:\n%s\n---\n%s", a, b)
+	}
+}
+
 func TestServeContinuousErrors(t *testing.T) {
 	features, cfg := coreModel(t)
 	rf := New(gpusim.V100(), features)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/datasynth"
@@ -40,6 +41,17 @@ type DriftResult struct {
 	// re-tuned generation.
 	FreshLatency float64
 	Improvement  float64
+	// Guarded-promotion stress: the same drifted trace replayed with a
+	// deliberately poisoned re-tune (3x the live generation's service — a
+	// tune that overfit a noisy window) behind the canary guard.
+	// PoisonRollbacks counts the promotions the canary reverted (1 when the
+	// guard caught the poison), PoisonCanaryMean / PoisonBaselineMean record
+	// the verdict, RollbackAt the virtual time of the revert, and
+	// PostRollbackMean the mean sojourn on the reinstated schedules after it.
+	PoisonRollbacks                      int
+	PoisonCanaryMean, PoisonBaselineMean float64
+	RollbackAt                           float64
+	PostRollbackMean                     float64
 }
 
 // DriftStudy runs the lifecycle on model C (all multi-hot: every feature
@@ -127,6 +139,58 @@ func (s *Suite) driftStudy() (*DriftResult, error) {
 	res.FreshLatency = freshMean
 	res.StaleLatency = staleMean
 	res.Improvement = res.StaleLatency / res.FreshLatency
+
+	// Guarded-promotion stress: replay the same trace, but make the re-tune
+	// poisoned — 3x slower than the live schedules, the worst case of a tune
+	// overfitting a noisy drift window. The canary guard must measure the
+	// promotion worse than the pre-swap baseline and roll it back. This act
+	// drives the trace-level supervisor directly: the poison is injected at
+	// the service layer, below core's real tuner.
+	base := rf.TimedService(src, opts.Quantum, opts.PhaseOf)
+	driftAt := reqs[n/3].Arrival
+	detect := func(win []trace.WindowEntry) (bool, error) {
+		return win[len(win)-1].Time >= driftAt, nil
+	}
+	poisoned := func(int, []trace.WindowEntry) (trace.TimedServiceFunc, error) {
+		return func(t float64, size int) (float64, error) {
+			sv, err := base(t, size)
+			return sv * 3, err
+		}, nil
+	}
+	pcfg := opts.Supervisor
+	pcfg.CanaryWindow = 8
+	pcfg.RollbackMargin = 0.25
+	pcfg.MaxRetunes = 1
+	guard, err := trace.NewSupervisor(pcfg, base, detect, poisoned)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := guard.Run(reqs)
+	if err != nil {
+		return nil, err
+	}
+	pm := prep.Metrics
+	res.PoisonRollbacks = pm.Rollbacks
+	for _, s := range pm.Swaps {
+		if s.Rollback {
+			res.RollbackAt = s.Swapped
+			// Mean sojourn on the reinstated generation's traffic.
+			var sum float64
+			var cnt int
+			for i, g := range prep.Generations {
+				if g == s.Generation && !math.IsNaN(prep.Sojourn[i]) {
+					sum += prep.Sojourn[i]
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				res.PostRollbackMean = sum / float64(cnt)
+			}
+		} else {
+			res.PoisonCanaryMean = s.CanaryMean
+			res.PoisonBaselineMean = s.BaselineMean
+		}
+	}
 	return res, nil
 }
 
@@ -140,10 +204,20 @@ func (s *Suite) PrintDriftStudy(w io.Writer) error {
 		_, err = fmt.Fprintf(w, "\n== Re-tuning lifecycle (§IV-A3, model C, pooling factors x%.0f) ==\ndrift not detected; schedules kept\n", res.DriftFactor)
 		return err
 	}
-	_, err = fmt.Fprintf(w, "\n== Re-tuning lifecycle (§IV-A3, model C, pooling factors x%.0f) ==\ndrift detected at t=%s, re-tuned in background (%s busy), hot-swapped at t=%s (generation %d)\npost-swap: stale schedules %s vs re-tuned %s -> hot-swap recovers %s\n",
+	if _, err = fmt.Fprintf(w, "\n== Re-tuning lifecycle (§IV-A3, model C, pooling factors x%.0f) ==\ndrift detected at t=%s, re-tuned in background (%s busy), hot-swapped at t=%s (generation %d)\npost-swap: stale schedules %s vs re-tuned %s -> hot-swap recovers %s\n",
 		res.DriftFactor,
 		report.FmtUS(res.DetectedAt), report.FmtUS(res.TuneBusy), report.FmtUS(res.SwappedAt), res.Generation,
 		report.FmtUS(res.StaleLatency), report.FmtUS(res.FreshLatency),
-		report.FmtRatio(res.Improvement))
+		report.FmtRatio(res.Improvement)); err != nil {
+		return err
+	}
+	if res.PoisonRollbacks > 0 {
+		_, err = fmt.Fprintf(w, "poisoned re-tune: canary measured %s vs baseline %s -> rolled back at t=%s, post-rollback %s (%d rollback)\n",
+			report.FmtUS(res.PoisonCanaryMean), report.FmtUS(res.PoisonBaselineMean),
+			report.FmtUS(res.RollbackAt), report.FmtUS(res.PostRollbackMean), res.PoisonRollbacks)
+	} else {
+		_, err = fmt.Fprintf(w, "poisoned re-tune: canary did not roll back (canary %s vs baseline %s)\n",
+			report.FmtUS(res.PoisonCanaryMean), report.FmtUS(res.PoisonBaselineMean))
+	}
 	return err
 }

@@ -89,4 +89,20 @@ func TestDriftStudy(t *testing.T) {
 	if res.Improvement < 1.0 {
 		t.Errorf("re-tuning made things worse: %.3f", res.Improvement)
 	}
+	// The poisoned-retune act: the canary guard must catch the 3x-slower
+	// promotion, roll it back, and latency must recover after the revert.
+	if res.PoisonRollbacks != 1 {
+		t.Fatalf("canary rollbacks %d, want the poisoned promotion caught exactly once", res.PoisonRollbacks)
+	}
+	if res.PoisonCanaryMean <= res.PoisonBaselineMean {
+		t.Errorf("poisoned canary %g not worse than baseline %g — nothing to catch",
+			res.PoisonCanaryMean, res.PoisonBaselineMean)
+	}
+	if res.RollbackAt <= 0 {
+		t.Errorf("rollback time not recorded: t=%g", res.RollbackAt)
+	}
+	if res.PostRollbackMean <= 0 || res.PostRollbackMean >= res.PoisonCanaryMean {
+		t.Errorf("post-rollback mean %g did not recover below the poisoned canary mean %g",
+			res.PostRollbackMean, res.PoisonCanaryMean)
+	}
 }

@@ -112,7 +112,10 @@ func (h *Histogram) Quantile(p float64) float64 {
 				return h.HighValue
 			}
 			if i == 0 {
-				return h.Min
+				// The rank lands in the underflow bucket: every observation
+				// there is below Min, and LowValue tracks the smallest one
+				// exactly, so Min would overstate the quantile.
+				return h.LowValue
 			}
 			return hi
 		}
@@ -186,7 +189,12 @@ type WorkerStats struct {
 	Served int
 	// Busy is the worker's total service time in seconds.
 	Busy float64
-	// Utilization is Busy over the trace makespan.
+	// TuneBusy is the time this worker spent occupied by background re-tunes
+	// rather than serving. The per-run total lives in Metrics.TuneBusy; this
+	// field attributes it to the slot that actually held the tune.
+	TuneBusy float64
+	// Utilization is (Busy + TuneBusy) over the trace makespan: the fraction
+	// of the run this worker was occupied, serving or tuning.
 	Utilization float64
 }
 
@@ -233,16 +241,26 @@ func (d *depthSeries) observe(t float64, depth int) {
 // virtual time the new generation went live. Admissions at or after Swapped
 // are served on Generation; earlier admissions — including ones still
 // in flight at the swap — finish on the generation they arrived under.
+//
+// With the canary guard enabled (SupervisorConfig.CanaryWindow or
+// CanaryDuration), a promotion event additionally carries the canary verdict
+// (CanaryMean vs BaselineMean), and a rolled-back promotion is followed by a
+// second event with Rollback set: the rollback is itself a hot-swap that
+// installs a new, strictly higher generation id reusing the service of
+// Reinstated — generation ids never go backwards.
 type SwapEvent struct {
 	// Generation is the schedule-set generation id this swap installed.
 	Generation int
-	// Detected is the virtual time the drift detector fired.
+	// Detected is the virtual time the drift detector fired (for a rollback
+	// event, the time the canary verdict was reached).
 	Detected float64
-	// Start is the virtual time the background tune began on its worker.
+	// Start is the virtual time the background tune began on its worker
+	// (equal to Detected for a rollback, which needs no tune).
 	Start float64
 	// Swapped is the virtual time the new generation went live (tune end).
 	Swapped float64
-	// Worker is the simulated-GPU slot the background tune occupied.
+	// Worker is the simulated-GPU slot the background tune occupied, or -1
+	// for a rollback event (reinstating a service occupies no worker).
 	Worker int
 	// TuneDuration is the simulated seconds the tune held its worker slot.
 	TuneDuration float64
@@ -250,6 +268,20 @@ type SwapEvent struct {
 	// sojourn of requests admitted on the previous generation vs on this
 	// one. NaN when a side served no requests.
 	PreMean, PostMean float64
+	// Rollback marks this event as a canary rollback: the generation it
+	// installed reuses the service of generation Reinstated instead of a
+	// fresh tune.
+	Rollback bool
+	// Reinstated is the generation whose service a rollback reinstated.
+	// Meaningful only when Rollback is true.
+	Reinstated int
+	// CanaryMean / BaselineMean record the canary verdict for the promotion
+	// this event installed: the mean served sojourn over the canary window's
+	// completions on the new generation, against the outgoing generation's
+	// most recent pre-swap completions matched over the same size quartiles.
+	// Both are zero when the guard is disabled, when the window never closed
+	// before the trace ended, or when no matched completions existed.
+	CanaryMean, BaselineMean float64
 }
 
 // Metrics is the first-class observability snapshot of one served trace:
@@ -282,9 +314,14 @@ type Metrics struct {
 	Makespan float64
 	// Generation is the schedule-set generation live at the end of the run:
 	// the number of hot-swaps a Supervisor performed (0 for a plain Server).
+	// Rollbacks count too — a rollback is a forward swap to a new id.
 	Generation int
-	// Swaps records each schedule hot-swap of a supervised run, in order.
+	// Swaps records each schedule hot-swap of a supervised run, in order,
+	// including rollback events (SwapEvent.Rollback).
 	Swaps []SwapEvent
+	// Rollbacks counts promotions the canary guard measured worse than the
+	// pre-swap baseline and rolled back (see SwapEvent.Rollback).
+	Rollbacks int
 	// TuneBusy is the total simulated worker time background re-tunes
 	// occupied — serving capacity spent on tuning rather than requests.
 	TuneBusy float64

@@ -135,3 +135,33 @@ func TestMetricsString(t *testing.T) {
 		}
 	}
 }
+
+// A rank landing in the underflow bucket must answer with the exact observed
+// minimum, not the histogram's Min bound: every observation down there is
+// below Min, so Min would overstate the quantile (regression — Quantile
+// returned 1ms for a run whose slowest request took 20us).
+func TestHistogramQuantileUnderflow(t *testing.T) {
+	h := NewHistogram(1e-3, 1, 10)
+	h.Observe(1e-5)
+	h.Observe(2e-5)
+	if got := h.Quantile(0.5); got != 1e-5 {
+		t.Errorf("median of all-underflow observations = %g, want the observed low 1e-5", got)
+	}
+	if got := h.Quantile(0.99); got != 1e-5 {
+		t.Errorf("p99 of all-underflow observations = %g, want 1e-5 (bucket granularity)", got)
+	}
+
+	// Mixed: one observation below Min, the rest in range — only ranks that
+	// land in the underflow bucket answer with LowValue.
+	m := NewHistogram(1e-3, 1, 10)
+	m.Observe(1e-5)
+	m.Observe(0.5)
+	m.Observe(0.6)
+	m.Observe(0.7)
+	if got := m.Quantile(0.25); got != 1e-5 {
+		t.Errorf("p25 = %g, want the underflow low 1e-5", got)
+	}
+	if got := m.Quantile(0.75); got < 0.5 {
+		t.Errorf("p75 = %g, want an in-range bucket bound", got)
+	}
+}

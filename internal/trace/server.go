@@ -333,19 +333,28 @@ type resolveFunc func(e *qentry) (float64, error)
 // background re-tune against serving capacity.
 type admitHook func(st *replayState, r Request, now float64) (gen int, err error)
 
+// finishHook observes every served completion as the replay resolves it:
+// the request's size, the generation it was admitted on, its completion time
+// and its sojourn. The Supervisor feeds its canary evaluation through this —
+// a guarded promotion needs served latencies, not just admissions.
+type finishHook func(size, gen int, end, sojourn float64)
+
 // replayState is the mutable state of one virtual-clock replay, exposed to
 // the admission hook so supervised runs can interact with worker capacity.
 type replayState struct {
-	cfg  ServerConfig
-	free []float64 // free[g] is when worker g next becomes idle
-	met  *Metrics
+	cfg     ServerConfig
+	free    []float64 // free[g] is when worker g next becomes idle
+	workers []WorkerStats
+	met     *Metrics
 }
 
 // Occupy books dur seconds of background work on the least-loaded worker at
 // virtual time now, returning the chosen slot and the booked start/end. The
 // booked interval delays every later dispatch routed to that worker, so the
 // capacity a background tune consumes is explicitly accounted rather than
-// assumed free; the duration accrues to Metrics.TuneBusy.
+// assumed free; the duration accrues to Metrics.TuneBusy and to the chosen
+// worker's WorkerStats.TuneBusy, so the tuning worker reports occupied
+// rather than idle.
 func (st *replayState) Occupy(now, dur float64) (worker int, start, end float64) {
 	best := 0
 	for g := 1; g < len(st.free); g++ {
@@ -360,6 +369,7 @@ func (st *replayState) Occupy(now, dur float64) (worker int, start, end float64)
 	end = start + dur
 	st.free[best] = end
 	st.met.TuneBusy += dur
+	st.workers[best].TuneBusy += dur
 	return best, start, end
 }
 
@@ -369,13 +379,13 @@ func (st *replayState) Occupy(now, dur float64) (worker int, start, end float64)
 // simulated GPUs, per-request deadlines and split-at-cap fallback. sorted
 // must be in arrival order; order maps sorted positions back to the caller's
 // indices (nil = identity).
-func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveFunc, admit admitHook) (*Report, error) {
+func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveFunc, admit admitHook, onFinish finishHook) (*Report, error) {
 	k := cfg.workers()
 	n := len(sorted)
-	workerStats := make([]WorkerStats, k)
 	met := &Metrics{Latency: cfg.histogram()}
-	state := &replayState{cfg: cfg, free: make([]float64, k), met: met}
+	state := &replayState{cfg: cfg, free: make([]float64, k), workers: make([]WorkerStats, k), met: met}
 	free := state.free
+	workerStats := state.workers
 	var depths depthSeries
 	rep := &Report{
 		Result:      Result{Sojourn: make([]float64, n)},
@@ -432,6 +442,9 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 			lastEnd = end
 		}
 		served++
+		if onFinish != nil {
+			onFinish(sorted[pos].Size, rep.Generations[idx], end, soj)
+		}
 	}
 	shed := func(pos int, out Outcome) {
 		idx := originalIndex(order, pos)
@@ -587,10 +600,20 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 		rep.MeanService = totalService / float64(served)
 	}
 	met.Makespan = lastEnd - sorted[0].Arrival
+	if met.Makespan < 0 {
+		// Nothing was served (every request shed), so lastEnd never advanced
+		// past its zero value; a span of "before the first arrival" is
+		// meaningless, and propagating it would turn utilizations negative.
+		met.Makespan = 0
+	}
 	if met.Makespan > 0 {
 		rep.Utilization = busy / (met.Makespan * float64(k))
 		for g := range workerStats {
-			workerStats[g].Utilization = workerStats[g].Busy / met.Makespan
+			// A worker occupied by a background tune was not idle: its
+			// utilization covers serving plus tuning, while the run-level
+			// Utilization above stays serving-only (the tune's cost is
+			// reported separately in Metrics.TuneBusy).
+			workerStats[g].Utilization = (workerStats[g].Busy + workerStats[g].TuneBusy) / met.Makespan
 		}
 	}
 	met.Workers = workerStats
@@ -613,7 +636,7 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 	}
 	rep, err := runReplay(s.cfg, sorted, order, func(e *qentry) (float64, error) {
 		return times[e.size], nil
-	}, nil)
+	}, nil, nil)
 	if err != nil {
 		return nil, err
 	}

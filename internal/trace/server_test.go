@@ -465,3 +465,135 @@ func TestServerUnsortedInput(t *testing.T) {
 		t.Errorf("outcomes %v", rep.Outcomes)
 	}
 }
+
+// A trace where every request is shed must report a zero makespan, not a
+// negative one: lastEnd never moves off zero when nothing is served, and
+// Makespan = lastEnd - firstArrival would go to -5s here (regression for the
+// negative-utilization bug that followed from it).
+func TestServerAllShedMakespanZero(t *testing.T) {
+	reqs := []trace.Request{
+		{Arrival: 5, Size: 100},
+		{Arrival: 6, Size: 100},
+	}
+	srv, err := trace.NewServer(trace.ServerConfig{
+		Workers: 1, Policy: trace.DegradeShed, Deadline: 0.1,
+	}, func(int) (float64, error) { return 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m.DeadlineSheds != 2 || m.Served != 0 {
+		t.Fatalf("want both requests deadline-shed, got %s", m)
+	}
+	if m.Makespan != 0 {
+		t.Errorf("all-shed makespan %g, want 0", m.Makespan)
+	}
+	if rep.Utilization != 0 {
+		t.Errorf("all-shed run utilization %g, want 0", rep.Utilization)
+	}
+	for i, w := range m.Workers {
+		if w.Utilization != 0 {
+			t.Errorf("worker %d utilization %g on an all-shed run, want 0", i, w.Utilization)
+		}
+	}
+}
+
+// The three DegradeSplitTail full-queue paths, each pinned separately.
+
+// Path 1: a long-tail request arriving at a full queue is shed outright.
+func TestServerQueueFullArrivingTailShed(t *testing.T) {
+	reqs := []trace.Request{
+		{Arrival: 0, Size: 64},       // dispatched immediately, holds the worker
+		{Arrival: 0.001, Size: 64},   // queued: the queue is now at its bound
+		{Arrival: 0.002, Size: 2560}, // tail arriving at a full queue
+	}
+	srv, err := trace.NewServer(trace.ServerConfig{
+		Workers: 1, QueueDepth: 1, SplitCap: 512,
+	}, func(int) (float64, error) { return 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes[2] != trace.OutcomeShedQueue {
+		t.Errorf("arriving tail outcome %v, want shed-queue", rep.Outcomes[2])
+	}
+	if rep.Outcomes[0] != trace.OutcomeServed || rep.Outcomes[1] != trace.OutcomeServed {
+		t.Errorf("outcomes %v: non-tail requests must be served", rep.Outcomes)
+	}
+	if m := rep.Metrics; m.QueueSheds != 1 || m.Served != 2 {
+		t.Errorf("counters: %s", m)
+	}
+}
+
+// Path 2: a non-tail request arriving at a full queue evicts the YOUNGEST
+// queued whole tail — with two tails queued, the later one goes and the
+// earlier keeps its place.
+func TestServerQueueFullEvictsYoungestTail(t *testing.T) {
+	reqs := []trace.Request{
+		{Arrival: 0, Size: 64},       // dispatched immediately
+		{Arrival: 0.001, Size: 2560}, // older queued tail
+		{Arrival: 0.002, Size: 2560}, // younger queued tail
+		{Arrival: 0.003, Size: 64},   // non-tail at a full queue
+	}
+	srv, err := trace.NewServer(trace.ServerConfig{
+		Workers: 1, QueueDepth: 2, SplitCap: 512,
+	}, func(int) (float64, error) { return 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes[2] != trace.OutcomeShedQueue {
+		t.Errorf("younger queued tail outcome %v, want shed-queue (evicted)", rep.Outcomes[2])
+	}
+	if rep.Outcomes[1] != trace.OutcomeServed {
+		t.Errorf("older queued tail outcome %v, want served — eviction must take the youngest", rep.Outcomes[1])
+	}
+	if rep.Outcomes[0] != trace.OutcomeServed || rep.Outcomes[3] != trace.OutcomeServed {
+		t.Errorf("outcomes %v: non-tail requests must be served", rep.Outcomes)
+	}
+	if m := rep.Metrics; m.QueueSheds != 1 || m.Served != 3 {
+		t.Errorf("counters: %s", m)
+	}
+}
+
+// Path 3: with no queued tail to make room, the non-tail arrival is admitted
+// past the bound — the queue depth is soft for non-tail traffic by design.
+func TestServerQueueFullSoftBoundAdmit(t *testing.T) {
+	reqs := []trace.Request{
+		{Arrival: 0, Size: 64},     // dispatched immediately
+		{Arrival: 0.001, Size: 64}, // queued: bound reached
+		{Arrival: 0.002, Size: 64}, // non-tail at a full all-non-tail queue
+	}
+	srv, err := trace.NewServer(trace.ServerConfig{
+		Workers: 1, QueueDepth: 1, SplitCap: 512,
+	}, func(int) (float64, error) { return 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range rep.Outcomes {
+		if o != trace.OutcomeServed {
+			t.Errorf("request %d outcome %v, want served (soft bound admits)", i, o)
+		}
+	}
+	m := rep.Metrics
+	if m.QueueSheds != 0 || m.Served != 3 {
+		t.Errorf("counters: %s", m)
+	}
+	if m.MaxQueueDepth != 2 {
+		t.Errorf("max queue depth %d, want 2 — the soft admit exceeds the bound of 1", m.MaxQueueDepth)
+	}
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -138,11 +139,32 @@ type SupervisorConfig struct {
 	// tuning budget scaled to the reproduction's microsecond kernels).
 	TuneDuration float64
 	// Cooldown is the minimum virtual time between a swap going live and
-	// the next drift check; 0 disables the cooldown.
+	// the next drift check; 0 disables the cooldown. A rollback arms the
+	// same cooldown from the time its verdict lands.
 	Cooldown float64
 	// MaxRetunes caps the number of background tunes per run; 0 means
-	// unlimited.
+	// unlimited. Rollbacks do not count against the cap — they consume no
+	// tune.
 	MaxRetunes int
+	// CanaryWindow enables the guarded-promotion canary: after a swap goes
+	// live, the verdict is computed once this many requests admitted on the
+	// new generation have completed. The baseline is the outgoing
+	// generation's most recent CanaryWindow pre-swap completions. 0 leaves
+	// the count-based closure off (promotions are unguarded unless
+	// CanaryDuration is set).
+	CanaryWindow int
+	// CanaryDuration caps the canary window in virtual seconds after the
+	// swap: when it expires the verdict is computed from the completions
+	// seen so far (and the baseline covers the outgoing generation's
+	// completions within the same span before the swap, when CanaryWindow
+	// is 0). 0 disables the time cap. A canary still open when the trace
+	// ends reaches no verdict and the promotion stands.
+	CanaryDuration float64
+	// RollbackMargin is the fractional degradation the canary tolerates:
+	// the promotion is rolled back when the canary mean sojourn exceeds the
+	// matched baseline mean by more than this factor (0 rolls back on any
+	// measured degradation). Only meaningful with the canary enabled.
+	RollbackMargin float64
 }
 
 // Validate checks the supervisor configuration.
@@ -161,8 +183,19 @@ func (c *SupervisorConfig) Validate() error {
 		return fmt.Errorf("trace: Cooldown must be >= 0, got %g", c.Cooldown)
 	case c.MaxRetunes < 0:
 		return fmt.Errorf("trace: MaxRetunes must be >= 0, got %d", c.MaxRetunes)
+	case c.CanaryWindow < 0:
+		return fmt.Errorf("trace: CanaryWindow must be >= 0, got %d", c.CanaryWindow)
+	case c.CanaryDuration < 0:
+		return fmt.Errorf("trace: CanaryDuration must be >= 0, got %g", c.CanaryDuration)
+	case c.RollbackMargin < 0:
+		return fmt.Errorf("trace: RollbackMargin must be >= 0, got %g", c.RollbackMargin)
 	}
 	return nil
+}
+
+// canaryEnabled reports whether promotions are guarded.
+func (c *SupervisorConfig) canaryEnabled() bool {
+	return c.CanaryWindow > 0 || c.CanaryDuration > 0
 }
 
 func (c *SupervisorConfig) window() int {
@@ -197,16 +230,35 @@ func (c *SupervisorConfig) tuneDuration() float64 {
 // recorded in Metrics.Swaps with its generation id, tune duration and
 // pre/post-swap latency split.
 //
+// With the canary guard enabled (SupervisorConfig.CanaryWindow or
+// CanaryDuration), every promotion is revocable: after the swap goes live a
+// canary window opens, the new generation's served sojourns are compared
+// against the outgoing generation's most recent pre-swap completions over
+// matched size quartiles, and a promotion measuring worse than the baseline
+// by more than RollbackMargin is atomically rolled back — a forward
+// LiveSet.Swap to a new, strictly higher generation id that reuses the
+// previous service, so observers never see an id regress.
+//
 // Like Server, the replay is exact and deterministic: the same trace,
-// detector and retuner always produce the same Report, which is what makes
-// drifting-workload experiments reproducible and the deterministic-seed
-// regression tests possible.
+// detector and retuner always produce the same Report — including canary
+// verdicts and rollback timing — which is what makes drifting-workload
+// experiments reproducible and the deterministic-seed regression tests
+// possible.
+//
+// Concurrent Run calls on one Supervisor are serialized: overlapping replays
+// would interleave their hot-swaps on the shared LiveSet and break the
+// monotone-generation guarantee observers rely on.
 type Supervisor struct {
 	cfg     SupervisorConfig
 	service TimedServiceFunc
 	detect  DriftDetector
 	retune  Retuner
 	live    *LiveSet
+
+	// runMu serializes Run (see the type comment); mu only guards the
+	// metrics snapshot, matching Server's locking split.
+	runMu      sync.Mutex
+	onRollback func(rollbackGen, reinstated int)
 
 	mu   sync.Mutex
 	last *Metrics
@@ -245,6 +297,16 @@ func (sv *Supervisor) Config() SupervisorConfig { return sv.cfg }
 // read the current generation at any time; see LiveSet for the guarantees.
 func (sv *Supervisor) Live() *LiveSet { return sv.live }
 
+// OnRollback registers fn to be called synchronously from Run whenever a
+// canary verdict rolls a promotion back: rollbackGen is the new generation
+// id the rollback installed, reinstated the generation whose service it
+// reuses. Serving callers use it to keep their per-generation state (e.g.
+// which tuned instance is live) in step with the supervisor. Must be set
+// before Run; a nil fn clears it.
+func (sv *Supervisor) OnRollback(fn func(rollbackGen, reinstated int)) {
+	sv.onRollback = fn
+}
+
 // Metrics returns a snapshot of the most recent run's observability data,
 // or nil before the first Run.
 func (sv *Supervisor) Metrics() *Metrics {
@@ -256,24 +318,154 @@ func (sv *Supervisor) Metrics() *Metrics {
 	return sv.last.Clone()
 }
 
+// completion is one served request as the canary sees it: what size
+// finished, when, and how long it took end to end.
+type completion struct {
+	size    int
+	end     float64
+	sojourn float64
+}
+
+// completedBy returns the completions with end <= t. Completions are
+// recorded in dispatch order, so end times are not monotone and a filter
+// (not a prefix) is required.
+func completedBy(cs []completion, t float64) []completion {
+	var out []completion
+	for _, c := range cs {
+		if c.end <= t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// canaryBaseline selects the outgoing generation's pre-swap completions the
+// canary verdict compares against: the newest n by completion time when the
+// count-based window is configured, otherwise everything completing within
+// dur seconds before the swap. Recency matters — after a drift, only the
+// recent completions reflect the workload the new generation actually
+// serves, so an older baseline would conflate workload change with schedule
+// quality.
+func canaryBaseline(cs []completion, swapAt float64, n int, dur float64) []completion {
+	pre := completedBy(cs, swapAt)
+	sort.SliceStable(pre, func(a, b int) bool { return pre[a].end < pre[b].end })
+	if n > 0 {
+		if len(pre) > n {
+			pre = pre[len(pre)-n:]
+		}
+		return pre
+	}
+	cut := swapAt - dur
+	for len(pre) > 0 && pre[0].end < cut {
+		pre = pre[1:]
+	}
+	return pre
+}
+
+// canaryVerdict compares canary completions against the baseline over
+// matched size quartiles: baseline sizes define four quartile bins, each
+// bin's baseline mean sojourn is weighted by the canary's traffic in that
+// bin, and only bins populated on both sides count. The result is the
+// canary's mean sojourn over matched bins and the baseline mean re-weighted
+// to the canary's size mix — an apples-to-apples answer to "would the old
+// generation have served these sizes faster?". matched is the number of
+// canary completions compared; 0 means no verdict (either side empty or no
+// overlapping bins).
+func canaryVerdict(baseline, canary []completion) (canaryMean, baselineMean float64, matched int) {
+	if len(baseline) == 0 || len(canary) == 0 {
+		return 0, 0, 0
+	}
+	sizes := make([]int, len(baseline))
+	for i, c := range baseline {
+		sizes[i] = c.size
+	}
+	sort.Ints(sizes)
+	// Nearest-rank quartile boundaries of the baseline size distribution.
+	bound := func(p float64) int {
+		idx := int(math.Ceil(p*float64(len(sizes)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sizes[idx]
+	}
+	q1, q2, q3 := bound(0.25), bound(0.50), bound(0.75)
+	binOf := func(size int) int {
+		switch {
+		case size <= q1:
+			return 0
+		case size <= q2:
+			return 1
+		case size <= q3:
+			return 2
+		default:
+			return 3
+		}
+	}
+	var bSum, cSum [4]float64
+	var bCnt, cCnt [4]int
+	for _, c := range baseline {
+		b := binOf(c.size)
+		bSum[b] += c.sojourn
+		bCnt[b]++
+	}
+	for _, c := range canary {
+		b := binOf(c.size)
+		cSum[b] += c.sojourn
+		cCnt[b]++
+	}
+	var cs, bs float64
+	for b := 0; b < 4; b++ {
+		if bCnt[b] == 0 || cCnt[b] == 0 {
+			continue
+		}
+		cs += cSum[b]
+		bs += bSum[b] / float64(bCnt[b]) * float64(cCnt[b])
+		matched += cCnt[b]
+	}
+	if matched == 0 {
+		return 0, 0, 0
+	}
+	return cs / float64(matched), bs / float64(matched), matched
+}
+
+// canaryRun is one open canary window: the promotion under evaluation and
+// the baseline snapshotted when it went live.
+type canaryRun struct {
+	swapIdx  int // index into swaps of the promotion being evaluated
+	gen      int // generation under canary
+	prev     int // generation to reinstate on rollback
+	openedAt float64
+	baseline []completion
+}
+
 // Run replays the request stream through the continuous loop and returns the
 // exact virtual-time Report, with Generations stamping each request's
-// schedule-set generation and Metrics.Swaps recording every hot-swap. It
-// also installs the run's Metrics as the supervisor's current snapshot.
+// schedule-set generation and Metrics.Swaps recording every hot-swap
+// (rollbacks included). It also installs the run's Metrics as the
+// supervisor's current snapshot. Concurrent calls are serialized; see the
+// type comment.
 func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
+	sv.runMu.Lock()
+	defer sv.runMu.Unlock()
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("trace: empty request stream")
 	}
 	sorted, order := arrivalOrder(reqs)
 
 	// The generation history: in-flight entries resolve against the
-	// generation stamped at their admission even after later swaps.
+	// generation stamped at their admission even after later swaps. compl
+	// parallels gens with each generation's served completions — the raw
+	// material of canary verdicts.
 	gens := []TimedServiceFunc{sv.service}
+	compl := [][]completion{nil}
 	cur := 0
 	// A tune in flight, waiting for its completion time to pass.
 	var pendingSvc TimedServiceFunc
 	var pendingAt float64
 	var swaps []SwapEvent
+	var canary *canaryRun
+	retunes := 0
+	rollbacks := 0
 
 	window := make([]WindowEntry, 0, sv.cfg.window())
 	winFull := false
@@ -282,12 +474,62 @@ func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
 
 	admit := func(st *replayState, r Request, now float64) (int, error) {
 		// Apply a completed background tune: the swap is live for this and
-		// every later admission.
+		// every later admission, and — with the guard on — opens a canary
+		// window against the outgoing generation's recent completions.
 		if pendingSvc != nil && now >= pendingAt {
+			prev := cur
 			gens = append(gens, pendingSvc)
+			compl = append(compl, nil)
 			cur = len(gens) - 1
 			sv.live.Swap(pendingSvc, pendingAt)
 			pendingSvc = nil
+			if sv.cfg.canaryEnabled() {
+				canary = &canaryRun{
+					swapIdx:  len(swaps) - 1,
+					gen:      cur,
+					prev:     prev,
+					openedAt: pendingAt,
+					baseline: canaryBaseline(compl[prev], pendingAt, sv.cfg.CanaryWindow, sv.cfg.CanaryDuration),
+				}
+			}
+		}
+
+		// Evaluate an open canary: the window closes once enough of the new
+		// generation's admissions have completed (or the time cap passes),
+		// and a verdict worse than the baseline by more than the margin
+		// rolls the promotion back — a forward swap to a fresh generation id
+		// reusing the previous service, live from this admission on.
+		if canary != nil {
+			done := completedBy(compl[canary.gen], now)
+			closed := (sv.cfg.CanaryWindow > 0 && len(done) >= sv.cfg.CanaryWindow) ||
+				(sv.cfg.CanaryDuration > 0 && now >= canary.openedAt+sv.cfg.CanaryDuration)
+			if closed {
+				cm, bm, matched := canaryVerdict(canary.baseline, done)
+				swaps[canary.swapIdx].CanaryMean = cm
+				swaps[canary.swapIdx].BaselineMean = bm
+				if matched > 0 && cm > bm*(1+sv.cfg.RollbackMargin) {
+					svc := gens[canary.prev]
+					gens = append(gens, svc)
+					compl = append(compl, nil)
+					cur = len(gens) - 1
+					sv.live.Swap(svc, now)
+					swaps = append(swaps, SwapEvent{
+						Generation: cur,
+						Rollback:   true,
+						Reinstated: canary.prev,
+						Detected:   now,
+						Start:      now,
+						Swapped:    now,
+						Worker:     -1,
+					})
+					rollbacks++
+					cooldownUntil = now + sv.cfg.Cooldown
+					if sv.onRollback != nil {
+						sv.onRollback(cur, canary.prev)
+					}
+				}
+				canary = nil
+			}
 		}
 
 		// Slide the window and pace the drift checks.
@@ -299,9 +541,9 @@ func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
 		window = append(window, WindowEntry{Time: now, Size: r.Size})
 		sinceCheck++
 
-		if pendingSvc == nil && (winFull || len(window) == cap(window)) &&
+		if pendingSvc == nil && canary == nil && (winFull || len(window) == cap(window)) &&
 			sinceCheck >= sv.cfg.checkEvery() && now >= cooldownUntil &&
-			(sv.cfg.MaxRetunes == 0 || len(swaps) < sv.cfg.MaxRetunes) {
+			(sv.cfg.MaxRetunes == 0 || retunes < sv.cfg.MaxRetunes) {
 			sinceCheck = 0
 			drifted, err := sv.detect(window)
 			if err != nil {
@@ -319,6 +561,7 @@ func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
 				if svc == nil {
 					return 0, fmt.Errorf("trace: re-tune for generation %d returned nil service", newGen)
 				}
+				retunes++
 				worker, start, end := st.Occupy(now, sv.cfg.tuneDuration())
 				swaps = append(swaps, SwapEvent{
 					Generation:   newGen,
@@ -340,7 +583,11 @@ func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
 		return gens[e.gen](e.arrival, e.size)
 	}
 
-	rep, err := runReplay(sv.cfg.Server, sorted, order, resolve, admit)
+	onFinish := func(size, gen int, end, sojourn float64) {
+		compl[gen] = append(compl[gen], completion{size: size, end: end, sojourn: sojourn})
+	}
+
+	rep, err := runReplay(sv.cfg.Server, sorted, order, resolve, admit, onFinish)
 	if err != nil {
 		return nil, err
 	}
@@ -376,6 +623,7 @@ func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
 	met := rep.Metrics
 	met.Generation = len(swaps)
 	met.Swaps = swaps
+	met.Rollbacks = rollbacks
 
 	sv.mu.Lock()
 	sv.last = met

@@ -204,6 +204,19 @@ func TestSupervisorSwapSemantics(t *testing.T) {
 	if math.Abs(rep.Utilization-busy/makespan) > 1e-9 {
 		t.Errorf("utilization %g, want %g (serving busy only)", rep.Utilization, busy/makespan)
 	}
+	// The tune's occupancy is attributed to the worker slot that held it:
+	// the only worker serves 4.5ms, tunes 0.5s, and reports the split — it
+	// was occupied, not idle, during the tune.
+	ws := m.Workers[0]
+	if ws.TuneBusy != 0.5 {
+		t.Errorf("worker TuneBusy %g, want 0.5", ws.TuneBusy)
+	}
+	if math.Abs(ws.Busy-busy) > 1e-12 {
+		t.Errorf("worker Busy %g, want serving-only %g", ws.Busy, busy)
+	}
+	if want := (busy + 0.5) / makespan; math.Abs(ws.Utilization-want) > 1e-9 {
+		t.Errorf("worker utilization %g, want serving+tune %g", ws.Utilization, want)
+	}
 
 	wantPre := (1e-3 + 1e-3 + 0.501 + (10.502 - 10.2)) / 4
 	if math.Abs(s.PreMean-wantPre) > 1e-9 {
@@ -394,6 +407,14 @@ func TestSupervisorGenerationsMonotoneZeroLostProperty(t *testing.T) {
 		}
 		if want := float64(len(met.Swaps)) * 1e-3; math.Abs(met.TuneBusy-want) > 1e-9 {
 			t.Errorf("seed %d: TuneBusy %g, want %g", seed, met.TuneBusy, want)
+		}
+		var workerTune float64
+		for _, w := range met.Workers {
+			workerTune += w.TuneBusy
+		}
+		if math.Abs(workerTune-met.TuneBusy) > 1e-9 {
+			t.Errorf("seed %d: per-worker TuneBusy sums to %g, metrics say %g",
+				seed, workerTune, met.TuneBusy)
 		}
 
 		// Determinism: a fresh supervisor over the same inputs reproduces the
@@ -644,6 +665,405 @@ func TestMemoTimedServicePhases(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Errorf("nil phaseOf: inner called %d times, want 1 (time-invariant)", calls)
+	}
+}
+
+// canaryTrace builds the guarded-promotion scenario shared by the canary
+// tests: 100 evenly spaced arrivals cycling through four sizes, a size-
+// proportional generation-0 service fast enough that nothing queues, and a
+// detector that fires once traffic passes t=0.2. The retuner installs
+// factor x the generation-0 per-sample time — factor > 1 is a poisoned tune
+// the canary must catch, factor < 1 a genuinely better one it must keep.
+func canaryTrace(factor float64, cfg trace.SupervisorConfig) (*trace.Supervisor, []trace.Request, error) {
+	sizes := []int{16, 64, 256, 512}
+	reqs := make([]trace.Request, 100)
+	for i := range reqs {
+		reqs[i] = trace.Request{Arrival: float64(i) * 0.01, Size: sizes[i%4]}
+	}
+	gen0 := func(_ float64, size int) (float64, error) { return float64(size) * 1e-6, nil }
+	detect := func(win []trace.WindowEntry) (bool, error) {
+		return win[len(win)-1].Time >= 0.2, nil
+	}
+	retune := func(int, []trace.WindowEntry) (trace.TimedServiceFunc, error) {
+		return func(_ float64, size int) (float64, error) {
+			return float64(size) * 1e-6 * factor, nil
+		}, nil
+	}
+	sv, err := trace.NewSupervisor(cfg, gen0, detect, retune)
+	return sv, reqs, err
+}
+
+// meanSojournByGen averages the served sojourns stamped with each generation.
+func meanSojournByGen(rep *trace.Report) map[int]float64 {
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for i, g := range rep.Generations {
+		if !math.IsNaN(rep.Sojourn[i]) {
+			sums[g] += rep.Sojourn[i]
+			counts[g]++
+		}
+	}
+	for g := range sums {
+		sums[g] /= float64(counts[g])
+	}
+	return sums
+}
+
+// The e2e acceptance path of the guarded promotion: a poisoned re-tune (3x
+// slower per sample) goes live, the canary window measures it worse than the
+// matched pre-swap baseline, the supervisor rolls back to a fresh generation
+// reusing the old service, and post-rollback latency returns to the pre-swap
+// level — all under exact deterministic replay.
+func TestSupervisorCanaryRollbackEndToEnd(t *testing.T) {
+	cfg := trace.SupervisorConfig{
+		Server:         trace.ServerConfig{Workers: 2},
+		Window:         4,
+		CheckEvery:     2,
+		TuneDuration:   0.03,
+		MaxRetunes:     1,
+		CanaryWindow:   6,
+		RollbackMargin: 0.25,
+	}
+	run := func() (*trace.Report, *trace.Supervisor) {
+		sv, reqs, err := canaryTrace(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sv.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, sv
+	}
+	rep, sv := run()
+	m := rep.Metrics
+
+	if len(m.Swaps) != 2 || m.Generation != 2 || m.Rollbacks != 1 {
+		t.Fatalf("want poisoned promotion + rollback (2 swaps, generation 2, 1 rollback), got %d swaps generation %d rollbacks %d",
+			len(m.Swaps), m.Generation, m.Rollbacks)
+	}
+	promo, rb := m.Swaps[0], m.Swaps[1]
+	if promo.Rollback || promo.Generation != 1 {
+		t.Errorf("first swap %+v, want the generation-1 promotion", promo)
+	}
+	if promo.CanaryMean <= 0 || promo.BaselineMean <= 0 {
+		t.Fatalf("canary verdict not recorded: canary %g baseline %g", promo.CanaryMean, promo.BaselineMean)
+	}
+	// The matched-quartile reweighting compares like sizes with like: the
+	// verdict must recover the poisoned generation's exact 3x degradation
+	// even though the baseline window's size mix differs from the canary's.
+	if ratio := promo.CanaryMean / promo.BaselineMean; math.Abs(ratio-3) > 1e-9 {
+		t.Errorf("canary/baseline ratio %g, want exactly the 3x poison", ratio)
+	}
+	if !rb.Rollback || rb.Generation != 2 || rb.Reinstated != 0 || rb.Worker != -1 {
+		t.Errorf("rollback event %+v, want generation 2 reinstating 0 with no worker", rb)
+	}
+	if rb.TuneDuration != 0 || rb.Detected != rb.Swapped || rb.Start != rb.Swapped {
+		t.Errorf("rollback event %+v, want an instantaneous swap (no tune)", rb)
+	}
+	if rb.Swapped <= promo.Swapped {
+		t.Errorf("rollback at %g not after the promotion at %g", rb.Swapped, promo.Swapped)
+	}
+
+	// Generation stamps stay monotone and every cohort served traffic: 0
+	// before the swap, 1 for the canary cohort, 2 after the rollback.
+	counts := map[int]int{}
+	for i, g := range rep.Generations {
+		if i > 0 && g < rep.Generations[i-1] {
+			t.Fatalf("generation stamp regressed at %d: %d -> %d", i, rep.Generations[i-1], g)
+		}
+		counts[g]++
+	}
+	if counts[0] == 0 || counts[1] == 0 || counts[2] == 0 {
+		t.Fatalf("generation cohorts %v, want all of 0/1/2 populated", counts)
+	}
+	if counts[1] < cfg.CanaryWindow {
+		t.Errorf("canary cohort of %d smaller than the window %d", counts[1], cfg.CanaryWindow)
+	}
+
+	// Post-rollback recovery: the mean sojourn on the rollback generation is
+	// back within the margin of the pre-swap baseline (identical service, so
+	// it matches up to the size-mix difference between cohorts).
+	means := meanSojournByGen(rep)
+	if diff := math.Abs(means[2]-means[0]) / means[0]; diff > cfg.RollbackMargin {
+		t.Errorf("post-rollback mean %g vs pre-swap %g: %.0f%% apart, want within the %g margin",
+			means[2], means[0], diff*100, cfg.RollbackMargin)
+	}
+	if means[1] <= means[0]*2 {
+		t.Errorf("poisoned cohort mean %g not measurably worse than baseline %g", means[1], means[0])
+	}
+	if !eqNaN(rb.PostMean, means[2]) || !eqNaN(rb.PreMean, means[1]) {
+		t.Errorf("rollback pre/post means (%g, %g), want (%g, %g)",
+			rb.PreMean, rb.PostMean, means[1], means[2])
+	}
+
+	// The rollback is published forward: the live set ends on generation 2,
+	// having never regressed.
+	if g := sv.Live().Current(); g.ID != 2 {
+		t.Errorf("live generation %d, want 2 (rollback is a forward swap)", g.ID)
+	}
+	if snap := sv.Metrics(); snap == nil || snap.Rollbacks != 1 {
+		t.Errorf("metrics snapshot missing the rollback: %+v", snap)
+	}
+
+	// Exact determinism, rollback timing included: a fresh supervisor over
+	// the same inputs reproduces the run bit for bit.
+	rep2, _ := run()
+	if !reportsEqual(rep, rep2) {
+		t.Error("repeated guarded run produced a different report")
+	}
+	if rep2.Metrics.Swaps[0].CanaryMean != promo.CanaryMean ||
+		rep2.Metrics.Swaps[0].BaselineMean != promo.BaselineMean {
+		t.Error("canary verdict not deterministic across runs")
+	}
+}
+
+// A genuinely better re-tune survives its canary: the verdict is recorded,
+// no rollback happens, and serving stays on the promoted generation.
+func TestSupervisorCanaryConfirmsGoodSwap(t *testing.T) {
+	cfg := trace.SupervisorConfig{
+		Server:         trace.ServerConfig{Workers: 2},
+		Window:         4,
+		CheckEvery:     2,
+		TuneDuration:   0.03,
+		MaxRetunes:     1,
+		CanaryWindow:   6,
+		RollbackMargin: 0.25,
+	}
+	sv, reqs, err := canaryTrace(0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if len(m.Swaps) != 1 || m.Generation != 1 || m.Rollbacks != 0 {
+		t.Fatalf("want one kept promotion, got %d swaps generation %d rollbacks %d",
+			len(m.Swaps), m.Generation, m.Rollbacks)
+	}
+	s := m.Swaps[0]
+	if s.CanaryMean <= 0 || s.BaselineMean <= 0 {
+		t.Fatalf("canary verdict not recorded on a kept promotion: %+v", s)
+	}
+	if ratio := s.CanaryMean / s.BaselineMean; math.Abs(ratio-0.5) > 1e-9 {
+		t.Errorf("canary/baseline ratio %g, want the 0.5x improvement", ratio)
+	}
+	if g := sv.Live().Current(); g.ID != 1 {
+		t.Errorf("live generation %d, want the promotion kept at 1", g.ID)
+	}
+}
+
+// A purely time-bound canary (CanaryWindow 0, CanaryDuration set) closes by
+// the virtual clock and still rolls a poisoned promotion back.
+func TestSupervisorCanaryDurationCloses(t *testing.T) {
+	cfg := trace.SupervisorConfig{
+		Server:         trace.ServerConfig{Workers: 2},
+		Window:         4,
+		CheckEvery:     2,
+		TuneDuration:   0.03,
+		MaxRetunes:     1,
+		CanaryDuration: 0.05,
+		RollbackMargin: 0.25,
+	}
+	sv, reqs, err := canaryTrace(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m.Rollbacks != 1 || len(m.Swaps) != 2 {
+		t.Fatalf("time-bound canary missed the poison: %d rollbacks, %d swaps", m.Rollbacks, len(m.Swaps))
+	}
+	promo, rb := m.Swaps[0], m.Swaps[1]
+	if rb.Swapped < promo.Swapped+cfg.CanaryDuration {
+		t.Errorf("verdict at %g, before the canary duration elapsed (swap %g + %g)",
+			rb.Swapped, promo.Swapped, cfg.CanaryDuration)
+	}
+}
+
+// A canary window still open when the trace ends reaches no verdict: the
+// promotion stands, no rollback happens, and the unevaluated verdict fields
+// stay zero.
+func TestSupervisorCanaryOpenAtTraceEnd(t *testing.T) {
+	cfg := trace.SupervisorConfig{
+		Server:       trace.ServerConfig{Workers: 2},
+		Window:       4,
+		CheckEvery:   2,
+		TuneDuration: 0.03,
+		MaxRetunes:   1,
+		CanaryWindow: 1000, // can never fill on a 100-request trace
+	}
+	sv, reqs, err := canaryTrace(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if len(m.Swaps) != 1 || m.Rollbacks != 0 {
+		t.Fatalf("open canary must not decide: %d swaps, %d rollbacks", len(m.Swaps), m.Rollbacks)
+	}
+	if s := m.Swaps[0]; s.CanaryMean != 0 || s.BaselineMean != 0 {
+		t.Errorf("unclosed canary recorded a verdict: %+v", s)
+	}
+	if g := sv.Live().Current(); g.ID != 1 {
+		t.Errorf("live generation %d, want the promotion still live", g.ID)
+	}
+}
+
+// Rollback rearms drift control: after the canary reverts a poisoned
+// promotion, a later drift check may launch a fresh tune (subject to
+// MaxRetunes), and generation ids keep climbing monotonically.
+func TestSupervisorRetuneAfterRollback(t *testing.T) {
+	cfg := trace.SupervisorConfig{
+		Server:         trace.ServerConfig{Workers: 2},
+		Window:         4,
+		CheckEvery:     2,
+		TuneDuration:   0.03,
+		MaxRetunes:     2,
+		CanaryWindow:   4,
+		RollbackMargin: 0.25,
+	}
+	sizes := []int{16, 64, 256, 512}
+	reqs := make([]trace.Request, 120)
+	for i := range reqs {
+		reqs[i] = trace.Request{Arrival: float64(i) * 0.01, Size: sizes[i%4]}
+	}
+	gen0 := func(_ float64, size int) (float64, error) { return float64(size) * 1e-6, nil }
+	always := func([]trace.WindowEntry) (bool, error) { return true, nil }
+	// First tune is poisoned (3x), the second is a real improvement (0.5x).
+	tunes := 0
+	retune := func(int, []trace.WindowEntry) (trace.TimedServiceFunc, error) {
+		tunes++
+		factor := 3.0
+		if tunes > 1 {
+			factor = 0.5
+		}
+		return func(_ float64, size int) (float64, error) {
+			return float64(size) * 1e-6 * factor, nil
+		}, nil
+	}
+	sv, err := trace.NewSupervisor(cfg, gen0, always, retune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if tunes != 2 {
+		t.Fatalf("ran %d tunes, want the rollback to leave budget for a second", tunes)
+	}
+	// Four swaps: poisoned promotion, rollback, good promotion, kept.
+	if len(m.Swaps) != 3 || m.Rollbacks != 1 || m.Generation != 3 {
+		t.Fatalf("swaps %d rollbacks %d generation %d, want 3/1/3", len(m.Swaps), m.Rollbacks, m.Generation)
+	}
+	if !m.Swaps[1].Rollback || m.Swaps[0].Rollback || m.Swaps[2].Rollback {
+		t.Fatalf("rollback flags off: %+v", m.Swaps)
+	}
+	if m.Swaps[2].CanaryMean <= 0 || m.Swaps[2].CanaryMean >= m.Swaps[2].BaselineMean {
+		t.Errorf("second promotion's canary %+v, want a confirmed improvement", m.Swaps[2])
+	}
+	for i := 1; i < len(rep.Generations); i++ {
+		if rep.Generations[i] < rep.Generations[i-1] {
+			t.Fatalf("generation stamp regressed at %d", i)
+		}
+	}
+	if g := sv.Live().Current(); g.ID != 3 {
+		t.Errorf("live generation %d, want 3", g.ID)
+	}
+}
+
+// Concurrent Run calls on one Supervisor are serialized on the shared
+// LiveSet: run with -race. Two overlapping runs must produce exactly the
+// reports a sequential run produces, observers must never see a generation
+// regress, and the live set must end at the sum of both runs' swaps.
+func TestSupervisorConcurrentRunsHotSwapUnderLoad(t *testing.T) {
+	reqs, err := trace.Generate(300, trace.GeneratorConfig{QPS: 2000, MaxBatch: 512, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always := func([]trace.WindowEntry) (bool, error) { return true, nil }
+	retune := func(gen int, _ []trace.WindowEntry) (trace.TimedServiceFunc, error) {
+		return constTimed(1e-5 * float64(1+gen%3)), nil
+	}
+	cfg := trace.SupervisorConfig{
+		Server:       trace.ServerConfig{Workers: 2},
+		Window:       4,
+		CheckEvery:   2,
+		TuneDuration: 1e-4,
+	}
+	// Sequential reference: what any single run over these inputs yields.
+	ref, err := trace.NewSupervisor(cfg, constTimed(1e-5), always, retune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sv, err := trace.NewSupervisor(cfg, constTimed(1e-5), always, retune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		obs.Add(1)
+		go func() {
+			defer obs.Done()
+			last := -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := sv.Live().Current()
+				if g == nil || g.Service == nil {
+					t.Error("torn generation observed")
+					return
+				}
+				if g.ID < last {
+					t.Errorf("observer saw generation regress: %d after %d", g.ID, last)
+					return
+				}
+				last = g.ID
+			}
+		}()
+	}
+	reports := make([]*trace.Report, 2)
+	errs := make([]error, 2)
+	var runs sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		runs.Add(1)
+		go func(i int) {
+			defer runs.Done()
+			reports[i], errs[i] = sv.Run(reqs)
+		}(i)
+	}
+	runs.Wait()
+	close(stop)
+	obs.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reportsEqual(reports[i], want) {
+			t.Errorf("concurrent run %d differs from the sequential reference", i)
+		}
+	}
+	if got, want := sv.Live().Current().ID, 2*want.Metrics.Generation; got != want {
+		t.Errorf("live generation %d after two serialized runs, want %d", got, want)
 	}
 }
 
