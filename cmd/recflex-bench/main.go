@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("recflex-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead or all")
+		exp     = flag.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead,ext,eq2,drift,fleet or all")
 		scale   = flag.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
 		tuneB   = flag.Int("tune", 2, "tuning batches")
 		evalB   = flag.Int("eval", 8, "evaluation batches (paper: 128)")
@@ -65,8 +65,9 @@ func main() {
 		"ext":      func() error { return s.PrintExtensions(w) },
 		"eq2":      func() error { return s.PrintEq2Fidelity(w) },
 		"drift":    func() error { return s.PrintDriftStudy(w) },
+		"fleet":    func() error { return s.PrintFleetStudy(w) },
 	}
-	order := []string{"table1", "fig2", "fig3", "fig9", "fig10", "table2", "fig11", "fig12", "fig13", "scale", "mlperf", "overhead", "ext", "eq2", "drift"}
+	order := []string{"table1", "fig2", "fig3", "fig9", "fig10", "table2", "fig11", "fig12", "fig13", "scale", "mlperf", "overhead", "ext", "eq2", "drift", "fleet"}
 
 	var selected []string
 	if *exp == "all" {

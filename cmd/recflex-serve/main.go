@@ -12,23 +12,37 @@
 // from (model seed, size) alone, so no system's measurement order can
 // perturb another's inputs.
 //
+// With -models the command switches to fleet mode: each listed model is
+// tuned independently and the merged multi-tenant trace is replayed over one
+// shared simulated GPU pool (internal/fleet), with -tenants, -policy and
+// -placement shaping admission and placement. The report splits latency,
+// shed counts and interference per model and per tenant.
+//
 // Usage:
 //
 //	recflex-serve -model A -scale 25 -requests 200 -qps 2000 -tail 0.02 \
 //	    -gpus 2 -deadline 1.5 -queue 64
+//	recflex-serve -models A,C -tenants "interactive:1,bulk:0:8" \
+//	    -policy priority-edf -placement spread -gpus 2 -queue 32
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"math/rand"
+	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/datasynth"
 	"repro/internal/embedding"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/fusion"
 	"repro/internal/gpusim"
 	"repro/internal/report"
@@ -48,6 +62,221 @@ const splitCap = 512
 // quantize rounds a request size up to the measurement grid.
 func quantize(size int) int {
 	return (size + sizeQuantum - 1) / sizeQuantum * sizeQuantum
+}
+
+// options is the parsed flag set of one invocation.
+type options struct {
+	model, device     string
+	scale, requests   int
+	qps, tailProb     float64
+	gpus, queue       int
+	deadline          float64
+	drift, driftAt    float64
+	canary            int
+	margin            float64
+	degrade           string
+	models, tenants   string
+	policy, placement string
+	shedFraction      float64
+}
+
+// parseFlags binds the flag set to an options struct. Usage and parse errors
+// go to w, so tests never write to the process stderr.
+func parseFlags(args []string, w io.Writer) (*options, error) {
+	var o options
+	fs := flag.NewFlagSet("recflex-serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	fs.StringVar(&o.model, "model", "A", "model: A,B,C,D,E,mlperf")
+	fs.StringVar(&o.device, "device", "V100", "device: V100 or A100")
+	fs.IntVar(&o.scale, "scale", 25, "feature-count divisor")
+	fs.IntVar(&o.requests, "requests", 200, "requests in the trace (per model in fleet mode)")
+	fs.Float64Var(&o.qps, "qps", 2000, "mean arrival rate (per model in fleet mode)")
+	fs.Float64Var(&o.tailProb, "tail", 0.02, "probability of an unsplit 2560-sample request")
+	fs.IntVar(&o.gpus, "gpus", 1, "simulated GPU workers")
+	fs.IntVar(&o.queue, "queue", 0, "admission queue bound (0 = unbounded)")
+	fs.Float64Var(&o.deadline, "deadline", 0, "per-request deadline in milliseconds (0 = none)")
+	fs.Float64Var(&o.drift, "drift", 0, "mid-trace pooling-factor scale (0 = steady workload); switches to the continuous serving loop with online re-tuning")
+	fs.Float64Var(&o.driftAt, "drift-at", 0.33, "fraction of the trace after which the drift lands")
+	fs.IntVar(&o.canary, "canary", 0, "guard each hot-swap with a canary window of this many completions (0 = unguarded)")
+	fs.Float64Var(&o.margin, "rollback-margin", 0.1, "fractional degradation the canary tolerates before rolling a swap back")
+	fs.StringVar(&o.degrade, "degrade", "", "degradation policy: split-tail, serve-all or shed (default split-tail; fleet mode serve-all)")
+	fs.StringVar(&o.models, "models", "", "comma-separated model list (e.g. A,C) — switches to fleet mode over a shared GPU pool")
+	fs.StringVar(&o.tenants, "tenants", "", "fleet tenants, comma-separated name:priority[:quota[:deadline_ms]] entries")
+	fs.StringVar(&o.policy, "policy", "priority-edf", "fleet admission policy: priority-edf or fifo")
+	fs.StringVar(&o.placement, "placement", "packed", "fleet placement: packed, spread or dedicated")
+	fs.Float64Var(&o.shedFraction, "shed-fraction", 0, "fleet load shedding: shed sub-top-priority arrivals once the queue is this full (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return &o, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("recflex-serve: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report out,
+// every failure — including a trace that admits zero requests — surfaces as
+// an error (and a non-zero exit) instead of a table of zero-value metrics.
+func run(args []string, w io.Writer) error {
+	o, err := parseFlags(args, w)
+	if err != nil {
+		return err
+	}
+	if o.models != "" {
+		return runFleet(o, w)
+	}
+
+	cfg, dev, err := modelDevice(o.model, o.device, o.scale)
+	if err != nil {
+		return err
+	}
+	features := experiments.Features(cfg)
+	rf, err := tuneModel(cfg, dev, features)
+	if err != nil {
+		return err
+	}
+
+	reqs, err := trace.Generate(o.requests, trace.GeneratorConfig{
+		QPS: o.qps, MaxBatch: splitCap, TailProb: o.tailProb,
+		TailSize: datasynth.LongTailRequest, Seed: cfg.Seed ^ 0x5E17E,
+	})
+	if err != nil {
+		return err
+	}
+	policy := trace.DegradeSplitTail
+	if o.degrade != "" {
+		if policy, err = trace.ParseDegradePolicy(o.degrade); err != nil {
+			return err
+		}
+	}
+	srvCfg := trace.ServerConfig{
+		Workers:    o.gpus,
+		QueueDepth: o.queue,
+		Deadline:   o.deadline * 1e-3,
+		SplitCap:   splitCap,
+		Policy:     policy,
+	}
+	if o.drift > 0 {
+		fmt.Fprintf(w, "continuous serving: %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail)\n",
+			len(reqs), o.qps, o.gpus, dev.Name, cfg.Name, len(features), o.tailProb*100)
+		return runDrift(w, rf, cfg, reqs, srvCfg, o.drift, o.driftAt, o.canary, o.margin)
+	}
+	batches, err := prebuildBatches(cfg, reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail, %d shared batches)\n\n",
+		len(reqs), o.qps, o.gpus, dev.Name, cfg.Name, len(features), o.tailProb*100, len(batches))
+	systems := append(baselines.All(), rf)
+	tbl := &report.Table{
+		Title:  "end-to-end request latency",
+		Header: []string{"System", "p50", "p95", "p99", "GPU util", "shed", "timeout"},
+	}
+	var rfMetrics *trace.Metrics
+	for _, sys := range systems {
+		if sys.Supports(features) != nil {
+			continue
+		}
+		srv, err := trace.NewServer(srvCfg, serviceFor(sys, dev, features, batches))
+		if err != nil {
+			return err
+		}
+		rep, err := srv.Serve(reqs)
+		if err != nil {
+			return fmt.Errorf("%s: %v", sys.Name(), err)
+		}
+		m := rep.Metrics
+		if err := errIfNoneAdmitted(m.Served, len(reqs)); err != nil {
+			return fmt.Errorf("%s: %w", sys.Name(), err)
+		}
+		tbl.AddRow(sys.Name(), report.FmtUS(rep.P50), report.FmtUS(rep.P95),
+			report.FmtUS(rep.P99), fmt.Sprintf("%.1f%%", rep.Utilization*100),
+			fmt.Sprintf("%d", m.Shed()), fmt.Sprintf("%d", m.Timeouts))
+		if sys == baselines.Baseline(rf) {
+			rfMetrics = srv.Metrics()
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+
+	if rfMetrics != nil {
+		fmt.Fprintf(w, "\nRecFlex serving detail: %s\n", rfMetrics)
+		fmt.Fprintf(w, "\nlatency histogram (served requests):\n%s", rfMetrics.Latency.Render(40))
+		fmt.Fprintf(w, "\nper-worker utilization over a %.2fms makespan:\n", rfMetrics.Makespan*1e3)
+		for g, wk := range rfMetrics.Workers {
+			fmt.Fprintf(w, "  gpu%-2d %6d reqs  busy %8s  util %5.1f%%\n",
+				g, wk.Served, report.FmtUS(wk.Busy), wk.Utilization*100)
+		}
+		maxDepth, sum := 0, 0
+		for _, s := range rfMetrics.QueueDepth {
+			if s.Depth > maxDepth {
+				maxDepth = s.Depth
+			}
+			sum += s.Depth
+		}
+		if n := len(rfMetrics.QueueDepth); n > 0 {
+			fmt.Fprintf(w, "\nadmission queue: peak depth %d, mean depth %.1f over %d samples\n",
+				maxDepth, float64(sum)/float64(n), n)
+		}
+	}
+	return nil
+}
+
+// errIfNoneAdmitted turns an all-shed replay into a hard failure: a serving
+// run whose every request was dropped before dispatch reports nothing but
+// zero-value metrics, which reads like success in a pipeline. Surface it.
+func errIfNoneAdmitted(served, total int) error {
+	if served > 0 {
+		return nil
+	}
+	return fmt.Errorf("zero of %d requests were admitted and served — every request was shed before dispatch; relax -queue, -deadline, -degrade or the tenant quotas", total)
+}
+
+// modelDevice resolves the -model/-device/-scale flags.
+func modelDevice(model, device string, scale int) (*datasynth.ModelConfig, *gpusim.Device, error) {
+	configs := map[string]*datasynth.ModelConfig{
+		"A": datasynth.ModelA(), "B": datasynth.ModelB(), "C": datasynth.ModelC(),
+		"D": datasynth.ModelD(), "E": datasynth.ModelE(), "mlperf": datasynth.MLPerfLike(),
+	}
+	cfg, ok := configs[model]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown model %q", model)
+	}
+	var dev *gpusim.Device
+	switch device {
+	case "V100":
+		dev = gpusim.V100()
+	case "A100":
+		dev = gpusim.A100()
+	default:
+		return nil, nil, fmt.Errorf("unknown device %q", device)
+	}
+	return datasynth.Scaled(cfg, scale), dev, nil
+}
+
+// tuneModel tunes a fresh RecFlex instance on two historical batches, the
+// compile-time step shared by the single-model and fleet paths.
+func tuneModel(cfg *datasynth.ModelConfig, dev *gpusim.Device, features []fusion.FeatureInfo) (*core.RecFlex, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var historical []*embedding.Batch
+	for _, n := range []int{256, 384} {
+		b, err := datasynth.GenerateBatch(cfg, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		historical = append(historical, b)
+	}
+	rf := core.New(dev, features)
+	if err := rf.Tune(historical, tuner.Options{}); err != nil {
+		return nil, err
+	}
+	return rf, nil
 }
 
 // prebuildBatches generates the canonical batch for every quantized size the
@@ -96,9 +325,9 @@ func serviceFor(sys baselines.Baseline, dev *gpusim.Device, features []fusion.Fe
 // the simulated-GPU worker slots and hot-swaps the fresh schedule set —
 // admission never pauses. The same trace replayed with the schedules frozen
 // gives the stale baseline the post-swap latency split is measured against.
-func runDrift(rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request, srvCfg trace.ServerConfig, factor, frac float64, canary int, margin float64) {
+func runDrift(w io.Writer, rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request, srvCfg trace.ServerConfig, factor, frac float64, canary int, margin float64) error {
 	if frac < 0 || frac >= 1 {
-		log.Fatalf("drift-at %g outside [0,1)", frac)
+		return fmt.Errorf("drift-at %g outside [0,1)", frac)
 	}
 	// trace.Generate emits requests in arrival order, so the drift step lands
 	// at the chosen fraction of the stream.
@@ -115,183 +344,225 @@ func runDrift(rf *core.RecFlex, cfg *datasynth.ModelConfig, reqs []trace.Request
 		Quantum: sizeQuantum,
 		PhaseOf: sched.PhaseStart,
 	}
-	fmt.Printf("drift: pooling factors x%g from t=%s\n", factor, report.FmtUS(at))
+	fmt.Fprintf(w, "drift: pooling factors x%g from t=%s\n", factor, report.FmtUS(at))
 	if canary > 0 {
-		fmt.Printf("guarded promotion: canary window %d completions, rollback margin %.0f%%\n", canary, margin*100)
+		fmt.Fprintf(w, "guarded promotion: canary window %d completions, rollback margin %.0f%%\n", canary, margin*100)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	live := rf.Clone()
 	rep, err := live.ServeContinuous(reqs, src, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	stale, err := rf.ServeFrozen(reqs, src, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	m := rep.Metrics
+	if err := errIfNoneAdmitted(m.Served, len(reqs)); err != nil {
+		return err
+	}
 	if len(m.Swaps) == 0 {
-		fmt.Println("no drift detected; serving stayed on generation 0")
-		return
+		fmt.Fprintln(w, "no drift detected; serving stayed on generation 0")
+		return nil
 	}
 	for i, s := range m.Swaps {
 		if s.Rollback {
 			// The verdict lives on the promotion this event reverted — the
 			// immediately preceding swap (no tune can launch mid-canary).
 			promo := m.Swaps[i-1]
-			fmt.Printf("generation %d: canary measured %s vs baseline %s -> ROLLED BACK to generation %d schedules at t=%s\n",
+			fmt.Fprintf(w, "generation %d: canary measured %s vs baseline %s -> ROLLED BACK to generation %d schedules at t=%s\n",
 				s.Generation, report.FmtUS(promo.CanaryMean), report.FmtUS(promo.BaselineMean),
 				s.Reinstated, report.FmtUS(s.Swapped))
 			continue
 		}
-		fmt.Printf("generation %d: drift detected t=%s -> background tune on gpu%d (%s busy) -> hot-swap t=%s\n",
+		fmt.Fprintf(w, "generation %d: drift detected t=%s -> background tune on gpu%d (%s busy) -> hot-swap t=%s\n",
 			s.Generation, report.FmtUS(s.Detected), s.Worker, report.FmtUS(s.TuneDuration), report.FmtUS(s.Swapped))
 	}
 	if m.Rollbacks > 0 {
-		fmt.Printf("canary rollbacks: %d of %d promotions reverted\n", m.Rollbacks, len(m.Swaps)-m.Rollbacks)
+		fmt.Fprintf(w, "canary rollbacks: %d of %d promotions reverted\n", m.Rollbacks, len(m.Swaps)-m.Rollbacks)
 	}
 	freshMean, staleMean, n := core.PostSwapSplit(rep, stale)
 	if n == 0 {
-		fmt.Println("swap landed after the last request; no post-swap latency to split")
-		return
+		fmt.Fprintln(w, "swap landed after the last request; no post-swap latency to split")
+		return nil
 	}
-	fmt.Printf("\npost-swap latency over %d requests: stale %s vs swapped %s -> %s recovery\n",
+	fmt.Fprintf(w, "\npost-swap latency over %d requests: stale %s vs swapped %s -> %s recovery\n",
 		n, report.FmtUS(staleMean), report.FmtUS(freshMean), report.FmtRatio(staleMean/freshMean))
-	fmt.Printf("continuous p50 %s p99 %s | frozen p50 %s p99 %s\n",
+	fmt.Fprintf(w, "continuous p50 %s p99 %s | frozen p50 %s p99 %s\n",
 		report.FmtUS(rep.P50), report.FmtUS(rep.P99), report.FmtUS(stale.P50), report.FmtUS(stale.P99))
-	fmt.Printf("serving detail: %s\n", m)
+	fmt.Fprintf(w, "serving detail: %s\n", m)
+	return nil
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("recflex-serve: ")
-	var (
-		model    = flag.String("model", "A", "model: A,B,C,D,E,mlperf")
-		device   = flag.String("device", "V100", "device: V100 or A100")
-		scale    = flag.Int("scale", 25, "feature-count divisor")
-		requests = flag.Int("requests", 200, "requests in the trace")
-		qps      = flag.Float64("qps", 2000, "mean arrival rate")
-		tailProb = flag.Float64("tail", 0.02, "probability of an unsplit 2560-sample request")
-		gpus     = flag.Int("gpus", 1, "simulated GPU workers per system")
-		queue    = flag.Int("queue", 0, "admission queue bound (0 = unbounded)")
-		deadline = flag.Float64("deadline", 0, "per-request deadline in milliseconds (0 = none)")
-		drift    = flag.Float64("drift", 0, "mid-trace pooling-factor scale (0 = steady workload); switches to the continuous serving loop with online re-tuning")
-		driftAt  = flag.Float64("drift-at", 0.33, "fraction of the trace after which the drift lands")
-		canary   = flag.Int("canary", 0, "guard each hot-swap with a canary window of this many completions (0 = unguarded)")
-		margin   = flag.Float64("rollback-margin", 0.1, "fractional degradation the canary tolerates before rolling a swap back")
-	)
-	flag.Parse()
-
-	configs := map[string]*datasynth.ModelConfig{
-		"A": datasynth.ModelA(), "B": datasynth.ModelB(), "C": datasynth.ModelC(),
-		"D": datasynth.ModelD(), "E": datasynth.ModelE(), "mlperf": datasynth.MLPerfLike(),
-	}
-	cfg, ok := configs[*model]
-	if !ok {
-		log.Fatalf("unknown model %q", *model)
-	}
-	cfg = datasynth.Scaled(cfg, *scale)
-	var dev *gpusim.Device
-	switch *device {
-	case "V100":
-		dev = gpusim.V100()
-	case "A100":
-		dev = gpusim.A100()
-	default:
-		log.Fatalf("unknown device %q", *device)
-	}
-	features := experiments.Features(cfg)
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var historical []*embedding.Batch
-	for _, n := range []int{256, 384} {
-		b, err := datasynth.GenerateBatch(cfg, n, rng)
-		if err != nil {
-			log.Fatal(err)
+// parseTenants decodes the -tenants flag: comma-separated
+// name:priority[:quota[:deadline_ms]] entries. An empty flag yields one
+// unlimited tenant per model so fleet mode works out of the box.
+func parseTenants(s string, models int) ([]fleet.TenantSpec, error) {
+	if s == "" {
+		out := make([]fleet.TenantSpec, models)
+		for i := range out {
+			out[i] = fleet.TenantSpec{Name: fmt.Sprintf("tenant%d", i)}
 		}
-		historical = append(historical, b)
+		return out, nil
 	}
-	rf := core.New(dev, features)
-	if err := rf.Tune(historical, tuner.Options{}); err != nil {
-		log.Fatal(err)
-	}
-
-	reqs, err := trace.Generate(*requests, trace.GeneratorConfig{
-		QPS: *qps, MaxBatch: splitCap, TailProb: *tailProb,
-		TailSize: datasynth.LongTailRequest, Seed: cfg.Seed ^ 0x5E17E,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	srvCfg := trace.ServerConfig{
-		Workers:    *gpus,
-		QueueDepth: *queue,
-		Deadline:   *deadline * 1e-3,
-		SplitCap:   splitCap,
-		Policy:     trace.DegradeSplitTail,
-	}
-	if *drift > 0 {
-		fmt.Printf("continuous serving: %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail)\n",
-			len(reqs), *qps, *gpus, dev.Name, cfg.Name, len(features), *tailProb*100)
-		runDrift(rf, cfg, reqs, srvCfg, *drift, *driftAt, *canary, *margin)
-		return
-	}
-	batches, err := prebuildBatches(cfg, reqs)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("serving %d requests at %.0f qps on %dx %s/%s (%d features, %.1f%% long tail, %d shared batches)\n\n",
-		len(reqs), *qps, *gpus, dev.Name, cfg.Name, len(features), *tailProb*100, len(batches))
-	systems := append(baselines.All(), rf)
-	tbl := &report.Table{
-		Title:  "end-to-end request latency",
-		Header: []string{"System", "p50", "p95", "p99", "GPU util", "shed", "timeout"},
-	}
-	var rfMetrics *trace.Metrics
-	for _, sys := range systems {
-		if sys.Supports(features) != nil {
-			continue
+	var out []fleet.TenantSpec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
+			return nil, fmt.Errorf("bad tenant %q (want name:priority[:quota[:deadline_ms]])", entry)
 		}
-		srv, err := trace.NewServer(srvCfg, serviceFor(sys, dev, features, batches))
-		if err != nil {
-			log.Fatal(err)
+		t := fleet.TenantSpec{Name: parts[0]}
+		var err error
+		if t.Priority, err = strconv.Atoi(parts[1]); err != nil {
+			return nil, fmt.Errorf("tenant %s: bad priority %q", t.Name, parts[1])
 		}
-		rep, err := srv.Serve(reqs)
-		if err != nil {
-			log.Fatalf("%s: %v", sys.Name(), err)
-		}
-		m := rep.Metrics
-		tbl.AddRow(sys.Name(), report.FmtUS(rep.P50), report.FmtUS(rep.P95),
-			report.FmtUS(rep.P99), fmt.Sprintf("%.1f%%", rep.Utilization*100),
-			fmt.Sprintf("%d", m.Shed()), fmt.Sprintf("%d", m.Timeouts))
-		if sys == baselines.Baseline(rf) {
-			rfMetrics = srv.Metrics()
-		}
-	}
-	if err := tbl.Write(log.Writer()); err != nil {
-		log.Fatal(err)
-	}
-
-	if rfMetrics != nil {
-		fmt.Printf("\nRecFlex serving detail: %s\n", rfMetrics)
-		fmt.Printf("\nlatency histogram (served requests):\n%s", rfMetrics.Latency.Render(40))
-		fmt.Printf("\nper-worker utilization over a %.2fms makespan:\n", rfMetrics.Makespan*1e3)
-		for g, w := range rfMetrics.Workers {
-			fmt.Printf("  gpu%-2d %6d reqs  busy %8s  util %5.1f%%\n",
-				g, w.Served, report.FmtUS(w.Busy), w.Utilization*100)
-		}
-		maxDepth, sum := 0, 0
-		for _, s := range rfMetrics.QueueDepth {
-			if s.Depth > maxDepth {
-				maxDepth = s.Depth
+		if len(parts) > 2 {
+			if t.Quota, err = strconv.Atoi(parts[2]); err != nil {
+				return nil, fmt.Errorf("tenant %s: bad quota %q", t.Name, parts[2])
 			}
-			sum += s.Depth
 		}
-		if n := len(rfMetrics.QueueDepth); n > 0 {
-			fmt.Printf("\nadmission queue: peak depth %d, mean depth %.1f over %d samples\n",
-				maxDepth, float64(sum)/float64(n), n)
+		if len(parts) > 3 {
+			ms, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s: bad deadline %q", t.Name, parts[3])
+			}
+			t.Deadline = ms * 1e-3
+		}
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// runFleet serves several independently tuned models over one shared
+// simulated GPU pool. Each model gets its own Poisson trace (same -requests
+// and -qps, a model-distinct seed) and is mapped round-robin onto the tenant
+// list; the merged stream replays under the configured admission policy and
+// placement strategy with per-model and per-tenant accounting.
+func runFleet(o *options, w io.Writer) error {
+	if o.drift > 0 {
+		return fmt.Errorf("fleet mode serves fixed schedule sets; for drift and hot-swaps on a shared pool use recflex-bench -exp fleet or examples/fleet")
+	}
+	names := strings.Split(o.models, ",")
+	tenants, err := parseTenants(o.tenants, len(names))
+	if err != nil {
+		return err
+	}
+	strategy, err := fleet.ParseStrategy(o.placement)
+	if err != nil {
+		return err
+	}
+	admission, err := fleet.ParsePolicy(o.policy, tenants, o.shedFraction)
+	if err != nil {
+		return err
+	}
+	// The pool has no split-at-cap fallback, so the fleet default serves
+	// admitted requests to completion; -degrade shed switches to
+	// dispatch-time deadline shedding.
+	policy := trace.DegradeServe
+	if o.degrade != "" {
+		if policy, err = trace.ParseDegradePolicy(o.degrade); err != nil {
+			return err
+		}
+		if policy == trace.DegradeSplitTail {
+			return fmt.Errorf("the fleet pool does not implement split-at-cap; use -degrade serve-all or shed")
 		}
 	}
+
+	var (
+		dev     *gpusim.Device
+		models  []core.FleetModel
+		streams []fleet.Stream
+	)
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		cfg, d, err := modelDevice(name, o.device, o.scale)
+		if err != nil {
+			return err
+		}
+		dev = d
+		features := experiments.Features(cfg)
+		rf, err := tuneModel(cfg, dev, features)
+		if err != nil {
+			return fmt.Errorf("model %s: %w", name, err)
+		}
+		reqs, err := trace.Generate(o.requests, trace.GeneratorConfig{
+			QPS: o.qps, MaxBatch: splitCap, TailProb: o.tailProb,
+			TailSize: datasynth.LongTailRequest,
+			Seed:     cfg.Seed ^ 0x5E17E ^ int64(i+1)<<20,
+		})
+		if err != nil {
+			return err
+		}
+		label := name
+		if len(names) > 1 {
+			label = fmt.Sprintf("%s/%d", name, i)
+		}
+		c := cfg
+		models = append(models, core.FleetModel{
+			Name: label,
+			Rec:  rf,
+			Source: func(_ float64, size int) (*embedding.Batch, error) {
+				return datasynth.BatchForSize(c, size)
+			},
+			Opts:   core.ContinuousOptions{Quantum: sizeQuantum},
+			Frozen: true,
+		})
+		streams = append(streams, fleet.Stream{Model: i, Tenant: i % len(tenants), Reqs: reqs})
+	}
+	merged := fleet.Merge(streams...)
+
+	fmt.Fprintf(w, "fleet serving: %d models x %d requests at %.0f qps each on a shared %dx %s pool (%s placement, %s admission)\n\n",
+		len(models), o.requests, o.qps, o.gpus, dev.Name, strategy, o.policy)
+	res, err := core.ServeFleet(fleet.Config{
+		Queue: trace.QueuePolicy{
+			Workers:    o.gpus,
+			QueueDepth: o.queue,
+			Deadline:   o.deadline * 1e-3,
+			Policy:     policy,
+		},
+		Placement:    strategy,
+		Admission:    admission,
+		ShedFraction: o.shedFraction,
+	}, models, tenants, merged)
+	if err != nil {
+		return err
+	}
+	m := res.Report.Metrics
+	if err := errIfNoneAdmitted(m.Served, len(merged)); err != nil {
+		return err
+	}
+
+	tbl := &report.Table{
+		Title:  "per-model latency on the shared pool",
+		Header: []string{"Model", "tenant", "p50", "p95", "p99", "served", "shed", "interference"},
+	}
+	for i, g := range m.Models {
+		interf := "n/a"
+		if !math.IsNaN(res.Interference[i]) {
+			interf = report.FmtRatio(res.Interference[i])
+		}
+		tbl.AddRow(g.Name, tenants[i%len(tenants)].Name,
+			report.FmtUS(g.P50), report.FmtUS(g.P95), report.FmtUS(g.P99),
+			fmt.Sprintf("%d", g.Served), fmt.Sprintf("%d", g.Shed()), interf)
+	}
+	if err := tbl.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nper-tenant accounting:\n")
+	for _, g := range m.Tenants {
+		fmt.Fprintf(w, "  %s\n", g.String())
+	}
+	fmt.Fprintf(w, "\npool: %s\n", m)
+	fmt.Fprintf(w, "per-worker utilization over a %.2fms makespan:\n", m.Makespan*1e3)
+	for g, wk := range m.Workers {
+		fmt.Fprintf(w, "  gpu%-2d %6d reqs  busy %8s  util %5.1f%%\n",
+			g, wk.Served, report.FmtUS(wk.Busy), wk.Utilization*100)
+	}
+	return nil
 }

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/datasynth"
 	"repro/internal/embedding"
+	"repro/internal/fleet"
 	"repro/internal/fusion"
 	"repro/internal/gpusim"
 	"repro/internal/trace"
@@ -98,6 +102,101 @@ func TestPrebuildCoversSplitChunks(t *testing.T) {
 	for _, size := range []int{quantize(datasynth.LongTailRequest), quantize(splitCap)} {
 		if _, ok := batches[size]; !ok {
 			t.Errorf("batch table missing size %d", size)
+		}
+	}
+}
+
+// The zero-admitted satellite: a configuration under which every request is
+// shed before dispatch must fail the command with a clear error instead of
+// printing a table of zero-value metrics. DegradeShed plus a deadline far
+// below any service time sheds the entire trace.
+func TestRunZeroAdmittedFails(t *testing.T) {
+	err := run([]string{
+		"-scale", "400", "-requests", "12", "-qps", "50000",
+		"-degrade", "shed", "-deadline", "0.0001",
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("run succeeded although no request could be admitted and served")
+	}
+	if !strings.Contains(err.Error(), "zero of 12 requests") {
+		t.Errorf("error does not explain the all-shed trace: %v", err)
+	}
+}
+
+// Fleet mode end to end through the run() seam: two independently tuned
+// models, two tenants, priority-EDF over a shared two-GPU pool. The report
+// must split per model and per tenant, and the whole replay must be
+// deterministic — two invocations print identical bytes.
+func TestRunFleetMode(t *testing.T) {
+	args := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0:6",
+		"-policy", "priority-edf", "-placement", "spread",
+		"-scale", "400", "-requests", "24", "-qps", "4000",
+		"-gpus", "2", "-queue", "32",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fleet serving", "A/0", "A/1", "hi", "lo", "per-tenant accounting", "interference", "spread placement"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fleet output missing %q in:\n%s", want, s)
+		}
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != s {
+		t.Error("fleet mode is not deterministic: two runs printed different reports")
+	}
+}
+
+// Flag validation fails fast, before any tuning happens.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-model", "Z"},
+		{"-device", "H100"},
+		{"-degrade", "gracefully"},
+		{"-models", "A", "-drift", "2"},
+		{"-models", "A", "-placement", "ring"},
+		{"-models", "A", "-policy", "lifo"},
+		{"-models", "A", "-degrade", "split-tail"},
+		{"-models", "A", "-tenants", "noprio"},
+		{"-models", "Z,A"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	got, err := parseTenants("interactive:2, bulk:0:8:5.5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fleet.TenantSpec{
+		{Name: "interactive", Priority: 2},
+		{Name: "bulk", Priority: 0, Quota: 8, Deadline: 0.0055},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseTenants = %+v, want %+v", got, want)
+	}
+
+	def, err := parseTenants("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 3 || def[2].Name != "tenant2" || def[0].Priority != 0 {
+		t.Errorf("default tenants = %+v", def)
+	}
+
+	for _, bad := range []string{"x", "x:high", "x:1:many", "x:1:2:soon", ":1", "x:1:2:3:4", "x:-1:-2"} {
+		if _, err := parseTenants(bad, 1); err == nil {
+			t.Errorf("parseTenants(%q) succeeded, want error", bad)
 		}
 	}
 }

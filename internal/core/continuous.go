@@ -172,8 +172,29 @@ func PostSwapSplit(fresh, stale *trace.Report) (freshMean, staleMean float64, n 
 // The instance must be tuned; determinism of the trace, the drift source and
 // the tuner makes the whole run reproducible for a fixed seed.
 func (r *RecFlex) ServeContinuous(reqs []trace.Request, src TimedBatchSource, opts ContinuousOptions) (*trace.Report, error) {
+	sv, commit, err := r.continuousSupervisor(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sv.Run(reqs)
+	if err != nil {
+		return nil, err
+	}
+	commit()
+	return rep, nil
+}
+
+// continuousSupervisor builds the continuous-serving supervisor over this
+// instance — drift detection via ShouldRetune on the window's batches,
+// background re-tunes via the two-stage schedule search, canary rollbacks
+// reinstating the right instance — together with the commit closure that
+// adopts the final live generation's tuning into the receiver. The caller
+// runs the supervisor (directly via Run, or on a shared fleet pool) and
+// calls commit after a successful run. Both ServeContinuous and ServeFleet
+// are thin wrappers around this.
+func (r *RecFlex) continuousSupervisor(src TimedBatchSource, opts ContinuousOptions) (*trace.Supervisor, func(), error) {
 	if r.Tuned() == nil {
-		return nil, errNotTuned
+		return nil, nil, errNotTuned
 	}
 	// cur tracks the live generation's instance: the drift detector compares
 	// the window against the most recently installed tuning profile, not the
@@ -206,7 +227,7 @@ func (r *RecFlex) ServeContinuous(reqs []trace.Request, src TimedBatchSource, op
 	}
 	sv, err := trace.NewSupervisor(opts.Supervisor, r.TimedService(src, opts.Quantum, opts.PhaseOf), detect, retune)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sv.OnRollback(func(rollbackGen, reinstated int) {
 		// The canary reverted the latest promotion: serving is back on the
@@ -216,12 +237,10 @@ func (r *RecFlex) ServeContinuous(reqs []trace.Request, src TimedBatchSource, op
 		cur = instances[reinstated]
 		instances[rollbackGen] = cur
 	})
-	rep, err := sv.Run(reqs)
-	if err != nil {
-		return nil, err
+	commit := func() {
+		if cur != r {
+			r.adoptFrom(cur)
+		}
 	}
-	if cur != r {
-		r.adoptFrom(cur)
-	}
-	return rep, nil
+	return sv, commit, nil
 }

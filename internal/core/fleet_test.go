@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fleet"
+	"repro/internal/gpusim"
+	"repro/internal/trace"
+	"repro/internal/tuner"
+)
+
+// The fleet bridge end-to-end: a drifting supervised model and a frozen
+// neighbor share two simulated GPUs under priority admission. The supervised
+// model detects its drift, re-tunes on shared capacity, hot-swaps and adopts
+// the fresh tuning; the frozen model stays on generation 0; the interference
+// accounting covers both.
+func TestServeFleetEndToEnd(t *testing.T) {
+	rf, cfg := tunedInstance(t)
+	a, b := rf.Clone(), rf.Clone()
+
+	reqsA, err := trace.Generate(96, trace.GeneratorConfig{QPS: 40, MaxBatch: 512, Seed: 4242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqsB, err := trace.Generate(64, trace.GeneratorConfig{QPS: 25, MaxBatch: 256, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := datasynth.StepDrift(reqsA[len(reqsA)/3].Arrival, 4)
+	driftSrc := func(tt float64, size int) (*embedding.Batch, error) {
+		return drift.BatchForSize(cfg, tt, size)
+	}
+	staticSrc := func(_ float64, size int) (*embedding.Batch, error) {
+		return datasynth.BatchForSize(cfg, size)
+	}
+	opts := ContinuousOptions{
+		Supervisor: trace.SupervisorConfig{
+			Window:     12,
+			CheckEvery: 6,
+			MaxRetunes: 1,
+		},
+		Quantum: 64,
+		PhaseOf: drift.PhaseStart,
+		Tune:    tuner.Options{Occupancies: []int{2, 4, 8}, Parallelism: 4},
+	}
+	models := []FleetModel{
+		{Name: "drifting", Rec: a, Source: driftSrc, Opts: opts},
+		{Name: "steady", Rec: b, Source: staticSrc, Opts: ContinuousOptions{Quantum: 64}, Frozen: true},
+	}
+	tenants := []fleet.TenantSpec{
+		{Name: "interactive", Priority: 1},
+		{Name: "batch", Priority: 0},
+	}
+	stream := fleet.Merge(
+		fleet.Stream{Model: 0, Tenant: 0, Reqs: reqsA},
+		fleet.Stream{Model: 1, Tenant: 1, Reqs: reqsB},
+	)
+
+	res, err := ServeFleet(fleet.Config{
+		Queue: trace.QueuePolicy{Workers: 2},
+	}, models, tenants, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+
+	if got := rep.Metrics.Served + rep.Metrics.Shed(); got != len(stream) {
+		t.Fatalf("lost requests: served+shed = %d of %d", got, len(stream))
+	}
+	ma := rep.ModelReports[0].Metrics
+	if ma.Generation != 1 || len(ma.Swaps) != 1 {
+		t.Fatalf("drifting model: generation %d, %d swaps, want 1/1", ma.Generation, len(ma.Swaps))
+	}
+	if ma.TuneBusy <= 0 {
+		t.Error("background tune occupied no pool worker time")
+	}
+	mb := rep.ModelReports[1].Metrics
+	if mb.Generation != 0 || len(mb.Swaps) != 0 || mb.TuneBusy != 0 {
+		t.Fatalf("frozen model re-tuned: generation %d, %d swaps", mb.Generation, len(mb.Swaps))
+	}
+	if a.Tuned() == rf.Tuned() {
+		t.Error("supervised model did not adopt the fresh tuning after the swap")
+	}
+	if b.Tuned() != rf.Tuned() {
+		t.Error("frozen model's tuning changed")
+	}
+	if len(res.Interference) != 2 {
+		t.Fatalf("interference for %d models, want 2", len(res.Interference))
+	}
+	for m, r := range res.Interference {
+		if math.IsNaN(r) || r < 0.99 {
+			t.Errorf("model %d interference %g, want a finite ratio >= 1", m, r)
+		}
+	}
+}
+
+func TestServeFleetErrors(t *testing.T) {
+	features, cfg := coreModel(t)
+	src := func(_ float64, size int) (*embedding.Batch, error) {
+		return datasynth.BatchForSize(cfg, size)
+	}
+	untuned := New(gpusim.V100(), features)
+	tenants := []fleet.TenantSpec{{Name: "t"}}
+	reqs := []fleet.Request{{Arrival: 0, Size: 64}}
+	queue := fleet.Config{Queue: trace.QueuePolicy{Workers: 1}}
+
+	if _, err := ServeFleet(queue, []FleetModel{{Name: "m", Rec: untuned, Source: src}}, tenants, reqs); err == nil {
+		t.Error("ServeFleet accepted an untuned supervised model")
+	}
+	if _, err := ServeFleet(queue, []FleetModel{{Name: "m", Rec: untuned, Source: src, Frozen: true}}, tenants, reqs); err == nil {
+		t.Error("ServeFleet accepted an untuned frozen model")
+	}
+	if _, err := ServeFleet(queue, []FleetModel{{Name: "m", Source: src}}, tenants, reqs); err == nil {
+		t.Error("ServeFleet accepted a model without an instance")
+	}
+}

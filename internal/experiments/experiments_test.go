@@ -4,19 +4,33 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// testSuite is small enough for CI but stays in the many-features regime.
+// testSuite returns the package-shared test suite: small enough for CI but
+// still in the many-features regime. All tests read through one Suite so the
+// memoized tuned instances and study results are computed once per package
+// run instead of once per test — tuning dominates this package's wall-clock,
+// and the per-test suites used to push `go test ./...` past the default
+// 10-minute per-package timeout.
+var (
+	testSuiteOnce sync.Once
+	testSuiteInst *Suite
+)
+
 func testSuite() *Suite {
-	return NewSuite(Config{
-		Scale:       25, // models A-E at 32-48 features
-		TuneBatches: 2,
-		EvalBatches: 3,
-		BatchCap:    512,
-		Occupancies: []int{1, 2, 3, 4, 6, 8},
-		Parallelism: 4,
+	testSuiteOnce.Do(func() {
+		testSuiteInst = NewSuite(Config{
+			Scale:       25, // models A-E at 32-48 features
+			TuneBatches: 2,
+			EvalBatches: 3,
+			BatchCap:    512,
+			Occupancies: []int{1, 2, 3, 4, 6, 8},
+			Parallelism: 4,
+		})
 	})
+	return testSuiteInst
 }
 
 func TestTable1MatchesPaper(t *testing.T) {

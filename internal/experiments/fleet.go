@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fleet"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/tuner"
+)
+
+// FleetNeighborAct is the noisy-neighbor act of the fleet study: a
+// latency-critical interactive tenant shares the pool with a bursty bulk
+// tenant, and the question is what admission policy the interactive tail
+// needs. P99Alone is the interactive tenant's p99 with the neighbor absent;
+// P99FIFO and P99Priority are its p99 with the neighbor present under
+// priority-blind FIFO and under PriorityEDF with a bulk queue quota and
+// load-aware early shedding. Bound is the non-preemptive-blocking budget the
+// study holds the priority pool to: the alone p99 plus two bulk service
+// times (one bulk request can be in flight per worker when an interactive
+// request arrives; it cannot be preempted).
+type FleetNeighborAct struct {
+	// InteractiveService and BulkService are the probed per-request service
+	// times of the two traffic classes.
+	InteractiveService, BulkService float64
+	P99Alone, P99FIFO, P99Priority  float64
+	Bound                           float64
+	// WithinBound reports P99Priority <= Bound.
+	WithinBound bool
+	// BulkServedFIFO/Priority and BulkShedPriority account the bulk tenant:
+	// the priority policy sheds its overflow (quota + load shedding) instead
+	// of letting it queue ahead of interactive traffic.
+	BulkServedFIFO, BulkServedPriority, BulkShedPriority int
+	// InterferenceFIFO and InterferencePriority are the interactive model's
+	// sojourn-inflation ratios versus serving alone, under each policy.
+	InterferenceFIFO, InterferencePriority float64
+}
+
+// FleetDriftAct is one model's slice of the independent-drift act: two
+// supervised models share the pool, drift at different times with different
+// factors, and each must detect, re-tune in the background and hot-swap on
+// its own — with per-model metrics proving its recovery.
+type FleetDriftAct struct {
+	Name        string
+	DriftFactor float64
+	// DriftAt is when the model's pooling factors shift.
+	DriftAt float64
+	// Detected, Generation, DetectedAt, SwappedAt mirror DriftResult.
+	Detected              bool
+	Generation            int
+	DetectedAt, SwappedAt float64
+	// StaleLatency and FreshLatency are the mean post-swap sojourns of the
+	// same requests in the all-frozen fleet replay vs the supervised one;
+	// Improvement is their ratio.
+	StaleLatency, FreshLatency, Improvement float64
+	// Interference is the model's sojourn inflation vs serving alone on its
+	// assigned workers, in the supervised run.
+	Interference float64
+}
+
+// FleetStudyResult is the multi-model, multi-tenant serving study: the
+// serving-layer counterpart of the paper's heterogeneity argument. Feature
+// heterogeneity made one schedule per model insufficient; fleet heterogeneity
+// — models and tenants with different latency needs on one GPU pool — makes
+// one queue discipline insufficient, and the study quantifies what placement
+// plus priority admission buy.
+type FleetStudyResult struct {
+	NoisyNeighbor FleetNeighborAct
+	Drift         []FleetDriftAct
+}
+
+// FleetStudy runs both acts on the shared simulated pool.
+func (s *Suite) FleetStudy() (*FleetStudyResult, error) {
+	return memo(s, "fleet", s.fleetStudy)
+}
+
+func (s *Suite) fleetStudy() (*FleetStudyResult, error) {
+	res := &FleetStudyResult{}
+	if err := s.fleetNoisyNeighbor(&res.NoisyNeighbor); err != nil {
+		return nil, err
+	}
+	drift, err := s.fleetIndependentDrift()
+	if err != nil {
+		return nil, err
+	}
+	res.Drift = drift
+	return res, nil
+}
+
+// fleetNoisyNeighbor runs act one on model A's tuned kernels. All traffic is
+// frozen-schedule (drift is act two's business); the contest is purely about
+// admission. The trace is built from probed service times so the burst
+// pressure is the same regime at any suite scale: interactive requests
+// arrive every 4 service times (25% utilization of the two workers alone),
+// and every 40 service times the bulk tenant dumps a 12-request burst of
+// 4x-sized batches — about 24 service times of work, enough to flood the
+// window between bursts.
+func (s *Suite) fleetNoisyNeighbor(act *FleetNeighborAct) error {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.ModelA())
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return err
+	}
+	src := func(_ float64, size int) (*embedding.Batch, error) {
+		return datasynth.BatchForSize(cfg, size)
+	}
+	svc := rf.TimedService(src, 64, nil)
+	const iaSize, bulkSize = 256, 1024
+	iaSvc, err := svc(0, iaSize)
+	if err != nil {
+		return err
+	}
+	bulkSvc, err := svc(0, bulkSize)
+	if err != nil {
+		return err
+	}
+	act.InteractiveService, act.BulkService = iaSvc, bulkSvc
+
+	const nInteractive, bursts, burstLen = 160, 15, 12
+	interactive := make([]fleet.Request, nInteractive)
+	for i := range interactive {
+		interactive[i] = fleet.Request{Arrival: float64(i) * 4 * iaSvc, Size: iaSize, Model: 0, Tenant: 0}
+	}
+	var bulk []fleet.Request
+	for b := 1; b <= bursts; b++ {
+		start := float64(b) * 40 * iaSvc
+		for i := 0; i < burstLen; i++ {
+			bulk = append(bulk, fleet.Request{Arrival: start + float64(i)*iaSvc*0.01, Size: bulkSize, Model: 1, Tenant: 1})
+		}
+	}
+	merged := append(append([]fleet.Request(nil), interactive...), bulk...)
+	// Re-sort through Merge semantics: arrival order, stable.
+	merged = fleet.Merge(fleetToStreams(merged)...)
+
+	tenants := []fleet.TenantSpec{
+		{Name: "interactive", Priority: 1},
+		{Name: "bulk", Priority: 0, Quota: 8},
+	}
+	models := []fleet.Model{
+		{Name: "rank", Service: svc},
+		{Name: "score", Service: svc},
+	}
+	run := func(reqs []fleet.Request, admission fleet.AdmissionPolicy, shedFraction float64) (*fleet.Report, []float64, error) {
+		pool, err := fleet.NewPool(fleet.Config{
+			Queue:        trace.QueuePolicy{Workers: 2, QueueDepth: 16},
+			Admission:    admission,
+			ShedFraction: shedFraction,
+		}, models, tenants)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := pool.Serve(reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		ratios, err := pool.Interference(reqs, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep, ratios, nil
+	}
+
+	alone, _, err := run(interactive, nil, 0)
+	if err != nil {
+		return err
+	}
+	fifo, fifoRatios, err := run(merged, fleet.FIFO{}, 0)
+	if err != nil {
+		return err
+	}
+	prio, prioRatios, err := run(merged, nil, 0.5)
+	if err != nil {
+		return err
+	}
+
+	act.P99Alone = alone.Metrics.Tenants[0].P99
+	act.P99FIFO = fifo.Metrics.Tenants[0].P99
+	act.P99Priority = prio.Metrics.Tenants[0].P99
+	act.Bound = act.P99Alone + 2*bulkSvc
+	act.WithinBound = act.P99Priority <= act.Bound
+	act.BulkServedFIFO = fifo.Metrics.Tenants[1].Served
+	act.BulkServedPriority = prio.Metrics.Tenants[1].Served
+	act.BulkShedPriority = prio.Metrics.Tenants[1].Shed()
+	act.InterferenceFIFO = fifoRatios[0]
+	act.InterferencePriority = prioRatios[0]
+	return nil
+}
+
+// fleetToStreams regroups a request list by (model, tenant) for Merge.
+func fleetToStreams(reqs []fleet.Request) []fleet.Stream {
+	byKey := map[[2]int]int{}
+	var streams []fleet.Stream
+	for _, r := range reqs {
+		k := [2]int{r.Model, r.Tenant}
+		i, ok := byKey[k]
+		if !ok {
+			i = len(streams)
+			byKey[k] = i
+			streams = append(streams, fleet.Stream{Model: r.Model, Tenant: r.Tenant})
+		}
+		streams[i].Reqs = append(streams[i].Reqs, trace.Request{Arrival: r.Arrival, Size: r.Size, Deadline: r.Deadline})
+	}
+	return streams
+}
+
+// fleetIndependentDrift runs act two on model C (all multi-hot, so every
+// feature drifts): two supervised clones share two workers; model "early"
+// drifts 4x a third of the way in, model "late" drifts 6x past the midpoint.
+// The all-frozen replay of the identical fleet gives the per-model stale
+// baseline for the post-swap latency split.
+func (s *Suite) fleetIndependentDrift() ([]FleetDriftAct, error) {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.ModelC())
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	const n = 96
+	gen := func(seed int64) ([]trace.Request, error) {
+		return trace.Generate(n, trace.GeneratorConfig{
+			QPS: 40, MaxBatch: s.Cfg.BatchCap, Seed: seed,
+		})
+	}
+	reqsA, err := gen(cfg.Seed ^ 0x51EE7)
+	if err != nil {
+		return nil, err
+	}
+	reqsB, err := gen(cfg.Seed ^ 0xF00D5)
+	if err != nil {
+		return nil, err
+	}
+	specs := []struct {
+		name    string
+		factor  float64
+		driftAt float64
+		reqs    []trace.Request
+	}{
+		{"early", 4, reqsA[n/3].Arrival, reqsA},
+		{"late", 6, reqsB[3*n/5].Arrival, reqsB},
+	}
+
+	opts := func(d *datasynth.DriftSchedule) core.ContinuousOptions {
+		return core.ContinuousOptions{
+			Supervisor: trace.SupervisorConfig{
+				Window:     16,
+				CheckEvery: 8,
+				MaxRetunes: 1,
+			},
+			Quantum:       64,
+			PhaseOf:       d.PhaseStart,
+			RetuneBatches: s.Cfg.TuneBatches,
+			Tune: tuner.Options{
+				Occupancies: s.Cfg.Occupancies,
+				Parallelism: s.Cfg.Parallelism,
+			},
+		}
+	}
+	buildModels := func(frozen bool) []core.FleetModel {
+		models := make([]core.FleetModel, len(specs))
+		for i, sp := range specs {
+			drift := datasynth.StepDrift(sp.driftAt, sp.factor)
+			src := func(t float64, size int) (*embedding.Batch, error) {
+				return drift.BatchForSize(cfg, t, size)
+			}
+			models[i] = core.FleetModel{
+				Name:   sp.name,
+				Rec:    rf.Clone(),
+				Source: src,
+				Opts:   opts(drift),
+				Frozen: frozen,
+			}
+		}
+		return models
+	}
+	tenants := []fleet.TenantSpec{{Name: "online"}}
+	stream := fleet.Merge(
+		fleet.Stream{Model: 0, Tenant: 0, Reqs: reqsA},
+		fleet.Stream{Model: 1, Tenant: 0, Reqs: reqsB},
+	)
+	poolCfg := fleet.Config{Queue: trace.QueuePolicy{Workers: 2}}
+
+	fresh, err := core.ServeFleet(poolCfg, buildModels(false), tenants, stream)
+	if err != nil {
+		return nil, err
+	}
+	stale, err := core.ServeFleet(poolCfg, buildModels(true), tenants, stream)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]FleetDriftAct, len(specs))
+	for m, sp := range specs {
+		mm := fresh.Report.ModelReports[m].Metrics
+		act := FleetDriftAct{
+			Name:         sp.name,
+			DriftFactor:  sp.factor,
+			DriftAt:      sp.driftAt,
+			Detected:     len(mm.Swaps) > 0,
+			Generation:   mm.Generation,
+			Interference: fresh.Interference[m],
+		}
+		if act.Detected {
+			act.DetectedAt = mm.Swaps[0].Detected
+			act.SwappedAt = mm.Swaps[0].Swapped
+			freshMean, staleMean, count := core.PostSwapSplit(
+				fresh.Report.ModelReports[m], stale.Report.ModelReports[m])
+			if count == 0 {
+				return nil, fmt.Errorf("experiments: fleet model %s swapped at t=%g but served no post-swap requests", sp.name, act.SwappedAt)
+			}
+			act.FreshLatency = freshMean
+			act.StaleLatency = staleMean
+			act.Improvement = staleMean / freshMean
+		}
+		out[m] = act
+	}
+	return out, nil
+}
+
+// PrintFleetStudy renders the fleet study.
+func (s *Suite) PrintFleetStudy(w io.Writer) error {
+	res, err := s.FleetStudy()
+	if err != nil {
+		return err
+	}
+	nn := res.NoisyNeighbor
+	if _, err := fmt.Fprintf(w, "\n== Fleet serving: multi-model, multi-tenant pool (2 simulated GPUs) ==\n"+
+		"noisy neighbor (model A kernels, interactive %s vs bulk %s bursts):\n"+
+		"  interactive p99: alone %s | fifo %s | priority-edf %s (bound %s, within=%v)\n"+
+		"  bulk under priority: %d served, %d shed (quota + load shedding); fifo serves all %d\n"+
+		"  interactive interference vs alone: fifo %s, priority-edf %s\n",
+		report.FmtUS(nn.InteractiveService), report.FmtUS(nn.BulkService),
+		report.FmtUS(nn.P99Alone), report.FmtUS(nn.P99FIFO), report.FmtUS(nn.P99Priority),
+		report.FmtUS(nn.Bound), nn.WithinBound,
+		nn.BulkServedPriority, nn.BulkShedPriority, nn.BulkServedFIFO,
+		report.FmtRatio(nn.InterferenceFIFO), report.FmtRatio(nn.InterferencePriority)); err != nil {
+		return err
+	}
+	for _, d := range res.Drift {
+		if !d.Detected {
+			if _, err := fmt.Fprintf(w, "model %s (x%.0f at t=%s): drift not detected\n",
+				d.Name, d.DriftFactor, report.FmtUS(d.DriftAt)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "model %s (x%.0f at t=%s): detected t=%s, swapped t=%s (generation %d); post-swap stale %s vs re-tuned %s -> %s; interference %s\n",
+			d.Name, d.DriftFactor, report.FmtUS(d.DriftAt),
+			report.FmtUS(d.DetectedAt), report.FmtUS(d.SwappedAt), d.Generation,
+			report.FmtUS(d.StaleLatency), report.FmtUS(d.FreshLatency),
+			report.FmtRatio(d.Improvement), report.FmtRatio(d.Interference)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// TenantSpec describes one traffic class sharing the pool: its admission
+// priority, queue quota and default latency deadline. Tenants are the
+// serving-side counterpart of the paper's feature heterogeneity — production
+// recommendation fleets co-locate interactive ranking traffic with batch
+// re-scoring on the same accelerators, and the admission policy is what
+// keeps the former's tail latency intact.
+type TenantSpec struct {
+	// Name labels the tenant in metrics and reports.
+	Name string
+	// Priority orders dispatch: a higher value dispatches strictly before
+	// any lower one (see PriorityEDF). Equal priorities form one class.
+	Priority int
+	// Quota bounds the tenant's queued (admitted, not yet dispatched)
+	// requests; an arrival past it is shed with OutcomeShedQuota. 0 means
+	// unlimited.
+	Quota int
+	// Deadline is the default per-request completion deadline in seconds
+	// for this tenant's requests; 0 falls back to the pool's default.
+	// Deadlines drive EDF ordering within a priority class and the
+	// DegradeShed policy's dispatch-time shedding.
+	Deadline float64
+}
+
+// Validate checks one tenant spec.
+func (t *TenantSpec) Validate() error {
+	switch {
+	case t.Name == "":
+		return fmt.Errorf("fleet: tenant name must be non-empty")
+	case t.Quota < 0:
+		return fmt.Errorf("fleet: tenant %s: Quota must be >= 0, got %d", t.Name, t.Quota)
+	case t.Deadline < 0:
+		return fmt.Errorf("fleet: tenant %s: Deadline must be >= 0, got %g", t.Name, t.Deadline)
+	}
+	return nil
+}
+
+// Model is one served model on the pool: either a static service (Service
+// set — the schedules never change) or a supervised one (Supervisor set —
+// the model keeps its own drift detection, background re-tunes, hot-swaps
+// and canary rollbacks while sharing pool capacity). Exactly one of the two
+// must be set.
+type Model struct {
+	// Name labels the model in metrics and reports.
+	Name string
+	// Service is the model's fixed schedule set (generation 0 forever).
+	Service trace.TimedServiceFunc
+	// Supervisor owns the model's continuous-serving control. The pool
+	// holds its run lock for the duration of Serve, so generations stay
+	// monotone on the supervisor's LiveSet exactly as under
+	// trace.Supervisor.Run.
+	Supervisor *trace.Supervisor
+}
+
+// Validate checks one model spec.
+func (m *Model) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("fleet: model name must be non-empty")
+	case m.Service == nil && m.Supervisor == nil:
+		return fmt.Errorf("fleet: model %s: one of Service or Supervisor must be set", m.Name)
+	case m.Service != nil && m.Supervisor != nil:
+		return fmt.Errorf("fleet: model %s: Service and Supervisor are mutually exclusive", m.Name)
+	}
+	return nil
+}
+
+// Config shapes the pool.
+type Config struct {
+	// Queue is the shared queue policy: Workers is the pool size,
+	// QueueDepth the shared admission-queue bound, Deadline the pool-wide
+	// default, Policy the degradation policy. The fleet replay does not
+	// implement the split-at-cap fallback, so SplitCap must be 0 and
+	// DegradeSplitTail (the zero value) behaves like DegradeServe.
+	Queue trace.QueuePolicy
+	// Placement assigns models to workers (see Strategy).
+	Placement Strategy
+	// Admission decides who enters the queue and who dispatches next; nil
+	// means NewPriorityEDF over the pool's tenants with ShedFraction.
+	Admission AdmissionPolicy
+	// ShedFraction arms load-aware early shedding in the default admission
+	// policy: once queue occupancy reaches this fraction of QueueDepth, an
+	// arrival from any tenant below the pool's highest priority class is
+	// shed (OutcomeShedLoad), keeping the remaining headroom for the
+	// latency-critical class. 0 disables; requires a bounded queue to have
+	// any effect. Ignored when a custom Admission policy is supplied.
+	ShedFraction float64
+	// RebalanceEvery invokes the Rebalance hook at the first arrival at
+	// least this many virtual seconds after the previous invocation; 0
+	// disables rebalancing.
+	RebalanceEvery float64
+	// Rebalance is the load-aware placement hook (nil = keep the initial
+	// assignment).
+	Rebalance RebalanceFunc
+	// HistMin, HistMax, HistBuckets shape the latency histograms (fleet,
+	// per-model and per-tenant); zero values default to 1us..10s across 28
+	// log-spaced buckets, matching trace.ServerConfig.
+	HistMin, HistMax float64
+	HistBuckets      int
+}
+
+// Validate checks the pool configuration against the given model and tenant
+// counts.
+func (c *Config) Validate(models, tenants int) error {
+	if err := c.Queue.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case models <= 0:
+		return fmt.Errorf("fleet: need at least one model")
+	case tenants <= 0:
+		return fmt.Errorf("fleet: need at least one tenant")
+	case c.Queue.SplitCap != 0:
+		return fmt.Errorf("fleet: the pool does not implement split-at-cap; SplitCap must be 0, got %d", c.Queue.SplitCap)
+	case c.Placement < PlacementPacked || c.Placement > PlacementDedicated:
+		return fmt.Errorf("fleet: unknown placement strategy %d", int(c.Placement))
+	case c.ShedFraction < 0 || c.ShedFraction > 1:
+		return fmt.Errorf("fleet: ShedFraction %g outside [0,1]", c.ShedFraction)
+	case c.RebalanceEvery < 0:
+		return fmt.Errorf("fleet: RebalanceEvery must be >= 0, got %g", c.RebalanceEvery)
+	case c.HistMin < 0 || c.HistMax < 0 || c.HistBuckets < 0:
+		return fmt.Errorf("fleet: histogram shape must be non-negative")
+	case c.HistMin > 0 && c.HistMax > 0 && c.HistMax <= c.HistMin:
+		return fmt.Errorf("fleet: HistMax %g must exceed HistMin %g", c.HistMax, c.HistMin)
+	}
+	if c.Placement == PlacementDedicated && c.Queue.EffectiveWorkers() < models {
+		return fmt.Errorf("fleet: dedicated placement needs at least one worker per model (%d workers, %d models)",
+			c.Queue.EffectiveWorkers(), models)
+	}
+	return nil
+}
+
+// histogram builds a latency histogram with the configured shape.
+func (c *Config) histogram() *trace.Histogram {
+	min, max, n := c.HistMin, c.HistMax, c.HistBuckets
+	if min == 0 {
+		min = 1e-6
+	}
+	if max == 0 {
+		max = 10
+	}
+	if n == 0 {
+		n = 28
+	}
+	return trace.NewHistogram(min, max, n)
+}
+
+// Request is one inference request in a fleet stream: a trace.Request tagged
+// with the model it targets and the tenant it belongs to.
+type Request struct {
+	// Arrival is the arrival time in seconds from stream start.
+	Arrival float64
+	// Size is the batch size (samples).
+	Size int
+	// Deadline is an optional per-request completion deadline in seconds
+	// after Arrival; 0 falls back to the tenant default, then the pool
+	// default.
+	Deadline float64
+	// Model indexes the pool's model list.
+	Model int
+	// Tenant indexes the pool's tenant list.
+	Tenant int
+}
+
+// Stream tags one single-model request trace with its model and tenant, for
+// Merge.
+type Stream struct {
+	Model, Tenant int
+	Reqs          []trace.Request
+}
+
+// Merge combines per-(model, tenant) request streams into one
+// arrival-ordered fleet stream. The merge is stable: simultaneous arrivals
+// keep their stream order, so a merged trace is a deterministic function of
+// its inputs.
+func Merge(streams ...Stream) []Request {
+	var out []Request
+	for _, s := range streams {
+		for _, r := range s.Reqs {
+			out = append(out, Request{
+				Arrival:  r.Arrival,
+				Size:     r.Size,
+				Deadline: r.Deadline,
+				Model:    s.Model,
+				Tenant:   s.Tenant,
+			})
+		}
+	}
+	sortRequests(out)
+	return out
+}

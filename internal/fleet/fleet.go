@@ -1,0 +1,696 @@
+// Package fleet serves several independently tuned models and several
+// tenant classes over one shared set of simulated GPU workers — the
+// deployment shape of production recommendation fleets, where interactive
+// ranking, batch re-scoring and experimental models co-locate on the same
+// accelerators. It owns the three concerns single-model serving
+// (internal/trace) does not have:
+//
+//   - placement: which workers each model may run on (packed, spread or
+//     dedicated, with a load-aware rebalancing hook);
+//   - admission: which arrival enters the shared queue and which queued
+//     request dispatches next (pluggable AdmissionPolicy; the default is
+//     strict priority classes with earliest-deadline-first dispatch within
+//     a class, per-tenant queue quotas and load-aware early shedding);
+//   - accounting: per-model and per-tenant metrics, plus the cross-model
+//     interference view (sojourn inflation against each model served alone
+//     on its own workers).
+//
+// Supervised models keep their full continuous-serving semantics — drift
+// detection, background re-tunes booked on their placed workers, hot-swaps,
+// canary rollbacks — through trace.LoopControl, the per-admission control
+// extracted from trace.Supervisor.Run. Like the single-model engine, the
+// replay is exact and deterministic: the same stream, models, tenants and
+// configuration always produce the same Report.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Pool serves a fleet of models and tenants over shared simulated GPU
+// workers. Create it with NewPool, then replay streams with Serve. A Pool is
+// safe to reuse across Serve calls; calls are serialized per supervised
+// model by the supervisors' own run locks.
+type Pool struct {
+	cfg     Config
+	models  []Model
+	tenants []TenantSpec
+	policy  AdmissionPolicy
+	initial Assignment
+}
+
+// NewPool validates the configuration and builds the pool.
+func NewPool(cfg Config, models []Model, tenants []TenantSpec) (*Pool, error) {
+	if err := cfg.Validate(len(models), len(tenants)); err != nil {
+		return nil, err
+	}
+	seenSv := make(map[*trace.Supervisor]string)
+	for i := range models {
+		if err := models[i].Validate(); err != nil {
+			return nil, err
+		}
+		if sv := models[i].Supervisor; sv != nil {
+			if prev, dup := seenSv[sv]; dup {
+				return nil, fmt.Errorf("fleet: models %s and %s share one supervisor; each supervised model needs its own", prev, models[i].Name)
+			}
+			seenSv[sv] = models[i].Name
+		}
+	}
+	for i := range tenants {
+		if err := tenants[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	initial, err := assign(cfg.Placement, len(models), cfg.Queue.EffectiveWorkers())
+	if err != nil {
+		return nil, err
+	}
+	policy := cfg.Admission
+	if policy == nil {
+		policy = NewPriorityEDF(tenants, cfg.ShedFraction)
+	}
+	return &Pool{
+		cfg:     cfg,
+		models:  append([]Model(nil), models...),
+		tenants: append([]TenantSpec(nil), tenants...),
+		policy:  policy,
+		initial: initial,
+	}, nil
+}
+
+// Config returns the pool configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Policy returns the admission policy shaping the pool.
+func (p *Pool) Policy() AdmissionPolicy { return p.policy }
+
+// InitialAssignment returns a copy of the strategy's initial model-to-worker
+// assignment.
+func (p *Pool) InitialAssignment() Assignment { return p.initial.clone() }
+
+// qentry is one queued admission.
+type qentry struct {
+	id       int // admission id = sorted stream position
+	arrival  float64
+	deadline float64
+	size     int
+	model    int
+	tenant   int
+	prio     int
+	gen      int
+}
+
+// poolRun is the mutable state of one replay.
+type poolRun struct {
+	p   *Pool
+	asg Assignment
+
+	free, busy, tune []float64 // per worker
+	served           []int     // per worker
+	tuneByModel      []float64
+}
+
+// modelOccupier books one model's background work (its re-tunes) on the
+// least-loaded worker currently placed for that model, implementing
+// trace.Occupier.
+type modelOccupier struct {
+	run   *poolRun
+	model int
+}
+
+func (o *modelOccupier) Occupy(now, dur float64) (worker int, start, end float64) {
+	st := o.run
+	workers := st.asg[o.model]
+	best := workers[0]
+	for _, w := range workers[1:] {
+		if st.free[w] < st.free[best] {
+			best = w
+		}
+	}
+	start = st.free[best]
+	if now > start {
+		start = now
+	}
+	end = start + dur
+	st.free[best] = end
+	st.tune[best] += dur
+	st.tuneByModel[o.model] += dur
+	return best, start, end
+}
+
+// arrivalOrder mirrors trace.arrivalOrder for fleet streams: a stable
+// arrival sort plus the sorted-position -> caller-index mapping (nil when
+// already sorted).
+func arrivalOrder(reqs []Request) ([]Request, []int) {
+	sorted := true
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return reqs, nil
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Arrival < reqs[order[b]].Arrival
+	})
+	out := make([]Request, len(reqs))
+	for pos, idx := range order {
+		out[pos] = reqs[idx]
+	}
+	return out, order
+}
+
+func originalIndex(order []int, pos int) int {
+	if order == nil {
+		return pos
+	}
+	return order[pos]
+}
+
+// deadlineOf resolves a request's absolute deadline: its own, then the
+// tenant default, then the pool default; +Inf when none applies.
+func (p *Pool) deadlineOf(r Request) float64 {
+	d := r.Deadline
+	if d == 0 {
+		d = p.tenants[r.Tenant].Deadline
+	}
+	if d == 0 {
+		d = p.cfg.Queue.Deadline
+	}
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return r.Arrival + d
+}
+
+// betterWorker reports whether worker w beats worker best for a dispatch at
+// equal earliest-start time, under the pool's placement strategy: packed and
+// dedicated consolidate onto the lowest index, spread balances onto the
+// least-occupied worker.
+func (st *poolRun) betterWorker(w, best int) bool {
+	if st.p.cfg.Placement == PlacementSpread {
+		ow, ob := st.busy[w]+st.tune[w], st.busy[best]+st.tune[best]
+		if ow != ob {
+			return ow < ob
+		}
+	}
+	return w < best
+}
+
+// Serve replays the fleet stream and returns the exact virtual-time Report.
+// Out-of-order input is sorted on entry; all per-request slices stay aligned
+// with the caller's indices. Supervised models' drift control runs inside
+// the replay (their swap histories land in ModelReports), and each
+// supervisor's metrics snapshot is installed as if Run had been called.
+func (p *Pool) Serve(reqs []Request) (*Report, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("fleet: empty request stream")
+	}
+	for i, r := range reqs {
+		switch {
+		case r.Model < 0 || r.Model >= len(p.models):
+			return nil, fmt.Errorf("fleet: request %d targets unknown model %d (have %d)", i, r.Model, len(p.models))
+		case r.Tenant < 0 || r.Tenant >= len(p.tenants):
+			return nil, fmt.Errorf("fleet: request %d belongs to unknown tenant %d (have %d)", i, r.Tenant, len(p.tenants))
+		case r.Size <= 0:
+			return nil, fmt.Errorf("fleet: request %d has non-positive size %d", i, r.Size)
+		case r.Deadline < 0:
+			return nil, fmt.Errorf("fleet: request %d has negative deadline %g", i, r.Deadline)
+		}
+	}
+	sorted, order := arrivalOrder(reqs)
+	n := len(sorted)
+	k := p.cfg.Queue.EffectiveWorkers()
+
+	// Per-model continuous-serving control; nil for static models. Every
+	// BeginRun must be balanced by Finalize (success) or Abort (error).
+	lcs := make([]*trace.LoopControl, len(p.models))
+	for m := range p.models {
+		if p.models[m].Supervisor != nil {
+			lcs[m] = p.models[m].Supervisor.BeginRun()
+		}
+	}
+	abort := func() {
+		for _, lc := range lcs {
+			if lc != nil {
+				lc.Abort()
+			}
+		}
+	}
+
+	st := &poolRun{
+		p:           p,
+		asg:         p.initial.clone(),
+		free:        make([]float64, k),
+		busy:        make([]float64, k),
+		tune:        make([]float64, k),
+		served:      make([]int, k),
+		tuneByModel: make([]float64, len(p.models)),
+	}
+	occ := make([]*modelOccupier, len(p.models))
+	for m := range occ {
+		occ[m] = &modelOccupier{run: st, model: m}
+	}
+
+	met := &Metrics{
+		Latency:   p.cfg.histogram(),
+		Policy:    p.policy.Name(),
+		Placement: p.cfg.Placement.String(),
+		Models:    make([]GroupMetrics, len(p.models)),
+		Tenants:   make([]GroupMetrics, len(p.tenants)),
+	}
+	for m := range met.Models {
+		met.Models[m].Name = p.models[m].Name
+		met.Models[m].Latency = p.cfg.histogram()
+	}
+	for t := range met.Tenants {
+		met.Tenants[t].Name = p.tenants[t].Name
+		met.Tenants[t].Latency = p.cfg.histogram()
+	}
+
+	rep := &Report{
+		Sojourn:     make([]float64, n),
+		Outcomes:    make([]Outcome, n),
+		Generations: make([]int, n),
+		Dispatch:    make([]float64, n),
+		Worker:      make([]int, n),
+		Service:     make([]float64, n),
+		Metrics:     met,
+	}
+	for i := 0; i < n; i++ {
+		rep.Sojourn[i] = math.NaN()
+		rep.Dispatch[i] = math.NaN()
+		rep.Service[i] = math.NaN()
+		rep.Worker[i] = -1
+	}
+
+	var queue []qentry
+	var eligIdx []int // dispatch-candidate scratch, reused across events
+	queuedByTenant := make([]int, len(p.tenants))
+	queuedByModel := make([]int, len(p.models))
+	modelSojourns := make([][]float64, len(p.models))
+	tenantSojourns := make([][]float64, len(p.tenants))
+	var lastEnd float64
+	lastReb := sorted[0].Arrival
+
+	shed := func(pos int, out Outcome, model, tenant int) {
+		idx := originalIndex(order, pos)
+		rep.Outcomes[idx] = out
+		bump := func(g *GroupMetrics) {
+			switch out {
+			case OutcomeShedQueue:
+				g.ShedQueue++
+			case OutcomeShedQuota:
+				g.ShedQuota++
+			case OutcomeShedLoad:
+				g.ShedLoad++
+			case OutcomeShedDeadline:
+				g.ShedDeadline++
+			}
+		}
+		bump(&met.Models[model])
+		bump(&met.Tenants[tenant])
+		switch out {
+		case OutcomeShedQueue:
+			met.ShedQueue++
+		case OutcomeShedQuota:
+			met.ShedQuota++
+		case OutcomeShedLoad:
+			met.ShedLoad++
+		case OutcomeShedDeadline:
+			met.ShedDeadline++
+		}
+	}
+
+	next := 0
+	for next < n || len(queue) > 0 {
+		tArr := math.Inf(1)
+		if next < n {
+			tArr = sorted[next].Arrival
+		}
+
+		// Earliest possible dispatch: for each worker, the earliest queued
+		// request placed on it (by arrival) bounds the worker's next start.
+		// Ties between workers resolve by the placement strategy; ties with
+		// an arrival dispatch first, so a slot freed at time t is visible to
+		// an arrival at time t — matching the single-model engine.
+		bestW := -1
+		tDisp := math.Inf(1)
+		for w := 0; w < k; w++ {
+			minArr := math.Inf(1)
+			for i := range queue {
+				if !placedOn(st.asg, queue[i].model, w) {
+					continue
+				}
+				if queue[i].arrival < minArr {
+					minArr = queue[i].arrival
+				}
+			}
+			if math.IsInf(minArr, 1) {
+				continue
+			}
+			t := math.Max(st.free[w], minArr)
+			if t < tDisp || (t == tDisp && st.betterWorker(w, bestW)) {
+				bestW, tDisp = w, t
+			}
+		}
+
+		if bestW == -1 || tDisp > tArr {
+			// Admit the next arrival.
+			r := sorted[next]
+			pos := next
+			next++
+			now := r.Arrival
+
+			// Load-aware rebalancing hook, paced by virtual time.
+			if p.cfg.Rebalance != nil && p.cfg.RebalanceEvery > 0 && now >= lastReb+p.cfg.RebalanceEvery {
+				lastReb = now
+				load := make([]WorkerLoad, k)
+				for w := 0; w < k; w++ {
+					load[w] = WorkerLoad{Busy: st.busy[w], TuneBusy: st.tune[w], FreeAt: st.free[w]}
+					for i := range queue {
+						if placedOn(st.asg, queue[i].model, w) {
+							load[w].Queued++
+						}
+					}
+				}
+				if na := p.cfg.Rebalance(now, load, st.asg.clone()); na != nil {
+					if err := na.validate(len(p.models), k); err != nil {
+						abort()
+						return nil, fmt.Errorf("fleet: rebalance at t=%g: %w", now, err)
+					}
+					st.asg = na.clone()
+					met.Rebalances++
+				}
+			}
+
+			// The model's drift control observes every arrival — before any
+			// queue placement or shedding, exactly like the single-model
+			// engine — and stamps the generation the request is admitted on.
+			gen := 0
+			if lcs[r.Model] != nil {
+				g, err := lcs[r.Model].Admit(occ[r.Model], r.Size, now)
+				if err != nil {
+					abort()
+					return nil, err
+				}
+				gen = g
+			}
+			rep.Generations[originalIndex(order, pos)] = gen
+
+			qr := QueuedRequest{
+				ID:       pos,
+				Arrival:  now,
+				Deadline: p.deadlineOf(r),
+				Size:     r.Size,
+				Model:    r.Model,
+				Tenant:   r.Tenant,
+				Priority: p.tenants[r.Tenant].Priority,
+			}
+			load := PoolLoad{
+				Now:            now,
+				Queued:         len(queue),
+				QueueDepth:     p.cfg.Queue.QueueDepth,
+				QueuedByTenant: append([]int(nil), queuedByTenant...),
+			}
+			ok, out := p.policy.Admit(qr, load)
+			if !ok {
+				if !out.Shed() {
+					abort()
+					return nil, fmt.Errorf("fleet: policy %s rejected a request with non-shed outcome %v", p.policy.Name(), out)
+				}
+				shed(pos, out, r.Model, r.Tenant)
+				continue
+			}
+			queue = append(queue, qentry{
+				id:       pos,
+				arrival:  now,
+				deadline: qr.Deadline,
+				size:     r.Size,
+				model:    r.Model,
+				tenant:   r.Tenant,
+				prio:     qr.Priority,
+				gen:      gen,
+			})
+			queuedByTenant[r.Tenant]++
+			queuedByModel[r.Model]++
+			if len(queue) > met.MaxQueueDepth {
+				met.MaxQueueDepth = len(queue)
+			}
+			if queuedByTenant[r.Tenant] > met.Tenants[r.Tenant].MaxQueued {
+				met.Tenants[r.Tenant].MaxQueued = queuedByTenant[r.Tenant]
+			}
+			if queuedByModel[r.Model] > met.Models[r.Model].MaxQueued {
+				met.Models[r.Model].MaxQueued = queuedByModel[r.Model]
+			}
+			continue
+		}
+
+		// Dispatch on bestW at tDisp: the policy picks among the queued
+		// requests that are placed on this worker and have arrived.
+		eligIdx = eligIdx[:0]
+		for i := range queue {
+			if queue[i].arrival <= tDisp && placedOn(st.asg, queue[i].model, bestW) {
+				eligIdx = append(eligIdx, i)
+			}
+		}
+		elig := make([]QueuedRequest, len(eligIdx))
+		for j, i := range eligIdx {
+			e := &queue[i]
+			elig[j] = QueuedRequest{
+				ID: e.id, Arrival: e.arrival, Deadline: e.deadline,
+				Size: e.size, Model: e.model, Tenant: e.tenant, Priority: e.prio,
+			}
+		}
+		pick := p.policy.Next(elig, tDisp)
+		if pick < 0 || pick >= len(elig) {
+			abort()
+			return nil, fmt.Errorf("fleet: policy %s picked out-of-range candidate %d of %d", p.policy.Name(), pick, len(elig))
+		}
+		qi := eligIdx[pick]
+		e := queue[qi]
+		queue = append(queue[:qi], queue[qi+1:]...)
+		queuedByTenant[e.tenant]--
+		queuedByModel[e.model]--
+
+		var sv float64
+		var err error
+		if lcs[e.model] != nil {
+			sv, err = lcs[e.model].Resolve(e.gen, e.arrival, e.size)
+		} else {
+			sv, err = p.models[e.model].Service(e.arrival, e.size)
+		}
+		if err == nil && sv < 0 {
+			err = fmt.Errorf("fleet: negative service time %g for size %d", sv, e.size)
+		}
+		if err != nil {
+			abort()
+			return nil, fmt.Errorf("fleet: model %s: %w", p.models[e.model].Name, err)
+		}
+
+		if p.cfg.Queue.Policy == trace.DegradeShed && tDisp+sv > e.deadline {
+			shed(e.id, OutcomeShedDeadline, e.model, e.tenant)
+			continue
+		}
+
+		end := tDisp + sv
+		st.free[bestW] = end
+		st.busy[bestW] += sv
+		st.served[bestW]++
+		if end > lastEnd {
+			lastEnd = end
+		}
+		soj := end - e.arrival
+		idx := originalIndex(order, e.id)
+		rep.Sojourn[idx] = soj
+		rep.Outcomes[idx] = OutcomeServed
+		rep.Dispatch[idx] = tDisp
+		rep.Worker[idx] = bestW
+		rep.Service[idx] = sv
+		met.Served++
+		met.Latency.Observe(soj)
+		met.Models[e.model].Served++
+		met.Models[e.model].Latency.Observe(soj)
+		met.Tenants[e.tenant].Served++
+		met.Tenants[e.tenant].Latency.Observe(soj)
+		modelSojourns[e.model] = append(modelSojourns[e.model], soj)
+		tenantSojourns[e.tenant] = append(tenantSojourns[e.tenant], soj)
+		if end > e.deadline {
+			met.Timeouts++
+			met.Models[e.model].Timeouts++
+			met.Tenants[e.tenant].Timeouts++
+		}
+		if lcs[e.model] != nil {
+			lcs[e.model].Observe(e.size, e.gen, end, soj)
+		}
+	}
+
+	// Pool-wide aggregates.
+	met.Makespan = lastEnd - sorted[0].Arrival
+	if met.Makespan < 0 {
+		met.Makespan = 0
+	}
+	met.Workers = make([]trace.WorkerStats, k)
+	for w := 0; w < k; w++ {
+		met.Workers[w] = trace.WorkerStats{
+			Served:   st.served[w],
+			Busy:     st.busy[w],
+			TuneBusy: st.tune[w],
+		}
+		if met.Makespan > 0 {
+			met.Workers[w].Utilization = (st.busy[w] + st.tune[w]) / met.Makespan
+		}
+	}
+	for m := range met.Models {
+		groupStats(&met.Models[m], modelSojourns[m])
+	}
+	for t := range met.Tenants {
+		groupStats(&met.Tenants[t], tenantSojourns[t])
+	}
+
+	// Per-model single-model reports; supervised models finalize their
+	// drift control into them (swap history, generation count, rollbacks)
+	// and publish their metrics snapshots.
+	rep.ModelReports = make([]*trace.Report, len(p.models))
+	for m := range p.models {
+		rep.ModelReports[m] = p.modelReport(m, reqs, rep, st.tuneByModel[m])
+		if lcs[m] != nil {
+			lcs[m].Finalize(rep.ModelReports[m])
+		}
+	}
+	return rep, nil
+}
+
+// placedOn reports whether model m may run on worker w under asg.
+func placedOn(asg Assignment, m, w int) bool {
+	for _, x := range asg[m] {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// modelReport builds model m's single-model view of a fleet run: its own
+// requests in caller order, with sojourns, outcomes, generation stamps and
+// a trace.Metrics carrying the model's latency histogram and tune time.
+func (p *Pool) modelReport(m int, reqs []Request, rep *Report, tuneBusy float64) *trace.Report {
+	var sojourns []float64
+	var outcomes []trace.Outcome
+	var gens []int
+	tm := &trace.Metrics{Latency: p.cfg.histogram(), TuneBusy: tuneBusy}
+	firstArr, lastEnd := math.Inf(1), math.Inf(-1)
+	var served []float64
+	var totalService float64
+	for i, r := range reqs {
+		if r.Model != m {
+			continue
+		}
+		sojourns = append(sojourns, rep.Sojourn[i])
+		gens = append(gens, rep.Generations[i])
+		if r.Arrival < firstArr {
+			firstArr = r.Arrival
+		}
+		switch rep.Outcomes[i] {
+		case OutcomeServed:
+			outcomes = append(outcomes, trace.OutcomeServed)
+			tm.Served++
+			tm.Latency.Observe(rep.Sojourn[i])
+			served = append(served, rep.Sojourn[i])
+			totalService += rep.Service[i]
+			if end := rep.Dispatch[i] + rep.Service[i]; end > lastEnd {
+				lastEnd = end
+			}
+			if end := rep.Dispatch[i] + rep.Service[i]; end > p.deadlineOf(r) {
+				tm.Timeouts++
+			}
+		case OutcomeShedDeadline:
+			outcomes = append(outcomes, trace.OutcomeShedDeadline)
+			tm.DeadlineSheds++
+		default:
+			outcomes = append(outcomes, trace.OutcomeShedQueue)
+			tm.QueueSheds++
+		}
+	}
+	out := &trace.Report{
+		Result: trace.Result{
+			Sojourn: sojourns,
+			P50:     trace.Percentile(served, 0.50),
+			P95:     trace.Percentile(served, 0.95),
+			P99:     trace.Percentile(served, 0.99),
+		},
+		Outcomes:    outcomes,
+		Generations: gens,
+		Metrics:     tm,
+	}
+	if len(served) > 0 {
+		out.MeanService = totalService / float64(len(served))
+	}
+	if !math.IsInf(firstArr, 1) && !math.IsInf(lastEnd, -1) {
+		tm.Makespan = lastEnd - firstArr
+		if tm.Makespan < 0 {
+			tm.Makespan = 0
+		}
+	}
+	return out
+}
+
+// Interference quantifies cross-model contention in a fleet run: for each
+// model, the ratio of its mean served sojourn in rep to the mean sojourn of
+// the same requests — with the exact service times the fleet run resolved —
+// replayed alone by least-loaded dispatch on the model's initially assigned
+// workers. A ratio near 1 means co-location cost the model nothing
+// (dedicated placement should sit here); above 1 is the sojourn inflation
+// its neighbors caused. NaN for a model that served nothing.
+func (p *Pool) Interference(reqs []Request, rep *Report) ([]float64, error) {
+	if len(rep.Sojourn) != len(reqs) || len(rep.Service) != len(reqs) {
+		return nil, fmt.Errorf("fleet: report does not match the request stream (%d sojourns, %d requests)", len(rep.Sojourn), len(reqs))
+	}
+	// Arrival order over caller indices, matching the replay.
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return reqs[idx[a]].Arrival < reqs[idx[b]].Arrival })
+
+	out := make([]float64, len(p.models))
+	for m := range p.models {
+		kM := len(p.initial[m])
+		free := make([]float64, kM)
+		var fleetSum, soloSum float64
+		count := 0
+		for _, i := range idx {
+			r := reqs[i]
+			if r.Model != m || rep.Outcomes[i] != OutcomeServed {
+				continue
+			}
+			best := 0
+			for g := 1; g < kM; g++ {
+				if free[g] < free[best] {
+					best = g
+				}
+			}
+			start := math.Max(r.Arrival, free[best])
+			free[best] = start + rep.Service[i]
+			soloSum += free[best] - r.Arrival
+			fleetSum += rep.Sojourn[i]
+			count++
+		}
+		if count == 0 || soloSum == 0 {
+			out[m] = math.NaN()
+			continue
+		}
+		out[m] = fleetSum / soloSum
+	}
+	return out, nil
+}

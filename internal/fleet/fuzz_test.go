@@ -1,0 +1,187 @@
+package fleet_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// fuzzTenants is the tenant mix the admission fuzzer exercises: a quota-capped
+// top-priority class, an unlimited middle class and a quota-capped bulk class.
+var fuzzTenants = []fleet.TenantSpec{
+	{Name: "bulk", Priority: 0, Quota: 3},
+	{Name: "std", Priority: 1},
+	{Name: "rt", Priority: 2, Quota: 2, Deadline: 0.02},
+}
+
+const fuzzQueueDepth = 8
+
+// decodeFuzzStream turns raw fuzz bytes into an arrival-ordered fleet stream:
+// 4 bytes per request (inter-arrival, size, tenant, deadline), capped at 96
+// requests so the replay stays fast.
+func decodeFuzzStream(data []byte) []fleet.Request {
+	var reqs []fleet.Request
+	now := 0.0
+	for i := 0; i+4 <= len(data) && len(reqs) < 96; i += 4 {
+		now += float64(data[i]) * 2e-4
+		var deadline float64
+		if d := data[i+3] % 4; d > 0 {
+			deadline = float64(d) * 0.01
+		}
+		reqs = append(reqs, fleet.Request{
+			Arrival:  now,
+			Size:     16 + int(data[i+1]),
+			Deadline: deadline,
+			Model:    0,
+			Tenant:   int(data[i+2]) % len(fuzzTenants),
+		})
+	}
+	return reqs
+}
+
+// absDeadline mirrors the pool's deadline resolution for invariant checking.
+func absDeadline(r fleet.Request) float64 {
+	d := r.Deadline
+	if d == 0 {
+		d = fuzzTenants[r.Tenant].Deadline
+	}
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return r.Arrival + d
+}
+
+// FuzzFleetAdmissionOrdering checks the PriorityEDF invariants on arbitrary
+// streams, reconstructing queue occupancy from the report's per-request
+// arrival/dispatch times:
+//
+//   - no priority inversion: a request never dispatches while a queued,
+//     already-arrived request of strictly higher priority exists;
+//   - EDF within a class: among equal priorities, never past a queued request
+//     with a strictly earlier (deadline, arrival, id) key;
+//   - tenant quotas are never exceeded at admission;
+//   - the shared queue bound is never exceeded;
+//   - the replay is deterministic (two runs, identical outcomes).
+func FuzzFleetAdmissionOrdering(f *testing.F) {
+	f.Add([]byte{0, 16, 0, 0, 0, 16, 1, 0, 0, 16, 2, 0})
+	f.Add([]byte{1, 200, 2, 1, 0, 40, 2, 2, 0, 30, 0, 0, 0, 30, 0, 0, 0, 30, 0, 0, 0, 30, 0, 0})
+	f.Add([]byte{5, 255, 1, 3, 0, 0, 0, 0, 9, 9, 9, 9, 2, 128, 2, 2, 0, 64, 1, 1})
+
+	newPool := func(f interface{ Fatal(...any) }) *fleet.Pool {
+		p, err := fleet.NewPool(fleet.Config{
+			Queue:        trace.QueuePolicy{Workers: 2, QueueDepth: fuzzQueueDepth, Policy: trace.DegradeServe},
+			ShedFraction: 0.75,
+		}, []fleet.Model{{Name: "m", Service: sizeSvc(3e-6)}}, fuzzTenants)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return p
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs := decodeFuzzStream(data)
+		if len(reqs) == 0 {
+			t.Skip()
+		}
+		rep, err := newPool(t).Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := newPool(t).Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if rep.Outcomes[i] != rep2.Outcomes[i] || !eqNaN(rep.Dispatch[i], rep2.Dispatch[i]) ||
+				rep.Worker[i] != rep2.Worker[i] {
+				t.Fatalf("replay is nondeterministic at request %d", i)
+			}
+		}
+
+		// With DegradeServe every admitted request is eventually served, so
+		// "queued at time x" is exactly Arrival <= x < Dispatch. Dispatches
+		// happen before arrivals at equal times, so occupancy comparisons
+		// against an arrival use strict Dispatch > x; eligibility of j when i
+		// dispatched uses strict Arrival[j] < Dispatch[i].
+		admitted := func(i int) bool { return rep.Outcomes[i] == fleet.OutcomeServed }
+
+		for i := range reqs {
+			if !admitted(i) {
+				continue
+			}
+			di := rep.Dispatch[i]
+			pi := fuzzTenants[reqs[i].Tenant].Priority
+			ki := [2]float64{absDeadline(reqs[i]), reqs[i].Arrival}
+			for j := range reqs {
+				if j == i || !admitted(j) {
+					continue
+				}
+				// j was queued and dispatchable when i was chosen (the model
+				// is packed on all workers, so placement never excludes j).
+				if !(reqs[j].Arrival < di && rep.Dispatch[j] > di) {
+					continue
+				}
+				pj := fuzzTenants[reqs[j].Tenant].Priority
+				if pj > pi {
+					t.Fatalf("priority inversion: request %d (prio %d) dispatched at %g while %d (prio %d, arrived %g) was queued",
+						i, pi, di, j, pj, reqs[j].Arrival)
+				}
+				if pj == pi {
+					kj := [2]float64{absDeadline(reqs[j]), reqs[j].Arrival}
+					if kj[0] < ki[0] || (kj[0] == ki[0] && kj[1] < ki[1]) ||
+						(kj[0] == ki[0] && kj[1] == ki[1] && j < i) {
+						t.Fatalf("EDF inversion within priority %d: request %d (deadline %g) dispatched at %g while %d (deadline %g) was queued",
+							pi, i, ki[0], di, j, kj[0])
+					}
+				}
+			}
+		}
+
+		// Quota and queue-bound invariants at each admission instant. The
+		// stream is arrival-ordered, so only earlier requests can occupy the
+		// queue when request i arrives; an equal-arrival earlier request has
+		// been admitted already (stable order), an equal-arrival dispatch has
+		// already left.
+		for i := range reqs {
+			ai := reqs[i].Arrival
+			total := 0
+			byTenant := make([]int, len(fuzzTenants))
+			for j := 0; j < i; j++ {
+				if admitted(j) && rep.Dispatch[j] > ai {
+					total++
+					byTenant[reqs[j].Tenant]++
+				}
+			}
+			q := fuzzTenants[reqs[i].Tenant].Quota
+			switch rep.Outcomes[i] {
+			case fleet.OutcomeServed:
+				if q > 0 && byTenant[reqs[i].Tenant] >= q {
+					t.Fatalf("quota exceeded: request %d admitted with %d of tenant %s queued (quota %d)",
+						i, byTenant[reqs[i].Tenant], fuzzTenants[reqs[i].Tenant].Name, q)
+				}
+				if total >= fuzzQueueDepth {
+					t.Fatalf("queue bound exceeded: request %d admitted with %d queued (depth %d)", i, total, fuzzQueueDepth)
+				}
+			case fleet.OutcomeShedQuota:
+				if q == 0 || byTenant[reqs[i].Tenant] < q {
+					t.Fatalf("spurious quota shed: request %d shed with %d queued (quota %d)", i, byTenant[reqs[i].Tenant], q)
+				}
+			case fleet.OutcomeShedLoad:
+				if fuzzTenants[reqs[i].Tenant].Priority == 2 {
+					t.Fatalf("load shed hit the top priority class at request %d", i)
+				}
+				if float64(total) < 0.75*fuzzQueueDepth {
+					t.Fatalf("spurious load shed: request %d shed at occupancy %d", i, total)
+				}
+			case fleet.OutcomeShedQueue:
+				if total < fuzzQueueDepth {
+					t.Fatalf("spurious queue shed: request %d shed at occupancy %d (depth %d)", i, total, fuzzQueueDepth)
+				}
+			case fleet.OutcomeShedDeadline:
+				t.Fatalf("deadline shed under DegradeServe at request %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy selects how models are placed onto the pool's workers.
+type Strategy int
+
+const (
+	// PlacementPacked places every model on every worker and consolidates
+	// dispatch onto the lowest-indexed worker that can start a request
+	// earliest — the bin-packing shape: light load concentrates on few
+	// workers, which maximizes the idle capacity available to background
+	// tunes (and, on real fleets, to power-gating).
+	PlacementPacked Strategy = iota
+	// PlacementSpread places every model on every worker and breaks dispatch
+	// ties toward the worker with the least accumulated busy time — the
+	// load-balancing shape: queueing interference between models is averaged
+	// across the pool rather than concentrated.
+	PlacementSpread
+	// PlacementDedicated partitions the workers into contiguous disjoint
+	// blocks, one per model (the remainder going to the earlier models), so
+	// models never share a worker: the isolation shape, trading peak
+	// capacity per model for zero cross-model interference.
+	PlacementDedicated
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case PlacementPacked:
+		return "packed"
+	case PlacementSpread:
+		return "spread"
+	case PlacementDedicated:
+		return "dedicated"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a strategy's String form back to its value — the
+// flag-parsing inverse used by recflex-serve's -placement flag.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "packed":
+		return PlacementPacked, nil
+	case "spread":
+		return PlacementSpread, nil
+	case "dedicated":
+		return PlacementDedicated, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown placement strategy %q (want packed, spread or dedicated)", s)
+}
+
+// Assignment maps each model to the sorted worker ids it may run on.
+type Assignment [][]int
+
+// clone returns a deep copy, so a rebalance hook can edit freely.
+func (a Assignment) clone() Assignment {
+	out := make(Assignment, len(a))
+	for m := range a {
+		out[m] = append([]int(nil), a[m]...)
+	}
+	return out
+}
+
+// validate checks an assignment against the pool shape: every model holds at
+// least one worker and every worker id is in range. (Workers left unassigned
+// are legal — a rebalance may deliberately drain one.)
+func (a Assignment) validate(models, workers int) error {
+	if len(a) != models {
+		return fmt.Errorf("fleet: assignment covers %d models, want %d", len(a), models)
+	}
+	for m := range a {
+		if len(a[m]) == 0 {
+			return fmt.Errorf("fleet: assignment leaves model %d with no workers", m)
+		}
+		for _, w := range a[m] {
+			if w < 0 || w >= workers {
+				return fmt.Errorf("fleet: assignment places model %d on worker %d (pool has %d)", m, w, workers)
+			}
+		}
+	}
+	return nil
+}
+
+// assign builds the initial assignment for a strategy.
+func assign(s Strategy, models, workers int) (Assignment, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("fleet: need at least one worker, got %d", workers)
+	}
+	out := make(Assignment, models)
+	switch s {
+	case PlacementPacked, PlacementSpread:
+		all := make([]int, workers)
+		for w := range all {
+			all[w] = w
+		}
+		for m := range out {
+			out[m] = all
+		}
+	case PlacementDedicated:
+		if workers < models {
+			return nil, fmt.Errorf("fleet: dedicated placement needs at least one worker per model (%d workers, %d models)", workers, models)
+		}
+		// Contiguous blocks of size floor(W/M), the first W%M models taking
+		// one extra.
+		base, extra := workers/models, workers%models
+		next := 0
+		for m := range out {
+			n := base
+			if m < extra {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				out[m] = append(out[m], next)
+				next++
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown placement strategy %d", int(s))
+	}
+	return out, nil
+}
+
+// WorkerLoad is the per-worker load snapshot a rebalance hook sees.
+type WorkerLoad struct {
+	// Busy is the worker's accumulated serving time in virtual seconds.
+	Busy float64
+	// TuneBusy is the time the worker has spent holding background tunes.
+	TuneBusy float64
+	// FreeAt is the virtual time the worker next becomes idle.
+	FreeAt float64
+	// Queued counts queued requests whose model is currently placed on this
+	// worker (a request placed on several workers counts on each).
+	Queued int
+}
+
+// RebalanceFunc is the load-aware placement hook: invoked during replay
+// (paced by Config.RebalanceEvery) with the current virtual time, per-worker
+// load and the current assignment. Returning a new Assignment moves future
+// dispatch — queued and in-flight work is not migrated; returning nil keeps
+// the current one. The hook must be deterministic for replays to be
+// reproducible, and must not retain or mutate cur (edit a clone instead:
+// the pool hands over a private copy on apply).
+type RebalanceFunc func(now float64, load []WorkerLoad, cur Assignment) Assignment
+
+// sortRequests orders a fleet stream by arrival time, stable.
+func sortRequests(reqs []Request) {
+	sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].Arrival < reqs[b].Arrival })
+}

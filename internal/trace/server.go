@@ -6,44 +6,6 @@ import (
 	"sync"
 )
 
-// DegradePolicy selects what the serving engine does with a request whose
-// deadline cannot be met at dispatch time.
-type DegradePolicy int
-
-const (
-	// DegradeSplitTail is the default serving policy. An unsplit long-tail
-	// request (Size > SplitCap) that would miss its deadline as one kernel
-	// is split at the cap into chunks — the split-at-cap fallback. Each
-	// chunk re-enters least-loaded dispatch as its own unit of work, reusing
-	// the fused kernel's runtime thread mapping at the (well-tuned) capped
-	// size, so a 2,560-sample DeepRecSys-style request degrades into five
-	// 512-sample kernels instead of monopolizing one GPU. Requests at or
-	// below the cap are never shed: they are served even if late (counted
-	// as Timeouts). A tail request is shed only when it cannot even start
-	// before its deadline, or when it must make room in a full admission
-	// queue.
-	DegradeSplitTail DegradePolicy = iota
-	// DegradeServe serves every admitted request to completion; deadline
-	// misses are only counted (Timeouts), never acted on.
-	DegradeServe
-	// DegradeShed sheds any request that would complete after its deadline,
-	// regardless of size.
-	DegradeShed
-)
-
-func (p DegradePolicy) String() string {
-	switch p {
-	case DegradeSplitTail:
-		return "split-tail"
-	case DegradeServe:
-		return "serve-all"
-	case DegradeShed:
-		return "shed"
-	default:
-		return fmt.Sprintf("DegradePolicy(%d)", int(p))
-	}
-}
-
 // Outcome records how the engine resolved one request.
 type Outcome uint8
 
@@ -104,19 +66,25 @@ type ServerConfig struct {
 	HistBuckets      int
 }
 
+// Queue returns the configuration's queue-policy view — the fields shared
+// with the fleet pool configuration, validated in one place (QueuePolicy).
+func (c *ServerConfig) Queue() QueuePolicy {
+	return QueuePolicy{
+		Workers:    c.Workers,
+		QueueDepth: c.QueueDepth,
+		Deadline:   c.Deadline,
+		Policy:     c.Policy,
+		SplitCap:   c.SplitCap,
+	}
+}
+
 // Validate checks the server configuration.
 func (c *ServerConfig) Validate() error {
+	q := c.Queue()
+	if err := q.Validate(); err != nil {
+		return err
+	}
 	switch {
-	case c.Workers < 0:
-		return fmt.Errorf("trace: Workers must be >= 0, got %d", c.Workers)
-	case c.QueueDepth < 0:
-		return fmt.Errorf("trace: QueueDepth must be >= 0, got %d", c.QueueDepth)
-	case c.Deadline < 0:
-		return fmt.Errorf("trace: Deadline must be >= 0, got %g", c.Deadline)
-	case c.SplitCap < 0:
-		return fmt.Errorf("trace: SplitCap must be >= 0, got %d", c.SplitCap)
-	case c.Policy < DegradeSplitTail || c.Policy > DegradeShed:
-		return fmt.Errorf("trace: unknown policy %d", int(c.Policy))
 	case c.HistMin < 0 || c.HistMax < 0 || c.HistBuckets < 0:
 		return fmt.Errorf("trace: histogram shape must be non-negative")
 	case c.HistMin > 0 && c.HistMax > 0 && c.HistMax <= c.HistMin:
@@ -127,10 +95,8 @@ func (c *ServerConfig) Validate() error {
 
 // workers returns the effective GPU count.
 func (c *ServerConfig) workers() int {
-	if c.Workers == 0 {
-		return 1
-	}
-	return c.Workers
+	q := c.Queue()
+	return q.EffectiveWorkers()
 }
 
 // histogram builds the configured latency histogram.

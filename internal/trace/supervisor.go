@@ -444,189 +444,29 @@ type canaryRun struct {
 // (rollbacks included). It also installs the run's Metrics as the
 // supervisor's current snapshot. Concurrent calls are serialized; see the
 // type comment.
+//
+// The run's per-admission drift control lives in LoopControl, shared with
+// the fleet pool's multi-model replay; Run is the single-model wiring of
+// that control into the trace replay engine.
 func (sv *Supervisor) Run(reqs []Request) (*Report, error) {
-	sv.runMu.Lock()
-	defer sv.runMu.Unlock()
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("trace: empty request stream")
 	}
+	lc := sv.BeginRun()
 	sorted, order := arrivalOrder(reqs)
 
-	// The generation history: in-flight entries resolve against the
-	// generation stamped at their admission even after later swaps. compl
-	// parallels gens with each generation's served completions — the raw
-	// material of canary verdicts.
-	gens := []TimedServiceFunc{sv.service}
-	compl := [][]completion{nil}
-	cur := 0
-	// A tune in flight, waiting for its completion time to pass.
-	var pendingSvc TimedServiceFunc
-	var pendingAt float64
-	var swaps []SwapEvent
-	var canary *canaryRun
-	retunes := 0
-	rollbacks := 0
-
-	window := make([]WindowEntry, 0, sv.cfg.window())
-	winFull := false
-	sinceCheck := 0
-	cooldownUntil := math.Inf(-1)
-
 	admit := func(st *replayState, r Request, now float64) (int, error) {
-		// Apply a completed background tune: the swap is live for this and
-		// every later admission, and — with the guard on — opens a canary
-		// window against the outgoing generation's recent completions.
-		if pendingSvc != nil && now >= pendingAt {
-			prev := cur
-			gens = append(gens, pendingSvc)
-			compl = append(compl, nil)
-			cur = len(gens) - 1
-			sv.live.Swap(pendingSvc, pendingAt)
-			pendingSvc = nil
-			if sv.cfg.canaryEnabled() {
-				canary = &canaryRun{
-					swapIdx:  len(swaps) - 1,
-					gen:      cur,
-					prev:     prev,
-					openedAt: pendingAt,
-					baseline: canaryBaseline(compl[prev], pendingAt, sv.cfg.CanaryWindow, sv.cfg.CanaryDuration),
-				}
-			}
-		}
-
-		// Evaluate an open canary: the window closes once enough of the new
-		// generation's admissions have completed (or the time cap passes),
-		// and a verdict worse than the baseline by more than the margin
-		// rolls the promotion back — a forward swap to a fresh generation id
-		// reusing the previous service, live from this admission on.
-		if canary != nil {
-			done := completedBy(compl[canary.gen], now)
-			closed := (sv.cfg.CanaryWindow > 0 && len(done) >= sv.cfg.CanaryWindow) ||
-				(sv.cfg.CanaryDuration > 0 && now >= canary.openedAt+sv.cfg.CanaryDuration)
-			if closed {
-				cm, bm, matched := canaryVerdict(canary.baseline, done)
-				swaps[canary.swapIdx].CanaryMean = cm
-				swaps[canary.swapIdx].BaselineMean = bm
-				if matched > 0 && cm > bm*(1+sv.cfg.RollbackMargin) {
-					svc := gens[canary.prev]
-					gens = append(gens, svc)
-					compl = append(compl, nil)
-					cur = len(gens) - 1
-					sv.live.Swap(svc, now)
-					swaps = append(swaps, SwapEvent{
-						Generation: cur,
-						Rollback:   true,
-						Reinstated: canary.prev,
-						Detected:   now,
-						Start:      now,
-						Swapped:    now,
-						Worker:     -1,
-					})
-					rollbacks++
-					cooldownUntil = now + sv.cfg.Cooldown
-					if sv.onRollback != nil {
-						sv.onRollback(cur, canary.prev)
-					}
-				}
-				canary = nil
-			}
-		}
-
-		// Slide the window and pace the drift checks.
-		if len(window) == cap(window) {
-			copy(window, window[1:])
-			window = window[:len(window)-1]
-			winFull = true
-		}
-		window = append(window, WindowEntry{Time: now, Size: r.Size})
-		sinceCheck++
-
-		if pendingSvc == nil && canary == nil && (winFull || len(window) == cap(window)) &&
-			sinceCheck >= sv.cfg.checkEvery() && now >= cooldownUntil &&
-			(sv.cfg.MaxRetunes == 0 || retunes < sv.cfg.MaxRetunes) {
-			sinceCheck = 0
-			drifted, err := sv.detect(window)
-			if err != nil {
-				return 0, fmt.Errorf("trace: drift detector: %w", err)
-			}
-			if drifted {
-				// Launch the background tune on the least-loaded worker:
-				// the slot is booked for the tune's duration, so serving
-				// capacity drops by one worker until the swap.
-				newGen := len(swaps) + 1
-				svc, err := sv.retune(newGen, window)
-				if err != nil {
-					return 0, fmt.Errorf("trace: re-tune for generation %d: %w", newGen, err)
-				}
-				if svc == nil {
-					return 0, fmt.Errorf("trace: re-tune for generation %d returned nil service", newGen)
-				}
-				retunes++
-				worker, start, end := st.Occupy(now, sv.cfg.tuneDuration())
-				swaps = append(swaps, SwapEvent{
-					Generation:   newGen,
-					Detected:     now,
-					Start:        start,
-					Swapped:      end,
-					Worker:       worker,
-					TuneDuration: end - start,
-				})
-				pendingSvc = svc
-				pendingAt = end
-				cooldownUntil = end + sv.cfg.Cooldown
-			}
-		}
-		return cur, nil
+		return lc.Admit(st, r.Size, now)
 	}
-
 	resolve := func(e *qentry) (float64, error) {
-		return gens[e.gen](e.arrival, e.size)
+		return lc.Resolve(e.gen, e.arrival, e.size)
 	}
 
-	onFinish := func(size, gen int, end, sojourn float64) {
-		compl[gen] = append(compl[gen], completion{size: size, end: end, sojourn: sojourn})
-	}
-
-	rep, err := runReplay(sv.cfg.Server, sorted, order, resolve, admit, onFinish)
+	rep, err := runReplay(sv.cfg.Server, sorted, order, resolve, admit, lc.Observe)
 	if err != nil {
+		lc.Abort()
 		return nil, err
 	}
-
-	// A tune still pending at the end of the trace did complete — its swap
-	// went live at pendingAt, serving just ended first — so it still counts
-	// toward the final generation and is published.
-	if pendingSvc != nil {
-		sv.live.Swap(pendingSvc, pendingAt)
-		pendingSvc = nil
-	}
-
-	// Pre/post-swap latency split: mean served sojourn per generation.
-	sums := make([]float64, len(swaps)+1)
-	counts := make([]int, len(swaps)+1)
-	for i, g := range rep.Generations {
-		if !math.IsNaN(rep.Sojourn[i]) {
-			sums[g] += rep.Sojourn[i]
-			counts[g]++
-		}
-	}
-	meanOf := func(g int) float64 {
-		if g < 0 || g >= len(counts) || counts[g] == 0 {
-			return math.NaN()
-		}
-		return sums[g] / float64(counts[g])
-	}
-	for i := range swaps {
-		swaps[i].PreMean = meanOf(swaps[i].Generation - 1)
-		swaps[i].PostMean = meanOf(swaps[i].Generation)
-	}
-
-	met := rep.Metrics
-	met.Generation = len(swaps)
-	met.Swaps = swaps
-	met.Rollbacks = rollbacks
-
-	sv.mu.Lock()
-	sv.last = met
-	sv.mu.Unlock()
+	lc.Finalize(rep)
 	return rep, nil
 }
