@@ -15,8 +15,13 @@
 // With -models the command switches to fleet mode: each listed model is
 // tuned independently and the merged multi-tenant trace is replayed over one
 // shared simulated GPU pool (internal/fleet), with -tenants, -policy and
-// -placement shaping admission and placement. The report splits latency,
-// shed counts and interference per model and per tenant.
+// -placement shaping admission and placement. -policy weighted-fair with
+// -weights gives each priority class a guaranteed dispatch share
+// (deficit-round-robin) instead of strict starvation-prone priority;
+// -rebalance re-partitions workers from recorded load history; -degrade
+// split-tail arms the pool's split-at-cap fallback for long-tail requests.
+// The report splits latency, shed counts and interference per model and per
+// tenant.
 //
 // Usage:
 //
@@ -24,6 +29,8 @@
 //	    -gpus 2 -deadline 1.5 -queue 64
 //	recflex-serve -models A,C -tenants "interactive:1,bulk:0:8" \
 //	    -policy priority-edf -placement spread -gpus 2 -queue 32
+//	recflex-serve -models A,C -tenants "interactive:1,bulk:0" \
+//	    -policy weighted-fair -weights "1:3,0:1" -rebalance 0.05 -gpus 2 -queue 32
 package main
 
 import (
@@ -78,6 +85,8 @@ type options struct {
 	models, tenants   string
 	policy, placement string
 	shedFraction      float64
+	weights           string
+	rebalance         float64
 }
 
 // parseFlags binds the flag set to an options struct. Usage and parse errors
@@ -102,9 +111,11 @@ func parseFlags(args []string, w io.Writer) (*options, error) {
 	fs.StringVar(&o.degrade, "degrade", "", "degradation policy: split-tail, serve-all or shed (default split-tail; fleet mode serve-all)")
 	fs.StringVar(&o.models, "models", "", "comma-separated model list (e.g. A,C) — switches to fleet mode over a shared GPU pool")
 	fs.StringVar(&o.tenants, "tenants", "", "fleet tenants, comma-separated name:priority[:quota[:deadline_ms]] entries")
-	fs.StringVar(&o.policy, "policy", "priority-edf", "fleet admission policy: priority-edf or fifo")
+	fs.StringVar(&o.policy, "policy", "priority-edf", "fleet admission policy: priority-edf, weighted-fair or fifo")
 	fs.StringVar(&o.placement, "placement", "packed", "fleet placement: packed, spread or dedicated")
 	fs.Float64Var(&o.shedFraction, "shed-fraction", 0, "fleet load shedding: shed sub-top-priority arrivals once the queue is this full (0 disables)")
+	fs.StringVar(&o.weights, "weights", "", "weighted-fair dispatch weights, comma-separated priority:weight pairs (e.g. 1:3,0:1); unlisted classes weigh 1")
+	fs.Float64Var(&o.rebalance, "rebalance", 0, "fleet: re-partition workers from load history at most every this many seconds (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -439,6 +450,35 @@ func parseTenants(s string, models int) ([]fleet.TenantSpec, error) {
 	return out, nil
 }
 
+// parseWeights decodes the -weights flag: comma-separated priority:weight
+// pairs for the weighted-fair policy. An empty flag yields nil (every class
+// weighs 1).
+func parseWeights(s string) (map[int]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]float64)
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad weight %q (want priority:weight)", entry)
+		}
+		prio, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad weight priority %q", parts[0])
+		}
+		w, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight value %q", parts[1])
+		}
+		if _, dup := out[prio]; dup {
+			return nil, fmt.Errorf("duplicate weight for priority %d", prio)
+		}
+		out[prio] = w
+	}
+	return out, nil
+}
+
 // runFleet serves several independently tuned models over one shared
 // simulated GPU pool. Each model gets its own Poisson trace (same -requests
 // and -qps, a model-distinct seed) and is mapped round-robin onto the tenant
@@ -457,21 +497,26 @@ func runFleet(o *options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	admission, err := fleet.ParsePolicy(o.policy, tenants, o.shedFraction)
+	weights, err := parseWeights(o.weights)
 	if err != nil {
 		return err
 	}
-	// The pool has no split-at-cap fallback, so the fleet default serves
-	// admitted requests to completion; -degrade shed switches to
-	// dispatch-time deadline shedding.
+	admission, err := fleet.ParsePolicy(o.policy, tenants, o.shedFraction, weights)
+	if err != nil {
+		return err
+	}
+	// The fleet default serves admitted requests to completion; -degrade shed
+	// switches to dispatch-time deadline shedding, -degrade split-tail arms
+	// the pool's split-at-cap fallback for long-tail requests.
 	policy := trace.DegradeServe
 	if o.degrade != "" {
 		if policy, err = trace.ParseDegradePolicy(o.degrade); err != nil {
 			return err
 		}
-		if policy == trace.DegradeSplitTail {
-			return fmt.Errorf("the fleet pool does not implement split-at-cap; use -degrade serve-all or shed")
-		}
+	}
+	splitBound := 0
+	if policy == trace.DegradeSplitTail {
+		splitBound = splitCap
 	}
 
 	var (
@@ -519,17 +564,23 @@ func runFleet(o *options, w io.Writer) error {
 
 	fmt.Fprintf(w, "fleet serving: %d models x %d requests at %.0f qps each on a shared %dx %s pool (%s placement, %s admission)\n\n",
 		len(models), o.requests, o.qps, o.gpus, dev.Name, strategy, o.policy)
-	res, err := core.ServeFleet(fleet.Config{
+	fcfg := fleet.Config{
 		Queue: trace.QueuePolicy{
 			Workers:    o.gpus,
 			QueueDepth: o.queue,
 			Deadline:   o.deadline * 1e-3,
 			Policy:     policy,
+			SplitCap:   splitBound,
 		},
 		Placement:    strategy,
 		Admission:    admission,
 		ShedFraction: o.shedFraction,
-	}, models, tenants, merged)
+	}
+	if o.rebalance > 0 {
+		fcfg.RebalanceEvery = o.rebalance
+		fcfg.Rebalance = fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{})
+	}
+	res, err := core.ServeFleet(fcfg, models, tenants, merged)
 	if err != nil {
 		return err
 	}
@@ -559,6 +610,9 @@ func runFleet(o *options, w io.Writer) error {
 		fmt.Fprintf(w, "  %s\n", g.String())
 	}
 	fmt.Fprintf(w, "\npool: %s\n", m)
+	if m.Rebalances > 0 {
+		fmt.Fprintf(w, "rebalances applied: %d (from %d load snapshots)\n", m.Rebalances, len(m.LoadHistory))
+	}
 	fmt.Fprintf(w, "per-worker utilization over a %.2fms makespan:\n", m.Makespan*1e3)
 	for g, wk := range m.Workers {
 		fmt.Fprintf(w, "  gpu%-2d %6d reqs  busy %8s  util %5.1f%%\n",

@@ -153,6 +153,58 @@ func TestRunFleetMode(t *testing.T) {
 	}
 }
 
+// Fleet mode with the full PR-5 feature set through the run() seam:
+// weighted-fair admission, split-at-cap degradation and the load-history
+// rebalancer all leave their marks on the report, deterministically. The
+// deadline (9us) sits between the small-request sojourn (~6us) and the
+// long-tail service time (~11us at scale 400), so tail requests split
+// instead of being served whole or shed.
+func TestRunFleetWeightedFairSplit(t *testing.T) {
+	args := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-policy", "weighted-fair", "-weights", "1:3,0:1",
+		"-scale", "400", "-requests", "30", "-qps", "2000",
+		"-gpus", "2", "-queue", "32",
+		"-degrade", "split-tail", "-tail", "0.25", "-deadline", "0.009",
+		"-rebalance", "0.001",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"weighted-fair admission", "split=", "rebalances applied: 1", "load snapshots"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fleet output missing %q in:\n%s", want, s)
+		}
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != s {
+		t.Error("weighted-fair fleet mode is not deterministic: two runs printed different reports")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	got, err := parseWeights("1:3, 0:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := map[int]float64{1: 3, 0: 1.5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseWeights = %v, want %v", got, want)
+	}
+	if got, err := parseWeights(""); err != nil || got != nil {
+		t.Errorf("parseWeights(\"\") = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"x:1", "1:x", "1", "1:2:3", "1:1,1:2"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 // Flag validation fails fast, before any tuning happens.
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
@@ -162,8 +214,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-models", "A", "-drift", "2"},
 		{"-models", "A", "-placement", "ring"},
 		{"-models", "A", "-policy", "lifo"},
-		{"-models", "A", "-degrade", "split-tail"},
 		{"-models", "A", "-tenants", "noprio"},
+		{"-models", "A", "-policy", "weighted-fair", "-weights", "1:x"},
+		{"-models", "A", "-policy", "weighted-fair", "-weights", "0:1,0:2"},
+		{"-models", "A", "-policy", "weighted-fair", "-weights", "9:2"},
+		{"-models", "A", "-tenants", "hi:1,lo:0", "-policy", "weighted-fair", "-weights", "1:0,0:0"},
 		{"-models", "Z,A"},
 	}
 	for _, args := range cases {

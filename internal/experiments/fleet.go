@@ -41,6 +41,36 @@ type FleetNeighborAct struct {
 	InterferenceFIFO, InterferencePriority float64
 }
 
+// FleetStarvationAct is the batch-starvation act of the fleet study: an
+// interactive class that alone overloads the pool shares it with a steady
+// batch class. Under strict PriorityEDF the batch class starves — it
+// dispatches only in the end-of-trace drain — while WeightedFair's deficit
+// round-robin guarantees it its configured share of dispatches at a bounded
+// p99. Shares are fractions of all served requests attributed to the batch
+// class; WeightShare is the share the weights promise it.
+type FleetStarvationAct struct {
+	// Service is the probed per-request service time of the common size.
+	Service float64
+	// WeightShare is the batch class's configured dispatch share.
+	WeightShare float64
+	// BatchOffered counts batch arrivals in the trace.
+	BatchOffered int
+	// BatchServedPriority/Weighted count batch completions per policy.
+	BatchServedPriority, BatchServedWeighted int
+	// BatchSharePriority/Weighted are the batch fraction of all served
+	// requests per policy.
+	BatchSharePriority, BatchShareWeighted float64
+	// BatchP99Priority/Weighted are the batch sojourn p99s per policy.
+	BatchP99Priority, BatchP99Weighted float64
+	// InteractiveP99Priority/Weighted are the interactive p99s per policy.
+	InteractiveP99Priority, InteractiveP99Weighted float64
+	// GuaranteeMet reports BatchShareWeighted >= 0.9 * WeightShare.
+	GuaranteeMet bool
+	// StarvedUnderPriority reports BatchSharePriority < WeightShare / 2 —
+	// the contrast that gives the act its teeth.
+	StarvedUnderPriority bool
+}
+
 // FleetDriftAct is one model's slice of the independent-drift act: two
 // supervised models share the pool, drift at different times with different
 // factors, and each must detect, re-tune in the background and hot-swap on
@@ -71,6 +101,7 @@ type FleetDriftAct struct {
 // plus priority admission buy.
 type FleetStudyResult struct {
 	NoisyNeighbor FleetNeighborAct
+	Starvation    FleetStarvationAct
 	Drift         []FleetDriftAct
 }
 
@@ -82,6 +113,9 @@ func (s *Suite) FleetStudy() (*FleetStudyResult, error) {
 func (s *Suite) fleetStudy() (*FleetStudyResult, error) {
 	res := &FleetStudyResult{}
 	if err := s.fleetNoisyNeighbor(&res.NoisyNeighbor); err != nil {
+		return nil, err
+	}
+	if err := s.fleetStarvation(&res.Starvation); err != nil {
 		return nil, err
 	}
 	drift, err := s.fleetIndependentDrift()
@@ -189,6 +223,90 @@ func (s *Suite) fleetNoisyNeighbor(act *FleetNeighborAct) error {
 	act.BulkShedPriority = prio.Metrics.Tenants[1].Shed()
 	act.InterferenceFIFO = fifoRatios[0]
 	act.InterferencePriority = prioRatios[0]
+	return nil
+}
+
+// fleetStarvation runs the weighted-fair act on model A's tuned kernels. The
+// interactive class alone offers ~111% of the two workers' capacity (one
+// arrival every 0.45 service times), so its backlog never clears; the batch
+// class offers another ~67% on top. Strict PriorityEDF therefore starves the
+// batch queue until the drain, while WeightedFair with weights 3:1 must hand
+// the batch class a quarter of the dispatches at a bounded p99. Both runs use
+// the same admission protections: queue depth 16 and a batch queue quota of
+// 8, so stuck batch requests can cap out at admission but never clog the
+// whole queue. (Load shedding would defeat the act: under sustained
+// interactive backlog the occupancy threshold sheds every batch arrival, and
+// the dispatch policy never gets a batch request to be fair to.)
+func (s *Suite) fleetStarvation(act *FleetStarvationAct) error {
+	dev := gpusim.V100()
+	cfg := s.ScaledModel(datasynth.ModelA())
+	rf, err := s.TunedRecFlex(dev, cfg)
+	if err != nil {
+		return err
+	}
+	src := func(_ float64, size int) (*embedding.Batch, error) {
+		return datasynth.BatchForSize(cfg, size)
+	}
+	svc := rf.TimedService(src, 64, nil)
+	const size = 256
+	sv, err := svc(0, size)
+	if err != nil {
+		return err
+	}
+	act.Service = sv
+
+	const nInteractive, nBatch = 240, 144
+	act.BatchOffered = nBatch
+	var reqs []fleet.Request
+	for i := 0; i < nInteractive; i++ {
+		reqs = append(reqs, fleet.Request{Arrival: float64(i) * 0.45 * sv, Size: size, Model: 0, Tenant: 0})
+	}
+	for i := 0; i < nBatch; i++ {
+		reqs = append(reqs, fleet.Request{Arrival: float64(i) * 0.75 * sv, Size: size, Model: 0, Tenant: 1})
+	}
+	reqs = fleet.Merge(fleetToStreams(reqs)...)
+
+	tenants := []fleet.TenantSpec{
+		{Name: "interactive", Priority: 1},
+		{Name: "batch", Priority: 0, Quota: 8},
+	}
+	models := []fleet.Model{{Name: "rank", Service: svc}}
+	weights := map[int]float64{1: 3, 0: 1}
+
+	run := func(admission fleet.AdmissionPolicy) (*fleet.Report, error) {
+		pool, err := fleet.NewPool(fleet.Config{
+			Queue:     trace.QueuePolicy{Workers: 2, QueueDepth: 16},
+			Admission: admission,
+		}, models, tenants)
+		if err != nil {
+			return nil, err
+		}
+		return pool.Serve(reqs)
+	}
+	prio, err := run(nil)
+	if err != nil {
+		return err
+	}
+	wf, err := fleet.NewWeightedFair(tenants, fleet.WeightedFairConfig{Weights: weights})
+	if err != nil {
+		return err
+	}
+	weighted, err := run(wf)
+	if err != nil {
+		return err
+	}
+
+	act.WeightShare = wf.WeightShare(0)
+	act.BatchServedPriority = prio.Metrics.Tenants[1].Served
+	act.BatchServedWeighted = weighted.Metrics.Tenants[1].Served
+	act.BatchSharePriority = float64(act.BatchServedPriority) / float64(prio.Metrics.Served)
+	act.BatchShareWeighted = float64(act.BatchServedWeighted) / float64(weighted.Metrics.Served)
+	act.BatchP99Priority = prio.Metrics.Tenants[1].P99
+	act.BatchP99Weighted = weighted.Metrics.Tenants[1].P99
+	act.InteractiveP99Priority = prio.Metrics.Tenants[0].P99
+	act.InteractiveP99Weighted = weighted.Metrics.Tenants[0].P99
+	act.GuaranteeMet = act.BatchShareWeighted >= 0.9*act.WeightShare
+	act.StarvedUnderPriority = act.BatchSharePriority < act.WeightShare/2
 	return nil
 }
 
@@ -339,6 +457,17 @@ func (s *Suite) PrintFleetStudy(w io.Writer) error {
 		report.FmtUS(nn.Bound), nn.WithinBound,
 		nn.BulkServedPriority, nn.BulkShedPriority, nn.BulkServedFIFO,
 		report.FmtRatio(nn.InterferenceFIFO), report.FmtRatio(nn.InterferencePriority)); err != nil {
+		return err
+	}
+	st := res.Starvation
+	if _, err := fmt.Fprintf(w, "weighted-fair vs starvation (sustained overload, weights 3:1, batch share %.0f%%):\n"+
+		"  batch served: priority-edf %d/%d (%.1f%% of dispatches, p99 %s) | weighted-fair %d/%d (%.1f%%, p99 %s)\n"+
+		"  guarantee met=%v (>= 90%% of weight share), starved under strict priority=%v; interactive p99 %s -> %s\n",
+		100*st.WeightShare,
+		st.BatchServedPriority, st.BatchOffered, 100*st.BatchSharePriority, report.FmtUS(st.BatchP99Priority),
+		st.BatchServedWeighted, st.BatchOffered, 100*st.BatchShareWeighted, report.FmtUS(st.BatchP99Weighted),
+		st.GuaranteeMet, st.StarvedUnderPriority,
+		report.FmtUS(st.InteractiveP99Priority), report.FmtUS(st.InteractiveP99Weighted)); err != nil {
 		return err
 	}
 	for _, d := range res.Drift {

@@ -47,6 +47,27 @@ func TestFleetStudy(t *testing.T) {
 			nn.InterferenceFIFO, nn.InterferencePriority)
 	}
 
+	st := res.Starvation
+	if st.Service <= 0 || st.WeightShare != 0.25 {
+		t.Fatalf("starvation act malformed: service %g, weight share %g", st.Service, st.WeightShare)
+	}
+	if !st.GuaranteeMet {
+		t.Errorf("weighted-fair missed the batch guarantee: share %.3f < 0.9 * %.3f",
+			st.BatchShareWeighted, st.WeightShare)
+	}
+	if !st.StarvedUnderPriority {
+		t.Errorf("strict priority did not starve the batch class (share %.3f); the contrast proves nothing",
+			st.BatchSharePriority)
+	}
+	if st.BatchServedWeighted <= st.BatchServedPriority {
+		t.Errorf("weighted-fair served no more batch requests than strict priority: %d vs %d",
+			st.BatchServedWeighted, st.BatchServedPriority)
+	}
+	if math.IsNaN(st.BatchP99Weighted) || st.BatchP99Weighted >= st.BatchP99Priority {
+		t.Errorf("weighted-fair did not bound the batch p99: %g vs %g under strict priority",
+			st.BatchP99Weighted, st.BatchP99Priority)
+	}
+
 	if len(res.Drift) != 2 {
 		t.Fatalf("%d drift acts, want 2", len(res.Drift))
 	}
@@ -80,6 +101,13 @@ func TestFleetStudy(t *testing.T) {
 	if again != nn {
 		t.Errorf("noisy-neighbor act is not reproducible:\n%+v\n%+v", nn, again)
 	}
+	var starveAgain FleetStarvationAct
+	if err := s.fleetStarvation(&starveAgain); err != nil {
+		t.Fatal(err)
+	}
+	if starveAgain != st {
+		t.Errorf("starvation act is not reproducible:\n%+v\n%+v", st, starveAgain)
+	}
 }
 
 func TestPrintFleetStudy(t *testing.T) {
@@ -89,7 +117,7 @@ func TestPrintFleetStudy(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Fleet serving", "noisy neighbor", "priority-edf", "model early", "model late", "interference"} {
+	for _, want := range []string{"Fleet serving", "noisy neighbor", "priority-edf", "weighted-fair", "starved under strict priority", "model early", "model late", "interference"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q in:\n%s", want, out)
 		}

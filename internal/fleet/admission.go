@@ -20,9 +20,14 @@ const (
 	// queue was near its bound and the tenant is below the pool's highest
 	// priority class.
 	OutcomeShedLoad
-	// OutcomeShedDeadline: dropped at dispatch under DegradeShed because the
-	// deadline could not be met.
+	// OutcomeShedDeadline: dropped at dispatch because the deadline could not
+	// be met — under DegradeShed for any size, under DegradeSplitTail for a
+	// tail request that cannot even start before its deadline.
 	OutcomeShedDeadline
+	// OutcomeSplit: a long-tail request served through the split-at-cap
+	// degradation fallback (see trace.DegradeSplitTail); its chunks all
+	// completed.
+	OutcomeSplit
 )
 
 func (o Outcome) String() string {
@@ -37,13 +42,15 @@ func (o Outcome) String() string {
 		return "shed-load"
 	case OutcomeShedDeadline:
 		return "shed-deadline"
+	case OutcomeSplit:
+		return "split"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
 }
 
 // Shed reports whether the request was dropped without service.
-func (o Outcome) Shed() bool { return o != OutcomeServed }
+func (o Outcome) Shed() bool { return o != OutcomeServed && o != OutcomeSplit }
 
 // QueuedRequest is the admission policy's view of one request: arrival,
 // absolute deadline, and its model/tenant/priority tags. ID is the admission
@@ -63,7 +70,9 @@ type PoolLoad struct {
 	// Now is the arrival's virtual time.
 	Now float64
 	// Queued is the total number of queued (admitted, undispatched)
-	// requests, excluding the arrival under decision.
+	// requests, excluding the arrival under decision. Split chunks awaiting
+	// dispatch count too: they occupy the shared buffer exactly like whole
+	// requests, matching the single-model engine's queue-bound accounting.
 	Queued int
 	// QueueDepth is the configured shared bound (0 = unbounded).
 	QueueDepth int
@@ -192,12 +201,16 @@ func (FIFO) Next([]QueuedRequest, float64) int { return 0 }
 
 // ParsePolicy maps a policy name to its implementation over the given
 // tenants — the flag-parsing entry used by recflex-serve's -policy flag.
-func ParsePolicy(name string, tenants []TenantSpec, shedFraction float64) (AdmissionPolicy, error) {
+// weights configures the weighted-fair policy's per-priority-class dispatch
+// weights (see WeightedFairConfig.Weights) and is ignored by the others.
+func ParsePolicy(name string, tenants []TenantSpec, shedFraction float64, weights map[int]float64) (AdmissionPolicy, error) {
 	switch name {
 	case "priority-edf", "priority", "edf":
 		return NewPriorityEDF(tenants, shedFraction), nil
+	case "weighted-fair", "wfq", "drr":
+		return NewWeightedFair(tenants, WeightedFairConfig{Weights: weights, ShedFraction: shedFraction})
 	case "fifo":
 		return FIFO{}, nil
 	}
-	return nil, fmt.Errorf("fleet: unknown admission policy %q (want priority-edf or fifo)", name)
+	return nil, fmt.Errorf("fleet: unknown admission policy %q (want priority-edf, weighted-fair or fifo)", name)
 }

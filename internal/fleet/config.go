@@ -76,9 +76,15 @@ func (m *Model) Validate() error {
 type Config struct {
 	// Queue is the shared queue policy: Workers is the pool size,
 	// QueueDepth the shared admission-queue bound, Deadline the pool-wide
-	// default, Policy the degradation policy. The fleet replay does not
-	// implement the split-at-cap fallback, so SplitCap must be 0 and
-	// DegradeSplitTail (the zero value) behaves like DegradeServe.
+	// default, Policy the degradation policy, SplitCap the long-tail split
+	// threshold. Under DegradeSplitTail with SplitCap > 0 the pool applies
+	// the single-model engine's split-at-cap fallback at dispatch time: a
+	// tail request that would miss its deadline as one kernel is split into
+	// capped chunks that dispatch ahead of the policy's picks (a split
+	// request was already chosen once; finishing it promptly is the point).
+	// Unlike the single-model engine, a full queue stays entirely the
+	// admission policy's decision — there is no tail eviction or soft bound;
+	// chunks do count toward the policy's queue-occupancy view.
 	Queue trace.QueuePolicy
 	// Placement assigns models to workers (see Strategy).
 	Placement Strategy
@@ -117,12 +123,16 @@ func (c *Config) Validate(models, tenants int) error {
 		return fmt.Errorf("fleet: need at least one model")
 	case tenants <= 0:
 		return fmt.Errorf("fleet: need at least one tenant")
-	case c.Queue.SplitCap != 0:
-		return fmt.Errorf("fleet: the pool does not implement split-at-cap; SplitCap must be 0, got %d", c.Queue.SplitCap)
 	case c.Placement < PlacementPacked || c.Placement > PlacementDedicated:
 		return fmt.Errorf("fleet: unknown placement strategy %d", int(c.Placement))
 	case c.ShedFraction < 0 || c.ShedFraction > 1:
 		return fmt.Errorf("fleet: ShedFraction %g outside [0,1]", c.ShedFraction)
+	case c.ShedFraction > 0 && c.Queue.QueueDepth == 0:
+		// Load-aware shedding triggers at ShedFraction * QueueDepth queued
+		// requests; over an unbounded queue the threshold is 0 * anything and
+		// the feature silently never fires. Reject the dead combination
+		// instead of letting it masquerade as protection.
+		return fmt.Errorf("fleet: ShedFraction %g requires a bounded queue (QueueDepth > 0): load-aware shedding never fires over an unbounded queue", c.ShedFraction)
 	case c.RebalanceEvery < 0:
 		return fmt.Errorf("fleet: RebalanceEvery must be >= 0, got %g", c.RebalanceEvery)
 	case c.HistMin < 0 || c.HistMax < 0 || c.HistBuckets < 0:

@@ -1,0 +1,117 @@
+package fleet_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// The fleet pool degenerates to the single-model serving engine: with one
+// model, one tenant, FIFO admission and a dense (always-backlogged) stream,
+// the pool's per-model report must match trace.Server's report exactly —
+// sojourns, outcomes, worker accounting and shed causes. This pins the shared
+// replay semantics: dispatch ties beat arrivals, least-loaded routing with
+// lowest-index ties, chunk-ahead split dispatch, occupancy sampling points.
+//
+// The streams are deliberately backlogged from the second request on: when
+// two or more workers sit idle before an arrival, the pool and the
+// single-model engine may pick different (equally optimal) workers, which is
+// an allowed divergence the equivalence deliberately avoids exercising.
+func fleetTraceEquivalence(t *testing.T, name string, q trace.QueuePolicy, reqs []trace.Request) {
+	t.Helper()
+	svc := func(size int) (float64, error) { return float64(size) * 1e-3, nil }
+
+	srv, err := trace.NewServer(trace.ServerConfig{
+		Workers:    q.Workers,
+		QueueDepth: q.QueueDepth,
+		Deadline:   q.Deadline,
+		Policy:     q.Policy,
+		SplitCap:   q.SplitCap,
+	}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := srv.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := mustPool(t, fleet.Config{Queue: q, Admission: fleet.FIFO{}},
+		[]fleet.Model{{Name: "m", Service: sizeSvc(1e-3)}}, oneTenant())
+	fr := mustServe(t, pool, fleet.Merge(fleet.Stream{Reqs: reqs}))
+	mr := fr.ModelReports[0]
+
+	for i := range reqs {
+		if mr.Outcomes[i] != tr.Outcomes[i] {
+			t.Errorf("%s: outcome[%d] fleet=%v trace=%v", name, i, mr.Outcomes[i], tr.Outcomes[i])
+		}
+		if !eqNaN(mr.Sojourn[i], tr.Sojourn[i]) {
+			t.Errorf("%s: sojourn[%d] fleet=%g trace=%g", name, i, mr.Sojourn[i], tr.Sojourn[i])
+		}
+		if !eqNaN(fr.Sojourn[i], tr.Sojourn[i]) {
+			t.Errorf("%s: pool-level sojourn[%d] = %g, trace = %g", name, i, fr.Sojourn[i], tr.Sojourn[i])
+		}
+	}
+	fm, tm := mr.Metrics, tr.Metrics
+	type counters struct {
+		served, split, timeouts, queueSheds, deadlineSheds int
+	}
+	fc := counters{fm.Served, fm.SplitServed, fm.Timeouts, fm.QueueSheds, fm.DeadlineSheds}
+	tc := counters{tm.Served, tm.SplitServed, tm.Timeouts, tm.QueueSheds, tm.DeadlineSheds}
+	if fc != tc {
+		t.Errorf("%s: counters diverge: fleet %+v, trace %+v", name, fc, tc)
+	}
+	if math.Abs(fm.Makespan-tm.Makespan) > 1e-9 {
+		t.Errorf("%s: makespan fleet=%g trace=%g", name, fm.Makespan, tm.Makespan)
+	}
+	// Queue occupancy and worker accounting live at the pool level; with one
+	// model they are the same quantities the single-model engine reports.
+	pm := fr.Metrics
+	if pm.MaxQueueDepth != tm.MaxQueueDepth {
+		t.Errorf("%s: max queue depth fleet=%d trace=%d", name, pm.MaxQueueDepth, tm.MaxQueueDepth)
+	}
+	if len(pm.Workers) != len(tm.Workers) {
+		t.Fatalf("%s: worker counts diverge: %d vs %d", name, len(pm.Workers), len(tm.Workers))
+	}
+	for w := range pm.Workers {
+		if pm.Workers[w].Served != tm.Workers[w].Served || math.Abs(pm.Workers[w].Busy-tm.Workers[w].Busy) > 1e-9 {
+			t.Errorf("%s: worker %d stats diverge: fleet served=%d busy=%g, trace served=%d busy=%g",
+				name, w, pm.Workers[w].Served, pm.Workers[w].Busy, tm.Workers[w].Served, tm.Workers[w].Busy)
+		}
+	}
+}
+
+// denseStream emits n requests with sub-service inter-arrival gaps so the
+// two-worker system is backlogged from the start; sizes cycle through a
+// deterministic mix, with every seventh request a long-tail batch.
+func denseStream(n int, withTails bool) []trace.Request {
+	var reqs []trace.Request
+	for i := 0; i < n; i++ {
+		size := 64 + (i%5)*32
+		if withTails && i%7 == 3 {
+			size = 700
+		}
+		reqs = append(reqs, trace.Request{Arrival: float64(i) * 0.01, Size: size})
+	}
+	return reqs
+}
+
+func TestFleetEquivalenceBoundedQueue(t *testing.T) {
+	fleetTraceEquivalence(t, "bounded-queue",
+		trace.QueuePolicy{Workers: 2, QueueDepth: 6, Policy: trace.DegradeServe},
+		denseStream(48, false))
+}
+
+func TestFleetEquivalenceDeadlineShed(t *testing.T) {
+	fleetTraceEquivalence(t, "deadline-shed",
+		trace.QueuePolicy{Workers: 2, Deadline: 0.4, Policy: trace.DegradeShed},
+		denseStream(48, false))
+}
+
+func TestFleetEquivalenceSplitTail(t *testing.T) {
+	fleetTraceEquivalence(t, "split-tail",
+		trace.QueuePolicy{Workers: 2, Deadline: 1.0, Policy: trace.DegradeSplitTail, SplitCap: 256},
+		denseStream(48, true))
+}

@@ -10,7 +10,9 @@
 //   - admission: which arrival enters the shared queue and which queued
 //     request dispatches next (pluggable AdmissionPolicy; the default is
 //     strict priority classes with earliest-deadline-first dispatch within
-//     a class, per-tenant queue quotas and load-aware early shedding);
+//     a class, per-tenant queue quotas and load-aware early shedding, and
+//     WeightedFair replaces strict priority with deficit-round-robin so no
+//     positively weighted class can be starved);
 //   - accounting: per-model and per-tenant metrics, plus the cross-model
 //     interference view (sojourn inflation against each model served alone
 //     on its own workers).
@@ -102,6 +104,16 @@ type qentry struct {
 	tenant   int
 	prio     int
 	gen      int
+}
+
+// fleetSplit tracks an in-flight split request until its last chunk lands.
+type fleetSplit struct {
+	remaining int
+	size      int     // the parent request's full size
+	end       float64 // latest chunk completion so far
+	service   float64 // summed chunk service time
+	firstDisp float64 // first chunk's dispatch time
+	worker    int     // worker of the last-dispatched chunk
 }
 
 // poolRun is the mutable state of one replay.
@@ -262,6 +274,13 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 		occ[m] = &modelOccupier{run: st, model: m}
 	}
 
+	// A stateful dispatch policy (e.g. WeightedFair's deficit counters)
+	// starts every replay from the same state, so a reused Pool stays
+	// deterministic across Serve calls.
+	if r, ok := p.policy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+
 	met := &Metrics{
 		Latency:   p.cfg.histogram(),
 		Policy:    p.policy.Name(),
@@ -294,14 +313,74 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 		rep.Worker[i] = -1
 	}
 
-	var queue []qentry
+	var queue []qentry  // whole admissions awaiting dispatch, admission order
+	var chunks []qentry // split chunks awaiting dispatch, FIFO
+	splits := make(map[int]*fleetSplit)
 	var eligIdx []int // dispatch-candidate scratch, reused across events
 	queuedByTenant := make([]int, len(p.tenants))
 	queuedByModel := make([]int, len(p.models))
+	workByModel := make([]float64, len(p.models))
 	modelSojourns := make([][]float64, len(p.models))
 	tenantSojourns := make([][]float64, len(p.tenants))
 	var lastEnd float64
 	lastReb := sorted[0].Arrival
+
+	// observeDepth tracks peak shared-buffer occupancy (whole admissions
+	// plus queued split chunks) at the same points the single-model engine
+	// samples it: after an admission enters the queue and after a dispatch
+	// removes an entry — the latter is how a post-split peak (one removal,
+	// several chunk insertions) becomes visible.
+	observeDepth := func() {
+		if d := len(queue) + len(chunks); d > met.MaxQueueDepth {
+			met.MaxQueueDepth = d
+		}
+	}
+
+	// maybeRebalance evaluates the rebalance hook at its virtual-time
+	// pacing. It runs on both arrival and dispatch events — dispatch events
+	// keep it alive while the queue drains after the last arrival and across
+	// arrival-free windows — and records a load snapshot into the history
+	// the hook consumes. Returns whether a new assignment was applied.
+	maybeRebalance := func(now float64) (bool, error) {
+		if p.cfg.Rebalance == nil || p.cfg.RebalanceEvery <= 0 || now < lastReb+p.cfg.RebalanceEvery {
+			return false, nil
+		}
+		lastReb = now
+		load := make([]WorkerLoad, k)
+		for w := 0; w < k; w++ {
+			load[w] = WorkerLoad{Busy: st.busy[w], TuneBusy: st.tune[w], FreeAt: st.free[w]}
+			for i := range queue {
+				if placedOn(st.asg, queue[i].model, w) {
+					load[w].Queued++
+				}
+			}
+			for i := range chunks {
+				if placedOn(st.asg, chunks[i].model, w) {
+					load[w].Queued++
+				}
+			}
+		}
+		qbm := append([]int(nil), queuedByModel...)
+		for i := range chunks {
+			qbm[chunks[i].model]++
+		}
+		met.LoadHistory = append(met.LoadHistory, LoadSnapshot{
+			Time:          now,
+			Workers:       load,
+			QueuedByModel: qbm,
+			WorkByModel:   append([]float64(nil), workByModel...),
+		})
+		na := p.cfg.Rebalance(now, met.LoadHistory, st.asg.clone())
+		if na == nil {
+			return false, nil
+		}
+		if err := na.validate(len(p.models), k); err != nil {
+			return false, fmt.Errorf("fleet: rebalance at t=%g: %w", now, err)
+		}
+		st.asg = na.clone()
+		met.Rebalances++
+		return true, nil
+	}
 
 	shed := func(pos int, out Outcome, model, tenant int) {
 		idx := originalIndex(order, pos)
@@ -333,17 +412,18 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 	}
 
 	next := 0
-	for next < n || len(queue) > 0 {
+	for next < n || len(queue) > 0 || len(chunks) > 0 {
 		tArr := math.Inf(1)
 		if next < n {
 			tArr = sorted[next].Arrival
 		}
 
 		// Earliest possible dispatch: for each worker, the earliest queued
-		// request placed on it (by arrival) bounds the worker's next start.
-		// Ties between workers resolve by the placement strategy; ties with
-		// an arrival dispatch first, so a slot freed at time t is visible to
-		// an arrival at time t — matching the single-model engine.
+		// request or split chunk placed on it (by arrival) bounds the
+		// worker's next start. Ties between workers resolve by the placement
+		// strategy; ties with an arrival dispatch first, so a slot freed at
+		// time t is visible to an arrival at time t — matching the
+		// single-model engine.
 		bestW := -1
 		tDisp := math.Inf(1)
 		for w := 0; w < k; w++ {
@@ -354,6 +434,14 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 				}
 				if queue[i].arrival < minArr {
 					minArr = queue[i].arrival
+				}
+			}
+			for i := range chunks {
+				if !placedOn(st.asg, chunks[i].model, w) {
+					continue
+				}
+				if chunks[i].arrival < minArr {
+					minArr = chunks[i].arrival
 				}
 			}
 			if math.IsInf(minArr, 1) {
@@ -373,25 +461,9 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 			now := r.Arrival
 
 			// Load-aware rebalancing hook, paced by virtual time.
-			if p.cfg.Rebalance != nil && p.cfg.RebalanceEvery > 0 && now >= lastReb+p.cfg.RebalanceEvery {
-				lastReb = now
-				load := make([]WorkerLoad, k)
-				for w := 0; w < k; w++ {
-					load[w] = WorkerLoad{Busy: st.busy[w], TuneBusy: st.tune[w], FreeAt: st.free[w]}
-					for i := range queue {
-						if placedOn(st.asg, queue[i].model, w) {
-							load[w].Queued++
-						}
-					}
-				}
-				if na := p.cfg.Rebalance(now, load, st.asg.clone()); na != nil {
-					if err := na.validate(len(p.models), k); err != nil {
-						abort()
-						return nil, fmt.Errorf("fleet: rebalance at t=%g: %w", now, err)
-					}
-					st.asg = na.clone()
-					met.Rebalances++
-				}
+			if _, err := maybeRebalance(now); err != nil {
+				abort()
+				return nil, err
 			}
 
 			// The model's drift control observes every arrival — before any
@@ -419,7 +491,7 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 			}
 			load := PoolLoad{
 				Now:            now,
-				Queued:         len(queue),
+				Queued:         len(queue) + len(chunks),
 				QueueDepth:     p.cfg.Queue.QueueDepth,
 				QueuedByTenant: append([]int(nil), queuedByTenant...),
 			}
@@ -444,14 +516,107 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 			})
 			queuedByTenant[r.Tenant]++
 			queuedByModel[r.Model]++
-			if len(queue) > met.MaxQueueDepth {
-				met.MaxQueueDepth = len(queue)
-			}
+			observeDepth()
 			if queuedByTenant[r.Tenant] > met.Tenants[r.Tenant].MaxQueued {
 				met.Tenants[r.Tenant].MaxQueued = queuedByTenant[r.Tenant]
 			}
 			if queuedByModel[r.Model] > met.Models[r.Model].MaxQueued {
 				met.Models[r.Model].MaxQueued = queuedByModel[r.Model]
+			}
+			continue
+		}
+
+		// The rebalance pacing is evaluated at dispatch events too —
+		// otherwise the hook would fall silent the moment arrivals stop
+		// (drain phase) or thin out. An applied rebalance invalidates the
+		// candidate computation above, so recompute the event under the new
+		// assignment; lastReb has advanced, so this cannot loop.
+		if changed, err := maybeRebalance(tDisp); err != nil {
+			abort()
+			return nil, err
+		} else if changed {
+			continue
+		}
+
+		// Split chunks placed on this worker dispatch ahead of any policy
+		// pick — a split request was already chosen by the policy once, and
+		// finishing it promptly is the point of splitting (the single-model
+		// engine expresses the same rule by inserting chunks at the queue
+		// front). Chunks dispatch in split order.
+		ci := -1
+		for i := range chunks {
+			if chunks[i].arrival <= tDisp && placedOn(st.asg, chunks[i].model, bestW) {
+				ci = i
+				break
+			}
+		}
+		if ci >= 0 {
+			e := chunks[ci]
+			chunks = append(chunks[:ci], chunks[ci+1:]...)
+			observeDepth()
+
+			var sv float64
+			var err error
+			if lcs[e.model] != nil {
+				sv, err = lcs[e.model].Resolve(e.gen, e.arrival, e.size)
+			} else {
+				sv, err = p.models[e.model].Service(e.arrival, e.size)
+			}
+			if err == nil && sv < 0 {
+				err = fmt.Errorf("fleet: negative service time %g for size %d", sv, e.size)
+			}
+			if err != nil {
+				abort()
+				return nil, fmt.Errorf("fleet: model %s: %w", p.models[e.model].Name, err)
+			}
+
+			end := tDisp + sv
+			st.free[bestW] = end
+			st.busy[bestW] += sv
+			st.served[bestW]++
+			workByModel[e.model] += sv
+			sp := splits[e.id]
+			sp.remaining--
+			sp.service += sv
+			sp.worker = bestW
+			if math.IsNaN(sp.firstDisp) {
+				sp.firstDisp = tDisp
+			}
+			if end > sp.end {
+				sp.end = end
+			}
+			if sp.remaining == 0 {
+				soj := sp.end - e.arrival
+				idx := originalIndex(order, e.id)
+				rep.Sojourn[idx] = soj
+				rep.Outcomes[idx] = OutcomeSplit
+				rep.Dispatch[idx] = sp.firstDisp
+				rep.Worker[idx] = sp.worker
+				rep.Service[idx] = sp.service
+				met.Served++
+				met.SplitServed++
+				met.Latency.Observe(soj)
+				mm, tt := &met.Models[e.model], &met.Tenants[e.tenant]
+				mm.Served++
+				mm.SplitServed++
+				mm.Latency.Observe(soj)
+				tt.Served++
+				tt.SplitServed++
+				tt.Latency.Observe(soj)
+				modelSojourns[e.model] = append(modelSojourns[e.model], soj)
+				tenantSojourns[e.tenant] = append(tenantSojourns[e.tenant], soj)
+				if sp.end > e.deadline {
+					met.Timeouts++
+					mm.Timeouts++
+					tt.Timeouts++
+				}
+				if sp.end > lastEnd {
+					lastEnd = sp.end
+				}
+				if lcs[e.model] != nil {
+					lcs[e.model].Observe(sp.size, e.gen, sp.end, soj)
+				}
+				delete(splits, e.id)
 			}
 			continue
 		}
@@ -482,6 +647,7 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 		queue = append(queue[:qi], queue[qi+1:]...)
 		queuedByTenant[e.tenant]--
 		queuedByModel[e.model]--
+		observeDepth()
 
 		var sv float64
 		var err error
@@ -498,8 +664,30 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 			return nil, fmt.Errorf("fleet: model %s: %w", p.models[e.model].Name, err)
 		}
 
-		if p.cfg.Queue.Policy == trace.DegradeShed && tDisp+sv > e.deadline {
+		switch {
+		case p.cfg.Queue.Policy == trace.DegradeShed && tDisp+sv > e.deadline:
 			shed(e.id, OutcomeShedDeadline, e.model, e.tenant)
+			continue
+		case p.cfg.Queue.Policy == trace.DegradeSplitTail && p.cfg.Queue.IsTail(e.size) && tDisp > e.deadline:
+			// The tail request cannot even start before its deadline.
+			shed(e.id, OutcomeShedDeadline, e.model, e.tenant)
+			continue
+		case p.cfg.Queue.Policy == trace.DegradeSplitTail && p.cfg.Queue.IsTail(e.size) && tDisp+sv > e.deadline:
+			// Split-at-cap fallback, same semantics as the single-model
+			// engine: the tail request re-enters dispatch as capped chunks
+			// that route independently (chunks of one request can run on
+			// several workers at once) and dispatch ahead of policy picks.
+			// Chunks inherit the parent's generation: a split request is
+			// still one admission and finishes on the schedule set it
+			// arrived under.
+			cs := p.cfg.Queue.ChunkSizes(e.size)
+			splits[e.id] = &fleetSplit{remaining: len(cs), size: e.size, firstDisp: math.NaN()}
+			for _, c := range cs {
+				chunks = append(chunks, qentry{
+					id: e.id, arrival: e.arrival, deadline: e.deadline,
+					size: c, model: e.model, tenant: e.tenant, gen: e.gen,
+				})
+			}
 			continue
 		}
 
@@ -507,6 +695,7 @@ func (p *Pool) Serve(reqs []Request) (*Report, error) {
 		st.free[bestW] = end
 		st.busy[bestW] += sv
 		st.served[bestW]++
+		workByModel[e.model] += sv
 		if end > lastEnd {
 			lastEnd = end
 		}
@@ -582,8 +771,9 @@ func placedOn(asg Assignment, m, w int) bool {
 }
 
 // modelReport builds model m's single-model view of a fleet run: its own
-// requests in caller order, with sojourns, outcomes, generation stamps and
-// a trace.Metrics carrying the model's latency histogram and tune time.
+// requests in caller order, with sojourns, outcomes (shed causes carried
+// through one-for-one), generation stamps and a trace.Metrics carrying the
+// model's latency histogram and tune time.
 func (p *Pool) modelReport(m int, reqs []Request, rep *Report, tuneBusy float64) *trace.Report {
 	var sojourns []float64
 	var outcomes []trace.Outcome
@@ -602,21 +792,38 @@ func (p *Pool) modelReport(m int, reqs []Request, rep *Report, tuneBusy float64)
 			firstArr = r.Arrival
 		}
 		switch rep.Outcomes[i] {
-		case OutcomeServed:
-			outcomes = append(outcomes, trace.OutcomeServed)
+		case OutcomeServed, OutcomeSplit:
+			end := rep.Dispatch[i] + rep.Service[i]
+			if rep.Outcomes[i] == OutcomeSplit {
+				outcomes = append(outcomes, trace.OutcomeSplit)
+				tm.SplitServed++
+				// A split's chunks interleave with other work, so its end is
+				// not dispatch+service; the sojourn carries it exactly.
+				end = r.Arrival + rep.Sojourn[i]
+			} else {
+				outcomes = append(outcomes, trace.OutcomeServed)
+			}
 			tm.Served++
 			tm.Latency.Observe(rep.Sojourn[i])
 			served = append(served, rep.Sojourn[i])
 			totalService += rep.Service[i]
-			if end := rep.Dispatch[i] + rep.Service[i]; end > lastEnd {
+			if end > lastEnd {
 				lastEnd = end
 			}
-			if end := rep.Dispatch[i] + rep.Service[i]; end > p.deadlineOf(r) {
+			if end > p.deadlineOf(r) {
 				tm.Timeouts++
 			}
 		case OutcomeShedDeadline:
 			outcomes = append(outcomes, trace.OutcomeShedDeadline)
 			tm.DeadlineSheds++
+		case OutcomeShedQuota:
+			// Shed causes survive the translation one-for-one: a per-model
+			// trace view must not misreport why requests were dropped.
+			outcomes = append(outcomes, trace.OutcomeShedQuota)
+			tm.QuotaSheds++
+		case OutcomeShedLoad:
+			outcomes = append(outcomes, trace.OutcomeShedLoad)
+			tm.LoadSheds++
 		default:
 			outcomes = append(outcomes, trace.OutcomeShedQueue)
 			tm.QueueSheds++

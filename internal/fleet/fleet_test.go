@@ -232,10 +232,10 @@ func TestFleetRebalanceHook(t *testing.T) {
 	p := mustPool(t, fleet.Config{
 		Queue:          trace.QueuePolicy{Workers: 2},
 		RebalanceEvery: 1,
-		Rebalance: func(now float64, load []fleet.WorkerLoad, cur fleet.Assignment) fleet.Assignment {
+		Rebalance: func(now float64, hist []fleet.LoadSnapshot, cur fleet.Assignment) fleet.Assignment {
 			atomic.AddInt32(&calls, 1)
-			if len(load) != 2 {
-				t.Errorf("rebalance saw %d workers, want 2", len(load))
+			if len(hist) == 0 || len(hist[len(hist)-1].Workers) != 2 {
+				t.Errorf("rebalance history %v, want a snapshot of 2 workers", hist)
 			}
 			return fleet.Assignment{{1}} // pin the model to worker 1
 		},
@@ -262,7 +262,7 @@ func TestFleetRebalanceInvalid(t *testing.T) {
 	p := mustPool(t, fleet.Config{
 		Queue:          trace.QueuePolicy{Workers: 2},
 		RebalanceEvery: 1,
-		Rebalance: func(float64, []fleet.WorkerLoad, fleet.Assignment) fleet.Assignment {
+		Rebalance: func(float64, []fleet.LoadSnapshot, fleet.Assignment) fleet.Assignment {
 			return fleet.Assignment{{5}}
 		},
 	}, []fleet.Model{{Name: "m", Service: constSvc(0.1)}}, oneTenant())
@@ -524,7 +524,7 @@ func TestNewPoolErrors(t *testing.T) {
 	}{
 		{"no models", fleet.Config{Queue: okQueue}, nil, oneTenant(), "at least one model"},
 		{"no tenants", fleet.Config{Queue: okQueue}, okModels, nil, "at least one tenant"},
-		{"splitcap", fleet.Config{Queue: trace.QueuePolicy{Workers: 2, SplitCap: 512}}, okModels, oneTenant(), "split-at-cap"},
+		{"dead shed fraction", fleet.Config{Queue: okQueue, ShedFraction: 0.5}, okModels, oneTenant(), "bounded queue"},
 		{"placement", fleet.Config{Queue: okQueue, Placement: fleet.Strategy(9)}, okModels, oneTenant(), "placement"},
 		{"shed fraction", fleet.Config{Queue: okQueue, ShedFraction: 1.5}, okModels, oneTenant(), "ShedFraction"},
 		{"rebalance pacing", fleet.Config{Queue: okQueue, RebalanceEvery: -1}, okModels, oneTenant(), "RebalanceEvery"},
@@ -560,13 +560,16 @@ func TestParseRoundTrips(t *testing.T) {
 		t.Error("ParseStrategy accepted bogus input")
 	}
 	tenants := oneTenant()
-	for _, name := range []string{"priority-edf", "priority", "edf", "fifo"} {
-		if _, err := fleet.ParsePolicy(name, tenants, 0); err != nil {
+	for _, name := range []string{"priority-edf", "priority", "edf", "fifo", "weighted-fair", "wfq", "drr"} {
+		if _, err := fleet.ParsePolicy(name, tenants, 0, nil); err != nil {
 			t.Errorf("ParsePolicy(%q): %v", name, err)
 		}
 	}
-	if _, err := fleet.ParsePolicy("bogus", tenants, 0); err == nil {
+	if _, err := fleet.ParsePolicy("bogus", tenants, 0, nil); err == nil {
 		t.Error("ParsePolicy accepted bogus input")
+	}
+	if _, err := fleet.ParsePolicy("weighted-fair", tenants, 0, map[int]float64{7: 2}); err == nil {
+		t.Error("ParsePolicy accepted a weight for a priority no tenant has")
 	}
 }
 

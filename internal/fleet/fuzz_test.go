@@ -2,6 +2,7 @@ package fleet_test
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/fleet"
@@ -181,6 +182,123 @@ func FuzzFleetAdmissionOrdering(f *testing.F) {
 				}
 			case fleet.OutcomeShedDeadline:
 				t.Fatalf("deadline shed under DegradeServe at request %d", i)
+			}
+		}
+	})
+}
+
+// wfFuzzTenants is the two-class mix the weighted-fair fuzzer exercises.
+var wfFuzzTenants = []fleet.TenantSpec{
+	{Name: "batch", Priority: 0},
+	{Name: "interactive", Priority: 1},
+}
+
+const (
+	wfFuzzQuantum = 128
+	wfFuzzMaxSize = 16 + 255
+)
+
+// decodeWFStream turns raw fuzz bytes into an arrival-ordered two-class
+// stream: 3 bytes per request (inter-arrival, size, tenant), capped at 96
+// requests.
+func decodeWFStream(data []byte) []fleet.Request {
+	var reqs []fleet.Request
+	now := 0.0
+	for i := 0; i+3 <= len(data) && len(reqs) < 96; i += 3 {
+		now += float64(data[i]) * 2e-4
+		reqs = append(reqs, fleet.Request{
+			Arrival: now,
+			Size:    16 + int(data[i+1]),
+			Tenant:  int(data[i+2]) % len(wfFuzzTenants),
+		})
+	}
+	return reqs
+}
+
+// FuzzWeightedFairDispatch checks the DRR dispatcher's core guarantees on
+// arbitrary two-class streams:
+//
+//   - the replay is deterministic, including policy reuse across runs on one
+//     pool (deficit counters and the round cursor must reset per replay);
+//   - no admitted request is lost (DegradeServe, unbounded queue: everything
+//     is served);
+//   - weighted share: over any prefix of dispatches during which both classes
+//     stay backlogged, each class's dispatched work is at least its weight
+//     share of the total minus a constant DRR slack.
+func FuzzWeightedFairDispatch(f *testing.F) {
+	f.Add([]byte{0, 128, 0, 0, 128, 1, 0, 128, 0, 0, 128, 1})
+	f.Add([]byte{1, 255, 1, 0, 16, 0, 0, 16, 0, 0, 16, 0, 2, 64, 1, 0, 64, 1})
+	f.Add([]byte{9, 32, 0, 9, 200, 1, 0, 40, 0, 0, 40, 1, 0, 40, 0, 0, 40, 1, 0, 40, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs := decodeWFStream(data)
+		if len(reqs) == 0 {
+			t.Skip()
+		}
+		wf, err := fleet.NewWeightedFair(wfFuzzTenants, fleet.WeightedFairConfig{
+			Weights: map[int]float64{1: 3, 0: 1},
+			Quantum: wfFuzzQuantum,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := fleet.NewPool(fleet.Config{
+			Queue:     trace.QueuePolicy{Workers: 1, Policy: trace.DegradeServe},
+			Admission: wf,
+		}, []fleet.Model{{Name: "m", Service: sizeSvc(1e-4)}}, wfFuzzTenants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := p.Serve(reqs) // same pool: exercises the per-replay policy reset
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if rep.Outcomes[i] != fleet.OutcomeServed {
+				t.Fatalf("request %d not served under DegradeServe with an unbounded queue: %v", i, rep.Outcomes[i])
+			}
+			if rep2.Outcomes[i] != rep.Outcomes[i] || !eqNaN(rep.Dispatch[i], rep2.Dispatch[i]) ||
+				rep.Worker[i] != rep2.Worker[i] {
+				t.Fatalf("pool reuse is nondeterministic at request %d", i)
+			}
+		}
+
+		// Weighted-share invariant over the both-classes-backlogged prefix of
+		// the dispatch order. "Backlogged at x" means some request of the
+		// class arrived strictly before x and dispatches strictly after x.
+		order := make([]int, len(reqs))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return rep.Dispatch[order[a]] < rep.Dispatch[order[b]] })
+		backlogged := func(class int, x float64) bool {
+			for j := range reqs {
+				if reqs[j].Tenant == class && reqs[j].Arrival < x && rep.Dispatch[j] > x {
+					return true
+				}
+			}
+			return false
+		}
+		work := [2]float64{}
+		total := 0.0
+		for _, i := range order {
+			x := rep.Dispatch[i]
+			if !backlogged(0, x) || !backlogged(1, x) {
+				break
+			}
+			work[reqs[i].Tenant] += float64(reqs[i].Size)
+			total += float64(reqs[i].Size)
+		}
+		slack := 4.0 * float64(wfFuzzQuantum*3+wfFuzzMaxSize)
+		for class := range work {
+			share := wf.WeightShare(wfFuzzTenants[class].Priority)
+			if work[class] < share*total-slack {
+				t.Fatalf("class %d starved: dispatched %g of %g backlogged work, want >= %g (share %g minus DRR slack %g)",
+					class, work[class], total, share*total-slack, share, slack)
 			}
 		}
 	})

@@ -11,8 +11,12 @@ import (
 type GroupMetrics struct {
 	// Name labels the group (model or tenant name).
 	Name string
-	// Served counts requests that completed service (including late ones).
+	// Served counts requests that completed service (including late and
+	// split ones).
 	Served int
+	// SplitServed counts long-tail requests served through the split-at-cap
+	// degradation fallback (a subset of Served).
+	SplitServed int
 	// Timeouts counts served requests that completed after their deadline.
 	Timeouts int
 	// ShedQueue, ShedQuota, ShedLoad and ShedDeadline count drops by cause.
@@ -33,8 +37,12 @@ func (g *GroupMetrics) Shed() int {
 
 // String summarizes the group's counters in one line.
 func (g *GroupMetrics) String() string {
-	return fmt.Sprintf("%s: served=%d timeouts=%d shed=%d (queue=%d quota=%d load=%d deadline=%d) max-queued=%d",
-		g.Name, g.Served, g.Timeouts, g.Shed(), g.ShedQueue, g.ShedQuota, g.ShedLoad, g.ShedDeadline, g.MaxQueued)
+	split := ""
+	if g.SplitServed > 0 {
+		split = fmt.Sprintf(" split=%d", g.SplitServed)
+	}
+	return fmt.Sprintf("%s: served=%d%s timeouts=%d shed=%d (queue=%d quota=%d load=%d deadline=%d) max-queued=%d",
+		g.Name, g.Served, split, g.Timeouts, g.Shed(), g.ShedQueue, g.ShedQuota, g.ShedLoad, g.ShedDeadline, g.MaxQueued)
 }
 
 // Metrics is the observability snapshot of one fleet run: pool-wide
@@ -44,6 +52,9 @@ type Metrics struct {
 	// Served, Timeouts and the Shed* counters aggregate across the pool.
 	Served, Timeouts                             int
 	ShedQueue, ShedQuota, ShedLoad, ShedDeadline int
+	// SplitServed counts long-tail requests served through the split-at-cap
+	// fallback (a subset of Served).
+	SplitServed int
 	// MaxQueueDepth is the peak shared-queue occupancy.
 	MaxQueueDepth int
 	// Makespan is the span from first arrival to last completion in seconds
@@ -58,6 +69,11 @@ type Metrics struct {
 	Models, Tenants []GroupMetrics
 	// Rebalances counts applied placement changes from the rebalance hook.
 	Rebalances int
+	// LoadHistory is every load snapshot recorded at the rebalance pacing
+	// (empty when no Rebalance hook is configured). The last entry is the
+	// most recent; RebalanceByLoad consumes this same history during the
+	// run. Callers must treat it as read-only.
+	LoadHistory []LoadSnapshot
 	// Policy names the admission policy that shaped the run.
 	Policy string
 	// Placement names the placement strategy.
@@ -71,8 +87,12 @@ func (m *Metrics) Shed() int {
 
 // String summarizes the pool-wide counters in one line.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("served=%d timeouts=%d shed=%d (queue=%d quota=%d load=%d deadline=%d) max-queue=%d models=%d tenants=%d",
-		m.Served, m.Timeouts, m.Shed(), m.ShedQueue, m.ShedQuota, m.ShedLoad, m.ShedDeadline,
+	split := ""
+	if m.SplitServed > 0 {
+		split = fmt.Sprintf(" split=%d", m.SplitServed)
+	}
+	return fmt.Sprintf("served=%d%s timeouts=%d shed=%d (queue=%d quota=%d load=%d deadline=%d) max-queue=%d models=%d tenants=%d",
+		m.Served, split, m.Timeouts, m.Shed(), m.ShedQueue, m.ShedQuota, m.ShedLoad, m.ShedDeadline,
 		m.MaxQueueDepth, len(m.Models), len(m.Tenants))
 }
 
@@ -82,21 +102,24 @@ func (m *Metrics) String() string {
 // history, generation count and rollbacks, exactly as a single-model
 // Supervisor.Run would report them).
 type Report struct {
-	// Sojourn[i] is request i's end-to-end latency; NaN for shed requests.
+	// Sojourn[i] is request i's end-to-end latency (for a split request,
+	// last chunk completion minus arrival); NaN for shed requests.
 	Sojourn []float64
 	// Outcomes[i] resolves request i.
 	Outcomes []Outcome
 	// Generations[i] is the model-local schedule-set generation request i
 	// was admitted on.
 	Generations []int
-	// Dispatch[i] is the virtual time request i started service; NaN for
-	// shed requests.
+	// Dispatch[i] is the virtual time request i started service (for a split
+	// request, its first chunk's start); NaN for shed requests.
 	Dispatch []float64
-	// Worker[i] is the simulated GPU that served request i; -1 for shed
+	// Worker[i] is the simulated GPU that served request i (for a split
+	// request, the worker of its last-dispatched chunk); -1 for shed
 	// requests.
 	Worker []int
-	// Service[i] is request i's resolved service time; NaN for shed
-	// requests. Interference replays are built from these.
+	// Service[i] is request i's resolved service time (for a split request,
+	// the summed chunk service). NaN for shed requests. Interference replays
+	// are built from these, over whole-served requests only.
 	Service []float64
 	// Metrics is the pool-wide observability snapshot.
 	Metrics *Metrics

@@ -94,11 +94,15 @@ func assign(s Strategy, models, workers int) (Assignment, error) {
 	out := make(Assignment, models)
 	switch s {
 	case PlacementPacked, PlacementSpread:
-		all := make([]int, workers)
-		for w := range all {
-			all[w] = w
-		}
+		// Each model gets its own copy of the full worker list: the rows must
+		// not share a backing array, or editing one model's placement (e.g. in
+		// a rebalance hook handed the assignment) would silently edit all of
+		// them.
 		for m := range out {
+			all := make([]int, workers)
+			for w := range all {
+				all[w] = w
+			}
 			out[m] = all
 		}
 	case PlacementDedicated:
@@ -138,14 +142,38 @@ type WorkerLoad struct {
 	Queued int
 }
 
-// RebalanceFunc is the load-aware placement hook: invoked during replay
-// (paced by Config.RebalanceEvery) with the current virtual time, per-worker
-// load and the current assignment. Returning a new Assignment moves future
-// dispatch — queued and in-flight work is not migrated; returning nil keeps
-// the current one. The hook must be deterministic for replays to be
-// reproducible, and must not retain or mutate cur (edit a clone instead:
-// the pool hands over a private copy on apply).
-type RebalanceFunc func(now float64, load []WorkerLoad, cur Assignment) Assignment
+// LoadSnapshot is one recorded observation of the pool's load, taken each
+// time the rebalance pacing fires: the virtual time, the per-worker load,
+// and the per-model queue backlog and cumulative served work. The pool keeps
+// every snapshot of a run (Metrics.LoadHistory), so a rebalance hook can
+// react to trends — sustained backlog, demand shifts — rather than a single
+// instantaneous reading.
+type LoadSnapshot struct {
+	// Time is the virtual time the snapshot was taken.
+	Time float64
+	// Workers is the per-worker load at Time.
+	Workers []WorkerLoad
+	// QueuedByModel counts queued (admitted, undispatched) requests per
+	// model, including split chunks still awaiting dispatch.
+	QueuedByModel []int
+	// WorkByModel is each model's cumulative served service time in virtual
+	// seconds up to Time; the delta between two snapshots is the work the
+	// model received in between.
+	WorkByModel []float64
+}
+
+// RebalanceFunc is the load-aware placement hook: invoked during replay —
+// paced by Config.RebalanceEvery, on both arrival and dispatch events, so it
+// keeps firing while the queue drains after the last arrival and across
+// arrival-free windows — with the current virtual time, the recorded load
+// history (hist is every snapshot so far, oldest first; the last entry is
+// the current one) and the current assignment. Returning a new Assignment
+// moves future dispatch — queued and in-flight work is not migrated;
+// returning nil keeps the current one. The hook must be deterministic for
+// replays to be reproducible, must not retain or mutate hist (the pool owns
+// it), and must not retain or mutate cur (edit a clone instead: the pool
+// hands over a private copy on apply).
+type RebalanceFunc func(now float64, hist []LoadSnapshot, cur Assignment) Assignment
 
 // sortRequests orders a fleet stream by arrival time, stable.
 func sortRequests(reqs []Request) {

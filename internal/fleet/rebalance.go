@@ -1,0 +1,156 @@
+package fleet
+
+// RebalanceByLoadConfig shapes the built-in history-driven rebalancer.
+type RebalanceByLoadConfig struct {
+	// Window is how many of the most recent load snapshots the demand
+	// estimate averages over; 0 means the whole recorded history.
+	Window int
+}
+
+// NewRebalanceByLoad returns the built-in history-driven RebalanceFunc. At
+// each pacing interval it estimates every model's demand over the recent
+// LoadSnapshot window — the served work the model received plus its mean
+// queue backlog, each normalized so a starved model (all backlog, no work)
+// still registers — and re-partitions the pool into contiguous per-model
+// worker blocks proportional to demand, at least one worker per model. The
+// partition trades the shared pool's statistical multiplexing for isolation
+// that tracks load: a model whose backlog grows takes workers from models
+// that stopped using theirs, without any instantaneous-snapshot flapping.
+//
+// The hook returns nil (keep the current assignment) when the pool has fewer
+// workers than models, when no demand signal exists yet, or when the
+// proportional partition equals the current assignment. It is deterministic:
+// the same history always yields the same partition.
+func NewRebalanceByLoad(cfg RebalanceByLoadConfig) RebalanceFunc {
+	return func(now float64, hist []LoadSnapshot, cur Assignment) Assignment {
+		if len(hist) == 0 {
+			return nil
+		}
+		win := hist
+		if cfg.Window > 0 && len(win) > cfg.Window {
+			win = win[len(win)-cfg.Window:]
+		}
+		models := len(cur)
+		first, last := win[0], win[len(win)-1]
+		if len(last.QueuedByModel) != models || len(last.WorkByModel) != models {
+			return nil
+		}
+		workers := len(last.Workers)
+		if workers < models {
+			return nil
+		}
+
+		// Demand per model: work received over the window plus mean backlog,
+		// each converted to a share of its own total so the two signals weigh
+		// equally and a backlogged-but-starved model is still visible.
+		workDelta := make([]float64, models)
+		backlog := make([]float64, models)
+		var workTot, backTot float64
+		for m := 0; m < models; m++ {
+			workDelta[m] = last.WorkByModel[m] - first.WorkByModel[m]
+			if workDelta[m] < 0 {
+				workDelta[m] = 0
+			}
+			for _, s := range win {
+				backlog[m] += float64(s.QueuedByModel[m])
+			}
+			backlog[m] /= float64(len(win))
+			workTot += workDelta[m]
+			backTot += backlog[m]
+		}
+		share := make([]float64, models)
+		var total float64
+		for m := 0; m < models; m++ {
+			if workTot > 0 {
+				share[m] += workDelta[m] / workTot
+			}
+			if backTot > 0 {
+				share[m] += backlog[m] / backTot
+			}
+			total += share[m]
+		}
+		if total == 0 {
+			return nil
+		}
+
+		counts := apportionWorkers(share, total, workers)
+		na := make(Assignment, models)
+		next := 0
+		for m := 0; m < models; m++ {
+			row := make([]int, counts[m])
+			for i := range row {
+				row[i] = next
+				next++
+			}
+			na[m] = row
+		}
+		if equalAssignment(na, cur) {
+			return nil
+		}
+		return na
+	}
+}
+
+// apportionWorkers splits k workers across demand shares by the largest-
+// remainder method with a one-worker floor per model (k >= len(share) is the
+// caller's precondition). Ties go to the lower model index, so the split is
+// deterministic.
+func apportionWorkers(share []float64, total float64, k int) []int {
+	n := len(share)
+	counts := make([]int, n)
+	rem := make([]float64, n)
+	used := 0
+	for m := range share {
+		exact := share[m] / total * float64(k)
+		counts[m] = int(exact)
+		rem[m] = exact - float64(counts[m])
+		if counts[m] < 1 {
+			counts[m] = 1
+			rem[m] = 0
+		}
+		used += counts[m]
+	}
+	for used < k {
+		best := -1
+		for m := range rem {
+			if best == -1 || rem[m] > rem[best] {
+				best = m
+			}
+		}
+		counts[best]++
+		rem[best] = 0
+		used++
+	}
+	for used > k {
+		// One-worker floors overshot the pool; take back from the largest
+		// block (lowest index on ties).
+		big := 0
+		for m := range counts {
+			if counts[m] > counts[big] {
+				big = m
+			}
+		}
+		counts[big]--
+		used--
+	}
+	return counts
+}
+
+// equalAssignment reports whether two assignments place every model on the
+// same workers in the same order.
+func equalAssignment(a, b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m := range a {
+		if len(a[m]) != len(b[m]) {
+			return false
+		}
+		for i := range a[m] {
+			if a[m][i] != b[m][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

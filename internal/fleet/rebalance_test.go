@@ -1,0 +1,241 @@
+package fleet_test
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// snap builds a LoadSnapshot for the RebalanceByLoad unit tests.
+func snap(t float64, workers int, queued []int, work []float64) fleet.LoadSnapshot {
+	return fleet.LoadSnapshot{
+		Time:          t,
+		Workers:       make([]fleet.WorkerLoad, workers),
+		QueuedByModel: queued,
+		WorkByModel:   work,
+	}
+}
+
+// RebalanceByLoad partitions workers proportionally to windowed demand —
+// served work plus mean backlog — and stays quiet when nothing changes.
+func TestRebalanceByLoadPartition(t *testing.T) {
+	reb := fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{})
+	packed := fleet.Assignment{{0, 1, 2, 3}, {0, 1, 2, 3}}
+
+	// Work-dominated demand 3:1 over the window -> 3 workers vs 1.
+	hist := []fleet.LoadSnapshot{
+		snap(0, 4, []int{0, 0}, []float64{0, 0}),
+		snap(1, 4, []int{0, 0}, []float64{3, 1}),
+	}
+	if got := reb(1, hist, packed); !reflect.DeepEqual(got, fleet.Assignment{{0, 1, 2}, {3}}) {
+		t.Errorf("work-proportional partition = %v, want [[0 1 2] [3]]", got)
+	}
+
+	// A starved model (all backlog, no served work) still registers: model 1
+	// received nothing but its queue is full, so the two demand signals weigh
+	// equally and the split is even.
+	hist = []fleet.LoadSnapshot{
+		snap(0, 4, []int{0, 5}, []float64{0, 0}),
+		snap(1, 4, []int{0, 5}, []float64{1, 0}),
+	}
+	if got := reb(1, hist, packed); !reflect.DeepEqual(got, fleet.Assignment{{0, 1}, {2, 3}}) {
+		t.Errorf("starved-model partition = %v, want [[0 1] [2 3]]", got)
+	}
+
+	// Quiet cases: no history, fewer workers than models, no demand at all,
+	// and a partition identical to the current assignment.
+	if got := reb(0, nil, packed); got != nil {
+		t.Errorf("empty history: got %v, want nil", got)
+	}
+	small := []fleet.LoadSnapshot{snap(0, 1, []int{1, 1}, []float64{1, 1})}
+	if got := reb(0, small, fleet.Assignment{{0}, {0}}); got != nil {
+		t.Errorf("workers < models: got %v, want nil", got)
+	}
+	idle := []fleet.LoadSnapshot{snap(0, 4, []int{0, 0}, []float64{0, 0})}
+	if got := reb(0, idle, packed); got != nil {
+		t.Errorf("zero demand: got %v, want nil", got)
+	}
+	cur := fleet.Assignment{{0, 1, 2}, {3}}
+	hist = []fleet.LoadSnapshot{
+		snap(0, 4, []int{0, 0}, []float64{0, 0}),
+		snap(1, 4, []int{0, 0}, []float64{3, 1}),
+	}
+	if got := reb(1, hist, cur); got != nil {
+		t.Errorf("unchanged partition: got %v, want nil", got)
+	}
+
+	// Window restricts the demand estimate to the most recent snapshots: with
+	// Window 1 the work delta collapses to zero and only the latest backlog
+	// counts.
+	windowed := fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{Window: 1})
+	hist = []fleet.LoadSnapshot{
+		snap(0, 4, []int{9, 0}, []float64{0, 0}),
+		snap(1, 4, []int{0, 3}, []float64{100, 0}),
+	}
+	if got := windowed(1, hist, packed); !reflect.DeepEqual(got, fleet.Assignment{{0}, {1, 2, 3}}) {
+		t.Errorf("windowed partition = %v, want [[0] [1 2 3]] (only the last backlog counts)", got)
+	}
+}
+
+// Regression for the rebalance pacing bug: the hook used to be evaluated only
+// on the arrival branch of the event loop, so it fell silent the moment
+// arrivals stopped — a queue draining after the last arrival could never be
+// rebalanced. The pacing now also fires on dispatch events, and an applied
+// drain-phase assignment steers the remaining dispatches.
+func TestFleetRebalanceDuringDrain(t *testing.T) {
+	var times []float64
+	p := mustPool(t, fleet.Config{
+		Queue:          trace.QueuePolicy{Workers: 2},
+		RebalanceEvery: 1,
+		Rebalance: func(now float64, hist []fleet.LoadSnapshot, cur fleet.Assignment) fleet.Assignment {
+			times = append(times, now)
+			if len(cur[0]) == 1 && cur[0][0] == 1 {
+				return nil // already pinned
+			}
+			return fleet.Assignment{{1}}
+		},
+	}, []fleet.Model{{Name: "m", Service: constSvc(1.0)}}, oneTenant())
+
+	// All six arrivals land within 0.25s; with 1s service times the queue
+	// drains for ~4 more virtual seconds after the last arrival.
+	var reqs []fleet.Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, fleet.Request{Arrival: float64(i) * 0.05, Size: 16})
+	}
+	rep := mustServe(t, p, reqs)
+
+	if len(times) == 0 {
+		t.Fatal("rebalance hook never ran")
+	}
+	lastArrival := reqs[len(reqs)-1].Arrival
+	drainCalls := 0
+	for _, ts := range times {
+		if ts > lastArrival {
+			drainCalls++
+		}
+	}
+	if drainCalls < 3 {
+		t.Errorf("hook ran %d times during the drain phase (call times %v), want >= 3: pacing must keep firing on dispatch events after the last arrival", drainCalls, times)
+	}
+	// The drain-phase assignment steers dispatch: everything after the pin
+	// lands on worker 1.
+	if want := []int{0, 1, 1, 1, 1, 1}; !reflect.DeepEqual(rep.Worker, want) {
+		t.Errorf("workers %v, want %v (post-rebalance dispatches pinned to worker 1)", rep.Worker, want)
+	}
+	if rep.Metrics.Rebalances != 1 {
+		t.Errorf("Rebalances = %d, want 1 (hook returns nil once pinned)", rep.Metrics.Rebalances)
+	}
+	if len(rep.Metrics.LoadHistory) != len(times) {
+		t.Errorf("LoadHistory has %d snapshots, hook saw %d calls; every pacing tick must record one", len(rep.Metrics.LoadHistory), len(times))
+	}
+}
+
+// The built-in rebalancer moves workers toward the loaded model end to end,
+// and the whole run stays deterministic.
+func TestFleetRebalanceByLoadEndToEnd(t *testing.T) {
+	run := func() *fleet.Report {
+		p := mustPool(t, fleet.Config{
+			Queue:          trace.QueuePolicy{Workers: 4},
+			RebalanceEvery: 0.5,
+			Rebalance:      fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{}),
+		}, []fleet.Model{
+			{Name: "hot", Service: constSvc(0.4)},
+			{Name: "cold", Service: constSvc(0.4)},
+		}, oneTenant())
+		var reqs []fleet.Request
+		for i := 0; i < 40; i++ {
+			reqs = append(reqs, fleet.Request{Arrival: float64(i) * 0.1, Size: 64, Model: 0})
+		}
+		for i := 0; i < 4; i++ {
+			reqs = append(reqs, fleet.Request{Arrival: float64(i) * 1.0, Size: 64, Model: 1})
+		}
+		return mustServe(t, p, fleet.Merge(fleetToStream(reqs)...))
+	}
+	rep := run()
+	if rep.Metrics.Rebalances == 0 {
+		t.Fatal("built-in rebalancer never applied a partition under 10:1 demand skew")
+	}
+	if len(rep.Metrics.LoadHistory) == 0 {
+		t.Fatal("no load history recorded despite an armed rebalance hook")
+	}
+	eqFleetReports(t, rep, run())
+}
+
+// fleetToStream regroups requests by (model, tenant) for Merge.
+func fleetToStream(reqs []fleet.Request) []fleet.Stream {
+	var streams []fleet.Stream
+	byKey := map[[2]int]int{}
+	for _, r := range reqs {
+		k := [2]int{r.Model, r.Tenant}
+		i, ok := byKey[k]
+		if !ok {
+			i = len(streams)
+			byKey[k] = i
+			streams = append(streams, fleet.Stream{Model: r.Model, Tenant: r.Tenant})
+		}
+		streams[i].Reqs = append(streams[i].Reqs, trace.Request{Arrival: r.Arrival, Size: r.Size, Deadline: r.Deadline})
+	}
+	return streams
+}
+
+// Supervised models hot-swap while the built-in rebalancer re-partitions the
+// pool and readers hammer both LiveSets: the rebalancer path must be safe
+// under -race, and the replay must stay exact.
+func TestFleetRebalanceUnderLoad(t *testing.T) {
+	models := []fleet.Model{
+		driftyModel(t, "a", 2e-3, 0.2),
+		driftyModel(t, "b", 1e-3, 0.5),
+	}
+	tenants := []fleet.TenantSpec{
+		{Name: "lo", Priority: 0},
+		{Name: "hi", Priority: 1},
+	}
+	p := mustPool(t, fleet.Config{
+		Queue:          trace.QueuePolicy{Workers: 3, QueueDepth: 256},
+		Placement:      fleet.PlacementSpread,
+		RebalanceEvery: 0.2,
+		Rebalance:      fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{Window: 8}),
+	}, models, tenants)
+	reqs := fleetStream(t, 1200, 42)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for m := range models {
+		sv := models[m].Supervisor
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if g := sv.Live().Current(); g == nil || g.Service == nil {
+						t.Error("torn LiveSet read during rebalanced serving")
+						return
+					}
+				}
+			}()
+		}
+	}
+	rep, err := p.Serve(reqs)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if rep.Outcomes[i] == fleet.OutcomeServed && math.IsNaN(rep.Sojourn[i]) {
+			t.Fatalf("request %d served but lost its sojourn", i)
+		}
+	}
+	if rep.Metrics.Served+rep.Metrics.Shed() != len(reqs) {
+		t.Errorf("served %d + shed %d != %d requests", rep.Metrics.Served, rep.Metrics.Shed(), len(reqs))
+	}
+}

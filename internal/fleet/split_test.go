@@ -1,0 +1,182 @@
+package fleet_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// Split-at-cap inside the shared pool: a long-tail request that would miss
+// its deadline as one kernel degrades into SplitCap-sized chunks that
+// dispatch as independent units of work, exactly like trace.DegradeSplitTail.
+// Requests at or below the cap are served even when late; a tail request that
+// cannot even start before its deadline is shed.
+func TestFleetSplitAtCap(t *testing.T) {
+	p := mustPool(t, fleet.Config{
+		Queue: trace.QueuePolicy{
+			Workers:  1,
+			Deadline: 1.0,
+			Policy:   trace.DegradeSplitTail,
+			SplitCap: 512,
+		},
+	}, []fleet.Model{{Name: "m", Service: sizeSvc(1e-3)}}, oneTenant())
+	reqs := []fleet.Request{
+		// Tail request: 1280 > 512 and 1.28s of service blows the 1s
+		// deadline, so it splits into chunks of 512, 512 and 256.
+		{Arrival: 0, Size: 1280},
+		// A small request queued behind the chunks; served late.
+		{Arrival: 0.1, Size: 100},
+		// A tail request whose deadline (0.7 absolute) passes before the
+		// worker frees up at 1.28: it cannot start in time and is shed.
+		{Arrival: 0.2, Size: 1280, Deadline: 0.5},
+	}
+	rep := mustServe(t, p, reqs)
+
+	want := []fleet.Outcome{fleet.OutcomeSplit, fleet.OutcomeServed, fleet.OutcomeShedDeadline}
+	for i, w := range want {
+		if rep.Outcomes[i] != w {
+			t.Errorf("Outcomes[%d] = %v, want %v", i, rep.Outcomes[i], w)
+		}
+	}
+	// The split request's timings span its chunks: first chunk starts at 0,
+	// the last ends at 1.28, and the summed chunk service equals the whole.
+	if rep.Dispatch[0] != 0 || rep.Worker[0] != 0 {
+		t.Errorf("split request dispatch=%g worker=%d, want first chunk at t=0 on worker 0", rep.Dispatch[0], rep.Worker[0])
+	}
+	if math.Abs(rep.Sojourn[0]-1.28) > 1e-9 || math.Abs(rep.Service[0]-1.28) > 1e-9 {
+		t.Errorf("split request sojourn=%g service=%g, want 1.28 (three chunks back to back)", rep.Sojourn[0], rep.Service[0])
+	}
+	// The small request waits for all three chunks.
+	if math.Abs(rep.Dispatch[1]-1.28) > 1e-9 {
+		t.Errorf("trailing request dispatched at %g, want 1.28 (after the chunk train)", rep.Dispatch[1])
+	}
+
+	m := rep.Metrics
+	if m.Served != 2 || m.SplitServed != 1 || m.ShedDeadline != 1 {
+		t.Errorf("served=%d split=%d shed-deadline=%d, want 2/1/1", m.Served, m.SplitServed, m.ShedDeadline)
+	}
+	// Both served requests completed after their deadlines (1.28 > 1.0 and
+	// 1.38 > 1.1): late, not shed.
+	if m.Timeouts != 2 {
+		t.Errorf("timeouts = %d, want 2 (split-at-cap serves late instead of shedding)", m.Timeouts)
+	}
+	// Chunks count toward queue occupancy: peak is request 1 + request 2
+	// whole plus the two not-yet-dispatched chunks.
+	if m.MaxQueueDepth != 4 {
+		t.Errorf("max queue depth = %d, want 4 (two whole requests + two pending chunks)", m.MaxQueueDepth)
+	}
+	if m.Models[0].SplitServed != 1 || m.Tenants[0].SplitServed != 1 {
+		t.Errorf("group split counts model=%d tenant=%d, want 1/1", m.Models[0].SplitServed, m.Tenants[0].SplitServed)
+	}
+	if s := m.String(); !strings.Contains(s, "split=1") {
+		t.Errorf("pool metrics line %q does not surface the split count", s)
+	}
+	// The per-model view uses the trace vocabulary for the same run.
+	tm := rep.ModelReports[0]
+	if tm.Outcomes[0] != trace.OutcomeSplit || tm.Metrics.SplitServed != 1 {
+		t.Errorf("model report outcome[0]=%v split=%d, want OutcomeSplit/1", tm.Outcomes[0], tm.Metrics.SplitServed)
+	}
+	if math.Abs(tm.Sojourn[0]-1.28) > 1e-9 {
+		t.Errorf("model report sojourn[0] = %g, want 1.28", tm.Sojourn[0])
+	}
+}
+
+// Determinism: split-at-cap replays are byte-identical across runs on a
+// fresh pool, including chunk bookkeeping.
+func TestFleetSplitDeterminism(t *testing.T) {
+	run := func() *fleet.Report {
+		p := mustPool(t, fleet.Config{
+			Queue: trace.QueuePolicy{
+				Workers:  2,
+				Deadline: 0.05,
+				Policy:   trace.DegradeSplitTail,
+				SplitCap: 256,
+			},
+		}, []fleet.Model{
+			{Name: "a", Service: sizeSvc(1e-4)},
+			{Name: "b", Service: sizeSvc(2e-4)},
+		}, oneTenant())
+		var reqs []fleet.Request
+		for i := 0; i < 60; i++ {
+			size := 64 + (i%5)*16
+			if i%7 == 0 {
+				size = 1024 // tail
+			}
+			reqs = append(reqs, fleet.Request{Arrival: float64(i) * 0.003, Size: size, Model: i % 2})
+		}
+		return mustServe(t, p, reqs)
+	}
+	a, b := run(), run()
+	if a.Metrics.SplitServed == 0 {
+		t.Fatal("stream never exercised the split-at-cap path")
+	}
+	eqFleetReports(t, a, b)
+}
+
+// Regression for the shed-cause collapse in the per-model report: every shed,
+// whatever its cause, used to be folded into OutcomeShedQueue, so the model
+// view lost the quota/load/deadline split the pool metrics kept. All four
+// causes must survive the translation.
+func TestFleetModelReportShedCauses(t *testing.T) {
+	tenants := []fleet.TenantSpec{
+		{Name: "lo", Priority: 0},
+		{Name: "hi", Priority: 1},
+		{Name: "capped", Priority: 1, Quota: 1},
+	}
+	p := mustPool(t, fleet.Config{
+		Queue:        trace.QueuePolicy{Workers: 1, QueueDepth: 4, Policy: trace.DegradeShed},
+		ShedFraction: 0.5,
+	}, []fleet.Model{{Name: "m", Service: constSvc(1.0)}}, tenants)
+	reqs := []fleet.Request{
+		{Arrival: 0, Size: 16, Tenant: 2},    // dispatches immediately
+		{Arrival: 0.05, Size: 16, Tenant: 2}, // queued, fills capped's quota
+		{Arrival: 0.10, Size: 16, Tenant: 2}, // over quota
+		{Arrival: 0.15, Size: 16, Tenant: 0}, // queued (occupancy 2)
+		{Arrival: 0.20, Size: 16, Tenant: 0}, // low priority at >= 0.5*4 queued: load shed
+		{Arrival: 0.25, Size: 16, Tenant: 1}, // queued (3)
+		{Arrival: 0.30, Size: 16, Tenant: 1}, // queued (4)
+		{Arrival: 0.35, Size: 16, Tenant: 1}, // hard queue bound
+		// Arrives after one dispatch freed a slot; its 0.05s deadline is
+		// blown by the time it reaches the worker, so DegradeShed drops it
+		// at dispatch.
+		{Arrival: 1.05, Size: 16, Tenant: 1, Deadline: 0.05},
+	}
+	rep := mustServe(t, p, reqs)
+
+	wantOutcomes := map[int]fleet.Outcome{
+		2: fleet.OutcomeShedQuota,
+		4: fleet.OutcomeShedLoad,
+		7: fleet.OutcomeShedQueue,
+		8: fleet.OutcomeShedDeadline,
+	}
+	for i, w := range wantOutcomes {
+		if rep.Outcomes[i] != w {
+			t.Errorf("pool outcome[%d] = %v, want %v", i, rep.Outcomes[i], w)
+		}
+	}
+	// The per-model trace report must keep the same cause split, not fold
+	// everything into queue sheds.
+	tm := rep.ModelReports[0]
+	wantTrace := map[int]trace.Outcome{
+		2: trace.OutcomeShedQuota,
+		4: trace.OutcomeShedLoad,
+		7: trace.OutcomeShedQueue,
+		8: trace.OutcomeShedDeadline,
+	}
+	for i, w := range wantTrace {
+		if tm.Outcomes[i] != w {
+			t.Errorf("model report outcome[%d] = %v, want %v", i, tm.Outcomes[i], w)
+		}
+	}
+	mm := tm.Metrics
+	if mm.QuotaSheds != 1 || mm.LoadSheds != 1 || mm.QueueSheds != 1 || mm.DeadlineSheds != 1 {
+		t.Errorf("model metrics quota=%d load=%d queue=%d deadline=%d, want 1 each",
+			mm.QuotaSheds, mm.LoadSheds, mm.QueueSheds, mm.DeadlineSheds)
+	}
+	if s := mm.String(); !strings.Contains(s, "quota=1 load=1") {
+		t.Errorf("model metrics line %q does not surface quota/load shed causes", s)
+	}
+}

@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// defaultQuantum is the deficit credit (in samples) granted per round per
+// unit of weight when WeightedFairConfig.Quantum is 0. It is on the order of
+// one typical request, so classes interleave at request granularity instead
+// of taking long turns.
+const defaultQuantum = 256
+
+// WeightedFairConfig shapes NewWeightedFair.
+type WeightedFairConfig struct {
+	// Weights maps a tenant priority class to its dispatch weight. Every
+	// distinct priority among the pool's tenants forms one class; classes
+	// absent from the map default to weight 1. A zero weight makes the class
+	// best-effort: it dispatches only when no positively weighted class has
+	// an eligible request. Weights must be non-negative and at least one
+	// class must end up positive.
+	Weights map[int]float64
+	// Quantum is the deficit credit in request-size samples granted to a
+	// class per round per unit of weight; 0 defaults to 256. Smaller quanta
+	// interleave classes more finely, larger ones amortize switching into
+	// longer per-class turns.
+	Quantum float64
+	// ShedFraction arms the same load-aware early shedding as PriorityEDF:
+	// once queue occupancy reaches this fraction of the shared bound, an
+	// arrival below the pool's highest priority class is shed. 0 disables.
+	ShedFraction float64
+}
+
+// WeightedFair is the fairness-preserving admission policy: deficit round
+// robin (DRR) between priority classes with configurable per-class weights,
+// earliest-deadline-first within a class. Where strict PriorityEDF lets a
+// backlogged high-priority class starve batch tenants indefinitely, DRR
+// guarantees every positively weighted class a long-run share of dispatched
+// work (request sizes are the cost unit) proportional to its weight, while
+// it stays backlogged: each round a class's deficit counter earns
+// Quantum x weight credit, dispatching spends the request's size, and a
+// class whose credit is exhausted cedes the worker until the round returns
+// to it. Credit does not bank across idle periods — a class with nothing
+// eligible is reset to zero, so a returning burst cannot claim saved-up
+// time.
+//
+// Admission mirrors PriorityEDF (tenant quotas, optional load-aware early
+// shedding, the shared queue bound); only the dispatch order differs. The
+// policy is stateful across dispatches and deterministic; Pool.Serve resets
+// the state at the start of every replay, so a reused Pool stays exactly
+// reproducible.
+type WeightedFair struct {
+	tenants      []TenantSpec
+	shedFraction float64
+	maxPriority  int
+	quantum      float64
+
+	classes []int           // distinct priorities, descending
+	weight  map[int]float64 // by priority class
+	deficit []float64       // by class index
+	cursor  int
+	scratch []int // per-class EDF-best eligible index, reused
+}
+
+// NewWeightedFair builds the weighted-fair policy over the pool's tenants.
+func NewWeightedFair(tenants []TenantSpec, cfg WeightedFairConfig) (*WeightedFair, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("fleet: weighted-fair needs at least one tenant")
+	}
+	if cfg.Quantum < 0 {
+		return nil, fmt.Errorf("fleet: weighted-fair Quantum must be >= 0, got %g", cfg.Quantum)
+	}
+	quantum := cfg.Quantum
+	if quantum == 0 {
+		quantum = defaultQuantum
+	}
+	seen := make(map[int]bool)
+	var classes []int
+	maxPrio := math.MinInt
+	for _, t := range tenants {
+		if !seen[t.Priority] {
+			seen[t.Priority] = true
+			classes = append(classes, t.Priority)
+		}
+		if t.Priority > maxPrio {
+			maxPrio = t.Priority
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(classes)))
+	weight := make(map[int]float64, len(classes))
+	for _, prio := range classes {
+		weight[prio] = 1
+	}
+	for prio, w := range cfg.Weights {
+		if !seen[prio] {
+			return nil, fmt.Errorf("fleet: weighted-fair weight for priority %d matches no tenant", prio)
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("fleet: weighted-fair weight for priority %d must be finite and >= 0, got %g", prio, w)
+		}
+		weight[prio] = w
+	}
+	positive := false
+	for _, prio := range classes {
+		if weight[prio] > 0 {
+			positive = true
+			break
+		}
+	}
+	if !positive {
+		return nil, fmt.Errorf("fleet: weighted-fair needs at least one class with positive weight")
+	}
+	return &WeightedFair{
+		tenants:      append([]TenantSpec(nil), tenants...),
+		shedFraction: cfg.ShedFraction,
+		maxPriority:  maxPrio,
+		quantum:      quantum,
+		classes:      classes,
+		weight:       weight,
+		deficit:      make([]float64, len(classes)),
+		scratch:      make([]int, len(classes)),
+	}, nil
+}
+
+// Name implements AdmissionPolicy.
+func (p *WeightedFair) Name() string { return "weighted-fair" }
+
+// WeightShare returns priority class prio's fraction of the total configured
+// weight — the long-run share of dispatched work the class is guaranteed
+// while it stays backlogged. 0 for an unknown or zero-weight class.
+func (p *WeightedFair) WeightShare(prio int) float64 {
+	var total float64
+	for _, c := range p.classes {
+		total += p.weight[c]
+	}
+	if total == 0 {
+		return 0
+	}
+	return p.weight[prio] / total
+}
+
+// Reset clears the DRR dispatch state (deficit counters and round cursor).
+// Pool.Serve calls it at the start of every replay so a reused Pool starts
+// each run from the same state.
+func (p *WeightedFair) Reset() {
+	for i := range p.deficit {
+		p.deficit[i] = 0
+	}
+	p.cursor = 0
+}
+
+// Admit implements AdmissionPolicy; the order matches PriorityEDF: tenant
+// quota first, then load-aware early shedding, then the shared queue bound.
+func (p *WeightedFair) Admit(r QueuedRequest, load PoolLoad) (bool, Outcome) {
+	if q := p.tenants[r.Tenant].Quota; q > 0 && load.QueuedByTenant[r.Tenant] >= q {
+		return false, OutcomeShedQuota
+	}
+	if load.QueueDepth > 0 {
+		if p.shedFraction > 0 && r.Priority < p.maxPriority &&
+			float64(load.Queued) >= p.shedFraction*float64(load.QueueDepth) {
+			return false, OutcomeShedLoad
+		}
+		if load.Queued >= load.QueueDepth {
+			return false, OutcomeShedQueue
+		}
+	}
+	return true, OutcomeServed
+}
+
+// Next implements AdmissionPolicy: deficit round robin over the priority
+// classes, EDF within the class at the cursor. The loop terminates because
+// every full round grants positive credit to at least one eligible,
+// positively weighted class.
+func (p *WeightedFair) Next(eligible []QueuedRequest, _ float64) int {
+	// EDF-best eligible entry per class (-1 when the class has none).
+	best := p.scratch
+	for ci := range best {
+		best[ci] = -1
+	}
+	classIdx := func(prio int) int {
+		for ci, c := range p.classes {
+			if c == prio {
+				return ci
+			}
+		}
+		return -1
+	}
+	anyPositive := false
+	for i := range eligible {
+		ci := classIdx(eligible[i].Priority)
+		if ci < 0 {
+			continue
+		}
+		if best[ci] < 0 || edfBefore(eligible[i], eligible[best[ci]]) {
+			best[ci] = i
+		}
+		if p.weight[p.classes[ci]] > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		// Only best-effort (zero-weight) classes are eligible: fall back to
+		// priority-then-EDF over everything, spending no credit.
+		pick := 0
+		for i := 1; i < len(eligible); i++ {
+			if edfBefore(eligible[i], eligible[pick]) {
+				pick = i
+			}
+		}
+		return pick
+	}
+	for {
+		ci := p.cursor
+		w := p.weight[p.classes[ci]]
+		if best[ci] >= 0 && w > 0 {
+			if cost := float64(eligible[best[ci]].Size); p.deficit[ci] >= cost {
+				p.deficit[ci] -= cost
+				return best[ci]
+			}
+		} else {
+			// Nothing eligible (or best-effort only): idle classes do not
+			// bank credit across rounds.
+			p.deficit[ci] = 0
+		}
+		p.cursor = (p.cursor + 1) % len(p.classes)
+		p.deficit[p.cursor] += p.quantum * p.weight[p.classes[p.cursor]]
+	}
+}

@@ -1,0 +1,189 @@
+package fleet_test
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// twoClassTenants is the canonical weighted-fair scenario: an interactive
+// class at priority 1 and a batch class at priority 0.
+func twoClassTenants() []fleet.TenantSpec {
+	return []fleet.TenantSpec{
+		{Name: "interactive", Priority: 1},
+		{Name: "batch", Priority: 0},
+	}
+}
+
+func mustWeightedFair(t *testing.T, tenants []fleet.TenantSpec, cfg fleet.WeightedFairConfig) *fleet.WeightedFair {
+	t.Helper()
+	p, err := fleet.NewWeightedFair(tenants, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Under sustained two-class backlog, DRR gives the batch class its weight
+// share of dispatches instead of starving it: with weights 3:1 and equal
+// request sizes the steady-state dispatch cycle is one batch request per
+// three interactive ones.
+func TestWeightedFairShareUnderBacklog(t *testing.T) {
+	tenants := twoClassTenants()
+	wf := mustWeightedFair(t, tenants, fleet.WeightedFairConfig{
+		Weights: map[int]float64{1: 3, 0: 1},
+		Quantum: 128,
+	})
+	p := mustPool(t, fleet.Config{
+		Queue:     trace.QueuePolicy{Workers: 1},
+		Admission: wf,
+	}, []fleet.Model{{Name: "m", Service: constSvc(1.0)}}, tenants)
+
+	// 24 requests per class, all backlogged within the first service time.
+	var reqs []fleet.Request
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs,
+			fleet.Request{Arrival: float64(i) * 0.01, Size: 128, Tenant: 0},
+			fleet.Request{Arrival: float64(i)*0.01 + 0.005, Size: 128, Tenant: 1},
+		)
+	}
+	rep := mustServe(t, p, reqs)
+
+	// Order requests by dispatch time and count the batch class's share over
+	// the prefix where both classes are still backlogged: the interactive
+	// class's 24 requests last through the first 32 dispatches at a 3/4 share.
+	type disp struct {
+		t      float64
+		tenant int
+	}
+	var order []disp
+	for i := range reqs {
+		if rep.Outcomes[i] != fleet.OutcomeServed {
+			t.Fatalf("request %d not served: %v", i, rep.Outcomes[i])
+		}
+		order = append(order, disp{rep.Dispatch[i], reqs[i].Tenant})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].t < order[b].t })
+	batch := 0
+	for _, d := range order[:32] {
+		if d.tenant == 1 {
+			batch++
+		}
+	}
+	// Weight share is 1/4 of 32; allow +-2 dispatches of DRR startup slack.
+	if batch < 6 || batch > 10 {
+		t.Errorf("batch class got %d of the first 32 dispatches, want ~8 (weight share 1/4)", batch)
+	}
+	if got := wf.WeightShare(0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("WeightShare(0) = %g, want 0.25", got)
+	}
+	if rep.Metrics.Policy != "weighted-fair" {
+		t.Errorf("policy label %q, want weighted-fair", rep.Metrics.Policy)
+	}
+}
+
+// A zero-weight class is best-effort: it dispatches only when no positively
+// weighted class has an eligible request.
+func TestWeightedFairZeroWeightBestEffort(t *testing.T) {
+	tenants := twoClassTenants()
+	wf := mustWeightedFair(t, tenants, fleet.WeightedFairConfig{
+		Weights: map[int]float64{1: 1, 0: 0},
+	})
+	p := mustPool(t, fleet.Config{
+		Queue:     trace.QueuePolicy{Workers: 1},
+		Admission: wf,
+	}, []fleet.Model{{Name: "m", Service: constSvc(1.0)}}, tenants)
+	reqs := []fleet.Request{
+		{Arrival: 0, Size: 16, Tenant: 0},    // dispatches at 0
+		{Arrival: 0.05, Size: 16, Tenant: 1}, // batch, arrives second
+		{Arrival: 0.1, Size: 16, Tenant: 0},
+		{Arrival: 0.2, Size: 16, Tenant: 0},
+	}
+	rep := mustServe(t, p, reqs)
+	// Interactive requests dispatch at t=0,1,2; the zero-weight batch request
+	// waits for the interactive backlog to drain despite arriving first.
+	if rep.Dispatch[1] != 3 {
+		t.Errorf("zero-weight batch dispatched at t=%g, want 3 (after every interactive request)", rep.Dispatch[1])
+	}
+	if rep.Dispatch[2] != 1 || rep.Dispatch[3] != 2 {
+		t.Errorf("interactive dispatches %g/%g, want 1/2", rep.Dispatch[2], rep.Dispatch[3])
+	}
+}
+
+// Admission mirrors PriorityEDF: quotas, load-aware shedding and the shared
+// bound all fire with their distinct outcomes.
+func TestWeightedFairAdmissionCauses(t *testing.T) {
+	tenants := []fleet.TenantSpec{
+		{Name: "lo", Priority: 0},
+		{Name: "hi", Priority: 1},
+		{Name: "capped", Priority: 1, Quota: 1},
+	}
+	wf := mustWeightedFair(t, tenants, fleet.WeightedFairConfig{ShedFraction: 0.5})
+	p := mustPool(t, fleet.Config{
+		Queue:     trace.QueuePolicy{Workers: 1, QueueDepth: 4},
+		Admission: wf,
+	}, []fleet.Model{{Name: "m", Service: constSvc(1.0)}}, tenants)
+	reqs := []fleet.Request{
+		{Arrival: 0, Size: 16, Tenant: 2},    // dispatches at 0
+		{Arrival: 0.05, Size: 16, Tenant: 2}, // queued, quota 1/1
+		{Arrival: 0.10, Size: 16, Tenant: 2}, // over quota
+		{Arrival: 0.15, Size: 16, Tenant: 0}, // queued 2
+		{Arrival: 0.20, Size: 16, Tenant: 0}, // queued >= 0.5*4 -> load shed
+		{Arrival: 0.25, Size: 16, Tenant: 1}, // queued 3
+		{Arrival: 0.30, Size: 16, Tenant: 1}, // queued 4
+		{Arrival: 0.35, Size: 16, Tenant: 1}, // hard bound
+	}
+	rep := mustServe(t, p, reqs)
+	if rep.Outcomes[2] != fleet.OutcomeShedQuota || rep.Outcomes[4] != fleet.OutcomeShedLoad ||
+		rep.Outcomes[7] != fleet.OutcomeShedQueue {
+		t.Errorf("outcomes %v, want quota/load/queue sheds at 2/4/7", rep.Outcomes)
+	}
+}
+
+// NewWeightedFair rejects malformed configurations loudly.
+func TestWeightedFairConfigErrors(t *testing.T) {
+	tenants := twoClassTenants()
+	cases := []struct {
+		name    string
+		tenants []fleet.TenantSpec
+		cfg     fleet.WeightedFairConfig
+		want    string
+	}{
+		{"no tenants", nil, fleet.WeightedFairConfig{}, "at least one tenant"},
+		{"negative quantum", tenants, fleet.WeightedFairConfig{Quantum: -1}, "Quantum"},
+		{"unknown class", tenants, fleet.WeightedFairConfig{Weights: map[int]float64{7: 1}}, "matches no tenant"},
+		{"negative weight", tenants, fleet.WeightedFairConfig{Weights: map[int]float64{1: -2}}, "finite and >= 0"},
+		{"nan weight", tenants, fleet.WeightedFairConfig{Weights: map[int]float64{1: math.NaN()}}, "finite and >= 0"},
+		{"all zero", tenants, fleet.WeightedFairConfig{Weights: map[int]float64{1: 0, 0: 0}}, "positive weight"},
+	}
+	for _, tc := range cases {
+		if _, err := fleet.NewWeightedFair(tc.tenants, tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// The policy is stateful across dispatches (deficit counters, round cursor),
+// and Pool.Serve resets it per replay: reusing one pool for the same stream
+// twice yields byte-identical reports.
+func TestWeightedFairPoolReuseDeterminism(t *testing.T) {
+	tenants := twoClassTenants()
+	wf := mustWeightedFair(t, tenants, fleet.WeightedFairConfig{
+		Weights: map[int]float64{1: 2, 0: 1},
+	})
+	p := mustPool(t, fleet.Config{
+		Queue:     trace.QueuePolicy{Workers: 2, QueueDepth: 32},
+		Admission: wf,
+	}, []fleet.Model{
+		{Name: "a", Service: sizeSvc(2e-3)},
+		{Name: "b", Service: sizeSvc(1e-3)},
+	}, tenants)
+	reqs := fleetStream(t, 300, 11)
+	a := mustServe(t, p, reqs)
+	b := mustServe(t, p, reqs)
+	eqFleetReports(t, a, b)
+}

@@ -302,6 +302,13 @@ type Metrics struct {
 	// QueueSheds counts requests dropped on arrival at a full admission
 	// queue.
 	QueueSheds int
+	// QuotaSheds counts requests dropped on arrival over a per-tenant queue
+	// quota. Always 0 for the single-model engine; the fleet pool's per-model
+	// report views populate it (see OutcomeShedQuota).
+	QuotaSheds int
+	// LoadSheds counts requests dropped on arrival by load-aware early
+	// shedding. Always 0 for the single-model engine; see QuotaSheds.
+	LoadSheds int
 	// MaxQueueDepth is the peak admission-queue occupancy.
 	MaxQueueDepth int
 	// Latency is the sojourn histogram of served requests.
@@ -328,7 +335,9 @@ type Metrics struct {
 }
 
 // Shed returns the total number of dropped requests.
-func (m *Metrics) Shed() int { return m.DeadlineSheds + m.QueueSheds }
+func (m *Metrics) Shed() int {
+	return m.DeadlineSheds + m.QueueSheds + m.QuotaSheds + m.LoadSheds
+}
 
 // Clone returns a deep copy of the snapshot, safe to mutate independently.
 func (m *Metrics) Clone() *Metrics {
@@ -346,6 +355,10 @@ func (m *Metrics) Clone() *Metrics {
 
 // String summarizes the counters in one line.
 func (m *Metrics) String() string {
-	return fmt.Sprintf("served=%d split=%d timeouts=%d shed=%d (deadline=%d queue-full=%d) max-queue=%d",
-		m.Served, m.SplitServed, m.Timeouts, m.Shed(), m.DeadlineSheds, m.QueueSheds, m.MaxQueueDepth)
+	causes := fmt.Sprintf("deadline=%d queue-full=%d", m.DeadlineSheds, m.QueueSheds)
+	if m.QuotaSheds > 0 || m.LoadSheds > 0 {
+		causes += fmt.Sprintf(" quota=%d load=%d", m.QuotaSheds, m.LoadSheds)
+	}
+	return fmt.Sprintf("served=%d split=%d timeouts=%d shed=%d (%s) max-queue=%d",
+		m.Served, m.SplitServed, m.Timeouts, m.Shed(), causes, m.MaxQueueDepth)
 }

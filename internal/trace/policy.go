@@ -104,6 +104,29 @@ func (p *QueuePolicy) EffectiveWorkers() int {
 	return p.Workers
 }
 
+// IsTail reports whether a request of this size is an unsplit long-tail
+// batch under the configured cap — the precondition for the DegradeSplitTail
+// fallback. False whenever SplitCap is 0 (splitting disabled).
+func (p *QueuePolicy) IsTail(size int) bool {
+	return p.SplitCap > 0 && size > p.SplitCap
+}
+
+// ChunkSizes returns the split-at-cap decomposition of a tail size: SplitCap
+// repeated, plus the remainder. Both the single-model engine and the fleet
+// pool dispatch these chunks as independent units of work.
+func (p *QueuePolicy) ChunkSizes(size int) []int {
+	cap := p.SplitCap
+	var out []int
+	for size > cap {
+		out = append(out, cap)
+		size -= cap
+	}
+	if size > 0 {
+		out = append(out, size)
+	}
+	return out
+}
+
 // DeadlineFor resolves a request's absolute completion deadline under this
 // policy: the request's own deadline when set, otherwise the policy default;
 // +Inf when neither applies.

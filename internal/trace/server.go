@@ -18,6 +18,13 @@ const (
 	OutcomeShedDeadline
 	// OutcomeShedQueue: dropped on arrival at a full admission queue.
 	OutcomeShedQueue
+	// OutcomeShedQuota: dropped on arrival over a per-tenant queue quota.
+	// Never produced by the single-model engine; the fleet pool's per-model
+	// report views carry it through so shed causes survive the translation.
+	OutcomeShedQuota
+	// OutcomeShedLoad: dropped on arrival by load-aware early shedding.
+	// Never produced by the single-model engine; see OutcomeShedQuota.
+	OutcomeShedLoad
 )
 
 func (o Outcome) String() string {
@@ -30,13 +37,23 @@ func (o Outcome) String() string {
 		return "shed-deadline"
 	case OutcomeShedQueue:
 		return "shed-queue"
+	case OutcomeShedQuota:
+		return "shed-quota"
+	case OutcomeShedLoad:
+		return "shed-load"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
 }
 
 // Shed reports whether the request was dropped without service.
-func (o Outcome) Shed() bool { return o == OutcomeShedDeadline || o == OutcomeShedQueue }
+func (o Outcome) Shed() bool {
+	switch o {
+	case OutcomeShedDeadline, OutcomeShedQueue, OutcomeShedQuota, OutcomeShedLoad:
+		return true
+	}
+	return false
+}
 
 // ServerConfig shapes the concurrent serving engine.
 type ServerConfig struct {
@@ -186,21 +203,14 @@ func (s *Server) Metrics() *Metrics {
 // isTail reports whether a request of this size is an unsplit long-tail
 // batch under the configured cap.
 func (c *ServerConfig) isTail(size int) bool {
-	return c.SplitCap > 0 && size > c.SplitCap
+	q := c.Queue()
+	return q.IsTail(size)
 }
 
 // chunkSizes returns the split-at-cap decomposition of a tail size.
 func (c *ServerConfig) chunkSizes(size int) []int {
-	cap := c.SplitCap
-	var out []int
-	for size > cap {
-		out = append(out, cap)
-		size -= cap
-	}
-	if size > 0 {
-		out = append(out, size)
-	}
-	return out
+	q := c.Queue()
+	return q.ChunkSizes(size)
 }
 
 // resolveServiceTimes runs the concurrent phase: an admission goroutine
