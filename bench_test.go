@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fusion"
 	"repro/internal/gpusim"
+	"repro/internal/perf"
 	"repro/internal/sched"
 )
 
@@ -180,24 +181,16 @@ func BenchmarkExtensions_Discussion(b *testing.B) {
 }
 
 // --- Micro-benchmarks of the core primitives ---
+//
+// The hot-path bodies live in internal/perf, shared with the recflex-bench
+// -perf emitter so the committed BENCH_*.json trajectory and the go-test
+// benchmarks always measure the same code.
 
-func BenchmarkSimulateKernel640Blocks(b *testing.B) {
-	dev := gpusim.V100()
-	blocks := make([]gpusim.BlockWork, 640)
-	for i := range blocks {
-		blocks[i] = gpusim.BlockWork{
-			CompCycles: 20000, DRAMBytes: 64 << 10, L2Bytes: 16 << 10,
-			MemRequests: 640, Warps: 8, ActiveFrac: 1, Tag: -1,
-		}
-	}
-	k := &gpusim.Kernel{Name: "bench", Resources: gpusim.KernelResources{ThreadsPerBlock: 256}, Blocks: blocks}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := gpusim.Simulate(dev, k); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkSimulateKernel640Blocks(b *testing.B) { perf.SimulateKernel640Blocks(b) }
+
+func BenchmarkSimulateSaturated(b *testing.B) { perf.SimulateSaturated(b) }
+
+func BenchmarkReplayHotPath(b *testing.B) { perf.ReplayHotPath(b) }
 
 func BenchmarkPoolingReference(b *testing.B) {
 	features, tables, makeBatch := buildToyModel(b)

@@ -7,6 +7,16 @@
 //	recflex-bench -exp all -scale 10 -eval 8
 //	recflex-bench -exp fig9,fig11 -scale 25 -eval 4
 //	recflex-bench -exp all -paper          # full paper scale (hours)
+//
+// With -perf it instead measures the hot-path benchmark suite
+// (internal/perf) and emits a BENCH_*.json perf-trajectory point:
+//
+//	recflex-bench -perf BENCH_7.json -perf-baseline BENCH_6.json
+//
+// When a baseline is given, its measurements are embedded in the emitted
+// file (so each file carries its own before/after pair) and the run fails
+// if any benchmark regressed by more than -perf-regress — this is the CI
+// perf gate.
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -31,8 +42,21 @@ func main() {
 		workers = flag.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
 		paper   = flag.Bool("paper", false, "use the full paper-scale configuration (overrides scale/tune/eval)")
 		csvDir  = flag.String("csv", "", "also export figure data as CSV files into this directory")
+
+		perfOut     = flag.String("perf", "", "measure the hot-path benchmark suite and write a BENCH_*.json file (skips experiments)")
+		perfBase    = flag.String("perf-baseline", "", "BENCH_*.json to embed as the baseline and gate regressions against")
+		perfCount   = flag.Int("perf-count", 3, "benchmark repetitions per case; the fastest run is kept")
+		perfRegress = flag.Float64("perf-regress", 0.25, "maximum tolerated ns/op regression vs the baseline (0.25 = +25%)")
+		perfNote    = flag.String("perf-note", "", "free-form note recorded in the emitted BENCH file")
 	)
 	flag.Parse()
+
+	if *perfOut != "" {
+		if err := runPerf(*perfOut, *perfBase, *perfNote, *perfCount, *perfRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		Scale:       *scale,
@@ -95,4 +119,49 @@ func main() {
 	}
 	fmt.Fprintf(w, "\nall experiments done in %v (scale=%d, eval batches=%d)\n",
 		time.Since(start).Round(time.Millisecond), s.Cfg.Scale, s.Cfg.EvalBatches)
+}
+
+// runPerf measures the hot-path suite, writes the BENCH_*.json trajectory
+// point and, when a baseline file is given, embeds it and gates ns/op
+// regressions against it.
+func runPerf(out, basePath, note string, count int, maxRegress float64) error {
+	var baseline *perf.File
+	if basePath != "" {
+		f, err := perf.ReadFile(basePath)
+		if err != nil {
+			return fmt.Errorf("perf baseline: %w", err)
+		}
+		baseline = f
+	}
+
+	start := time.Now()
+	log.Printf("measuring %d hot-path benchmarks (count=%d)...", len(perf.Cases()), count)
+	entries := perf.Measure(count)
+	if baseline != nil {
+		perf.AttachBaseline(entries, baseline)
+	}
+	f := perf.NewFile(note, entries)
+	if err := f.WriteFile(out); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		line := fmt.Sprintf("%-28s %12.0f ns/op %8d B/op %6d allocs/op",
+			e.Name, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp)
+		if e.Current.ReqPerSec > 0 {
+			line += fmt.Sprintf(" %12.0f req/s", e.Current.ReqPerSec)
+		}
+		if e.Speedup > 0 {
+			line += fmt.Sprintf("   %.2fx vs baseline", e.Speedup)
+		}
+		log.Print(line)
+	}
+	log.Printf("wrote %s in %v", out, time.Since(start).Round(time.Millisecond))
+
+	if baseline != nil {
+		if bad := perf.Compare(baseline, entries, maxRegress); len(bad) > 0 {
+			return fmt.Errorf("perf gate failed against %s:\n  %s", basePath, strings.Join(bad, "\n  "))
+		}
+		log.Printf("perf gate passed against %s (limit +%.0f%% ns/op)", basePath, maxRegress*100)
+	}
+	return nil
 }

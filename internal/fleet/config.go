@@ -137,8 +137,13 @@ func (c *Config) Validate(models, tenants int) error {
 		return fmt.Errorf("fleet: RebalanceEvery must be >= 0, got %g", c.RebalanceEvery)
 	case c.HistMin < 0 || c.HistMax < 0 || c.HistBuckets < 0:
 		return fmt.Errorf("fleet: histogram shape must be non-negative")
-	case c.HistMin > 0 && c.HistMax > 0 && c.HistMax <= c.HistMin:
-		return fmt.Errorf("fleet: HistMax %g must exceed HistMin %g", c.HistMax, c.HistMin)
+	}
+	// Cross-check the histogram shape after default resolution — the same
+	// resolution histogram() applies — so a shape that only turns invalid once
+	// defaults kick in (HistMin=20 with HistMax=0 -> 10) fails here rather
+	// than panicking inside NewHistogram mid-Serve.
+	if min, max, _ := c.histShape(); max <= min {
+		return fmt.Errorf("fleet: HistMax %g must exceed HistMin %g after defaults (HistMin=1e-6, HistMax=10)", max, min)
 	}
 	if c.Placement == PlacementDedicated && c.Queue.EffectiveWorkers() < models {
 		return fmt.Errorf("fleet: dedicated placement needs at least one worker per model (%d workers, %d models)",
@@ -147,9 +152,10 @@ func (c *Config) Validate(models, tenants int) error {
 	return nil
 }
 
-// histogram builds a latency histogram with the configured shape.
-func (c *Config) histogram() *trace.Histogram {
-	min, max, n := c.HistMin, c.HistMax, c.HistBuckets
+// histShape resolves the configured histogram shape with zero-value defaults
+// applied: 1us..10s across 28 log-spaced buckets, matching trace.ServerConfig.
+func (c *Config) histShape() (min, max float64, n int) {
+	min, max, n = c.HistMin, c.HistMax, c.HistBuckets
 	if min == 0 {
 		min = 1e-6
 	}
@@ -159,7 +165,12 @@ func (c *Config) histogram() *trace.Histogram {
 	if n == 0 {
 		n = 28
 	}
-	return trace.NewHistogram(min, max, n)
+	return min, max, n
+}
+
+// histogram builds a latency histogram with the configured shape.
+func (c *Config) histogram() *trace.Histogram {
+	return trace.NewHistogram(c.histShape())
 }
 
 // Request is one inference request in a fleet stream: a trace.Request tagged

@@ -33,13 +33,22 @@ func fleetTraceEquivalence(t *testing.T, name string, q trace.QueuePolicy, reqs 
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Both engines replay the stream twice on the same instance: the second
+	// run goes through the pooled replay scratch and the memoized service
+	// times, and must stay exactly equivalent to the first.
 	tr, err := srv.Serve(reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if tr2, err := srv.Serve(reqs); err != nil {
+		t.Fatal(err)
+	} else {
+		tr = tr2
+	}
 
 	pool := mustPool(t, fleet.Config{Queue: q, Admission: fleet.FIFO{}},
 		[]fleet.Model{{Name: "m", Service: sizeSvc(1e-3)}}, oneTenant())
+	mustServe(t, pool, fleet.Merge(fleet.Stream{Reqs: reqs}))
 	fr := mustServe(t, pool, fleet.Merge(fleet.Stream{Reqs: reqs}))
 	mr := fr.ModelReports[0]
 

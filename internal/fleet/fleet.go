@@ -829,12 +829,14 @@ func (p *Pool) modelReport(m int, reqs []Request, rep *Report, tuneBusy float64)
 			tm.QueueSheds++
 		}
 	}
+	var q trace.Quantiler
+	p50, p95, p99 := q.P50P95P99(served)
 	out := &trace.Report{
 		Result: trace.Result{
 			Sojourn: sojourns,
-			P50:     trace.Percentile(served, 0.50),
-			P95:     trace.Percentile(served, 0.95),
-			P99:     trace.Percentile(served, 0.99),
+			P50:     p50,
+			P95:     p95,
+			P99:     p99,
 		},
 		Outcomes:    outcomes,
 		Generations: gens,

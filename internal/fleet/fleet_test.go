@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/fleet"
+	"repro/internal/perf"
 	"repro/internal/trace"
 )
 
@@ -529,6 +530,10 @@ func TestNewPoolErrors(t *testing.T) {
 		{"shed fraction", fleet.Config{Queue: okQueue, ShedFraction: 1.5}, okModels, oneTenant(), "ShedFraction"},
 		{"rebalance pacing", fleet.Config{Queue: okQueue, RebalanceEvery: -1}, okModels, oneTenant(), "RebalanceEvery"},
 		{"histogram", fleet.Config{Queue: okQueue, HistMin: 2, HistMax: 1}, okModels, oneTenant(), "HistMax"},
+		// Regression: inverted only after defaults resolve (HistMax=0 -> 10,
+		// HistMin=0 -> 1e-6); used to pass validation and panic mid-Serve.
+		{"histogram defaulted max", fleet.Config{Queue: okQueue, HistMin: 20}, okModels, oneTenant(), "HistMax"},
+		{"histogram defaulted min", fleet.Config{Queue: okQueue, HistMax: 1e-9}, okModels, oneTenant(), "HistMax"},
 		{"dedicated short", fleet.Config{Queue: trace.QueuePolicy{Workers: 1}, Placement: fleet.PlacementDedicated},
 			[]fleet.Model{{Name: "a", Service: constSvc(1)}, {Name: "b", Service: constSvc(1)}}, oneTenant(),
 			"one worker per model"},
@@ -713,38 +718,7 @@ func TestFleetTwoModelsHotSwapUnderLoad(t *testing.T) {
 	}
 }
 
-func BenchmarkFleetServe(b *testing.B) {
-	mk := func(seed int64) []trace.Request {
-		reqs, err := trace.Generate(256, trace.GeneratorConfig{QPS: 800, MaxBatch: 256, Seed: seed})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return reqs
-	}
-	reqs := fleet.Merge(
-		fleet.Stream{Model: 0, Tenant: 0, Reqs: mk(1)},
-		fleet.Stream{Model: 1, Tenant: 1, Reqs: mk(2)},
-	)
-	tenants := []fleet.TenantSpec{
-		{Name: "lo", Priority: 0},
-		{Name: "hi", Priority: 1, Deadline: 0.05},
-	}
-	models := []fleet.Model{
-		{Name: "a", Service: sizeSvc(4e-6)},
-		{Name: "b", Service: sizeSvc(2e-6)},
-	}
-	p, err := fleet.NewPool(fleet.Config{
-		Queue:        trace.QueuePolicy{Workers: 2, QueueDepth: 128},
-		ShedFraction: 0.9,
-	}, models, tenants)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := p.Serve(reqs); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkFleetServe delegates to the shared hot-path body in internal/perf,
+// which also backs the recflex-bench -perf emitter and the BENCH_*.json
+// perf gate.
+func BenchmarkFleetServe(b *testing.B) { perf.FleetServe(b) }

@@ -139,7 +139,6 @@ func groupStats(g *GroupMetrics, sojourns []float64) {
 		sum += s
 	}
 	g.MeanSojourn = sum / float64(len(sojourns))
-	g.P50 = trace.Percentile(sojourns, 0.50)
-	g.P95 = trace.Percentile(sojourns, 0.95)
-	g.P99 = trace.Percentile(sojourns, 0.99)
+	var q trace.Quantiler
+	g.P50, g.P95, g.P99 = q.P50P95P99(sojourns)
 }

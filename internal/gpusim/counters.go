@@ -61,7 +61,30 @@ func (a *counterAccum) observe(dramMoved, l2Moved, dt float64) {
 // l1BytesPerCyclePerSM approximates the L1/TEX sector bandwidth of one SM.
 const l1BytesPerCyclePerSM = 128.0
 
-func (a *counterAccum) finalize(d *Device, k *Kernel, totalTime float64) Counters {
+// threadSums are the compute-weighted thread-utilization sums over a grid.
+// They depend only on the kernel and device, never on the run, so a Simulator
+// computes them once per (device, kernel) pair and reuses them across runs.
+type threadSums struct {
+	w, active, notPred float64
+}
+
+// gridThreadSums accumulates the compute-weighted thread-utilization sums.
+func gridThreadSums(d *Device, k *Kernel) threadSums {
+	var ts threadSums
+	for i := range k.Blocks {
+		b := &k.Blocks[i]
+		w := b.CompCycles
+		if w <= 0 {
+			w = 1
+		}
+		ts.w += w
+		ts.active += w * b.ActiveFrac * float64(d.WarpSize)
+		ts.notPred += w * b.ActiveFrac * (1 - b.PredOffFrac) * float64(d.WarpSize)
+	}
+	return ts
+}
+
+func (a *counterAccum) finalize(d *Device, totalTime float64, ts threadSums) Counters {
 	var c Counters
 	if totalTime <= 0 {
 		return c
@@ -75,21 +98,9 @@ func (a *counterAccum) finalize(d *Device, k *Kernel, totalTime float64) Counter
 	c.L1CacheThroughputPct = 100 * (a.dramMoved + a.l2Moved) / totalTime / l1Peak
 	c.L2CacheThroughputPct = 100 * (a.l2Moved + a.dramMoved) / totalTime / d.L2Bandwidth
 
-	// Thread utilization metrics are compute-weighted over the grid.
-	var wSum, activeSum, notPredSum float64
-	for i := range k.Blocks {
-		b := &k.Blocks[i]
-		w := b.CompCycles
-		if w <= 0 {
-			w = 1
-		}
-		wSum += w
-		activeSum += w * b.ActiveFrac * float64(d.WarpSize)
-		notPredSum += w * b.ActiveFrac * (1 - b.PredOffFrac) * float64(d.WarpSize)
-	}
-	if wSum > 0 {
-		c.AvgActiveThreadsPerWarp = activeSum / wSum
-		c.AvgNotPredOffThreadsPerWarp = notPredSum / wSum
+	if ts.w > 0 {
+		c.AvgActiveThreadsPerWarp = ts.active / ts.w
+		c.AvgNotPredOffThreadsPerWarp = ts.notPred / ts.w
 	}
 	return c
 }

@@ -1,5 +1,7 @@
 package gpusim
 
+import "math"
+
 // computeRates fills in the drain rates of every resident block from the
 // current contention state. Three shared resources are modeled:
 //
@@ -17,30 +19,113 @@ package gpusim
 // a single memory-hungry schedule in a fused kernel can slow its neighbors —
 // the inter-feature resource contention of the paper's §II-C.
 func computeRates(d *Device, st *simState) {
-	// Per-SM resident warp totals.
-	sw := st.smWarps
-	for i := range sw {
-		sw[i] = 0
-	}
-	for i := range st.active {
-		rb := &st.active[i]
-		sw[rb.sm] += rb.warps
-	}
+	computeRatesFused(d, st)
+}
 
+// computeRatesFused is computeRatesFusedDT for callers that do not need the
+// next-event time.
+func computeRatesFused(d *Device, st *simState) {
+	computeRatesFusedDT(d, st)
+}
+
+// computeRatesFusedDT recomputes every rate in one pass over the residents:
+// issue-slot shares are written and both memory demand sets collected as the
+// scan goes, then each resource is water-filled over its set. Behaviorally
+// identical to computeIssueRates followed by one shareBandwidth per kind —
+// demand entries are emitted in the same slot order, so the fills run the
+// same rounds — but the three scans over the resident array collapse into
+// one. Each kind has its own demand and keep scratch (demandIdx/keepIdx vs
+// demandIdx2/keepIdx2) because both demand sets are alive at once here and
+// the water-fill ping-pongs a set between its two backings.
+//
+// The returned dt is the earliest stream finish time at the new rates —
+// +Inf when every stream is stalled. Each stream's finish time is taken the
+// moment its final rate is known (issue shares inline, memory shares at the
+// water-fill assignment), with the same remaining/rate quotient the event
+// loop's scan would compute, so a full recomputation event needs no separate
+// next-event pass over the residents.
+func computeRatesFusedDT(d *Device, st *simState) float64 {
+	sw := st.smWarps
 	issuePeak := float64(d.IssueSlotsPerSM)
+	dramScale := d.MemParallelism * d.ClockHz / d.DRAMLatencyCycles
+	l2Scale := d.MemParallelism * d.ClockHz / d.L2LatencyCycles
+	dramFallback := d.DRAMBandwidth / float64(d.NumSMs*d.MaxBlocksPerSM)
+	l2Fallback := d.L2Bandwidth / float64(d.NumSMs*d.MaxBlocksPerSM)
+
+	dIdx := st.demandIdx[:cap(st.demandIdx)]
+	dCaps := st.demandCap[:cap(st.demandCap)]
+	lIdx := st.demandIdx2[:cap(st.demandIdx2)]
+	lCaps := st.demandCap2[:cap(st.demandCap2)]
+	dMin, lMin := math.Inf(1), math.Inf(1)
+	dt := math.Inf(1)
+	nd, nl := 0, 0
 	for i := range st.active {
-		rb := &st.active[i]
-		rate := rb.warps * d.PerWarpIssue
-		if share := issuePeak * rb.warps / sw[rb.sm]; share < rate {
+		m := &st.meta[i]
+		rate := m.warps * d.PerWarpIssue
+		if share := issuePeak * m.warps / sw[m.sm]; share < rate {
 			rate = share
 		}
+		rb := &st.active[i]
+		rb.rateComp = rate * d.ClockHz
+		rb.rateDRAM = 0
+		rb.rateL2 = 0
+		if rb.remComp > simEps && rb.rateComp > 0 {
+			if ft := rb.remComp / rb.rateComp; ft < dt {
+				dt = ft
+			}
+		}
+		if rb.remDRAM > simEps {
+			c := m.capFactor * dramScale
+			if c <= 0 {
+				c = dramFallback
+			}
+			dIdx[nd], dCaps[nd] = int32(i), c
+			nd++
+			if c < dMin {
+				dMin = c
+			}
+		}
+		if rb.remL2 > simEps {
+			c := m.capFactor * l2Scale
+			if c <= 0 {
+				c = l2Fallback
+			}
+			lIdx[nl], lCaps[nl] = int32(i), c
+			nl++
+			if c < lMin {
+				lMin = c
+			}
+		}
+	}
+	waterFill(st, memDRAM, dIdx[:nd], dCaps[:nd], dMin, st.keepIdx[:0], d.DRAMBandwidth, &dt)
+	waterFill(st, memL2, lIdx[:nl], lCaps[:nl], lMin, st.keepIdx2[:0], d.L2Bandwidth, &dt)
+	return dt
+}
+
+// computeIssueRates fills in the SM issue-slot shares (and resets the memory
+// rates that shareBandwidth assigns next). Issue shares depend only on which
+// blocks are resident where, so the event loop skips this whole pass — and
+// leaves the bit-identical previous rates in place — on events that retired
+// and dispatched nothing.
+//
+// st.smWarps is maintained incrementally by the dispatch and retire paths
+// rather than recomputed here. Warp counts are integer-valued, so the running
+// totals are exact in float64 no matter the order blocks come and go in —
+// identical to a fresh sum over the residents.
+func computeIssueRates(d *Device, st *simState) {
+	sw := st.smWarps
+	issuePeak := float64(d.IssueSlotsPerSM)
+	for i := range st.active {
+		m := &st.meta[i]
+		rate := m.warps * d.PerWarpIssue
+		if share := issuePeak * m.warps / sw[m.sm]; share < rate {
+			rate = share
+		}
+		rb := &st.active[i]
 		rb.rateComp = rate * d.ClockHz
 		rb.rateDRAM = 0
 		rb.rateL2 = 0
 	}
-
-	shareBandwidth(d, st, memDRAM)
-	shareBandwidth(d, st, memL2)
 }
 
 type memKind int
@@ -51,7 +136,9 @@ const (
 )
 
 // shareBandwidth water-fills one memory resource across the blocks that still
-// demand it, using the preallocated scratch in st.
+// demand it, using the preallocated scratch in st. The event loop calls this
+// on events where only this kind's demand set changed; full recomputations go
+// through computeRatesFused instead.
 func shareBandwidth(d *Device, st *simState, kind memKind) {
 	var bw, latency float64
 	switch kind {
@@ -63,8 +150,10 @@ func shareBandwidth(d *Device, st *simState, kind memKind) {
 	capScale := d.MemParallelism * d.ClockHz / latency
 	fallbackCap := bw / float64(d.NumSMs*d.MaxBlocksPerSM)
 
-	idx := st.demandIdx[:0]
-	caps := st.demandCap[:0]
+	idx := st.demandIdx[:cap(st.demandIdx)]
+	caps := st.demandCap[:cap(st.demandCap)]
+	minCap := math.Inf(1)
+	n := 0
 	for i := range st.active {
 		rb := &st.active[i]
 		rem := rb.remDRAM
@@ -74,55 +163,113 @@ func shareBandwidth(d *Device, st *simState, kind memKind) {
 		if rem <= simEps {
 			continue
 		}
-		c := rb.warps * rb.reqBytes * capScale
+		c := st.meta[i].capFactor * capScale
 		if c <= 0 {
 			c = fallbackCap
 		}
-		idx = append(idx, int32(i))
-		caps = append(caps, c)
+		idx[n] = int32(i)
+		caps[n] = c
+		n++
+		if c < minCap {
+			minCap = c
+		}
 	}
-	st.demandIdx, st.demandCap = idx, caps
-	if len(idx) == 0 {
-		return
-	}
+	waterFill(st, kind, idx[:n], caps[:n], minCap, st.keepIdx[:0], bw, nil)
+}
 
-	// Water-filling: repeatedly grant capped blocks their cap and re-share
-	// the remainder among the rest. Terminates because every round either
-	// removes a block or assigns the final fair share.
+// waterFill assigns kind's rates across the demand set idx/caps: repeatedly
+// grant capped blocks their cap and re-share the remainder among the rest.
+// Terminates because every round either removes a block or assigns the final
+// fair share. minCap is the smallest cap in the set: when it exceeds the fair
+// share, no block is capped and the round would grant nothing, so the final
+// equal split is assigned directly without the scan that would discover it.
+//
+// Every demander receives its final rate exactly once (a cap grant removes it
+// from the set; a broadcast ends the fill), so when dt is non-nil the stream's
+// finish time is folded into *dt at that moment — the fused-recompute caller
+// gets the next-event minimum without another pass over the residents.
+//
+// The survivor set ping-pongs between idx's backing and keepScratch; both
+// must have capacity for the full set and must not alias each other. The
+// swaps stay local — the caller's scratch fields keep their backings.
+func waterFill(st *simState, kind memKind, idx []int32, caps []float64, minCap float64, keepScratch []int32, bw float64, dt *float64) {
 	remBW := bw
 	for len(idx) > 0 {
 		share := remBW / float64(len(idx))
+		if minCap > share {
+			if kind == memDRAM {
+				for _, ai := range idx {
+					rb := &st.active[ai]
+					rb.rateDRAM = share
+					if dt != nil {
+						if ft := rb.remDRAM / share; ft < *dt {
+							*dt = ft
+						}
+					}
+				}
+			} else {
+				for _, ai := range idx {
+					rb := &st.active[ai]
+					rb.rateL2 = share
+					if dt != nil {
+						if ft := rb.remL2 / share; ft < *dt {
+							*dt = ft
+						}
+					}
+				}
+			}
+			break
+		}
 		progressed := false
-		keep := st.keepIdx[:0]
+		keep := keepScratch[:0]
 		keepCaps := 0
+		minKept := math.Inf(1)
 		for j, ai := range idx {
 			if caps[j] <= share {
-				setMemRate(&st.active[ai], kind, caps[j])
+				grantMemRate(&st.active[ai], kind, caps[j], dt)
 				remBW -= caps[j]
 				progressed = true
 			} else {
 				keep = append(keep, ai)
 				caps[keepCaps] = caps[j]
 				keepCaps++
+				if caps[keepCaps-1] < minKept {
+					minKept = caps[keepCaps-1]
+				}
 			}
 		}
 		if !progressed {
+			// Unreachable while minCap is exact (no progress means every cap
+			// exceeded the share), kept as a backstop against non-finite caps.
 			for _, ai := range idx {
-				setMemRate(&st.active[ai], kind, share)
+				grantMemRate(&st.active[ai], kind, share, dt)
 			}
 			break
 		}
 		// Swap the kept set into the working slices.
-		st.keepIdx = idx[:0]
+		keepScratch = idx[:0]
 		idx = keep
 		caps = caps[:keepCaps]
+		minCap = minKept
 	}
 }
 
-func setMemRate(rb *resident, kind memKind, rate float64) {
+// grantMemRate assigns a block's final rate for one memory kind and, when dt
+// is non-nil, folds the stream's finish time into the running next-event
+// minimum. A zero rate divides to +Inf, which never lowers the minimum —
+// matching the scan form, which skips rate-zero streams.
+func grantMemRate(rb *resident, kind memKind, rate float64, dt *float64) {
+	var rem float64
 	if kind == memDRAM {
 		rb.rateDRAM = rate
+		rem = rb.remDRAM
 	} else {
 		rb.rateL2 = rate
+		rem = rb.remL2
+	}
+	if dt != nil {
+		if ft := rem / rate; ft < *dt {
+			*dt = ft
+		}
 	}
 }

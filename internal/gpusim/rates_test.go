@@ -11,11 +11,14 @@ import (
 func buildState(d *Device, blocks []BlockWork) (*simState, *Kernel) {
 	k := &Kernel{Name: "rates", Resources: KernelResources{ThreadsPerBlock: 256}, Blocks: blocks}
 	st := &simState{
-		smWarps:   make([]float64, d.NumSMs),
-		smLoad:    make([]int, d.NumSMs),
-		demandIdx: make([]int32, 0, len(blocks)),
-		demandCap: make([]float64, 0, len(blocks)),
-		keepIdx:   make([]int32, 0, len(blocks)),
+		smWarps:    make([]float64, d.NumSMs),
+		smLoad:     make([]int, d.NumSMs),
+		demandIdx:  make([]int32, 0, len(blocks)),
+		demandCap:  make([]float64, 0, len(blocks)),
+		keepIdx:    make([]int32, 0, len(blocks)),
+		demandIdx2: make([]int32, 0, len(blocks)),
+		demandCap2: make([]float64, 0, len(blocks)),
+		keepIdx2:   make([]int32, 0, len(blocks)),
 	}
 	for i := range blocks {
 		b := &blocks[i]
@@ -24,10 +27,16 @@ func buildState(d *Device, blocks []BlockWork) (*simState, *Kernel) {
 			reqBytes = (b.DRAMBytes + b.L2Bytes) / b.MemRequests
 		}
 		st.active = append(st.active, resident{
-			idx: int32(i), sm: int32(i % d.NumSMs), warps: float64(b.Warps),
 			remComp: b.CompCycles, remDRAM: b.DRAMBytes, remL2: b.L2Bytes,
-			reqBytes: reqBytes,
 		})
+		st.meta = append(st.meta, residentMeta{
+			idx: int32(i), sm: int32(i % d.NumSMs), warps: float64(b.Warps),
+			capFactor: float64(b.Warps) * reqBytes,
+		})
+		// The event loop maintains the per-SM warp totals incrementally;
+		// direct-rate tests mirror that bookkeeping here.
+		st.smWarps[i%d.NumSMs] += float64(b.Warps)
+		st.smLoad[i%d.NumSMs]++
 	}
 	return st, k
 }
@@ -63,7 +72,7 @@ func TestWaterFillingConservationProperty(t *testing.T) {
 			if rb.remDRAM <= simEps && rb.rateDRAM != 0 {
 				t.Fatalf("trial %d: non-demander %d got DRAM rate", trial, i)
 			}
-			cap := rb.warps * d.MemParallelism * rb.reqBytes * d.ClockHz / d.DRAMLatencyCycles
+			cap := st.meta[i].capFactor * d.MemParallelism * d.ClockHz / d.DRAMLatencyCycles
 			if rb.rateDRAM > cap*(1+1e-9) {
 				t.Fatalf("trial %d: block %d above latency cap: %g > %g", trial, i, rb.rateDRAM, cap)
 			}
@@ -145,7 +154,11 @@ func TestComputeIssueShares(t *testing.T) {
 		{CompCycles: 1000, Warps: 6, ActiveFrac: 1},
 	}
 	st2, _ := buildState(d, pair)
-	st2.active[1].sm = st2.active[0].sm
+	// Move block 1 onto block 0's SM, mirroring the incremental warp-total
+	// bookkeeping the event loop would perform.
+	st2.smWarps[st2.meta[1].sm] -= st2.meta[1].warps
+	st2.meta[1].sm = st2.meta[0].sm
+	st2.smWarps[st2.meta[1].sm] += st2.meta[1].warps
 	computeRates(d, st2)
 	r0, r1 := st2.active[0].rateComp, st2.active[1].rateComp
 	if math.Abs(r1/r0-3) > 1e-9 {

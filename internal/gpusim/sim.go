@@ -43,28 +43,87 @@ const simEps = 1e-15
 // block at 5% while collapsing the event count of large grids.
 const eventBatchTol = 0.05
 
-// resident tracks one in-flight block. Residents live in a flat scratch
-// slice; the hot loop is allocation-free.
+// resident tracks the stream state of one in-flight block: the six floats
+// every per-event scan reads and writes. The struct is deliberately just
+// these — 48 bytes — so the widest scans of the event loop (next-event search
+// and drain) stream one compact array that stays cache-resident even at full
+// device occupancy. Bookkeeping that only the dispatch and retire paths touch
+// lives in the parallel residentMeta array.
 type resident struct {
-	idx                        int32
-	sm                         int32
-	warps                      float64
 	remComp, remDRAM, remL2    float64
 	rateComp, rateDRAM, rateL2 float64
-	reqBytes                   float64
-	start                      float64
+}
+
+// residentMeta is the cold half of a resident: identity, placement and the
+// demand-cap factor, read only when rates are recomputed or the block
+// retires. meta[i] always describes active[i]; the two arrays grow, compact
+// and truncate in lockstep.
+type residentMeta struct {
+	idx       int32
+	sm        int32
+	warps     float64
+	capFactor float64 // warps × mean request bytes: the latency-cap factor
+	start     float64
 }
 
 // simState holds preallocated scratch for one simulation.
 type simState struct {
 	active  []resident
+	meta    []residentMeta
 	smWarps []float64
 	smLoad  []int
-	// water-filling scratch: indices into active plus per-entry caps.
-	demandIdx []int32
-	demandCap []float64
-	keepIdx   []int32
+	// Water-filling scratch: indices into active plus per-entry caps, one set
+	// per memory kind. The fused rate recomputation holds both kinds' demand
+	// sets at once, so they cannot share a backing.
+	demandIdx  []int32
+	demandCap  []float64
+	keepIdx    []int32
+	demandIdx2 []int32
+	demandCap2 []float64
+	keepIdx2   []int32
 }
+
+// launchWork is the dispatch-time image of one grid block: the remaining-work
+// seeds and bookkeeping constants the launch path stores into a resident
+// slot. A Simulator derives the table once per (device, kernel) pair so that
+// dispatch — which runs once per grid block — reads one dense 40-byte record
+// instead of ranging over the full BlockWork struct.
+type launchWork struct {
+	comp, dram, l2   float64 // work seeds; comp includes the block overhead
+	warps, capFactor float64
+}
+
+// Simulator owns the reusable working set of the kernel simulation: the
+// resident-block scratch, the per-SM load tables and the result buffers.
+// After a warm-up run, Run allocates nothing in steady state, so tuners and
+// serving loops that simulate thousands of kernels back to back reuse one
+// Simulator instead of re-growing the same slices every call.
+//
+// A Simulator is not safe for concurrent use; give each goroutine its own.
+//
+// Run assumes the Device and Kernel it is given are not mutated between calls
+// that reuse them: when the same device and kernel (by identity) are passed
+// again, validation and the grid-constant counter sums are reused from the
+// previous call instead of being recomputed.
+type Simulator struct {
+	st  simState
+	res SimResult
+
+	// Validated-input memo (see the type comment). lastBlocks/lastNB pin the
+	// identity of the block slice as well, so a kernel whose Blocks field was
+	// swapped out is re-validated even under the same Kernel pointer.
+	lastDev    *Device
+	lastKernel *Kernel
+	lastBlocks *BlockWork
+	lastNB     int
+	sums       threadSums
+	launch     []launchWork // per-block dispatch image, derived once per kernel
+	tags       []int        // per-block tag, densely packed for the retire path
+}
+
+// NewSimulator returns a Simulator with empty scratch; the first Run sizes
+// it to the kernel at hand.
+func NewSimulator() *Simulator { return &Simulator{} }
 
 // Simulate runs kernel k on device d and returns the timing result. The
 // simulation is deterministic: identical inputs produce identical outputs.
@@ -74,163 +133,327 @@ type simState struct {
 // launch, released-slot-first afterwards) and run non-preemptively until they
 // drain. Between events, resident blocks drain their compute, DRAM and L2
 // work at rates set by the current contention state; see rates.go.
+//
+// Each call allocates a fresh result; hot loops that can tolerate the result
+// being overwritten by the next call should hold a Simulator and use Run.
 func Simulate(d *Device, k *Kernel) (*SimResult, error) {
-	if err := d.Validate(); err != nil {
-		return nil, err
+	return new(Simulator).Run(d, k)
+}
+
+// Run is Simulate over the Simulator's reusable scratch. The returned
+// SimResult is owned by the Simulator and overwritten by the next Run;
+// callers that retain it across runs must copy what they keep. On error the
+// result buffers hold no meaningful data.
+func (s *Simulator) Run(d *Device, k *Kernel) (*SimResult, error) {
+	var blocksID *BlockWork
+	if len(k.Blocks) > 0 {
+		blocksID = &k.Blocks[0]
 	}
-	if err := k.Validate(d); err != nil {
-		return nil, err
+	if d != s.lastDev || k != s.lastKernel || blocksID != s.lastBlocks || len(k.Blocks) != s.lastNB {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if err := k.Validate(d); err != nil {
+			return nil, err
+		}
+		s.sums = gridThreadSums(d, k)
+		if cap(s.launch) < len(k.Blocks) {
+			s.launch = make([]launchWork, len(k.Blocks))
+		}
+		s.launch = s.launch[:len(k.Blocks)]
+		if cap(s.tags) < len(k.Blocks) {
+			s.tags = make([]int, len(k.Blocks))
+		}
+		s.tags = s.tags[:len(k.Blocks)]
+		for i := range k.Blocks {
+			b := &k.Blocks[i]
+			rq := 32.0
+			if b.MemRequests > 0 {
+				rq = (b.DRAMBytes + b.L2Bytes) / b.MemRequests
+				if rq <= 0 {
+					rq = 32.0
+				}
+			}
+			lw := &s.launch[i]
+			lw.comp = b.CompCycles + d.BlockOverheadCycles
+			lw.dram = b.DRAMBytes
+			lw.l2 = b.L2Bytes
+			lw.warps = float64(b.Warps)
+			lw.capFactor = float64(b.Warps) * rq
+			s.tags[i] = b.Tag
+		}
+		s.lastDev, s.lastKernel, s.lastBlocks, s.lastNB = d, k, blocksID, len(k.Blocks)
 	}
 	bps := k.EffectiveBlocksPerSM(d)
 	slots := d.ParallelBlockSlots(bps)
 	if slots <= 0 {
 		return nil, fmt.Errorf("gpusim: kernel %q has zero parallel block slots", k.Name)
 	}
-	if slots > len(k.Blocks) {
-		slots = len(k.Blocks)
+	nb := len(k.Blocks)
+	if slots > nb {
+		slots = nb
 	}
 
-	res := &SimResult{
-		BlockTime:   make([]float64, len(k.Blocks)),
-		BlockStart:  make([]float64, len(k.Blocks)),
-		BlockSM:     make([]int32, len(k.Blocks)),
-		TagTime:     make(map[int]float64),
-		TagBlocks:   make(map[int]int),
-		BlocksPerSM: bps,
+	res := &s.res
+	res.Time = 0
+	// Every entry of the per-block buffers is written before the loop exits
+	// (each block dispatches exactly once and retires exactly once), so the
+	// reused backing needs no zeroing.
+	res.BlockTime = growFloats(res.BlockTime, nb)
+	res.BlockStart = growFloats(res.BlockStart, nb)
+	if cap(res.BlockSM) < nb {
+		res.BlockSM = make([]int32, nb)
 	}
-	st := &simState{
-		active:    make([]resident, 0, slots),
-		smWarps:   make([]float64, d.NumSMs),
-		smLoad:    make([]int, d.NumSMs),
-		demandIdx: make([]int32, 0, slots),
-		demandCap: make([]float64, 0, slots),
-		keepIdx:   make([]int32, 0, slots),
+	res.BlockSM = res.BlockSM[:nb]
+	if res.TagTime == nil {
+		res.TagTime = make(map[int]float64)
+		res.TagBlocks = make(map[int]int)
+	} else {
+		clear(res.TagTime)
+		clear(res.TagBlocks)
 	}
-	overheadCycles := d.BlockOverheadCycles
+	res.BlocksPerSM = bps
+	res.Counters = Counters{}
 
+	st := &s.st
+	if cap(st.active) < slots {
+		st.active = make([]resident, 0, slots)
+		st.meta = make([]residentMeta, 0, slots)
+		st.demandIdx = make([]int32, 0, slots)
+		st.demandCap = make([]float64, 0, slots)
+		st.keepIdx = make([]int32, 0, slots)
+		st.demandIdx2 = make([]int32, 0, slots)
+		st.demandCap2 = make([]float64, 0, slots)
+		st.keepIdx2 = make([]int32, 0, slots)
+	}
+	st.active = st.active[:0]
+	st.meta = st.meta[:0]
+	st.smWarps = growFloats(st.smWarps, d.NumSMs)
+	if cap(st.smLoad) < d.NumSMs {
+		st.smLoad = make([]int, d.NumSMs)
+	}
+	st.smLoad = st.smLoad[:d.NumSMs]
+	for i := range st.smLoad {
+		st.smLoad[i] = 0
+		st.smWarps[i] = 0
+	}
 	next := 0
-	dispatch := func(sm int, now float64) {
-		b := &k.Blocks[next]
-		reqBytes := 32.0
-		if b.MemRequests > 0 {
-			reqBytes = (b.DRAMBytes + b.L2Bytes) / b.MemRequests
-			if reqBytes <= 0 {
-				reqBytes = 32.0
-			}
+	launch := s.launch
+	tags := s.tags
+	// dramDemand/l2Demand count the residents with any work remaining —
+	// strictly positive, so a zero count proves every remainder is exactly
+	// zero. That lets the event loop skip a bandwidth re-share whose demand
+	// set is empty, and skip that stream's drain arithmetic outright: with no
+	// positive remainder, both passes are exact no-ops.
+	dramDemand, l2Demand := 0, 0
+	// dispatchInto constructs the next grid block directly in resident slot w
+	// — at launch the next free entry of the active array, at backfill time
+	// the slot just vacated by a retirement — so the hot loop never appends
+	// to (and never reallocates) the array it is iterating. Field-wise stores
+	// throughout: the slot is written in place, with no struct temporary on
+	// the way in.
+	dispatchInto := func(w, sm int, now float64) {
+		lw := &launch[next]
+		rb := &st.active[w]
+		rb.remComp = lw.comp
+		rb.remDRAM = lw.dram
+		rb.remL2 = lw.l2
+		rb.rateComp = 0
+		rb.rateDRAM = 0
+		rb.rateL2 = 0
+		m := &st.meta[w]
+		m.idx = int32(next)
+		m.sm = int32(sm)
+		m.warps = lw.warps
+		m.capFactor = lw.capFactor
+		m.start = now
+		if lw.dram > 0 {
+			dramDemand++
 		}
-		st.active = append(st.active, resident{
-			idx:      int32(next),
-			sm:       int32(sm),
-			warps:    float64(b.Warps),
-			remComp:  b.CompCycles + overheadCycles,
-			remDRAM:  b.DRAMBytes,
-			remL2:    b.L2Bytes,
-			reqBytes: reqBytes,
-			start:    now,
-		})
+		if lw.l2 > 0 {
+			l2Demand++
+		}
 		st.smLoad[sm]++
+		st.smWarps[sm] += lw.warps
 		res.BlockStart[next] = now
 		res.BlockSM[next] = int32(sm)
 		next++
 	}
 
 	// Initial round-robin fill, mirroring the hardware's launch-time
-	// distribution of blocks across SMs.
-	for sm := 0; next < len(k.Blocks) && len(st.active) < slots; sm = (sm + 1) % d.NumSMs {
+	// distribution of blocks across SMs. Capacity slots was reserved above,
+	// so the reslices never reallocate.
+	// (The wrap is an add-and-compare rather than a modulo: this loop runs
+	// once per launched block, and integer division is serialized on the
+	// loop-carried sm.)
+	for sm := 0; next < nb && len(st.active) < slots; {
 		if st.smLoad[sm] < bps {
-			dispatch(sm, 0)
+			n := len(st.active)
+			st.active = st.active[:n+1]
+			st.meta = st.meta[:n+1]
+			dispatchInto(n, sm, 0)
+		}
+		if sm++; sm == d.NumSMs {
+			sm = 0
 		}
 	}
 
 	now := 0.0
 	var acct counterAccum
+	// Rate recomputation is demand-driven: issue-slot shares change only
+	// when residency changes, and a memory resource's water-filling shares
+	// change only when its demand set does. Events that merely advance
+	// still-draining streams skip the corresponding passes — the rates left
+	// in place are bit-identical to what recomputation would produce, so
+	// results are unchanged; only redundant work is elided.
+	resDirty, dramDirty, l2Dirty := true, true, true
 	for len(st.active) > 0 {
-		computeRates(d, st)
-
-		// Earliest dimension completion among residents: freed bandwidth
-		// is redistributed when a stream ends. Near-simultaneous
-		// completions are batched into one event (eventBatchTol) — a
-		// bounded approximation that collapses the event storm of large
-		// heterogeneous grids.
-		dt := math.Inf(1)
-		for i := range st.active {
-			if ft := nextDimEvent(&st.active[i]); ft < dt {
-				dt = ft
+		// Earliest dimension completion among residents: freed bandwidth is
+		// redistributed when a stream ends. Near-simultaneous completions are
+		// batched into one event (eventBatchTol) — a bounded approximation
+		// that collapses the event storm of large heterogeneous grids.
+		//
+		// A full recomputation event gets the minimum as a byproduct of the
+		// fused rate pass; events that reuse rates run the explicit scan. The
+		// per-dimension comparisons are open-coded because this is the widest
+		// scan of the event loop, and a dimension with zero outstanding demand
+		// is skipped wholesale — its clause would be false for every block.
+		var dt float64
+		if resDirty {
+			dt = computeRatesFusedDT(d, st)
+		} else {
+			if dramDirty && dramDemand > 0 {
+				shareBandwidth(d, st, memDRAM)
+			}
+			if l2Dirty && l2Demand > 0 {
+				shareBandwidth(d, st, memL2)
+			}
+			dt = math.Inf(1)
+			scanDRAM, scanL2 := dramDemand > 0, l2Demand > 0
+			for i := range st.active {
+				rb := &st.active[i]
+				if rb.remComp > simEps && rb.rateComp > 0 {
+					if ft := rb.remComp / rb.rateComp; ft < dt {
+						dt = ft
+					}
+				}
+				if scanDRAM && rb.remDRAM > simEps && rb.rateDRAM > 0 {
+					if ft := rb.remDRAM / rb.rateDRAM; ft < dt {
+						dt = ft
+					}
+				}
+				if scanL2 && rb.remL2 > simEps && rb.rateL2 > 0 {
+					if ft := rb.remL2 / rb.rateL2; ft < dt {
+						dt = ft
+					}
+				}
 			}
 		}
+		resDirty, dramDirty, l2Dirty = false, false, false
 		if math.IsInf(dt, 1) || dt < 0 {
 			return nil, fmt.Errorf("gpusim: kernel %q stalled at t=%gs with %d resident blocks", k.Name, now, len(st.active))
 		}
 		dt *= 1 + eventBatchTol
-
-		// Drain, integrating the traffic actually moved (exact even when
-		// the batched step overshoots a stream's remaining work).
-		var dramMoved, l2Moved float64
-		for i := range st.active {
-			rb := &st.active[i]
-			rb.remComp = drain(rb.remComp, rb.rateComp, dt)
-			dramBefore, l2Before := rb.remDRAM, rb.remL2
-			rb.remDRAM = drain(rb.remDRAM, rb.rateDRAM, dt)
-			rb.remL2 = drain(rb.remL2, rb.rateL2, dt)
-			dramMoved += dramBefore - rb.remDRAM
-			l2Moved += l2Before - rb.remL2
-		}
-		acct.observe(dramMoved, l2Moved, dt)
 		now += dt
 
-		// Retire drained blocks and backfill their slots. Iterating in
-		// grid order keeps retirement deterministic.
-		kept := st.active[:0]
-		for i := range st.active {
-			rb := st.active[i]
+		// One fused scan: drain each block (integrating the traffic actually
+		// moved — exact even when the batched step overshoots a stream's
+		// remaining work), then retire it if fully drained and backfill its
+		// slot in place. A write index compacts survivors leftward, and a
+		// retirement with grid blocks remaining constructs the backfilled
+		// block directly in the freed slot. Processing stays in grid-slot
+		// order — same retirement order, same TagTime accumulation order,
+		// same dispatch order as the append-based form this replaces — but
+		// the resident array is never appended to mid-iteration, where the
+		// old form reallocated it on every backfill once at capacity.
+		var dramMoved, l2Moved float64
+		// A memory stream with zero outstanding demand needs no drain at all:
+		// every remainder is exactly zero, so the arithmetic below would move
+		// nothing and change nothing. The gates are loop-invariant (frozen at
+		// loop entry; blocks backfilled mid-scan are never drained in the same
+		// event), so a finished stream costs one predictable branch per block.
+		doDRAM, doL2 := dramDemand > 0, l2Demand > 0
+		w := 0
+		n0 := len(st.active)
+		for i := 0; i < n0; i++ {
+			rb := &st.active[i]
+			rb.remComp = drain(rb.remComp, rb.rateComp, dt)
+			if doDRAM {
+				before := rb.remDRAM
+				rb.remDRAM = drain(before, rb.rateDRAM, dt)
+				dramMoved += before - rb.remDRAM
+				if before > simEps && rb.remDRAM <= simEps {
+					dramDirty = true // DRAM stream ended: re-share its bandwidth
+				}
+				if before > 0 && rb.remDRAM == 0 {
+					dramDemand--
+				}
+			}
+			if doL2 {
+				before := rb.remL2
+				rb.remL2 = drain(before, rb.rateL2, dt)
+				l2Moved += before - rb.remL2
+				if before > simEps && rb.remL2 <= simEps {
+					l2Dirty = true
+				}
+				if before > 0 && rb.remL2 == 0 {
+					l2Demand--
+				}
+			}
 			if rb.remComp <= simEps && rb.remDRAM <= simEps && rb.remL2 <= simEps {
-				bt := now - rb.start
-				res.BlockTime[rb.idx] = bt
-				if tag := k.Blocks[rb.idx].Tag; tag >= 0 {
+				m := &st.meta[i]
+				bt := now - m.start
+				res.BlockTime[m.idx] = bt
+				if tag := tags[m.idx]; tag >= 0 {
 					res.TagTime[tag] += bt
 					res.TagBlocks[tag]++
 				}
-				st.smLoad[rb.sm]--
-				if next < len(k.Blocks) {
-					dispatch(int(rb.sm), now)
-					kept = append(kept, st.active[len(st.active)-1])
-					st.active = st.active[:len(st.active)-1]
+				sm := int(m.sm)
+				st.smLoad[sm]--
+				st.smWarps[sm] -= m.warps
+				resDirty = true
+				if next < nb {
+					// The retiring block's fields are fully consumed; when
+					// w == i this overwrites the slots rb and m point into.
+					// The fresh block is dispatched at now and not drained
+					// until the next event, exactly as with the separate
+					// drain and retire scans.
+					dispatchInto(w, sm, now)
+					w++
 				}
 			} else {
-				kept = append(kept, rb)
+				if w != i {
+					st.active[w] = *rb
+					st.meta[w] = st.meta[i]
+				}
+				w++
 			}
 		}
-		st.active = kept
+		st.active = st.active[:w]
+		st.meta = st.meta[:w]
+		acct.observe(dramMoved, l2Moved, dt)
 	}
 
 	res.Time = now
 	if k.IncludeLaunchOverhead {
 		res.Time += d.KernelLaunchOverhead
 	}
-	res.Counters = acct.finalize(d, k, res.Time)
+	res.Counters = acct.finalize(d, res.Time, s.sums)
 	return res, nil
 }
 
-// nextDimEvent returns the time until the earliest dimension of rb drains at
-// current rates (infinity when every remaining dimension is stalled).
-func nextDimEvent(rb *resident) float64 {
-	t := math.Inf(1)
-	if rb.remComp > simEps && rb.rateComp > 0 {
-		t = rb.remComp / rb.rateComp
+// growFloats returns s resized to n, reallocating only when capacity is
+// short. Contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	if rb.remDRAM > simEps && rb.rateDRAM > 0 {
-		if ft := rb.remDRAM / rb.rateDRAM; ft < t {
-			t = ft
-		}
-	}
-	if rb.remL2 > simEps && rb.rateL2 > 0 {
-		if ft := rb.remL2 / rb.rateL2; ft < t {
-			t = ft
-		}
-	}
-	return t
+	return s[:n]
 }
 
+// drain advances one work stream by dt at the given rate, clamping the
+// remainder to exactly zero once it falls below the event epsilon so finished
+// streams compare cleanly.
 func drain(rem, rate, dt float64) float64 {
 	rem -= rate * dt
 	if rem < simEps {

@@ -1,0 +1,160 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Schema identifies the BENCH_*.json layout; bump on incompatible change.
+const Schema = "recflex-bench-perf/v1"
+
+// Measurement is one benchmark's figures, in go-test units.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// ReqPerSec is simulated requests replayed per wall-clock second; 0 for
+	// kernel-simulation benchmarks, which have no request stream.
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+}
+
+// Entry is one benchmark's point on the perf trajectory. Baseline, when
+// present, is the previous trajectory point (for a bugfix PR: the pre-fix
+// numbers) measured on the same machine as Current, and Speedup is their
+// ns/op ratio.
+type Entry struct {
+	Name     string       `json:"name"`
+	Baseline *Measurement `json:"baseline,omitempty"`
+	Current  Measurement  `json:"current"`
+	Speedup  float64      `json:"speedup,omitempty"`
+}
+
+// File is the committed BENCH_*.json document: the machine the numbers were
+// taken on and one entry per hot-path benchmark.
+type File struct {
+	Schema    string  `json:"schema"`
+	Note      string  `json:"note,omitempty"`
+	GoVersion string  `json:"go_version"`
+	GoOS      string  `json:"goos"`
+	GoArch    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	Entries   []Entry `json:"benchmarks"`
+}
+
+// Measure runs every hot-path case count times through testing.Benchmark
+// and keeps each benchmark's fastest run — the standard way to strip
+// scheduling noise from a shared machine.
+func Measure(count int) []Entry {
+	if count < 1 {
+		count = 1
+	}
+	entries := make([]Entry, 0, len(Cases()))
+	for _, c := range Cases() {
+		var best Measurement
+		for i := 0; i < count; i++ {
+			r := testing.Benchmark(c.Bench)
+			m := Measurement{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if c.ReqsPerIter > 0 && m.NsPerOp > 0 {
+				m.ReqPerSec = float64(c.ReqsPerIter) * 1e9 / m.NsPerOp
+			}
+			if i == 0 || m.NsPerOp < best.NsPerOp {
+				best = m
+			}
+		}
+		entries = append(entries, Entry{Name: c.Name, Current: best})
+	}
+	return entries
+}
+
+// NewFile wraps measured entries with the machine fingerprint the numbers
+// are only comparable on.
+func NewFile(note string, entries []Entry) *File {
+	return &File{
+		Schema:    Schema,
+		Note:      note,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Entries:   entries,
+	}
+}
+
+// AttachBaseline copies the baseline file's current measurements into
+// matching entries as their baseline trajectory point and fills in the
+// speedups, so each emitted file carries its own before/after pair.
+func AttachBaseline(entries []Entry, baseline *File) {
+	byName := make(map[string]*Entry, len(baseline.Entries))
+	for i := range baseline.Entries {
+		byName[baseline.Entries[i].Name] = &baseline.Entries[i]
+	}
+	for i := range entries {
+		if prev, ok := byName[entries[i].Name]; ok {
+			m := prev.Current
+			entries[i].Baseline = &m
+			if entries[i].Current.NsPerOp > 0 {
+				entries[i].Speedup = m.NsPerOp / entries[i].Current.NsPerOp
+			}
+		}
+	}
+}
+
+// Compare gates fresh measurements against a committed baseline file:
+// every baseline benchmark that regressed by more than maxRegress
+// (e.g. 0.25 for +25% ns/op) is reported; benchmarks missing from the fresh
+// run are reported too, so the suite cannot silently shrink.
+func Compare(baseline *File, entries []Entry, maxRegress float64) []string {
+	byName := make(map[string]Measurement, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e.Current
+	}
+	var bad []string
+	for _, b := range baseline.Entries {
+		cur, ok := byName[b.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+			continue
+		}
+		if b.Current.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / b.Current.NsPerOp
+		if ratio > 1+maxRegress {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.0f%% regression, limit %.0f%%)",
+				b.Name, cur.NsPerOp, b.Current.NsPerOp, (ratio-1)*100, maxRegress*100))
+		}
+	}
+	return bad
+}
+
+// WriteFile writes the document as indented JSON with a trailing newline.
+func (f *File) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile loads and schema-checks a BENCH_*.json document.
+func ReadFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	return &f, nil
+}

@@ -1,0 +1,163 @@
+// Package perf defines the hot-path benchmark suite and the BENCH_*.json
+// perf-trajectory format of ROADMAP item 2. The same benchmark bodies back
+// the go-test benchmarks (bench_test.go, the fleet package) and the
+// recflex-bench -perf emitter, so the committed trajectory and the test
+// suite can never drift apart and measure different code.
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/gpusim"
+	"repro/internal/trace"
+)
+
+// Case is one hot-path benchmark: a name as it appears in BENCH_*.json and
+// CI output, the standard testing.B body, and the request count that scales
+// ns/op into simulated requests replayed per wall-clock second (0 for
+// kernel-simulation benchmarks, which have no request stream).
+type Case struct {
+	Name        string
+	ReqsPerIter int
+	Bench       func(*testing.B)
+}
+
+const (
+	replayRequests = 4096
+	fleetRequests  = 512
+)
+
+// Cases returns the hot-path suite the perf gate tracks: the two simulator
+// regimes (wide launch, saturated retire/backfill) and the two replay
+// engines (single-model server, multi-tenant fleet pool).
+func Cases() []Case {
+	return []Case{
+		{Name: "SimulateKernel640Blocks", Bench: SimulateKernel640Blocks},
+		{Name: "SimulateSaturated", Bench: SimulateSaturated},
+		{Name: "ReplayHotPath", ReqsPerIter: replayRequests, Bench: ReplayHotPath},
+		{Name: "FleetServe", ReqsPerIter: fleetRequests, Bench: FleetServe},
+	}
+}
+
+// SimulateKernel640Blocks measures the simulator's wide-launch regime: 640
+// homogeneous blocks over 640 parallel slots, so the whole grid dispatches
+// at t=0 and the event loop never backfills.
+func SimulateKernel640Blocks(b *testing.B) {
+	dev := gpusim.V100()
+	blocks := make([]gpusim.BlockWork, 640)
+	for i := range blocks {
+		blocks[i] = gpusim.BlockWork{
+			CompCycles: 20000, DRAMBytes: 64 << 10, L2Bytes: 16 << 10,
+			MemRequests: 640, Warps: 8, ActiveFrac: 1, Tag: -1,
+		}
+	}
+	k := &gpusim.Kernel{Name: "bench", Resources: gpusim.KernelResources{ThreadsPerBlock: 256}, Blocks: blocks}
+	sim := gpusim.NewSimulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(dev, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SimulateSaturated drives the retire/backfill path hard: one block per SM
+// (80 slots) against a 640-block grid with heterogeneous work, so the event
+// loop spends the whole run in the saturated len(active)==cap regime where
+// every retirement backfills a fresh block.
+func SimulateSaturated(b *testing.B) {
+	dev := gpusim.V100()
+	blocks := make([]gpusim.BlockWork, 640)
+	for i := range blocks {
+		blocks[i] = gpusim.BlockWork{
+			CompCycles: 10000 + float64(i%7)*3000, DRAMBytes: float64(32<<10) + float64(i%5)*8192,
+			L2Bytes: 8 << 10, MemRequests: 320, Warps: 8, ActiveFrac: 1, Tag: i % 16,
+		}
+	}
+	k := &gpusim.Kernel{
+		Name:      "bench-saturated",
+		Resources: gpusim.KernelResources{ThreadsPerBlock: 256, SharedMemPerBlock: 96 * 1024},
+		Blocks:    blocks,
+	}
+	sim := gpusim.NewSimulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(dev, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ReplayHotPath measures the virtual-clock replay engine end to end on a
+// reused server: bounded queue, deadlines, split-at-cap tails and four
+// workers, with a cheap deterministic service so the numbers isolate the
+// replay bookkeeping (queueing, dispatch, percentile aggregation) rather
+// than kernel simulation.
+func ReplayHotPath(b *testing.B) {
+	reqs, err := trace.Generate(replayRequests, trace.GeneratorConfig{
+		QPS: 4000, MaxBatch: 512, TailProb: 0.05, TailSize: 2560, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := trace.NewServer(trace.ServerConfig{
+		Workers: 4, QueueDepth: 64, Deadline: 0.05, SplitCap: 512,
+	}, func(size int) (float64, error) { return float64(size) * 2e-6, nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Serve(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// FleetServe measures the multi-model, multi-tenant pool: two models, two
+// tenants with priorities and a per-tenant deadline, load-aware shedding and
+// a bounded shared queue.
+func FleetServe(b *testing.B) {
+	mk := func(seed int64) []trace.Request {
+		reqs, err := trace.Generate(fleetRequests/2, trace.GeneratorConfig{QPS: 800, MaxBatch: 256, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return reqs
+	}
+	reqs := fleet.Merge(
+		fleet.Stream{Model: 0, Tenant: 0, Reqs: mk(1)},
+		fleet.Stream{Model: 1, Tenant: 1, Reqs: mk(2)},
+	)
+	tenants := []fleet.TenantSpec{
+		{Name: "lo", Priority: 0},
+		{Name: "hi", Priority: 1, Deadline: 0.05},
+	}
+	sizeSvc := func(per float64) trace.TimedServiceFunc {
+		return func(_ float64, size int) (float64, error) { return float64(size) * per, nil }
+	}
+	models := []fleet.Model{
+		{Name: "a", Service: sizeSvc(4e-6)},
+		{Name: "b", Service: sizeSvc(2e-6)},
+	}
+	p, err := fleet.NewPool(fleet.Config{
+		Queue:        trace.QueuePolicy{Workers: 2, QueueDepth: 128},
+		ShedFraction: 0.9,
+	}, models, tenants)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Serve(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

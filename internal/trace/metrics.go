@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Histogram is a log-spaced latency histogram. Buckets cover [Min, Max) in
@@ -22,6 +23,19 @@ type Histogram struct {
 	Sum float64
 	// LowValue / HighValue track the exact observed extremes.
 	LowValue, HighValue float64
+
+	// logRange caches log(Max/Min) so the per-observation bucket lookup costs
+	// one log, not two. Zero on histograms not built by NewHistogram (e.g.
+	// decoded ones); bucketOf falls back to computing it on demand.
+	logRange float64
+
+	// bounds[i] is the exact smallest in-range value belonging to bucket i+1,
+	// precomputed so the per-observation lookup is a short binary search with
+	// no logarithm at all. The thresholds are found by bit-level binary search
+	// against the log formula itself, so search and formula agree on every
+	// float64 — including values one ulp either side of a boundary. Nil on
+	// histograms not built by NewHistogram; bucketOf falls back to the log.
+	bounds []float64
 }
 
 // NewHistogram creates a histogram with n log-spaced buckets between min and
@@ -37,7 +51,63 @@ func NewHistogram(min, max float64, n int) *Histogram {
 		Counts:    make([]int64, n+2),
 		LowValue:  math.Inf(1),
 		HighValue: math.Inf(-1),
+		logRange:  math.Log(max / min),
+		bounds:    cachedBucketBounds(min, max, n),
 	}
+}
+
+// histShape keys the process-wide bucket-boundary cache. Serving runs create
+// one histogram per replay but use a handful of shapes, so the boundary table
+// is computed once per shape per process.
+type histShape struct {
+	min, max float64
+	n        int
+}
+
+var boundsCache sync.Map // histShape -> []float64
+
+func cachedBucketBounds(min, max float64, n int) []float64 {
+	key := histShape{min, max, n}
+	if b, ok := boundsCache.Load(key); ok {
+		return b.([]float64)
+	}
+	b := newBucketBounds(min, max, n)
+	boundsCache.Store(key, b)
+	return b
+}
+
+// newBucketBounds computes, for each interior bucket edge, the exact smallest
+// float64 that the log formula assigns to the bucket above it. Each threshold
+// is found by binary search over the float bit space (positive float64s order
+// identically as bits), evaluating the same clamped formula bucketOf would
+// use — so the table reproduces the formula bit for bit without assuming
+// anything about where log's rounding lands.
+func newBucketBounds(min, max float64, n int) []float64 {
+	lr := math.Log(max / min)
+	raw := func(v float64) int {
+		i := int(math.Log(v/min) / lr * float64(n))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	bounds := make([]float64, n-1)
+	for i := range bounds {
+		lo, hi := math.Float64bits(min), math.Float64bits(max)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if raw(math.Float64frombits(mid)) >= i+1 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		bounds[i] = math.Float64frombits(lo)
+	}
+	return bounds
 }
 
 // buckets returns the number of in-range buckets.
@@ -65,8 +135,25 @@ func (h *Histogram) bucketOf(v float64) int {
 	if v >= h.Max {
 		return len(h.Counts) - 1
 	}
+	if b := h.bounds; b != nil {
+		// Rank of v among the precomputed thresholds = the formula's bucket.
+		lo, hi := 0, len(b)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if v >= b[mid] {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo + 1
+	}
 	n := h.buckets()
-	i := int(math.Log(v/h.Min) / math.Log(h.Max/h.Min) * float64(n))
+	lr := h.logRange
+	if lr == 0 {
+		lr = math.Log(h.Max / h.Min)
+	}
+	i := int(math.Log(v/h.Min) / lr * float64(n))
 	if i < 0 {
 		i = 0
 	}
@@ -215,14 +302,23 @@ type depthSeries struct {
 	samples []QueueSample
 	stride  int
 	tick    int
+	// next is the first tick at or after which a sample may be recorded, so
+	// the common skipped observation is one compare instead of a modulo. The
+	// recorded tick set — ticks with (tick-1) % stride == 0, stride doubling
+	// on decimation — is exactly the modulo formulation's.
+	next int
 }
 
 func (d *depthSeries) observe(t float64, depth int) {
+	d.tick++
+	if d.tick < d.next {
+		return
+	}
 	if d.stride == 0 {
 		d.stride = 1
 	}
-	d.tick++
-	if (d.tick-1)%d.stride != 0 {
+	if r := (d.tick - 1) % d.stride; r != 0 {
+		d.next = d.tick - r + d.stride
 		return
 	}
 	if len(d.samples) >= maxQueueSamples {
@@ -234,6 +330,7 @@ func (d *depthSeries) observe(t float64, depth int) {
 		d.stride *= 2
 	}
 	d.samples = append(d.samples, QueueSample{Time: t, Depth: depth})
+	d.next = d.tick - (d.tick-1)%d.stride + d.stride
 }
 
 // SwapEvent records one schedule hot-swap of a supervised serving run: the

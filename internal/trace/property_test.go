@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -82,5 +83,135 @@ func TestServerReplayEqualsClosedFormProperty(t *testing.T) {
 			t.Errorf("seed %d k=%d: plain server reports swap state: gen=%d swaps=%d tuneBusy=%g",
 				seed, k, m.Generation, len(m.Swaps), m.TuneBusy)
 		}
+	}
+}
+
+// eqFloat treats NaN == NaN (shed requests carry NaN sojourns).
+func eqFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// requireReportsIdentical asserts two reports of the same stream are
+// bit-identical: every per-request figure, every aggregate, every
+// observability series. Used to pin that replay scratch reuse (the pooled
+// queue, split slab, percentile scratch and histogram) never leaks state
+// between runs.
+func requireReportsIdentical(t *testing.T, label string, got, want *trace.Report) {
+	t.Helper()
+	if len(got.Sojourn) != len(want.Sojourn) {
+		t.Fatalf("%s: sojourn lengths %d vs %d", label, len(got.Sojourn), len(want.Sojourn))
+	}
+	for i := range want.Sojourn {
+		if !eqFloat(got.Sojourn[i], want.Sojourn[i]) {
+			t.Fatalf("%s: sojourn[%d] = %x, want %x", label, i, got.Sojourn[i], want.Sojourn[i])
+		}
+		if got.Outcomes[i] != want.Outcomes[i] {
+			t.Fatalf("%s: outcome[%d] = %v, want %v", label, i, got.Outcomes[i], want.Outcomes[i])
+		}
+		if got.Generations[i] != want.Generations[i] {
+			t.Fatalf("%s: generation[%d] = %d, want %d", label, i, got.Generations[i], want.Generations[i])
+		}
+	}
+	if !eqFloat(got.P50, want.P50) || !eqFloat(got.P95, want.P95) || !eqFloat(got.P99, want.P99) {
+		t.Errorf("%s: percentiles (%x, %x, %x), want (%x, %x, %x)",
+			label, got.P50, got.P95, got.P99, want.P50, want.P95, want.P99)
+	}
+	if !eqFloat(got.MeanService, want.MeanService) || !eqFloat(got.Utilization, want.Utilization) {
+		t.Errorf("%s: mean/util (%x, %x), want (%x, %x)",
+			label, got.MeanService, got.Utilization, want.MeanService, want.Utilization)
+	}
+	gm, wm := got.Metrics, want.Metrics
+	type counters struct {
+		served, split, timeouts, dsheds, qsheds, maxDepth int
+	}
+	gc := counters{gm.Served, gm.SplitServed, gm.Timeouts, gm.DeadlineSheds, gm.QueueSheds, gm.MaxQueueDepth}
+	wc := counters{wm.Served, wm.SplitServed, wm.Timeouts, wm.DeadlineSheds, wm.QueueSheds, wm.MaxQueueDepth}
+	if gc != wc {
+		t.Errorf("%s: counters %+v, want %+v", label, gc, wc)
+	}
+	if gm.Makespan != wm.Makespan {
+		t.Errorf("%s: makespan %x, want %x", label, gm.Makespan, wm.Makespan)
+	}
+	if len(gm.Workers) != len(wm.Workers) {
+		t.Fatalf("%s: %d workers, want %d", label, len(gm.Workers), len(wm.Workers))
+	}
+	for w := range wm.Workers {
+		if gm.Workers[w] != wm.Workers[w] {
+			t.Errorf("%s: worker %d stats %+v, want %+v", label, w, gm.Workers[w], wm.Workers[w])
+		}
+	}
+	if len(gm.QueueDepth) != len(wm.QueueDepth) {
+		t.Fatalf("%s: %d queue samples, want %d", label, len(gm.QueueDepth), len(wm.QueueDepth))
+	}
+	for i := range wm.QueueDepth {
+		if gm.QueueDepth[i] != wm.QueueDepth[i] {
+			t.Fatalf("%s: queue sample %d = %+v, want %+v", label, i, gm.QueueDepth[i], wm.QueueDepth[i])
+		}
+	}
+	gh, wh := gm.Latency, wm.Latency
+	if gh.Total != wh.Total || gh.Sum != wh.Sum || !eqFloat(gh.LowValue, wh.LowValue) || !eqFloat(gh.HighValue, wh.HighValue) {
+		t.Errorf("%s: histogram summary (%d, %x) vs (%d, %x)", label, gh.Total, gh.Sum, wh.Total, wh.Sum)
+	}
+	for b := range wh.Counts {
+		if gh.Counts[b] != wh.Counts[b] {
+			t.Fatalf("%s: histogram bucket %d = %d, want %d", label, b, gh.Counts[b], wh.Counts[b])
+		}
+	}
+}
+
+// Property: replays are deterministic ACROSS server reuse. The replay engine
+// pools its working set (queue, split slab, chunk deque, percentile scratch)
+// and memoizes resolved service times, so the test drives one server through
+// interleaved repeats of two differently-shaped streams — deadline sheds,
+// bounded-queue sheds and split tails all active — and requires every repeat
+// to be bit-identical to a fresh server's run of the same stream.
+func TestServerReuseDeterminismProperty(t *testing.T) {
+	cfg := trace.ServerConfig{
+		Workers: 3, QueueDepth: 12, Deadline: 0.02,
+		Policy: trace.DegradeSplitTail, SplitCap: 128,
+	}
+	service := sizeService(25e-6)
+
+	streamA, err := trace.Generate(600, trace.GeneratorConfig{
+		QPS: 2500, MaxBatch: 512, TailProb: 0.12, TailSize: 2560, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamB, err := trace.Generate(350, trace.GeneratorConfig{
+		QPS: 900, MaxBatch: 256, TailProb: 0.03, TailSize: 1400, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference reports from fresh single-use servers.
+	want := make(map[string]*trace.Report)
+	for name, reqs := range map[string][]trace.Request{"A": streamA, "B": streamB} {
+		fresh, err := trace.NewServer(cfg, service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fresh.Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = rep
+	}
+
+	srv, err := trace.NewServer(cfg, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, name := range []string{"A", "B", "A", "A", "B"} {
+		reqs := streamA
+		if name == "B" {
+			reqs = streamB
+		}
+		rep, err := srv.Serve(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireReportsIdentical(t, fmt.Sprintf("round %d stream %s", round, name), rep, want[name])
 	}
 }

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// quantileCases enumerates the shapes that stress a selection-based
+// percentile: tie-heavy samples (the three-way partition's middle band),
+// already-ordered and adversarially-ordered inputs (pivot degeneration),
+// lengths on both sides of the insertion-sort cutoff, and rank collisions
+// where i50 == i95 == i99 on short inputs.
+func quantileCases(rng *rand.Rand) map[string][]float64 {
+	cases := map[string][]float64{
+		"single":          {3.5},
+		"pair":            {2, 1},
+		"pair equal":      {7, 7},
+		"all equal":       make([]float64, 100),
+		"tiny magnitudes": {1e-300, 2e-300, 5e-301},
+	}
+	for i := range cases["all equal"] {
+		cases["all equal"][i] = 0.25
+	}
+	sizes := []int{3, 5, 11, 12, 13, 20, 64, 100, 101, 997}
+	for _, n := range sizes {
+		asc := make([]float64, n)
+		desc := make([]float64, n)
+		organ := make([]float64, n)
+		ties := make([]float64, n)
+		uni := make([]float64, n)
+		for i := 0; i < n; i++ {
+			asc[i] = float64(i) * 1e-3
+			desc[i] = float64(n-i) * 1e-3
+			if i < n/2 {
+				organ[i] = float64(i)
+			} else {
+				organ[i] = float64(n - i)
+			}
+			ties[i] = float64(rng.Intn(4)) // four distinct values: massive tie bands
+			uni[i] = rng.Float64()
+		}
+		cases["asc "+strconv.Itoa(n)] = asc
+		cases["desc "+strconv.Itoa(n)] = desc
+		cases["organ "+strconv.Itoa(n)] = organ
+		cases["ties "+strconv.Itoa(n)] = ties
+		cases["uniform "+strconv.Itoa(n)] = uni
+	}
+	return cases
+}
+
+// TestQuantilerMatchesPercentile pins the exactness claim of the selection
+// rewrite: one reused Quantiler must return bit-for-bit what three independent
+// Percentile sorts return, across tie-heavy, ordered, adversarial and random
+// samples — and must never mutate its input. The single Quantiler is reused
+// across all cases so stale scratch from a larger previous sample is part of
+// what is tested.
+func TestQuantilerMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	var q Quantiler
+	for name, vals := range quantileCases(rng) {
+		orig := append([]float64(nil), vals...)
+		p50, p95, p99 := q.P50P95P99(vals)
+		w50 := Percentile(vals, 0.50)
+		w95 := Percentile(vals, 0.95)
+		w99 := Percentile(vals, 0.99)
+		if p50 != w50 || p95 != w95 || p99 != w99 {
+			t.Errorf("%s: Quantiler = (%g, %g, %g), Percentile = (%g, %g, %g)",
+				name, p50, p95, p99, w50, w95, w99)
+		}
+		for i := range vals {
+			if vals[i] != orig[i] {
+				t.Fatalf("%s: input mutated at %d: %g -> %g", name, i, orig[i], vals[i])
+			}
+		}
+	}
+}
+
+// Empty input returns NaN for all three percentiles, matching Percentile.
+func TestQuantilerEmpty(t *testing.T) {
+	var q Quantiler
+	p50, p95, p99 := q.P50P95P99(nil)
+	if !math.IsNaN(p50) || !math.IsNaN(p95) || !math.IsNaN(p99) {
+		t.Fatalf("empty input: got (%g, %g, %g), want NaNs", p50, p95, p99)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("Percentile reference drifted: empty input no longer NaN")
+	}
+}
+
+// A warm Quantiler allocates nothing: the scratch copy is the only buffer and
+// it is reused once grown.
+func TestQuantilerSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	var q Quantiler
+	q.P50P95P99(vals) // warm-up: grows scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		q.P50P95P99(vals)
+	})
+	if allocs != 0 {
+		t.Errorf("warm P50P95P99 allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// nthElement's depth-limit fallback must still place the k-th element
+// correctly. A median-of-three killer sequence drives the pivot toward
+// degeneration; whether or not the sort fallback triggers, the selected rank
+// must equal the fully sorted reference.
+func TestNthElementAdversarial(t *testing.T) {
+	n := 500
+	s := make([]float64, n)
+	// Interleaved extremes: median-of-three picks poor pivots on this layout.
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s[i] = float64(i)
+		} else {
+			s[i] = float64(n*2 - i)
+		}
+	}
+	for _, k := range []int{0, 1, n / 4, n / 2, n - 2, n - 1} {
+		work := append([]float64(nil), s...)
+		nthElement(work, k)
+		want := append([]float64(nil), s...)
+		insertionSortFloat64(want)
+		if work[k] != want[k] {
+			t.Errorf("nthElement(k=%d) = %g, want %g", k, work[k], want[k])
+		}
+	}
+}

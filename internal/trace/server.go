@@ -95,19 +95,39 @@ func (c *ServerConfig) Queue() QueuePolicy {
 	}
 }
 
-// Validate checks the server configuration.
+// Validate checks the server configuration. The histogram shape is checked
+// after default resolution — the same resolution histogram() applies — so a
+// shape that only turns invalid once defaults kick in (HistMin=20 with
+// HistMax=0, which defaults to 10) fails here, at configuration time, instead
+// of panicking inside NewHistogram mid-Serve.
 func (c *ServerConfig) Validate() error {
 	q := c.Queue()
 	if err := q.Validate(); err != nil {
 		return err
 	}
-	switch {
-	case c.HistMin < 0 || c.HistMax < 0 || c.HistBuckets < 0:
+	if c.HistMin < 0 || c.HistMax < 0 || c.HistBuckets < 0 {
 		return fmt.Errorf("trace: histogram shape must be non-negative")
-	case c.HistMin > 0 && c.HistMax > 0 && c.HistMax <= c.HistMin:
-		return fmt.Errorf("trace: HistMax %g must exceed HistMin %g", c.HistMax, c.HistMin)
+	}
+	if min, max, _ := c.histShape(); max <= min {
+		return fmt.Errorf("trace: HistMax %g must exceed HistMin %g after defaults (HistMin=1e-6, HistMax=10)", max, min)
 	}
 	return nil
+}
+
+// histShape resolves the configured histogram shape with zero-value defaults
+// applied: 1us..10s across 28 log-spaced buckets.
+func (c *ServerConfig) histShape() (min, max float64, n int) {
+	min, max, n = c.HistMin, c.HistMax, c.HistBuckets
+	if min == 0 {
+		min = 1e-6
+	}
+	if max == 0 {
+		max = 10
+	}
+	if n == 0 {
+		n = 28
+	}
+	return min, max, n
 }
 
 // workers returns the effective GPU count.
@@ -118,17 +138,7 @@ func (c *ServerConfig) workers() int {
 
 // histogram builds the configured latency histogram.
 func (c *ServerConfig) histogram() *Histogram {
-	min, max, n := c.HistMin, c.HistMax, c.HistBuckets
-	if min == 0 {
-		min = 1e-6
-	}
-	if max == 0 {
-		max = 10
-	}
-	if n == 0 {
-		n = 28
-	}
-	return NewHistogram(min, max, n)
+	return NewHistogram(c.histShape())
 }
 
 // Report is the outcome of one trace served by the engine: the classic
@@ -173,6 +183,14 @@ type Server struct {
 
 	mu   sync.Mutex
 	last *Metrics
+
+	// svcMu guards svcCache, the cross-Serve memo of resolved service times.
+	// The service function is size-deterministic by contract, so a size
+	// resolved by an earlier Serve is reused without re-invoking the service
+	// function — or spinning up the resolution worker pool at all when every
+	// size hits.
+	svcMu    sync.Mutex
+	svcCache map[int]float64
 }
 
 // NewServer creates a serving engine over the given service function.
@@ -213,36 +231,92 @@ func (c *ServerConfig) chunkSizes(size int) []int {
 	return q.ChunkSizes(size)
 }
 
+// denseSizeLimit bounds the dense size-indexed fast paths: up to this maximum
+// batch size, per-size tables are flat arrays instead of maps. Serving batch
+// sizes (hundreds to a few thousand samples) sit far below it.
+const denseSizeLimit = 1 << 16
+
+// maxRequestSize returns the largest request size in the stream. Split-at-cap
+// chunk sizes never exceed it: a chunk is the cap (below its parent's size)
+// or the remainder (below the cap).
+func maxRequestSize(reqs []Request) int {
+	max := 0
+	for i := range reqs {
+		if reqs[i].Size > max {
+			max = reqs[i].Size
+		}
+	}
+	return max
+}
+
 // resolveServiceTimes runs the concurrent phase: an admission goroutine
 // walks the stream in arrival order pushing each not-yet-seen size into a
 // bounded channel, and k worker goroutines drain it, invoking the service
 // function in parallel. Returns the size -> service time table.
 func (s *Server) resolveServiceTimes(reqs []Request) (map[int]float64, error) {
 	// Sizes in first-need order: request sizes, plus the chunk sizes their
-	// split fallback could dispatch.
+	// split fallback could dispatch. Serving batch sizes are small, so the
+	// dedup set is a dense bitmap when the largest size allows it (the common
+	// case) and a map otherwise; either way the needed order — which fixes
+	// the deterministic error selection below — is identical.
 	var needed []int
-	seen := make(map[int]bool)
+	var seenDense []bool
+	var seenMap map[int]bool
+	if max := maxRequestSize(reqs); max <= denseSizeLimit {
+		seenDense = make([]bool, max+1)
+	} else {
+		seenMap = make(map[int]bool)
+	}
 	need := func(size int) {
-		if !seen[size] {
-			seen[size] = true
+		if seenDense != nil {
+			if !seenDense[size] {
+				seenDense[size] = true
+				needed = append(needed, size)
+			}
+		} else if !seenMap[size] {
+			seenMap[size] = true
 			needed = append(needed, size)
 		}
 	}
+	splitCap := s.cfg.SplitCap
 	for _, r := range reqs {
 		need(r.Size)
-		if s.cfg.Policy == DegradeSplitTail && s.cfg.isTail(r.Size) {
-			for _, c := range s.cfg.chunkSizes(r.Size) {
-				need(c)
+		if s.cfg.Policy == DegradeSplitTail && splitCap > 0 && r.Size > splitCap {
+			// The distinct chunk sizes of a split-at-cap decomposition: the
+			// cap, plus the remainder when the size is not a multiple of it.
+			need(splitCap)
+			if rem := r.Size % splitCap; rem > 0 {
+				need(rem)
 			}
 		}
 	}
 
+	// Serve the memo first: only sizes no earlier Serve resolved go to the
+	// worker pool. Failures are never cached, so a size that errored once is
+	// retried on the next call.
+	times := make(map[int]float64, len(needed))
+	toResolve := needed
+	s.svcMu.Lock()
+	if len(s.svcCache) > 0 {
+		toResolve = nil
+		for _, size := range needed {
+			if t, ok := s.svcCache[size]; ok {
+				times[size] = t
+			} else {
+				toResolve = append(toResolve, size)
+			}
+		}
+	}
+	s.svcMu.Unlock()
+	if len(toResolve) == 0 {
+		return times, nil
+	}
+
 	depth := s.cfg.QueueDepth
 	if depth == 0 {
-		depth = len(needed)
+		depth = len(toResolve)
 	}
 	admit := make(chan int, depth)
-	times := make(map[int]float64, len(needed))
 	errs := make(map[int]error)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -265,7 +339,7 @@ func (s *Server) resolveServiceTimes(reqs []Request) (map[int]float64, error) {
 			}
 		}()
 	}
-	for _, size := range needed {
+	for _, size := range toResolve {
 		admit <- size
 	}
 	close(admit)
@@ -276,6 +350,14 @@ func (s *Server) resolveServiceTimes(reqs []Request) (map[int]float64, error) {
 			return nil, fmt.Errorf("trace: size %d: %w", size, err)
 		}
 	}
+	s.svcMu.Lock()
+	if s.svcCache == nil {
+		s.svcCache = make(map[int]float64, len(toResolve))
+	}
+	for _, size := range toResolve {
+		s.svcCache[size] = times[size]
+	}
+	s.svcMu.Unlock()
 	return times, nil
 }
 
@@ -324,6 +406,52 @@ type replayState struct {
 	met     *Metrics
 }
 
+// replayScratch is the reusable per-replay working set: everything a replay
+// allocates that does not escape into its Report. Pooled across replays so a
+// reused server (or supervisor, or back-to-back benchmark iterations) runs
+// its event loop out of warm memory instead of re-growing the queue, split
+// table and percentile scratch every time.
+type replayScratch struct {
+	state     replayState
+	queue     []qentry
+	servedSoj []float64
+	depths    depthSeries
+	quant     Quantiler
+	// Split bookkeeping: splitState values live in a slab so back-to-back
+	// replays reuse the entries; the map only holds pointers into it. Pointers
+	// stay valid across slab growth (they keep addressing the backing they
+	// were taken from) and the map is cleared, not reallocated, between runs.
+	splits    map[int]*splitState
+	splitSlab []splitState
+	chunkBuf  []qentry
+}
+
+var replayPool = sync.Pool{
+	New: func() any {
+		return &replayScratch{splits: make(map[int]*splitState)}
+	},
+}
+
+// grab prepares the scratch for one replay over n requests and k workers.
+func (sc *replayScratch) grab(k int) {
+	if cap(sc.state.free) < k {
+		sc.state.free = make([]float64, k)
+		sc.state.workers = make([]WorkerStats, k)
+	}
+	sc.state.free = sc.state.free[:k]
+	sc.state.workers = sc.state.workers[:k]
+	for g := 0; g < k; g++ {
+		sc.state.free[g] = 0
+		sc.state.workers[g] = WorkerStats{}
+	}
+	sc.queue = sc.queue[:0]
+	sc.servedSoj = sc.servedSoj[:0]
+	sc.depths = depthSeries{samples: sc.depths.samples[:0]}
+	sc.splitSlab = sc.splitSlab[:0]
+	sc.chunkBuf = sc.chunkBuf[:0]
+	clear(sc.splits)
+}
+
 // Occupy books dur seconds of background work on the least-loaded worker at
 // virtual time now, returning the chosen slot and the booked start/end. The
 // booked interval delays every later dispatch routed to that worker, so the
@@ -359,10 +487,24 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 	k := cfg.workers()
 	n := len(sorted)
 	met := &Metrics{Latency: cfg.histogram()}
-	state := &replayState{cfg: cfg, free: make([]float64, k), workers: make([]WorkerStats, k), met: met}
+	sc := replayPool.Get().(*replayScratch)
+	sc.grab(k)
+	queue := sc.queue
+	chunks := sc.chunkBuf
+	defer func() {
+		// Hand the (possibly grown) buffers back to the scratch so the pool
+		// keeps their capacity, and drop the Metrics reference so pooling the
+		// scratch does not pin the returned snapshot.
+		sc.queue = queue
+		sc.chunkBuf = chunks
+		sc.state.met = nil
+		replayPool.Put(sc)
+	}()
+	state := &sc.state
+	state.cfg = cfg
+	state.met = met
 	free := state.free
 	workerStats := state.workers
-	var depths depthSeries
 	rep := &Report{
 		Result:      Result{Sojourn: make([]float64, n)},
 		Outcomes:    make([]Outcome, n),
@@ -373,10 +515,17 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 		rep.Sojourn[i] = math.NaN()
 	}
 
+	// Hot-loop constants, hoisted so the per-event checks are plain compares
+	// instead of repeated config-struct construction.
+	splitTail := cfg.Policy == DegradeSplitTail
+	shedPolicy := cfg.Policy == DegradeShed
+	splitCap := cfg.SplitCap
+	isTail := func(size int) bool { return splitCap > 0 && size > splitCap }
+	defDeadline := cfg.Deadline
 	deadlineOf := func(r Request) float64 {
 		d := r.Deadline
 		if d == 0 {
-			d = cfg.Deadline
+			d = defDeadline
 		}
 		if d == 0 {
 			return math.Inf(1)
@@ -384,19 +533,23 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 		return r.Arrival + d
 	}
 
-	// FIFO queue over a sliding window of a slice.
-	var queue []qentry
+	// FIFO queue over a sliding window of a slice, plus a chunk deque that
+	// dispatches strictly ahead of it — equivalent to the former front
+	// insertion of split chunks (chunks inherit their parent's arrival, which
+	// precedes every later admission), without re-copying the queued suffix
+	// on every split.
 	head := 0
-	qlen := func() int { return len(queue) - head }
+	chead := 0
+	qlen := func() int { return (len(queue) - head) + (len(chunks) - chead) }
 	observeDepth := func(t float64) {
 		d := qlen()
 		if d > met.MaxQueueDepth {
 			met.MaxQueueDepth = d
 		}
-		depths.observe(t, d)
+		sc.depths.observe(t, d)
 	}
 
-	splits := make(map[int]*splitState)
+	splits := sc.splits
 	var busy, totalService, lastEnd float64
 	served := 0
 
@@ -433,6 +586,10 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 	}
 
 	next := 0 // next arrival in sorted order
+	// The dispatched entry lives outside the loop: its address is passed to
+	// the indirect resolve func, so an in-loop declaration escapes and costs
+	// one heap allocation per dispatch.
+	var e qentry
 	for next < n || qlen() > 0 {
 		// Next event: dispatch the queue head as soon as a worker can take
 		// it, unless an arrival happens strictly first. Ties dispatch first,
@@ -449,7 +606,19 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 					best = g
 				}
 			}
-			tDisp = math.Max(queue[head].arrival, free[best])
+			headArr := 0.0
+			if chead < len(chunks) {
+				headArr = chunks[chead].arrival
+			} else {
+				headArr = queue[head].arrival
+			}
+			// Plain compare instead of math.Max: both operands are finite
+			// non-negative virtual times, so the NaN/signed-zero handling
+			// math.Max pays for cannot matter here.
+			tDisp = free[best]
+			if headArr > tDisp {
+				tDisp = headArr
+			}
 		}
 
 		if tDisp > tArr { // admit the next arrival
@@ -465,18 +634,19 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 			rep.Generations[originalIndex(order, next)] = e.gen
 			next++
 			if cfg.QueueDepth > 0 && qlen() >= cfg.QueueDepth {
-				if cfg.Policy == DegradeSplitTail {
+				if splitTail {
 					switch {
-					case cfg.isTail(e.size):
+					case isTail(e.size):
 						shed(e.pos, OutcomeShedQueue)
 						observeDepth(r.Arrival)
 						continue
 					default:
 						// Evict the youngest queued whole tail request to
 						// make room; if none, admit anyway (soft bound for
-						// non-tail traffic).
+						// non-tail traffic). Chunks live in their own deque,
+						// so every queue entry here is a whole request.
 						for j := len(queue) - 1; j >= head; j-- {
-							if !queue[j].chunk && cfg.isTail(queue[j].size) {
+							if isTail(queue[j].size) {
 								shed(queue[j].pos, OutcomeShedQueue)
 								queue = append(queue[:j], queue[j+1:]...)
 								break
@@ -494,14 +664,24 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 			continue
 		}
 
-		// Dispatch the head on the least-loaded worker.
-		e := queue[head]
-		head++
-		// Reclaim the consumed prefix so the queue slice cannot grow
-		// unboundedly across a long trace.
-		if head > 256 && head*2 > len(queue) {
-			queue = append(queue[:0], queue[head:]...)
-			head = 0
+		// Dispatch the head — pending split chunks first, then the FIFO
+		// queue — on the least-loaded worker.
+		if chead < len(chunks) {
+			e = chunks[chead]
+			chead++
+			if chead == len(chunks) {
+				chunks = chunks[:0]
+				chead = 0
+			}
+		} else {
+			e = queue[head]
+			head++
+			// Reclaim the consumed prefix so the queue slice cannot grow
+			// unboundedly across a long trace.
+			if head > 256 && head*2 > len(queue) {
+				queue = append(queue[:0], queue[head:]...)
+				head = 0
+			}
 		}
 		st := tDisp
 		observeDepth(st)
@@ -533,26 +713,33 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 		}
 
 		switch {
-		case cfg.Policy == DegradeShed && st+sv > e.deadline:
+		case shedPolicy && st+sv > e.deadline:
 			shed(e.pos, OutcomeShedDeadline)
 			continue
-		case cfg.Policy == DegradeSplitTail && cfg.isTail(e.size) && st > e.deadline:
+		case splitTail && isTail(e.size) && st > e.deadline:
 			// The tail request cannot even start before its deadline.
 			shed(e.pos, OutcomeShedDeadline)
 			continue
-		case cfg.Policy == DegradeSplitTail && cfg.isTail(e.size) && st+sv > e.deadline:
-			// Split-at-cap fallback: re-admit the request as chunks at the
-			// queue front; each chunk routes independently, so chunks of one
-			// tail request can run on several GPUs at once. Chunks inherit
-			// the parent's generation: a split request is still one
-			// admission and finishes on the schedule set it arrived under.
-			chunks := cfg.chunkSizes(e.size)
-			splits[e.pos] = &splitState{remaining: len(chunks)}
-			entries := make([]qentry, len(chunks))
-			for i, c := range chunks {
-				entries[i] = qentry{pos: e.pos, arrival: e.arrival, deadline: e.deadline, size: c, gen: e.gen, chunk: true}
+		case splitTail && isTail(e.size) && st+sv > e.deadline:
+			// Split-at-cap fallback: re-admit the request as capped chunks
+			// that dispatch ahead of the queue; each chunk routes
+			// independently, so chunks of one tail request can run on several
+			// GPUs at once. Chunks inherit the parent's generation: a split
+			// request is still one admission and finishes on the schedule set
+			// it arrived under. The split state lives in the pooled slab; the
+			// map only ever holds pointers into it.
+			cnt := 0
+			for sz := e.size; sz > 0; {
+				c := sz
+				if c > splitCap {
+					c = splitCap
+				}
+				chunks = append(chunks, qentry{pos: e.pos, arrival: e.arrival, deadline: e.deadline, size: c, gen: e.gen, chunk: true})
+				sz -= c
+				cnt++
 			}
-			queue = append(queue[:head], append(entries, queue[head:]...)...)
+			sc.splitSlab = append(sc.splitSlab, splitState{remaining: cnt})
+			splits[e.pos] = &sc.splitSlab[len(sc.splitSlab)-1]
 			continue
 		}
 		free[best] = st + sv
@@ -562,16 +749,16 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 		finish(e.pos, free[best], sv, OutcomeServed)
 	}
 
-	// Aggregate statistics over served requests.
-	servedSoj := make([]float64, 0, served)
+	// Aggregate statistics over served requests through the pooled scratch:
+	// one reused sojourn buffer, one partially-ordered percentile pass.
+	servedSoj := sc.servedSoj[:0]
 	for _, v := range rep.Sojourn {
 		if !math.IsNaN(v) {
 			servedSoj = append(servedSoj, v)
 		}
 	}
-	rep.P50 = Percentile(servedSoj, 0.50)
-	rep.P95 = Percentile(servedSoj, 0.95)
-	rep.P99 = Percentile(servedSoj, 0.99)
+	sc.servedSoj = servedSoj
+	rep.P50, rep.P95, rep.P99 = sc.quant.P50P95P99(servedSoj)
 	if served > 0 {
 		rep.MeanService = totalService / float64(served)
 	}
@@ -592,8 +779,11 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 			workerStats[g].Utilization = (workerStats[g].Busy + workerStats[g].TuneBusy) / met.Makespan
 		}
 	}
-	met.Workers = workerStats
-	met.QueueDepth = depths.samples
+	// Copy the per-worker and queue-depth views out of the pooled scratch —
+	// the Report outlives this replay, so nothing it holds may alias memory
+	// the next replay will overwrite.
+	met.Workers = append([]WorkerStats(nil), workerStats...)
+	met.QueueDepth = append([]QueueSample(nil), sc.depths.samples...)
 	return rep, nil
 }
 
@@ -610,8 +800,33 @@ func (s *Server) Serve(reqs []Request) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pre-resolve each position's service time so the replay's per-dispatch
+	// resolve is an indexed load; split chunks (whose sizes need not match
+	// any request's) go through a dense size table when sizes are small, the
+	// size map otherwise.
+	svc := make([]float64, len(sorted))
+	var bySize []float64
+	if max := maxRequestSize(sorted); max <= denseSizeLimit {
+		bySize = make([]float64, max+1)
+		for size, t := range times {
+			bySize[size] = t
+		}
+		for i, r := range sorted {
+			svc[i] = bySize[r.Size]
+		}
+	} else {
+		for i, r := range sorted {
+			svc[i] = times[r.Size]
+		}
+	}
 	rep, err := runReplay(s.cfg, sorted, order, func(e *qentry) (float64, error) {
-		return times[e.size], nil
+		if e.chunk {
+			if bySize != nil {
+				return bySize[e.size], nil
+			}
+			return times[e.size], nil
+		}
+		return svc[e.pos], nil
 	}, nil, nil)
 	if err != nil {
 		return nil, err

@@ -181,9 +181,8 @@ func Serve(reqs []Request, service ServiceFunc) (*Result, error) {
 		busy += s
 		totalService += s
 	}
-	res.P50 = Percentile(res.Sojourn, 0.50)
-	res.P95 = Percentile(res.Sojourn, 0.95)
-	res.P99 = Percentile(res.Sojourn, 0.99)
+	var q Quantiler
+	res.P50, res.P95, res.P99 = q.P50P95P99(res.Sojourn)
 	res.MeanService = totalService / float64(len(reqs))
 	makespan := free - reqs[0].Arrival
 	if makespan > 0 {
@@ -252,9 +251,8 @@ func ServeMultiGPU(reqs []Request, k int, service ServiceFunc) (*Result, error) 
 		busy += s
 		totalService += s
 	}
-	res.P50 = Percentile(res.Sojourn, 0.50)
-	res.P95 = Percentile(res.Sojourn, 0.95)
-	res.P99 = Percentile(res.Sojourn, 0.99)
+	var q Quantiler
+	res.P50, res.P95, res.P99 = q.P50P95P99(res.Sojourn)
 	res.MeanService = totalService / float64(len(reqs))
 	if span := makespanEnd - reqs[0].Arrival; span > 0 {
 		res.Utilization = busy / (span * float64(k))

@@ -114,6 +114,9 @@ func tuneFeature(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int,
 	// measured block-time sum is scaled back to the full plan.
 	scale := make([]float64, len(candidates))
 
+	// One reused simulator across the tuning batches: each iteration only
+	// reads TagTime before the next Run overwrites the result.
+	sim := gpusim.NewSimulator()
 	for bi := range ws {
 		w := &ws[bi][f]
 		var blocks []gpusim.BlockWork
@@ -159,7 +162,7 @@ func tuneFeature(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int,
 			Blocks:              blocks,
 			BlocksPerSMOverride: occ,
 		}
-		r, err := gpusim.Simulate(dev, k)
+		r, err := sim.Run(dev, k)
 		if err != nil {
 			return 0, err
 		}

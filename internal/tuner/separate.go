@@ -91,6 +91,9 @@ func SeparateCombine(dev *gpusim.Device, model *Model, batches []*embedding.Batc
 func tuneFeatureSeparate(dev *gpusim.Device, model *Model, f int, ws [][]sched.Workload) (int, error) {
 	candidates := model.Candidates[f]
 	best, bestScore := -1, math.Inf(1)
+	// One reused simulator across candidates: only the scalar Time is read
+	// from each run.
+	sim := gpusim.NewSimulator()
 	for ci, s := range candidates {
 		total := 0.0
 		supported := false
@@ -116,7 +119,7 @@ func tuneFeatureSeparate(dev *gpusim.Device, model *Model, f int, ws [][]sched.W
 				Blocks:                p.Blocks,
 				IncludeLaunchOverhead: true,
 			}
-			r, err := gpusim.Simulate(dev, k)
+			r, err := sim.Run(dev, k)
 			if err != nil {
 				return 0, err
 			}
