@@ -192,6 +192,12 @@ func BenchmarkSimulateSaturated(b *testing.B) { perf.SimulateSaturated(b) }
 
 func BenchmarkReplayHotPath(b *testing.B) { perf.ReplayHotPath(b) }
 
+func BenchmarkTuneSerial(b *testing.B) { perf.TuneSerial(b) }
+
+func BenchmarkTuneParallel(b *testing.B) { perf.TuneParallel(b) }
+
+func BenchmarkRetuneWarm(b *testing.B) { perf.RetuneWarm(b) }
+
 func BenchmarkPoolingReference(b *testing.B) {
 	features, tables, makeBatch := buildToyModel(b)
 	batch := makeBatch(256)

@@ -34,6 +34,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
 		sepAblat = flag.Bool("separate", false, "also run the separate-combine straw-man tuner")
 		outFile  = flag.String("o", "", "save the tuned schedules as JSON (loadable by core.LoadTuned)")
+		prune    = flag.Bool("prune", false, "successive-halving pruning in the local stage (sampled first pass, survivors re-scored at full budget)")
+		warmFile = flag.String("warm-start", "", "warm-start the search from a previously saved tuning result (a -o file)")
+		serial   = flag.Bool("serial", false, "force the serial reference engine (ignores -prune/-warm-start)")
 	)
 	flag.Parse()
 
@@ -65,9 +68,18 @@ func main() {
 	features := experiments.Features(cfg)
 	m := tuner.DefaultModel(features)
 
+	topts := tuner.Options{Parallelism: *workers, Prune: *prune, Serial: *serial}
+	if *warmFile != "" {
+		incumbent := core.New(dev, features)
+		if err := incumbent.LoadTuned(*warmFile); err != nil {
+			log.Fatalf("-warm-start: %v", err)
+		}
+		topts.Warm = tuner.WarmFrom(incumbent.Tuned())
+	}
+
 	start := time.Now()
 	rf := core.New(dev, features)
-	if err := rf.Tune(ds.Batches, tuner.Options{Parallelism: *workers}); err != nil {
+	if err := rf.Tune(ds.Batches, topts); err != nil {
 		log.Fatal(err)
 	}
 	res := rf.Tuned()

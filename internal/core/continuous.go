@@ -55,11 +55,22 @@ type ContinuousOptions struct {
 	// PhaseOf collapses virtual time onto drift phases for measurement
 	// memoization; nil means time-invariant.
 	PhaseOf func(t float64) float64
-	// Tune configures each background re-tune's schedule search.
+	// Tune configures each background re-tune's schedule search. Setting
+	// Tune.Memo to a shared tuner.NewMemo() carries simulation results
+	// across generations (and across models, when several serving loops
+	// share one cache): a re-tune after a partial drift re-simulates only
+	// what actually changed.
 	Tune tuner.Options
 	// RetuneBatches caps the distinct window batches a re-tune samples
 	// (most recent first); 0 means 4.
 	RetuneBatches int
+	// WarmStart seeds every background re-tune with the outgoing
+	// generation's tuning result (tuner.Options.Warm): the incumbent's
+	// candidate choices are protected from pruning and its occupancy is
+	// measured first so worse occupancies can be abandoned early. The
+	// selected schedule set is unchanged — warm-starting only cuts the
+	// re-tune's wall time (see trace.Metrics.TuneWall).
+	WarmStart bool
 }
 
 // retuneBatchCap returns the effective cap on re-tune history batches.
@@ -217,8 +228,15 @@ func (r *RecFlex) continuousSupervisor(src TimedBatchSource, opts ContinuousOpti
 		if err != nil {
 			return nil, err
 		}
+		topts := opts.Tune
+		if opts.WarmStart {
+			// Seed the search with the generation being replaced — cur, not
+			// r: after a swap (or rollback) the incumbent is whatever is
+			// live now, and its choices are what the next tune must beat.
+			topts.Warm = tuner.WarmFrom(cur.Tuned())
+		}
 		fresh := &RecFlex{dev: r.dev, model: r.model}
-		if err := fresh.Tune(batches, opts.Tune); err != nil {
+		if err := fresh.Tune(batches, topts); err != nil {
 			return nil, fmt.Errorf("core: background tune for generation %d: %w", gen, err)
 		}
 		cur = fresh

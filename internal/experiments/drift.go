@@ -52,6 +52,29 @@ type DriftResult struct {
 	PoisonCanaryMean, PoisonBaselineMean float64
 	RollbackAt                           float64
 	PostRollbackMean                     float64
+	// Fleet-speed act: the same drift-detect→hot-swap lifecycle timed under
+	// the serial reference tuner and under the fleet-speed engine. The wall
+	// times are measured host seconds spent inside the background re-tune
+	// (trace.Metrics.TuneWall). The fleet arms keep pruning OFF, so the
+	// re-tuned schedule set is bit-identical to the serial reference by the
+	// equivalence pin; the speed comes from warm-starting the search from
+	// the outgoing generation and from a fleet-shared simulation memo.
+	RetuneWallSerial float64
+	// RetuneWallWarm is the first fleet replica's re-tune: warm-started from
+	// the outgoing generation (occupancies that cannot beat the incumbent
+	// abandon early) against a still-cold shared memo.
+	RetuneWallWarm float64
+	// RetuneWallFleet is the second replica's re-tune over the shared drift
+	// profile window: every candidate simulation hits the memo the first
+	// replica populated, so the drift-detect→hot-swap wall time collapses.
+	// This is the steady-state per-replica cost of rolling a re-tune across
+	// a fleet.
+	RetuneWallFleet float64
+	// RetuneSpeedup is RetuneWallSerial / RetuneWallFleet.
+	RetuneSpeedup float64
+	// FastScheduleMatch reports whether both fleet re-tunes selected exactly
+	// the serial re-tune's schedules and occupancy.
+	FastScheduleMatch bool
 }
 
 // DriftStudy runs the lifecycle on model C (all multi-hot: every feature
@@ -140,6 +163,48 @@ func (s *Suite) driftStudy() (*DriftResult, error) {
 	res.StaleLatency = staleMean
 	res.Improvement = res.StaleLatency / res.FreshLatency
 
+	// Fleet-speed act: time the drift-detect→hot-swap path — the wall time
+	// the background re-tune actually takes — under the serial reference
+	// tuner and under the fleet-speed engine. Same trace, same drift, same
+	// supervisor; only the tuner engine differs. The serial arm replays the
+	// lifecycle with Options.Serial pinning the pre-fleet-speed reference.
+	// The fleet arm models two replicas of the model hitting the same drift
+	// and re-tuning from the shared drift profile window: both warm-start
+	// from the outgoing generation, keep pruning OFF (so the schedule set is
+	// bit-identical to the serial arm by construction), and share one
+	// simulation memo. The first replica pays for the simulations once; the
+	// second replica's re-tune — the fleet steady state — runs almost
+	// entirely out of the memo.
+	serialOpts := opts
+	serialOpts.Tune.Serial = true
+	serialLive := rf.Clone()
+	serialRep, err := serialLive.ServeContinuous(reqs, src, serialOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.RetuneWallSerial = serialRep.Metrics.TuneWall
+
+	fleetOpts := opts
+	fleetOpts.WarmStart = true
+	fleetOpts.Tune.Memo = tuner.NewMemo()
+	warmLive := rf.Clone()
+	warmRep, err := warmLive.ServeContinuous(reqs, src, fleetOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.RetuneWallWarm = warmRep.Metrics.TuneWall
+
+	fleetLive := rf.Clone()
+	fleetRep, err := fleetLive.ServeContinuous(reqs, src, fleetOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.RetuneWallFleet = fleetRep.Metrics.TuneWall
+	if res.RetuneWallFleet > 0 {
+		res.RetuneSpeedup = res.RetuneWallSerial / res.RetuneWallFleet
+	}
+	res.FastScheduleMatch = sameTuning(serialLive, warmLive) && sameTuning(serialLive, fleetLive)
+
 	// Guarded-promotion stress: replay the same trace, but make the re-tune
 	// poisoned — 3x slower than the live schedules, the worst case of a tune
 	// overfitting a noisy drift window. The canary guard must measure the
@@ -194,6 +259,21 @@ func (s *Suite) driftStudy() (*DriftResult, error) {
 	return res, nil
 }
 
+// sameTuning reports whether two instances adopted the same schedule set:
+// identical winning occupancy and per-feature schedule choices.
+func sameTuning(a, b *core.RecFlex) bool {
+	ta, tb := a.Tuned(), b.Tuned()
+	if ta == nil || tb == nil || ta.Occupancy != tb.Occupancy || len(ta.Choices) != len(tb.Choices) {
+		return false
+	}
+	for f := range ta.Choices {
+		if ta.Choices[f].Name() != tb.Choices[f].Name() {
+			return false
+		}
+	}
+	return true
+}
+
 // PrintDriftStudy renders the lifecycle study.
 func (s *Suite) PrintDriftStudy(w io.Writer) error {
 	res, err := s.DriftStudy()
@@ -209,6 +289,14 @@ func (s *Suite) PrintDriftStudy(w io.Writer) error {
 		report.FmtUS(res.DetectedAt), report.FmtUS(res.TuneBusy), report.FmtUS(res.SwappedAt), res.Generation,
 		report.FmtUS(res.StaleLatency), report.FmtUS(res.FreshLatency),
 		report.FmtRatio(res.Improvement)); err != nil {
+		return err
+	}
+	match := "schedules unchanged"
+	if !res.FastScheduleMatch {
+		match = "schedules differ"
+	}
+	if _, err = fmt.Fprintf(w, "fleet-speed re-tune: serial %.0fms, warm-start %.0fms, fleet-shared memo %.0fms (%.1fx faster, %s)\n",
+		res.RetuneWallSerial*1e3, res.RetuneWallWarm*1e3, res.RetuneWallFleet*1e3, res.RetuneSpeedup, match); err != nil {
 		return err
 	}
 	if res.PoisonRollbacks > 0 {

@@ -89,6 +89,29 @@ func TestDriftStudy(t *testing.T) {
 	if res.Improvement < 1.0 {
 		t.Errorf("re-tuning made things worse: %.3f", res.Improvement)
 	}
+	// The fleet-speed act: at this scale (~40 features) the warm-started,
+	// memo-shared fleet re-tune must cut the measured drift-detect→hot-swap
+	// wall time at least 3x against the serial reference, without changing
+	// the selected schedule set (pruning stays off in this arm, so the match
+	// is required exactly).
+	if res.RetuneWallSerial <= 0 || res.RetuneWallWarm <= 0 || res.RetuneWallFleet <= 0 {
+		t.Fatalf("re-tune wall times not measured: serial %g warm %g fleet %g",
+			res.RetuneWallSerial, res.RetuneWallWarm, res.RetuneWallFleet)
+	}
+	if res.RetuneSpeedup < 3 {
+		t.Errorf("fleet-speed re-tune only %.2fx faster (serial %.0fms, fleet %.0fms), want >= 3x",
+			res.RetuneSpeedup, res.RetuneWallSerial*1e3, res.RetuneWallFleet*1e3)
+	}
+	if !res.FastScheduleMatch {
+		t.Error("fleet-speed re-tune selected a different schedule set than the serial reference")
+	}
+	if res.RetuneWallFleet >= res.RetuneWallWarm {
+		t.Errorf("memo-warm fleet re-tune %.0fms did not beat the cold-memo warm re-tune %.0fms",
+			res.RetuneWallFleet*1e3, res.RetuneWallWarm*1e3)
+	}
+	t.Logf("re-tune wall: serial %.0fms, warm-start %.0fms, fleet-shared memo %.0fms (%.1fx)",
+		res.RetuneWallSerial*1e3, res.RetuneWallWarm*1e3, res.RetuneWallFleet*1e3, res.RetuneSpeedup)
+
 	// The poisoned-retune act: the canary guard must catch the 3x-slower
 	// promotion, roll it back, and latency must recover after the revert.
 	if res.PoisonRollbacks != 1 {

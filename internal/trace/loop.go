@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Occupier books background (non-serving) work on a replay loop's worker
@@ -46,6 +47,7 @@ type LoopControl struct {
 	canary    *canaryRun
 	retunes   int
 	rollbacks int
+	tuneWall  float64
 
 	window        []WindowEntry
 	winFull       bool
@@ -160,7 +162,9 @@ func (lc *LoopControl) Admit(oc Occupier, size int, now float64) (int, error) {
 			// the slot is booked for the tune's duration, so serving
 			// capacity drops by one worker until the swap.
 			newGen := len(lc.swaps) + 1
+			tuneStart := time.Now()
 			svc, err := sv.retune(newGen, lc.window)
+			tuneWall := time.Since(tuneStart).Seconds()
 			if err != nil {
 				return 0, fmt.Errorf("trace: re-tune for generation %d: %w", newGen, err)
 			}
@@ -176,7 +180,9 @@ func (lc *LoopControl) Admit(oc Occupier, size int, now float64) (int, error) {
 				Swapped:      end,
 				Worker:       worker,
 				TuneDuration: end - start,
+				TuneWall:     tuneWall,
 			})
+			lc.tuneWall += tuneWall
 			lc.pendingSvc = svc
 			lc.pendingAt = end
 			lc.cooldownUntil = end + sv.cfg.Cooldown
@@ -245,6 +251,7 @@ func (lc *LoopControl) Finalize(rep *Report) {
 	met.Generation = len(lc.swaps)
 	met.Swaps = lc.swaps
 	met.Rollbacks = lc.rollbacks
+	met.TuneWall = lc.tuneWall
 
 	sv.mu.Lock()
 	sv.last = met

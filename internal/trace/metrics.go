@@ -361,6 +361,12 @@ type SwapEvent struct {
 	Worker int
 	// TuneDuration is the simulated seconds the tune held its worker slot.
 	TuneDuration float64
+	// TuneWall is the measured wall-clock seconds the retuner ran for (zero
+	// for rollback events, which need no tune). Unlike every other field it
+	// reflects host time, not virtual time: it is the real cost of producing
+	// the next generation, the number the fleet-speed tuner drives down.
+	// Deterministic-replay comparisons must ignore it.
+	TuneWall float64
 	// PreMean / PostMean split served latency around the swap: the mean
 	// sojourn of requests admitted on the previous generation vs on this
 	// one. NaN when a side served no requests.
@@ -429,6 +435,11 @@ type Metrics struct {
 	// TuneBusy is the total simulated worker time background re-tunes
 	// occupied — serving capacity spent on tuning rather than requests.
 	TuneBusy float64
+	// TuneWall is the total measured wall-clock seconds spent inside the
+	// retuner across this run's background tunes (sum of SwapEvent.TuneWall).
+	// Host time, not virtual time; deterministic-replay comparisons must
+	// ignore it.
+	TuneWall float64
 }
 
 // Shed returns the total number of dropped requests.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -39,7 +40,8 @@ func reportsEqual(a, b *trace.Report) bool {
 	return metricsEqual(a.Metrics, b.Metrics)
 }
 
-// metricsEqual compares snapshots with NaN-tolerant swap means.
+// metricsEqual compares snapshots with NaN-tolerant swap means, ignoring the
+// wall-clock TuneWall fields (host time differs across identical replays).
 func metricsEqual(a, b *trace.Metrics) bool {
 	if len(a.Swaps) != len(b.Swaps) {
 		return false
@@ -51,12 +53,14 @@ func metricsEqual(a, b *trace.Metrics) bool {
 		}
 		sa.PreMean, sa.PostMean = 0, 0
 		sb.PreMean, sb.PostMean = 0, 0
+		sa.TuneWall, sb.TuneWall = 0, 0
 		if sa != sb {
 			return false
 		}
 	}
 	ca, cb := a.Clone(), b.Clone()
 	ca.Swaps, cb.Swaps = nil, nil
+	ca.TuneWall, cb.TuneWall = 0, 0
 	return reflect.DeepEqual(ca, cb)
 }
 
@@ -141,6 +145,7 @@ func TestSupervisorSwapSemantics(t *testing.T) {
 	retune := func(gen int, win []trace.WindowEntry) (trace.TimedServiceFunc, error) {
 		gotTuneGen = gen
 		gotWindow = append([]trace.WindowEntry(nil), win...)
+		time.Sleep(2 * time.Millisecond) // make the measured tune wall time visible
 		return gen1, nil
 	}
 	sv, err := trace.NewSupervisor(trace.SupervisorConfig{
@@ -179,6 +184,14 @@ func TestSupervisorSwapSemantics(t *testing.T) {
 	}
 	if m.TuneBusy != 0.5 {
 		t.Errorf("TuneBusy %g, want 0.5", m.TuneBusy)
+	}
+	// TuneWall is host time: the retuner slept 2ms, so both the swap event
+	// and the run total must record at least that much real time.
+	if s.TuneWall < 2e-3 {
+		t.Errorf("swap TuneWall %g, want >= 2ms of measured retuner wall time", s.TuneWall)
+	}
+	if m.TuneWall != s.TuneWall {
+		t.Errorf("metrics TuneWall %g, want the single swap's %g", m.TuneWall, s.TuneWall)
 	}
 
 	// The tune occupies the only worker 10 -> 10.5, so the t=10 arrival waits

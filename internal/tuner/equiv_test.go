@@ -1,0 +1,237 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+// resultsBitIdentical compares two tuning results field by field, requiring
+// exact float equality (bit-identical latencies) and identical PerOccupancy
+// order.
+func resultsBitIdentical(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Occupancy != want.Occupancy {
+		t.Errorf("%s: occupancy %d, want %d", label, got.Occupancy, want.Occupancy)
+	}
+	if math.Float64bits(got.Latency) != math.Float64bits(want.Latency) {
+		t.Errorf("%s: latency %v (bits %016x), want %v (bits %016x)",
+			label, got.Latency, math.Float64bits(got.Latency), want.Latency, math.Float64bits(want.Latency))
+	}
+	if len(got.ChoiceIdx) != len(want.ChoiceIdx) {
+		t.Fatalf("%s: %d choices, want %d", label, len(got.ChoiceIdx), len(want.ChoiceIdx))
+	}
+	for f := range want.ChoiceIdx {
+		if got.ChoiceIdx[f] != want.ChoiceIdx[f] {
+			t.Errorf("%s: feature %d choice %d, want %d", label, f, got.ChoiceIdx[f], want.ChoiceIdx[f])
+		}
+		if got.Choices[f].Name() != want.Choices[f].Name() {
+			t.Errorf("%s: feature %d schedule %s, want %s", label, f, got.Choices[f].Name(), want.Choices[f].Name())
+		}
+	}
+	if len(got.PerOccupancy) != len(want.PerOccupancy) {
+		t.Fatalf("%s: %d per-occupancy trials, want %d", label, len(got.PerOccupancy), len(want.PerOccupancy))
+	}
+	for i := range want.PerOccupancy {
+		w, g := &want.PerOccupancy[i], &got.PerOccupancy[i]
+		if g.BlocksPerSM != w.BlocksPerSM {
+			t.Errorf("%s: trial %d occupancy %d, want %d", label, i, g.BlocksPerSM, w.BlocksPerSM)
+		}
+		if math.Float64bits(g.Latency) != math.Float64bits(w.Latency) {
+			t.Errorf("%s: trial %d latency bits %016x, want %016x", label, i, math.Float64bits(g.Latency), math.Float64bits(w.Latency))
+		}
+		if g.Abandoned != w.Abandoned {
+			t.Errorf("%s: trial %d abandoned %v, want %v", label, i, g.Abandoned, w.Abandoned)
+		}
+		for f := range w.ChoiceIdx {
+			if g.ChoiceIdx[f] != w.ChoiceIdx[f] {
+				t.Errorf("%s: trial %d feature %d choice %d, want %d", label, i, f, g.ChoiceIdx[f], w.ChoiceIdx[f])
+			}
+		}
+	}
+}
+
+// TestParallelTuneBitIdenticalToSerial is the equivalence pin of the
+// fleet-speed engine: across seeded models and datasets, the parallel tuner
+// with pruning off returns a bit-identical Result — Choices, ChoiceIdx,
+// Occupancy, Latency and PerOccupancy order — to the reference serial Tune,
+// at any worker count, with or without the shared memo cache.
+func TestParallelTuneBitIdenticalToSerial(t *testing.T) {
+	dev := gpusim.V100()
+	for _, seed := range []int64{77, 1234, 9001} {
+		model, batches, _ := buildTuneModel(t, 2, 2, 128, seed)
+		opts := Options{Occupancies: []int{1, 2, 4, 8}, Parallelism: 1}
+		want, err := TuneSerial(dev, model, batches, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			o := opts
+			o.Parallelism = par
+			got, err := Tune(dev, model, batches, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsBitIdentical(t, labelSeedPar("parallel", seed, par), want, got)
+		}
+
+		// Memoized runs are bit-identical too: a cold-cache run and a
+		// fully warm re-run both reproduce the serial result exactly.
+		memo := NewMemo()
+		o := opts
+		o.Parallelism = 4
+		o.Memo = memo
+		cold, err := Tune(dev, model, batches, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, labelSeedPar("memo-cold", seed, 4), want, cold)
+		if _, misses := memo.Stats(); misses == 0 {
+			t.Fatalf("seed %d: cold memo run recorded no misses", seed)
+		}
+		warm, err := Tune(dev, model, batches, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsBitIdentical(t, labelSeedPar("memo-warm", seed, 4), want, warm)
+		hits, _ := memo.Stats()
+		if hits == 0 {
+			t.Fatalf("seed %d: warm memo run recorded no hits", seed)
+		}
+	}
+}
+
+func labelSeedPar(kind string, seed int64, par int) string {
+	return fmt.Sprintf("%s/seed=%d/par=%d", kind, seed, par)
+}
+
+// pruneLatencyBound is the stated selection-quality bound of successive
+// halving: the pruned search's selected schedule set, measured by the exact
+// global stage, must be within 10% of the exhaustive winner's fused latency.
+// The global stage itself is never approximated, so the comparison is
+// between two true fused measurements.
+const pruneLatencyBound = 1.10
+
+// TestPrunedTuneWithinBound pins the pruning-on half of the equivalence
+// satellite: the pruned tuner's result is deterministic, identical across
+// worker counts, and its selected schedule's fused latency is within
+// pruneLatencyBound of the exhaustive serial winner.
+func TestPrunedTuneWithinBound(t *testing.T) {
+	dev := gpusim.V100()
+	for _, seed := range []int64{77, 1234, 9001} {
+		model, batches, _ := buildTuneModel(t, 2, 2, 128, seed)
+		opts := Options{Occupancies: []int{1, 2, 4, 8}, Parallelism: 1}
+		exhaustive, err := TuneSerial(dev, model, batches, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		o.Prune = true
+		o.Parallelism = 4
+		pruned, err := Tune(dev, model, batches, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.Latency > exhaustive.Latency*pruneLatencyBound {
+			t.Errorf("seed %d: pruned latency %g exceeds bound %g (exhaustive %g)",
+				seed, pruned.Latency, exhaustive.Latency*pruneLatencyBound, exhaustive.Latency)
+		}
+		// Pruned runs replay deterministically at any worker count.
+		for _, par := range []int{1, 4} {
+			o2 := o
+			o2.Parallelism = par
+			again, err := Tune(dev, model, batches, o2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsBitIdentical(t, labelSeedPar("prune-replay", seed, par), pruned, again)
+		}
+	}
+}
+
+// TestWarmStartMatchesCold pins warm-started re-tunes: seeding the search
+// with the incumbent result must not change the selection — the winning
+// occupancy, choices and latency are bit-identical to a cold search — and
+// every abandoned trial's partial latency provably exceeds the winner's.
+func TestWarmStartMatchesCold(t *testing.T) {
+	dev := gpusim.V100()
+	model, batches, _ := buildTuneModel(t, 2, 3, 128, 77)
+	opts := Options{Occupancies: []int{1, 2, 4, 8}, Parallelism: 4}
+	cold, err := Tune(dev, model, batches, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Warm = WarmFrom(cold)
+	warm, err := Tune(dev, model, batches, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Occupancy != cold.Occupancy {
+		t.Errorf("warm winner occupancy %d, want %d", warm.Occupancy, cold.Occupancy)
+	}
+	if math.Float64bits(warm.Latency) != math.Float64bits(cold.Latency) {
+		t.Errorf("warm winner latency %g, want %g exactly", warm.Latency, cold.Latency)
+	}
+	for f := range cold.ChoiceIdx {
+		if warm.ChoiceIdx[f] != cold.ChoiceIdx[f] {
+			t.Errorf("feature %d: warm choice %d, want %d", f, warm.ChoiceIdx[f], cold.ChoiceIdx[f])
+		}
+	}
+	for _, po := range warm.PerOccupancy {
+		if po.Abandoned {
+			if po.Latency <= warm.Latency {
+				t.Errorf("abandoned occupancy %d has partial latency %g <= winner %g",
+					po.BlocksPerSM, po.Latency, warm.Latency)
+			}
+		} else if cpo := cpoFor(cold, po.BlocksPerSM); cpo != nil {
+			// Complete trials must match the cold run's measurement.
+			if math.Float64bits(po.Latency) != math.Float64bits(cpo.Latency) {
+				t.Errorf("occupancy %d: warm latency bits differ from cold", po.BlocksPerSM)
+			}
+		}
+	}
+
+	// Warm seeds that do not describe the model are rejected.
+	if _, err := Tune(dev, model, batches, Options{
+		Occupancies: opts.Occupancies, Parallelism: 1,
+		Warm: &Warm{ChoiceIdx: []int{0}, Occupancy: 2},
+	}); err == nil {
+		t.Error("short warm seed accepted")
+	}
+	bad := WarmFrom(cold)
+	bad.ChoiceIdx[0] = 999
+	if _, err := Tune(dev, model, batches, Options{
+		Occupancies: opts.Occupancies, Parallelism: 1, Warm: bad,
+	}); err == nil {
+		t.Error("out-of-range warm choice accepted")
+	}
+}
+
+func cpoFor(res *Result, occ int) *OccupancyResult {
+	for i := range res.PerOccupancy {
+		if res.PerOccupancy[i].BlocksPerSM == occ {
+			return &res.PerOccupancy[i]
+		}
+	}
+	return nil
+}
+
+// TestOptionsSerialDispatch pins that Options.Serial routes Tune to the
+// reference engine.
+func TestOptionsSerialDispatch(t *testing.T) {
+	dev := gpusim.V100()
+	model, batches, _ := buildTuneModel(t, 1, 1, 64, 5)
+	opts := Options{Occupancies: []int{2, 4}, Parallelism: 2, Serial: true}
+	a, err := Tune(dev, model, batches, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TuneSerial(dev, model, batches, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsBitIdentical(t, "serial-dispatch", b, a)
+}

@@ -1,0 +1,119 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSuccessiveHalving fuzzes the halving selection at the heart of the
+// pruned local stage. Invariants, per the fleet-speed contract:
+//
+//   - the survivor set is a subset of the counted input candidates;
+//   - a candidate whose sampled score ranks in the kept top half (ties
+//     toward lower index) always survives — in particular the full-budget
+//     winner is never pruned when its sampled rank is in the top half;
+//   - the protected (warm incumbent) candidate always survives when counted;
+//   - replaying the same inputs returns the same survivors (determinism);
+//   - survivor count is bounded by ceil(n/2)+1 and survivors are sorted.
+func FuzzSuccessiveHalving(f *testing.F) {
+	f.Add(int64(1), uint8(8), int8(-1))
+	f.Add(int64(2), uint8(3), int8(0))
+	f.Add(int64(3), uint8(1), int8(5))
+	f.Add(int64(42), uint8(32), int8(31))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, protect int8) {
+		if n == 0 {
+			n = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		scores := make([]float64, n)
+		counted := make([]bool, n)
+		for i := range scores {
+			// Coarse quantization provokes score ties; uncounted
+			// candidates keep whatever garbage score they carry.
+			scores[i] = math.Floor(rng.Float64()*8) / 8
+			counted[i] = rng.Intn(4) != 0
+		}
+		p := int(protect)
+
+		surv := halve(scores, counted, p)
+		again := halve(scores, counted, p)
+		if len(surv) != len(again) {
+			t.Fatalf("replay returned %d survivors, want %d", len(again), len(surv))
+		}
+		for i := range surv {
+			if surv[i] != again[i] {
+				t.Fatalf("replay diverged at %d: %d vs %d", i, again[i], surv[i])
+			}
+		}
+
+		nCounted := 0
+		for _, c := range counted {
+			if c {
+				nCounted++
+			}
+		}
+		maxSurv := (nCounted+1)/2 + 1
+		if nCounted <= 2 {
+			maxSurv = nCounted
+		}
+		if len(surv) > maxSurv {
+			t.Fatalf("%d survivors from %d counted, want <= %d", len(surv), nCounted, maxSurv)
+		}
+		if nCounted > 0 && len(surv) == 0 {
+			t.Fatal("counted candidates but no survivors")
+		}
+
+		seen := make(map[int]bool)
+		prev := -1
+		for _, ci := range surv {
+			if ci < 0 || ci >= int(n) {
+				t.Fatalf("survivor %d out of range", ci)
+			}
+			if !counted[ci] {
+				t.Fatalf("uncounted candidate %d survived", ci)
+			}
+			if ci <= prev {
+				t.Fatalf("survivors not strictly ascending: %v", surv)
+			}
+			prev = ci
+			seen[ci] = true
+		}
+
+		if p >= 0 && p < int(n) && counted[p] && !seen[p] {
+			t.Fatalf("protected candidate %d pruned", p)
+		}
+
+		// Rank check: every candidate whose (score, index) rank among
+		// counted candidates is within the kept half must survive. The
+		// full-budget winner is a special case of this: if its sampled
+		// score ranks top-half it is guaranteed a full-budget re-score.
+		if nCounted > 2 {
+			type sc struct {
+				ci int
+				s  float64
+			}
+			ranked := make([]sc, 0, nCounted)
+			for ci := range scores {
+				if counted[ci] {
+					ranked = append(ranked, sc{ci, scores[ci]})
+				}
+			}
+			for i := 0; i < len(ranked); i++ {
+				for j := i + 1; j < len(ranked); j++ {
+					less := ranked[j].s < ranked[i].s ||
+						(ranked[j].s == ranked[i].s && ranked[j].ci < ranked[i].ci)
+					if less {
+						ranked[i], ranked[j] = ranked[j], ranked[i]
+					}
+				}
+			}
+			keep := (nCounted + 1) / 2
+			for _, r := range ranked[:keep] {
+				if !seen[r.ci] {
+					t.Fatalf("top-half candidate %d (score %g) pruned; survivors %v", r.ci, r.s, surv)
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/gpusim"
 	"repro/internal/sched"
@@ -45,15 +46,23 @@ func paddingPool(dev *gpusim.Device, model *Model, ws [][]sched.Workload, l2 []s
 	return pool, nil
 }
 
-// tuneFeature runs the interference-simulated per-feature tuning of the
-// local stage (the paper's Figure 7): all candidates of feature f are
-// co-executed in one kernel under explicitly controlled occupancy, the grid
-// is padded with redundant embedding blocks to fill the SMs, and the
-// candidate with the lowest summed block time across the historical batches
-// wins.
-func tuneFeature(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int,
-	ws [][]sched.Workload, l2 []sched.L2Context, pool [][]gpusim.BlockWork, o Options) (int, error) {
+// featureEnv is the once-per-(feature, occupancy) precomputation of the local
+// stage: which candidates fit the occupancy's register and shared-memory
+// budgets, how many registers each spills, and the occupancy-controlled
+// kernel resources the co-execution kernel runs under.
+type featureEnv struct {
+	f          int
+	candidates []sched.Schedule
+	feasible   []bool
+	spilled    []int
+	maxSmem    int // max shared memory over feasible candidates
+	controlled gpusim.KernelResources
+}
 
+// newFeatureEnv computes the environment of feature f at occupancy occ.
+// Returns errInfeasible when no candidate fits or the occupancy cannot be
+// pinned.
+func newFeatureEnv(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int) (*featureEnv, error) {
 	candidates := model.Candidates[f]
 	kernelThreads := warpsPerBlock * dev.WarpSize
 	regBudget := dev.RegistersPerSM / (occ * kernelThreads)
@@ -65,114 +74,174 @@ func tuneFeature(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int,
 	}
 	smemBudget := dev.SharedMemPerSM / occ
 
-	// Determine per-candidate feasibility and resources once.
-	type cand struct {
-		feasible bool
-		spilled  int
-		smem     int
+	e := &featureEnv{
+		f:          f,
+		candidates: candidates,
+		feasible:   make([]bool, len(candidates)),
+		spilled:    make([]int, len(candidates)),
 	}
-	cands := make([]cand, len(candidates))
-	maxSmem := 0
 	anyFeasible := false
 	for ci, s := range candidates {
 		r := s.Resources(model.Features[f].Dim)
-		c := cand{feasible: true, smem: r.SharedMemPerBlock}
-		if r.SharedMemPerBlock > smemBudget {
-			c.feasible = false
-		}
+		feasible := r.SharedMemPerBlock <= smemBudget
+		e.feasible[ci] = feasible
 		if r.RegsPerThread > regBudget {
-			c.spilled = r.RegsPerThread - regBudget
+			e.spilled[ci] = r.RegsPerThread - regBudget
 		}
-		cands[ci] = c
-		if c.feasible {
+		if feasible {
 			anyFeasible = true
-			if c.smem > maxSmem {
-				maxSmem = c.smem
+			if r.SharedMemPerBlock > e.maxSmem {
+				e.maxSmem = r.SharedMemPerBlock
 			}
 		}
 	}
 	if !anyFeasible {
-		return 0, errInfeasible
+		return nil, errInfeasible
 	}
 
 	res := gpusim.KernelResources{
 		ThreadsPerBlock:   kernelThreads,
 		RegsPerThread:     regBudget,
-		SharedMemPerBlock: maxSmem,
+		SharedMemPerBlock: e.maxSmem,
 	}
 	controlled, _, err := res.ControlOccupancy(dev, occ)
 	if err != nil {
-		return 0, errInfeasible
+		return nil, errInfeasible
+	}
+	e.controlled = controlled
+	return e, nil
+}
+
+// appendCandidateBlocks plans candidate ci of the environment's feature for
+// one batch, stride-samples the plan down to at most budget blocks, charges
+// register spill, tags every block with tag, and appends the blocks to dst.
+// It returns the extended slice and the scale factor that maps the sampled
+// block-time sum back to the full plan.
+func (e *featureEnv) appendCandidateBlocks(dst []gpusim.BlockWork, dev *gpusim.Device, ci int,
+	w *sched.Workload, l2 sched.L2Context, budget, tag int, spillReuse float64) ([]gpusim.BlockWork, float64, error) {
+
+	s := e.candidates[ci]
+	p, err := s.Plan(w, dev, l2)
+	if err != nil {
+		return dst, 0, fmt.Errorf("planning %s: %w", s.Name(), err)
+	}
+	// Stride-sample large plans: co-executing a representative subset keeps
+	// the co-execution kernel small while the sum of block times stays an
+	// unbiased estimate of Equation 3.
+	stride := 1
+	if p.NumBlocks > budget {
+		stride = (p.NumBlocks + budget - 1) / budget
+	}
+	sampled := 0
+	for i := 0; i < p.NumBlocks; i += stride {
+		b := p.Blocks[i]
+		chargeSpill(dev, &b, e.spilled[ci], spillReuse)
+		b.Tag = tag
+		dst = append(dst, b)
+		sampled++
+	}
+	return dst, float64(p.NumBlocks) / float64(sampled), nil
+}
+
+// scoreFeatureBatch co-executes the feasible candidates of one feature for
+// one batch under controlled occupancy, padded from the pool, and returns the
+// per-candidate score contributions of this batch (Equation 3 terms, scaled
+// back to the full plan). The returned localScore is safe to memoize: it
+// depends only on the simulated inputs.
+func scoreFeatureBatch(dev *gpusim.Device, e *featureEnv, occ int, w *sched.Workload,
+	l2 sched.L2Context, pad []gpusim.BlockWork, budget int, o Options, sim *gpusim.Simulator) (*localScore, error) {
+
+	ls := &localScore{
+		contrib: make([]float64, len(e.candidates)),
+		counted: make([]bool, len(e.candidates)),
+	}
+	scale := make([]float64, len(e.candidates))
+	var blocks []gpusim.BlockWork
+	var err error
+	for ci, s := range e.candidates {
+		if !e.feasible[ci] || !s.Supports(w) {
+			continue
+		}
+		blocks, scale[ci], err = e.appendCandidateBlocks(blocks, dev, ci, w, l2, budget, ci, o.SpillReuse)
+		if err != nil {
+			return nil, err
+		}
+		ls.counted[ci] = true
+	}
+	if len(blocks) == 0 {
+		ls.empty = true
+		return ls, nil
+	}
+	// Pad with redundant embedding operations drawn from the model's full
+	// workload mix so the SMs are full and grid-level memory pressure
+	// matches the fused kernel's.
+	padTarget := int(float64(dev.ParallelBlockSlots(occ)) * o.PaddingFactor)
+	for i := 0; len(blocks) < padTarget; i++ {
+		blocks = append(blocks, pad[i%len(pad)])
+	}
+	k := &gpusim.Kernel{
+		Name:                fmt.Sprintf("local_f%d_occ%d", e.f, occ),
+		Resources:           e.controlled,
+		Blocks:              blocks,
+		BlocksPerSMOverride: occ,
+	}
+	r, err := sim.Run(dev, k)
+	if err != nil {
+		return nil, err
+	}
+	for ci := range e.candidates {
+		ls.contrib[ci] = r.TagTime[ci] * scale[ci]
+	}
+	return ls, nil
+}
+
+// tuneFeature runs the interference-simulated per-feature tuning of the
+// local stage (the paper's Figure 7): all candidates of feature f are
+// co-executed in one kernel under explicitly controlled occupancy, the grid
+// is padded with redundant embedding blocks to fill the SMs, and the
+// candidate with the lowest summed block time across the historical batches
+// wins. When memo is non-nil, per-batch simulations are served from the
+// cache; hits return the exact values a fresh simulation would produce.
+func tuneFeature(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int,
+	ws [][]sched.Workload, l2 []sched.L2Context, pool [][]gpusim.BlockWork,
+	o Options, memo *Memo, fps *fingerprints) (int, error) {
+
+	env, err := newFeatureEnv(dev, model, f, occ, warpsPerBlock)
+	if err != nil {
+		return 0, err
 	}
 
-	scores := make([]float64, len(candidates))
-	counted := make([]bool, len(candidates))
-	slots := dev.ParallelBlockSlots(occ)
-	padTarget := int(float64(slots) * o.PaddingFactor)
-
-	// Per-candidate scale factors: when a plan is stride-sampled, the
-	// measured block-time sum is scaled back to the full plan.
-	scale := make([]float64, len(candidates))
+	scores := make([]float64, len(env.candidates))
+	counted := make([]bool, len(env.candidates))
 
 	// One reused simulator across the tuning batches: each iteration only
 	// reads TagTime before the next Run overwrites the result.
 	sim := gpusim.NewSimulator()
 	for bi := range ws {
-		w := &ws[bi][f]
-		var blocks []gpusim.BlockWork
-		for ci, s := range candidates {
-			if !cands[ci].feasible || !s.Supports(w) {
-				continue
-			}
-			p, err := s.Plan(w, dev, l2[bi])
-			if err != nil {
-				return 0, fmt.Errorf("planning %s: %w", s.Name(), err)
-			}
-			// Stride-sample large plans: co-executing a representative
-			// subset keeps the co-execution kernel small while the sum
-			// of block times stays an unbiased estimate of Equation 3.
-			stride := 1
-			if p.NumBlocks > o.MaxBlocksPerCandidate {
-				stride = (p.NumBlocks + o.MaxBlocksPerCandidate - 1) / o.MaxBlocksPerCandidate
-			}
-			sampled := 0
-			for i := 0; i < p.NumBlocks; i += stride {
-				b := p.Blocks[i]
-				chargeSpill(dev, &b, cands[ci].spilled, o.SpillReuse)
-				b.Tag = ci
-				blocks = append(blocks, b)
-				sampled++
-			}
-			scale[ci] = float64(p.NumBlocks) / float64(sampled)
-			counted[ci] = true
+		compute := func() (any, error) {
+			return scoreFeatureBatch(dev, env, occ, &ws[bi][f], l2[bi], pool[bi], o.MaxBlocksPerCandidate, o, sim)
 		}
-		if len(blocks) == 0 {
-			return 0, errInfeasible
+		var v any
+		if memo != nil {
+			v, err = memo.do(fps.localKey(occ, warpsPerBlock, o.MaxBlocksPerCandidate, f, bi), compute)
+		} else {
+			v, err = compute()
 		}
-		// Pad with redundant embedding operations drawn from the model's
-		// full workload mix so the SMs are full and grid-level memory
-		// pressure matches the fused kernel's.
-		pad := pool[bi]
-		for i := 0; len(blocks) < padTarget; i++ {
-			blocks = append(blocks, pad[i%len(pad)])
-		}
-		k := &gpusim.Kernel{
-			Name:                fmt.Sprintf("local_f%d_occ%d_b%d", f, occ, bi),
-			Resources:           controlled,
-			Blocks:              blocks,
-			BlocksPerSMOverride: occ,
-		}
-		r, err := sim.Run(dev, k)
 		if err != nil {
 			return 0, err
 		}
-		for ci := range candidates {
-			scores[ci] += r.TagTime[ci] * scale[ci]
+		ls := v.(*localScore)
+		if ls.empty {
+			return 0, errInfeasible
+		}
+		for ci := range scores {
+			scores[ci] += ls.contrib[ci]
+			counted[ci] = counted[ci] || ls.counted[ci]
 		}
 	}
 
 	best, bestScore := -1, math.Inf(1)
-	for ci := range candidates {
+	for ci := range env.candidates {
 		if !counted[ci] {
 			continue
 		}
@@ -184,6 +253,121 @@ func tuneFeature(dev *gpusim.Device, model *Model, f, occ, warpsPerBlock int,
 		return 0, errInfeasible
 	}
 	return best, nil
+}
+
+// scoreGroupedBatch co-executes the eval-masked candidates of every feature
+// in one padded kernel for a single batch. Grouping amortizes the padded
+// grid — by far the dominant local-stage simulation cost — across all
+// features, and the mixed environment (every feature's candidates compete at
+// once) is if anything closer to the fused kernel the global stage measures.
+// The per-feature relative ranking it produces drives successive-halving
+// pruning; it is an approximation of the per-feature exact scoring, not a
+// bit-identical replacement. Tags are allocated as tagBase[f]+ci.
+func scoreGroupedBatch(dev *gpusim.Device, model *Model, envs []*featureEnv, occ int,
+	controlled gpusim.KernelResources, ws []sched.Workload, l2 sched.L2Context,
+	pad []gpusim.BlockWork, eval [][]bool, budget int, o Options, sim *gpusim.Simulator) (*groupScore, error) {
+
+	gs := &groupScore{
+		contrib: make([][]float64, len(envs)),
+		counted: make([][]bool, len(envs)),
+		empty:   make([]bool, len(envs)),
+	}
+	scale := make([][]float64, len(envs))
+	tagBase := make([]int, len(envs))
+	next := 0
+	for f, e := range envs {
+		tagBase[f] = next
+		next += len(e.candidates)
+		gs.contrib[f] = make([]float64, len(e.candidates))
+		gs.counted[f] = make([]bool, len(e.candidates))
+		scale[f] = make([]float64, len(e.candidates))
+	}
+
+	var blocks []gpusim.BlockWork
+	var err error
+	for f, e := range envs {
+		w := &ws[f]
+		added := false
+		for ci, s := range e.candidates {
+			if !eval[f][ci] || !e.feasible[ci] || !s.Supports(w) {
+				continue
+			}
+			blocks, scale[f][ci], err = e.appendCandidateBlocks(blocks, dev, ci, w, l2, budget, tagBase[f]+ci, o.SpillReuse)
+			if err != nil {
+				return nil, err
+			}
+			gs.counted[f][ci] = true
+			added = true
+		}
+		if !added {
+			gs.empty[f] = true
+		}
+	}
+	if len(blocks) == 0 {
+		return gs, nil
+	}
+	padTarget := int(float64(dev.ParallelBlockSlots(occ)) * o.PaddingFactor)
+	for i := 0; len(blocks) < padTarget; i++ {
+		blocks = append(blocks, pad[i%len(pad)])
+	}
+	k := &gpusim.Kernel{
+		Name:                fmt.Sprintf("grouped_occ%d", occ),
+		Resources:           controlled,
+		Blocks:              blocks,
+		BlocksPerSMOverride: occ,
+	}
+	r, err := sim.Run(dev, k)
+	if err != nil {
+		return nil, err
+	}
+	for f, e := range envs {
+		for ci := range e.candidates {
+			gs.contrib[f][ci] = r.TagTime[tagBase[f]+ci] * scale[f][ci]
+		}
+	}
+	return gs, nil
+}
+
+// halve is one successive-halving round: it returns the surviving candidate
+// indices — the best-scoring half (ceil(n/2)) of the counted candidates, ties
+// broken toward the lower index — in ascending index order. protect (a
+// warm-start incumbent; pass a negative value for none) always survives when
+// counted. Uncounted candidates never survive. With two or fewer counted
+// candidates everyone counted survives. The selection is a pure function of
+// its arguments, so replays are deterministic.
+func halve(scores []float64, counted []bool, protect int) []int {
+	idx := make([]int, 0, len(scores))
+	for ci := range scores {
+		if counted[ci] {
+			idx = append(idx, ci)
+		}
+	}
+	if len(idx) <= 2 {
+		return idx
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if scores[a] != scores[b] {
+			return scores[a] < scores[b]
+		}
+		return a < b
+	})
+	keep := (len(idx) + 1) / 2
+	surv := idx[:keep]
+	if protect >= 0 && protect < len(counted) && counted[protect] {
+		found := false
+		for _, ci := range surv {
+			if ci == protect {
+				found = true
+				break
+			}
+		}
+		if !found {
+			surv = append(surv, protect)
+		}
+	}
+	sort.Ints(surv)
+	return surv
 }
 
 // chargeSpill adds the local-memory traffic of spilled registers to a block,

@@ -1,0 +1,265 @@
+package tuner
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// Memo is a concurrency-safe simulation cache shared across Tune calls. Keys
+// fingerprint everything a simulation's outcome depends on — device, feature
+// workloads, candidate set, occupancy, block budget and tuning options — so a
+// hit returns the exact float values a fresh simulation would produce: cached
+// and cold runs are bit-identical. Entries are computed once (singleflight): a
+// second goroutine asking for an in-flight key blocks until the first finishes
+// and then shares its result, so concurrent re-tunes never duplicate work and
+// never observe a torn entry.
+//
+// The cache grows without bound; it is meant to be scoped to a serving
+// lifetime (one fleet, successive re-tunes) where repeated window batches make
+// hits common. Call Reset to drop everything.
+//
+// A nil *Memo is valid and disables caching.
+type Memo struct {
+	mu     sync.Mutex
+	m      map[string]*memoEntry
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewMemo returns an empty cache.
+func NewMemo() *Memo {
+	return &Memo{m: make(map[string]*memoEntry)}
+}
+
+// do returns the memoized value for key, computing it at most once. Results
+// (including errors) are cached. Callers must treat returned values as
+// immutable — they are shared across all hits.
+func (m *Memo) do(key string, compute func() (any, error)) (any, error) {
+	if m == nil {
+		return compute()
+	}
+	m.mu.Lock()
+	e, ok := m.m[key]
+	if !ok {
+		e = &memoEntry{}
+		m.m[key] = e
+	}
+	m.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
+}
+
+// Stats reports cache hits and misses since creation (or the last Reset).
+func (m *Memo) Stats() (hits, misses int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Len reports the number of cached entries.
+func (m *Memo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+// Reset drops every cached entry and zeroes the counters.
+func (m *Memo) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.m = make(map[string]*memoEntry)
+	m.mu.Unlock()
+	m.hits.Store(0)
+	m.misses.Store(0)
+}
+
+// localScore is the memoized outcome of one per-feature local-stage batch:
+// the per-candidate score contributions (TagTime scaled back to the full
+// plan) for a single batch, to be summed across batches by the caller.
+type localScore struct {
+	contrib []float64
+	counted []bool
+	// empty marks a batch in which no candidate produced a runnable block,
+	// which rules the occupancy out for this feature.
+	empty bool
+}
+
+// groupScore is the memoized outcome of one grouped (pruned) local-stage
+// batch covering every feature at once.
+type groupScore struct {
+	contrib [][]float64
+	counted [][]bool
+	empty   []bool // per feature: no runnable candidate block this batch
+}
+
+// globalScore is the memoized outcome of one global-stage (occupancy, batch)
+// fused measurement.
+type globalScore struct {
+	time float64
+	// skip marks a fused-compile failure, which rules the occupancy out
+	// (matching the serial tuner's behavior).
+	skip bool
+}
+
+// fingerprints holds the per-Tune key material for Memo lookups. All parts
+// are digests of the underlying values (FNV-128a), so keys are stable across
+// processes and collide only if the simulated inputs are identical — in which
+// case sharing the cached result is exactly what we want (e.g. two features
+// with identical candidate sets and workloads dedupe to one simulation).
+type fingerprints struct {
+	dev        string
+	feature    []string   // static per-feature identity: dim, table, candidates
+	batch      []string   // per-batch identity: every feature's workload + L2
+	workload   [][]string // [batch][feature] workload digest
+	optsLocal  string     // options that shape local-stage simulations
+	optsGlobal string     // options that shape global-stage simulations
+}
+
+type fpHash struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newFP() *fpHash { return &fpHash{h: fnv.New128a()} }
+
+func (p *fpHash) i64(v int64) {
+	binary.LittleEndian.PutUint64(p.buf[:], uint64(v))
+	p.h.Write(p.buf[:])
+}
+
+func (p *fpHash) f64(v float64) {
+	binary.LittleEndian.PutUint64(p.buf[:], math.Float64bits(v))
+	p.h.Write(p.buf[:])
+}
+
+func (p *fpHash) str(s string) {
+	p.i64(int64(len(s)))
+	p.h.Write([]byte(s))
+}
+
+func (p *fpHash) sum() string { return string(p.h.Sum(nil)) }
+
+// newFingerprints digests the tuning inputs once per Tune call.
+func newFingerprints(dev *gpusim.Device, model *Model, ws [][]sched.Workload, l2 []sched.L2Context, o Options) *fingerprints {
+	fp := &fingerprints{}
+
+	d := newFP()
+	// The device struct is flat scalars; its printed form identifies it.
+	fmt.Fprintf(d.h, "%+v", *dev)
+	fp.dev = d.sum()
+
+	fp.feature = make([]string, len(model.Features))
+	for f := range model.Features {
+		p := newFP()
+		p.i64(int64(model.Features[f].Dim))
+		p.i64(int64(model.Features[f].TableRows))
+		p.i64(int64(model.Features[f].Pool))
+		for _, s := range model.Candidates[f] {
+			p.str(s.Name())
+			r := s.Resources(model.Features[f].Dim)
+			p.i64(int64(r.ThreadsPerBlock))
+			p.i64(int64(r.RegsPerThread))
+			p.i64(int64(r.SharedMemPerBlock))
+		}
+		fp.feature[f] = p.sum()
+	}
+
+	fp.batch = make([]string, len(ws))
+	fp.workload = make([][]string, len(ws))
+	for bi := range ws {
+		fp.workload[bi] = make([]string, len(ws[bi]))
+		p := newFP()
+		p.f64(l2[bi].CacheBytes)
+		p.f64(l2[bi].WorkingSetBytes)
+		for f := range ws[bi] {
+			// The padding pool and grouped kernels depend on every
+			// feature's workload, so the batch digest covers them all;
+			// the per-feature digest keys the per-feature local stage.
+			q := newFP()
+			w := &ws[bi][f]
+			q.i64(int64(w.Dim))
+			q.i64(int64(w.BatchSize))
+			q.i64(int64(w.TotalRows))
+			q.i64(int64(w.UniqueRows))
+			q.i64(int64(w.TableRows))
+			for _, pfv := range w.PF {
+				q.i64(int64(pfv))
+			}
+			fp.workload[bi][f] = q.sum()
+			p.str(fp.feature[f])
+			p.str(fp.workload[bi][f])
+		}
+		fp.batch[bi] = p.sum()
+	}
+
+	lo := newFP()
+	lo.f64(o.PaddingFactor)
+	lo.f64(o.SpillReuse)
+	fp.optsLocal = lo.sum()
+
+	gl := newFP()
+	gl.f64(o.SpillReuse)
+	fp.optsGlobal = gl.sum()
+
+	return fp
+}
+
+// localKey keys one per-feature local-stage batch simulation. It includes
+// the feature's own workload digest on top of its static identity, so two
+// replicated features share an entry only when their sampled workloads — and
+// therefore their simulations — are identical.
+func (fp *fingerprints) localKey(occ, warps, budget, f, bi int) string {
+	return fmt.Sprintf("L1|%d|%d|%d|%s%s%s%s%s", occ, warps, budget, fp.dev, fp.feature[f], fp.workload[bi][f], fp.batch[bi], fp.optsLocal)
+}
+
+// groupKey keys one grouped local-stage batch simulation over all features
+// with the given per-feature candidate eval masks.
+func (fp *fingerprints) groupKey(occ, warps, budget, bi int, eval [][]bool) string {
+	p := newFP()
+	for f := range eval {
+		for ci := range eval[f] {
+			b := int64(0)
+			if eval[f][ci] {
+				b = 1
+			}
+			p.i64(b)
+		}
+		p.i64(-1)
+	}
+	return fmt.Sprintf("L2|%d|%d|%d|%s%s%s%s", occ, warps, budget, fp.dev, fp.batch[bi], fp.optsLocal, p.sum())
+}
+
+// globalKey keys one global-stage fused measurement of the given choice
+// vector at the given occupancy.
+func (fp *fingerprints) globalKey(occ, bi int, choice []int) string {
+	p := newFP()
+	for _, ci := range choice {
+		p.i64(int64(ci))
+	}
+	return fmt.Sprintf("G|%d|%s%s%s", occ, fp.dev, fp.batch[bi], fp.optsGlobal+p.sum())
+}

@@ -14,9 +14,16 @@
 //     best-measuring occupancy and its schedule set are the result
 //     (Equation 4).
 //
-// Complexity is O(F·K + K) kernel compilations, the paper's polynomial bound,
-// and the local stage parallelizes across features (the paper uses eight
-// GPUs; we use a worker pool).
+// Complexity is O(F·K + K) kernel compilations, the paper's polynomial bound.
+//
+// Two engines implement the search. Tune (parallel.go) is the production
+// engine: it runs both stages on a shared worker pool with deterministic
+// error selection, and optionally prunes with successive halving
+// (Options.Prune), warm-starts from an incumbent result (Options.Warm), and
+// serves repeated simulations from a shared cache (Options.Memo). With all
+// of those off, Tune returns a bit-identical Result to TuneSerial — the
+// frozen reference engine kept as the equivalence oracle and benchmark
+// baseline (see the equivalence property tests).
 //
 // The straw-man separate-combine tuner of §II-C (tune each feature's latency
 // in isolation, no padding, no occupancy control) lives in separate.go and
@@ -28,7 +35,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/embedding"
 	"repro/internal/fusion"
@@ -90,6 +97,33 @@ func AutoModel(dev *gpusim.Device, features []fusion.FeatureInfo, sample *embedd
 	return m, nil
 }
 
+// Warm seeds a re-tune from an incumbent tuning result (typically the
+// outgoing generation of a continuous-serving hot swap). The parallel engine
+// uses it two ways: the incumbent candidate of every feature always survives
+// successive-halving rounds (so pruning can never discard the proven
+// schedule), and the incumbent occupancy is measured first in the global
+// stage so every other occupancy can stop measuring as soon as its partial
+// latency sum proves it cannot beat the incumbent.
+type Warm struct {
+	// ChoiceIdx[f] is the incumbent candidate index of feature f. It must
+	// cover every feature of the model being tuned.
+	ChoiceIdx []int
+	// Occupancy is the incumbent blocks-per-SM value.
+	Occupancy int
+}
+
+// WarmFrom derives a warm-start seed from a previous tuning result. A nil
+// result yields a nil seed (cold start), so it is safe to call unguarded.
+func WarmFrom(res *Result) *Warm {
+	if res == nil {
+		return nil
+	}
+	return &Warm{
+		ChoiceIdx: append([]int(nil), res.ChoiceIdx...),
+		Occupancy: res.Occupancy,
+	}
+}
+
 // Options configures the tuner.
 type Options struct {
 	// Occupancies lists the blocks-per-SM values to try in the local
@@ -118,6 +152,41 @@ type Options struct {
 
 	// SpillReuse matches fusion.Options.SpillReuse.
 	SpillReuse float64
+
+	// Prune enables successive-halving pruning in the local stage. All
+	// candidates are first scored on a cheap pass — stride-sampled down to
+	// PruneSampleBlocks blocks each and co-scheduled across features so the
+	// padded grid is paid once per (occupancy, batch) instead of once per
+	// (occupancy, feature, batch) — the best half per feature survives, and
+	// survivors are re-scored on the full block budget. Pruned selections
+	// are validated by the exact global stage, so the reported Latency is
+	// always a true fused measurement; only the local-stage candidate
+	// ranking is approximate. With Prune false the local stage is
+	// exhaustive and Tune is bit-identical to TuneSerial.
+	Prune bool
+
+	// PruneSampleBlocks is the per-candidate block budget of the cheap
+	// first pass when Prune is on (default MaxBlocksPerCandidate/4,
+	// minimum 1).
+	PruneSampleBlocks int
+
+	// Warm seeds the search from an incumbent result; see Warm. Nil means
+	// a cold search. Ignored by TuneSerial.
+	Warm *Warm
+
+	// Memo, when non-nil, serves repeated local- and global-stage
+	// simulations from a shared cache instead of re-simulating. Hits are
+	// bit-identical to fresh simulations, so a memoized run returns
+	// exactly the cold-run Result. The cache is concurrency-safe and
+	// meant to be shared across occupancies, batches, successive re-tunes
+	// and fleet models. Ignored by TuneSerial.
+	Memo *Memo
+
+	// Serial routes Tune to TuneSerial, the frozen reference engine
+	// (exhaustive two-stage search, serial global stage, no pruning, no
+	// warm start, no memoization). Useful for A/B measurements against
+	// the fleet-speed engine.
+	Serial bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -137,6 +206,12 @@ func (o *Options) withDefaults() Options {
 	if out.SpillReuse <= 0 {
 		out.SpillReuse = 4
 	}
+	if out.PruneSampleBlocks <= 0 {
+		out.PruneSampleBlocks = out.MaxBlocksPerCandidate / 4
+		if out.PruneSampleBlocks < 1 {
+			out.PruneSampleBlocks = 1
+		}
+	}
 	return out
 }
 
@@ -145,6 +220,12 @@ type OccupancyResult struct {
 	BlocksPerSM int
 	ChoiceIdx   []int
 	Latency     float64 // summed fused latency over tuning batches, seconds
+	// Abandoned marks a warm-started trial that stopped measuring early:
+	// its partial latency sum already exceeded the incumbent's complete
+	// latency, so the occupancy cannot win and Latency holds the partial
+	// sum (a lower bound on the true value). Always false without
+	// Options.Warm. Abandoned trials sort after complete ones.
+	Abandoned bool
 }
 
 // Result is the tuner's output.
@@ -162,9 +243,33 @@ type Result struct {
 	PerOccupancy []OccupancyResult
 }
 
-// Tune runs the two-stage interference-simulated search over the historical
-// batches (Equation 5: the winner minimizes summed time over sampled data).
-func Tune(dev *gpusim.Device, model *Model, batches []*embedding.Batch, opts Options) (*Result, error) {
+// analyzeBatches runs the host-side workload analysis once per batch, shared
+// by all tuning workers.
+func analyzeBatches(dev *gpusim.Device, model *Model, batches []*embedding.Batch) ([][]sched.Workload, []sched.L2Context, error) {
+	ws := make([][]sched.Workload, len(batches))
+	l2 := make([]sched.L2Context, len(batches))
+	for bi, b := range batches {
+		w, err := fusion.AnalyzeBatch(model.Features, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		ws[bi] = w
+		l2[bi] = sched.L2Context{
+			CacheBytes:      float64(dev.L2SizeBytes),
+			WorkingSetBytes: fusion.WorkingSetBytes(model.Features, w),
+		}
+	}
+	return ws, l2, nil
+}
+
+// TuneSerial runs the reference two-stage interference-simulated search over
+// the historical batches (Equation 5: the winner minimizes summed time over
+// sampled data). It is the pre-fleet-speed engine, kept verbatim in behavior:
+// exhaustive local stage, one occupancy at a time in the global stage, and
+// none of the fleet-speed options (Prune, Warm, Memo) honored. Tune with
+// those options off is pinned bit-identical to this function by the
+// equivalence property tests, which is what licenses the fast path.
+func TuneSerial(dev *gpusim.Device, model *Model, batches []*embedding.Batch, opts Options) (*Result, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,19 +283,9 @@ func Tune(dev *gpusim.Device, model *Model, batches []*embedding.Batch, opts Opt
 		return nil, err
 	}
 
-	// Host-side workload analysis once per batch, shared by all workers.
-	ws := make([][]sched.Workload, len(batches))
-	l2 := make([]sched.L2Context, len(batches))
-	for bi, b := range batches {
-		w, err := fusion.AnalyzeBatch(model.Features, b)
-		if err != nil {
-			return nil, err
-		}
-		ws[bi] = w
-		l2[bi] = sched.L2Context{
-			CacheBytes:      float64(dev.L2SizeBytes),
-			WorkingSetBytes: fusion.WorkingSetBytes(model.Features, w),
-		}
+	ws, l2, err := analyzeBatches(dev, model, batches)
+	if err != nil {
+		return nil, err
 	}
 
 	// Padding pool: redundant embedding operations over the whole model's
@@ -205,56 +300,42 @@ func Tune(dev *gpusim.Device, model *Model, batches []*embedding.Batch, opts Opt
 	}
 
 	// Local stage: per-occupancy, per-feature interference-simulated
-	// tuning, parallel across (occupancy, feature) pairs.
+	// tuning, parallel across (occupancy, feature) pairs. runJobs cancels
+	// outstanding work on the first failure and reports the failed job
+	// with the lowest (occupancy, feature) index deterministically.
 	perOcc := make([][]int, len(occupancies)) // [k][f] -> candidate index
 	for k := range perOcc {
 		perOcc[k] = make([]int, len(model.Features))
 	}
-	infeasibleOcc := make([]bool, len(occupancies))
-	type job struct{ k, f int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < o.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				idx, err := tuneFeature(dev, model, j.f, occupancies[j.k], warpsPerBlock, ws, l2, pool, o)
-				mu.Lock()
-				switch {
-				case errors.Is(err, errInfeasible):
-					// A feature that cannot meet this occupancy rules
-					// the occupancy out globally.
-					infeasibleOcc[j.k] = true
-				case err != nil:
-					if firstErr == nil {
-						firstErr = fmt.Errorf("tuner: occupancy %d, feature %d (%s): %w",
-							occupancies[j.k], j.f, model.Features[j.f].Name, err)
-					}
-				default:
-					perOcc[j.k][j.f] = idx
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for k := range occupancies {
-		for f := range model.Features {
-			jobs <- job{k, f}
+	// Atomic because several features of one occupancy may prove it
+	// infeasible concurrently.
+	infeasibleOcc := make([]atomic.Bool, len(occupancies))
+	nf := len(model.Features)
+	err = runJobs(len(occupancies)*nf, o.Parallelism, func(i int) error {
+		k, f := i/nf, i%nf
+		idx, err := tuneFeature(dev, model, f, occupancies[k], warpsPerBlock, ws, l2, pool, o, nil, nil)
+		switch {
+		case errors.Is(err, errInfeasible):
+			// A feature that cannot meet this occupancy rules the
+			// occupancy out globally.
+			infeasibleOcc[k].Store(true)
+			return nil
+		case err != nil:
+			return fmt.Errorf("tuner: occupancy %d, feature %d (%s): %w",
+				occupancies[k], f, model.Features[f].Name, err)
+		default:
+			perOcc[k][f] = idx
+			return nil
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Global stage: measure the fused kernel per occupancy.
 	res := &Result{}
 	for k, occ := range occupancies {
-		if infeasibleOcc[k] {
+		if infeasibleOcc[k].Load() {
 			continue
 		}
 		choices := choicesFor(model, perOcc[k])
@@ -284,13 +365,28 @@ func Tune(dev *gpusim.Device, model *Model, batches []*embedding.Batch, opts Opt
 			Latency:     total,
 		})
 	}
+	return finishResult(model, res)
+}
+
+// finishResult orders the global-stage trials (complete trials first, then by
+// latency) and adopts the winner. Abandoned trials carry partial latency
+// sums that already exceed the incumbent's complete latency, so they can
+// never win; sorting them last keeps PerOccupancy readable.
+func finishResult(model *Model, res *Result) (*Result, error) {
 	if len(res.PerOccupancy) == 0 {
 		return nil, fmt.Errorf("tuner: no feasible occupancy value")
 	}
 	sort.Slice(res.PerOccupancy, func(i, j int) bool {
-		return res.PerOccupancy[i].Latency < res.PerOccupancy[j].Latency
+		a, b := &res.PerOccupancy[i], &res.PerOccupancy[j]
+		if a.Abandoned != b.Abandoned {
+			return !a.Abandoned
+		}
+		return a.Latency < b.Latency
 	})
 	best := res.PerOccupancy[0]
+	if best.Abandoned {
+		return nil, fmt.Errorf("tuner: no feasible occupancy value")
+	}
 	res.Occupancy = best.BlocksPerSM
 	res.ChoiceIdx = best.ChoiceIdx
 	res.Latency = best.Latency

@@ -14,10 +14,16 @@ import (
 // tuneTestModel builds a small but strongly heterogeneous model.
 func tuneTestModel(t *testing.T) (*Model, []*embedding.Batch, *datasynth.ModelConfig) {
 	t.Helper()
-	// The tuner targets the many-features regime of the paper (hundreds to
-	// thousands of embedding tables), where the fused grid is deep enough
-	// for Equation 2 to hold. Replicate a heterogeneous core to get there
-	// while keeping the test fast.
+	return buildTuneModel(t, 6, 2, 256, 77)
+}
+
+// buildTuneModel replicates a heterogeneous feature core reps times and
+// samples nbatches batches. The tuner targets the many-features regime of
+// the paper (hundreds to thousands of embedding tables), where the fused
+// grid is deep enough for Equation 2 to hold; replication gets there while
+// keeping tests fast.
+func buildTuneModel(t *testing.T, reps, nbatches, batchSize int, seed int64) (*Model, []*embedding.Batch, *datasynth.ModelConfig) {
+	t.Helper()
 	core := []datasynth.FeatureSpec{
 		{Name: "onehot4", Dim: 4, Rows: 4096, PF: datasynth.Fixed{K: 1}, Coverage: 1},
 		{Name: "onehot8", Dim: 8, Rows: 8192, PF: datasynth.Fixed{K: 1}, Coverage: 1},
@@ -26,8 +32,8 @@ func tuneTestModel(t *testing.T) (*Model, []*embedding.Batch, *datasynth.ModelCo
 		{Name: "heavy128", Dim: 128, Rows: 32768, PF: datasynth.Fixed{K: 150}, Coverage: 1},
 		{Name: "sparse16", Dim: 16, Rows: 8192, PF: datasynth.Fixed{K: 5}, Coverage: 0.3},
 	}
-	cfg := &datasynth.ModelConfig{Name: "tune", Seed: 77}
-	for rep := 0; rep < 6; rep++ {
+	cfg := &datasynth.ModelConfig{Name: "tune", Seed: seed}
+	for rep := 0; rep < reps; rep++ {
 		for _, spec := range core {
 			s := spec
 			s.Name = s.Name + string(rune('a'+rep))
@@ -36,8 +42,8 @@ func tuneTestModel(t *testing.T) (*Model, []*embedding.Batch, *datasynth.ModelCo
 	}
 	var batches []*embedding.Batch
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	for i := 0; i < 2; i++ {
-		b, err := datasynth.GenerateBatch(cfg, 256, rng)
+	for i := 0; i < nbatches; i++ {
+		b, err := datasynth.GenerateBatch(cfg, batchSize, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
