@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -34,28 +35,56 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("recflex-bench: ")
-	var (
-		exp     = flag.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead,ext,eq2,drift,fleet or all")
-		scale   = flag.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
-		tuneB   = flag.Int("tune", 2, "tuning batches")
-		evalB   = flag.Int("eval", 8, "evaluation batches (paper: 128)")
-		workers = flag.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
-		paper   = flag.Bool("paper", false, "use the full paper-scale configuration (overrides scale/tune/eval)")
-		csvDir  = flag.String("csv", "", "also export figure data as CSV files into this directory")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-		perfOut     = flag.String("perf", "", "measure the hot-path benchmark suite and write a BENCH_*.json file (skips experiments)")
-		perfBase    = flag.String("perf-baseline", "", "BENCH_*.json to embed as the baseline and gate regressions against")
-		perfCount   = flag.Int("perf-count", 3, "benchmark repetitions per case; the fastest run is kept")
-		perfRegress = flag.Float64("perf-regress", 0.25, "maximum tolerated ns/op regression vs the baseline (0.25 = +25%)")
-		perfNote    = flag.String("perf-note", "", "free-form note recorded in the emitted BENCH file")
+// run is the whole command behind a testable seam: flags in, experiment
+// report out, every failure — including invalid flag values — surfaces as an
+// error and a non-zero exit.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("recflex-bench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		exp     = fs.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead,ext,eq2,drift,fleet or all")
+		scale   = fs.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
+		tuneB   = fs.Int("tune", 2, "tuning batches")
+		evalB   = fs.Int("eval", 8, "evaluation batches (paper: 128)")
+		workers = fs.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
+		paper   = fs.Bool("paper", false, "use the full paper-scale configuration (overrides scale/tune/eval)")
+		csvDir  = fs.String("csv", "", "also export figure data as CSV files into this directory")
+
+		perfOut     = fs.String("perf", "", "measure the hot-path benchmark suite and write a BENCH_*.json file (skips experiments)")
+		perfBase    = fs.String("perf-baseline", "", "BENCH_*.json to embed as the baseline and gate regressions against")
+		perfCount   = fs.Int("perf-count", 3, "benchmark repetitions per case; the fastest run is kept")
+		perfRegress = fs.Float64("perf-regress", 0.25, "maximum tolerated ns/op regression vs the baseline (0.25 = +25%)")
+		perfNote    = fs.String("perf-note", "", "free-form note recorded in the emitted BENCH file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %d", *scale)
+	}
+	if *tuneB <= 0 {
+		return fmt.Errorf("-tune must be positive, got %d", *tuneB)
+	}
+	if *evalB <= 0 {
+		return fmt.Errorf("-eval must be positive, got %d", *evalB)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *perfCount <= 0 {
+		return fmt.Errorf("-perf-count must be positive, got %d", *perfCount)
+	}
+	if *perfRegress < 0 {
+		return fmt.Errorf("-perf-regress must be >= 0, got %g", *perfRegress)
+	}
 
 	if *perfOut != "" {
-		if err := runPerf(*perfOut, *perfBase, *perfNote, *perfCount, *perfRegress); err != nil {
-			log.Fatal(err)
-		}
-		return
+		return runPerf(*perfOut, *perfBase, *perfNote, *perfCount, *perfRegress)
 	}
 
 	cfg := experiments.Config{
@@ -71,7 +100,6 @@ func main() {
 		cfg.Parallelism = *workers
 	}
 	s := experiments.NewSuite(cfg)
-	w := os.Stdout
 
 	runners := map[string]func() error{
 		"table1":   func() error { return experiments.PrintTable1(w) },
@@ -101,24 +129,25 @@ func main() {
 	}
 	start := time.Now()
 	for _, name := range selected {
-		run, ok := runners[strings.TrimSpace(name)]
+		runExp, ok := runners[strings.TrimSpace(name)]
 		if !ok {
-			log.Fatalf("unknown experiment %q (valid: %s)", name, strings.Join(order, ","))
+			return fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(order, ","))
 		}
 		t0 := time.Now()
-		if err := run(); err != nil {
-			log.Fatalf("experiment %s: %v", name, err)
+		if err := runExp(); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
 		}
 		fmt.Fprintf(w, "[%s finished in %v]\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 	if *csvDir != "" {
 		if err := s.ExportCSV(*csvDir); err != nil {
-			log.Fatalf("csv export: %v", err)
+			return fmt.Errorf("csv export: %w", err)
 		}
 		fmt.Fprintf(w, "figure data exported to %s\n", *csvDir)
 	}
 	fmt.Fprintf(w, "\nall experiments done in %v (scale=%d, eval batches=%d)\n",
 		time.Since(start).Round(time.Millisecond), s.Cfg.Scale, s.Cfg.EvalBatches)
+	return nil
 }
 
 // runPerf measures the hot-path suite, writes the BENCH_*.json trajectory

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Flag validation fails fast, before any experiment starts.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "0"},
+		{"-scale", "-1"},
+		{"-tune", "0"},
+		{"-eval", "0"},
+		{"-workers", "-1"},
+		{"-perf-count", "0", "-perf", "x.json"},
+		{"-perf-regress", "-0.1", "-perf", "x.json"},
+		{"-exp", "fig99"},
+		{"-perf", "out.json", "-perf-baseline", "/nonexistent/base.json"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// The cheap static experiments run through the seam and print their tables.
+func TestRunStaticExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table1,fig3"}, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"[table1 finished in", "[fig3 finished in", "all experiments done in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -40,9 +40,14 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -51,6 +56,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/fusion"
+	"repro/internal/gateway"
 	"repro/internal/gpusim"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -87,6 +93,12 @@ type options struct {
 	shedFraction      float64
 	weights           string
 	rebalance         float64
+
+	listen        string
+	warp          float64
+	serveDur      float64
+	session       string
+	replaySession string
 }
 
 // parseFlags binds the flag set to an options struct. Usage and parse errors
@@ -116,8 +128,37 @@ func parseFlags(args []string, w io.Writer) (*options, error) {
 	fs.Float64Var(&o.shedFraction, "shed-fraction", 0, "fleet load shedding: shed sub-top-priority arrivals once the queue is this full (0 disables)")
 	fs.StringVar(&o.weights, "weights", "", "weighted-fair dispatch weights, comma-separated priority:weight pairs (e.g. 1:3,0:1); unlisted classes weigh 1")
 	fs.Float64Var(&o.rebalance, "rebalance", 0, "fleet: re-partition workers from load history at most every this many seconds (0 disables)")
+	fs.StringVar(&o.listen, "listen", "", "serve live inference over HTTP on this address (gateway mode; needs -models)")
+	fs.Float64Var(&o.warp, "warp", 1000, "gateway time-warp factor: simulated seconds per wall-clock second")
+	fs.Float64Var(&o.serveDur, "serve-duration", 0, "gateway: stop after this many wall seconds (0 = run until interrupted)")
+	fs.StringVar(&o.session, "session", "", "gateway: record the admitted request stream and outcomes to this session log")
+	fs.StringVar(&o.replaySession, "replay-session", "", "replay a recorded session log through an identically built pool and verify it bit-identically")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	// Reject nonsense at the flag boundary: a zero-worker pool or a negative
+	// queue bound would otherwise surface as a confusing engine error (or,
+	// worse, an all-shed table that reads like a result).
+	if o.gpus <= 0 {
+		return nil, fmt.Errorf("-gpus must be positive, got %d", o.gpus)
+	}
+	if o.queue < 0 {
+		return nil, fmt.Errorf("-queue must be >= 0 (0 = unbounded), got %d", o.queue)
+	}
+	if o.requests <= 0 {
+		return nil, fmt.Errorf("-requests must be positive, got %d", o.requests)
+	}
+	if o.scale <= 0 {
+		return nil, fmt.Errorf("-scale must be positive, got %d", o.scale)
+	}
+	if o.qps <= 0 {
+		return nil, fmt.Errorf("-qps must be positive, got %g", o.qps)
+	}
+	if !(o.warp > 0) || math.IsInf(o.warp, 0) {
+		return nil, fmt.Errorf("-warp must be positive and finite, got %g", o.warp)
+	}
+	if o.serveDur < 0 {
+		return nil, fmt.Errorf("-serve-duration must be >= 0, got %g", o.serveDur)
 	}
 	return &o, nil
 }
@@ -137,6 +178,12 @@ func run(args []string, w io.Writer) error {
 	o, err := parseFlags(args, w)
 	if err != nil {
 		return err
+	}
+	if o.replaySession != "" {
+		return runReplaySession(o, w)
+	}
+	if o.listen != "" {
+		return runGateway(o, w)
 	}
 	if o.models != "" {
 		return runFleet(o, w)
@@ -479,31 +526,41 @@ func parseWeights(s string) (map[int]float64, error) {
 	return out, nil
 }
 
-// runFleet serves several independently tuned models over one shared
-// simulated GPU pool. Each model gets its own Poisson trace (same -requests
-// and -qps, a model-distinct seed) and is mapped round-robin onto the tenant
-// list; the merged stream replays under the configured admission policy and
-// placement strategy with per-model and per-tenant accounting.
-func runFleet(o *options, w io.Writer) error {
-	if o.drift > 0 {
-		return fmt.Errorf("fleet mode serves fixed schedule sets; for drift and hot-swaps on a shared pool use recflex-bench -exp fleet or examples/fleet")
-	}
+// fleetSetup is everything a shared-pool serving mode needs: the tuned
+// models, tenants, per-model request streams and the pool configuration —
+// built identically for the batch replay (runFleet), the live gateway
+// (runGateway) and the offline session verifier (runReplaySession). Building
+// it from the same flags is what lets a recorded gateway session replay
+// bit-identically in a separate process.
+type fleetSetup struct {
+	dev      *gpusim.Device
+	models   []core.FleetModel
+	tenants  []fleet.TenantSpec
+	streams  []fleet.Stream
+	cfg      fleet.Config
+	strategy fleet.Strategy
+}
+
+// buildFleetSetup resolves the fleet flags: tenants, placement, admission
+// policy, one independently tuned frozen model per -models entry (each with a
+// deterministic per-model trace seed) and the shared pool configuration.
+func buildFleetSetup(o *options) (*fleetSetup, error) {
 	names := strings.Split(o.models, ",")
 	tenants, err := parseTenants(o.tenants, len(names))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	strategy, err := fleet.ParseStrategy(o.placement)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	weights, err := parseWeights(o.weights)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	admission, err := fleet.ParsePolicy(o.policy, tenants, o.shedFraction, weights)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// The fleet default serves admitted requests to completion; -degrade shed
 	// switches to dispatch-time deadline shedding, -degrade split-tail arms
@@ -511,7 +568,7 @@ func runFleet(o *options, w io.Writer) error {
 	policy := trace.DegradeServe
 	if o.degrade != "" {
 		if policy, err = trace.ParseDegradePolicy(o.degrade); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	splitBound := 0
@@ -519,22 +576,18 @@ func runFleet(o *options, w io.Writer) error {
 		splitBound = splitCap
 	}
 
-	var (
-		dev     *gpusim.Device
-		models  []core.FleetModel
-		streams []fleet.Stream
-	)
+	s := &fleetSetup{tenants: tenants, strategy: strategy}
 	for i, name := range names {
 		name = strings.TrimSpace(name)
 		cfg, d, err := modelDevice(name, o.device, o.scale)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		dev = d
+		s.dev = d
 		features := experiments.Features(cfg)
-		rf, err := tuneModel(cfg, dev, features)
+		rf, err := tuneModel(cfg, d, features)
 		if err != nil {
-			return fmt.Errorf("model %s: %w", name, err)
+			return nil, fmt.Errorf("model %s: %w", name, err)
 		}
 		reqs, err := trace.Generate(o.requests, trace.GeneratorConfig{
 			QPS: o.qps, MaxBatch: splitCap, TailProb: o.tailProb,
@@ -542,14 +595,14 @@ func runFleet(o *options, w io.Writer) error {
 			Seed:     cfg.Seed ^ 0x5E17E ^ int64(i+1)<<20,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		label := name
 		if len(names) > 1 {
 			label = fmt.Sprintf("%s/%d", name, i)
 		}
 		c := cfg
-		models = append(models, core.FleetModel{
+		s.models = append(s.models, core.FleetModel{
 			Name: label,
 			Rec:  rf,
 			Source: func(_ float64, size int) (*embedding.Batch, error) {
@@ -558,13 +611,9 @@ func runFleet(o *options, w io.Writer) error {
 			Opts:   core.ContinuousOptions{Quantum: sizeQuantum},
 			Frozen: true,
 		})
-		streams = append(streams, fleet.Stream{Model: i, Tenant: i % len(tenants), Reqs: reqs})
+		s.streams = append(s.streams, fleet.Stream{Model: i, Tenant: i % len(tenants), Reqs: reqs})
 	}
-	merged := fleet.Merge(streams...)
-
-	fmt.Fprintf(w, "fleet serving: %d models x %d requests at %.0f qps each on a shared %dx %s pool (%s placement, %s admission)\n\n",
-		len(models), o.requests, o.qps, o.gpus, dev.Name, strategy, o.policy)
-	fcfg := fleet.Config{
+	s.cfg = fleet.Config{
 		Queue: trace.QueuePolicy{
 			Workers:    o.gpus,
 			QueueDepth: o.queue,
@@ -577,10 +626,31 @@ func runFleet(o *options, w io.Writer) error {
 		ShedFraction: o.shedFraction,
 	}
 	if o.rebalance > 0 {
-		fcfg.RebalanceEvery = o.rebalance
-		fcfg.Rebalance = fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{})
+		s.cfg.RebalanceEvery = o.rebalance
+		s.cfg.Rebalance = fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{})
 	}
-	res, err := core.ServeFleet(fcfg, models, tenants, merged)
+	return s, nil
+}
+
+// runFleet serves several independently tuned models over one shared
+// simulated GPU pool. Each model gets its own Poisson trace (same -requests
+// and -qps, a model-distinct seed) and is mapped round-robin onto the tenant
+// list; the merged stream replays under the configured admission policy and
+// placement strategy with per-model and per-tenant accounting.
+func runFleet(o *options, w io.Writer) error {
+	if o.drift > 0 {
+		return fmt.Errorf("fleet mode serves fixed schedule sets; for drift and hot-swaps on a shared pool use recflex-bench -exp fleet or examples/fleet")
+	}
+	s, err := buildFleetSetup(o)
+	if err != nil {
+		return err
+	}
+	dev, models, tenants := s.dev, s.models, s.tenants
+	merged := fleet.Merge(s.streams...)
+
+	fmt.Fprintf(w, "fleet serving: %d models x %d requests at %.0f qps each on a shared %dx %s pool (%s placement, %s admission)\n\n",
+		len(models), o.requests, o.qps, o.gpus, dev.Name, s.strategy, o.policy)
+	res, err := core.ServeFleet(s.cfg, models, tenants, merged)
 	if err != nil {
 		return err
 	}
@@ -618,5 +688,140 @@ func runFleet(o *options, w io.Writer) error {
 		fmt.Fprintf(w, "  gpu%-2d %6d reqs  busy %8s  util %5.1f%%\n",
 			g, wk.Served, report.FmtUS(wk.Busy), wk.Utilization*100)
 	}
+	return nil
+}
+
+// runGateway is the real-time front door: it builds the same shared pool the
+// batch fleet mode serves, opens a time-warped gateway session over it, and
+// accepts live inference requests over HTTP until the wall duration elapses
+// or an interrupt arrives. With -session the admitted stream and outcomes are
+// recorded, and the log is immediately re-read and replayed offline through
+// the pool as a self-check — the same bit-identical verification
+// -replay-session runs in a separate process.
+func runGateway(o *options, w io.Writer) error {
+	if o.models == "" {
+		return fmt.Errorf("-listen serves a shared fleet pool; pass -models (e.g. -models A,C)")
+	}
+	if o.drift > 0 {
+		return fmt.Errorf("gateway mode serves fixed schedule sets; -drift is a single-model batch-replay flag")
+	}
+	s, err := buildFleetSetup(o)
+	if err != nil {
+		return err
+	}
+	pool, _, err := core.BuildFleetPool(s.cfg, s.models, s.tenants)
+	if err != nil {
+		return err
+	}
+
+	var sessFile *os.File
+	gcfg := gateway.Config{Pool: pool, Warp: o.warp}
+	if o.session != "" {
+		if sessFile, err = os.Create(o.session); err != nil {
+			return err
+		}
+		gcfg.Session = sessFile
+	}
+	g, err := gateway.New(gcfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: g.Handler()}
+	go srv.Serve(ln)
+	fmt.Fprintf(w, "gateway: %d models, %d tenants on a shared %dx %s pool (%s placement, %s admission)\n",
+		len(s.models), len(s.tenants), o.gpus, s.dev.Name, s.strategy, o.policy)
+	fmt.Fprintf(w, "listening on http://%s (time-warp %gx: 1 wall second = %g simulated seconds)\n",
+		ln.Addr(), o.warp, o.warp)
+	fmt.Fprintf(w, "endpoints: POST /v1/infer, GET /v1/metrics, GET /healthz\n")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if o.serveDur > 0 {
+		select {
+		case <-time.After(time.Duration(o.serveDur * float64(time.Second))):
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+	srv.Close()
+	ln.Close()
+
+	rep, closeErr := g.Close()
+	st := g.Stats()
+	fmt.Fprintf(w, "\ngateway session: %d admitted, %d served, %d shed, %d lost (sim clock reached %.3fs)\n",
+		st.Admitted, st.Served, st.Shed, st.Lost, st.SimNow)
+	if closeErr != nil {
+		return closeErr
+	}
+	if rep != nil {
+		fmt.Fprintf(w, "served-sojourn percentiles: p50 %s p95 %s p99 %s (simulated)\n",
+			report.FmtUS(st.P50), report.FmtUS(st.P95), report.FmtUS(st.P99))
+		fmt.Fprintf(w, "pool: %s\n", rep.Metrics)
+	}
+	if sessFile == nil {
+		return nil
+	}
+	if err := sessFile.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "session log recorded to %s (verify later with -replay-session %s and the same pool flags)\n",
+		o.session, o.session)
+	if st.Admitted == 0 {
+		return nil
+	}
+	f, err := os.Open(o.session)
+	if err != nil {
+		return err
+	}
+	sess, err := gateway.ReadSession(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if _, err := sess.Replay(pool); err != nil {
+		return fmt.Errorf("session self-check failed: %w", err)
+	}
+	fmt.Fprintf(w, "session self-check: %d recorded requests replayed bit-identically\n", len(sess.Requests))
+	return nil
+}
+
+// runReplaySession rebuilds the pool from the same flags as the recording run
+// and replays a recorded gateway session through it offline, verifying every
+// outcome, sojourn, worker and generation bit for bit.
+func runReplaySession(o *options, w io.Writer) error {
+	if o.models == "" {
+		return fmt.Errorf("-replay-session rebuilds the recording run's pool; pass the same -models (and pool flags) as the gateway run")
+	}
+	s, err := buildFleetSetup(o)
+	if err != nil {
+		return err
+	}
+	pool, _, err := core.BuildFleetPool(s.cfg, s.models, s.tenants)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(o.replaySession)
+	if err != nil {
+		return err
+	}
+	sess, err := gateway.ReadSession(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	rep, err := sess.Replay(pool)
+	if err != nil {
+		return fmt.Errorf("session %s diverged from the live run: %w", o.replaySession, err)
+	}
+	m := rep.Metrics
+	fmt.Fprintf(w, "replayed %d recorded requests bit-identically: %d served, %d shed over a %.3fs sim makespan\n",
+		len(sess.Requests), m.Served, m.Shed(), m.Makespan)
+	fmt.Fprintf(w, "pool: %s\n", m)
 	return nil
 }

@@ -2,10 +2,17 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"net/http"
+	"path/filepath"
 	"reflect"
+	"regexp"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/datasynth"
 	"repro/internal/embedding"
@@ -253,5 +260,144 @@ func TestParseTenants(t *testing.T) {
 		if _, err := parseTenants(bad, 1); err == nil {
 			t.Errorf("parseTenants(%q) succeeded, want error", bad)
 		}
+	}
+}
+
+// syncBuffer lets the test read run()'s output while the gateway goroutine is
+// still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// Gateway validation fails fast, before any pool is tuned or a socket opened.
+func TestRunRejectsBadGatewayFlags(t *testing.T) {
+	cases := [][]string{
+		{"-gpus", "0"},
+		{"-gpus", "-1"},
+		{"-queue", "-1"},
+		{"-requests", "0"},
+		{"-scale", "0"},
+		{"-qps", "0"},
+		{"-warp", "0"},
+		{"-warp", "-3"},
+		{"-warp", "+Inf"},
+		{"-serve-duration", "-1"},
+		{"-listen", "127.0.0.1:0"},      // gateway needs -models
+		{"-replay-session", "nope.log"}, // replay needs -models
+		{"-models", "A", "-listen", ":0", "-drift", "2"}, // drift is batch-only
+		{"-models", "A", "-replay-session", "/nonexistent/x.log", "-scale", "400"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// The tentpole, end to end through the CLI seam: a live time-warped gateway
+// session over a two-model fleet pool, driven by concurrent HTTP clients,
+// recorded to a session log, then verified bit-identically by a *separate*
+// run() invocation that rebuilds the pool from the same flags — the
+// cross-process replay story, minus the process boundary.
+func TestRunGatewayServeAndReplaySession(t *testing.T) {
+	sess := filepath.Join(t.TempDir(), "session.log")
+	poolFlags := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "400", "-gpus", "2", "-queue", "16", "-qps", "4000",
+	}
+	serveArgs := append(append([]string{}, poolFlags...),
+		"-listen", "127.0.0.1:0", "-warp", "5000",
+		"-serve-duration", "1.5", "-session", sess,
+	)
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(serveArgs, &out) }()
+
+	addrRe := regexp.MustCompile(`listening on (http://\S+) `)
+	var base string
+	for deadline := time.Now().Add(60 * time.Second); base == ""; {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("gateway exited before listening (err=%v):\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never started listening:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"model":%d,"tenant":%d,"size":%d}`, i%2, i%2, 16+i*8)
+			resp, err := client.Post(base+"/v1/infer", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				okCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if okCount.Load() == 0 {
+		t.Fatalf("no inference request got a 200:\n%s", out.String())
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("gateway run failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"gateway session:", "session log recorded to", "replayed bit-identically"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("gateway output missing %q in:\n%s", want, s)
+		}
+	}
+
+	// Offline verification by a fresh invocation rebuilding the pool from the
+	// same flags — this is what -replay-session in a new process does.
+	replayArgs := append(append([]string{}, poolFlags...), "-replay-session", sess)
+	var rout bytes.Buffer
+	if err := run(replayArgs, &rout); err != nil {
+		t.Fatalf("replay-session diverged: %v\n%s", err, rout.String())
+	}
+	if !strings.Contains(rout.String(), "bit-identically") {
+		t.Errorf("replay output missing verification line:\n%s", rout.String())
+	}
+
+	// A pool built with *different* flags must not verify: the session replay
+	// is a real check, not a formality. A different tuning scale changes every
+	// service time, so the recorded sojourns cannot reproduce.
+	wrongArgs := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "300", "-gpus", "2", "-queue", "16", "-qps", "4000",
+		"-replay-session", sess,
+	}
+	if err := run(wrongArgs, io.Discard); err == nil {
+		t.Error("replay against a differently tuned pool verified the session")
 	}
 }

@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"time"
 
@@ -25,20 +27,45 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("recflex-tune: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report out,
+// every failure — including invalid flag values — surfaces as an error and a
+// non-zero exit.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("recflex-tune", flag.ContinueOnError)
+	fs.SetOutput(w)
 	var (
-		model    = flag.String("model", "A", "model: A,B,C,D,E,scale10k,mlperf")
-		device   = flag.String("device", "V100", "device: V100 or A100")
-		scale    = flag.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
-		batches  = flag.Int("batches", 4, "historical batches sampled for tuning")
-		batchCap = flag.Int("batch-cap", 512, "maximum request batch size")
-		workers  = flag.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
-		sepAblat = flag.Bool("separate", false, "also run the separate-combine straw-man tuner")
-		outFile  = flag.String("o", "", "save the tuned schedules as JSON (loadable by core.LoadTuned)")
-		prune    = flag.Bool("prune", false, "successive-halving pruning in the local stage (sampled first pass, survivors re-scored at full budget)")
-		warmFile = flag.String("warm-start", "", "warm-start the search from a previously saved tuning result (a -o file)")
-		serial   = flag.Bool("serial", false, "force the serial reference engine (ignores -prune/-warm-start)")
+		model    = fs.String("model", "A", "model: A,B,C,D,E,scale10k,mlperf")
+		device   = fs.String("device", "V100", "device: V100 or A100")
+		scale    = fs.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
+		batches  = fs.Int("batches", 4, "historical batches sampled for tuning")
+		batchCap = fs.Int("batch-cap", 512, "maximum request batch size")
+		workers  = fs.Int("workers", 0, "tuning parallelism (0 = GOMAXPROCS)")
+		sepAblat = fs.Bool("separate", false, "also run the separate-combine straw-man tuner")
+		outFile  = fs.String("o", "", "save the tuned schedules as JSON (loadable by core.LoadTuned)")
+		prune    = fs.Bool("prune", false, "successive-halving pruning in the local stage (sampled first pass, survivors re-scored at full budget)")
+		warmFile = fs.String("warm-start", "", "warm-start the search from a previously saved tuning result (a -o file)")
+		serial   = fs.Bool("serial", false, "force the serial reference engine (ignores -prune/-warm-start)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %d", *scale)
+	}
+	if *batches <= 0 {
+		return fmt.Errorf("-batches must be positive, got %d", *batches)
+	}
+	if *batchCap <= 0 {
+		return fmt.Errorf("-batch-cap must be positive, got %d", *batchCap)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
 
 	configs := map[string]*datasynth.ModelConfig{
 		"A": datasynth.ModelA(), "B": datasynth.ModelB(), "C": datasynth.ModelC(),
@@ -47,7 +74,7 @@ func main() {
 	}
 	cfg, ok := configs[*model]
 	if !ok {
-		log.Fatalf("unknown model %q", *model)
+		return fmt.Errorf("unknown model %q", *model)
 	}
 	cfg = datasynth.Scaled(cfg, *scale)
 	var dev *gpusim.Device
@@ -57,13 +84,13 @@ func main() {
 	case "A100":
 		dev = gpusim.A100()
 	default:
-		log.Fatalf("unknown device %q", *device)
+		return fmt.Errorf("unknown device %q", *device)
 	}
 
 	sizes := datasynth.RequestSizes(*batches, *batchCap, cfg.Seed^0xBA7C4)
 	ds, err := datasynth.GenerateDataset(cfg, *batches, sizes)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	features := experiments.Features(cfg)
 	m := tuner.DefaultModel(features)
@@ -72,7 +99,7 @@ func main() {
 	if *warmFile != "" {
 		incumbent := core.New(dev, features)
 		if err := incumbent.LoadTuned(*warmFile); err != nil {
-			log.Fatalf("-warm-start: %v", err)
+			return fmt.Errorf("-warm-start: %w", err)
 		}
 		topts.Warm = tuner.WarmFrom(incumbent.Tuned())
 	}
@@ -80,17 +107,17 @@ func main() {
 	start := time.Now()
 	rf := core.New(dev, features)
 	if err := rf.Tune(ds.Batches, topts); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res := rf.Tuned()
 	wall := time.Since(start)
 
-	fmt.Printf("model %s on %s: %d features, %d tuning batches, tuned in %v\n",
+	fmt.Fprintf(w, "model %s on %s: %d features, %d tuning batches, tuned in %v\n",
 		cfg.Name, dev.Name, len(features), len(ds.Batches), wall.Round(time.Millisecond))
-	fmt.Printf("selected occupancy: %d blocks/SM; fused latency over tuning data: %s\n",
+	fmt.Fprintf(w, "selected occupancy: %d blocks/SM; fused latency over tuning data: %s\n",
 		res.Occupancy, report.FmtUS(res.Latency))
 	for _, po := range res.PerOccupancy {
-		fmt.Printf("  occupancy %2d blocks/SM -> %s\n", po.BlocksPerSM, report.FmtUS(po.Latency))
+		fmt.Fprintf(w, "  occupancy %2d blocks/SM -> %s\n", po.BlocksPerSM, report.FmtUS(po.Latency))
 	}
 
 	counts := map[string]int{}
@@ -102,24 +129,25 @@ func main() {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool { return counts[names[i]] > counts[names[j]] })
-	fmt.Println("schedule distribution:")
+	fmt.Fprintln(w, "schedule distribution:")
 	for _, n := range names {
-		fmt.Printf("  %4d x %s\n", counts[n], n)
+		fmt.Fprintf(w, "  %4d x %s\n", counts[n], n)
 	}
 
 	if *outFile != "" {
 		if err := rf.SaveTuned(*outFile); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("tuned schedules saved to %s\n", *outFile)
+		fmt.Fprintf(w, "tuned schedules saved to %s\n", *outFile)
 	}
 
 	if *sepAblat {
 		sep, err := tuner.SeparateCombine(dev, m, ds.Batches, tuner.Options{Parallelism: *workers})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("separate-combine straw man: fused latency %s (two-stage improvement %s)\n",
+		fmt.Fprintf(w, "separate-combine straw man: fused latency %s (two-stage improvement %s)\n",
 			report.FmtUS(sep.Latency), report.FmtRatio(sep.Latency/res.Latency))
 	}
+	return nil
 }

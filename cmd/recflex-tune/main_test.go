@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Flag validation fails fast, before any dataset is generated or tuning runs.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-model", "Z"},
+		{"-device", "H100"},
+		{"-scale", "0"},
+		{"-scale", "-10"},
+		{"-batches", "0"},
+		{"-batch-cap", "0"},
+		{"-workers", "-1"},
+		{"-warm-start", "/nonexistent/warm.json", "-scale", "400"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// A tiny tuning run through the seam: report printed, schedules saved, and the
+// saved file warm-starts a second run.
+func TestRunTinyTuneAndWarmStart(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tuned.json")
+	args := []string{"-model", "A", "-scale", "400", "-batches", "2", "-o", out}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, buf.String())
+	}
+	s := buf.String()
+	for _, want := range []string{"tuned in", "selected occupancy", "schedule distribution", "tuned schedules saved to"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q in:\n%s", want, s)
+		}
+	}
+
+	var warm bytes.Buffer
+	if err := run([]string{"-model", "A", "-scale", "400", "-batches", "2", "-warm-start", out}, &warm); err != nil {
+		t.Fatalf("warm-started run failed: %v\n%s", err, warm.String())
+	}
+	if !strings.Contains(warm.String(), "selected occupancy") {
+		t.Errorf("warm-started output missing report:\n%s", warm.String())
+	}
+}

@@ -60,31 +60,7 @@ type FleetResult struct {
 // Determinism carries through from the parts: a fixed trace, drift sources
 // and tuner seeds reproduce the identical FleetResult.
 func ServeFleet(cfg fleet.Config, models []FleetModel, tenants []fleet.TenantSpec, reqs []fleet.Request) (*FleetResult, error) {
-	fm := make([]fleet.Model, len(models))
-	commits := make([]func(), 0, len(models))
-	for i := range models {
-		m := &models[i]
-		if m.Rec == nil {
-			return nil, fmt.Errorf("core: fleet model %s has no RecFlex instance", m.Name)
-		}
-		if m.Frozen {
-			if m.Rec.Tuned() == nil {
-				return nil, errNotTuned
-			}
-			fm[i] = fleet.Model{
-				Name:    m.Name,
-				Service: m.Rec.TimedService(m.Source, m.Opts.Quantum, m.Opts.PhaseOf),
-			}
-			continue
-		}
-		sv, commit, err := m.Rec.continuousSupervisor(m.Source, m.Opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: fleet model %s: %w", m.Name, err)
-		}
-		fm[i] = fleet.Model{Name: m.Name, Supervisor: sv}
-		commits = append(commits, commit)
-	}
-	pool, err := fleet.NewPool(cfg, fm, tenants)
+	pool, commits, err := BuildFleetPool(cfg, models, tenants)
 	if err != nil {
 		return nil, err
 	}
@@ -100,4 +76,43 @@ func ServeFleet(cfg fleet.Config, models []FleetModel, tenants []fleet.TenantSpe
 		commit()
 	}
 	return &FleetResult{Report: rep, Interference: ratios}, nil
+}
+
+// BuildFleetPool converts core-level FleetModels into a ready fleet.Pool —
+// the step ServeFleet runs before its batch replay, exported so live-serving
+// front doors (internal/gateway, recflex-serve -listen) can drive the same
+// pool incrementally. The returned commit hooks belong to supervised
+// (non-frozen) models; call each after a successful serving run to make the
+// model's RecFlex instance adopt its final generation's tuning, exactly as
+// ServeFleet does.
+func BuildFleetPool(cfg fleet.Config, models []FleetModel, tenants []fleet.TenantSpec) (*fleet.Pool, []func(), error) {
+	fm := make([]fleet.Model, len(models))
+	commits := make([]func(), 0, len(models))
+	for i := range models {
+		m := &models[i]
+		if m.Rec == nil {
+			return nil, nil, fmt.Errorf("core: fleet model %s has no RecFlex instance", m.Name)
+		}
+		if m.Frozen {
+			if m.Rec.Tuned() == nil {
+				return nil, nil, errNotTuned
+			}
+			fm[i] = fleet.Model{
+				Name:    m.Name,
+				Service: m.Rec.TimedService(m.Source, m.Opts.Quantum, m.Opts.PhaseOf),
+			}
+			continue
+		}
+		sv, commit, err := m.Rec.continuousSupervisor(m.Source, m.Opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: fleet model %s: %w", m.Name, err)
+		}
+		fm[i] = fleet.Model{Name: m.Name, Supervisor: sv}
+		commits = append(commits, commit)
+	}
+	pool, err := fleet.NewPool(cfg, fm, tenants)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pool, commits, nil
 }

@@ -1,0 +1,128 @@
+package datasynth
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ArrivalProcess draws inter-arrival gaps for an open-loop request stream, in
+// the style of scylla-bench's composable rate distributions: the load
+// generator precomputes every intended send time from one seeded process, so
+// a slow server cannot slow the arrival schedule down (that back-pressure is
+// exactly the coordinated-omission bug open-loop generation exists to avoid).
+type ArrivalProcess interface {
+	// Next draws the gap to the next arrival, in seconds (>= 0).
+	Next(rng *rand.Rand) float64
+	// Mean returns the expected gap in seconds (1/rate).
+	Mean() float64
+	// String describes the process for logs and docs.
+	String() string
+}
+
+// FixedInterval spaces arrivals exactly 1/Rate apart — the deterministic
+// pacing of a closed benchmark loop, kept for contrast with Poisson.
+type FixedInterval struct{ Rate float64 }
+
+// Next implements ArrivalProcess.
+func (f FixedInterval) Next(*rand.Rand) float64 { return 1 / f.Rate }
+
+// Mean implements ArrivalProcess.
+func (f FixedInterval) Mean() float64 { return 1 / f.Rate }
+
+// String implements ArrivalProcess.
+func (f FixedInterval) String() string { return fmt.Sprintf("fixed(%g/s)", f.Rate) }
+
+// Poisson draws exponential gaps with mean 1/Rate — the memoryless arrival
+// process of independent users, and the default load-generator schedule.
+type Poisson struct{ Rate float64 }
+
+// Next implements ArrivalProcess.
+func (p Poisson) Next(rng *rand.Rand) float64 { return rng.ExpFloat64() / p.Rate }
+
+// Mean implements ArrivalProcess.
+func (p Poisson) Mean() float64 { return 1 / p.Rate }
+
+// String implements ArrivalProcess.
+func (p Poisson) String() string { return fmt.Sprintf("poisson(%g/s)", p.Rate) }
+
+// ParseArrival builds an ArrivalProcess from its CLI spelling: "poisson" or
+// "fixed", at rate requests per second. Rate must be positive.
+func ParseArrival(kind string, rate float64) (ArrivalProcess, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("datasynth: arrival rate must be positive, got %g", rate)
+	}
+	switch strings.ToLower(kind) {
+	case "poisson", "":
+		return Poisson{Rate: rate}, nil
+	case "fixed":
+		return FixedInterval{Rate: rate}, nil
+	default:
+		return nil, fmt.Errorf("datasynth: unknown arrival process %q (want poisson or fixed)", kind)
+	}
+}
+
+// ParseSizeDist builds a request-size Dist from its CLI spelling:
+// "fixed:K", "uniform:LO:HI", "normal:MU:SIGMA" or "lognormal:MU:SIGMA[:MAX]".
+func ParseSizeDist(spec string) (Dist, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (Dist, error) {
+		return nil, fmt.Errorf("datasynth: bad size distribution %q (want fixed:K, uniform:LO:HI, normal:MU:SIGMA or lognormal:MU:SIGMA[:MAX])", spec)
+	}
+	num := func(s string) (float64, bool) {
+		v, err := strconv.ParseFloat(s, 64)
+		return v, err == nil
+	}
+	switch strings.ToLower(parts[0]) {
+	case "fixed":
+		if len(parts) != 2 {
+			return bad()
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil || k <= 0 {
+			return bad()
+		}
+		return Fixed{K: k}, nil
+	case "uniform":
+		if len(parts) != 3 {
+			return bad()
+		}
+		lo, err1 := strconv.Atoi(parts[1])
+		hi, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || lo <= 0 || hi < lo {
+			return bad()
+		}
+		return Uniform{Lo: lo, Hi: hi}, nil
+	case "normal":
+		if len(parts) != 3 {
+			return bad()
+		}
+		mu, ok1 := num(parts[1])
+		sigma, ok2 := num(parts[2])
+		if !ok1 || !ok2 || mu <= 0 || sigma < 0 {
+			return bad()
+		}
+		return Normal{Mu: mu, Sigma: sigma}, nil
+	case "lognormal":
+		if len(parts) != 3 && len(parts) != 4 {
+			return bad()
+		}
+		mu, ok1 := num(parts[1])
+		sigma, ok2 := num(parts[2])
+		if !ok1 || !ok2 || sigma < 0 {
+			return bad()
+		}
+		max := 0
+		if len(parts) == 4 {
+			m, err := strconv.Atoi(parts[3])
+			if err != nil || m < 0 {
+				return bad()
+			}
+			max = m
+		}
+		return LogNormal{Mu: mu, Sigma: sigma, Max: max}, nil
+	default:
+		return bad()
+	}
+}

@@ -1,0 +1,99 @@
+package datasynth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseArrival(t *testing.T) {
+	p, err := ParseArrival("poisson", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(Poisson); !ok || p.Mean() != 1.0/200 {
+		t.Errorf("ParseArrival(poisson, 200) = %v (mean %g)", p, p.Mean())
+	}
+	// Empty kind defaults to Poisson — the load generator's default schedule.
+	if d, err := ParseArrival("", 50); err != nil {
+		t.Fatal(err)
+	} else if _, ok := d.(Poisson); !ok {
+		t.Errorf("ParseArrival(\"\") = %T, want Poisson", d)
+	}
+	f, err := ParseArrival("FIXED", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := f.Next(nil); gap != 0.01 {
+		t.Errorf("fixed gap = %g, want 0.01", gap)
+	}
+
+	for _, rate := range []float64{0, -5} {
+		if _, err := ParseArrival("poisson", rate); err == nil {
+			t.Errorf("ParseArrival(rate=%g) succeeded, want error", rate)
+		}
+	}
+	if _, err := ParseArrival("bursty", 10); err == nil {
+		t.Error("ParseArrival(bursty) succeeded, want error")
+	}
+}
+
+// The Poisson process empirically hits its configured rate, and gaps from one
+// seed replay identically — the property the precomputed loadgen schedule
+// (and session determinism downstream of it) relies on.
+func TestPoissonGapsSeededAndCalibrated(t *testing.T) {
+	p := Poisson{Rate: 1000}
+	const n = 20000
+	sum := 0.0
+	rng := rand.New(rand.NewSource(7))
+	gaps := make([]float64, n)
+	for i := range gaps {
+		gaps[i] = p.Next(rng)
+		if gaps[i] < 0 {
+			t.Fatalf("gap %d negative: %g", i, gaps[i])
+		}
+		sum += gaps[i]
+	}
+	if mean := sum / n; math.Abs(mean-p.Mean()) > 0.1*p.Mean() {
+		t.Errorf("empirical mean gap %g, want within 10%% of %g", mean, p.Mean())
+	}
+	rng2 := rand.New(rand.NewSource(7))
+	for i := range gaps {
+		if g := p.Next(rng2); g != gaps[i] {
+			t.Fatalf("gap %d not reproducible from the seed: %g vs %g", i, g, gaps[i])
+		}
+	}
+}
+
+func TestParseSizeDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	good := map[string]func(int) bool{
+		"fixed:256":          func(v int) bool { return v == 256 },
+		"uniform:16:512":     func(v int) bool { return v >= 16 && v <= 512 },
+		"NORMAL:100:10":      func(v int) bool { return v >= 1 },
+		"lognormal:3:0.5":    func(v int) bool { return v >= 1 },
+		"lognormal:3:0.5:64": func(v int) bool { return v >= 1 && v <= 64 },
+	}
+	for spec, check := range good {
+		d, err := ParseSizeDist(spec)
+		if err != nil {
+			t.Errorf("ParseSizeDist(%q): %v", spec, err)
+			continue
+		}
+		for i := 0; i < 100; i++ {
+			if v := d.Sample(rng); !check(v) {
+				t.Errorf("ParseSizeDist(%q) sampled %d out of range", spec, v)
+				break
+			}
+		}
+	}
+	for _, bad := range []string{
+		"", "zipf:2", "fixed", "fixed:0", "fixed:x", "uniform:16",
+		"uniform:0:8", "uniform:9:8", "normal:0:1", "normal:100:-1",
+		"lognormal:3", "lognormal:3:0.5:-1", "lognormal:3:0.5:x",
+	} {
+		if _, err := ParseSizeDist(bad); err == nil {
+			t.Errorf("ParseSizeDist(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -142,6 +142,11 @@ func (s *Suite) Overhead() (*OverheadResult, error) {
 		return nil, err
 	}
 	raw := buf.Bytes()
+	// Wall-clock audit: the time.Now reads below measure real host costs
+	// (dataset decode, workload analysis) for the overhead table only. None
+	// of them feed virtual time, a session log, or any deterministic-replay
+	// pin — keep it that way; replayed results must never depend on host
+	// speed.
 	const reps = 5
 	start := time.Now()
 	for i := 0; i < reps; i++ {

@@ -224,538 +224,32 @@ func (st *poolRun) betterWorker(w, best int) bool {
 // with the caller's indices. Supervised models' drift control runs inside
 // the replay (their swap histories land in ModelReports), and each
 // supervisor's metrics snapshot is installed as if Run had been called.
+//
+// Serve is a thin batch driver over the incremental Live engine: Begin,
+// Admit every request in arrival order, Close. A live gateway session runs
+// the identical code path one arrival at a time, which is what makes a
+// recorded session replay bit-identically through Serve.
 func (p *Pool) Serve(reqs []Request) (*Report, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("fleet: empty request stream")
 	}
 	for i, r := range reqs {
-		switch {
-		case r.Model < 0 || r.Model >= len(p.models):
-			return nil, fmt.Errorf("fleet: request %d targets unknown model %d (have %d)", i, r.Model, len(p.models))
-		case r.Tenant < 0 || r.Tenant >= len(p.tenants):
-			return nil, fmt.Errorf("fleet: request %d belongs to unknown tenant %d (have %d)", i, r.Tenant, len(p.tenants))
-		case r.Size <= 0:
-			return nil, fmt.Errorf("fleet: request %d has non-positive size %d", i, r.Size)
-		case r.Deadline < 0:
-			return nil, fmt.Errorf("fleet: request %d has negative deadline %g", i, r.Deadline)
+		if err := p.validateRequest(i, r); err != nil {
+			return nil, err
 		}
 	}
 	sorted, order := arrivalOrder(reqs)
-	n := len(sorted)
-	k := p.cfg.Queue.EffectiveWorkers()
-
-	// Per-model continuous-serving control; nil for static models. Every
-	// BeginRun must be balanced by Finalize (success) or Abort (error).
-	lcs := make([]*trace.LoopControl, len(p.models))
-	for m := range p.models {
-		if p.models[m].Supervisor != nil {
-			lcs[m] = p.models[m].Supervisor.BeginRun()
-		}
-	}
-	abort := func() {
-		for _, lc := range lcs {
-			if lc != nil {
-				lc.Abort()
-			}
-		}
-	}
-
-	st := &poolRun{
-		p:           p,
-		asg:         p.initial.clone(),
-		free:        make([]float64, k),
-		busy:        make([]float64, k),
-		tune:        make([]float64, k),
-		served:      make([]int, k),
-		tuneByModel: make([]float64, len(p.models)),
-	}
-	occ := make([]*modelOccupier, len(p.models))
-	for m := range occ {
-		occ[m] = &modelOccupier{run: st, model: m}
-	}
-
-	// A stateful dispatch policy (e.g. WeightedFair's deficit counters)
-	// starts every replay from the same state, so a reused Pool stays
-	// deterministic across Serve calls.
-	if r, ok := p.policy.(interface{ Reset() }); ok {
-		r.Reset()
-	}
-
-	met := &Metrics{
-		Latency:   p.cfg.histogram(),
-		Policy:    p.policy.Name(),
-		Placement: p.cfg.Placement.String(),
-		Models:    make([]GroupMetrics, len(p.models)),
-		Tenants:   make([]GroupMetrics, len(p.tenants)),
-	}
-	for m := range met.Models {
-		met.Models[m].Name = p.models[m].Name
-		met.Models[m].Latency = p.cfg.histogram()
-	}
-	for t := range met.Tenants {
-		met.Tenants[t].Name = p.tenants[t].Name
-		met.Tenants[t].Latency = p.cfg.histogram()
-	}
-
-	rep := &Report{
-		Sojourn:     make([]float64, n),
-		Outcomes:    make([]Outcome, n),
-		Generations: make([]int, n),
-		Dispatch:    make([]float64, n),
-		Worker:      make([]int, n),
-		Service:     make([]float64, n),
-		Metrics:     met,
-	}
-	for i := 0; i < n; i++ {
-		rep.Sojourn[i] = math.NaN()
-		rep.Dispatch[i] = math.NaN()
-		rep.Service[i] = math.NaN()
-		rep.Worker[i] = -1
-	}
-
-	var queue []qentry  // whole admissions awaiting dispatch, admission order
-	var chunks []qentry // split chunks awaiting dispatch, FIFO
-	splits := make(map[int]*fleetSplit)
-	var eligIdx []int // dispatch-candidate scratch, reused across events
-	queuedByTenant := make([]int, len(p.tenants))
-	queuedByModel := make([]int, len(p.models))
-	workByModel := make([]float64, len(p.models))
-	modelSojourns := make([][]float64, len(p.models))
-	tenantSojourns := make([][]float64, len(p.tenants))
-	var lastEnd float64
-	lastReb := sorted[0].Arrival
-
-	// observeDepth tracks peak shared-buffer occupancy (whole admissions
-	// plus queued split chunks) at the same points the single-model engine
-	// samples it: after an admission enters the queue and after a dispatch
-	// removes an entry — the latter is how a post-split peak (one removal,
-	// several chunk insertions) becomes visible.
-	observeDepth := func() {
-		if d := len(queue) + len(chunks); d > met.MaxQueueDepth {
-			met.MaxQueueDepth = d
-		}
-	}
-
-	// maybeRebalance evaluates the rebalance hook at its virtual-time
-	// pacing. It runs on both arrival and dispatch events — dispatch events
-	// keep it alive while the queue drains after the last arrival and across
-	// arrival-free windows — and records a load snapshot into the history
-	// the hook consumes. Returns whether a new assignment was applied.
-	maybeRebalance := func(now float64) (bool, error) {
-		if p.cfg.Rebalance == nil || p.cfg.RebalanceEvery <= 0 || now < lastReb+p.cfg.RebalanceEvery {
-			return false, nil
-		}
-		lastReb = now
-		load := make([]WorkerLoad, k)
-		for w := 0; w < k; w++ {
-			load[w] = WorkerLoad{Busy: st.busy[w], TuneBusy: st.tune[w], FreeAt: st.free[w]}
-			for i := range queue {
-				if placedOn(st.asg, queue[i].model, w) {
-					load[w].Queued++
-				}
-			}
-			for i := range chunks {
-				if placedOn(st.asg, chunks[i].model, w) {
-					load[w].Queued++
-				}
-			}
-		}
-		qbm := append([]int(nil), queuedByModel...)
-		for i := range chunks {
-			qbm[chunks[i].model]++
-		}
-		met.LoadHistory = append(met.LoadHistory, LoadSnapshot{
-			Time:          now,
-			Workers:       load,
-			QueuedByModel: qbm,
-			WorkByModel:   append([]float64(nil), workByModel...),
-		})
-		na := p.cfg.Rebalance(now, met.LoadHistory, st.asg.clone())
-		if na == nil {
-			return false, nil
-		}
-		if err := na.validate(len(p.models), k); err != nil {
-			return false, fmt.Errorf("fleet: rebalance at t=%g: %w", now, err)
-		}
-		st.asg = na.clone()
-		met.Rebalances++
-		return true, nil
-	}
-
-	shed := func(pos int, out Outcome, model, tenant int) {
-		idx := originalIndex(order, pos)
-		rep.Outcomes[idx] = out
-		bump := func(g *GroupMetrics) {
-			switch out {
-			case OutcomeShedQueue:
-				g.ShedQueue++
-			case OutcomeShedQuota:
-				g.ShedQuota++
-			case OutcomeShedLoad:
-				g.ShedLoad++
-			case OutcomeShedDeadline:
-				g.ShedDeadline++
-			}
-		}
-		bump(&met.Models[model])
-		bump(&met.Tenants[tenant])
-		switch out {
-		case OutcomeShedQueue:
-			met.ShedQueue++
-		case OutcomeShedQuota:
-			met.ShedQuota++
-		case OutcomeShedLoad:
-			met.ShedLoad++
-		case OutcomeShedDeadline:
-			met.ShedDeadline++
-		}
-	}
-
-	next := 0
-	for next < n || len(queue) > 0 || len(chunks) > 0 {
-		tArr := math.Inf(1)
-		if next < n {
-			tArr = sorted[next].Arrival
-		}
-
-		// Earliest possible dispatch: for each worker, the earliest queued
-		// request or split chunk placed on it (by arrival) bounds the
-		// worker's next start. Ties between workers resolve by the placement
-		// strategy; ties with an arrival dispatch first, so a slot freed at
-		// time t is visible to an arrival at time t — matching the
-		// single-model engine.
-		bestW := -1
-		tDisp := math.Inf(1)
-		for w := 0; w < k; w++ {
-			minArr := math.Inf(1)
-			for i := range queue {
-				if !placedOn(st.asg, queue[i].model, w) {
-					continue
-				}
-				if queue[i].arrival < minArr {
-					minArr = queue[i].arrival
-				}
-			}
-			for i := range chunks {
-				if !placedOn(st.asg, chunks[i].model, w) {
-					continue
-				}
-				if chunks[i].arrival < minArr {
-					minArr = chunks[i].arrival
-				}
-			}
-			if math.IsInf(minArr, 1) {
-				continue
-			}
-			t := math.Max(st.free[w], minArr)
-			if t < tDisp || (t == tDisp && st.betterWorker(w, bestW)) {
-				bestW, tDisp = w, t
-			}
-		}
-
-		if bestW == -1 || tDisp > tArr {
-			// Admit the next arrival.
-			r := sorted[next]
-			pos := next
-			next++
-			now := r.Arrival
-
-			// Load-aware rebalancing hook, paced by virtual time.
-			if _, err := maybeRebalance(now); err != nil {
-				abort()
-				return nil, err
-			}
-
-			// The model's drift control observes every arrival — before any
-			// queue placement or shedding, exactly like the single-model
-			// engine — and stamps the generation the request is admitted on.
-			gen := 0
-			if lcs[r.Model] != nil {
-				g, err := lcs[r.Model].Admit(occ[r.Model], r.Size, now)
-				if err != nil {
-					abort()
-					return nil, err
-				}
-				gen = g
-			}
-			rep.Generations[originalIndex(order, pos)] = gen
-
-			qr := QueuedRequest{
-				ID:       pos,
-				Arrival:  now,
-				Deadline: p.deadlineOf(r),
-				Size:     r.Size,
-				Model:    r.Model,
-				Tenant:   r.Tenant,
-				Priority: p.tenants[r.Tenant].Priority,
-			}
-			load := PoolLoad{
-				Now:            now,
-				Queued:         len(queue) + len(chunks),
-				QueueDepth:     p.cfg.Queue.QueueDepth,
-				QueuedByTenant: append([]int(nil), queuedByTenant...),
-			}
-			ok, out := p.policy.Admit(qr, load)
-			if !ok {
-				if !out.Shed() {
-					abort()
-					return nil, fmt.Errorf("fleet: policy %s rejected a request with non-shed outcome %v", p.policy.Name(), out)
-				}
-				shed(pos, out, r.Model, r.Tenant)
-				continue
-			}
-			queue = append(queue, qentry{
-				id:       pos,
-				arrival:  now,
-				deadline: qr.Deadline,
-				size:     r.Size,
-				model:    r.Model,
-				tenant:   r.Tenant,
-				prio:     qr.Priority,
-				gen:      gen,
-			})
-			queuedByTenant[r.Tenant]++
-			queuedByModel[r.Model]++
-			observeDepth()
-			if queuedByTenant[r.Tenant] > met.Tenants[r.Tenant].MaxQueued {
-				met.Tenants[r.Tenant].MaxQueued = queuedByTenant[r.Tenant]
-			}
-			if queuedByModel[r.Model] > met.Models[r.Model].MaxQueued {
-				met.Models[r.Model].MaxQueued = queuedByModel[r.Model]
-			}
-			continue
-		}
-
-		// The rebalance pacing is evaluated at dispatch events too —
-		// otherwise the hook would fall silent the moment arrivals stop
-		// (drain phase) or thin out. An applied rebalance invalidates the
-		// candidate computation above, so recompute the event under the new
-		// assignment; lastReb has advanced, so this cannot loop.
-		if changed, err := maybeRebalance(tDisp); err != nil {
-			abort()
+	l := p.Begin()
+	for i := range sorted {
+		if _, _, err := l.Admit(sorted[i]); err != nil {
+			l.Abort()
 			return nil, err
-		} else if changed {
-			continue
-		}
-
-		// Split chunks placed on this worker dispatch ahead of any policy
-		// pick — a split request was already chosen by the policy once, and
-		// finishing it promptly is the point of splitting (the single-model
-		// engine expresses the same rule by inserting chunks at the queue
-		// front). Chunks dispatch in split order.
-		ci := -1
-		for i := range chunks {
-			if chunks[i].arrival <= tDisp && placedOn(st.asg, chunks[i].model, bestW) {
-				ci = i
-				break
-			}
-		}
-		if ci >= 0 {
-			e := chunks[ci]
-			chunks = append(chunks[:ci], chunks[ci+1:]...)
-			observeDepth()
-
-			var sv float64
-			var err error
-			if lcs[e.model] != nil {
-				sv, err = lcs[e.model].Resolve(e.gen, e.arrival, e.size)
-			} else {
-				sv, err = p.models[e.model].Service(e.arrival, e.size)
-			}
-			if err == nil && sv < 0 {
-				err = fmt.Errorf("fleet: negative service time %g for size %d", sv, e.size)
-			}
-			if err != nil {
-				abort()
-				return nil, fmt.Errorf("fleet: model %s: %w", p.models[e.model].Name, err)
-			}
-
-			end := tDisp + sv
-			st.free[bestW] = end
-			st.busy[bestW] += sv
-			st.served[bestW]++
-			workByModel[e.model] += sv
-			sp := splits[e.id]
-			sp.remaining--
-			sp.service += sv
-			sp.worker = bestW
-			if math.IsNaN(sp.firstDisp) {
-				sp.firstDisp = tDisp
-			}
-			if end > sp.end {
-				sp.end = end
-			}
-			if sp.remaining == 0 {
-				soj := sp.end - e.arrival
-				idx := originalIndex(order, e.id)
-				rep.Sojourn[idx] = soj
-				rep.Outcomes[idx] = OutcomeSplit
-				rep.Dispatch[idx] = sp.firstDisp
-				rep.Worker[idx] = sp.worker
-				rep.Service[idx] = sp.service
-				met.Served++
-				met.SplitServed++
-				met.Latency.Observe(soj)
-				mm, tt := &met.Models[e.model], &met.Tenants[e.tenant]
-				mm.Served++
-				mm.SplitServed++
-				mm.Latency.Observe(soj)
-				tt.Served++
-				tt.SplitServed++
-				tt.Latency.Observe(soj)
-				modelSojourns[e.model] = append(modelSojourns[e.model], soj)
-				tenantSojourns[e.tenant] = append(tenantSojourns[e.tenant], soj)
-				if sp.end > e.deadline {
-					met.Timeouts++
-					mm.Timeouts++
-					tt.Timeouts++
-				}
-				if sp.end > lastEnd {
-					lastEnd = sp.end
-				}
-				if lcs[e.model] != nil {
-					lcs[e.model].Observe(sp.size, e.gen, sp.end, soj)
-				}
-				delete(splits, e.id)
-			}
-			continue
-		}
-
-		// Dispatch on bestW at tDisp: the policy picks among the queued
-		// requests that are placed on this worker and have arrived.
-		eligIdx = eligIdx[:0]
-		for i := range queue {
-			if queue[i].arrival <= tDisp && placedOn(st.asg, queue[i].model, bestW) {
-				eligIdx = append(eligIdx, i)
-			}
-		}
-		elig := make([]QueuedRequest, len(eligIdx))
-		for j, i := range eligIdx {
-			e := &queue[i]
-			elig[j] = QueuedRequest{
-				ID: e.id, Arrival: e.arrival, Deadline: e.deadline,
-				Size: e.size, Model: e.model, Tenant: e.tenant, Priority: e.prio,
-			}
-		}
-		pick := p.policy.Next(elig, tDisp)
-		if pick < 0 || pick >= len(elig) {
-			abort()
-			return nil, fmt.Errorf("fleet: policy %s picked out-of-range candidate %d of %d", p.policy.Name(), pick, len(elig))
-		}
-		qi := eligIdx[pick]
-		e := queue[qi]
-		queue = append(queue[:qi], queue[qi+1:]...)
-		queuedByTenant[e.tenant]--
-		queuedByModel[e.model]--
-		observeDepth()
-
-		var sv float64
-		var err error
-		if lcs[e.model] != nil {
-			sv, err = lcs[e.model].Resolve(e.gen, e.arrival, e.size)
-		} else {
-			sv, err = p.models[e.model].Service(e.arrival, e.size)
-		}
-		if err == nil && sv < 0 {
-			err = fmt.Errorf("fleet: negative service time %g for size %d", sv, e.size)
-		}
-		if err != nil {
-			abort()
-			return nil, fmt.Errorf("fleet: model %s: %w", p.models[e.model].Name, err)
-		}
-
-		switch {
-		case p.cfg.Queue.Policy == trace.DegradeShed && tDisp+sv > e.deadline:
-			shed(e.id, OutcomeShedDeadline, e.model, e.tenant)
-			continue
-		case p.cfg.Queue.Policy == trace.DegradeSplitTail && p.cfg.Queue.IsTail(e.size) && tDisp > e.deadline:
-			// The tail request cannot even start before its deadline.
-			shed(e.id, OutcomeShedDeadline, e.model, e.tenant)
-			continue
-		case p.cfg.Queue.Policy == trace.DegradeSplitTail && p.cfg.Queue.IsTail(e.size) && tDisp+sv > e.deadline:
-			// Split-at-cap fallback, same semantics as the single-model
-			// engine: the tail request re-enters dispatch as capped chunks
-			// that route independently (chunks of one request can run on
-			// several workers at once) and dispatch ahead of policy picks.
-			// Chunks inherit the parent's generation: a split request is
-			// still one admission and finishes on the schedule set it
-			// arrived under.
-			cs := p.cfg.Queue.ChunkSizes(e.size)
-			splits[e.id] = &fleetSplit{remaining: len(cs), size: e.size, firstDisp: math.NaN()}
-			for _, c := range cs {
-				chunks = append(chunks, qentry{
-					id: e.id, arrival: e.arrival, deadline: e.deadline,
-					size: c, model: e.model, tenant: e.tenant, gen: e.gen,
-				})
-			}
-			continue
-		}
-
-		end := tDisp + sv
-		st.free[bestW] = end
-		st.busy[bestW] += sv
-		st.served[bestW]++
-		workByModel[e.model] += sv
-		if end > lastEnd {
-			lastEnd = end
-		}
-		soj := end - e.arrival
-		idx := originalIndex(order, e.id)
-		rep.Sojourn[idx] = soj
-		rep.Outcomes[idx] = OutcomeServed
-		rep.Dispatch[idx] = tDisp
-		rep.Worker[idx] = bestW
-		rep.Service[idx] = sv
-		met.Served++
-		met.Latency.Observe(soj)
-		met.Models[e.model].Served++
-		met.Models[e.model].Latency.Observe(soj)
-		met.Tenants[e.tenant].Served++
-		met.Tenants[e.tenant].Latency.Observe(soj)
-		modelSojourns[e.model] = append(modelSojourns[e.model], soj)
-		tenantSojourns[e.tenant] = append(tenantSojourns[e.tenant], soj)
-		if end > e.deadline {
-			met.Timeouts++
-			met.Models[e.model].Timeouts++
-			met.Tenants[e.tenant].Timeouts++
-		}
-		if lcs[e.model] != nil {
-			lcs[e.model].Observe(e.size, e.gen, end, soj)
 		}
 	}
-
-	// Pool-wide aggregates.
-	met.Makespan = lastEnd - sorted[0].Arrival
-	if met.Makespan < 0 {
-		met.Makespan = 0
-	}
-	met.Workers = make([]trace.WorkerStats, k)
-	for w := 0; w < k; w++ {
-		met.Workers[w] = trace.WorkerStats{
-			Served:   st.served[w],
-			Busy:     st.busy[w],
-			TuneBusy: st.tune[w],
-		}
-		if met.Makespan > 0 {
-			met.Workers[w].Utilization = (st.busy[w] + st.tune[w]) / met.Makespan
-		}
-	}
-	for m := range met.Models {
-		groupStats(&met.Models[m], modelSojourns[m])
-	}
-	for t := range met.Tenants {
-		groupStats(&met.Tenants[t], tenantSojourns[t])
-	}
-
-	// Per-model single-model reports; supervised models finalize their
-	// drift control into them (swap history, generation count, rollbacks)
-	// and publish their metrics snapshots.
-	rep.ModelReports = make([]*trace.Report, len(p.models))
-	for m := range p.models {
-		rep.ModelReports[m] = p.modelReport(m, reqs, rep, st.tuneByModel[m])
-		if lcs[m] != nil {
-			lcs[m].Finalize(rep.ModelReports[m])
-		}
+	rep, _, err := l.closeWith(reqs, order)
+	if err != nil {
+		l.Abort()
+		return nil, err
 	}
 	return rep, nil
 }
@@ -834,6 +328,7 @@ func (p *Pool) modelReport(m int, reqs []Request, rep *Report, tuneBusy float64)
 	out := &trace.Report{
 		Result: trace.Result{
 			Sojourn: sojourns,
+			Served:  len(served),
 			P50:     p50,
 			P95:     p95,
 			P99:     p99,

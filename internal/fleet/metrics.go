@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/trace"
 )
@@ -26,7 +25,9 @@ type GroupMetrics struct {
 	// Latency is the group's served-sojourn histogram.
 	Latency *trace.Histogram
 	// MeanSojourn, P50, P95 and P99 are exact statistics over the group's
-	// served sojourns (NaN when nothing was served).
+	// served sojourns, clamped to 0 when nothing was served (Served == 0 is
+	// the "no data" signal; NaN here would poison JSON reports and gateway
+	// responses).
 	MeanSojourn, P50, P95, P99 float64
 }
 
@@ -131,7 +132,7 @@ type Report struct {
 // retained sojourns.
 func groupStats(g *GroupMetrics, sojourns []float64) {
 	if len(sojourns) == 0 {
-		g.MeanSojourn, g.P50, g.P95, g.P99 = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		g.MeanSojourn, g.P50, g.P95, g.P99 = 0, 0, 0, 0
 		return
 	}
 	var sum float64

@@ -1,0 +1,37 @@
+// Package gateway is the wall-clock front door over the fleet pool: it
+// accepts live inference requests over HTTP, stamps each with a simulated
+// arrival time by mapping wall-clock time through a configurable time-warp
+// factor, and drives the incremental fleet.Live engine — the exact code path
+// batch replay uses — so admission, weighted-fair dispatch, drift detection,
+// background re-tune and canary hot-swap all run against live traffic.
+//
+// The backend is a GPU-free simulator, so the gateway borrows Revati's
+// time-warp trick: instead of burning real accelerator time, one wall-clock
+// second is dilated into Warp simulated seconds. Every admitted request is
+// recorded to a session log in simulated units only; replaying that log
+// offline through fleet.Pool.Serve reproduces per-request outcomes and
+// sojourns bit-identically, which is the invariant that keeps the wall-clock
+// layer honest.
+package gateway
+
+import "time"
+
+// Clock abstracts the wall clock so gateway tests control time and replay
+// purity is auditable: everything the session log or deterministic-replay
+// pins consume is derived from simulated time; the Clock only decides *when*
+// simulated time advances, never *what* the engine computes.
+type Clock interface {
+	// Now returns the current wall time.
+	Now() time.Time
+	// After fires once after d, like time.After.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }

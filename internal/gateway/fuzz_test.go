@@ -1,0 +1,107 @@
+package gateway_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/gateway"
+)
+
+// FuzzSessionLogDecode hammers the session-log decoder: it must never panic,
+// and anything it accepts must satisfy the session invariants and survive a
+// re-encode/re-decode round trip bit-identically — the decoder and encoder
+// are two sides of the replay contract.
+func FuzzSessionLogDecode(f *testing.F) {
+	// Seed with a real session, including a NaN-sojourn shed and a split.
+	var valid bytes.Buffer
+	sw := gateway.NewSessionWriter(&valid)
+	sw.Request(0, fleet.Request{Arrival: 0, Size: 4, Model: 0, Tenant: 0})
+	sw.Request(1, fleet.Request{Arrival: 0.125, Size: 300, Model: 1, Tenant: 1, Deadline: 2})
+	sw.Request(2, fleet.Request{Arrival: 0.125, Size: 8, Model: 0, Tenant: 0})
+	sw.Outcome(fleet.Event{ID: 0, Outcome: fleet.OutcomeServed, Worker: 0, Sojourn: 1, Dispatch: 0, Service: 1, End: 1})
+	sw.Outcome(fleet.Event{ID: 2, Outcome: fleet.OutcomeShedQueue, Worker: -1, Sojourn: math.NaN(), Dispatch: math.NaN(), Service: math.NaN(), End: 0.125})
+	sw.Outcome(fleet.Event{ID: 1, Outcome: fleet.OutcomeSplit, Generation: 1, Worker: 1, Sojourn: 2.5, Dispatch: 0.5, Service: 2, End: 2.625})
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("recflex-session v1\nend 0\n"))
+	f.Add([]byte("recflex-session v1\nreq 0 0x1p+00 4 0 0 0x0p+00\nend 1\n"))
+	f.Add([]byte("recflex-session v1\nreq 0 0x1p+00 4 0 0 0x0p+00\n")) // truncated
+	f.Add([]byte("recflex-session v2\nend 0\n"))                       // bad version
+	f.Add([]byte(""))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Add([]byte("recflex-session v1\nout 0 0 0 0 0x0p+00 0x0p+00 0x0p+00 0x0p+00\nend 0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := gateway.ReadSession(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		// Structural invariants of anything the decoder accepts.
+		if len(s.Requests) != len(s.Outcomes) || len(s.Requests) != len(s.Resolved) {
+			t.Fatalf("ragged session: %d reqs, %d outcomes, %d resolved",
+				len(s.Requests), len(s.Outcomes), len(s.Resolved))
+		}
+		last := math.Inf(-1)
+		for i, r := range s.Requests {
+			if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) {
+				t.Fatalf("request %d: non-finite arrival accepted", i)
+			}
+			if r.Arrival < last {
+				t.Fatalf("request %d: regressing arrival accepted", i)
+			}
+			last = r.Arrival
+		}
+		for i, ev := range s.Outcomes {
+			if s.Resolved[i] && (ev.Outcome > fleet.OutcomeSplit) {
+				t.Fatalf("outcome %d: out-of-range outcome %d accepted", i, ev.Outcome)
+			}
+		}
+
+		// Accepted sessions re-encode and re-decode to the identical session.
+		var buf bytes.Buffer
+		w := gateway.NewSessionWriter(&buf)
+		for id, r := range s.Requests {
+			w.Request(id, r)
+		}
+		for id, ev := range s.Outcomes {
+			if s.Resolved[id] {
+				ev.ID = id
+				w.Outcome(ev)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		s2, err := gateway.ReadSession(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded session rejected: %v\n%s", err, buf.String())
+		}
+		if len(s2.Requests) != len(s.Requests) {
+			t.Fatalf("round trip changed request count: %d -> %d", len(s.Requests), len(s2.Requests))
+		}
+		bits := math.Float64bits
+		for i := range s.Requests {
+			a, b := s.Requests[i], s2.Requests[i]
+			if bits(a.Arrival) != bits(b.Arrival) || bits(a.Deadline) != bits(b.Deadline) ||
+				a.Size != b.Size || a.Model != b.Model || a.Tenant != b.Tenant {
+				t.Fatalf("request %d changed across round trip: %+v -> %+v", i, a, b)
+			}
+			if s.Resolved[i] != s2.Resolved[i] {
+				t.Fatalf("resolved[%d] changed across round trip", i)
+			}
+			if !s.Resolved[i] {
+				continue
+			}
+			x, y := s.Outcomes[i], s2.Outcomes[i]
+			if x.Outcome != y.Outcome || x.Generation != y.Generation || x.Worker != y.Worker ||
+				bits(x.Sojourn) != bits(y.Sojourn) || bits(x.Dispatch) != bits(y.Dispatch) ||
+				bits(x.Service) != bits(y.Service) || bits(x.End) != bits(y.End) {
+				t.Fatalf("outcome %d changed across round trip: %+v -> %+v", i, x, y)
+			}
+		}
+	})
+}

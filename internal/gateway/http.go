@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"repro/internal/fleet"
+)
+
+// InferRequest is the POST /v1/infer body. Model and Tenant are pool
+// indices; Size is the request batch size; DeadlineSim an optional relative
+// deadline in simulated seconds (0 = tenant/pool default).
+type InferRequest struct {
+	Model       int     `json:"model"`
+	Tenant      int     `json:"tenant"`
+	Size        int     `json:"size"`
+	DeadlineSim float64 `json:"deadline_sim,omitempty"`
+}
+
+// InferResponse is the /v1/infer reply. Times are simulated seconds; shed
+// requests carry zeros (Outcome says why). ArrivalSim is the warped
+// admission stamp, the value the session log records.
+type InferResponse struct {
+	ID         int     `json:"id"`
+	Outcome    string  `json:"outcome"`
+	Generation int     `json:"generation"`
+	Worker     int     `json:"worker"`
+	ArrivalSim float64 `json:"arrival_sim"`
+	SojournSim float64 `json:"sojourn_sim"`
+	ServiceSim float64 `json:"service_sim"`
+	EndSim     float64 `json:"end_sim"`
+}
+
+// MetricsResponse is the GET /v1/metrics reply. Percentiles are clamped to 0
+// while Served == 0 (never NaN — NaN is unencodable in JSON).
+type MetricsResponse struct {
+	Admitted int     `json:"admitted"`
+	Served   int     `json:"served"`
+	Shed     int     `json:"shed"`
+	Pending  int     `json:"pending"`
+	Lost     int     `json:"lost"`
+	Warp     float64 `json:"warp"`
+	SimNow   float64 `json:"sim_now"`
+	P50Sim   float64 `json:"p50_sim"`
+	P95Sim   float64 `json:"p95_sim"`
+	P99Sim   float64 `json:"p99_sim"`
+}
+
+// jsonSafe clamps non-finite values (shed requests carry NaN sojourns) to 0
+// so every response body is valid JSON.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Handler returns the gateway's HTTP front door:
+//
+//	POST /v1/infer   — admit one request, respond when the engine resolves it
+//	GET  /v1/metrics — counters and clamped percentiles
+//	GET  /healthz    — 200 while the engine is healthy, 503 after a fatal error
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", g.handleInfer)
+	mux.HandleFunc("/v1/metrics", g.handleMetrics)
+	mux.HandleFunc("/healthz", g.handleHealth)
+	return mux
+}
+
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req InferRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	ev, err := g.Infer(r.Context(), fleet.Request{
+		Size:     req.Size,
+		Deadline: req.DeadlineSim,
+		Model:    req.Model,
+		Tenant:   req.Tenant,
+	})
+	if err != nil {
+		// The engine rejected the request (unknown model/tenant, bad size):
+		// client error. A sticky engine failure or shutdown: server error.
+		status := http.StatusBadRequest
+		if g.Err() != nil || r.Context().Err() != nil || errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, InferResponse{
+		ID:         ev.ID,
+		Outcome:    ev.Outcome.String(),
+		Generation: ev.Generation,
+		Worker:     ev.Worker,
+		ArrivalSim: jsonSafe(ev.End - ev.Sojourn),
+		SojournSim: jsonSafe(ev.Sojourn),
+		ServiceSim: jsonSafe(ev.Service),
+		EndSim:     jsonSafe(ev.End),
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s := g.Stats()
+	writeJSON(w, MetricsResponse{
+		Admitted: s.Admitted,
+		Served:   s.Served,
+		Shed:     s.Shed,
+		Pending:  s.Pending,
+		Lost:     s.Lost,
+		Warp:     s.Warp,
+		SimNow:   jsonSafe(s.SimNow),
+		P50Sim:   jsonSafe(s.P50),
+		P95Sim:   jsonSafe(s.P95),
+		P99Sim:   jsonSafe(s.P99),
+	})
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if err := g.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Header already sent; nothing useful left to do.
+		_ = err
+	}
+}

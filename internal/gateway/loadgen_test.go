@@ -1,0 +1,186 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/datasynth"
+	"repro/internal/gateway"
+)
+
+// outcomeServer answers every /v1/infer with the given outcome after an
+// optional stall.
+func outcomeServer(outcome string, stall time.Duration) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		json.NewEncoder(w).Encode(gateway.InferResponse{Outcome: outcome})
+	}))
+}
+
+// The coordinated-omission test from the issue: a stalled server must inflate
+// the recorded tail, not silently thin the arrival stream. One worker against
+// a 40ms-per-request server on a 5ms schedule queues linearly; latency
+// measured from the *intended* send time therefore grows with queue position.
+// A CO-buggy generator (latency from actual send) would record ~40ms flat.
+func TestLoadgenCoordinatedOmissionCorrect(t *testing.T) {
+	const stall = 40 * time.Millisecond
+	srv := outcomeServer("served", stall)
+	defer srv.Close()
+
+	const n = 8
+	res, err := gateway.RunLoadgen(gateway.LoadgenConfig{
+		URL:      srv.URL,
+		Arrival:  datasynth.FixedInterval{Rate: 200}, // intended sends every 5ms
+		Sizes:    datasynth.Fixed{K: 1},
+		Requests: n,
+		Workers:  1, // serialize behind the stall
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != n || res.Errors != 0 || res.Lost != 0 {
+		t.Fatalf("served %d errors %d lost %d, want %d/0/0", res.Served, res.Errors, res.Lost, n)
+	}
+
+	// Request i completes no earlier than (i+1)*40ms from the first send but
+	// was *intended* at i*5ms: its true latency is at least 40+35i ms. The
+	// last request must therefore record >= 285ms; we assert 250ms for slack.
+	last := res.Latencies[n-1]
+	if last < 250*time.Millisecond {
+		t.Fatalf("last latency %v — measured from actual send, not intended (coordinated omission)", last)
+	}
+	// The tail dwarfs a single server stall: queueing is being charged.
+	if last < 4*stall {
+		t.Fatalf("last latency %v < 4x the %v stall — queue delay not charged to the request", last, stall)
+	}
+	// Latency grows with queue position (allow scheduler jitter on neighbors).
+	if res.Latencies[n-1] <= res.Latencies[0]+100*time.Millisecond {
+		t.Fatalf("latencies did not grow under a stalled server: first %v, last %v",
+			res.Latencies[0], res.Latencies[n-1])
+	}
+	if res.P99 < res.P50 {
+		t.Fatalf("P99 %v < P50 %v", res.P99, res.P50)
+	}
+	if res.Elapsed < n*stall {
+		t.Fatalf("elapsed %v < %d serialized stalls", res.Elapsed, n)
+	}
+}
+
+// Shed outcomes and transport-level failures land in the right counters, and
+// nothing is ever silently lost.
+func TestLoadgenCountsOutcomes(t *testing.T) {
+	shedSrv := outcomeServer("shed-queue", 0)
+	defer shedSrv.Close()
+	res, err := gateway.RunLoadgen(gateway.LoadgenConfig{
+		URL:      shedSrv.URL,
+		Arrival:  datasynth.Poisson{Rate: 5000},
+		Sizes:    datasynth.Fixed{K: 2},
+		Requests: 10,
+		Workers:  4,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 10 || res.Served != 0 || res.Errors != 0 || res.Lost != 0 {
+		t.Fatalf("shed server: %+v, want 10 shed", res)
+	}
+
+	var hits atomic.Int64
+	errSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer errSrv.Close()
+	res, err = gateway.RunLoadgen(gateway.LoadgenConfig{
+		URL:      errSrv.URL,
+		Arrival:  datasynth.Poisson{Rate: 5000},
+		Sizes:    datasynth.Fixed{K: 2},
+		Requests: 10,
+		Workers:  4,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 10 || res.Lost != 0 {
+		t.Fatalf("error server: %+v, want 10 errors, 0 lost", res)
+	}
+	if hits.Load() != 10 {
+		t.Fatalf("server saw %d requests, want 10", hits.Load())
+	}
+}
+
+// The same seed reproduces the same schedule and sizes.
+func TestLoadgenSeededScheduleIsDeterministic(t *testing.T) {
+	var sizes1, sizes2 []int
+	record := func(dst *[]int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var req gateway.InferRequest
+			json.NewDecoder(r.Body).Decode(&req)
+			*dst = append(*dst, req.Size)
+			json.NewEncoder(w).Encode(gateway.InferResponse{Outcome: "served"})
+		}))
+	}
+	run := func(srv *httptest.Server) {
+		t.Helper()
+		_, err := gateway.RunLoadgen(gateway.LoadgenConfig{
+			URL:      srv.URL,
+			Arrival:  datasynth.Poisson{Rate: 10000},
+			Sizes:    datasynth.Uniform{Lo: 1, Hi: 128},
+			Requests: 20,
+			Workers:  1, // one worker: sizes arrive in schedule order
+			Seed:     42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := record(&sizes1)
+	run(s1)
+	s1.Close()
+	s2 := record(&sizes2)
+	run(s2)
+	s2.Close()
+	if len(sizes1) != 20 || len(sizes2) != 20 {
+		t.Fatalf("recorded %d and %d sizes, want 20", len(sizes1), len(sizes2))
+	}
+	for i := range sizes1 {
+		if sizes1[i] != sizes2[i] {
+			t.Fatalf("size %d: %d vs %d under the same seed", i, sizes1[i], sizes2[i])
+		}
+	}
+}
+
+func TestLoadgenConfigValidation(t *testing.T) {
+	good := gateway.LoadgenConfig{
+		URL:      "http://127.0.0.1:1",
+		Arrival:  datasynth.Poisson{Rate: 100},
+		Sizes:    datasynth.Fixed{K: 1},
+		Requests: 1,
+		Workers:  1,
+	}
+	mutate := []func(*gateway.LoadgenConfig){
+		func(c *gateway.LoadgenConfig) { c.URL = "" },
+		func(c *gateway.LoadgenConfig) { c.Arrival = nil },
+		func(c *gateway.LoadgenConfig) { c.Sizes = nil },
+		func(c *gateway.LoadgenConfig) { c.Requests = 0 },
+		func(c *gateway.LoadgenConfig) { c.Requests = -5 },
+		func(c *gateway.LoadgenConfig) { c.Workers = 0 },
+		func(c *gateway.LoadgenConfig) { c.Workers = -1 },
+	}
+	for i, m := range mutate {
+		cfg := good
+		m(&cfg)
+		if _, err := gateway.RunLoadgen(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

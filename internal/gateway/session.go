@@ -1,0 +1,252 @@
+package gateway
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/fleet"
+)
+
+// The session log is the gateway's replay contract: every admitted request's
+// arrival (in simulated seconds), size, model, tenant and deadline, plus the
+// outcome the live engine resolved for it. Floats are written in Go's hex
+// float format ('x', shortest round-trip), so a recorded arrival parses back
+// to the identical bit pattern and the offline replay sees byte-for-byte the
+// same inputs the live session saw — decimal formatting would round and
+// break bit-identical replay.
+//
+// Format (text, line-oriented):
+//
+//	recflex-session v1
+//	req <id> <arrival> <size> <model> <tenant> <deadline>
+//	out <id> <outcome> <generation> <worker> <sojourn> <dispatch> <service> <end>
+//	end <requests>
+//
+// req lines appear in admission order (id is dense, starting at 0); out
+// lines appear in resolution order. The trailing end line makes truncation
+// detectable.
+
+// sessionHeader is the version line every session log starts with.
+const sessionHeader = "recflex-session v1"
+
+// hexFloat formats v for bit-exact round-tripping.
+func hexFloat(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// SessionWriter streams a gateway session to w. Methods never return errors;
+// the first write failure is latched and reported by Close, so the serving
+// hot path does not branch on log I/O.
+type SessionWriter struct {
+	w    *bufio.Writer
+	err  error
+	reqs int
+}
+
+// NewSessionWriter starts a session log on w.
+func NewSessionWriter(w io.Writer) *SessionWriter {
+	sw := &SessionWriter{w: bufio.NewWriter(w)}
+	sw.printf("%s\n", sessionHeader)
+	return sw
+}
+
+func (sw *SessionWriter) printf(format string, args ...any) {
+	if sw.err != nil {
+		return
+	}
+	_, sw.err = fmt.Fprintf(sw.w, format, args...)
+}
+
+// Request records one admitted request; id is its admission id.
+func (sw *SessionWriter) Request(id int, r fleet.Request) {
+	sw.printf("req %d %s %d %d %d %s\n",
+		id, hexFloat(r.Arrival), r.Size, r.Model, r.Tenant, hexFloat(r.Deadline))
+	sw.reqs++
+}
+
+// Outcome records one resolved event.
+func (sw *SessionWriter) Outcome(ev fleet.Event) {
+	sw.printf("out %d %d %d %d %s %s %s %s\n",
+		ev.ID, int(ev.Outcome), ev.Generation, ev.Worker,
+		hexFloat(ev.Sojourn), hexFloat(ev.Dispatch), hexFloat(ev.Service), hexFloat(ev.End))
+}
+
+// Close writes the session footer, flushes, and reports the first error hit
+// anywhere in the stream.
+func (sw *SessionWriter) Close() error {
+	sw.printf("end %d\n", sw.reqs)
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// Session is a decoded session log: the admitted request stream in admission
+// order plus the outcomes the live run resolved.
+type Session struct {
+	// Requests[id] is the admitted request with that admission id.
+	Requests []fleet.Request
+	// Outcomes[id] is the recorded resolution of request id.
+	Outcomes []fleet.Event
+	// Resolved[id] reports whether an out line was recorded for id (false
+	// only in truncated or hand-edited logs).
+	Resolved []bool
+}
+
+// ReadSession decodes a session log. It rejects version mismatches, malformed
+// lines, out-of-order or duplicate ids, and a missing or inconsistent footer
+// — a session log is evidence, so damage must be loud, not smoothed over.
+func ReadSession(r io.Reader) (*Session, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("gateway: reading session: %w", err)
+		}
+		return nil, fmt.Errorf("gateway: empty session log")
+	}
+	if sc.Text() != sessionHeader {
+		return nil, fmt.Errorf("gateway: bad session header %q (want %q)", sc.Text(), sessionHeader)
+	}
+	s := &Session{}
+	sawEnd := false
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if sawEnd {
+			return nil, fmt.Errorf("gateway: session line %d: content after end marker", line)
+		}
+		f := strings.Fields(text)
+		if len(f) == 0 {
+			return nil, fmt.Errorf("gateway: session line %d: empty line", line)
+		}
+		switch f[0] {
+		case "req":
+			if len(f) != 7 {
+				return nil, fmt.Errorf("gateway: session line %d: req wants 6 fields, got %d", line, len(f)-1)
+			}
+			id, err1 := strconv.Atoi(f[1])
+			arrival, err2 := strconv.ParseFloat(f[2], 64)
+			size, err3 := strconv.Atoi(f[3])
+			model, err4 := strconv.Atoi(f[4])
+			tenant, err5 := strconv.Atoi(f[5])
+			deadline, err6 := strconv.ParseFloat(f[6], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
+				return nil, fmt.Errorf("gateway: session line %d: malformed req", line)
+			}
+			if id != len(s.Requests) {
+				return nil, fmt.Errorf("gateway: session line %d: req id %d out of order (want %d)", line, id, len(s.Requests))
+			}
+			if len(s.Requests) > 0 && arrival < s.Requests[len(s.Requests)-1].Arrival {
+				return nil, fmt.Errorf("gateway: session line %d: arrival %g regresses", line, arrival)
+			}
+			if math.IsNaN(arrival) || math.IsInf(arrival, 0) {
+				return nil, fmt.Errorf("gateway: session line %d: non-finite arrival", line)
+			}
+			s.Requests = append(s.Requests, fleet.Request{
+				Arrival: arrival, Size: size, Deadline: deadline, Model: model, Tenant: tenant,
+			})
+			s.Outcomes = append(s.Outcomes, fleet.Event{})
+			s.Resolved = append(s.Resolved, false)
+		case "out":
+			if len(f) != 9 {
+				return nil, fmt.Errorf("gateway: session line %d: out wants 8 fields, got %d", line, len(f)-1)
+			}
+			id, err1 := strconv.Atoi(f[1])
+			oc, err2 := strconv.Atoi(f[2])
+			gen, err3 := strconv.Atoi(f[3])
+			worker, err4 := strconv.Atoi(f[4])
+			soj, err5 := strconv.ParseFloat(f[5], 64)
+			disp, err6 := strconv.ParseFloat(f[6], 64)
+			svc, err7 := strconv.ParseFloat(f[7], 64)
+			end, err8 := strconv.ParseFloat(f[8], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+				err5 != nil || err6 != nil || err7 != nil || err8 != nil {
+				return nil, fmt.Errorf("gateway: session line %d: malformed out", line)
+			}
+			if id < 0 || id >= len(s.Requests) {
+				return nil, fmt.Errorf("gateway: session line %d: out id %d references no req", line, id)
+			}
+			if s.Resolved[id] {
+				return nil, fmt.Errorf("gateway: session line %d: duplicate outcome for id %d", line, id)
+			}
+			if oc < 0 || oc > int(fleet.OutcomeSplit) {
+				return nil, fmt.Errorf("gateway: session line %d: unknown outcome %d", line, oc)
+			}
+			s.Outcomes[id] = fleet.Event{
+				ID: id, Outcome: fleet.Outcome(oc), Generation: gen, Worker: worker,
+				Sojourn: soj, Dispatch: disp, Service: svc, End: end,
+			}
+			s.Resolved[id] = true
+		case "end":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("gateway: session line %d: malformed end", line)
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n != len(s.Requests) {
+				return nil, fmt.Errorf("gateway: session line %d: end count %s does not match %d requests", line, f[1], len(s.Requests))
+			}
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("gateway: session line %d: unknown record %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gateway: reading session: %w", err)
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("gateway: session log truncated (no end marker)")
+	}
+	return s, nil
+}
+
+// Replay replays the session's request stream offline through pool.Serve and
+// checks the hard invariant bit by bit: every recorded outcome, sojourn,
+// dispatch time, service time, worker and generation must equal what the
+// batch engine computes from the same arrivals. It returns the offline
+// report on success and a description of the first divergence otherwise.
+//
+// The pool must be built exactly like the live one (same config, models with
+// the same service functions, tenants); supervised models re-run their drift
+// control deterministically because everything it consumes is virtual time.
+func (s *Session) Replay(pool *fleet.Pool) (*fleet.Report, error) {
+	if len(s.Requests) == 0 {
+		return nil, fmt.Errorf("gateway: session has no requests to replay")
+	}
+	rep, err := pool.Serve(s.Requests)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: offline replay: %w", err)
+	}
+	for id := range s.Requests {
+		if !s.Resolved[id] {
+			return nil, fmt.Errorf("gateway: request %d has no recorded outcome (truncated session?)", id)
+		}
+		rec := s.Outcomes[id]
+		switch {
+		case rep.Outcomes[id] != rec.Outcome:
+			return nil, fmt.Errorf("gateway: request %d: outcome diverged: live %v, replay %v", id, rec.Outcome, rep.Outcomes[id])
+		case !bitsEqual(rep.Sojourn[id], rec.Sojourn):
+			return nil, fmt.Errorf("gateway: request %d: sojourn diverged: live %s, replay %s", id, hexFloat(rec.Sojourn), hexFloat(rep.Sojourn[id]))
+		case !bitsEqual(rep.Dispatch[id], rec.Dispatch):
+			return nil, fmt.Errorf("gateway: request %d: dispatch diverged: live %s, replay %s", id, hexFloat(rec.Dispatch), hexFloat(rep.Dispatch[id]))
+		case !bitsEqual(rep.Service[id], rec.Service):
+			return nil, fmt.Errorf("gateway: request %d: service diverged: live %s, replay %s", id, hexFloat(rec.Service), hexFloat(rep.Service[id]))
+		case rep.Worker[id] != rec.Worker:
+			return nil, fmt.Errorf("gateway: request %d: worker diverged: live %d, replay %d", id, rec.Worker, rep.Worker[id])
+		case rep.Generations[id] != rec.Generation:
+			return nil, fmt.Errorf("gateway: request %d: generation diverged: live %d, replay %d", id, rec.Generation, rep.Generations[id])
+		}
+	}
+	return rep, nil
+}
+
+// bitsEqual compares floats by bit pattern, so NaN == NaN (shed requests
+// record NaN sojourns) and -0 != +0.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

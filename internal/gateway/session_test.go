@@ -1,0 +1,204 @@
+package gateway_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/gateway"
+	"repro/internal/trace"
+)
+
+// Hex-float formatting is the reason the log replays bit-identically: every
+// float — awkward decimals, denormals, NaN sojourns — must round-trip to the
+// exact bit pattern.
+func TestSessionRoundTripBitExact(t *testing.T) {
+	reqs := []fleet.Request{
+		{Arrival: 0, Size: 1, Model: 0, Tenant: 0},
+		{Arrival: 0.1, Size: 64, Model: 1, Tenant: 1, Deadline: math.Pi},
+		{Arrival: 0.1, Size: 3, Model: 0, Tenant: 0, Deadline: 5e-324}, // tie arrival, denormal deadline
+		{Arrival: 1e17 + 0.75, Size: 7, Model: 1, Tenant: 0},
+	}
+	outs := []fleet.Event{
+		{ID: 0, Outcome: fleet.OutcomeServed, Generation: 0, Worker: 1, Sojourn: 1.0000000000000002, Dispatch: 0, Service: 1, End: 1},
+		{ID: 1, Outcome: fleet.OutcomeShedQueue, Generation: 1, Worker: -1, Sojourn: math.NaN(), Dispatch: math.NaN(), Service: math.NaN(), End: 0.1},
+		{ID: 2, Outcome: fleet.OutcomeSplit, Generation: 0, Worker: 0, Sojourn: 0.30000000000000004, Dispatch: 0.1, Service: 0.2, End: 0.4},
+		{ID: 3, Outcome: fleet.OutcomeServed, Generation: 2, Worker: 3, Sojourn: math.Copysign(0, -1), Dispatch: 1e17 + 0.75, Service: 0, End: 1e17 + 0.75},
+	}
+
+	var buf bytes.Buffer
+	sw := gateway.NewSessionWriter(&buf)
+	for id, r := range reqs {
+		sw.Request(id, r)
+	}
+	// Outcomes land out of admission order, as a live engine resolves them.
+	for _, i := range []int{1, 0, 3, 2} {
+		sw.Outcome(outs[i])
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := gateway.ReadSession(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Requests) != len(reqs) {
+		t.Fatalf("decoded %d requests, want %d", len(sess.Requests), len(reqs))
+	}
+	bits := math.Float64bits
+	for i, want := range reqs {
+		got := sess.Requests[i]
+		if bits(got.Arrival) != bits(want.Arrival) || bits(got.Deadline) != bits(want.Deadline) ||
+			got.Size != want.Size || got.Model != want.Model || got.Tenant != want.Tenant {
+			t.Errorf("request %d round-tripped to %+v, want %+v", i, got, want)
+		}
+	}
+	for i, want := range outs {
+		if !sess.Resolved[i] {
+			t.Fatalf("outcome %d not resolved after decode", i)
+		}
+		got := sess.Outcomes[i]
+		if got.Outcome != want.Outcome || got.Generation != want.Generation || got.Worker != want.Worker ||
+			bits(got.Sojourn) != bits(want.Sojourn) || bits(got.Dispatch) != bits(want.Dispatch) ||
+			bits(got.Service) != bits(want.Service) || bits(got.End) != bits(want.End) {
+			t.Errorf("outcome %d round-tripped to %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// A session log is evidence: every kind of damage must be rejected loudly.
+func TestReadSessionRejectsDamage(t *testing.T) {
+	valid := func() string {
+		var buf bytes.Buffer
+		sw := gateway.NewSessionWriter(&buf)
+		sw.Request(0, fleet.Request{Arrival: 0, Size: 4})
+		sw.Request(1, fleet.Request{Arrival: 0.5, Size: 8})
+		sw.Outcome(fleet.Event{ID: 0, Outcome: fleet.OutcomeServed, Sojourn: 1, End: 1})
+		sw.Outcome(fleet.Event{ID: 1, Outcome: fleet.OutcomeServed, Sojourn: 1, End: 1.5})
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	// The valid log parses.
+	if _, err := gateway.ReadSession(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid session rejected: %v", err)
+	}
+
+	cases := map[string]string{
+		"empty":              "",
+		"bad header":         "recflex-session v9\nend 0\n",
+		"no end marker":      strings.TrimSuffix(valid, "end 2\n"),
+		"wrong end count":    strings.Replace(valid, "end 2", "end 3", 1),
+		"content after end":  valid + "req 2 0x1p+1 4 0 0 0x0p+00\n",
+		"req out of order":   strings.Replace(valid, "req 1", "req 5", 1),
+		"req field count":    strings.Replace(valid, "req 0 ", "req 0 extra ", 1),
+		"out without req":    strings.Replace(valid, "out 1", "out 9", 1),
+		"duplicate out":      strings.Replace(valid, "out 1", "out 0", 1),
+		"unknown record":     strings.Replace(valid, "out 0", "zap 0", 1),
+		"unknown outcome":    strings.Replace(valid, "out 0 0", "out 0 99", 1),
+		"malformed float":    strings.Replace(valid, "0x1p-01", "zzz", 1),
+		"regressing arrival": strings.Replace(valid, "req 1 0x1p-01", "req 1 -0x1p+00", 1),
+		"infinite arrival":   strings.Replace(valid, "req 1 0x1p-01", "req 1 +Inf", 1),
+	}
+	for name, log := range cases {
+		if _, err := gateway.ReadSession(strings.NewReader(log)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, log)
+		}
+	}
+}
+
+// Replay must detect tampering: flip one bit of a recorded sojourn and the
+// replay check fails; drop an outcome and it reports the truncation.
+func TestReplayDetectsTamperAndTruncation(t *testing.T) {
+	pool := mustPool(t, fleet.Config{Queue: trace.QueuePolicy{Workers: 1}},
+		[]fleet.Model{{Name: "m", Service: constSvc(1.0)}}, []fleet.TenantSpec{{Name: "only"}})
+	reqs := []fleet.Request{
+		{Arrival: 0, Size: 4},
+		{Arrival: 0.25, Size: 8},
+		{Arrival: 0.5, Size: 16},
+	}
+	rep, err := pool.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() *gateway.Session {
+		var buf bytes.Buffer
+		sw := gateway.NewSessionWriter(&buf)
+		for i, r := range reqs {
+			sw.Request(i, r)
+		}
+		for i := range reqs {
+			sw.Outcome(fleet.Event{
+				ID: i, Outcome: rep.Outcomes[i], Generation: rep.Generations[i],
+				Worker: rep.Worker[i], Sojourn: rep.Sojourn[i],
+				Dispatch: rep.Dispatch[i], Service: rep.Service[i],
+				End: rep.Dispatch[i] + rep.Service[i],
+			})
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s, err := gateway.ReadSession(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// The honest log replays.
+	if _, err := build().Replay(pool); err != nil {
+		t.Fatalf("honest session diverged: %v", err)
+	}
+
+	// One ULP of tampering on one sojourn is caught.
+	tampered := build()
+	tampered.Outcomes[1].Sojourn = math.Nextafter(tampered.Outcomes[1].Sojourn, math.Inf(1))
+	if _, err := tampered.Replay(pool); err == nil {
+		t.Fatal("tampered sojourn replayed without divergence")
+	} else if !strings.Contains(err.Error(), "sojourn diverged") {
+		t.Fatalf("tamper error %q does not name the diverged field", err)
+	}
+
+	// A missing outcome is a truncated session, not a silent pass.
+	truncated := build()
+	truncated.Resolved[2] = false
+	if _, err := truncated.Replay(pool); err == nil {
+		t.Fatal("truncated session replayed without error")
+	}
+
+	// Wrong worker and wrong generation are caught too.
+	wrongWorker := build()
+	wrongWorker.Outcomes[0].Worker++
+	if _, err := wrongWorker.Replay(pool); err == nil || !strings.Contains(err.Error(), "worker diverged") {
+		t.Fatalf("wrong worker: %v", err)
+	}
+	wrongGen := build()
+	wrongGen.Outcomes[0].Generation++
+	if _, err := wrongGen.Replay(pool); err == nil || !strings.Contains(err.Error(), "generation diverged") {
+		t.Fatalf("wrong generation: %v", err)
+	}
+
+	// An empty session has nothing to replay.
+	if _, err := (&gateway.Session{}).Replay(pool); err == nil {
+		t.Fatal("empty session replayed")
+	}
+}
+
+// The writer latches the first I/O error and reports it at Close.
+func TestSessionWriterLatchesWriteError(t *testing.T) {
+	sw := gateway.NewSessionWriter(failingWriter{})
+	sw.Request(0, fleet.Request{Arrival: 0, Size: 1})
+	if err := sw.Close(); err == nil {
+		t.Fatal("write error was swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk on fire") }

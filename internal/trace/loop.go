@@ -6,6 +6,14 @@ import (
 	"time"
 )
 
+// wallNow is the wall-clock read behind SwapEvent.TuneWall — the *host* cost
+// of a background re-tune, measurement-only by contract. It must never feed
+// anything a deterministic replay pins: not virtual time, not the session
+// log, not Metrics.String (TuneWall is excluded there). The seam exists so
+// replay-purity tests can substitute a fake clock and prove the engine's
+// virtual-time outputs do not depend on it.
+var wallNow = time.Now
+
 // Occupier books background (non-serving) work on a replay loop's worker
 // capacity: Occupy charges dur seconds starting no earlier than virtual time
 // now on some worker slot and returns the chosen slot and the booked
@@ -162,9 +170,9 @@ func (lc *LoopControl) Admit(oc Occupier, size int, now float64) (int, error) {
 			// the slot is booked for the tune's duration, so serving
 			// capacity drops by one worker until the swap.
 			newGen := len(lc.swaps) + 1
-			tuneStart := time.Now()
+			tuneStart := wallNow()
 			svc, err := sv.retune(newGen, lc.window)
-			tuneWall := time.Since(tuneStart).Seconds()
+			tuneWall := wallNow().Sub(tuneStart).Seconds()
 			if err != nil {
 				return 0, fmt.Errorf("trace: re-tune for generation %d: %w", newGen, err)
 			}

@@ -18,14 +18,16 @@ type Quantiler struct {
 	scratch []float64
 }
 
-// P50P95P99 returns the three serving tail percentiles of values (NaN, NaN,
-// NaN when empty). values is never mutated; it must not contain NaN — served
-// sojourns never do, and shed requests are filtered out before aggregation.
+// P50P95P99 returns the three serving tail percentiles of values. An empty
+// sample yields 0, 0, 0 — not NaN — so an all-shed trace produces JSON-safe,
+// printable percentiles; consumers distinguish "no data" from a real zero by
+// the sample count they already carry (Result.Served, GroupMetrics.Served).
+// values is never mutated; it must not contain NaN — served sojourns never
+// do, and shed requests are filtered out before aggregation.
 func (q *Quantiler) P50P95P99(values []float64) (p50, p95, p99 float64) {
 	n := len(values)
 	if n == 0 {
-		nan := math.NaN()
-		return nan, nan, nan
+		return 0, 0, 0
 	}
 	if cap(q.scratch) < n {
 		q.scratch = make([]float64, n)

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"math"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -77,15 +76,18 @@ func TestQuantilerMatchesPercentile(t *testing.T) {
 	}
 }
 
-// Empty input returns NaN for all three percentiles, matching Percentile.
+// Empty input clamps all three percentiles to 0, matching Percentile —
+// regression for the NaN leak where an all-shed trace propagated NaN
+// P50/P95/P99 into Metrics.String and JSON reports. Consumers tell "no data"
+// from a real zero via the sample count (Result.Served).
 func TestQuantilerEmpty(t *testing.T) {
 	var q Quantiler
 	p50, p95, p99 := q.P50P95P99(nil)
-	if !math.IsNaN(p50) || !math.IsNaN(p95) || !math.IsNaN(p99) {
-		t.Fatalf("empty input: got (%g, %g, %g), want NaNs", p50, p95, p99)
+	if p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Fatalf("empty input: got (%g, %g, %g), want zeros", p50, p95, p99)
 	}
-	if !math.IsNaN(Percentile(nil, 0.5)) {
-		t.Fatal("Percentile reference drifted: empty input no longer NaN")
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("Percentile reference drifted: empty input = %g, want 0", got)
 	}
 }
 

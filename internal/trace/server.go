@@ -758,6 +758,7 @@ func runReplay(cfg ServerConfig, sorted []Request, order []int, resolve resolveF
 		}
 	}
 	sc.servedSoj = servedSoj
+	rep.Served = len(servedSoj)
 	rep.P50, rep.P95, rep.P99 = sc.quant.P50P95P99(servedSoj)
 	if served > 0 {
 		rep.MeanService = totalService / float64(served)

@@ -146,7 +146,12 @@ func originalIndex(order []int, pos int) int {
 type Result struct {
 	// Sojourn[i] is request i's end-to-end latency (queueing + service).
 	Sojourn []float64
-	// P50, P95 and P99 are sojourn percentiles in seconds.
+	// Served is the number of completed requests the percentiles are computed
+	// over. When it is 0 (everything shed), P50/P95/P99 are clamped to 0
+	// rather than NaN; check Served to tell "no data" from a real zero.
+	Served int
+	// P50, P95 and P99 are sojourn percentiles in seconds over served
+	// requests.
 	P50, P95, P99 float64
 	// MeanService is the average service time.
 	MeanService float64
@@ -182,6 +187,7 @@ func Serve(reqs []Request, service ServiceFunc) (*Result, error) {
 		totalService += s
 	}
 	var q Quantiler
+	res.Served = len(reqs)
 	res.P50, res.P95, res.P99 = q.P50P95P99(res.Sojourn)
 	res.MeanService = totalService / float64(len(reqs))
 	makespan := free - reqs[0].Arrival
@@ -192,10 +198,12 @@ func Serve(reqs []Request, service ServiceFunc) (*Result, error) {
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of values by nearest-rank
-// on a sorted copy.
+// on a sorted copy. An empty sample yields 0, not NaN, matching
+// Quantiler.P50P95P99 — NaN here used to leak into Metrics.String and JSON
+// reports (where NaN is unencodable) whenever a trace shed everything.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
-		return math.NaN()
+		return 0
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
@@ -252,6 +260,7 @@ func ServeMultiGPU(reqs []Request, k int, service ServiceFunc) (*Result, error) 
 		totalService += s
 	}
 	var q Quantiler
+	res.Served = len(reqs)
 	res.P50, res.P95, res.P99 = q.P50P95P99(res.Sojourn)
 	res.MeanService = totalService / float64(len(reqs))
 	if span := makespanEnd - reqs[0].Arrival; span > 0 {

@@ -189,8 +189,10 @@ func TestPercentile(t *testing.T) {
 	if got := trace.Percentile(vals, 0); got != 1 {
 		t.Errorf("p0 = %g, want 1", got)
 	}
-	if !math.IsNaN(trace.Percentile(nil, 0.5)) {
-		t.Error("empty percentile should be NaN")
+	// Regression: an empty sample used to return NaN, which leaked into
+	// Metrics.String and JSON reports whenever a trace shed every request.
+	if got := trace.Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %g, want 0 (NaN must not leak into reports)", got)
 	}
 	// Input must remain unsorted (copy semantics).
 	if vals[0] != 5 {
