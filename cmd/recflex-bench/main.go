@@ -11,7 +11,7 @@
 // With -perf it instead measures the hot-path benchmark suite
 // (internal/perf) and emits a BENCH_*.json perf-trajectory point:
 //
-//	recflex-bench -perf BENCH_7.json -perf-baseline BENCH_6.json
+//	recflex-bench -perf BENCH_9.json -perf-baseline BENCH_7.json
 //
 // When a baseline is given, its measurements are embedded in the emitted
 // file (so each file carries its own before/after pair) and the run fails
@@ -47,7 +47,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("recflex-bench", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		exp     = fs.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead,ext,eq2,drift,fleet or all")
+		exp     = fs.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead,ext,eq2,drift,fleet,cache or all")
 		scale   = fs.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
 		tuneB   = fs.Int("tune", 2, "tuning batches")
 		evalB   = fs.Int("eval", 8, "evaluation batches (paper: 128)")
@@ -118,8 +118,9 @@ func run(args []string, w io.Writer) error {
 		"eq2":      func() error { return s.PrintEq2Fidelity(w) },
 		"drift":    func() error { return s.PrintDriftStudy(w) },
 		"fleet":    func() error { return s.PrintFleetStudy(w) },
+		"cache":    func() error { return s.PrintCacheStudy(w) },
 	}
-	order := []string{"table1", "fig2", "fig3", "fig9", "fig10", "table2", "fig11", "fig12", "fig13", "scale", "mlperf", "overhead", "ext", "eq2", "drift", "fleet"}
+	order := []string{"table1", "fig2", "fig3", "fig9", "fig10", "table2", "fig11", "fig12", "fig13", "scale", "mlperf", "overhead", "ext", "eq2", "drift", "fleet", "cache"}
 
 	var selected []string
 	if *exp == "all" {

@@ -14,6 +14,12 @@
 //	recflex-serve -models A,C -listen 127.0.0.1:8080 -warp 1000 &
 //	recflex-loadgen -url http://127.0.0.1:8080 -rate 200 -requests 1000 \
 //	    -arrival poisson -sizes uniform:32:512 -workers 16
+//
+// Besides poisson and fixed, -arrival accepts the shaped processes
+// diurnal[:PERIOD[:AMPLITUDE]] (sinusoid-modulated rate, a compressed
+// day) and flash[:START:DURATION:FACTOR] (a one-shot burst window over
+// the baseline rate) — both thinning-exact and seeded like the rest of
+// the schedule.
 package main
 
 import (
@@ -46,7 +52,7 @@ func run(args []string, w io.Writer) error {
 	var (
 		url      = fs.String("url", "http://127.0.0.1:8080", "gateway base URL")
 		rate     = fs.Float64("rate", 100, "mean arrival rate in requests per wall second")
-		arrival  = fs.String("arrival", "poisson", "arrival process: poisson or fixed")
+		arrival  = fs.String("arrival", "poisson", "arrival process: poisson, fixed, diurnal[:PERIOD[:AMPLITUDE]] or flash[:START:DURATION:FACTOR]")
 		sizes    = fs.String("sizes", "fixed:256", "request size distribution: fixed:K, uniform:LO:HI, normal:MU:SIGMA or lognormal:MU:SIGMA[:MAX]")
 		requests = fs.Int("requests", 100, "total requests to send")
 		workers  = fs.Int("workers", 8, "in-flight concurrency bound (never paces the schedule)")

@@ -27,6 +27,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-tenant", "-2"},
 		{"-deadline-sim", "-0.5"},
 		{"-arrival", "bursty"},
+		{"-arrival", "diurnal:0"},
+		{"-arrival", "diurnal:10:2"},
+		{"-arrival", "flash:1:2"},
+		{"-arrival", "flash:1:2:0.5"},
 		{"-sizes", "zipf:2"},
 		{"-url", ""},
 	}
@@ -63,6 +67,20 @@ func TestRunAgainstFakeGateway(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q in:\n%s", want, s)
 		}
+	}
+
+	// Shaped arrivals ride the same path: a diurnal schedule with a short
+	// period drains against the fake gateway and reports its spelling.
+	out.Reset()
+	err = run([]string{
+		"-url", srv.URL, "-rate", "4000", "-arrival", "diurnal:0.05:0.9",
+		"-requests", "8", "-workers", "4", "-sizes", "fixed:16",
+	}, &out)
+	if err != nil {
+		t.Fatalf("diurnal run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "diurnal(4000/s, period 0.05s, amplitude 0.9)") {
+		t.Errorf("banner missing diurnal spelling:\n%s", out.String())
 	}
 }
 

@@ -23,6 +23,14 @@
 // The report splits latency, shed counts and interference per model and per
 // tenant.
 //
+// -cache-budget arms the shared embedding-cache tier (internal/emcache) under
+// the pool: every dispatched batch's cold rows are charged to its service
+// time through the PCIe fault model, fills warm the tier, and -cache-policy
+// (static, lru, clock) with -cache-retier shapes how residency follows the
+// traffic. The tier is built from the model configs and flags alone, so
+// recorded gateway sessions keep replaying bit-identically — cache state and
+// counters included — in -replay-session runs.
+//
 // Usage:
 //
 //	recflex-serve -model A -scale 25 -requests 200 -qps 2000 -tail 0.02 \
@@ -43,6 +51,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"reflect"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -52,6 +61,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/datasynth"
+	"repro/internal/emcache"
 	"repro/internal/embedding"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
@@ -94,6 +104,10 @@ type options struct {
 	weights           string
 	rebalance         float64
 
+	cacheBudget float64
+	cachePolicy string
+	cacheRetier float64
+
 	listen        string
 	warp          float64
 	serveDur      float64
@@ -128,6 +142,9 @@ func parseFlags(args []string, w io.Writer) (*options, error) {
 	fs.Float64Var(&o.shedFraction, "shed-fraction", 0, "fleet load shedding: shed sub-top-priority arrivals once the queue is this full (0 disables)")
 	fs.StringVar(&o.weights, "weights", "", "weighted-fair dispatch weights, comma-separated priority:weight pairs (e.g. 1:3,0:1); unlisted classes weigh 1")
 	fs.Float64Var(&o.rebalance, "rebalance", 0, "fleet: re-partition workers from load history at most every this many seconds (0 disables)")
+	fs.Float64Var(&o.cacheBudget, "cache-budget", 0, "fleet: shared embedding-cache tier budget in MiB (0 disables the tier)")
+	fs.StringVar(&o.cachePolicy, "cache-policy", "static", "fleet cache eviction policy: static, lru or clock")
+	fs.Float64Var(&o.cacheRetier, "cache-retier", 0, "fleet cache: re-allocate the budget from windowed heat at most every this many simulated seconds (0 disables)")
 	fs.StringVar(&o.listen, "listen", "", "serve live inference over HTTP on this address (gateway mode; needs -models)")
 	fs.Float64Var(&o.warp, "warp", 1000, "gateway time-warp factor: simulated seconds per wall-clock second")
 	fs.Float64Var(&o.serveDur, "serve-duration", 0, "gateway: stop after this many wall seconds (0 = run until interrupted)")
@@ -159,6 +176,25 @@ func parseFlags(args []string, w io.Writer) (*options, error) {
 	}
 	if o.serveDur < 0 {
 		return nil, fmt.Errorf("-serve-duration must be >= 0, got %g", o.serveDur)
+	}
+	// Cache-tier flags: every rejection happens here at the flag boundary, not
+	// after minutes of model tuning inside buildFleetSetup.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["cache-budget"] && (!(o.cacheBudget > 0) || math.IsInf(o.cacheBudget, 0)) {
+		return nil, fmt.Errorf("-cache-budget must be positive and finite MiB, got %g", o.cacheBudget)
+	}
+	if _, err := emcache.ParsePolicy(o.cachePolicy); err != nil {
+		return nil, fmt.Errorf("-cache-policy: %v", err)
+	}
+	if o.cacheRetier < 0 {
+		return nil, fmt.Errorf("-cache-retier must be >= 0, got %g", o.cacheRetier)
+	}
+	if (set["cache-budget"] || set["cache-policy"] || set["cache-retier"]) && o.models == "" {
+		return nil, fmt.Errorf("the embedding-cache tier is a shared-pool feature; -cache-budget/-cache-policy/-cache-retier need fleet mode (-models)")
+	}
+	if (set["cache-policy"] || set["cache-retier"]) && !(o.cacheBudget > 0) {
+		return nil, fmt.Errorf("-cache-policy/-cache-retier shape a tier that -cache-budget never creates; set -cache-budget > 0")
 	}
 	return &o, nil
 }
@@ -577,12 +613,14 @@ func buildFleetSetup(o *options) (*fleetSetup, error) {
 	}
 
 	s := &fleetSetup{tenants: tenants, strategy: strategy}
+	var heats []emcache.ModelProfile
 	for i, name := range names {
 		name = strings.TrimSpace(name)
 		cfg, d, err := modelDevice(name, o.device, o.scale)
 		if err != nil {
 			return nil, err
 		}
+		heats = append(heats, emcache.Steady(experiments.CacheHeat(cfg)))
 		s.dev = d
 		features := experiments.Features(cfg)
 		rf, err := tuneModel(cfg, d, features)
@@ -629,8 +667,50 @@ func buildFleetSetup(o *options) (*fleetSetup, error) {
 		s.cfg.RebalanceEvery = o.rebalance
 		s.cfg.Rebalance = fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{})
 	}
+	if o.cacheBudget > 0 {
+		// The tier's heat profiles come from the same model configs the batch
+		// generator uses, so the analytic hit accounting matches the traffic.
+		// Building the tier from flags alone (never from runtime state) is what
+		// lets -replay-session reconstruct the identical tier in a fresh
+		// process.
+		cachePolicy, err := emcache.ParsePolicy(o.cachePolicy)
+		if err != nil {
+			return nil, err
+		}
+		tier, err := emcache.New(emcache.Config{
+			BudgetBytes: int64(o.cacheBudget * (1 << 20)),
+			Policy:      cachePolicy,
+			RetierEvery: o.cacheRetier,
+			Models:      heats,
+			Tenants:     len(tenants),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cfg.Cache = tier
+	}
 	return s, nil
 }
+
+// printCacheTier renders the embedding-cache tier's accounting, shared by the
+// batch fleet replay, the gateway shutdown summary and the session verifier.
+func printCacheTier(w io.Writer, m *fleet.Metrics) {
+	if m == nil || m.Cache == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nembedding-cache tier: %s\n", m.Cache)
+	for _, g := range m.Cache.Models {
+		fmt.Fprintf(w, "  model %-12s hit %5.1f%%  cold %10.0f rows  penalty %9.3fms  resident %s\n",
+			g.Name, 100*g.HitRate, g.Misses, g.Penalty*1e3, fmtMiB(g.OccupiedBytes))
+	}
+	for _, g := range m.Cache.Tenants {
+		fmt.Fprintf(w, "  tenant %-11s hit %5.1f%%  cold %10.0f rows  penalty %9.3fms\n",
+			g.Name, 100*g.HitRate, g.Misses, g.Penalty*1e3)
+	}
+}
+
+// fmtMiB renders a byte count in MiB for the cache report.
+func fmtMiB(b int64) string { return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20)) }
 
 // runFleet serves several independently tuned models over one shared
 // simulated GPU pool. Each model gets its own Poisson trace (same -requests
@@ -680,6 +760,7 @@ func runFleet(o *options, w io.Writer) error {
 		fmt.Fprintf(w, "  %s\n", g.String())
 	}
 	fmt.Fprintf(w, "\npool: %s\n", m)
+	printCacheTier(w, m)
 	if m.Rebalances > 0 {
 		fmt.Fprintf(w, "rebalances applied: %d (from %d load snapshots)\n", m.Rebalances, len(m.LoadHistory))
 	}
@@ -763,6 +844,7 @@ func runGateway(o *options, w io.Writer) error {
 		fmt.Fprintf(w, "served-sojourn percentiles: p50 %s p95 %s p99 %s (simulated)\n",
 			report.FmtUS(st.P50), report.FmtUS(st.P95), report.FmtUS(st.P99))
 		fmt.Fprintf(w, "pool: %s\n", rep.Metrics)
+		printCacheTier(w, rep.Metrics)
 	}
 	if sessFile == nil {
 		return nil
@@ -784,8 +866,16 @@ func runGateway(o *options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := sess.Replay(pool); err != nil {
+	rrep, err := sess.Replay(pool)
+	if err != nil {
 		return fmt.Errorf("session self-check failed: %w", err)
+	}
+	// The per-request comparison inside Replay already proves the sojourns
+	// (and therefore the cache-inflated service times) reproduce; with a tier
+	// armed, also hold the aggregate hit/miss accounting to the same bar.
+	if rep != nil && rrep != nil && !reflect.DeepEqual(rep.Metrics.Cache, rrep.Metrics.Cache) {
+		return fmt.Errorf("session self-check failed: cache tier counters diverged between live session and replay:\nlive:   %+v\nreplay: %+v",
+			rep.Metrics.Cache, rrep.Metrics.Cache)
 	}
 	fmt.Fprintf(w, "session self-check: %d recorded requests replayed bit-identically\n", len(sess.Requests))
 	return nil
@@ -823,5 +913,6 @@ func runReplaySession(o *options, w io.Writer) error {
 	fmt.Fprintf(w, "replayed %d recorded requests bit-identically: %d served, %d shed over a %.3fs sim makespan\n",
 		len(sess.Requests), m.Served, m.Shed(), m.Makespan)
 	fmt.Fprintf(w, "pool: %s\n", m)
+	printCacheTier(w, m)
 	return nil
 }

@@ -235,6 +235,67 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// The cache-tier flag sweep: every bad spelling fails at flag-parse time with
+// a message naming the offending flag, before any model is tuned.
+func TestRunRejectsBadCacheFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-models", "A", "-cache-budget", "0"}, "-cache-budget"},
+		{[]string{"-models", "A", "-cache-budget", "-4"}, "-cache-budget"},
+		{[]string{"-models", "A", "-cache-budget", "+Inf"}, "-cache-budget"},
+		{[]string{"-models", "A", "-cache-budget", "4", "-cache-policy", "arc"}, "-cache-policy"},
+		{[]string{"-models", "A", "-cache-budget", "4", "-cache-retier", "-1"}, "-cache-retier"},
+		// Cache flags outside fleet mode are dead configuration: reject.
+		{[]string{"-cache-budget", "4"}, "fleet mode"},
+		{[]string{"-cache-policy", "lru"}, "-cache-policy"},
+		{[]string{"-model", "A", "-cache-retier", "0.5"}, "fleet mode"},
+		// Policy/retier without a budget shape a tier that never exists.
+		{[]string{"-models", "A", "-cache-policy", "lru"}, "-cache-budget"},
+		{[]string{"-models", "A", "-cache-retier", "0.5"}, "-cache-budget"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want error", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) error %q does not mention %q", c.args, err, c.want)
+		}
+	}
+}
+
+// Fleet mode with the cache tier through the run() seam: the report carries
+// the tier's accounting and stays deterministic, and the lru tier must not
+// hit less than the frozen static allocation on the same trace.
+func TestRunFleetModeWithCache(t *testing.T) {
+	args := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "400", "-requests", "24", "-qps", "4000",
+		"-gpus", "2", "-queue", "32",
+		"-cache-budget", "2", "-cache-policy", "lru", "-cache-retier", "0.01",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"embedding-cache tier: policy=lru", "hit-rate=", "model A/0", "tenant hi", "penalty"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cache fleet output missing %q in:\n%s", want, s)
+		}
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != s {
+		t.Error("cache fleet mode is not deterministic: two runs printed different reports")
+	}
+}
+
 func TestParseTenants(t *testing.T) {
 	got, err := parseTenants("interactive:2, bulk:0:8:5.5", 1)
 	if err != nil {
@@ -317,6 +378,7 @@ func TestRunGatewayServeAndReplaySession(t *testing.T) {
 	poolFlags := []string{
 		"-models", "A,A", "-tenants", "hi:1,lo:0",
 		"-scale", "400", "-gpus", "2", "-queue", "16", "-qps", "4000",
+		"-cache-budget", "2", "-cache-policy", "lru", "-cache-retier", "0.01",
 	}
 	serveArgs := append(append([]string{}, poolFlags...),
 		"-listen", "127.0.0.1:0", "-warp", "5000",
@@ -372,7 +434,10 @@ func TestRunGatewayServeAndReplaySession(t *testing.T) {
 		t.Fatalf("gateway run failed: %v\n%s", err, out.String())
 	}
 	s := out.String()
-	for _, want := range []string{"gateway session:", "session log recorded to", "replayed bit-identically"} {
+	for _, want := range []string{
+		"gateway session:", "session log recorded to", "replayed bit-identically",
+		"embedding-cache tier: policy=lru",
+	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("gateway output missing %q in:\n%s", want, s)
 		}
@@ -385,8 +450,10 @@ func TestRunGatewayServeAndReplaySession(t *testing.T) {
 	if err := run(replayArgs, &rout); err != nil {
 		t.Fatalf("replay-session diverged: %v\n%s", err, rout.String())
 	}
-	if !strings.Contains(rout.String(), "bit-identically") {
-		t.Errorf("replay output missing verification line:\n%s", rout.String())
+	for _, want := range []string{"bit-identically", "embedding-cache tier: policy=lru"} {
+		if !strings.Contains(rout.String(), want) {
+			t.Errorf("replay output missing %q:\n%s", want, rout.String())
+		}
 	}
 
 	// A pool built with *different* flags must not verify: the session replay
@@ -395,9 +462,22 @@ func TestRunGatewayServeAndReplaySession(t *testing.T) {
 	wrongArgs := []string{
 		"-models", "A,A", "-tenants", "hi:1,lo:0",
 		"-scale", "300", "-gpus", "2", "-queue", "16", "-qps", "4000",
+		"-cache-budget", "2", "-cache-policy", "lru", "-cache-retier", "0.01",
 		"-replay-session", sess,
 	}
 	if err := run(wrongArgs, io.Discard); err == nil {
 		t.Error("replay against a differently tuned pool verified the session")
+	}
+
+	// Likewise the cache tier is part of the pool's identity: dropping it (or
+	// shrinking its budget) changes the recorded cold-row penalties, so the
+	// same session must fail to verify against a cache-less rebuild.
+	noCacheArgs := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "400", "-gpus", "2", "-queue", "16", "-qps", "4000",
+		"-replay-session", sess,
+	}
+	if err := run(noCacheArgs, io.Discard); err == nil {
+		t.Error("replay without the recorded cache tier verified the session")
 	}
 }

@@ -138,8 +138,10 @@ func (d IDDist) String() string {
 	return "uniform"
 }
 
-// zipfSkew is the exponent of the Zipf ID generator.
-const zipfSkew = 1.07
+// ZipfSkew is the exponent of the Zipf ID generator — exported so serving-side
+// consumers (the embedding-cache tier's heat profiles, the uvmcache hit-rate
+// analysis) can stay consistent with the data the synthesizer emits.
+const ZipfSkew = 1.07
 
 // sampleID draws one row ID in [0, rows).
 func sampleID(rng *rand.Rand, kind IDDist, rows int, z *rand.Zipf) int32 {
@@ -155,5 +157,5 @@ func newZipf(rng *rand.Rand, kind IDDist, rows int) *rand.Zipf {
 	if kind != IDZipf {
 		return nil
 	}
-	return rand.NewZipf(rng, zipfSkew, 1, uint64(rows-1))
+	return rand.NewZipf(rng, ZipfSkew, 1, uint64(rows-1))
 }

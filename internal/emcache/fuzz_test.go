@@ -1,0 +1,133 @@
+package emcache
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fuzzOp is one decoded dispatch event.
+type fuzzOp struct {
+	model, tenant, size int
+	now                 float64
+}
+
+// decodeFuzzOps turns raw fuzz bytes into a time-ordered dispatch sequence:
+// 4 bytes per op (model, tenant, time step, size), capped at 128 ops.
+func decodeFuzzOps(data []byte) []fuzzOp {
+	var ops []fuzzOp
+	now := 0.0
+	for i := 0; i+4 <= len(data) && len(ops) < 128; i += 4 {
+		now += float64(data[i+2]) * 0.005
+		ops = append(ops, fuzzOp{
+			model:  int(data[i]) % 2,
+			tenant: int(data[i+1]) % 2,
+			size:   1 + int(data[i+3]),
+			now:    now,
+		})
+	}
+	return ops
+}
+
+// fuzzTierConfig builds the shared two-model tier the fuzzer mutates: mixed
+// table shapes (one bucket bigger than the whole budget, one uniform, one
+// drifting) so eviction, admission back-off and phase advance all get hit.
+// Tables are kept small — ZipfBucketMass is harmonic-sum bound, and the fuzz
+// body rebuilds the tier per policy per input.
+func fuzzTierConfig(policy Policy, retier float64) Config {
+	return Config{
+		BudgetBytes: 16 << 10,
+		Policy:      policy,
+		RetierEvery: retier,
+		Models: []ModelProfile{
+			{Phases: []ProfilePhase{
+				{Start: 0, Features: []FeatureHeat{
+					{Rows: 512, RowBytes: 64, RowsPerSample: 3, Skew: 1.07},
+					{Rows: 8192, RowBytes: 16, RowsPerSample: 1, Skew: 0},
+				}},
+				{Start: 0.2, Features: []FeatureHeat{
+					{Rows: 512, RowBytes: 64, RowsPerSample: 0.25, Skew: 0.5},
+					{Rows: 8192, RowBytes: 16, RowsPerSample: 4, Skew: 1.07},
+				}},
+			}},
+			Steady([]FeatureHeat{
+				{Rows: 1024, RowBytes: 128, RowsPerSample: 2, Skew: 1.07},
+			}),
+		},
+		Tenants: 2,
+	}
+}
+
+// FuzzCacheEviction checks the tier's safety and determinism invariants on
+// arbitrary dispatch sequences across every policy:
+//
+//   - residency never exceeds the budget, and the occupancy counter always
+//     equals the sum of resident bucket bytes;
+//   - penalties are finite and non-negative, and the accounting identity
+//     reads = hits + misses holds;
+//   - replaying the identical sequence on a Reset tier and on a freshly built
+//     tier reproduces bit-identical penalties and a deeply equal snapshot —
+//     the property session replay rests on.
+func FuzzCacheEviction(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 64, 1, 1, 0, 255, 0, 1, 40, 16})
+	f.Add([]byte{1, 0, 0, 8, 1, 1, 0, 8, 0, 0, 200, 128, 0, 1, 0, 32})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeFuzzOps(data)
+		if len(ops) == 0 {
+			return
+		}
+		for _, policy := range []Policy{PolicyStatic, PolicyLRU, PolicyClock} {
+			retier := 0.0
+			if len(data)%2 == 1 {
+				retier = 0.05
+			}
+			cfg := fuzzTierConfig(policy, retier)
+			tier, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(tr *Tier) ([]uint64, *Snapshot) {
+				pens := make([]uint64, len(ops))
+				for i, op := range ops {
+					pen := tr.Dispatch(op.model, op.tenant, op.now, op.size)
+					if math.IsNaN(pen) || math.IsInf(pen, 0) || pen < 0 {
+						t.Fatalf("%v op %d: bad penalty %g", policy, i, pen)
+					}
+					if tr.Occupied() > cfg.BudgetBytes {
+						t.Fatalf("%v op %d: occupancy %d over budget %d", policy, i, tr.Occupied(), cfg.BudgetBytes)
+					}
+					var sum int64
+					for bi := range tr.buckets {
+						if tr.buckets[bi].resident {
+							sum += tr.buckets[bi].bytes
+						}
+					}
+					if sum != tr.Occupied() {
+						t.Fatalf("%v op %d: occupancy counter %d, resident bytes %d", policy, i, tr.Occupied(), sum)
+					}
+					pens[i] = math.Float64bits(pen)
+				}
+				s := tr.Snapshot()
+				if math.Abs(s.RowReads-(s.Hits+s.Misses)) > 1e-6*(1+s.RowReads) {
+					t.Fatalf("%v: reads %g != hits %g + misses %g", policy, s.RowReads, s.Hits, s.Misses)
+				}
+				return pens, s
+			}
+			pens1, snap1 := run(tier)
+			tier.Reset()
+			pens2, snap2 := run(tier)
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pens3, snap3 := run(fresh)
+			if !reflect.DeepEqual(pens1, pens2) || !reflect.DeepEqual(pens1, pens3) {
+				t.Fatalf("%v: penalties diverge across Reset/rebuild", policy)
+			}
+			if !reflect.DeepEqual(snap1, snap2) || !reflect.DeepEqual(snap1, snap3) {
+				t.Fatalf("%v: snapshots diverge across Reset/rebuild:\n%+v\n%+v\n%+v", policy, snap1, snap2, snap3)
+			}
+		}
+	})
+}

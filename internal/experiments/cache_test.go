@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/datasynth"
+)
+
+// CacheHeat mirrors the synthesizer: rows-per-sample is coverage times mean
+// pooling factor, skew follows the ID distribution, bytes follow the dim.
+func TestCacheHeat(t *testing.T) {
+	cfg := datasynth.ModelA()
+	heats := CacheHeat(cfg)
+	if len(heats) != len(cfg.Features) {
+		t.Fatalf("got %d heats for %d features", len(heats), len(cfg.Features))
+	}
+	sawZipf, sawUniform := false, false
+	for i, h := range heats {
+		f := &cfg.Features[i]
+		if h.Rows != f.Rows {
+			t.Errorf("feature %d rows = %d, want %d", i, h.Rows, f.Rows)
+		}
+		if h.RowBytes != int64(f.Dim)*4 {
+			t.Errorf("feature %d row bytes = %d, want %d", i, h.RowBytes, int64(f.Dim)*4)
+		}
+		want := f.Coverage * f.PF.Mean()
+		if math.Abs(h.RowsPerSample-want) > 1e-12 {
+			t.Errorf("feature %d rows/sample = %g, want %g", i, h.RowsPerSample, want)
+		}
+		switch {
+		case f.IDs == datasynth.IDZipf:
+			sawZipf = true
+			if h.Skew != datasynth.ZipfSkew {
+				t.Errorf("zipf feature %d skew = %g, want %g", i, h.Skew, datasynth.ZipfSkew)
+			}
+		default:
+			sawUniform = true
+			if h.Skew != 0 {
+				t.Errorf("uniform feature %d skew = %g, want 0", i, h.Skew)
+			}
+		}
+	}
+	if !sawZipf || !sawUniform {
+		t.Errorf("model A should exercise both ID distributions (zipf=%v uniform=%v)", sawZipf, sawUniform)
+	}
+}
+
+// The cache study's acceptance criteria: under the skew shift at least one
+// adaptive discipline (eviction or re-tiering) beats the frozen static
+// allocation measurably on the post-shift interactive p99, the re-tiering
+// variant actually re-tiers and recovers hit rate, and the eviction variants
+// actually churn residency.
+func TestCacheStudy(t *testing.T) {
+	s := testSuite()
+	res, err := s.CacheStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InteractiveService <= 0 {
+		t.Fatalf("probed interactive service %g", res.InteractiveService)
+	}
+	if len(res.Variants) != 4 || res.Variants[0].Name != "static" {
+		t.Fatalf("variants = %+v", res.Variants)
+	}
+
+	static := res.Variants[0]
+	if static.HitRate <= 0 || static.HitRate >= 1 {
+		t.Errorf("static hit rate %g should be partial: full hits or full misses means the drift scenario collapsed", static.HitRate)
+	}
+	if static.PostShiftP99 <= static.PreShiftP99 {
+		t.Errorf("the shift did not hurt static: pre p99 %g, post p99 %g", static.PreShiftP99, static.PostShiftP99)
+	}
+
+	// The tentpole assertion: some eviction/re-tiering discipline is
+	// measurably better than static on the interactive tail after the shift.
+	if !res.EvictionWins {
+		t.Errorf("no adaptive discipline beat static measurably: best %s gain %.3fx (static post p99 %g)",
+			res.BestEviction, res.EvictionGain, static.PostShiftP99)
+	}
+	if res.EvictionGain < 1.1 {
+		t.Errorf("eviction gain %.3fx below the 1.1x bar", res.EvictionGain)
+	}
+
+	byName := map[string]CachePolicyAct{}
+	for _, v := range res.Variants {
+		byName[v.Name] = v
+	}
+	rt := byName["static+retier"]
+	if rt.Retiers == 0 {
+		t.Error("re-tiering variant never re-tiered")
+	}
+	if !res.RetierRecovers {
+		t.Errorf("re-tiering did not recover hit rate: retier %g vs static %g", rt.HitRate, static.HitRate)
+	}
+	if static.Fills != 0 || static.Evictions != 0 || static.Retiers != 0 {
+		t.Errorf("frozen static churned residency (fills %d, evictions %d, retiers %d); its allocation must stay pinned",
+			static.Fills, static.Evictions, static.Retiers)
+	}
+	for _, name := range []string{"lru", "clock"} {
+		v := byName[name]
+		if v.Fills == 0 || v.Evictions == 0 {
+			t.Errorf("%s churned nothing (fills %d, evictions %d); the drift scenario never exercised eviction", name, v.Fills, v.Evictions)
+		}
+		if v.HitRate <= static.HitRate {
+			t.Errorf("%s hit rate %g did not beat static %g", name, v.HitRate, static.HitRate)
+		}
+	}
+
+	// The flash of cold batch traffic is charged to the batch tenant, and
+	// every variant pays something for it — the 16384-row uniform table never
+	// fully fits the budget.
+	for _, v := range res.Variants {
+		if v.BatchPenalty <= 0 {
+			t.Errorf("%s batch penalty %g; the flash paid nothing", v.Name, v.BatchPenalty)
+		}
+		if !(v.Penalty > 0) || math.IsInf(v.Penalty, 0) {
+			t.Errorf("%s total penalty %g", v.Name, v.Penalty)
+		}
+	}
+}
+
+func TestPrintCacheStudy(t *testing.T) {
+	s := testSuite()
+	var buf bytes.Buffer
+	if err := s.PrintCacheStudy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Embedding cache tier", "static+retier", "lru", "clock",
+		"best adaptive discipline", "wins=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

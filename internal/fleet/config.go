@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/emcache"
 	"repro/internal/trace"
 )
 
@@ -110,6 +111,15 @@ type Config struct {
 	// log-spaced buckets, matching trace.ServerConfig.
 	HistMin, HistMax float64
 	HistBuckets      int
+	// Cache, when set, is the shared embedding-cache tier every dispatched
+	// request consults and mutates: cold rows are charged to the request's
+	// service time through the PCIe fault model, fills warm the tier, and
+	// the tier's heat tracker may re-allocate the budget online. The tier
+	// must be built for exactly this pool's model and tenant counts. Cache
+	// state evolves only at dispatch events and Begin resets it, so batch
+	// replay, the live gateway and session replay stay bit-identical on a
+	// reused pool.
+	Cache *emcache.Tier
 }
 
 // Validate checks the pool configuration against the given model and tenant
@@ -148,6 +158,14 @@ func (c *Config) Validate(models, tenants int) error {
 	if c.Placement == PlacementDedicated && c.Queue.EffectiveWorkers() < models {
 		return fmt.Errorf("fleet: dedicated placement needs at least one worker per model (%d workers, %d models)",
 			c.Queue.EffectiveWorkers(), models)
+	}
+	if c.Cache != nil {
+		if c.Cache.Models() != models {
+			return fmt.Errorf("fleet: cache tier built for %d models, pool has %d", c.Cache.Models(), models)
+		}
+		if c.Cache.Tenants() != tenants {
+			return fmt.Errorf("fleet: cache tier built for %d tenants, pool has %d", c.Cache.Tenants(), tenants)
+		}
 	}
 	return nil
 }

@@ -122,9 +122,14 @@ func (p *Pool) Begin() *Live {
 
 	// A stateful dispatch policy (e.g. WeightedFair's deficit counters)
 	// starts every session from the same state, so a reused Pool stays
-	// deterministic across sessions.
+	// deterministic across sessions. The embedding-cache tier resets the
+	// same way: replaying a recorded session through a pool that already
+	// served it live must re-warm the cache from the identical cold start.
 	if r, ok := p.policy.(interface{ Reset() }); ok {
 		r.Reset()
+	}
+	if p.cfg.Cache != nil {
+		p.cfg.Cache.Reset()
 	}
 
 	met := &Metrics{
@@ -406,6 +411,15 @@ func (l *Live) closeWith(reqs []Request, order []int) (*Report, []Event, error) 
 	for t := range met.Tenants {
 		groupStats(&met.Tenants[t], l.tenantSojourns[t])
 	}
+	if c := l.p.cfg.Cache; c != nil {
+		met.Cache = c.Snapshot()
+		for m := range met.Cache.Models {
+			met.Cache.Models[m].Name = l.p.models[m].Name
+		}
+		for t := range met.Cache.Tenants {
+			met.Cache.Tenants[t].Name = l.p.tenants[t].Name
+		}
+	}
 
 	// Per-model single-model reports; supervised models finalize their
 	// drift control into them (swap history, generation count, rollbacks)
@@ -602,7 +616,7 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 		l.chunks = append(l.chunks[:ci], l.chunks[ci+1:]...)
 		l.observeDepth()
 
-		sv, err := l.resolve(e)
+		sv, err := l.resolveAt(e, tDisp)
 		if err != nil {
 			return err
 		}
@@ -689,7 +703,7 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 	l.queuedByModel[e.model]--
 	l.observeDepth()
 
-	sv, err := l.resolve(e)
+	sv, err := l.resolveAt(e, tDisp)
 	if err != nil {
 		return err
 	}
@@ -757,6 +771,25 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 		Worker: bestW, End: end,
 	})
 	return nil
+}
+
+// resolveAt resolves one dispatch's service time and, when the pool serves
+// through an embedding-cache tier, charges the batch's cold traffic on top.
+// This is the tier's single mutation point: every dispatch event — whole
+// request or split chunk, batch replay or live gateway — passes through here
+// in the same order, so cache state evolution is part of the deterministic
+// replay contract. The penalty lands before the degradation policy's deadline
+// check: a cold burst can push a request over its deadline exactly like a
+// slow kernel can.
+func (l *Live) resolveAt(e qentry, tDisp float64) (float64, error) {
+	sv, err := l.resolve(e)
+	if err != nil {
+		return 0, err
+	}
+	if c := l.p.cfg.Cache; c != nil {
+		sv += c.Dispatch(e.model, e.tenant, tDisp, e.size)
+	}
+	return sv, nil
 }
 
 // resolve returns one queue entry's service time under its admission

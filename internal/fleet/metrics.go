@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/emcache"
 	"repro/internal/trace"
 )
 
@@ -79,6 +80,11 @@ type Metrics struct {
 	Policy string
 	// Placement names the placement strategy.
 	Placement string
+	// Cache is the embedding-cache tier's accounting snapshot (hit rate,
+	// cold bytes, occupancy, evictions, per-model/per-tenant splits), nil
+	// when the pool serves without a tier. Group names are filled from the
+	// pool's model and tenant lists.
+	Cache *emcache.Snapshot
 }
 
 // Shed returns the pool-wide total of dropped requests.

@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/emcache"
+)
+
+// CacheDispatch measures the embedding-cache tier's per-dispatch hot path —
+// the accounting, recency, admission and amortized re-tier work the fleet
+// adds to every dispatch event when a tier is armed. Two models share the
+// tier: one with a two-phase drifting profile (crossed early in the run, so
+// the steady state includes eviction churn on the drifted heat) and one
+// steady, with online re-tiering enabled — a re-tier lands every 100
+// dispatches and is amortized into the per-dispatch number. One benchmark
+// iteration is one dispatch; tier construction and the phase rebuild are
+// off-clock.
+func CacheDispatch(b *testing.B) {
+	group := func(hot, cold float64) []emcache.FeatureHeat {
+		return []emcache.FeatureHeat{
+			{Rows: 4096, RowBytes: 256, RowsPerSample: hot, Skew: 1.07},
+			{Rows: 4096, RowBytes: 256, RowsPerSample: cold, Skew: 1.07},
+		}
+	}
+	tier, err := emcache.New(emcache.Config{
+		BudgetBytes: 1 << 20,
+		Policy:      emcache.PolicyLRU,
+		RetierEvery: 0.002,
+		Models: []emcache.ModelProfile{
+			{Phases: []emcache.ProfilePhase{
+				{Features: group(4, 0)},
+				{Start: 0.04, Features: group(0, 4)},
+			}},
+			emcache.Steady([]emcache.FeatureHeat{{Rows: 16384, RowBytes: 256, RowsPerSample: 1}}),
+		},
+		Tenants: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Cross the drift phase and warm the post-drift residency off-clock so
+	// every timed dispatch runs the steady-state path.
+	now := 0.0
+	for j := 0; j < 4096; j++ {
+		now += 2e-5
+		tier.Dispatch(j&1, (j>>1)&1, now, 64+(j&31))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 2e-5
+		tier.Dispatch(i&1, (i>>1)&1, now, 64+(i&31))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

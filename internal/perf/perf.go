@@ -30,14 +30,16 @@ const (
 
 // Cases returns the hot-path suite the perf gate tracks: the two simulator
 // regimes (wide launch, saturated retire/backfill), the two replay engines
-// (single-model server, multi-tenant fleet pool), and the three tuner
-// engines (serial reference, cold fleet-speed, warm-started re-tune).
+// (single-model server, multi-tenant fleet pool), the embedding-cache tier's
+// per-dispatch path, and the three tuner engines (serial reference, cold
+// fleet-speed, warm-started re-tune).
 func Cases() []Case {
 	return []Case{
 		{Name: "SimulateKernel640Blocks", Bench: SimulateKernel640Blocks},
 		{Name: "SimulateSaturated", Bench: SimulateSaturated},
 		{Name: "ReplayHotPath", ReqsPerIter: replayRequests, Bench: ReplayHotPath},
 		{Name: "FleetServe", ReqsPerIter: fleetRequests, Bench: FleetServe},
+		{Name: "CacheDispatch", ReqsPerIter: 1, Bench: CacheDispatch},
 		{Name: "TuneSerial", Bench: TuneSerial},
 		{Name: "TuneParallel", Bench: TuneParallel},
 		{Name: "RetuneWarm", Bench: RetuneWarm},

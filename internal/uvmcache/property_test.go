@@ -1,0 +1,137 @@
+package uvmcache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/gpusim"
+	"repro/internal/sched"
+)
+
+// TestExpectedHitRateConvergence is the property test behind the analytic
+// accounting the embedding-cache tier relies on: on large synthetic Zipf
+// batches, the closed-form ExpectedHitRate must converge to the measured
+// 1 - ColdFraction across hot-set sizes spanning the whole table.
+func TestExpectedHitRateConvergence(t *testing.T) {
+	const rows = 1 << 15
+	cfg := &datasynth.ModelConfig{Name: "prop", Seed: 99, Features: []datasynth.FeatureSpec{
+		{Name: "z", Dim: 8, Rows: rows, PF: datasynth.Fixed{K: 20}, Coverage: 1, IDs: datasynth.IDZipf},
+	}}
+	rng := rand.New(rand.NewSource(99))
+	// ~80k row draws per batch; average three batches for ~250k draws.
+	var batches []*embedding.Batch
+	for i := 0; i < 3; i++ {
+		b, err := datasynth.GenerateBatch(cfg, 4096, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, b)
+	}
+	for _, k := range []int{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+		var measured float64
+		for _, b := range batches {
+			measured += 1 - ColdFraction(&b.Features[0], Config{HotRows: k})
+		}
+		measured /= float64(len(batches))
+		analytic := ExpectedHitRate(rows, k, datasynth.ZipfSkew)
+		if math.Abs(measured-analytic) > 0.03 {
+			t.Errorf("hot=%d: measured hit rate %.4f vs analytic %.4f (diff %.4f > 0.03)",
+				k, measured, analytic, math.Abs(measured-analytic))
+		}
+	}
+}
+
+// TestCachedPlanExtremeColdStaysNonNegative is the regression pin for the
+// recosting arithmetic: at extreme (and out-of-range) cold fractions the
+// adjusted traffic must never go negative or non-finite — the simulator
+// would otherwise produce negative cycle counts.
+func TestCachedPlanExtremeColdStaysNonNegative(t *testing.T) {
+	features, _, batch := zipfModel(t)
+	dev := gpusim.V100()
+	inner := sched.SubWarp{Threads: 256, Lanes: 16, Vec: 4, UnrollRows: 1}
+	w := sched.AnalyzeWorkload(&batch.Features[0], features[0].Dim, features[0].TableRows)
+	l2 := sched.L2Context{CacheBytes: float64(dev.L2SizeBytes), WorkingSetBytes: 1 << 26}
+	for _, cold := range []float64{0.999, 1, 1.5, 100} {
+		c := Cached{Inner: inner, Cfg: Config{HotRows: 1}, ColdFrac: cold}
+		p, err := c.Plan(&w, dev, l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p.Blocks {
+			b := &p.Blocks[i]
+			for _, v := range []struct {
+				name string
+				val  float64
+			}{{"MemRequests", b.MemRequests}, {"DRAMBytes", b.DRAMBytes}, {"L2Bytes", b.L2Bytes}} {
+				if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+					t.Fatalf("cold=%g block %d: %s = %g", cold, i, v.name, v.val)
+				}
+			}
+		}
+		// The recosted plan must still simulate to a finite positive time.
+		k := &gpusim.Kernel{Name: "uvm-extreme", Resources: c.Resources(features[0].Dim), Blocks: p.Blocks}
+		r, err := gpusim.Simulate(dev, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Time <= 0 || math.IsInf(r.Time, 0) || math.IsNaN(r.Time) {
+			t.Fatalf("cold=%g: simulated time %g", cold, r.Time)
+		}
+	}
+}
+
+// TestPCIePenalty pins the closed-form serving-side fault cost.
+func TestPCIePenalty(t *testing.T) {
+	if got := PCIePenalty(0, 0); got != 0 {
+		t.Errorf("no cold traffic penalty %g", got)
+	}
+	if got := PCIePenalty(-1, 100); got != 0 {
+		t.Errorf("negative rows penalty %g", got)
+	}
+	rows, bytes := 1024.0, 1024.0*128
+	want := bytes/PCIeBandwidth + rows/PCIeFaultConcurrency*PCIeFaultLatency
+	if got := PCIePenalty(rows, bytes); math.Abs(got-want) > 1e-15 {
+		t.Errorf("PCIePenalty = %g, want %g", got, want)
+	}
+	// Linear in its inputs: doubling the cold batch doubles the cost.
+	if got := PCIePenalty(2*rows, 2*bytes); math.Abs(got-2*want) > 1e-15 {
+		t.Errorf("PCIePenalty not linear: %g vs %g", got, 2*want)
+	}
+}
+
+// TestZipfBucketMass pins the closed-form rank-range mass the cache tier's
+// bucket accounting is built on.
+func TestZipfBucketMass(t *testing.T) {
+	const n = 4096
+	for _, s := range []float64{0, 0.5, 1.07} {
+		var sum float64
+		for lo, hi := 0, 1; lo < n; lo, hi = hi, hi*2 {
+			if hi > n {
+				hi = n
+			}
+			sum += ZipfBucketMass(lo, hi, n, s)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%g: bucket masses sum to %g, want 1", s, sum)
+		}
+	}
+	// Uniform mass is proportional to range width.
+	if got, want := ZipfBucketMass(0, 1024, n, 0), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("uniform mass %g, want %g", got, want)
+	}
+	// Zipf front-loads: the first 16 ranks of a skewed table outweigh the
+	// uniform share by a wide margin.
+	if got := ZipfBucketMass(0, 16, n, datasynth.ZipfSkew); got < 10*ZipfBucketMass(0, 16, n, 0) {
+		t.Errorf("skewed head mass %g implausibly small", got)
+	}
+	// Bounds clamp; degenerate ranges are zero.
+	if got := ZipfBucketMass(-5, n+5, n, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("clamped full range mass %g", got)
+	}
+	if ZipfBucketMass(8, 8, n, 1) != 0 || ZipfBucketMass(0, 1, 0, 1) != 0 {
+		t.Error("degenerate ranges must have zero mass")
+	}
+}

@@ -29,7 +29,46 @@ import (
 const (
 	PCIeBandwidth     = 25e9 // bytes/s (PCIe 4.0 x16, effective)
 	PCIeLatencyCycles = 1400 // core cycles per UVM fault round trip
+
+	// PCIeFaultLatency is PCIeLatencyCycles expressed in seconds at the
+	// ~1.4 GHz core clock of the evaluation devices — the serving-side unit
+	// the embedding-cache tier charges per fault round trip.
+	PCIeFaultLatency = PCIeLatencyCycles / 1.4e9
+	// PCIeFaultConcurrency is how many UVM fault round trips the driver's
+	// prefetcher keeps in flight; fault latency amortizes across them.
+	PCIeFaultConcurrency = 32
 )
+
+// PCIePenalty is the serving-time cost of faulting coldRows embedding rows
+// (coldBytes total) over the host link: the bandwidth term of the Cached
+// recosting plus the fault latency at the driver's fault concurrency. This is
+// the same PCIe model Cached.Plan charges inside the simulator, reduced to a
+// closed form the embedding-cache tier can apply per dispatched batch.
+func PCIePenalty(coldRows, coldBytes float64) float64 {
+	if coldRows <= 0 || coldBytes <= 0 {
+		return 0
+	}
+	return coldBytes/PCIeBandwidth + coldRows/PCIeFaultConcurrency*PCIeFaultLatency
+}
+
+// ZipfBucketMass returns the probability that a Zipf(s) row access over an
+// n-row frequency-ranked table lands in rows [lo, hi) (0-indexed ranks).
+// s = 0 degrades to the uniform distribution. Out-of-range bounds clamp.
+func ZipfBucketMass(lo, hi, n int, s float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (harmonic(hi, s) - harmonic(lo, s)) / harmonic(n, s)
+}
 
 // Config is the cache setting of one feature: the leading HotRows rows of its
 // table are GPU-resident. Zero means the whole table is GPU-resident (no UVM
