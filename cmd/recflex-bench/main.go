@@ -47,7 +47,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("recflex-bench", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		exp     = fs.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead,ext,eq2,drift,fleet,cache or all")
+		exp     = fs.String("exp", "all", "experiments: table1,fig2,fig3,fig9,fig10,table2,fig11,fig12,fig13,scale,mlperf,overhead,ext,eq2,drift,fleet,cache,elastic or all")
 		scale   = fs.Int("scale", 10, "feature-count divisor (1 = full paper scale)")
 		tuneB   = fs.Int("tune", 2, "tuning batches")
 		evalB   = fs.Int("eval", 8, "evaluation batches (paper: 128)")
@@ -119,8 +119,9 @@ func run(args []string, w io.Writer) error {
 		"drift":    func() error { return s.PrintDriftStudy(w) },
 		"fleet":    func() error { return s.PrintFleetStudy(w) },
 		"cache":    func() error { return s.PrintCacheStudy(w) },
+		"elastic":  func() error { return s.PrintElasticStudy(w) },
 	}
-	order := []string{"table1", "fig2", "fig3", "fig9", "fig10", "table2", "fig11", "fig12", "fig13", "scale", "mlperf", "overhead", "ext", "eq2", "drift", "fleet", "cache"}
+	order := []string{"table1", "fig2", "fig3", "fig9", "fig10", "table2", "fig11", "fig12", "fig13", "scale", "mlperf", "overhead", "ext", "eq2", "drift", "fleet", "cache", "elastic"}
 
 	var selected []string
 	if *exp == "all" {

@@ -23,6 +23,16 @@
 // The report splits latency, shed counts and interference per model and per
 // tenant.
 //
+// The fleet pool is elastic and heterogeneous on request: -preempt lets a
+// queued split chunk yield its dispatch slot to a strictly higher-priority
+// whole request at a chunk boundary; -reserve pins per-model exclusive worker
+// floors (background re-tunes land on the reserved spares); -worker-classes
+// mixes simulated V100- and A100-class workers, with every model tuned on the
+// first class and speed-probed on the rest; -autoscale-max lets the pool grow
+// toward demand (with -autoscale-lag boot cost, -autoscale-class device
+// class) and drain idle workers back. All of it is built from flags alone, so
+// recorded gateway sessions still replay bit-identically.
+//
 // -cache-budget arms the shared embedding-cache tier (internal/emcache) under
 // the pool: every dispatched batch's cold rows are charged to its service
 // time through the PCIe fault model, fills warm the tier, and -cache-policy
@@ -39,6 +49,9 @@
 //	    -policy priority-edf -placement spread -gpus 2 -queue 32
 //	recflex-serve -models A,C -tenants "interactive:1,bulk:0" \
 //	    -policy weighted-fair -weights "1:3,0:1" -rebalance 0.05 -gpus 2 -queue 32
+//	recflex-serve -models A,C -tenants "interactive:1,bulk:0" -gpus 2 \
+//	    -worker-classes V100,V100 -autoscale-max 4 -autoscale-class A100 \
+//	    -preempt -degrade split-tail -deadline 1.5
 package main
 
 import (
@@ -108,6 +121,14 @@ type options struct {
 	cachePolicy string
 	cacheRetier float64
 
+	preempt       bool
+	reserve       string
+	workerClasses string
+	autoMax       int
+	autoEvery     float64
+	autoLag       float64
+	autoClass     string
+
 	listen        string
 	warp          float64
 	serveDur      float64
@@ -145,6 +166,13 @@ func parseFlags(args []string, w io.Writer) (*options, error) {
 	fs.Float64Var(&o.cacheBudget, "cache-budget", 0, "fleet: shared embedding-cache tier budget in MiB (0 disables the tier)")
 	fs.StringVar(&o.cachePolicy, "cache-policy", "static", "fleet cache eviction policy: static, lru or clock")
 	fs.Float64Var(&o.cacheRetier, "cache-retier", 0, "fleet cache: re-allocate the budget from windowed heat at most every this many simulated seconds (0 disables)")
+	fs.BoolVar(&o.preempt, "preempt", false, "fleet: chunk-boundary preemption — a queued split chunk yields its dispatch slot to a strictly higher-priority whole request")
+	fs.StringVar(&o.reserve, "reserve", "", "fleet: per-model exclusive worker floors, comma-separated counts aligned with -models (e.g. 1,0)")
+	fs.StringVar(&o.workerClasses, "worker-classes", "", "fleet: per-worker device classes, comma-separated names aligned with -gpus (e.g. V100,A100); models tune on the first class and are speed-probed on the others")
+	fs.IntVar(&o.autoMax, "autoscale-max", 0, "fleet: let the pool grow to this many workers and shrink back on demand (0 disables autoscaling)")
+	fs.Float64Var(&o.autoEvery, "autoscale-every", 0.005, "fleet autoscale: decision pacing in simulated seconds")
+	fs.Float64Var(&o.autoLag, "autoscale-lag", 0, "fleet autoscale: simulated boot lag before a scaled-out worker's first dispatch, in seconds")
+	fs.StringVar(&o.autoClass, "autoscale-class", "", "fleet autoscale: device class of scaled-out workers (needs -worker-classes; default the first class)")
 	fs.StringVar(&o.listen, "listen", "", "serve live inference over HTTP on this address (gateway mode; needs -models)")
 	fs.Float64Var(&o.warp, "warp", 1000, "gateway time-warp factor: simulated seconds per wall-clock second")
 	fs.Float64Var(&o.serveDur, "serve-duration", 0, "gateway: stop after this many wall seconds (0 = run until interrupted)")
@@ -196,7 +224,157 @@ func parseFlags(args []string, w io.Writer) (*options, error) {
 	if (set["cache-policy"] || set["cache-retier"]) && !(o.cacheBudget > 0) {
 		return nil, fmt.Errorf("-cache-policy/-cache-retier shape a tier that -cache-budget never creates; set -cache-budget > 0")
 	}
+	// Pool-shaping flags are fleet-only: outside fleet mode they would be
+	// silently dead configuration that reads like it took effect. Same bar as
+	// the cache flags — reject at the flag boundary, before any tuning.
+	if o.models == "" {
+		for _, f := range []string{
+			"tenants", "policy", "placement", "shed-fraction", "weights", "rebalance",
+			"preempt", "reserve", "worker-classes",
+			"autoscale-max", "autoscale-every", "autoscale-lag", "autoscale-class",
+		} {
+			if set[f] {
+				return nil, fmt.Errorf("-%s shapes the shared fleet pool; it needs fleet mode (-models)", f)
+			}
+		}
+	}
+	nModels := 0
+	if o.models != "" {
+		nModels = len(strings.Split(o.models, ","))
+	}
+	if set["weights"] && o.policy != "weighted-fair" {
+		return nil, fmt.Errorf("-weights only shapes weighted-fair dispatch (got -policy %s); pass -policy weighted-fair", o.policy)
+	}
+	if o.rebalance < 0 {
+		return nil, fmt.Errorf("-rebalance must be >= 0, got %g", o.rebalance)
+	}
+	if o.rebalance > 0 && o.gpus < nModels {
+		return nil, fmt.Errorf("-rebalance needs at least one worker per model to repartition (%d gpus, %d models)", o.gpus, nModels)
+	}
+	// Elastic-pool flags interlock: reservations and autoscaling both pin the
+	// pool's shape, which the load rebalancer would fight over.
+	if set["reserve"] {
+		if o.placement == "dedicated" {
+			return nil, fmt.Errorf("-reserve needs packed or spread placement (dedicated already partitions the pool)")
+		}
+		if set["rebalance"] {
+			return nil, fmt.Errorf("-reserve and -rebalance are mutually exclusive: the load rebalancer does not honor reservation floors")
+		}
+		res, err := parseReserve(o.reserve, nModels)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, r := range res {
+			total += r
+		}
+		if total > o.gpus {
+			return nil, fmt.Errorf("-reserve pins %d workers but the pool has only %d", total, o.gpus)
+		}
+		if total == o.gpus {
+			for i, r := range res {
+				if r == 0 {
+					return nil, fmt.Errorf("-reserve leaves no shared workers and model %d reserves none; it could never dispatch", i)
+				}
+			}
+		}
+	}
+	if o.autoMax < 0 {
+		return nil, fmt.Errorf("-autoscale-max must be >= 0 (0 disables autoscaling), got %d", o.autoMax)
+	}
+	if (set["autoscale-every"] || set["autoscale-lag"] || set["autoscale-class"]) && o.autoMax == 0 {
+		return nil, fmt.Errorf("-autoscale-every/-autoscale-lag/-autoscale-class shape an autoscaler that -autoscale-max never creates; set -autoscale-max > 0")
+	}
+	if o.autoMax > 0 {
+		if o.autoMax < o.gpus {
+			return nil, fmt.Errorf("-autoscale-max %d below the initial -gpus %d", o.autoMax, o.gpus)
+		}
+		if set["rebalance"] {
+			return nil, fmt.Errorf("-autoscale-max and -rebalance are mutually exclusive: the autoscaler owns the pool's shape")
+		}
+		if o.placement == "dedicated" {
+			return nil, fmt.Errorf("-autoscale-max needs packed or spread placement (a dedicated partition has no shared workers to grow)")
+		}
+		if !(o.autoEvery > 0) || math.IsInf(o.autoEvery, 0) {
+			return nil, fmt.Errorf("-autoscale-every must be positive and finite seconds, got %g", o.autoEvery)
+		}
+		if o.autoLag < 0 || math.IsNaN(o.autoLag) || math.IsInf(o.autoLag, 0) {
+			return nil, fmt.Errorf("-autoscale-lag must be finite and >= 0, got %g", o.autoLag)
+		}
+	}
+	if set["worker-classes"] {
+		if set["device"] {
+			return nil, fmt.Errorf("-worker-classes assigns each worker's device; drop the explicit -device")
+		}
+		classes, _, err := parseWorkerClasses(o.workerClasses)
+		if err != nil {
+			return nil, err
+		}
+		if len(classes) != o.gpus {
+			return nil, fmt.Errorf("-worker-classes lists %d classes for %d gpus (one per worker)", len(classes), o.gpus)
+		}
+	}
+	if set["autoscale-class"] {
+		if !set["worker-classes"] {
+			return nil, fmt.Errorf("-autoscale-class selects a device class for a heterogeneous pool; pass -worker-classes too")
+		}
+		if _, err := classDevice(o.autoClass); err != nil {
+			return nil, fmt.Errorf("-autoscale-class: %v", err)
+		}
+	}
 	return &o, nil
+}
+
+// classDevice resolves one -worker-classes entry to its simulated device.
+func classDevice(name string) (*gpusim.Device, error) {
+	switch name {
+	case "V100":
+		return gpusim.V100(), nil
+	case "A100":
+		return gpusim.A100(), nil
+	}
+	return nil, fmt.Errorf("unknown device class %q (want V100 or A100)", name)
+}
+
+// parseWorkerClasses decodes the -worker-classes flag: one device-class name
+// per worker. Distinct names index the pool's class list in first-appearance
+// order, so "V100,V100,A100" yields classes [0,0,1] and names [V100,A100].
+func parseWorkerClasses(s string) ([]int, []string, error) {
+	var classes []int
+	var names []string
+	idx := make(map[string]int)
+	for _, entry := range strings.Split(s, ",") {
+		name := strings.TrimSpace(entry)
+		if _, err := classDevice(name); err != nil {
+			return nil, nil, fmt.Errorf("-worker-classes: %v", err)
+		}
+		c, ok := idx[name]
+		if !ok {
+			c = len(names)
+			idx[name] = c
+			names = append(names, name)
+		}
+		classes = append(classes, c)
+	}
+	return classes, names, nil
+}
+
+// parseReserve decodes the -reserve flag: one exclusive-worker count per
+// -models entry, in order.
+func parseReserve(s string, models int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != models {
+		return nil, fmt.Errorf("-reserve lists %d counts for %d models (one comma-separated count per -models entry)", len(parts), models)
+	}
+	out := make([]int, models)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-reserve: bad count %q (want an integer >= 0)", strings.TrimSpace(p))
+		}
+		out[i] = n
+	}
+	return out, nil
 }
 
 func main() {
@@ -342,13 +520,8 @@ func modelDevice(model, device string, scale int) (*datasynth.ModelConfig, *gpus
 	if !ok {
 		return nil, nil, fmt.Errorf("unknown model %q", model)
 	}
-	var dev *gpusim.Device
-	switch device {
-	case "V100":
-		dev = gpusim.V100()
-	case "A100":
-		dev = gpusim.A100()
-	default:
+	dev, err := classDevice(device)
+	if err != nil {
 		return nil, nil, fmt.Errorf("unknown device %q", device)
 	}
 	return datasynth.Scaled(cfg, scale), dev, nil
@@ -575,6 +748,10 @@ type fleetSetup struct {
 	streams  []fleet.Stream
 	cfg      fleet.Config
 	strategy fleet.Strategy
+	// classes and workerClass mirror cfg.ClassNames/cfg.WorkerClasses for the
+	// report (empty for a homogeneous pool).
+	classes     []string
+	workerClass []int
 }
 
 // buildFleetSetup resolves the fleet flags: tenants, placement, admission
@@ -613,10 +790,30 @@ func buildFleetSetup(o *options) (*fleetSetup, error) {
 	}
 
 	s := &fleetSetup{tenants: tenants, strategy: strategy}
+	var reserves []int
+	if o.reserve != "" {
+		if reserves, err = parseReserve(o.reserve, len(names)); err != nil {
+			return nil, err
+		}
+	}
+	// A heterogeneous pool tunes every model on the first listed class and
+	// speed-probes the tuned schedules on each other class's device; the
+	// probed service ratio becomes the model's per-class ClassScale. Built
+	// from flags alone, so a recorded session replays bit-identically.
+	baseDev := o.device
+	if o.workerClasses != "" {
+		if s.workerClass, s.classes, err = parseWorkerClasses(o.workerClasses); err != nil {
+			return nil, err
+		}
+		baseDev = s.classes[0]
+		if o.autoClass != "" && indexOf(s.classes, o.autoClass) < 0 {
+			s.classes = append(s.classes, o.autoClass)
+		}
+	}
 	var heats []emcache.ModelProfile
 	for i, name := range names {
 		name = strings.TrimSpace(name)
-		cfg, d, err := modelDevice(name, o.device, o.scale)
+		cfg, d, err := modelDevice(name, baseDev, o.scale)
 		if err != nil {
 			return nil, err
 		}
@@ -626,6 +823,12 @@ func buildFleetSetup(o *options) (*fleetSetup, error) {
 		rf, err := tuneModel(cfg, d, features)
 		if err != nil {
 			return nil, fmt.Errorf("model %s: %w", name, err)
+		}
+		var classScale []float64
+		if len(s.classes) > 1 {
+			if classScale, err = probeClassScales(cfg, features, rf, s.classes); err != nil {
+				return nil, fmt.Errorf("model %s: %w", name, err)
+			}
 		}
 		reqs, err := trace.Generate(o.requests, trace.GeneratorConfig{
 			QPS: o.qps, MaxBatch: splitCap, TailProb: o.tailProb,
@@ -640,15 +843,20 @@ func buildFleetSetup(o *options) (*fleetSetup, error) {
 			label = fmt.Sprintf("%s/%d", name, i)
 		}
 		c := cfg
-		s.models = append(s.models, core.FleetModel{
+		fm := core.FleetModel{
 			Name: label,
 			Rec:  rf,
 			Source: func(_ float64, size int) (*embedding.Batch, error) {
 				return datasynth.BatchForSize(c, size)
 			},
-			Opts:   core.ContinuousOptions{Quantum: sizeQuantum},
-			Frozen: true,
-		})
+			Opts:       core.ContinuousOptions{Quantum: sizeQuantum},
+			Frozen:     true,
+			ClassScale: classScale,
+		}
+		if reserves != nil {
+			fm.Reserve = reserves[i]
+		}
+		s.models = append(s.models, fm)
 		s.streams = append(s.streams, fleet.Stream{Model: i, Tenant: i % len(tenants), Reqs: reqs})
 	}
 	s.cfg = fleet.Config{
@@ -659,13 +867,23 @@ func buildFleetSetup(o *options) (*fleetSetup, error) {
 			Policy:     policy,
 			SplitCap:   splitBound,
 		},
-		Placement:    strategy,
-		Admission:    admission,
-		ShedFraction: o.shedFraction,
+		Placement:     strategy,
+		Admission:     admission,
+		ShedFraction:  o.shedFraction,
+		Preempt:       o.preempt,
+		WorkerClasses: s.workerClass,
+		ClassNames:    s.classes,
 	}
 	if o.rebalance > 0 {
 		s.cfg.RebalanceEvery = o.rebalance
 		s.cfg.Rebalance = fleet.NewRebalanceByLoad(fleet.RebalanceByLoadConfig{})
+	}
+	if o.autoMax > 0 {
+		as := &fleet.AutoscaleConfig{Every: o.autoEvery, Max: o.autoMax, ScaleOutLag: o.autoLag}
+		if o.autoClass != "" {
+			as.Class = indexOf(s.classes, o.autoClass)
+		}
+		s.cfg.Autoscale = as
 	}
 	if o.cacheBudget > 0 {
 		// The tier's heat profiles come from the same model configs the batch
@@ -690,6 +908,83 @@ func buildFleetSetup(o *options) (*fleetSetup, error) {
 		s.cfg.Cache = tier
 	}
 	return s, nil
+}
+
+// indexOf returns the index of name in names, -1 when absent.
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// classProbeSize is the batch size the per-class speed probe measures — a
+// mid-size serving batch in the same region as the tuner's historical ones.
+const classProbeSize = 256
+
+// probeClassScales measures one model's service-time multiplier for every
+// worker class. The base class (classes[0], the one base tuned on) is 1 by
+// definition; every other class tunes its own instance on that class's device
+// and the probe-batch service ratio against the base becomes the scale — a
+// schedule deployed on an A100-class worker runs at the A100-tuned speed. The
+// ratios are pure functions of the model config and class list, so a session
+// replay rebuilds identical scales.
+func probeClassScales(cfg *datasynth.ModelConfig, features []fusion.FeatureInfo, base *core.RecFlex, classes []string) ([]float64, error) {
+	src := func(_ float64, size int) (*embedding.Batch, error) { return datasynth.BatchForSize(cfg, size) }
+	ref, err := base.TimedService(src, sizeQuantum, nil)(0, classProbeSize)
+	if err != nil {
+		return nil, err
+	}
+	if !(ref > 0) {
+		return nil, fmt.Errorf("class probe: base service time %g is not positive", ref)
+	}
+	scales := make([]float64, len(classes))
+	scales[0] = 1
+	for ci := 1; ci < len(classes); ci++ {
+		dev, err := classDevice(classes[ci])
+		if err != nil {
+			return nil, err
+		}
+		rf, err := tuneModel(cfg, dev, features)
+		if err != nil {
+			return nil, fmt.Errorf("class %s tune: %w", classes[ci], err)
+		}
+		sv, err := rf.TimedService(src, sizeQuantum, nil)(0, classProbeSize)
+		if err != nil {
+			return nil, err
+		}
+		scales[ci] = sv / ref
+	}
+	return scales, nil
+}
+
+// printElastic renders the elastic-pool accounting — preemptions and applied
+// scale decisions — shared by the batch fleet replay and the session verifier.
+func printElastic(w io.Writer, m *fleet.Metrics) {
+	if m.Preemptions > 0 {
+		fmt.Fprintf(w, "preemptions: %d split chunks yielded to higher-priority arrivals\n", m.Preemptions)
+	}
+	if len(m.ScaleEvents) == 0 {
+		return
+	}
+	outs, ins := 0, 0
+	for _, e := range m.ScaleEvents {
+		if e.Delta > 0 {
+			outs++
+		} else {
+			ins++
+		}
+	}
+	fmt.Fprintf(w, "autoscale: %d scale-outs, %d drains over %d worker lifetimes\n", outs, ins, len(m.WorkerLives))
+	for _, e := range m.ScaleEvents {
+		verb := "added"
+		if e.Delta < 0 {
+			verb = "drained"
+		}
+		fmt.Fprintf(w, "  t=%-10s %s gpu%d -> %d active\n", report.FmtUS(e.Time), verb, e.Worker, e.Workers)
+	}
 }
 
 // printCacheTier renders the embedding-cache tier's accounting, shared by the
@@ -728,8 +1023,12 @@ func runFleet(o *options, w io.Writer) error {
 	dev, models, tenants := s.dev, s.models, s.tenants
 	merged := fleet.Merge(s.streams...)
 
+	devName := dev.Name
+	if len(s.classes) > 1 {
+		devName = strings.Join(s.classes, "+")
+	}
 	fmt.Fprintf(w, "fleet serving: %d models x %d requests at %.0f qps each on a shared %dx %s pool (%s placement, %s admission)\n\n",
-		len(models), o.requests, o.qps, o.gpus, dev.Name, s.strategy, o.policy)
+		len(models), o.requests, o.qps, o.gpus, devName, s.strategy, o.policy)
 	res, err := core.ServeFleet(s.cfg, models, tenants, merged)
 	if err != nil {
 		return err
@@ -764,12 +1063,31 @@ func runFleet(o *options, w io.Writer) error {
 	if m.Rebalances > 0 {
 		fmt.Fprintf(w, "rebalances applied: %d (from %d load snapshots)\n", m.Rebalances, len(m.LoadHistory))
 	}
+	printElastic(w, m)
 	fmt.Fprintf(w, "per-worker utilization over a %.2fms makespan:\n", m.Makespan*1e3)
 	for g, wk := range m.Workers {
-		fmt.Fprintf(w, "  gpu%-2d %6d reqs  busy %8s  util %5.1f%%\n",
-			g, wk.Served, report.FmtUS(wk.Busy), wk.Utilization*100)
+		fmt.Fprintf(w, "  gpu%-2d%s %6d reqs  busy %8s  util %5.1f%%\n",
+			g, s.workerLabel(g, m), wk.Served, report.FmtUS(wk.Busy), wk.Utilization*100)
 	}
 	return nil
+}
+
+// workerLabel names worker g's device class for the utilization lines, e.g.
+// " [A100]"; empty for a homogeneous pool. Autoscaled runs record every
+// worker's class in WorkerLives; static heterogeneous pools read the flag's
+// per-worker classes.
+func (s *fleetSetup) workerLabel(g int, m *fleet.Metrics) string {
+	if len(s.classes) == 0 {
+		return ""
+	}
+	c := 0
+	switch {
+	case g < len(m.WorkerLives):
+		c = m.WorkerLives[g].Class
+	case g < len(s.workerClass):
+		c = s.workerClass[g]
+	}
+	return fmt.Sprintf(" [%s]", s.classes[c])
 }
 
 // runGateway is the real-time front door: it builds the same shared pool the
@@ -813,8 +1131,12 @@ func runGateway(o *options, w io.Writer) error {
 	}
 	srv := &http.Server{Handler: g.Handler()}
 	go srv.Serve(ln)
+	gwDev := s.dev.Name
+	if len(s.classes) > 1 {
+		gwDev = strings.Join(s.classes, "+")
+	}
 	fmt.Fprintf(w, "gateway: %d models, %d tenants on a shared %dx %s pool (%s placement, %s admission)\n",
-		len(s.models), len(s.tenants), o.gpus, s.dev.Name, s.strategy, o.policy)
+		len(s.models), len(s.tenants), o.gpus, gwDev, s.strategy, o.policy)
 	fmt.Fprintf(w, "listening on http://%s (time-warp %gx: 1 wall second = %g simulated seconds)\n",
 		ln.Addr(), o.warp, o.warp)
 	fmt.Fprintf(w, "endpoints: POST /v1/infer, GET /v1/metrics, GET /healthz\n")
@@ -844,6 +1166,7 @@ func runGateway(o *options, w io.Writer) error {
 		fmt.Fprintf(w, "served-sojourn percentiles: p50 %s p95 %s p99 %s (simulated)\n",
 			report.FmtUS(st.P50), report.FmtUS(st.P95), report.FmtUS(st.P99))
 		fmt.Fprintf(w, "pool: %s\n", rep.Metrics)
+		printElastic(w, rep.Metrics)
 		printCacheTier(w, rep.Metrics)
 	}
 	if sessFile == nil {
@@ -913,6 +1236,7 @@ func runReplaySession(o *options, w io.Writer) error {
 	fmt.Fprintf(w, "replayed %d recorded requests bit-identically: %d served, %d shed over a %.3fs sim makespan\n",
 		len(sess.Requests), m.Served, m.Shed(), m.Makespan)
 	fmt.Fprintf(w, "pool: %s\n", m)
+	printElastic(w, m)
 	printCacheTier(w, m)
 	return nil
 }

@@ -267,6 +267,125 @@ func TestRunRejectsBadCacheFlags(t *testing.T) {
 	}
 }
 
+// The elastic-pool flag sweep: every inconsistent combination fails at
+// flag-parse time with a message naming the offending flag, before any model
+// is tuned.
+func TestRunRejectsBadElasticFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		// Pool-shaping flags outside fleet mode are dead configuration: reject.
+		{[]string{"-preempt"}, "-models"},
+		{[]string{"-reserve", "1"}, "-models"},
+		{[]string{"-worker-classes", "V100"}, "-models"},
+		{[]string{"-autoscale-max", "4"}, "-models"},
+		{[]string{"-tenants", "hi:1"}, "-models"},
+		{[]string{"-rebalance", "0.01"}, "-models"},
+		{[]string{"-model", "A", "-weights", "1:2"}, "-models"},
+		// Weights only steer the weighted-fair policy.
+		{[]string{"-models", "A", "-weights", "1:2"}, "weighted-fair"},
+		// The load rebalancer repartitions; it needs a worker per model.
+		{[]string{"-models", "A,A", "-gpus", "1", "-rebalance", "0.01"}, "-rebalance"},
+		{[]string{"-models", "A", "-rebalance", "-1"}, "-rebalance"},
+		// Reservations: count list aligned with -models, exclusive with the
+		// rebalancer and dedicated placement, bounded by the pool.
+		{[]string{"-models", "A", "-reserve", "1,1"}, "-reserve"},
+		{[]string{"-models", "A", "-reserve", "x"}, "-reserve"},
+		{[]string{"-models", "A", "-reserve", "-1"}, "-reserve"},
+		{[]string{"-models", "A", "-reserve", "1", "-rebalance", "0.01"}, "mutually exclusive"},
+		{[]string{"-models", "A", "-placement", "dedicated", "-reserve", "1"}, "dedicated"},
+		{[]string{"-models", "A", "-gpus", "2", "-reserve", "3"}, "-reserve"},
+		{[]string{"-models", "A,A", "-gpus", "2", "-reserve", "2,0"}, "shared"},
+		// Autoscaling: sub-flags without -autoscale-max are dead, the
+		// rebalancer fights the autoscaler over the pool's shape, and the
+		// ceiling cannot sit below the initial worker count.
+		{[]string{"-models", "A", "-autoscale-every", "0.1"}, "-autoscale-max"},
+		{[]string{"-models", "A", "-autoscale-lag", "0.1"}, "-autoscale-max"},
+		{[]string{"-models", "A", "-autoscale-max", "-1"}, "-autoscale-max"},
+		{[]string{"-models", "A", "-gpus", "2", "-autoscale-max", "1"}, "-autoscale-max"},
+		{[]string{"-models", "A", "-autoscale-max", "2", "-rebalance", "0.01"}, "mutually exclusive"},
+		{[]string{"-models", "A", "-autoscale-max", "2", "-autoscale-every", "0"}, "-autoscale-every"},
+		{[]string{"-models", "A", "-autoscale-max", "2", "-autoscale-lag", "-1"}, "-autoscale-lag"},
+		{[]string{"-models", "A", "-placement", "dedicated", "-autoscale-max", "2"}, "dedicated"},
+		// Worker classes: one per -gpus entry, known device names only, and
+		// the explicit -device flag contradicts per-worker devices.
+		{[]string{"-models", "A", "-gpus", "2", "-worker-classes", "V100"}, "-worker-classes"},
+		{[]string{"-models", "A", "-gpus", "1", "-worker-classes", "H100"}, "H100"},
+		{[]string{"-models", "A", "-gpus", "1", "-device", "A100", "-worker-classes", "A100"}, "-device"},
+		// The autoscale class needs the heterogeneous pool and a real device.
+		{[]string{"-models", "A", "-autoscale-max", "2", "-autoscale-class", "A100"}, "-worker-classes"},
+		{[]string{"-models", "A", "-gpus", "1", "-worker-classes", "V100", "-autoscale-max", "2", "-autoscale-class", "H100"}, "H100"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want error", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) error %q does not mention %q", c.args, err, c.want)
+		}
+	}
+}
+
+// The elastic heterogeneous pool through the run() seam: preemption,
+// V100+A100 worker classes and autoscaling all leave their marks on the
+// report, deterministically.
+func TestRunFleetElasticMode(t *testing.T) {
+	args := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "400", "-requests", "60", "-qps", "150000",
+		"-gpus", "2", "-queue", "64",
+		"-degrade", "split-tail", "-tail", "0.5", "-deadline", "0.02",
+		"-preempt", "-worker-classes", "V100,A100",
+		"-autoscale-max", "4", "-autoscale-every", "0.00002", "-autoscale-lag", "0.00001",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"V100+A100 pool",
+		"preemptions:", "yielded to higher-priority arrivals",
+		"autoscale:", "scale-outs", "drains", "worker lifetimes",
+		"added gpu2", "[V100]", "[A100]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("elastic fleet output missing %q in:\n%s", want, s)
+		}
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != s {
+		t.Error("elastic fleet mode is not deterministic: two runs printed different reports")
+	}
+}
+
+// Reservations through the run() seam: a reserved floor for the interactive
+// model still serves everyone, and the report stays deterministic.
+func TestRunFleetReserveMode(t *testing.T) {
+	args := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "400", "-requests", "24", "-qps", "4000",
+		"-gpus", "3", "-queue", "32", "-reserve", "1,0",
+	}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out.String() {
+		t.Error("reserved fleet mode is not deterministic: two runs printed different reports")
+	}
+}
+
 // Fleet mode with the cache tier through the run() seam: the report carries
 // the tier's accounting and stays deterministic, and the lru tier must not
 // hit less than the frozen static allocation on the same trace.
@@ -458,7 +577,9 @@ func TestRunGatewayServeAndReplaySession(t *testing.T) {
 
 	// A pool built with *different* flags must not verify: the session replay
 	// is a real check, not a formality. A different tuning scale changes every
-	// service time, so the recorded sojourns cannot reproduce.
+	// service time, so the recorded sojourns cannot reproduce. (The elastic
+	// variant of this cross-process story lives in
+	// TestRunGatewayElasticReplaySession.)
 	wrongArgs := []string{
 		"-models", "A,A", "-tenants", "hi:1,lo:0",
 		"-scale", "300", "-gpus", "2", "-queue", "16", "-qps", "4000",
@@ -479,5 +600,108 @@ func TestRunGatewayServeAndReplaySession(t *testing.T) {
 	}
 	if err := run(noCacheArgs, io.Discard); err == nil {
 		t.Error("replay without the recorded cache tier verified the session")
+	}
+}
+
+// The elastic acceptance gate through the CLI seam: a live gateway session
+// over a preemption-armed, autoscaling, heterogeneous (V100+A100) pool must
+// record a session log that a fresh run() invocation — rebuilding the pool
+// from the same flags, per-class probes and all — replays bit-identically.
+func TestRunGatewayElasticReplaySession(t *testing.T) {
+	sess := filepath.Join(t.TempDir(), "elastic.log")
+	poolFlags := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "400", "-gpus", "2", "-queue", "32", "-qps", "4000",
+		"-degrade", "split-tail", "-deadline", "0.02",
+		"-preempt", "-worker-classes", "V100,A100",
+		"-autoscale-max", "4", "-autoscale-every", "0.00002", "-autoscale-lag", "0.00001",
+	}
+	serveArgs := append(append([]string{}, poolFlags...),
+		"-listen", "127.0.0.1:0", "-warp", "5000",
+		"-serve-duration", "1.5", "-session", sess,
+	)
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(serveArgs, &out) }()
+
+	addrRe := regexp.MustCompile(`listening on (http://\S+) `)
+	var base string
+	for deadline := time.Now().Add(60 * time.Second); base == ""; {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("gateway exited before listening (err=%v):\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never started listening:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Long-tail sizes on the low-priority tenant feed the split path
+			// the preemption gate guards.
+			size := 16 + i*8
+			if i%3 == 0 {
+				size = datasynth.LongTailRequest
+			}
+			body := fmt.Sprintf(`{"model":%d,"tenant":%d,"size":%d}`, i%2, i%2, size)
+			resp, err := client.Post(base+"/v1/infer", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				okCount.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if okCount.Load() == 0 {
+		t.Fatalf("no inference request got a 200:\n%s", out.String())
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("gateway run failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"gateway session:", "V100+A100 pool", "replayed bit-identically"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("elastic gateway output missing %q in:\n%s", want, s)
+		}
+	}
+
+	// Offline verification by a fresh invocation rebuilding the elastic pool
+	// from the same flags — scale events and preemptions must reproduce.
+	replayArgs := append(append([]string{}, poolFlags...), "-replay-session", sess)
+	var rout bytes.Buffer
+	if err := run(replayArgs, &rout); err != nil {
+		t.Fatalf("elastic replay-session diverged: %v\n%s", err, rout.String())
+	}
+	if !strings.Contains(rout.String(), "bit-identically") {
+		t.Errorf("replay output missing the verification line:\n%s", rout.String())
+	}
+
+	// Dropping the elastic flags changes the pool's identity: the same
+	// session must fail to verify against a static homogeneous rebuild.
+	staticArgs := []string{
+		"-models", "A,A", "-tenants", "hi:1,lo:0",
+		"-scale", "400", "-gpus", "2", "-queue", "32", "-qps", "4000",
+		"-degrade", "split-tail", "-deadline", "0.02",
+		"-replay-session", sess,
+	}
+	if err := run(staticArgs, io.Discard); err == nil {
+		t.Error("replay against a static homogeneous pool verified an elastic session")
 	}
 }

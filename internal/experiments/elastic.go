@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datasynth"
+	"repro/internal/embedding"
+	"repro/internal/fleet"
+	"repro/internal/gpusim"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// ElasticVariant is one pool configuration's outcome in the elastic study:
+// the same merged trace served over the same initial two workers, with only
+// the pool's elasticity varied.
+type ElasticVariant struct {
+	// Name labels the variant: "static" or "elastic".
+	Name string
+	// BurstP99 is the interactive tenant's served sojourn p99 over requests
+	// arriving inside the burst window — where the two pools diverge.
+	BurstP99 float64
+	// Served and Timeouts are pool-wide counts.
+	Served, Timeouts int
+	// Preemptions counts chunk-boundary preemptions (0 for static).
+	Preemptions int
+	// ScaleOuts and Drains count applied autoscaling decisions (0 for
+	// static).
+	ScaleOuts, Drains int
+	// PeakWorkers is the largest active worker count the pool reached.
+	PeakWorkers int
+}
+
+// ElasticStudyResult is the elastic heterogeneous pool study: an interactive
+// ranking tenant and a batch re-scoring tenant share two V100-class workers
+// while the interactive rate triples inside a burst window and the batch
+// tenant keeps feeding long-tail requests that split into chunk trains. The
+// static homogeneous pool rides the burst out on fixed capacity; the elastic
+// pool preempts queued batch chunks at chunk boundaries when interactive
+// requests are waiting, and autoscales A100-class workers in (with a boot
+// lag) while the backlog lasts, draining them afterwards. Both serve the
+// identical merged stream, so the burst-window p99 split is the measured
+// value of elasticity.
+type ElasticStudyResult struct {
+	// InteractiveService is the probed per-request service time of the
+	// interactive size on a V100-class worker.
+	InteractiveService float64
+	// A100Speedup is the probed V100/A100 service ratio of the interactive
+	// size: how much faster the A100-tuned schedule serves the same batch.
+	A100Speedup float64
+	// BurstAt and BurstDur bound the interactive rate burst.
+	BurstAt, BurstDur float64
+	// Static and Elastic are the two variants' outcomes.
+	Static, Elastic ElasticVariant
+	// P99Gain is the static burst-window p99 over the elastic one.
+	P99Gain float64
+	// ElasticWins reports P99Gain >= 1.1 — the elastic heterogeneous pool
+	// beat the static homogeneous one measurably on the burst tail.
+	ElasticWins bool
+}
+
+// ElasticStudy runs the elastic-pool study on the shared suite.
+func (s *Suite) ElasticStudy() (*ElasticStudyResult, error) {
+	return memo(s, "elastic", s.elasticStudy)
+}
+
+// elasticStudy builds the burst-and-tails scenario. All times are multiples
+// of the probed interactive service time u so the regime is scale-independent:
+// interactive requests arrive every 2u (50% utilization of the two workers),
+// the rate triples inside the burst window, and the batch tenant's long-tail
+// requests split into chunk trains of roughly u-long chunks throughout.
+func (s *Suite) elasticStudy() (*ElasticStudyResult, error) {
+	cfg := s.ScaledModel(datasynth.ModelA())
+	rfV, err := s.TunedRecFlex(gpusim.V100(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	rfA, err := s.TunedRecFlex(gpusim.A100(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := func(_ float64, size int) (*embedding.Batch, error) {
+		return datasynth.BatchForSize(cfg, size)
+	}
+	svc := rfV.TimedService(src, 64, nil)
+	svcA := rfA.TimedService(src, 64, nil)
+	const iaSize, tailSize, chunkCap = 256, 2048, 256
+	u, err := svc(0, iaSize)
+	if err != nil {
+		return nil, err
+	}
+	uA, err := svcA(0, iaSize)
+	if err != nil {
+		return nil, err
+	}
+	if !(u > 0) || !(uA > 0) {
+		return nil, fmt.Errorf("experiments: elastic study probed non-positive service times (V100 %g, A100 %g)", u, uA)
+	}
+
+	res := &ElasticStudyResult{
+		InteractiveService: u,
+		A100Speedup:        u / uA,
+		BurstAt:            300 * u,
+		BurstDur:           72 * u,
+	}
+
+	// The merged stream: steady interactive arrivals, a tripled-rate burst,
+	// and periodic long-tail batch requests whose chunk trains the elastic
+	// pool may preempt.
+	var reqs []fleet.Request
+	for i := 0; i < 400; i++ {
+		reqs = append(reqs, fleet.Request{Arrival: float64(i) * 2 * u, Size: iaSize, Model: 0, Tenant: 0})
+	}
+	for i := 0; i < 120; i++ {
+		reqs = append(reqs, fleet.Request{Arrival: res.BurstAt + float64(i)*0.6*u, Size: iaSize, Model: 0, Tenant: 0})
+	}
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, fleet.Request{Arrival: float64(i) * 40 * u, Size: tailSize, Model: 1, Tenant: 1})
+	}
+	reqs = fleet.Merge(fleetToStreams(reqs)...)
+
+	tenants := []fleet.TenantSpec{
+		{Name: "interactive", Priority: 1},
+		{Name: "batch", Priority: 0},
+	}
+	queue := trace.QueuePolicy{
+		Workers:  2,
+		Deadline: 6 * u,
+		Policy:   trace.DegradeSplitTail,
+		SplitCap: chunkCap,
+	}
+	// The A100 class serves every size at the probed interactive ratio — the
+	// same single-point approximation recflex-serve's -worker-classes applies.
+	classScale := []float64{1, uA / u}
+
+	run := func(name string, cfgF fleet.Config, withScale bool) (ElasticVariant, error) {
+		models := []fleet.Model{
+			{Name: "rank", Service: svc},
+			{Name: "bulk", Service: svc},
+		}
+		if withScale {
+			models[0].ClassScale = classScale
+			models[1].ClassScale = classScale
+		}
+		pool, err := fleet.NewPool(cfgF, models, tenants)
+		if err != nil {
+			return ElasticVariant{}, err
+		}
+		rep, err := pool.Serve(reqs)
+		if err != nil {
+			return ElasticVariant{}, err
+		}
+		m := rep.Metrics
+		v := ElasticVariant{
+			Name:        name,
+			Served:      m.Served,
+			Timeouts:    m.Timeouts,
+			Preemptions: m.Preemptions,
+			PeakWorkers: queue.Workers,
+		}
+		for _, e := range m.ScaleEvents {
+			if e.Delta > 0 {
+				v.ScaleOuts++
+			} else {
+				v.Drains++
+			}
+			if e.Workers > v.PeakWorkers {
+				v.PeakWorkers = e.Workers
+			}
+		}
+		var burst []float64
+		for i, r := range reqs {
+			if r.Model != 0 || rep.Outcomes[i] != fleet.OutcomeServed {
+				continue
+			}
+			if r.Arrival >= res.BurstAt && r.Arrival < res.BurstAt+res.BurstDur {
+				burst = append(burst, rep.Sojourn[i])
+			}
+		}
+		var q trace.Quantiler
+		_, _, v.BurstP99 = q.P50P95P99(burst)
+		return v, nil
+	}
+
+	if res.Static, err = run("static", fleet.Config{Queue: queue}, false); err != nil {
+		return nil, err
+	}
+	elasticCfg := fleet.Config{
+		Queue:         queue,
+		Preempt:       true,
+		WorkerClasses: []int{0, 0},
+		ClassNames:    []string{"V100", "A100"},
+		// Poll every 2u over a 2-snapshot window: the burst must still build
+		// visible backlog (~4u) before the first A100 is even requested, and
+		// the boot lag delays its first dispatch another 2u on top.
+		Autoscale: &fleet.AutoscaleConfig{
+			Every:       2 * u,
+			Max:         4,
+			ScaleOutLag: 2 * u,
+			Class:       1,
+			Window:      2,
+		},
+	}
+	if res.Elastic, err = run("elastic", elasticCfg, true); err != nil {
+		return nil, err
+	}
+
+	res.P99Gain = res.Static.BurstP99 / res.Elastic.BurstP99
+	res.ElasticWins = res.P99Gain >= 1.1
+	return res, nil
+}
+
+// PrintElasticStudy renders the elastic study.
+func (s *Suite) PrintElasticStudy(w io.Writer) error {
+	res, err := s.ElasticStudy()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n== Elastic heterogeneous pool: preemption + autoscaling under an interactive burst (burst t=%s+%s, A100 %s faster) ==\n",
+		report.FmtUS(res.BurstAt), report.FmtUS(res.BurstDur), report.FmtRatio(res.A100Speedup)); err != nil {
+		return err
+	}
+	for _, v := range []ElasticVariant{res.Static, res.Elastic} {
+		if _, err := fmt.Fprintf(w, "  %-8s burst p99 %s  served %d  timeouts %d  preemptions %d  scale-outs %d  drains %d  peak workers %d\n",
+			v.Name, report.FmtUS(v.BurstP99), v.Served, v.Timeouts,
+			v.Preemptions, v.ScaleOuts, v.Drains, v.PeakWorkers); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "  elastic pool serves the burst tail %s better than the static homogeneous pool (wins=%v)\n",
+		report.FmtRatio(res.P99Gain), res.ElasticWins)
+	return err
+}

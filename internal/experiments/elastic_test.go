@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testFreshSuite builds a second Suite with the shared test configuration,
+// for determinism checks that must not read the package-shared memo.
+func testFreshSuite() *Suite {
+	return NewSuite(Config{
+		Scale:       25,
+		TuneBatches: 2,
+		EvalBatches: 3,
+		BatchCap:    512,
+		Occupancies: []int{1, 2, 3, 4, 6, 8},
+		Parallelism: 4,
+	})
+}
+
+// The elastic study's acceptance criteria: the elastic heterogeneous pool
+// (chunk-boundary preemption + A100-class autoscaling) beats the static
+// homogeneous pool measurably on the burst-window interactive p99, the
+// autoscaler actually scaled out and drained back, preemption actually
+// fired, and the A100 class is genuinely faster.
+func TestElasticStudy(t *testing.T) {
+	s := testSuite()
+	res, err := s.ElasticStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InteractiveService <= 0 {
+		t.Fatalf("probed interactive service %g", res.InteractiveService)
+	}
+	if res.A100Speedup <= 1 {
+		t.Errorf("A100 speedup %.3fx should exceed 1x: the heterogeneous pool's faster class is not faster", res.A100Speedup)
+	}
+
+	st, el := res.Static, res.Elastic
+	if st.Preemptions != 0 || st.ScaleOuts != 0 || st.Drains != 0 {
+		t.Errorf("static pool reported elastic activity: %+v", st)
+	}
+	if st.PeakWorkers != 2 {
+		t.Errorf("static pool peaked at %d workers, want the fixed 2", st.PeakWorkers)
+	}
+	if el.Preemptions == 0 {
+		t.Error("elastic pool never preempted a batch chunk although interactive requests queued behind chunk trains")
+	}
+	if el.ScaleOuts == 0 {
+		t.Error("elastic pool never scaled out although the burst tripled the interactive rate")
+	}
+	if el.Drains == 0 {
+		t.Error("elastic pool never drained back although the burst ends mid-trace")
+	}
+	if el.PeakWorkers <= 2 {
+		t.Errorf("elastic pool peaked at %d workers, want more than the initial 2", el.PeakWorkers)
+	}
+	if st.Served == 0 || el.Served == 0 {
+		t.Fatalf("variants served nothing: static %d, elastic %d", st.Served, el.Served)
+	}
+
+	// The tentpole assertion: the elastic heterogeneous pool wins the burst
+	// tail measurably.
+	if !res.ElasticWins {
+		t.Errorf("elastic pool did not win measurably: gain %.3fx (static burst p99 %g, elastic %g)",
+			res.P99Gain, st.BurstP99, el.BurstP99)
+	}
+
+	// Determinism: a fresh suite reproduces the identical result.
+	res2, err := testFreshSuite().ElasticStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res2 != *res {
+		t.Errorf("elastic study is not deterministic:\nfirst:  %+v\nsecond: %+v", res, res2)
+	}
+}
+
+func TestPrintElasticStudy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testSuite().PrintElasticStudy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Elastic heterogeneous pool", "static", "elastic",
+		"preemptions", "scale-outs", "drains", "wins=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("elastic study output missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -28,6 +28,15 @@ const (
 	// degradation fallback (see trace.DegradeSplitTail); its chunks all
 	// completed.
 	OutcomeSplit
+	// OutcomePreempted: an informational per-chunk resolution under
+	// Config.Preempt — a queued split chunk lost its dispatch-ahead right to
+	// a strictly higher-priority waiting request (or to an applied rebalance
+	// / scale-in decision) and was requeued at the preemption time. It is
+	// never a request's final outcome: the parent request still resolves as
+	// OutcomeSplit (or a shed), with its sojourn measured from the original
+	// arrival. Preempt events surface only in the live event stream and
+	// Metrics.Preemptions; the gateway keeps them out of session logs.
+	OutcomePreempted
 )
 
 func (o Outcome) String() string {
@@ -44,13 +53,21 @@ func (o Outcome) String() string {
 		return "shed-deadline"
 	case OutcomeSplit:
 		return "split"
+	case OutcomePreempted:
+		return "preempted"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
 }
 
 // Shed reports whether the request was dropped without service.
-func (o Outcome) Shed() bool { return o != OutcomeServed && o != OutcomeSplit }
+func (o Outcome) Shed() bool {
+	switch o {
+	case OutcomeShedQueue, OutcomeShedQuota, OutcomeShedLoad, OutcomeShedDeadline:
+		return true
+	}
+	return false
+}
 
 // QueuedRequest is the admission policy's view of one request: arrival,
 // absolute deadline, and its model/tenant/priority tags. ID is the admission

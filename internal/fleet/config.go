@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/emcache"
 	"repro/internal/trace"
@@ -58,6 +59,25 @@ type Model struct {
 	// monotone on the supervisor's LiveSet exactly as under
 	// trace.Supervisor.Run.
 	Supervisor *trace.Supervisor
+	// Reserve is the model's exclusive worker floor under packed or spread
+	// placement: assign() carves this many of the lowest-indexed workers out
+	// of the shared set for this model alone, rebalance assignments must keep
+	// at least Reserve workers exclusive to the model, the autoscaler never
+	// drains a reserved worker, and the model's background re-tunes prefer
+	// its reserved workers — the "tune on a dedicated spare" discipline.
+	// 0 means no reservation. Rejected under dedicated placement, where every
+	// worker is already exclusive.
+	Reserve int
+	// ClassScale is the model's per-worker-class service-time multiplier: a
+	// dispatch on a worker of class c runs the resolved service time times
+	// ClassScale[c] (missing entries and nil default to 1). This is how a
+	// pool mixes V100-class and A100-class workers: the caller measures the
+	// scale per device class (core/experiments probe each class's tuned
+	// schedule), so a schedule tuned for one SM/DRAM shape honestly runs at
+	// that shape's speed and nowhere else. The scale applies to the model's
+	// resolved service only — an embedding-cache tier's PCIe penalty is
+	// transfer-bound and stays class-independent.
+	ClassScale []float64
 }
 
 // Validate checks one model spec.
@@ -69,6 +89,13 @@ func (m *Model) Validate() error {
 		return fmt.Errorf("fleet: model %s: one of Service or Supervisor must be set", m.Name)
 	case m.Service != nil && m.Supervisor != nil:
 		return fmt.Errorf("fleet: model %s: Service and Supervisor are mutually exclusive", m.Name)
+	case m.Reserve < 0:
+		return fmt.Errorf("fleet: model %s: Reserve must be >= 0, got %d", m.Name, m.Reserve)
+	}
+	for c, s := range m.ClassScale {
+		if !(s > 0) || math.IsInf(s, 1) {
+			return fmt.Errorf("fleet: model %s: ClassScale[%d] must be positive and finite, got %g", m.Name, c, s)
+		}
 	}
 	return nil
 }
@@ -104,8 +131,34 @@ type Config struct {
 	// disables rebalancing.
 	RebalanceEvery float64
 	// Rebalance is the load-aware placement hook (nil = keep the initial
-	// assignment).
+	// assignment). Mutually exclusive with Autoscale: the autoscaler owns
+	// the pool's shape when armed.
 	Rebalance RebalanceFunc
+	// Preempt arms chunk-boundary preemption: a queued split chunk normally
+	// dispatches ahead of any policy pick, but with Preempt set it yields
+	// when a strictly higher-priority whole request is waiting on the same
+	// worker — the chunk requeues at the preemption time (an OutcomePreempted
+	// event per chunk, counted in Metrics.Preemptions) and the policy picks
+	// instead. An applied rebalance or scale-in likewise requeues every
+	// queued chunk, modeling the migration cost. The parent request's final
+	// outcome and sojourn accounting are unchanged: preemption only delays
+	// its remaining chunks. With a single priority class preemption never
+	// fires and replay is bit-identical to a preemption-free pool.
+	Preempt bool
+	// WorkerClasses assigns each initial worker a device-class index (one
+	// entry per Queue.EffectiveWorkers() worker); nil means every worker is
+	// class 0. The class selects each model's ClassScale entry at dispatch —
+	// this is how the pool mixes simulated V100-class and A100-class devices.
+	WorkerClasses []int
+	// ClassNames optionally labels the worker classes (e.g. "V100", "A100")
+	// for reports. When set, every class index referenced by WorkerClasses,
+	// Autoscale.Class or a model's ClassScale must be within it.
+	ClassNames []string
+	// Autoscale, when set, lets the pool grow and shrink between
+	// Autoscale.Min and Autoscale.Max workers from the same windowed demand
+	// signal RebalanceByLoad consumes, with scale-out lag and
+	// drain-before-remove semantics. Restricted to packed/spread placement.
+	Autoscale *AutoscaleConfig
 	// HistMin, HistMax, HistBuckets shape the latency histograms (fleet,
 	// per-model and per-tenant); zero values default to 1us..10s across 28
 	// log-spaced buckets, matching trace.ServerConfig.
@@ -165,6 +218,32 @@ func (c *Config) Validate(models, tenants int) error {
 		}
 		if c.Cache.Tenants() != tenants {
 			return fmt.Errorf("fleet: cache tier built for %d tenants, pool has %d", c.Cache.Tenants(), tenants)
+		}
+	}
+	if len(c.WorkerClasses) != 0 && len(c.WorkerClasses) != c.Queue.EffectiveWorkers() {
+		return fmt.Errorf("fleet: WorkerClasses has %d entries for %d workers (must cover every worker or be nil)",
+			len(c.WorkerClasses), c.Queue.EffectiveWorkers())
+	}
+	for w, cls := range c.WorkerClasses {
+		if cls < 0 {
+			return fmt.Errorf("fleet: WorkerClasses[%d] is negative (%d)", w, cls)
+		}
+		if len(c.ClassNames) > 0 && cls >= len(c.ClassNames) {
+			return fmt.Errorf("fleet: WorkerClasses[%d] = %d outside the %d named classes", w, cls, len(c.ClassNames))
+		}
+	}
+	if c.Autoscale != nil {
+		if c.Placement == PlacementDedicated {
+			return fmt.Errorf("fleet: Autoscale requires packed or spread placement (a dedicated partition has no shared workers to grow)")
+		}
+		if c.Rebalance != nil {
+			return fmt.Errorf("fleet: Autoscale and Rebalance are mutually exclusive (the autoscaler owns the pool's shape)")
+		}
+		if err := c.Autoscale.Validate(c.Queue.EffectiveWorkers()); err != nil {
+			return err
+		}
+		if len(c.ClassNames) > 0 && c.Autoscale.Class >= len(c.ClassNames) {
+			return fmt.Errorf("fleet: Autoscale.Class %d outside the %d named classes", c.Autoscale.Class, len(c.ClassNames))
 		}
 	}
 	return nil

@@ -1,0 +1,382 @@
+package fleet_test
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// The autoscaler grows the pool one worker per pacing tick under sustained
+// backlog, lags each new worker's first dispatch by ScaleOutLag, drains back
+// down once demand fades, and the whole elastic run stays deterministic.
+func TestFleetAutoscaleScaleOutAndIn(t *testing.T) {
+	const lag = 0.2
+	run := func() *fleet.Report {
+		p := mustPool(t, fleet.Config{
+			Queue: trace.QueuePolicy{Workers: 2},
+			Autoscale: &fleet.AutoscaleConfig{
+				Every:       0.5,
+				Max:         4,
+				ScaleOutLag: lag,
+				Class:       0,
+				DownBacklog: 1.0,
+				Window:      1, // react to the latest backlog so the short drain tail still scales in
+			},
+		}, []fleet.Model{{Name: "m", Service: constSvc(1.0)}}, oneTenant())
+		var reqs []fleet.Request
+		for i := 0; i < 40; i++ {
+			reqs = append(reqs, fleet.Request{Arrival: float64(i) * 0.1, Size: 16})
+		}
+		return mustServe(t, p, reqs)
+	}
+	rep := run()
+	met := rep.Metrics
+
+	outs, ins := 0, 0
+	for _, ev := range met.ScaleEvents {
+		switch ev.Delta {
+		case +1:
+			outs++
+		case -1:
+			ins++
+		default:
+			t.Fatalf("scale event with delta %d", ev.Delta)
+		}
+		if ev.Workers < 1 || ev.Workers > 4 {
+			t.Fatalf("scale event at t=%g left %d active workers, bounds are [1, 4]", ev.Time, ev.Workers)
+		}
+	}
+	if outs == 0 {
+		t.Fatal("sustained 10:2 overload never scaled the pool out")
+	}
+	if ins == 0 {
+		t.Fatal("the drain phase never scaled the pool back in")
+	}
+	if len(met.Workers) <= 2 {
+		t.Fatalf("worker stats cover %d workers, want more than the initial 2 after scale-out", len(met.Workers))
+	}
+	if len(met.WorkerLives) != len(met.Workers) {
+		t.Fatalf("WorkerLives covers %d workers, stats cover %d", len(met.WorkerLives), len(met.Workers))
+	}
+
+	// Every added worker's first dispatch waits out the scale-out lag, and
+	// every drained worker has a finite retire time past its add time.
+	firstDisp := make([]float64, len(met.Workers))
+	for w := range firstDisp {
+		firstDisp[w] = math.Inf(1)
+	}
+	for i := range rep.Worker {
+		if w := rep.Worker[i]; w >= 0 && rep.Dispatch[i] < firstDisp[w] {
+			firstDisp[w] = rep.Dispatch[i]
+		}
+	}
+	for w, life := range met.WorkerLives {
+		if life.Worker != w {
+			t.Fatalf("WorkerLives[%d] carries id %d", w, life.Worker)
+		}
+		if w >= 2 {
+			if life.AddedAt <= 0 {
+				t.Errorf("scaled-out worker %d has AddedAt %g, want > 0", w, life.AddedAt)
+			}
+			if firstDisp[w] < life.AddedAt+lag-1e-9 {
+				t.Errorf("worker %d dispatched at %g, before its boot lag ended at %g", w, firstDisp[w], life.AddedAt+lag)
+			}
+		}
+		if !math.IsNaN(life.RetiredAt) && life.RetiredAt < life.AddedAt {
+			t.Errorf("worker %d retired at %g before it was added at %g", w, life.RetiredAt, life.AddedAt)
+		}
+	}
+	drained := false
+	for _, life := range met.WorkerLives {
+		if !math.IsNaN(life.RetiredAt) {
+			drained = true
+		}
+	}
+	if !drained {
+		t.Error("scale-in events recorded but no worker carries a retire time")
+	}
+
+	// Nothing lost, and the elastic replay is exact.
+	if met.Served+met.Shed() != 40 {
+		t.Errorf("served %d + shed %d != 40", met.Served, met.Shed())
+	}
+	eqFleetReports(t, rep, run())
+	rep2 := run()
+	if !reflect.DeepEqual(met.ScaleEvents, rep2.Metrics.ScaleEvents) {
+		t.Errorf("scale decisions diverge between replays: %v vs %v", met.ScaleEvents, rep2.Metrics.ScaleEvents)
+	}
+}
+
+// A worker's device class scales the kernel time of models that declare a
+// ClassScale and leaves class-blind models bit-identical.
+func TestFleetWorkerClassScaling(t *testing.T) {
+	classed := mustPool(t, fleet.Config{
+		Queue:         trace.QueuePolicy{Workers: 1},
+		WorkerClasses: []int{1},
+		ClassNames:    []string{"V100", "A100"},
+	}, []fleet.Model{{Name: "m", Service: constSvc(2.0), ClassScale: []float64{1, 0.5}}}, oneTenant())
+	rep := mustServe(t, classed, []fleet.Request{{Arrival: 0, Size: 16}})
+	if rep.Service[0] != 1.0 {
+		t.Errorf("A100-class service = %g, want 1.0 (2.0 kernel x 0.5 class scale)", rep.Service[0])
+	}
+
+	// A model without a ClassScale entry for the worker's class runs at 1x —
+	// bitwise identical to a class-blind pool.
+	blind := mustPool(t, fleet.Config{
+		Queue:         trace.QueuePolicy{Workers: 1},
+		WorkerClasses: []int{1},
+		ClassNames:    []string{"V100", "A100"},
+	}, []fleet.Model{{Name: "m", Service: constSvc(2.0)}}, oneTenant())
+	rep = mustServe(t, blind, []fleet.Request{{Arrival: 0, Size: 16}})
+	if rep.Service[0] != 2.0 {
+		t.Errorf("class-blind service = %g, want exactly 2.0", rep.Service[0])
+	}
+
+	// Shape errors reject at construction.
+	if _, err := fleet.NewPool(fleet.Config{
+		Queue:         trace.QueuePolicy{Workers: 2},
+		WorkerClasses: []int{0},
+	}, []fleet.Model{{Name: "m", Service: constSvc(1)}}, oneTenant()); err == nil {
+		t.Error("WorkerClasses shorter than the pool was accepted")
+	}
+	if _, err := fleet.NewPool(fleet.Config{
+		Queue:         trace.QueuePolicy{Workers: 1},
+		WorkerClasses: []int{2},
+		ClassNames:    []string{"V100", "A100"},
+	}, []fleet.Model{{Name: "m", Service: constSvc(1)}}, oneTenant()); err == nil {
+		t.Error("worker class out of ClassNames range was accepted")
+	}
+}
+
+// Model.Reserve carves exclusive workers out of the shared pool: the initial
+// assignment honors the floor, a rebalance that would break it is rejected,
+// and a reserved model's background tunes land on its spare.
+func TestFleetReservations(t *testing.T) {
+	p := mustPool(t, fleet.Config{Queue: trace.QueuePolicy{Workers: 3}},
+		[]fleet.Model{
+			{Name: "a", Service: constSvc(1.0), Reserve: 1},
+			{Name: "b", Service: constSvc(1.0)},
+		}, oneTenant())
+	want := fleet.Assignment{{0, 1, 2}, {1, 2}}
+	if got := p.InitialAssignment(); !reflect.DeepEqual(got, want) {
+		t.Errorf("initial assignment %v, want %v (worker 0 exclusive to a)", got, want)
+	}
+
+	// Dedicated placement already partitions the pool; Reserve is rejected.
+	if _, err := fleet.NewPool(fleet.Config{
+		Queue:     trace.QueuePolicy{Workers: 2},
+		Placement: fleet.PlacementDedicated,
+	}, []fleet.Model{
+		{Name: "a", Service: constSvc(1), Reserve: 1},
+		{Name: "b", Service: constSvc(1)},
+	}, oneTenant()); err == nil {
+		t.Error("Reserve under dedicated placement was accepted")
+	}
+
+	// Reservations exceeding the pool are rejected.
+	if _, err := fleet.NewPool(fleet.Config{Queue: trace.QueuePolicy{Workers: 2}},
+		[]fleet.Model{
+			{Name: "a", Service: constSvc(1), Reserve: 2},
+			{Name: "b", Service: constSvc(1), Reserve: 1},
+		}, oneTenant()); err == nil {
+		t.Error("reservations larger than the pool were accepted")
+	}
+
+	// A rebalance that leaves the reserved model without its exclusive floor
+	// must be rejected as an engine error.
+	bad := mustPool(t, fleet.Config{
+		Queue:          trace.QueuePolicy{Workers: 3},
+		RebalanceEvery: 0.1,
+		Rebalance: func(now float64, hist []fleet.LoadSnapshot, cur fleet.Assignment) fleet.Assignment {
+			return fleet.Assignment{{1, 2}, {1, 2}} // no exclusive worker for model a
+		},
+	}, []fleet.Model{
+		{Name: "a", Service: constSvc(0.5), Reserve: 1},
+		{Name: "b", Service: constSvc(0.5)},
+	}, oneTenant())
+	var reqs []fleet.Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, fleet.Request{Arrival: float64(i) * 0.1, Size: 16, Model: i % 2})
+	}
+	if _, err := bad.Serve(reqs); err == nil {
+		t.Error("rebalance violating the Reserve floor was applied")
+	}
+}
+
+// A reserved supervised model books its background tunes on its exclusive
+// spare — the "tune on a dedicated worker" shape — instead of contending on
+// the shared workers.
+func TestFleetReserveTunesOnSpare(t *testing.T) {
+	reserved := driftyModel(t, "a", 2e-3, 0.2)
+	reserved.Reserve = 1
+	models := []fleet.Model{reserved, {Name: "b", Service: constSvc(2e-3)}}
+	p := mustPool(t, fleet.Config{Queue: trace.QueuePolicy{Workers: 3}}, models,
+		[]fleet.TenantSpec{{Name: "lo"}, {Name: "hi", Priority: 1}})
+	rep := mustServe(t, p, fleetStream(t, 400, 11))
+	ws := rep.Metrics.Workers
+	if ws[0].TuneBusy == 0 {
+		t.Error("reserved worker 0 held no tune time despite a drifting supervised model")
+	}
+	for w := 1; w < len(ws); w++ {
+		if ws[w].TuneBusy != 0 {
+			t.Errorf("shared worker %d held %g tune time; tunes must land on the reserved spare", w, ws[w].TuneBusy)
+		}
+	}
+}
+
+// Chunk-boundary preemption: a queued split chunk yields its dispatch slot to
+// a strictly higher-priority whole request, cutting the urgent request's
+// sojourn while the split still completes with its full sojourn accounting.
+func TestFleetPreemptionPrioritizesUrgent(t *testing.T) {
+	tenants := []fleet.TenantSpec{
+		{Name: "batch", Priority: 0},
+		{Name: "rt", Priority: 1},
+	}
+	reqs := []fleet.Request{
+		{Arrival: 0, Size: 1000, Tenant: 0, Deadline: 2.0}, // splits into 10 chunks of 1s each
+		{Arrival: 0.5, Size: 10, Tenant: 1},                // 0.1s of work, arrives mid-split
+	}
+	build := func(preempt bool) *fleet.Pool {
+		return mustPool(t, fleet.Config{
+			Queue:   trace.QueuePolicy{Workers: 1, Policy: trace.DegradeSplitTail, SplitCap: 100},
+			Preempt: preempt,
+		}, []fleet.Model{{Name: "m", Service: sizeSvc(1e-2)}}, tenants)
+	}
+
+	base := mustServe(t, build(false), reqs)
+	if base.Outcomes[0] != fleet.OutcomeSplit {
+		t.Fatalf("batch request resolved %v, want split", base.Outcomes[0])
+	}
+	if base.Metrics.Preemptions != 0 {
+		t.Fatalf("preemptions counted with Preempt off: %d", base.Metrics.Preemptions)
+	}
+
+	rep := mustServe(t, build(true), reqs)
+	if rep.Metrics.Preemptions == 0 {
+		t.Fatal("no preemption despite an urgent arrival behind 9 queued chunks")
+	}
+	if rep.Outcomes[0] != fleet.OutcomeSplit || rep.Outcomes[1] != fleet.OutcomeServed {
+		t.Fatalf("outcomes %v/%v, want split/served", rep.Outcomes[0], rep.Outcomes[1])
+	}
+	// Without preemption the urgent request waits behind every chunk (~9.6s);
+	// with it, only behind the in-flight chunk (~0.6s).
+	if rep.Sojourn[1] >= base.Sojourn[1] {
+		t.Errorf("urgent sojourn %g with preemption, %g without — preemption must win", rep.Sojourn[1], base.Sojourn[1])
+	}
+	if rep.Sojourn[1] > 1.0 {
+		t.Errorf("urgent sojourn %g, want at most one chunk boundary (~0.6s)", rep.Sojourn[1])
+	}
+	// The split's sojourn still runs from its original arrival: the requeues
+	// moved its chunks, not its clock.
+	if rep.Sojourn[0] <= base.Sojourn[0]-1e-9 {
+		t.Errorf("split sojourn %g shrank below the no-preempt %g; preemption cannot speed up the preempted request", rep.Sojourn[0], base.Sojourn[0])
+	}
+	eqFleetReports(t, rep, mustServe(t, build(true), reqs))
+}
+
+// Regression for the rebalance snapshot double-count: split chunks used to be
+// added per-chunk on top of per-request queue counts, so QueuedByModel could
+// exceed the engine's own pending accounting. Every snapshot's total must
+// equal Live.Pending at snapshot time.
+func TestFleetSnapshotTotalsMatchPending(t *testing.T) {
+	var lv *fleet.Live
+	hookCalls, sawSplit := 0, false
+	p := mustPool(t, fleet.Config{
+		Queue:          trace.QueuePolicy{Workers: 2, Deadline: 1.0, Policy: trace.DegradeSplitTail, SplitCap: 256},
+		Admission:      fleet.FIFO{},
+		RebalanceEvery: 0.05,
+		Rebalance: func(now float64, hist []fleet.LoadSnapshot, cur fleet.Assignment) fleet.Assignment {
+			hookCalls++
+			last := hist[len(hist)-1]
+			total := 0
+			for _, q := range last.QueuedByModel {
+				total += q
+			}
+			if pending := lv.Pending(); total != pending {
+				t.Errorf("snapshot at t=%g totals %d queued, engine has %d pending", now, total, pending)
+			}
+			return nil
+		},
+	}, []fleet.Model{{Name: "m", Service: sizeSvc(1e-3)}}, oneTenant())
+
+	lv = p.Begin()
+	for _, r := range denseStream(48, true) {
+		if _, _, err := lv.Admit(fleet.Request{Arrival: r.Arrival, Size: r.Size}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, _, err := lv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.SplitServed > 0 {
+		sawSplit = true
+	}
+	if hookCalls == 0 {
+		t.Fatal("rebalance pacing never fired")
+	}
+	if !sawSplit {
+		t.Fatal("stream produced no splits; the regression needs in-flight chunks at snapshot time")
+	}
+}
+
+// Autoscaling, preemption, supervised hot-swaps and concurrent LiveSet readers
+// all run together under -race, and nothing is lost.
+func TestFleetAutoscaleUnderLoad(t *testing.T) {
+	models := []fleet.Model{
+		driftyModel(t, "a", 2e-3, 0.2),
+		driftyModel(t, "b", 1e-3, 0.5),
+	}
+	tenants := []fleet.TenantSpec{
+		{Name: "lo", Priority: 0},
+		{Name: "hi", Priority: 1},
+	}
+	p := mustPool(t, fleet.Config{
+		Queue:     trace.QueuePolicy{Workers: 2, QueueDepth: 256, Deadline: 0.25, Policy: trace.DegradeSplitTail, SplitCap: 128},
+		Placement: fleet.PlacementSpread,
+		Preempt:   true,
+		Autoscale: &fleet.AutoscaleConfig{Every: 0.1, Max: 5, ScaleOutLag: 0.05},
+	}, models, tenants)
+	reqs := fleetStream(t, 1200, 42)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for m := range models {
+		sv := models[m].Supervisor
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if g := sv.Live().Current(); g == nil || g.Service == nil {
+						t.Error("torn LiveSet read during autoscaled serving")
+						return
+					}
+				}
+			}()
+		}
+	}
+	rep, err := p.Serve(reqs)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.Served+rep.Metrics.Shed() != len(reqs) {
+		t.Errorf("served %d + shed %d != %d requests", rep.Metrics.Served, rep.Metrics.Shed(), len(reqs))
+	}
+	for i := range reqs {
+		if rep.Outcomes[i] == fleet.OutcomeServed && math.IsNaN(rep.Sojourn[i]) {
+			t.Fatalf("request %d served but lost its sojourn", i)
+		}
+	}
+}

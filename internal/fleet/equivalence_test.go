@@ -19,7 +19,7 @@ import (
 // two or more workers sit idle before an arrival, the pool and the
 // single-model engine may pick different (equally optimal) workers, which is
 // an allowed divergence the equivalence deliberately avoids exercising.
-func fleetTraceEquivalence(t *testing.T, name string, q trace.QueuePolicy, reqs []trace.Request) {
+func fleetTraceEquivalence(t *testing.T, name string, q trace.QueuePolicy, reqs []trace.Request, preempt bool) {
 	t.Helper()
 	svc := func(size int) (float64, error) { return float64(size) * 1e-3, nil }
 
@@ -46,11 +46,14 @@ func fleetTraceEquivalence(t *testing.T, name string, q trace.QueuePolicy, reqs 
 		tr = tr2
 	}
 
-	pool := mustPool(t, fleet.Config{Queue: q, Admission: fleet.FIFO{}},
+	pool := mustPool(t, fleet.Config{Queue: q, Admission: fleet.FIFO{}, Preempt: preempt},
 		[]fleet.Model{{Name: "m", Service: sizeSvc(1e-3)}}, oneTenant())
 	mustServe(t, pool, fleet.Merge(fleet.Stream{Reqs: reqs}))
 	fr := mustServe(t, pool, fleet.Merge(fleet.Stream{Reqs: reqs}))
 	mr := fr.ModelReports[0]
+	if fr.Metrics.Preemptions != 0 {
+		t.Fatalf("%s: %d preemptions in a single-priority run; the gate must never fire without a strictly higher-priority arrival", name, fr.Metrics.Preemptions)
+	}
 
 	for i := range reqs {
 		if mr.Outcomes[i] != tr.Outcomes[i] {
@@ -110,17 +113,27 @@ func denseStream(n int, withTails bool) []trace.Request {
 func TestFleetEquivalenceBoundedQueue(t *testing.T) {
 	fleetTraceEquivalence(t, "bounded-queue",
 		trace.QueuePolicy{Workers: 2, QueueDepth: 6, Policy: trace.DegradeServe},
-		denseStream(48, false))
+		denseStream(48, false), false)
 }
 
 func TestFleetEquivalenceDeadlineShed(t *testing.T) {
 	fleetTraceEquivalence(t, "deadline-shed",
 		trace.QueuePolicy{Workers: 2, Deadline: 0.4, Policy: trace.DegradeShed},
-		denseStream(48, false))
+		denseStream(48, false), false)
 }
 
 func TestFleetEquivalenceSplitTail(t *testing.T) {
 	fleetTraceEquivalence(t, "split-tail",
 		trace.QueuePolicy{Workers: 2, Deadline: 1.0, Policy: trace.DegradeSplitTail, SplitCap: 256},
-		denseStream(48, true))
+		denseStream(48, true), false)
+}
+
+// Preemption armed but never triggered: with one tenant there is never a
+// strictly higher-priority whole request, so the preemption gate cannot fire
+// and the split-heavy replay must stay bit-identical to the single-model
+// engine — the zero-cost-when-unused contract of Config.Preempt.
+func TestFleetEquivalenceSplitTailPreemptArmed(t *testing.T) {
+	fleetTraceEquivalence(t, "split-tail-preempt-armed",
+		trace.QueuePolicy{Workers: 2, Deadline: 1.0, Policy: trace.DegradeSplitTail, SplitCap: 256},
+		denseStream(48, true), true)
 }

@@ -43,6 +43,13 @@ type Pool struct {
 	tenants []TenantSpec
 	policy  AdmissionPolicy
 	initial Assignment
+	// reserved is the count of exclusively reserved workers under
+	// packed/spread placement: worker ids [0, reserved) belong to exactly one
+	// model each (assign carves them lowest-index-first in model order). The
+	// autoscaler never drains them.
+	reserved int
+	// reserves caches each model's Reserve floor for rebalance validation.
+	reserves []int
 }
 
 // NewPool validates the configuration and builds the pool.
@@ -51,6 +58,9 @@ func NewPool(cfg Config, models []Model, tenants []TenantSpec) (*Pool, error) {
 		return nil, err
 	}
 	seenSv := make(map[*trace.Supervisor]string)
+	reserves := make([]int, len(models))
+	totalRes := 0
+	maxClass := 0
 	for i := range models {
 		if err := models[i].Validate(); err != nil {
 			return nil, err
@@ -61,13 +71,24 @@ func NewPool(cfg Config, models []Model, tenants []TenantSpec) (*Pool, error) {
 			}
 			seenSv[sv] = models[i].Name
 		}
+		if models[i].Reserve > 0 && cfg.Placement == PlacementDedicated {
+			return nil, fmt.Errorf("fleet: model %s: Reserve needs packed or spread placement (dedicated already partitions the pool)", models[i].Name)
+		}
+		reserves[i] = models[i].Reserve
+		totalRes += models[i].Reserve
+		if len(models[i].ClassScale) > maxClass {
+			maxClass = len(models[i].ClassScale)
+		}
+	}
+	if len(cfg.ClassNames) > 0 && maxClass > len(cfg.ClassNames) {
+		return nil, fmt.Errorf("fleet: a model's ClassScale covers %d classes, pool names only %d", maxClass, len(cfg.ClassNames))
 	}
 	for i := range tenants {
 		if err := tenants[i].Validate(); err != nil {
 			return nil, err
 		}
 	}
-	initial, err := assign(cfg.Placement, len(models), cfg.Queue.EffectiveWorkers())
+	initial, err := assign(cfg.Placement, len(models), cfg.Queue.EffectiveWorkers(), reserves)
 	if err != nil {
 		return nil, err
 	}
@@ -75,13 +96,27 @@ func NewPool(cfg Config, models []Model, tenants []TenantSpec) (*Pool, error) {
 	if policy == nil {
 		policy = NewPriorityEDF(tenants, cfg.ShedFraction)
 	}
+	if cfg.Placement == PlacementDedicated {
+		totalRes = 0
+	}
 	return &Pool{
-		cfg:     cfg,
-		models:  append([]Model(nil), models...),
-		tenants: append([]TenantSpec(nil), tenants...),
-		policy:  policy,
-		initial: initial,
+		cfg:      cfg,
+		models:   append([]Model(nil), models...),
+		tenants:  append([]TenantSpec(nil), tenants...),
+		policy:   policy,
+		initial:  initial,
+		reserved: totalRes,
+		reserves: reserves,
 	}, nil
+}
+
+// classScale returns model m's service-time multiplier on a worker of the
+// given class; 1 for classes past the model's ClassScale.
+func (p *Pool) classScale(m, class int) float64 {
+	if cs := p.models[m].ClassScale; class < len(cs) {
+		return cs[class]
+	}
+	return 1
 }
 
 // Config returns the pool configuration.
@@ -110,6 +145,7 @@ type qentry struct {
 type fleetSplit struct {
 	remaining int
 	size      int     // the parent request's full size
+	arrival   float64 // the parent request's arrival (chunk arrivals move on preemption)
 	end       float64 // latest chunk completion so far
 	service   float64 // summed chunk service time
 	firstDisp float64 // first chunk's dispatch time
@@ -123,6 +159,7 @@ type poolRun struct {
 
 	free, busy, tune []float64 // per worker
 	served           []int     // per worker
+	class            []int     // per worker device class (Config.WorkerClasses)
 	tuneByModel      []float64
 }
 
@@ -137,6 +174,14 @@ type modelOccupier struct {
 func (o *modelOccupier) Occupy(now, dur float64) (worker int, start, end float64) {
 	st := o.run
 	workers := st.asg[o.model]
+	// A model with reserved workers books its tunes on them first: the point
+	// of a reservation is a dedicated spare, so background work lands there
+	// instead of contending on the shared pool.
+	if st.p.reserves[o.model] > 0 {
+		if excl := st.exclusiveWorkers(o.model); len(excl) > 0 {
+			workers = excl
+		}
+	}
 	best := workers[0]
 	for _, w := range workers[1:] {
 		if st.free[w] < st.free[best] {
@@ -152,6 +197,30 @@ func (o *modelOccupier) Occupy(now, dur float64) (worker int, start, end float64
 	st.tune[best] += dur
 	st.tuneByModel[o.model] += dur
 	return best, start, end
+}
+
+// exclusiveWorkers returns the workers in model m's current placement that
+// appear in no other model's row — its reserved spares under the live
+// assignment (a rebalance may reshape the rows, but validateReserves keeps
+// the floor).
+func (st *poolRun) exclusiveWorkers(m int) []int {
+	var out []int
+	for _, w := range st.asg[m] {
+		shared := false
+		for n := range st.asg {
+			if n == m {
+				continue
+			}
+			if placedOn(st.asg, n, w) {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // arrivalOrder mirrors trace.arrivalOrder for fleet streams: a stable

@@ -722,3 +722,8 @@ func TestFleetTwoModelsHotSwapUnderLoad(t *testing.T) {
 // which also backs the recflex-bench -perf emitter and the BENCH_*.json
 // perf gate.
 func BenchmarkFleetServe(b *testing.B) { perf.FleetServe(b) }
+
+// BenchmarkElasticServe covers the elastic heterogeneous pool's hot path:
+// preemption scans at chunk boundaries, autoscale polling and per-class
+// service scaling layered over the FleetServe replay loop.
+func BenchmarkElasticServe(b *testing.B) { perf.ElasticServe(b) }

@@ -187,6 +187,116 @@ func FuzzFleetAdmissionOrdering(f *testing.F) {
 	})
 }
 
+// preemptTenants is the two-class mix the preemption fuzzer exercises: bulk
+// batch traffic whose long requests split, and a higher-priority interactive
+// class whose arrivals preempt queued chunks at chunk boundaries.
+var preemptTenants = []fleet.TenantSpec{
+	{Name: "batch", Priority: 0},
+	{Name: "rt", Priority: 1},
+}
+
+// decodePreemptStream turns raw fuzz bytes into an arrival-ordered two-class
+// stream with sizes that frequently exceed the split cap: 3 bytes per request
+// (inter-arrival, size, tenant), capped at 96 requests.
+func decodePreemptStream(data []byte) []fleet.Request {
+	var reqs []fleet.Request
+	now := 0.0
+	for i := 0; i+3 <= len(data) && len(reqs) < 96; i += 3 {
+		now += float64(data[i]) * 2e-4
+		reqs = append(reqs, fleet.Request{
+			Arrival: now,
+			Size:    16 + 2*int(data[i+1]),
+			Tenant:  int(data[i+2]) % len(preemptTenants),
+		})
+	}
+	return reqs
+}
+
+// FuzzPreemptRequeue checks the chunk-boundary preemption invariants on
+// arbitrary two-class split-heavy streams with Config.Preempt armed:
+//
+//   - no lost chunks: every admission resolves to a final outcome, nothing is
+//     pending after Close, and every completed split carries positive summed
+//     service;
+//   - OutcomePreempted is never a request's final outcome (it is a per-chunk
+//     requeue notification only);
+//   - the replay is deterministic, including the preemption count;
+//   - dispatch and sojourn stay causally consistent (no dispatch before
+//     arrival, no negative sojourn) across requeues.
+func FuzzPreemptRequeue(f *testing.F) {
+	f.Add([]byte{0, 255, 0, 1, 4, 1, 0, 4, 1, 0, 200, 0})
+	f.Add([]byte{0, 128, 0, 0, 128, 0, 2, 8, 1, 1, 8, 1, 0, 255, 0, 3, 16, 1})
+	f.Add([]byte{9, 32, 0, 9, 250, 1, 0, 40, 0, 0, 40, 1, 0, 240, 0, 0, 8, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs := decodePreemptStream(data)
+		if len(reqs) == 0 {
+			t.Skip()
+		}
+		run := func() *fleet.Report {
+			p, err := fleet.NewPool(fleet.Config{
+				Queue:   trace.QueuePolicy{Workers: 2, Deadline: 0.05, Policy: trace.DegradeSplitTail, SplitCap: 64},
+				Preempt: true,
+			}, []fleet.Model{{Name: "m", Service: sizeSvc(1e-4)}}, preemptTenants)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv := p.Begin()
+			for _, r := range reqs {
+				if _, _, err := lv.Admit(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, _, err := lv.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pending := lv.Pending(); pending != 0 {
+				t.Fatalf("%d requests still pending after Close: a preempted chunk was lost", pending)
+			}
+			return rep
+		}
+		rep, rep2 := run(), run()
+		if rep.Metrics.Preemptions != rep2.Metrics.Preemptions {
+			t.Fatalf("preemption count nondeterministic: %d vs %d", rep.Metrics.Preemptions, rep2.Metrics.Preemptions)
+		}
+		for i := range reqs {
+			if rep.Outcomes[i] != rep2.Outcomes[i] || !eqNaN(rep.Sojourn[i], rep2.Sojourn[i]) ||
+				!eqNaN(rep.Dispatch[i], rep2.Dispatch[i]) || rep.Worker[i] != rep2.Worker[i] ||
+				!eqNaN(rep.Service[i], rep2.Service[i]) {
+				t.Fatalf("replay nondeterministic at request %d", i)
+			}
+		}
+		m := rep.Metrics
+		if m.Served+m.Shed() != len(reqs) {
+			t.Fatalf("served %d + shed %d != %d admissions", m.Served, m.Shed(), len(reqs))
+		}
+		for i := range reqs {
+			switch rep.Outcomes[i] {
+			case fleet.OutcomeServed, fleet.OutcomeSplit:
+				if math.IsNaN(rep.Sojourn[i]) || rep.Sojourn[i] < 0 {
+					t.Fatalf("request %d served with sojourn %g", i, rep.Sojourn[i])
+				}
+				if rep.Dispatch[i] < reqs[i].Arrival {
+					t.Fatalf("request %d dispatched at %g before its arrival %g", i, rep.Dispatch[i], reqs[i].Arrival)
+				}
+				if rep.Outcomes[i] == fleet.OutcomeSplit {
+					if !(rep.Service[i] > 0) {
+						t.Fatalf("split %d completed with service %g; its chunks were lost", i, rep.Service[i])
+					}
+					if reqs[i].Arrival+rep.Sojourn[i] < rep.Dispatch[i] {
+						t.Fatalf("split %d completes at %g before its first dispatch %g", i, reqs[i].Arrival+rep.Sojourn[i], rep.Dispatch[i])
+					}
+				}
+			default:
+				if !rep.Outcomes[i].Shed() {
+					t.Fatalf("request %d resolved with non-final outcome %v (preempted must never be final)", i, rep.Outcomes[i])
+				}
+			}
+		}
+	})
+}
+
 // wfFuzzTenants is the two-class mix the weighted-fair fuzzer exercises.
 var wfFuzzTenants = []fleet.TenantSpec{
 	{Name: "batch", Priority: 0},

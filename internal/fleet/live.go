@@ -71,15 +71,23 @@ type Live struct {
 
 	queuedByTenant []int
 	queuedByModel  []int
+	splitsByModel  []int // in-flight splits per model (split creation to last chunk)
 	workByModel    []float64
 	modelSojourns  [][]float64
 	tenantSojourns [][]float64
 
-	met     *Metrics
-	lastEnd float64
-	lastReb float64
-	started bool
-	first   float64
+	// Elastic-pool state: drain marks workers the autoscaler removed from
+	// every placement row (they finish in-flight work, then sit retired);
+	// lives records each worker's add/retire times.
+	drain []bool
+	lives []WorkerLife
+
+	met       *Metrics
+	lastEnd   float64
+	lastReb   float64
+	lastScale float64
+	started   bool
+	first     float64
 
 	events []Event
 	err    error
@@ -93,6 +101,8 @@ type Live struct {
 // abandonment).
 func (p *Pool) Begin() *Live {
 	k := p.cfg.Queue.EffectiveWorkers()
+	class := make([]int, k)
+	copy(class, p.cfg.WorkerClasses)
 	l := &Live{
 		p: p,
 		st: &poolRun{
@@ -102,6 +112,7 @@ func (p *Pool) Begin() *Live {
 			busy:        make([]float64, k),
 			tune:        make([]float64, k),
 			served:      make([]int, k),
+			class:       class,
 			tuneByModel: make([]float64, len(p.models)),
 		},
 		lcs:            make([]*trace.LoopControl, len(p.models)),
@@ -109,9 +120,15 @@ func (p *Pool) Begin() *Live {
 		splits:         make(map[int]*fleetSplit),
 		queuedByTenant: make([]int, len(p.tenants)),
 		queuedByModel:  make([]int, len(p.models)),
+		splitsByModel:  make([]int, len(p.models)),
 		workByModel:    make([]float64, len(p.models)),
 		modelSojourns:  make([][]float64, len(p.models)),
 		tenantSojourns: make([][]float64, len(p.tenants)),
+		drain:          make([]bool, k),
+		lives:          make([]WorkerLife, k),
+	}
+	for w := 0; w < k; w++ {
+		l.lives[w] = WorkerLife{Worker: w, Class: class[w], RetiredAt: math.NaN()}
 	}
 	for m := range p.models {
 		if p.models[m].Supervisor != nil {
@@ -236,6 +253,10 @@ func (l *Live) Admit(r Request) (int, []Event, error) {
 		l.started = true
 		l.first = r.Arrival
 		l.lastReb = r.Arrival
+		l.lastScale = r.Arrival
+		for w := range l.lives {
+			l.lives[w].AddedAt = r.Arrival
+		}
 	}
 
 	l.events = l.events[:0]
@@ -244,8 +265,12 @@ func (l *Live) Admit(r Request) (int, []Event, error) {
 		return 0, nil, l.fail(err)
 	}
 
-	// Load-aware rebalancing hook, paced by virtual time.
+	// Load-aware rebalancing and autoscaling hooks, paced by virtual time
+	// (mutually exclusive by config validation).
 	if _, err := l.maybeRebalance(now); err != nil {
+		return 0, nil, l.fail(err)
+	}
+	if _, err := l.maybeAutoscale(now); err != nil {
 		return 0, nil, l.fail(err)
 	}
 
@@ -386,8 +411,9 @@ func (l *Live) closeWith(reqs []Request, order []int) (*Report, []Event, error) 
 		rep.Service[idx] = l.service[pos]
 	}
 
-	// Pool-wide aggregates.
-	k := l.p.cfg.Queue.EffectiveWorkers()
+	// Pool-wide aggregates. The worker set may have grown past the configured
+	// count under autoscaling, so size by the live state, not the config.
+	k := len(l.st.free)
 	if n > 0 {
 		met.Makespan = l.lastEnd - l.first
 		if met.Makespan < 0 {
@@ -404,6 +430,9 @@ func (l *Live) closeWith(reqs []Request, order []int) (*Report, []Event, error) 
 		if met.Makespan > 0 {
 			met.Workers[w].Utilization = (l.st.busy[w] + l.st.tune[w]) / met.Makespan
 		}
+	}
+	if l.p.cfg.Autoscale != nil {
+		met.WorkerLives = append([]WorkerLife(nil), l.lives...)
 	}
 	for m := range met.Models {
 		groupStats(&met.Models[m], l.modelSojourns[m])
@@ -445,6 +474,35 @@ func (l *Live) observeDepth() {
 	}
 }
 
+// recordSnapshot appends one load observation to the history the rebalance
+// and autoscale hooks consume. The per-model count is maintained
+// incrementally — whole queued admissions plus in-flight splits, each split
+// counting exactly once until its last chunk lands — so recording is
+// O(models × placed workers), never a scan of the queue, and the snapshot's
+// total always equals Pending().
+func (l *Live) recordSnapshot(now float64) {
+	kw := len(l.st.free)
+	qbm := make([]int, len(l.queuedByModel))
+	for m := range qbm {
+		qbm[m] = l.queuedByModel[m] + l.splitsByModel[m]
+	}
+	load := make([]WorkerLoad, kw)
+	for w := 0; w < kw; w++ {
+		load[w] = WorkerLoad{Busy: l.st.busy[w], TuneBusy: l.st.tune[w], FreeAt: l.st.free[w], Class: l.st.class[w]}
+	}
+	for m := range l.st.asg {
+		for _, w := range l.st.asg[m] {
+			load[w].Queued += qbm[m]
+		}
+	}
+	l.met.LoadHistory = append(l.met.LoadHistory, LoadSnapshot{
+		Time:          now,
+		Workers:       load,
+		QueuedByModel: qbm,
+		WorkByModel:   append([]float64(nil), l.workByModel...),
+	})
+}
+
 // maybeRebalance evaluates the rebalance hook at its virtual-time pacing. It
 // runs on both arrival and dispatch events — dispatch events keep it alive
 // while the queue drains after the last arrival and across arrival-free
@@ -456,41 +514,48 @@ func (l *Live) maybeRebalance(now float64) (bool, error) {
 		return false, nil
 	}
 	l.lastReb = now
-	k := p.cfg.Queue.EffectiveWorkers()
-	load := make([]WorkerLoad, k)
-	for w := 0; w < k; w++ {
-		load[w] = WorkerLoad{Busy: l.st.busy[w], TuneBusy: l.st.tune[w], FreeAt: l.st.free[w]}
-		for i := range l.queue {
-			if placedOn(l.st.asg, l.queue[i].model, w) {
-				load[w].Queued++
-			}
-		}
-		for i := range l.chunks {
-			if placedOn(l.st.asg, l.chunks[i].model, w) {
-				load[w].Queued++
-			}
-		}
-	}
-	qbm := append([]int(nil), l.queuedByModel...)
-	for i := range l.chunks {
-		qbm[l.chunks[i].model]++
-	}
-	l.met.LoadHistory = append(l.met.LoadHistory, LoadSnapshot{
-		Time:          now,
-		Workers:       load,
-		QueuedByModel: qbm,
-		WorkByModel:   append([]float64(nil), l.workByModel...),
-	})
+	l.recordSnapshot(now)
 	na := p.cfg.Rebalance(now, l.met.LoadHistory, l.st.asg.clone())
 	if na == nil {
 		return false, nil
 	}
-	if err := na.validate(len(p.models), k); err != nil {
+	if err := na.validate(len(p.models), len(l.st.free)); err != nil {
 		return false, fmt.Errorf("fleet: rebalance at t=%g: %w", now, err)
+	}
+	if p.reserved > 0 {
+		if err := validateReserves(na, p.reserves); err != nil {
+			return false, fmt.Errorf("fleet: rebalance at t=%g: %w", now, err)
+		}
 	}
 	l.st.asg = na.clone()
 	l.met.Rebalances++
+	if p.cfg.Preempt {
+		l.preemptQueuedChunks(now)
+	}
 	return true, nil
+}
+
+// preemptQueuedChunks requeues every already-arrived split chunk at now: an
+// applied rebalance or a scale-in moved placement out from under pending
+// chunks, so their queued dispatches restart under the new shape. Each
+// requeue emits an informational OutcomePreempted event and bumps
+// Metrics.Preemptions; sojourn accounting is unaffected because a split's
+// sojourn runs from its parent's original arrival (fleetSplit.arrival), not
+// the chunks' requeued arrivals.
+func (l *Live) preemptQueuedChunks(now float64) {
+	for i := range l.chunks {
+		c := &l.chunks[i]
+		if c.arrival >= now {
+			continue
+		}
+		c.arrival = now
+		l.met.Preemptions++
+		l.events = append(l.events, Event{
+			ID: c.id, Outcome: OutcomePreempted, Generation: c.gen,
+			Sojourn: math.NaN(), Dispatch: math.NaN(), Service: math.NaN(),
+			Worker: -1, End: now,
+		})
+	}
 }
 
 // shed resolves one request as dropped, bumping the cause counters and
@@ -534,7 +599,10 @@ func (l *Live) shed(pos int, out Outcome, model, tenant int, now float64) {
 // worker's next start. Ties between workers resolve by the placement
 // strategy. Returns (-1, +Inf) when nothing is queued.
 func (l *Live) nextDispatch() (int, float64) {
-	k := l.p.cfg.Queue.EffectiveWorkers()
+	// Size by the live worker set: autoscaling grows it past the configured
+	// count. Drained workers need no special case — they leave every
+	// placement row, so nothing is placed on them.
+	k := len(l.st.free)
 	bestW := -1
 	tDisp := math.Inf(1)
 	for w := 0; w < k; w++ {
@@ -586,6 +654,14 @@ func (l *Live) advanceUntil(bound float64) error {
 		} else if changed {
 			continue
 		}
+		// Same rule for the autoscaler: a scale decision reshapes the worker
+		// set, so the candidate must be recomputed; lastScale has advanced,
+		// so this cannot loop either.
+		if changed, err := l.maybeAutoscale(tDisp); err != nil {
+			return err
+		} else if changed {
+			continue
+		}
 		if err := l.dispatchAt(bestW, tDisp); err != nil {
 			return err
 		}
@@ -611,12 +687,27 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 			break
 		}
 	}
+	if ci >= 0 && p.cfg.Preempt && l.hasUrgentWhole(bestW, tDisp, l.chunks[ci].prio) {
+		// Chunk-boundary preemption: a strictly higher-priority whole request
+		// is waiting for this worker, so the head chunk yields the slot — its
+		// arrival moves to now (the requeue) and the policy picks instead.
+		// The split's sojourn clock (fleetSplit.arrival) does not move.
+		c := &l.chunks[ci]
+		c.arrival = tDisp
+		met.Preemptions++
+		l.events = append(l.events, Event{
+			ID: c.id, Outcome: OutcomePreempted, Generation: c.gen,
+			Sojourn: math.NaN(), Dispatch: math.NaN(), Service: math.NaN(),
+			Worker: -1, End: tDisp,
+		})
+		ci = -1
+	}
 	if ci >= 0 {
 		e := l.chunks[ci]
 		l.chunks = append(l.chunks[:ci], l.chunks[ci+1:]...)
 		l.observeDepth()
 
-		sv, err := l.resolveAt(e, tDisp)
+		sv, err := l.resolveAt(e, tDisp, bestW)
 		if err != nil {
 			return err
 		}
@@ -637,7 +728,7 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 			sp.end = end
 		}
 		if sp.remaining == 0 {
-			soj := sp.end - e.arrival
+			soj := sp.end - sp.arrival
 			l.sojourn[e.id] = soj
 			l.outcome[e.id] = OutcomeSplit
 			l.dispatch[e.id] = sp.firstDisp
@@ -671,6 +762,7 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 				Sojourn: soj, Dispatch: sp.firstDisp, Service: sp.service,
 				Worker: sp.worker, End: sp.end,
 			})
+			l.splitsByModel[e.model]--
 			delete(l.splits, e.id)
 		}
 		return nil
@@ -703,7 +795,7 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 	l.queuedByModel[e.model]--
 	l.observeDepth()
 
-	sv, err := l.resolveAt(e, tDisp)
+	sv, err := l.resolveAt(e, tDisp, bestW)
 	if err != nil {
 		return err
 	}
@@ -725,11 +817,14 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 		// still one admission and finishes on the schedule set it
 		// arrived under.
 		cs := p.cfg.Queue.ChunkSizes(e.size)
-		l.splits[e.id] = &fleetSplit{remaining: len(cs), size: e.size, firstDisp: math.NaN()}
+		l.splits[e.id] = &fleetSplit{remaining: len(cs), size: e.size, arrival: e.arrival, firstDisp: math.NaN()}
+		l.splitsByModel[e.model]++
 		for _, c := range cs {
+			// Chunks carry the parent's priority so the preemption gate can
+			// compare them against waiting whole requests.
 			l.chunks = append(l.chunks, qentry{
 				id: e.id, arrival: e.arrival, deadline: e.deadline,
-				size: c, model: e.model, tenant: e.tenant, gen: e.gen,
+				size: c, model: e.model, tenant: e.tenant, prio: e.prio, gen: e.gen,
 			})
 		}
 		return nil
@@ -773,18 +868,35 @@ func (l *Live) dispatchAt(bestW int, tDisp float64) error {
 	return nil
 }
 
-// resolveAt resolves one dispatch's service time and, when the pool serves
-// through an embedding-cache tier, charges the batch's cold traffic on top.
-// This is the tier's single mutation point: every dispatch event — whole
-// request or split chunk, batch replay or live gateway — passes through here
-// in the same order, so cache state evolution is part of the deterministic
-// replay contract. The penalty lands before the degradation policy's deadline
-// check: a cold burst can push a request over its deadline exactly like a
-// slow kernel can.
-func (l *Live) resolveAt(e qentry, tDisp float64) (float64, error) {
+// hasUrgentWhole reports whether a whole queued request with strictly higher
+// priority than prio has arrived and is placed on worker w — the condition
+// under which a waiting split chunk yields its dispatch slot (Config.Preempt).
+func (l *Live) hasUrgentWhole(w int, tDisp float64, prio int) bool {
+	for i := range l.queue {
+		if l.queue[i].prio > prio && l.queue[i].arrival <= tDisp && placedOn(l.st.asg, l.queue[i].model, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveAt resolves one dispatch's service time on worker w and, when the
+// pool serves through an embedding-cache tier, charges the batch's cold
+// traffic on top. This is the tier's single mutation point: every dispatch
+// event — whole request or split chunk, batch replay or live gateway — passes
+// through here in the same order, so cache state evolution is part of the
+// deterministic replay contract. The device-class multiplier applies to the
+// kernel time only — the cache penalty models PCIe fetches, which the class
+// of the compute die does not change — and lands before the degradation
+// policy's deadline check: a cold burst can push a request over its deadline
+// exactly like a slow kernel can.
+func (l *Live) resolveAt(e qentry, tDisp float64, w int) (float64, error) {
 	sv, err := l.resolve(e)
 	if err != nil {
 		return 0, err
+	}
+	if s := l.p.classScale(e.model, l.st.class[w]); s != 1 {
+		sv *= s
 	}
 	if c := l.p.cfg.Cache; c != nil {
 		sv += c.Dispatch(e.model, e.tenant, tDisp, e.size)

@@ -71,6 +71,17 @@ type Metrics struct {
 	Models, Tenants []GroupMetrics
 	// Rebalances counts applied placement changes from the rebalance hook.
 	Rebalances int
+	// Preemptions counts chunk-boundary preemptions under Config.Preempt:
+	// each is one queued split chunk that yielded its dispatch slot (to a
+	// higher-priority whole request, an applied rebalance or a scale-in) and
+	// was requeued at the preemption time.
+	Preemptions int
+	// ScaleEvents records every applied autoscaling decision in virtual-time
+	// order (empty without Config.Autoscale).
+	ScaleEvents []ScaleEvent
+	// WorkerLives records each worker's add/retire times in an autoscaled
+	// run, indexed by worker id (nil without Config.Autoscale).
+	WorkerLives []WorkerLife
 	// LoadHistory is every load snapshot recorded at the rebalance pacing
 	// (empty when no Rebalance hook is configured). The last entry is the
 	// most recent; RebalanceByLoad consumes this same history during the

@@ -86,24 +86,79 @@ func (a Assignment) validate(models, workers int) error {
 	return nil
 }
 
-// assign builds the initial assignment for a strategy.
-func assign(s Strategy, models, workers int) (Assignment, error) {
+// validateReserves checks that an assignment honors every model's exclusive
+// worker floor: at least reserves[m] of model m's workers appear in no other
+// model's row. A rebalance hook on a pool with reservations must keep these
+// floors or the rebalance is rejected.
+func validateReserves(a Assignment, reserves []int) error {
+	if len(reserves) == 0 {
+		return nil
+	}
+	owners := make(map[int]int) // worker -> number of models placed on it
+	for m := range a {
+		for _, w := range a[m] {
+			owners[w]++
+		}
+	}
+	for m, want := range reserves {
+		if want == 0 {
+			continue
+		}
+		got := 0
+		for _, w := range a[m] {
+			if owners[w] == 1 {
+				got++
+			}
+		}
+		if got < want {
+			return fmt.Errorf("fleet: assignment gives model %d only %d exclusive workers, Reserve floor is %d", m, got, want)
+		}
+	}
+	return nil
+}
+
+// assign builds the initial assignment for a strategy. reserves, when
+// non-nil, holds each model's exclusive worker floor (Model.Reserve) for
+// packed/spread placement: the lowest sum(reserves) worker ids are carved
+// out as exclusive blocks in model order, and every model additionally gets
+// the remaining shared workers. Dedicated placement ignores reserves (the
+// caller rejects that combination).
+func assign(s Strategy, models, workers int, reserves []int) (Assignment, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("fleet: need at least one worker, got %d", workers)
 	}
 	out := make(Assignment, models)
 	switch s {
 	case PlacementPacked, PlacementSpread:
-		// Each model gets its own copy of the full worker list: the rows must
+		totalRes := 0
+		for _, r := range reserves {
+			totalRes += r
+		}
+		if totalRes > workers {
+			return nil, fmt.Errorf("fleet: model reservations need %d workers, pool has %d", totalRes, workers)
+		}
+		shared := make([]int, 0, workers-totalRes)
+		for w := totalRes; w < workers; w++ {
+			shared = append(shared, w)
+		}
+		// Each model gets its own copy of its worker list: the rows must
 		// not share a backing array, or editing one model's placement (e.g. in
 		// a rebalance hook handed the assignment) would silently edit all of
 		// them.
+		next := 0
 		for m := range out {
-			all := make([]int, workers)
-			for w := range all {
-				all[w] = w
+			row := make([]int, 0, workers)
+			if m < len(reserves) {
+				for i := 0; i < reserves[m]; i++ {
+					row = append(row, next)
+					next++
+				}
 			}
-			out[m] = all
+			row = append(row, shared...)
+			if len(row) == 0 {
+				return nil, fmt.Errorf("fleet: model %d has no workers: reservations take all %d and it reserves none", m, workers)
+			}
+			out[m] = row
 		}
 	case PlacementDedicated:
 		if workers < models {
@@ -137,9 +192,14 @@ type WorkerLoad struct {
 	TuneBusy float64
 	// FreeAt is the virtual time the worker next becomes idle.
 	FreeAt float64
-	// Queued counts queued requests whose model is currently placed on this
-	// worker (a request placed on several workers counts on each).
+	// Queued counts pending requests whose model is currently placed on this
+	// worker (a request placed on several workers counts on each). A split
+	// request counts once from its split until its last chunk lands, matching
+	// Live.Pending's accounting.
 	Queued int
+	// Class is the worker's device class (see Config.WorkerClasses), so a
+	// rebalance hook can weigh heterogeneous capacity.
+	Class int
 }
 
 // LoadSnapshot is one recorded observation of the pool's load, taken each
@@ -153,8 +213,10 @@ type LoadSnapshot struct {
 	Time float64
 	// Workers is the per-worker load at Time.
 	Workers []WorkerLoad
-	// QueuedByModel counts queued (admitted, undispatched) requests per
-	// model, including split chunks still awaiting dispatch.
+	// QueuedByModel counts pending (admitted, unresolved) requests per
+	// model: whole requests awaiting dispatch plus split requests in flight —
+	// a split counts exactly once from its split until its last chunk lands,
+	// so the snapshot's total always equals Live.Pending at snapshot time.
 	QueuedByModel []int
 	// WorkByModel is each model's cumulative served service time in virtual
 	// seconds up to Time; the delta between two snapshots is the work the

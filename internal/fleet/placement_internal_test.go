@@ -11,7 +11,7 @@ import (
 // silently edited every model's. Each row must own its storage.
 func TestAssignRowsDoNotAlias(t *testing.T) {
 	for _, s := range []Strategy{PlacementPacked, PlacementSpread} {
-		asg, err := assign(s, 3, 2)
+		asg, err := assign(s, 3, 2, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -23,6 +23,10 @@ func FuzzSessionLogDecode(f *testing.F) {
 	sw.Outcome(fleet.Event{ID: 0, Outcome: fleet.OutcomeServed, Worker: 0, Sojourn: 1, Dispatch: 0, Service: 1, End: 1})
 	sw.Outcome(fleet.Event{ID: 2, Outcome: fleet.OutcomeShedQueue, Worker: -1, Sojourn: math.NaN(), Dispatch: math.NaN(), Service: math.NaN(), End: 0.125})
 	sw.Outcome(fleet.Event{ID: 1, Outcome: fleet.OutcomeSplit, Generation: 1, Worker: 1, Sojourn: 2.5, Dispatch: 0.5, Service: 2, End: 2.625})
+	sw.Elastic(3, []fleet.ScaleEvent{
+		{Time: 0.25, Worker: 2, Delta: 1, Workers: 3},
+		{Time: 2.5, Worker: 2, Delta: -1, Workers: 2},
+	})
 	if err := sw.Close(); err != nil {
 		f.Fatal(err)
 	}
@@ -34,6 +38,9 @@ func FuzzSessionLogDecode(f *testing.F) {
 	f.Add([]byte(""))
 	f.Add([]byte("\x00\xff garbage"))
 	f.Add([]byte("recflex-session v1\nout 0 0 0 0 0x0p+00 0x0p+00 0x0p+00 0x0p+00\nend 0\n"))
+	f.Add([]byte("recflex-session v1\npre 0\nend 0\n"))
+	f.Add([]byte("recflex-session v1\npre 2\nscale 0x1p+00 2 1 3\nend 0\n"))
+	f.Add([]byte("recflex-session v1\nscale 0x1p+00 2 1 3\nend 0\n")) // scale before pre
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := gateway.ReadSession(bytes.NewReader(data))
@@ -73,6 +80,9 @@ func FuzzSessionLogDecode(f *testing.F) {
 				w.Outcome(ev)
 			}
 		}
+		if s.HasElastic {
+			w.Elastic(s.Preemptions, s.ScaleEvents)
+		}
 		if err := w.Close(); err != nil {
 			t.Fatalf("re-encode: %v", err)
 		}
@@ -101,6 +111,19 @@ func FuzzSessionLogDecode(f *testing.F) {
 				bits(x.Sojourn) != bits(y.Sojourn) || bits(x.Dispatch) != bits(y.Dispatch) ||
 				bits(x.Service) != bits(y.Service) || bits(x.End) != bits(y.End) {
 				t.Fatalf("outcome %d changed across round trip: %+v -> %+v", i, x, y)
+			}
+		}
+		if s2.HasElastic != s.HasElastic || s2.Preemptions != s.Preemptions ||
+			len(s2.ScaleEvents) != len(s.ScaleEvents) {
+			t.Fatalf("elastic summary changed across round trip: %v/%d/%d -> %v/%d/%d",
+				s.HasElastic, s.Preemptions, len(s.ScaleEvents),
+				s2.HasElastic, s2.Preemptions, len(s2.ScaleEvents))
+		}
+		for i := range s.ScaleEvents {
+			a, b := s.ScaleEvents[i], s2.ScaleEvents[i]
+			if bits(a.Time) != bits(b.Time) || a.Worker != b.Worker ||
+				a.Delta != b.Delta || a.Workers != b.Workers {
+				t.Fatalf("scale event %d changed across round trip: %+v -> %+v", i, a, b)
 			}
 		}
 	})

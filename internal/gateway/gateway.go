@@ -44,6 +44,10 @@ type Stats struct {
 	// The engine drains on Close, so this must be 0; it exists so smoke
 	// tests can assert that, not because losing requests is expected.
 	Lost int
+	// Preemptions counts chunk-boundary preemption events observed so far
+	// (informational requeues under fleet.Config.Preempt; they resolve no
+	// request and never appear in the session log).
+	Preemptions int
 	// Warp is the configured time-warp factor; SimNow the current simulated
 	// time in seconds.
 	Warp, SimNow float64
@@ -75,10 +79,11 @@ type Gateway struct {
 	waiters  map[int]chan fleet.Event
 	pending  []fleet.Event // resolved, held until the wall clock reaches warped End
 	sojourns []float64
-	admitted int
-	served   int
-	shedded  int
-	lost     int
+	admitted  int
+	served    int
+	shedded   int
+	preempted int
+	lost      int
 	err      error
 	closed   bool
 
@@ -148,6 +153,15 @@ func (g *Gateway) signalWake() {
 // out-line order is resolution order, and replay does not depend on it.
 func (g *Gateway) deliverLocked(evs []fleet.Event, now float64) {
 	for _, ev := range evs {
+		if ev.Outcome == fleet.OutcomePreempted {
+			// Informational chunk requeue under fleet.Config.Preempt: the
+			// request is not resolved, so nothing is logged (the parent still
+			// gets exactly one out-line at completion — a second line for the
+			// same id would poison ReadSession), no waiter answers, and the
+			// served/shed counters don't move.
+			g.preempted++
+			continue
+		}
 		if g.sess != nil {
 			g.sess.Outcome(ev)
 		}
@@ -249,9 +263,27 @@ func (g *Gateway) pump() {
 			}
 			continue
 		}
-		wait := time.Duration((next - now) / g.warp * float64(time.Second))
-		if wait <= 0 {
+		// The earliest event can sit arbitrarily far in the simulated future
+		// (a lone request with a huge arrival gap, an extreme warp ratio).
+		// Converting such a float to time.Duration overflows int64, and the
+		// negative result used to collapse into a 1ns timer — a busy-spin
+		// that pinned a core until the event matured. Bound the idle wait
+		// instead: sleeping short of the target is always safe, because the
+		// loop recomputes the remaining wait each pass and a wake signal
+		// re-arms it early anyway.
+		const maxIdleWait = time.Second
+		waitSec := (next - now) / g.warp
+		var wait time.Duration
+		switch {
+		case !(waitSec > 0):
 			wait = time.Nanosecond
+		case waitSec >= maxIdleWait.Seconds():
+			wait = maxIdleWait
+		default:
+			wait = time.Duration(waitSec * float64(time.Second))
+			if wait <= 0 {
+				wait = time.Nanosecond
+			}
 		}
 		select {
 		case <-g.stop:
@@ -330,16 +362,17 @@ func (g *Gateway) Stats() Stats {
 		simNow = g.simNowLocked()
 	}
 	return Stats{
-		Admitted: g.admitted,
-		Served:   g.served,
-		Shed:     g.shedded,
-		Pending:  g.admitted - g.served - g.shedded,
-		Lost:     g.lost,
-		Warp:     g.warp,
-		SimNow:   simNow,
-		P50:      p50,
-		P95:      p95,
-		P99:      p99,
+		Admitted:    g.admitted,
+		Served:      g.served,
+		Shed:        g.shedded,
+		Pending:     g.admitted - g.served - g.shedded,
+		Lost:        g.lost,
+		Preemptions: g.preempted,
+		Warp:        g.warp,
+		SimNow:      simNow,
+		P50:         p50,
+		P95:         p95,
+		P99:         p99,
 	}
 }
 
@@ -398,6 +431,7 @@ func (g *Gateway) Close() (*fleet.Report, error) {
 		return rep, fmt.Errorf("gateway: %d admitted requests were never resolved", g.lost)
 	}
 	if g.sess != nil {
+		g.sess.Elastic(rep.Metrics.Preemptions, rep.Metrics.ScaleEvents)
 		if err := g.sess.Close(); err != nil {
 			return rep, fmt.Errorf("gateway: session log: %w", err)
 		}

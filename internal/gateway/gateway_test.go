@@ -66,6 +66,7 @@ type fakeClock struct {
 	mu     sync.Mutex
 	now    time.Time
 	afters []fakeAfter
+	waits  []time.Duration // every duration handed to After, in call order
 }
 
 type fakeAfter struct {
@@ -88,7 +89,15 @@ func (f *fakeClock) After(d time.Duration) <-chan time.Time {
 	defer f.mu.Unlock()
 	ch := make(chan time.Time, 1)
 	f.afters = append(f.afters, fakeAfter{at: f.now.Add(d), ch: ch})
+	f.waits = append(f.waits, d)
 	return ch
+}
+
+// armedWaits snapshots every duration After has been asked for so far.
+func (f *fakeClock) armedWaits() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.waits...)
 }
 
 func (f *fakeClock) advance(d time.Duration) {
@@ -498,5 +507,53 @@ func TestGatewayCloseEmpty(t *testing.T) {
 	}
 	if _, err := g.Infer(context.Background(), fleet.Request{Size: 1}); err == nil {
 		t.Fatal("Infer after close did not error")
+	}
+}
+
+// Regression: a pending event arbitrarily far in the simulated future used to
+// overflow the pump's wall-wait conversion (float seconds to int64
+// nanoseconds), and the negative product collapsed into a 1ns timer — a
+// busy-spin that pinned a core until the event matured. The pump must arm a
+// bounded idle wait instead; sleeping short is safe because the loop
+// recomputes the remaining wait every pass.
+func TestGatewayPumpFarFutureEventDoesNotBusySpin(t *testing.T) {
+	clock := newFakeClock()
+	pool := mustPool(t, fleet.Config{Queue: trace.QueuePolicy{Workers: 1}},
+		[]fleet.Model{{Name: "glacial", Service: constSvc(1e12)}},
+		[]fleet.TenantSpec{{Name: "only"}})
+	g, err := gateway.New(gateway.Config{Pool: pool, Warp: 1, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Blocks until shutdown drains it; the ctx cancel below abandons the
+		// wait without abandoning the request.
+		g.Infer(ctx, fleet.Request{Size: 1})
+	}()
+
+	// The request dispatches at sim t=0 and completes at sim t=1e12, so the
+	// pump parks the event and arms a timer for it. Wait for that arm.
+	deadline := time.Now().Add(10 * time.Second)
+	var waits []time.Duration
+	for len(waits) == 0 && time.Now().Before(deadline) {
+		waits = clock.armedWaits()
+		time.Sleep(time.Millisecond)
+	}
+	if len(waits) == 0 {
+		t.Fatal("pump never armed a timer for the far-future completion")
+	}
+	for _, w := range waits {
+		if w < 10*time.Millisecond {
+			t.Fatalf("pump armed a %v timer for a completion ~1e12 simulated seconds out (overflow busy-spin)", w)
+		}
+	}
+
+	cancel()
+	<-done
+	if _, err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
 	}
 }

@@ -24,11 +24,23 @@ import (
 //	recflex-session v1
 //	req <id> <arrival> <size> <model> <tenant> <deadline>
 //	out <id> <outcome> <generation> <worker> <sojourn> <dispatch> <service> <end>
+//	pre <preemptions>
+//	scale <time> <worker> <delta> <workers>
 //	end <requests>
 //
 // req lines appear in admission order (id is dense, starting at 0); out
 // lines appear in resolution order. The trailing end line makes truncation
 // detectable.
+//
+// pre/scale are the pool's elastic summary, written once at session close:
+// the chunk-preemption count and every applied autoscaling decision in
+// decision order. They extend the replay contract to pool identity — a
+// static homogeneous rebuild of an autoscaled session replays every
+// per-request record bit-identically when the elastic machinery never
+// touched a request (idle pools drain workers invisibly), so without these
+// records a replay could "verify" against the wrong pool. pre must precede
+// any scale line; both are optional so logs from earlier writers still
+// decode, skipping the elastic check.
 
 // sessionHeader is the version line every session log starts with.
 const sessionHeader = "recflex-session v1"
@@ -75,6 +87,16 @@ func (sw *SessionWriter) Outcome(ev fleet.Event) {
 		hexFloat(ev.Sojourn), hexFloat(ev.Dispatch), hexFloat(ev.Service), hexFloat(ev.End))
 }
 
+// Elastic records the pool's elastic summary: the preemption count and the
+// applied autoscaling decisions, in decision order. Call at most once, after
+// the last outcome and before Close.
+func (sw *SessionWriter) Elastic(preemptions int, events []fleet.ScaleEvent) {
+	sw.printf("pre %d\n", preemptions)
+	for _, e := range events {
+		sw.printf("scale %s %d %d %d\n", hexFloat(e.Time), e.Worker, e.Delta, e.Workers)
+	}
+}
+
 // Close writes the session footer, flushes, and reports the first error hit
 // anywhere in the stream.
 func (sw *SessionWriter) Close() error {
@@ -95,6 +117,13 @@ type Session struct {
 	// Resolved[id] reports whether an out line was recorded for id (false
 	// only in truncated or hand-edited logs).
 	Resolved []bool
+	// HasElastic reports whether the log carries the pool's elastic summary
+	// (a pre record); Preemptions and ScaleEvents are meaningful only then.
+	HasElastic bool
+	// Preemptions is the recorded chunk-preemption count.
+	Preemptions int
+	// ScaleEvents are the recorded autoscaling decisions in decision order.
+	ScaleEvents []fleet.ScaleEvent
 }
 
 // ReadSession decodes a session log. It rejects version mismatches, malformed
@@ -175,6 +204,10 @@ func ReadSession(r io.Reader) (*Session, error) {
 			if s.Resolved[id] {
 				return nil, fmt.Errorf("gateway: session line %d: duplicate outcome for id %d", line, id)
 			}
+			// OutcomeSplit stays the upper bound on purpose: OutcomePreempted
+			// events are informational chunk requeues the gateway keeps out of
+			// session logs (a request resolves exactly once), so one here is
+			// as corrupt as an unknown value.
 			if oc < 0 || oc > int(fleet.OutcomeSplit) {
 				return nil, fmt.Errorf("gateway: session line %d: unknown outcome %d", line, oc)
 			}
@@ -183,6 +216,45 @@ func ReadSession(r io.Reader) (*Session, error) {
 				Sojourn: soj, Dispatch: disp, Service: svc, End: end,
 			}
 			s.Resolved[id] = true
+		case "pre":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("gateway: session line %d: pre wants 1 field, got %d", line, len(f)-1)
+			}
+			if s.HasElastic {
+				return nil, fmt.Errorf("gateway: session line %d: duplicate pre record", line)
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("gateway: session line %d: malformed pre", line)
+			}
+			s.HasElastic = true
+			s.Preemptions = n
+		case "scale":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("gateway: session line %d: scale wants 4 fields, got %d", line, len(f)-1)
+			}
+			if !s.HasElastic {
+				return nil, fmt.Errorf("gateway: session line %d: scale record before pre", line)
+			}
+			tm, err1 := strconv.ParseFloat(f[1], 64)
+			worker, err2 := strconv.Atoi(f[2])
+			delta, err3 := strconv.Atoi(f[3])
+			workers, err4 := strconv.Atoi(f[4])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fmt.Errorf("gateway: session line %d: malformed scale", line)
+			}
+			if math.IsNaN(tm) || math.IsInf(tm, 0) {
+				return nil, fmt.Errorf("gateway: session line %d: non-finite scale time", line)
+			}
+			if delta != 1 && delta != -1 {
+				return nil, fmt.Errorf("gateway: session line %d: scale delta %d is not +-1", line, delta)
+			}
+			if worker < 0 || workers < 0 {
+				return nil, fmt.Errorf("gateway: session line %d: negative scale worker/count", line)
+			}
+			s.ScaleEvents = append(s.ScaleEvents, fleet.ScaleEvent{
+				Time: tm, Worker: worker, Delta: delta, Workers: workers,
+			})
 		case "end":
 			if len(f) != 2 {
 				return nil, fmt.Errorf("gateway: session line %d: malformed end", line)
@@ -240,6 +312,25 @@ func (s *Session) Replay(pool *fleet.Pool) (*fleet.Report, error) {
 			return nil, fmt.Errorf("gateway: request %d: worker diverged: live %d, replay %d", id, rec.Worker, rep.Worker[id])
 		case rep.Generations[id] != rec.Generation:
 			return nil, fmt.Errorf("gateway: request %d: generation diverged: live %d, replay %d", id, rec.Generation, rep.Generations[id])
+		}
+	}
+	// Pool-identity check: a session recorded with the elastic summary must
+	// reproduce the exact preemption count and autoscaling decisions, even
+	// when none of them changed a per-request record.
+	if s.HasElastic {
+		m := rep.Metrics
+		if m.Preemptions != s.Preemptions {
+			return nil, fmt.Errorf("gateway: preemptions diverged: live %d, replay %d", s.Preemptions, m.Preemptions)
+		}
+		if len(m.ScaleEvents) != len(s.ScaleEvents) {
+			return nil, fmt.Errorf("gateway: scale events diverged: live %d, replay %d", len(s.ScaleEvents), len(m.ScaleEvents))
+		}
+		for i, rec := range s.ScaleEvents {
+			got := m.ScaleEvents[i]
+			if !bitsEqual(got.Time, rec.Time) || got.Worker != rec.Worker ||
+				got.Delta != rec.Delta || got.Workers != rec.Workers {
+				return nil, fmt.Errorf("gateway: scale event %d diverged: live %+v, replay %+v", i, rec, got)
+			}
 		}
 	}
 	return rep, nil

@@ -29,16 +29,18 @@ const (
 )
 
 // Cases returns the hot-path suite the perf gate tracks: the two simulator
-// regimes (wide launch, saturated retire/backfill), the two replay engines
-// (single-model server, multi-tenant fleet pool), the embedding-cache tier's
-// per-dispatch path, and the three tuner engines (serial reference, cold
-// fleet-speed, warm-started re-tune).
+// regimes (wide launch, saturated retire/backfill), the three replay engines
+// (single-model server, multi-tenant fleet pool, elastic heterogeneous pool
+// with preemption and autoscaling), the embedding-cache tier's per-dispatch
+// path, and the three tuner engines (serial reference, cold fleet-speed,
+// warm-started re-tune).
 func Cases() []Case {
 	return []Case{
 		{Name: "SimulateKernel640Blocks", Bench: SimulateKernel640Blocks},
 		{Name: "SimulateSaturated", Bench: SimulateSaturated},
 		{Name: "ReplayHotPath", ReqsPerIter: replayRequests, Bench: ReplayHotPath},
 		{Name: "FleetServe", ReqsPerIter: fleetRequests, Bench: FleetServe},
+		{Name: "ElasticServe", ReqsPerIter: fleetRequests, Bench: ElasticServe},
 		{Name: "CacheDispatch", ReqsPerIter: 1, Bench: CacheDispatch},
 		{Name: "TuneSerial", Bench: TuneSerial},
 		{Name: "TuneParallel", Bench: TuneParallel},
@@ -154,6 +156,62 @@ func FleetServe(b *testing.B) {
 	p, err := fleet.NewPool(fleet.Config{
 		Queue:        trace.QueuePolicy{Workers: 2, QueueDepth: 128},
 		ShedFraction: 0.9,
+	}, models, tenants)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Serve(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// ElasticServe measures the elastic heterogeneous pool's extra machinery on
+// top of FleetServe's replay loop: chunk-boundary preemption over split-tail
+// chunk trains, the autoscaler's windowed backlog polling with scale-out lag
+// and drain-before-remove, and per-class service scaling on a mixed
+// V100/A100 pool.
+func ElasticServe(b *testing.B) {
+	mk := func(seed int64, tail float64) []trace.Request {
+		reqs, err := trace.Generate(fleetRequests/2, trace.GeneratorConfig{
+			QPS: 4000, MaxBatch: 256, TailProb: tail, TailSize: 2560, Seed: seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return reqs
+	}
+	reqs := fleet.Merge(
+		fleet.Stream{Model: 0, Tenant: 0, Reqs: mk(1, 0)},
+		fleet.Stream{Model: 1, Tenant: 1, Reqs: mk(2, 0.1)},
+	)
+	tenants := []fleet.TenantSpec{
+		{Name: "hi", Priority: 1, Deadline: 0.05},
+		{Name: "lo", Priority: 0},
+	}
+	sizeSvc := func(per float64) trace.TimedServiceFunc {
+		return func(_ float64, size int) (float64, error) { return float64(size) * per, nil }
+	}
+	classScale := []float64{1, 0.5}
+	models := []fleet.Model{
+		{Name: "a", Service: sizeSvc(4e-6), ClassScale: classScale},
+		{Name: "b", Service: sizeSvc(2e-6), ClassScale: classScale},
+	}
+	p, err := fleet.NewPool(fleet.Config{
+		Queue: trace.QueuePolicy{
+			Workers: 2, QueueDepth: 128, Deadline: 0.01,
+			Policy: trace.DegradeSplitTail, SplitCap: 256,
+		},
+		Preempt:       true,
+		WorkerClasses: []int{0, 0},
+		ClassNames:    []string{"V100", "A100"},
+		Autoscale: &fleet.AutoscaleConfig{
+			Every: 0.005, Max: 4, ScaleOutLag: 0.002, Class: 1,
+		},
 	}, models, tenants)
 	if err != nil {
 		b.Fatal(err)
